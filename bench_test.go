@@ -1,0 +1,184 @@
+package dise
+
+// One benchmark per graph of the paper's evaluation (Figures 6, 7, 8; the
+// paper has no numbered result tables — its simulator configuration table
+// is encoded in cpu.DefaultConfig). Each bench regenerates the figure's
+// series on a reduced benchmark set so `go test -bench=.` stays tractable;
+// `go run ./cmd/disebench` produces the full-scale tables recorded in
+// EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchOptions keeps testing.B runs fast: three benchmarks spanning the
+// code-size range, at reduced dynamic length.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		Benchmarks: []string{"bzip2", "gzip", "mcf"},
+		DynScaleK:  60,
+	}
+}
+
+func BenchmarkFig6Formulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig6Formulation(benchOptions())
+		sink = t.Get("gmean", "DISE3")
+	}
+}
+
+func BenchmarkFig6CacheSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig6CacheSize(benchOptions())
+		sink = t.Get("gmean", "dise-8K")
+	}
+}
+
+func BenchmarkFig6Width(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig6Width(benchOptions())
+		sink = t.Get("gmean", "dise-8w")
+	}
+}
+
+func BenchmarkFig7Compression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		text, _ := experiments.Fig7Compression(benchOptions())
+		sink = text.Get("gmean", "DISE")
+	}
+}
+
+func BenchmarkFig7Performance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig7Performance(benchOptions())
+		sink = t.Get("gmean", "dise-8K")
+	}
+}
+
+func BenchmarkFig7RTSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig7RTSize(benchOptions())
+		sink = t.Get("gmean", "512-dm")
+	}
+}
+
+func BenchmarkFig8Combos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig8Combos(benchOptions())
+		sink = t.Get("gmean", "dise+dise-32K")
+	}
+}
+
+func BenchmarkFig8RT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig8RT(benchOptions())
+		sink = t.Get("gmean", "512-dm-150")
+	}
+}
+
+// Component microbenchmarks: the performance-critical paths of the
+// simulator itself.
+
+func BenchmarkEngineExpand(b *testing.B) {
+	ctrl := NewController(DefaultEngineConfig())
+	if _, err := ctrl.InstallFile(`
+prod p {
+    match class == store
+    replace {
+        srli %rs, 26, $dr1
+        xor  $dr1, $dr2, $dr1
+        jne  $dr1, ($dr7)
+        %insn
+    }
+}
+`, nil); err != nil {
+		b.Fatal(err)
+	}
+	prog := MustAssemble("b", ".entry main\nmain:\n stq r1, 0(sp)\n halt\n")
+	store := prog.Text[0]
+	e := ctrl.Engine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exp := e.Expand(store, 0x1000)
+		if exp == nil {
+			b.Fatal("no expansion")
+		}
+	}
+}
+
+func BenchmarkEmulator(b *testing.B) {
+	src := `
+.entry main
+main:
+    li r2, 1000
+loop:
+    addqi r3, 1, r3
+    xor r3, r4, r4
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`
+	prog := MustAssemble("b", src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(prog)
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(m.Stats.Total)
+	}
+}
+
+func BenchmarkCycleSim(b *testing.B) {
+	src := `
+.entry main
+.data
+buf: .space 8192
+.text
+main:
+    la r1, buf
+    li r2, 1000
+loop:
+    ldq r3, 0(r1)
+    addqi r3, 1, r3
+    stq r3, 0(r1)
+    addqi r1, 8, r1
+    andi r1, 8191, r4
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`
+	prog := MustAssemble("b", src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(NewMachine(prog), DefaultCPUConfig())
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+var sink float64
+
+func BenchmarkAblationRTPenalty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.AblationRTPenalty(benchOptions())
+		sink = t.Get("gmean", "150cy")
+	}
+}
+
+func BenchmarkAblationEngineMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.AblationEngineMode(benchOptions())
+		sink = t.Get("gmean", "+pipe")
+	}
+}
+
+func BenchmarkAblationRTBlock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.AblationRTBlock(benchOptions())
+		sink = t.Get("gmean", "block4")
+	}
+}

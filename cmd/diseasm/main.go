@@ -1,0 +1,92 @@
+// diseasm assembles EVR source and prints the annotated disassembly,
+// static statistics, and (optionally) the raw machine words:
+//
+//	diseasm prog.s
+//	diseasm -words prog.s
+//	diseasm -bench gzip          disassemble a synthetic benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		words = flag.Bool("words", false, "print encoded machine words")
+		bench = flag.String("bench", "", "disassemble a synthetic benchmark instead of a file")
+		stats = flag.Bool("stats", false, "print static statistics only")
+		out   = flag.String("o", "", "write an EVRX binary image instead of disassembling")
+	)
+	flag.Parse()
+
+	var p *program.Program
+	var err error
+	switch {
+	case *bench != "":
+		prof, ok := workload.ProfileByName(*bench)
+		if !ok {
+			fail(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		p, err = prof.Generate()
+	case flag.NArg() == 1:
+		p, err = asm.LoadFile(flag.Arg(0))
+	default:
+		fail(fmt.Errorf("usage: diseasm [-words|-stats|-o out.evrx] <file.s|file.evrx> | -bench <name>"))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := p.WriteImage(f); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s: %d units, %d text bytes\n", *out, p.NumUnits(), p.TextBytes())
+		return
+	}
+
+	if *stats {
+		printStats(p)
+		return
+	}
+	if *words {
+		ws, err := p.EncodeText()
+		if err != nil {
+			fail(err)
+		}
+		for i, w := range ws {
+			fmt.Printf("%6d %08x  %v\n", i, w, p.Text[i])
+		}
+		return
+	}
+	fmt.Print(asm.Disassemble(p))
+}
+
+func printStats(p *program.Program) {
+	fmt.Printf("%s: %d units, %d text bytes, %d data bytes, %d symbols, %d blocks\n",
+		p.Name, p.NumUnits(), p.TextBytes(), len(p.Data), len(p.Symbols), len(p.BasicBlocks()))
+	mix := p.StaticMix()
+	for _, c := range []isa.Class{isa.ClassLoad, isa.ClassStore, isa.ClassCondBr,
+		isa.ClassUncondBr, isa.ClassJump, isa.ClassIntOp, isa.ClassSpecial} {
+		if mix[c] > 0 {
+			fmt.Printf("  %-8s %6d (%.1f%%)\n", c, mix[c], 100*float64(mix[c])/float64(p.NumUnits()))
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "diseasm: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// disebench regenerates the paper's evaluation: every graph of Figures 6, 7
+// and 8, printed as one table per graph (rows = benchmarks, columns =
+// configurations, values normalized as in the paper).
+//
+//	disebench                 full run (all 10 benchmarks, default scale)
+//	disebench -quick          3 benchmarks at reduced dynamic length
+//	disebench -fig 7          only Figure 7
+//	disebench -benchmarks gcc,mcf -scale 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "small benchmark subset at reduced scale")
+		fig    = flag.Int("fig", 0, "run only one figure (6, 7 or 8)")
+		ablate = flag.Bool("ablate", false, "run the extension ablations instead of the paper figures")
+		benchs = flag.String("benchmarks", "", "comma-separated benchmark subset")
+		scale  = flag.Int("scale", 0, "dynamic-length target in K instructions (0 = profile default)")
+		quiet  = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	o := experiments.Options{DynScaleK: *scale}
+	if !*quiet {
+		o.Log = os.Stderr
+	}
+	if *quick {
+		o.Benchmarks = []string{"bzip2", "gzip", "mcf"}
+		if o.DynScaleK == 0 {
+			o.DynScaleK = 80
+		}
+	}
+	if *benchs != "" {
+		o.Benchmarks = strings.Split(*benchs, ",")
+	}
+
+	w := os.Stdout
+	if *ablate {
+		fmt.Fprintln(w, experiments.AblationRTPenalty(o))
+		fmt.Fprintln(w, experiments.AblationRTBlock(o))
+		fmt.Fprintln(w, experiments.AblationEngineMode(o))
+		return
+	}
+	switch *fig {
+	case 0:
+		experiments.All(o, w)
+	case 6:
+		fmt.Fprintln(w, experiments.Fig6Formulation(o))
+		fmt.Fprintln(w, experiments.Fig6CacheSize(o))
+		fmt.Fprintln(w, experiments.Fig6Width(o))
+	case 7:
+		text, total := experiments.Fig7Compression(o)
+		fmt.Fprintln(w, text)
+		fmt.Fprintln(w, total)
+		fmt.Fprintln(w, experiments.Fig7Performance(o))
+		fmt.Fprintln(w, experiments.Fig7RTSize(o))
+	case 8:
+		fmt.Fprintln(w, experiments.Fig8Combos(o))
+		fmt.Fprintln(w, experiments.Fig8RT(o))
+	default:
+		fmt.Fprintf(os.Stderr, "disebench: unknown -fig %d\n", *fig)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,110 @@
+// disec compresses an EVR program and reports the paper's Figure 7 metrics:
+// compressed text size, dictionary size, entry/codeword counts — for any of
+// the feature-ladder configurations, or all of them:
+//
+//	disec -bench gcc                  full DISE compression
+//	disec -bench gcc -config dedicated
+//	disec -bench gcc -ladder          the whole Figure 7a feature ladder
+//	disec -src prog.s -dict           also dump the dictionary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/acf/compress"
+	"repro/internal/asm"
+	"repro/internal/program"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		src    = flag.String("src", "", "assembly source file")
+		bench  = flag.String("bench", "", "synthetic benchmark name")
+		config = flag.String("config", "DISE", "configuration: dedicated, -1insn, -2byteCW, +8byteDE, +3param, DISE")
+		ladder = flag.Bool("ladder", false, "run the whole Figure 7a feature ladder")
+		dict   = flag.Bool("dict", false, "dump the dictionary entries")
+		out    = flag.String("o", "", "output prefix: writes <prefix>.evrx (image) and <prefix>.dise (dictionary)")
+	)
+	flag.Parse()
+
+	p, err := load(*src, *bench)
+	if err != nil {
+		fail(err)
+	}
+
+	if *ladder {
+		fmt.Printf("%-12s %8s %8s %8s %8s %8s\n", "config", "text", "dict", "total", "entries", "cwords")
+		for _, step := range compress.Ladder() {
+			res, err := compress.Compress(p, step.Cfg)
+			if err != nil {
+				fail(err)
+			}
+			s := res.Stats
+			fmt.Printf("%-12s %8.3f %8.3f %8.3f %8d %8d\n",
+				step.Name, s.Ratio(), float64(s.DictBytes)/float64(s.OrigBytes), s.TotalRatio(), s.Entries, s.Codewords)
+		}
+		return
+	}
+
+	var cfg compress.Config
+	found := false
+	for _, step := range compress.Ladder() {
+		if step.Name == *config {
+			cfg, found = step.Cfg, true
+		}
+	}
+	if !found {
+		fail(fmt.Errorf("unknown -config %q", *config))
+	}
+	res, err := compress.Compress(p, cfg)
+	if err != nil {
+		fail(err)
+	}
+	s := res.Stats
+	fmt.Printf("%s: %d -> %d text bytes (ratio %.3f), dictionary %d bytes (%d entries), %d codewords\n",
+		p.Name, s.OrigBytes, s.TextBytes, s.Ratio(), s.DictBytes, s.Entries, s.Codewords)
+	if *out != "" {
+		img, err := os.Create(*out + ".evrx")
+		if err != nil {
+			fail(err)
+		}
+		if err := res.Prog.WriteImage(img); err != nil {
+			fail(err)
+		}
+		img.Close()
+		if err := os.WriteFile(*out+".dise", []byte(res.ProductionText()), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s.evrx and %s.dise\n", *out, *out)
+	}
+	if *dict {
+		for i, e := range res.Dict {
+			fmt.Printf("-- entry %d (%d insts)\n", i, len(e.Insts))
+			for d, ri := range e.Insts {
+				fmt.Printf("   %d: %s\n", d, ri.String())
+			}
+		}
+	}
+}
+
+func load(src, bench string) (*program.Program, error) {
+	switch {
+	case src != "":
+		return asm.LoadFile(src)
+	case bench != "":
+		p, ok := workload.ProfileByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", bench)
+		}
+		return p.Generate()
+	}
+	return nil, fmt.Errorf("give -src <file> or -bench <name>")
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "disec: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// disedbg is an interactive machine-level debugger whose watchpoints are
+// DISE productions (paper §3.1, "code assertions"): the check is inlined
+// into the instruction stream, the program runs at full speed between hits,
+// and a hit stops the machine *before* the offending store executes.
+//
+//	disedbg prog.s
+//	disedbg -bench mcf
+//
+// Commands: s [n], c, r, m <addr> [n], w <addr>|-, t, d, restart, q.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/debug"
+	"repro/internal/program"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "debug a synthetic benchmark instead of a file")
+	flag.Parse()
+
+	var p *program.Program
+	var err error
+	switch {
+	case *bench != "":
+		prof, ok := workload.ProfileByName(*bench)
+		if !ok {
+			fail(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		p, err = prof.Generate()
+	case flag.NArg() == 1:
+		p, err = asm.LoadFile(flag.Arg(0))
+	default:
+		fail(fmt.Errorf("usage: disedbg <file.s|file.evrx> | -bench <name>"))
+	}
+	if err != nil {
+		fail(err)
+	}
+	if err := debug.New(p).Run(os.Stdin, os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "disedbg: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,180 @@
+// disesim runs an EVR program — from an assembly file or a named synthetic
+// benchmark — on the cycle-level simulator, optionally under DISE ACFs:
+//
+//	disesim -bench gzip                         plain run
+//	disesim -src prog.s -mfi dise3              fault isolation via DISE
+//	disesim -bench gcc -mfi rewrite             fault isolation via rewriting
+//	disesim -bench gcc -compress -mfi dise3     composed decompression + MFI
+//	disesim -bench vpr -icache 8 -width 8       machine configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/acf/compose"
+	"repro/internal/acf/compress"
+	"repro/internal/acf/mfi"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/program"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		src      = flag.String("src", "", "assembly source file")
+		bench    = flag.String("bench", "", "synthetic benchmark name (e.g. gzip; see -list)")
+		list     = flag.Bool("list", false, "list benchmark names and exit")
+		mfiMode  = flag.String("mfi", "", "memory fault isolation: dise3, dise4, sandbox, or rewrite")
+		comp     = flag.Bool("compress", false, "DISE-compress the program and decompress at fetch")
+		icacheKB = flag.Int("icache", 32, "I-cache size in KB (0 = perfect)")
+		width    = flag.Int("width", 4, "machine width")
+		mode     = flag.String("mode", "free", "DISE decoder integration: free, stall, pipe")
+		prods    = flag.String("prods", "", "production file to install (e.g. a disec dictionary)")
+		rtSize   = flag.Int("rt", 0, "RT entries (0 = perfect RT)")
+		rtAssoc  = flag.Int("rt-assoc", 2, "RT associativity")
+		verbose  = flag.Bool("v", false, "print program statistics")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	prog, err := loadProgram(*src, *bench)
+	if err != nil {
+		fail(err)
+	}
+
+	ecfg := core.DefaultEngineConfig()
+	if *rtSize > 0 {
+		ecfg.RTEntries = *rtSize
+		ecfg.RTAssoc = *rtAssoc
+	} else {
+		ecfg.RTPerfect = true
+	}
+
+	ccfg := cpu.DefaultConfig()
+	ccfg.Width = *width
+	if *icacheKB == 0 {
+		ccfg.Mem.IL1.Perfect = true
+	} else {
+		ccfg.Mem.IL1.Size = *icacheKB << 10
+	}
+	switch *mode {
+	case "free":
+	case "stall":
+		ccfg.DiseMode = cpu.DiseStall
+	case "pipe":
+		ccfg.DiseMode = cpu.DisePipe
+	default:
+		fail(fmt.Errorf("unknown -mode %q", *mode))
+	}
+
+	ctrl := core.NewController(ecfg)
+	needDise := false
+
+	switch *mfiMode {
+	case "", "none":
+	case "rewrite":
+		if prog, err = mfi.Rewrite(prog); err != nil {
+			fail(err)
+		}
+	case "dise3", "dise4", "sandbox":
+		v := map[string]mfi.Variant{"dise3": mfi.DISE3, "dise4": mfi.DISE4, "sandbox": mfi.Sandbox}[*mfiMode]
+		prods, err := mfi.Install(ctrl, v)
+		if err != nil {
+			fail(err)
+		}
+		needDise = true
+		if *comp {
+			ctrl.SetComposer(compose.Composer(prods))
+		}
+	default:
+		fail(fmt.Errorf("unknown -mfi %q", *mfiMode))
+	}
+
+	if *prods != "" {
+		text, err := os.ReadFile(*prods)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := ctrl.InstallFile(string(text), nil); err != nil {
+			fail(err)
+		}
+		needDise = true
+	}
+
+	var cres *compress.Result
+	if *comp {
+		if cres, err = compress.Compress(prog, compress.DiseFull()); err != nil {
+			fail(err)
+		}
+		if _, err = cres.Install(ctrl); err != nil {
+			fail(err)
+		}
+		prog = cres.Prog
+		needDise = true
+	}
+
+	if *verbose {
+		fmt.Printf("program: %s, %d units, %d text bytes, %d data bytes\n",
+			prog.Name, prog.NumUnits(), prog.TextBytes(), len(prog.Data))
+		if cres != nil {
+			fmt.Printf("compression: ratio %.3f (+dict %.3f), %d entries, %d codewords\n",
+				cres.Stats.Ratio(), cres.Stats.TotalRatio(), cres.Stats.Entries, cres.Stats.Codewords)
+		}
+	}
+
+	m := emu.New(prog)
+	if needDise {
+		m.SetExpander(ctrl.Engine())
+		mfi.Setup(m)
+	}
+	res := cpu.Run(m, ccfg)
+	if res.Err != nil {
+		fmt.Fprintf(os.Stderr, "disesim: execution stopped: %v\n", res.Err)
+	}
+	if res.Output != "" {
+		fmt.Printf("output: %s\n", res.Output)
+	}
+	fmt.Printf("cycles:        %d\n", res.Cycles)
+	fmt.Printf("app insts:     %d (IPC %.2f)\n", res.AppInsts, res.IPC())
+	fmt.Printf("total insts:   %d (%d inserted by expansion)\n", res.Insts, res.Emu.ReplInsts)
+	fmt.Printf("icache misses: %d\n", res.ICacheMisses)
+	fmt.Printf("dcache misses: %d\n", res.DCacheMisses)
+	fmt.Printf("mispredicts:   %d\n", res.Mispredicts)
+	if needDise {
+		st := ctrl.Engine().Stats
+		fmt.Printf("expansions:    %d (%.1f%% of fetches), RT misses %d, stall cycles %d\n",
+			st.Expansions, 100*st.ExpansionRate(), st.RTMisses, res.DiseStalls)
+	}
+}
+
+func loadProgram(src, bench string) (*program.Program, error) {
+	switch {
+	case src != "" && bench != "":
+		return nil, fmt.Errorf("give either -src or -bench, not both")
+	case src != "":
+		return asm.LoadFile(src)
+	case bench != "":
+		p, ok := workload.ProfileByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q (try -list)", bench)
+		}
+		return p.Generate()
+	default:
+		return nil, fmt.Errorf("give -src <file> or -bench <name>")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "disesim: %v\n", err)
+	os.Exit(1)
+}

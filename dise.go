@@ -1,0 +1,130 @@
+// Package dise is the public facade of the DISE reproduction: dynamic
+// instruction stream editing (Corliss, Lewis & Roth, ISCA 2003) implemented
+// over a from-scratch Alpha-like ISA, functional emulator, and cycle-level
+// superscalar simulator.
+//
+// The facade re-exports the pieces a typical user composes:
+//
+//   - the DISE controller/engine (internal/core): install productions,
+//     expand fetch streams;
+//   - the toolchain (internal/asm, internal/program): assemble and inspect
+//     EVR programs;
+//   - the machines (internal/emu, internal/cpu): functional execution and
+//     cycle-level timing;
+//   - the ACF library (internal/acf/...): memory fault isolation, dynamic
+//     code (de)compression, tracing/profiling, and ACF composition;
+//   - the evaluation (internal/workload, internal/experiments): the
+//     SPEC2000-integer-like benchmark generator and the harnesses that
+//     regenerate every figure of the paper.
+//
+// Quickstart:
+//
+//	prog := dise.MustAssemble("hello", src)
+//	ctrl := dise.NewController(dise.DefaultEngineConfig())
+//	ctrl.InstallFile(myProductions, nil)
+//	m := dise.NewMachine(prog)
+//	m.SetExpander(ctrl.Engine())
+//	res := dise.Run(m, dise.DefaultCPUConfig())
+package dise
+
+import (
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Core DISE types (paper §2).
+type (
+	// Controller mediates PT/RT programming and virtualization.
+	Controller = core.Controller
+	// Engine applies productions to the fetch stream.
+	Engine = core.Engine
+	// EngineConfig sizes the PT/RT and fixes miss penalties.
+	EngineConfig = core.EngineConfig
+	// Pattern is a pattern specification.
+	Pattern = core.Pattern
+	// Replacement is a parameterized replacement sequence.
+	Replacement = core.Replacement
+	// ReplInst is a single replacement instruction template.
+	ReplInst = core.ReplInst
+	// RegField / ImmField are template field descriptors.
+	RegField = core.RegField
+	ImmField = core.ImmField
+	// Production binds a pattern to replacement sequence(s).
+	Production = core.Production
+	// Expansion is the engine's output for one trigger.
+	Expansion = core.Expansion
+	// Composer hooks RT-miss-time ACF composition.
+	Composer = core.Composer
+)
+
+// Toolchain and machine types.
+type (
+	// Program is an EVR executable image.
+	Program = program.Program
+	// Machine is the functional emulator.
+	Machine = emu.Machine
+	// DynInst is one executed dynamic instruction, tagged PC:DISEPC.
+	DynInst = emu.DynInst
+	// CPUConfig parameterizes the cycle-level core.
+	CPUConfig = cpu.Config
+	// Result reports a timed run.
+	Result = cpu.Result
+)
+
+// NewController creates a DISE controller and its engine.
+func NewController(cfg EngineConfig) *Controller { return core.NewController(cfg) }
+
+// DefaultEngineConfig is the paper's §4 DISE mechanism: 32 PT entries, a
+// 2K-entry 2-way RT, 30-cycle misses, 150-cycle composing misses.
+func DefaultEngineConfig() EngineConfig { return core.DefaultEngineConfig() }
+
+// ParseProductions parses production-language text.
+func ParseProductions(src string) ([]*core.ParsedProduction, error) {
+	return core.ParseProductions(src)
+}
+
+// ParseProductionsOrDie parses known-good production text; it panics on
+// error (for examples and tests).
+func ParseProductionsOrDie(src string) []*core.ParsedProduction {
+	return core.MustParseProductions(src)
+}
+
+// Assemble translates EVR assembly into a program.
+func Assemble(name, src string) (*Program, error) { return asm.Assemble(name, src) }
+
+// MustAssemble is Assemble for known-good sources.
+func MustAssemble(name, src string) *Program { return asm.MustAssemble(name, src) }
+
+// Disassemble renders a program as annotated assembly.
+func Disassemble(p *Program) string { return asm.Disassemble(p) }
+
+// NewMachine loads a program into a fresh functional machine.
+func NewMachine(p *Program) *Machine { return emu.New(p) }
+
+// Run times a machine to completion on the cycle-level core.
+func Run(m *Machine, cfg CPUConfig) *Result { return cpu.Run(m, cfg) }
+
+// DefaultCPUConfig is the paper's simulated core: 4-wide, 12-stage,
+// 128-entry ROB, 32KB L1s, 1MB L2.
+func DefaultCPUConfig() CPUConfig { return cpu.DefaultConfig() }
+
+// Decoder integration options for the DISE engine (paper §4.1).
+const (
+	DiseFree  = cpu.DiseFree
+	DiseStall = cpu.DiseStall
+	DisePipe  = cpu.DisePipe
+)
+
+// LitField returns a literal register field for hand-built templates.
+func LitField(r isa.Reg) core.RegField { return core.Lit(r) }
+
+// TRegField returns a trigger-copy register field (core.RegTRS/RegTRT/RegTRD,
+// a.k.a. codeword parameters T.P1/T.P2/T.P3).
+func TRegField(d core.RegDir) core.RegField { return core.TReg(d) }
+
+// ImmLit returns a literal immediate field for hand-built templates.
+func ImmLit(v int64) core.ImmField { return core.ImmField{Dir: core.ImmLit, Lit: v} }

@@ -1,0 +1,185 @@
+package dise
+
+// Facade-level tests: the public API end to end, plus the paper's headline
+// qualitative claims verified as assertions on reduced-scale experiment runs.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	prog, err := Assemble("t", `
+.entry main
+.data
+x: .quad 5
+.text
+main:
+    la r1, x
+    ldq r2, 0(r1)
+    addq r2, r2, r2
+    stq r2, 0(r1)
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := NewController(DefaultEngineConfig())
+	if _, err := ctrl.InstallFile(`
+prod count {
+    match class == store
+    replace {
+        lda $dr0, 1($dr0)
+        %insn
+    }
+}
+`, nil); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(prog)
+	m.SetExpander(ctrl.Engine())
+	res := Run(m, DefaultCPUConfig())
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Insts != res.AppInsts+1 {
+		t.Errorf("one replacement instruction expected: %d vs %d", res.Insts, res.AppInsts)
+	}
+	if got := m.Mem().Read64(m.Reg(1)); got != 10 {
+		t.Errorf("x = %d, want 10", got)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	prog := MustAssemble("t", ".entry main\nmain:\n addq r1, r2, r3\n halt\n")
+	out := Disassemble(prog)
+	if out == "" {
+		t.Fatal("empty disassembly")
+	}
+}
+
+// The reduced-scale option set shared by the claim tests.
+func claimOptions() experiments.Options {
+	return experiments.Options{Benchmarks: []string{"bzip2", "gzip", "mcf"}, DynScaleK: 60}
+}
+
+func colMean(tb *stats.Table, col string) float64 { return tb.Get("gmean", col) }
+
+// Paper §4.1: "DISE memory fault isolation degrades application performance
+// less than the corresponding binary rewriting implementations", DISE3
+// executes fewer instructions than DISE4, and the free implementations beat
+// the realistic ones.
+func TestClaimFig6Formulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	tb := experiments.Fig6Formulation(claimOptions())
+	rw, d3, d4 := colMean(tb, "rewrite"), colMean(tb, "DISE3"), colMean(tb, "DISE4")
+	stall, pipe := colMean(tb, "stall"), colMean(tb, "+pipe")
+	if !(d3 < rw) {
+		t.Errorf("DISE3 (%.3f) should beat rewriting (%.3f)", d3, rw)
+	}
+	if !(d3 < d4) {
+		t.Errorf("DISE3 (%.3f) should beat DISE4 (%.3f)", d3, d4)
+	}
+	if !(d4 <= rw*1.02) {
+		t.Errorf("DISE4 (%.3f) should not lose to rewriting (%.3f): identical retired streams, no cache bloat", d4, rw)
+	}
+	if stall < d3 || pipe < d3 {
+		t.Errorf("realistic decoders (stall %.3f, pipe %.3f) cannot beat free DISE3 (%.3f)", stall, pipe, d3)
+	}
+}
+
+// Paper §4.1: DISE's advantage over rewriting grows as caches shrink and
+// machines widen.
+func TestClaimFig6Trends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	tb := experiments.Fig6CacheSize(claimOptions())
+	gapSmall := colMean(tb, "rw-8K") - colMean(tb, "dise-8K")
+	gapPerf := colMean(tb, "rw-perf") - colMean(tb, "dise-perf")
+	if !(gapSmall > gapPerf) {
+		t.Errorf("DISE advantage at 8K (%.3f) should exceed advantage at perfect I$ (%.3f)", gapSmall, gapPerf)
+	}
+	tw := experiments.Fig6Width(claimOptions())
+	gap2 := colMean(tw, "rw-2w") - colMean(tw, "dise-2w")
+	gap8 := colMean(tw, "rw-8w") - colMean(tw, "dise-8w")
+	if !(gap8 > gap2*0.8) {
+		t.Errorf("DISE advantage should not collapse with width: 2w gap %.3f, 8w gap %.3f", gap2, gap8)
+	}
+}
+
+// Paper §4.2 Figure 7a: the feature ladder — dedicated beats its own
+// stripped variants; parameterization recovers the loss; branch compression
+// makes full DISE the best.
+func TestClaimFig7Ladder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	text, _ := experiments.Fig7Compression(claimOptions())
+	ded := colMean(text, "dedicated")
+	no1 := colMean(text, "-1insn")
+	noCW := colMean(text, "-2byteCW")
+	de8 := colMean(text, "+8byteDE")
+	par := colMean(text, "+3param")
+	full := colMean(text, "DISE")
+	for _, c := range []struct {
+		a, b   float64
+		an, bn string
+	}{
+		{ded, no1, "dedicated", "-1insn"},
+		{no1, noCW, "-1insn", "-2byteCW"},
+		{noCW, de8, "-2byteCW", "+8byteDE"},
+		{par, de8, "+3param", "+8byteDE"},
+		{full, par, "DISE", "+3param"},
+		{full, ded, "DISE", "dedicated"},
+	} {
+		if !(c.a < c.b) {
+			t.Errorf("%s (%.3f) should compress better than %s (%.3f)", c.an, c.a, c.bn, c.b)
+		}
+	}
+}
+
+// Paper §4.2: decompression recovers small-I-cache losses; 2K RTs are near
+// perfect while 512-entry RTs hurt large-production-working-set benchmarks.
+func TestClaimFig7Performance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	tb := experiments.Fig7Performance(claimOptions())
+	if raw, comp := tb.Get("gzip", "raw-8K"), tb.Get("gzip", "dise-8K"); !(comp < raw) {
+		t.Errorf("compression should speed gzip up at 8KB: %.3f vs %.3f", comp, raw)
+	}
+	rt := experiments.Fig7RTSize(claimOptions())
+	if v := colMean(rt, "2K-2way"); v > 1.08 {
+		t.Errorf("2K 2-way RT should be near perfect, got %.3f", v)
+	}
+	if small, big := rt.Get("mcf", "512-dm"), rt.Get("gzip", "512-dm"); !(big > small) {
+		t.Errorf("512-entry RT should hurt gzip (%.3f) more than mcf (%.3f)", big, small)
+	}
+}
+
+// Paper §4.3: the DISE+DISE combination dominates the rewriting-based
+// combinations, and composition latency punishes small RTs.
+func TestClaimFig8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	tb := experiments.Fig8Combos(claimOptions())
+	dd := colMean(tb, "dise+dise-32K")
+	rd := colMean(tb, "rw+ded-32K")
+	rD := colMean(tb, "rw+dise-32K")
+	if !(dd < rd && dd < rD) {
+		t.Errorf("DISE+DISE (%.3f) should beat rw+ded (%.3f) and rw+DISE (%.3f)", dd, rd, rD)
+	}
+	rt := experiments.Fig8RT(claimOptions())
+	if fast, slow := colMean(rt, "512-dm-30"), colMean(rt, "512-dm-150"); !(slow > fast) {
+		t.Errorf("composition latency should amplify 512-entry RT cost: %.3f vs %.3f", slow, fast)
+	}
+	if v := colMean(rt, "2K-2way-150"); v > 1.15 {
+		t.Errorf("2K 2-way RT should absorb composition well, got %.3f", v)
+	}
+}

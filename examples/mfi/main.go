@@ -1,0 +1,106 @@
+// Memory fault isolation (paper §3.1): an "untrusted module" computes a
+// store address from unvalidated input. Without protection the wild store
+// silently lands outside the module's data segment; with DISE segment
+// matching the access is caught before it executes — at a fraction of the
+// cost of the binary-rewriting implementation.
+//
+//	go run ./examples/mfi
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/acf/mfi"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+
+	dise "repro"
+)
+
+// The module hashes "input" values into a table; an attacker-controlled
+// value (r9) sends one store far outside the table.
+const module = `
+.entry main
+.data
+table: .space 4096
+.text
+main:
+    la r1, table
+    li r2, 4000        ; honest iterations
+    li r9, 0           ; attacker-controlled offset (honest = 0)
+loop:
+    andi r2, 63, r3
+    slli r3, 3, r3
+    addq r1, r3, r4
+    addq r4, r9, r4    ; "hash": wild when r9 is huge
+    stq r2, 0(r4)
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`
+
+func run(attack bool, protect string) (*cpu.Result, error) {
+	prog := dise.MustAssemble("module", module)
+	if protect == "rewrite" {
+		var err error
+		if prog, err = mfi.Rewrite(prog); err != nil {
+			return nil, err
+		}
+	}
+	m := dise.NewMachine(prog)
+	if protect == "dise" {
+		ctrl := dise.NewController(dise.DefaultEngineConfig())
+		if _, err := mfi.Install(ctrl, mfi.DISE3); err != nil {
+			return nil, err
+		}
+		m.SetExpander(ctrl.Engine())
+		mfi.Setup(m)
+	}
+	if attack {
+		// Corrupt the attacker-controlled input by patching the immediate
+		// of "li r9, 0": the stores now land in a foreign segment. (The
+		// emulator executes decoded instructions, so the demo can use a
+		// wide immediate directly.)
+		for i := range prog.Text {
+			in := &prog.Text[i]
+			if in.Op.String() == "lda" && in.RD == 9 && in.RS == 31 {
+				in.Imm = 3 << 26 // segment 5: far outside the module
+			}
+		}
+	}
+	res := dise.Run(m, dise.DefaultCPUConfig())
+	return res, res.Err
+}
+
+func main() {
+	fmt.Println("-- honest module, no protection")
+	res, err := run(false, "")
+	fmt.Printf("   cycles %d, err=%v\n", res.Cycles, err)
+	base := res.Cycles
+
+	fmt.Println("-- attacked module, no protection: the wild store SUCCEEDS")
+	res, err = run(true, "")
+	fmt.Printf("   cycles %d, err=%v (memory silently corrupted)\n", res.Cycles, err)
+
+	fmt.Println("-- attacked module, DISE segment matching")
+	_, err = run(true, "dise")
+	if errors.Is(err, emu.ErrACFViolation) {
+		fmt.Println("   caught: store blocked before execution, module terminated")
+	} else {
+		fmt.Printf("   UNEXPECTED: %v\n", err)
+	}
+
+	fmt.Println("-- overhead comparison on the honest module")
+	d, err := run(false, "dise")
+	if err != nil {
+		panic(err)
+	}
+	r, err := run(false, "rewrite")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("   unprotected %6d cycles (1.00x)\n", base)
+	fmt.Printf("   DISE3       %6d cycles (%.2fx)\n", d.Cycles, float64(d.Cycles)/float64(base))
+	fmt.Printf("   rewriting   %6d cycles (%.2fx)\n", r.Cycles, float64(r.Cycles)/float64(base))
+}

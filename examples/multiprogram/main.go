@@ -1,0 +1,127 @@
+// Multiprogramming (paper §2.3): the OS kernel virtualizes DISE. Two
+// processes time-share one engine; a system-wide fault-isolation ACF
+// (kernel-approved) covers both, while a user-installed store counter is
+// confined to its owner — its productions deactivate whenever the owner is
+// switched out, and the dedicated registers are saved and restored like
+// any other process state.
+//
+//	go run ./examples/multiprogram
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/acf/mfi"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+
+	dise "repro"
+)
+
+const worker = `
+.entry main
+.data
+buf: .space 1024
+.text
+main:
+    la r1, buf
+    li r2, 120
+loop:
+    stq r2, 0(r1)
+    andi r2, 127, r3
+    slli r3, 3, r3
+    addq r1, r3, r4
+    ldq r5, 0(r4)
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`
+
+const rogue = `
+.entry main
+main:
+    li r2, 80
+loop:
+    subqi r2, 1, r2
+    bgt r2, loop
+    li r1, 1
+    li r2, 12345     ; segment 0
+    stq r1, 0(r2)    ; escape attempt
+    halt
+`
+
+func main() {
+	k := kernel.New(dise.NewController(dise.DefaultEngineConfig()), kernel.ApproveTransparentOnly)
+
+	// The OS vendor's system utility: fault isolation for everyone.
+	if err := k.Install(&kernel.ACF{
+		Name:  "mfi",
+		Src:   mfi.Productions(mfi.DISE3),
+		Setup: mfi.Setup,
+	}, kernel.ScopeSystem, 0); err != nil {
+		panic(err)
+	}
+
+	honest := k.Spawn(dise.MustAssemble("honest", worker))
+	attacker := k.Spawn(dise.MustAssemble("attacker", rogue))
+
+	// The honest process privately installs a branch profiler. (A pattern
+	// disjoint from MFI's: two transparent ACFs with *overlapping* patterns
+	// must be composed — see examples/profiling and internal/acf/compose.)
+	if err := k.Install(&kernel.ACF{
+		Name: "count",
+		Src: `
+prod count {
+    match class == condbr
+    replace {
+        lda $dr0, 1($dr0)
+        %insn
+    }
+}`,
+	}, kernel.ScopeProcess, honest.PID); err != nil {
+		panic(err)
+	}
+
+	// Round-robin scheduling, 50 dynamic instructions per slice.
+	fmt.Println("scheduling two processes over one DISE engine:")
+	var attackerErr error
+	for slice := 0; ; slice++ {
+		ran := false
+		for _, p := range []*kernel.Process{honest, attacker} {
+			if p.Machine.Done() {
+				continue
+			}
+			ran = true
+			if err := k.Switch(p.PID); err != nil {
+				panic(err)
+			}
+			if _, err := k.RunSlice(50); err != nil && p == attacker {
+				attackerErr = err
+			}
+		}
+		if !ran {
+			break
+		}
+	}
+
+	if err := k.Switch(honest.PID); err != nil {
+		panic(err)
+	}
+	fmt.Printf("  honest process: finished, privately counted %d branches in $dr0\n",
+		honest.Machine.Reg(isa.RegDR0))
+	if errors.Is(attackerErr, emu.ErrACFViolation) {
+		fmt.Println("  attacker:       killed by the system-wide fault isolation ACF")
+	} else {
+		fmt.Printf("  attacker:       UNEXPECTED result %v\n", attackerErr)
+	}
+	fmt.Printf("  attacker's view of $dr0 at death: %d (the counter was never active for it)\n",
+		attacker.Machine.Reg(isa.RegDR0))
+
+	st := k.Controller().Engine().Stats
+	fmt.Printf("\nengine totals across both processes: %d fetches, %d expansions\n",
+		st.Fetched, st.Expansions)
+	_ = core.DefaultEngineConfig
+}

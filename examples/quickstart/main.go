@@ -1,0 +1,83 @@
+// Quickstart: define a transparent production in the DISE production
+// language, install it, and watch the engine macro-expand the fetch stream.
+//
+// The ACF here is a tiny store counter: every store is expanded into
+// "count += 1; store" using a dedicated register invisible to the program.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+
+	dise "repro"
+)
+
+const program = `
+.entry main
+.data
+buf: .space 64
+.text
+main:
+    la r1, buf
+    li r2, 4
+loop:
+    stq r2, 0(r1)
+    addqi r1, 8, r1
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`
+
+// countStores increments dedicated register $dr0 before every store. The
+// application cannot see or forge $dr0 (paper §2.1, dedicated registers).
+const countStores = `
+prod count_stores {
+    match class == store
+    replace {
+        lda $dr0, 1($dr0)
+        %insn
+    }
+}
+`
+
+func main() {
+	prog := dise.MustAssemble("quickstart", program)
+	fmt.Println("program:")
+	fmt.Println(dise.Disassemble(prog))
+
+	ctrl := dise.NewController(dise.DefaultEngineConfig())
+	if _, err := ctrl.InstallFile(countStores, nil); err != nil {
+		panic(err)
+	}
+	fmt.Println("installed productions:")
+	fmt.Println(ctrl.Describe())
+
+	m := dise.NewMachine(prog)
+	m.SetExpander(ctrl.Engine())
+
+	fmt.Println("dynamic stream (PC:DISEPC | instruction):")
+	for i := 0; ; i++ {
+		d, ok := m.Step()
+		if !ok {
+			break
+		}
+		tag := "  "
+		if d.FromRT {
+			tag = "rt" // spliced in by DISE, never fetched from memory
+		}
+		if i < 14 {
+			fmt.Printf("  %08x:%d %s  %v\n", d.PC, d.DISEPC, tag, d.Inst)
+		}
+	}
+	if err := m.Err(); err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("\nstores counted in $dr0: %d\n", m.Reg(isa.RegDR0))
+	st := ctrl.Engine().Stats
+	fmt.Printf("engine: %d fetches inspected, %d expansions (%.0f%%)\n",
+		st.Fetched, st.Expansions, 100*st.ExpansionRate())
+}

@@ -1,0 +1,290 @@
+// Package compose implements ACF composition (paper §3.3). Composition is
+// software: productions are combined by manipulating replacement-sequence
+// templates, never by re-expanding at runtime (the engine never re-expands
+// its own output).
+//
+// Nested composition — X within Y, yielding Y(X(application)) semantics —
+// is "replacement sequence inlining": X's productions are executed on Y's
+// replacement sequence templates, substituting X's trigger-field directives
+// with Y's field descriptors. Non-nested composition merges the replacement
+// sequences of overlapping patterns around a single trigger instance; as
+// the paper notes, it is not always possible, and Merge reports when it
+// is not.
+package compose
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// subst maps an inner-trigger field directive to the outer template's field
+// descriptor: inlining "srli %rs, 26, $dr1" into the template
+// "stq %p2, %p23($dr0)" turns T.RS into the literal $dr0.
+func subst(f core.RegField, outer core.ReplInst) core.RegField {
+	switch f.Dir {
+	case core.RegTRS:
+		return outer.RS
+	case core.RegTRT:
+		return outer.RT
+	case core.RegTRD:
+		return outer.RD
+	default:
+		return f
+	}
+}
+
+func substImm(f core.ImmField, outer core.ReplInst) core.ImmField {
+	switch f.Dir {
+	case core.ImmTImm:
+		return outer.Imm
+	default:
+		// Codeword-parameter immediates (ImmP*) reference the *outer
+		// trigger's* bits and pass through unchanged; literals stay.
+		return f
+	}
+}
+
+// inlineInst executes inner production templates against one outer template,
+// treating the outer template as a symbolic trigger.
+func inlineInst(inner core.ReplInst, outer core.ReplInst) core.ReplInst {
+	if inner.Trigger {
+		return outer
+	}
+	if outer.Trigger {
+		// The outer slot is T.INSN: the inner sequence's trigger-field
+		// directives already denote exactly the outer trigger's fields, so
+		// they pass through unchanged.
+		return inner
+	}
+	out := inner
+	if inner.OpFromTrigger {
+		if outer.OpFromTrigger {
+			// Still the outer trigger's opcode.
+			out.OpFromTrigger = true
+		} else {
+			out.Op = outer.Op
+			out.OpFromTrigger = false
+		}
+	}
+	out.RS = subst(inner.RS, outer)
+	out.RT = subst(inner.RT, outer)
+	out.RD = subst(inner.RD, outer)
+	out.Imm = substImm(inner.Imm, outer)
+	return out
+}
+
+// matchesTemplate decides whether a pattern matches a template instruction
+// for every possible outer trigger. Patterns constraining fields that the
+// template parameterizes cannot be decided statically and are treated as
+// non-matches (conservative: the inner ACF is not applied there).
+func matchesTemplate(p *core.Pattern, t core.ReplInst, outerPat *core.Pattern) bool {
+	op := t.Op
+	if t.Trigger || t.OpFromTrigger {
+		// The template stands for the outer trigger: decide by the outer
+		// production's own pattern when it pins the opcode or class.
+		if outerPat == nil {
+			return false
+		}
+		if outerPat.Op != isa.OpInvalid {
+			op = outerPat.Op
+		} else if outerPat.Class != isa.ClassInvalid {
+			if p.Op != isa.OpInvalid {
+				return false // exact-opcode pattern vs class-only knowledge
+			}
+			if p.Class != isa.ClassInvalid && p.Class != outerPat.Class {
+				return false
+			}
+			return regFieldsDecidable(p, t)
+		} else {
+			return false
+		}
+	}
+	if p.Op != isa.OpInvalid && p.Op != op {
+		return false
+	}
+	if p.Class != isa.ClassInvalid && p.Op == isa.OpInvalid && op.Class() != p.Class {
+		return false
+	}
+	if !regFieldsDecidable(p, t) {
+		return false
+	}
+	if p.MatchImm || p.ImmSign != 0 {
+		if t.Imm.Dir != core.ImmLit {
+			return false
+		}
+		if p.MatchImm && t.Imm.Lit != p.Imm {
+			return false
+		}
+		if p.ImmSign < 0 && t.Imm.Lit >= 0 {
+			return false
+		}
+		if p.ImmSign > 0 && t.Imm.Lit < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// regFieldsDecidable checks the pattern's register constraints against a
+// template whose fields may be parameterized.
+func regFieldsDecidable(p *core.Pattern, t core.ReplInst) bool {
+	check := func(want isa.Reg, f core.RegField) bool {
+		if want == isa.NoReg {
+			return true
+		}
+		return f.Dir == core.RegLit && f.Lit == want
+	}
+	if t.Trigger {
+		// T.INSN carries the outer trigger's fields verbatim; register
+		// constraints cannot be decided statically.
+		return p.RS == isa.NoReg && p.RT == isa.NoReg && p.RD == isa.NoReg
+	}
+	return check(p.RS, t.RS) && check(p.RT, t.RT) && check(p.RD, t.RD)
+}
+
+// Inline applies transparent productions inner to the replacement sequence
+// outer (owned by a production whose pattern is outerPat; pass nil for
+// dictionaries of literal code). It returns a new sequence in which every
+// matching template has been replaced by the inner production's sequence,
+// instantiated symbolically — the mechanism behind both
+// transparent-within-aware composition (fault-isolating decompressed code)
+// and nested transparent composition (paper Figure 5, left).
+func Inline(outer *core.Replacement, outerPat *core.Pattern, inner []*core.Production) (*core.Replacement, bool) {
+	type piece struct {
+		insts   []core.ReplInst
+		inlined bool // insts came from an inner production's sequence
+	}
+	changed := false
+	pieces := make([]piece, 0, len(outer.Insts))
+	for _, t := range outer.Insts {
+		var best *core.Production
+		bestSpec := -1
+		for _, p := range inner {
+			if !p.Transparent() || p.Repl == nil {
+				continue
+			}
+			if matchesTemplate(&p.Pattern, t, outerPat) {
+				if s := p.Pattern.Specificity(); s > bestSpec {
+					best, bestSpec = p, s
+				}
+			}
+		}
+		if best == nil {
+			pieces = append(pieces, piece{insts: []core.ReplInst{t}})
+			continue
+		}
+		changed = true
+		sub := make([]core.ReplInst, len(best.Repl.Insts))
+		for j, in := range best.Repl.Insts {
+			sub[j] = inlineInst(in, t)
+		}
+		pieces = append(pieces, piece{insts: sub, inlined: true})
+	}
+	if !changed {
+		return outer, false
+	}
+	// Re-resolve DISE branch targets: a literal target pointing at old
+	// DISEPC k now points at the start of k's piece; targets inside an
+	// inlined sub-sequence are inner-relative and shift by the piece base.
+	newStart := make([]int, len(outer.Insts)+1)
+	off := 0
+	for i := range pieces {
+		newStart[i] = off
+		off += len(pieces[i].insts)
+	}
+	newStart[len(outer.Insts)] = off
+
+	out := &core.Replacement{Name: outer.Name + "+inlined"}
+	for i := range pieces {
+		base := newStart[i]
+		for _, in := range pieces[i].insts {
+			if in.DiseBranch && in.Imm.Dir == core.ImmLit {
+				if pieces[i].inlined {
+					in.Imm.Lit += int64(base)
+				} else if t := in.Imm.Lit; t >= 0 && t <= int64(len(outer.Insts)) {
+					in.Imm.Lit = int64(newStart[t])
+				}
+			}
+			out.Insts = append(out.Insts, in)
+		}
+	}
+	return out, true
+}
+
+// InlineAll applies inner to every entry of a dictionary, returning the
+// composed dictionary. Entries that contain no triggers are shared, not
+// copied.
+func InlineAll(dict []*core.Replacement, inner []*core.Production) []*core.Replacement {
+	out := make([]*core.Replacement, len(dict))
+	for i, r := range dict {
+		out[i], _ = Inline(r, nil, inner)
+	}
+	return out
+}
+
+// Composer returns a core.Composer that inlines the transparent productions
+// inner into aware sequences on every RT miss — the client-side
+// transparent-with-aware composition of paper §3.3: the server compresses
+// an unmodified application; the client fault-isolates it as it is
+// decompressed, paying the composition latency on RT misses.
+func Composer(inner []*core.Production) core.Composer {
+	return core.ComposerFunc(func(id int, r *core.Replacement) (*core.Replacement, bool) {
+		out, changed := Inline(r, nil, inner)
+		return out, changed
+	})
+}
+
+// Merge performs non-nested composition of two replacement sequences with
+// overlapping patterns (paper Figure 5, right): a's ACF work, then b's,
+// around a single trigger instance. Both sequences must carry their trigger
+// as the final instruction, and a's DISE branches must not target its
+// trigger (they would fall into b's code) — conditions under which the
+// paper notes non-nested merging "may in fact be impossible".
+func Merge(name string, a, b *core.Replacement) (*core.Replacement, error) {
+	ta, tb := a.TriggerIndex(), b.TriggerIndex()
+	if ta != len(a.Insts)-1 || tb != len(b.Insts)-1 {
+		return nil, fmt.Errorf("compose: merge %s: both sequences must end with their trigger", name)
+	}
+	prefixA := a.Insts[:ta]
+	prefixB := b.Insts[:tb]
+	for i, in := range prefixA {
+		if in.DiseBranch && in.Imm.Dir == core.ImmLit && in.Imm.Lit >= int64(ta) {
+			return nil, fmt.Errorf("compose: merge %s: sequence %s DISE branch at %d targets its trigger; merged meaning would change",
+				name, a.Name, i)
+		}
+	}
+	out := &core.Replacement{Name: name}
+	out.Insts = append(out.Insts, prefixA...)
+	for _, in := range prefixB {
+		if in.DiseBranch && in.Imm.Dir == core.ImmLit {
+			in.Imm.Lit += int64(len(prefixA))
+		}
+		out.Insts = append(out.Insts, in)
+	}
+	out.Insts = append(out.Insts, core.TriggerInst())
+	return out, out.Validate()
+}
+
+// RenameDedicated rewrites dedicated-register uses in a sequence according
+// to the mapping (inlining "may require DISE registers to be renamed to
+// avoid conflicts" — paper §3.3).
+func RenameDedicated(r *core.Replacement, mapping map[isa.Reg]isa.Reg) *core.Replacement {
+	ren := func(f core.RegField) core.RegField {
+		if f.Dir == core.RegLit && f.Lit.IsDedicated() {
+			if to, ok := mapping[f.Lit]; ok {
+				f.Lit = to
+			}
+		}
+		return f
+	}
+	out := &core.Replacement{Name: r.Name}
+	for _, in := range r.Insts {
+		in.RS = ren(in.RS)
+		in.RT = ren(in.RT)
+		in.RD = ren(in.RD)
+		out.Insts = append(out.Insts, in)
+	}
+	return out
+}

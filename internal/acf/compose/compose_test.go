@@ -1,0 +1,466 @@
+package compose
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/acf/mfi"
+	"repro/internal/acf/monitor"
+	"repro/internal/acf/trace"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func mfiProds(t *testing.T) []*core.Production {
+	t.Helper()
+	cfg := core.DefaultEngineConfig()
+	cfg.RTPerfect = true
+	c := core.NewController(cfg)
+	prods, err := mfi.Install(c, mfi.DISE3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prods
+}
+
+func TestInlineMFIIntoLiteralStore(t *testing.T) {
+	// A dictionary entry containing a literal store gets the fault
+	// isolation check inlined around it (Figure 5, left).
+	dictEntry := &core.Replacement{Name: "e", Insts: []core.ReplInst{
+		core.FromLiteral(isa.Inst{Op: isa.OpADDQ, RS: 1, RT: 2, RD: 3}),
+		core.FromLiteral(isa.Inst{Op: isa.OpSTQ, RT: 3, RS: 4, RD: isa.NoReg, Imm: 8}),
+	}}
+	out, changed := Inline(dictEntry, nil, mfiProds(t))
+	if !changed {
+		t.Fatal("inlining should change the sequence")
+	}
+	// addq + (srl, xor, jne, store) = 5.
+	if len(out.Insts) != 5 {
+		t.Fatalf("inlined length = %d:\n%s", len(out.Insts), out.String())
+	}
+	// The inner T.RS was substituted with the store's literal base r4.
+	srl := out.Insts[1]
+	if srl.Op != isa.OpSRLI || srl.RS.Dir != core.RegLit || srl.RS.Lit != 4 {
+		t.Errorf("inlined srl = %+v", srl)
+	}
+	// The error exit jumps through the handler register, untouched.
+	jne := out.Insts[3]
+	if jne.Op != isa.OpJNE || jne.RS.Lit != isa.RegDR0+7 {
+		t.Errorf("inlined jne = %+v", jne)
+	}
+	// The inner T.INSN became the outer store template itself.
+	if out.Insts[4].Op != isa.OpSTQ {
+		t.Errorf("trigger slot = %+v", out.Insts[4])
+	}
+}
+
+func TestInlineSubstitutesParameters(t *testing.T) {
+	// A parameterized dictionary store: stq %p2, %p23($dr0). The MFI check
+	// must check $dr0 (the template's base), not a trigger field.
+	entry := &core.Replacement{Name: "p", Insts: []core.ReplInst{
+		{Op: isa.OpSTQ, RT: core.TReg(core.RegTRT), RS: core.Lit(isa.RegDR0),
+			RD: core.Lit(isa.NoReg), Imm: core.ImmField{Dir: core.ImmP23}},
+	}}
+	out, changed := Inline(entry, nil, mfiProds(t))
+	if !changed {
+		t.Fatal("no inlining")
+	}
+	if out.Insts[0].RS.Dir != core.RegLit || out.Insts[0].RS.Lit != isa.RegDR0 {
+		t.Errorf("check reads %+v, want $dr0", out.Insts[0].RS)
+	}
+	// The store template keeps its parameter directives.
+	last := out.Insts[len(out.Insts)-1]
+	if last.RT.Dir != core.RegTRT || last.Imm.Dir != core.ImmP23 {
+		t.Errorf("store template mangled: %+v", last)
+	}
+}
+
+func TestInlineLeavesNonMatchingAlone(t *testing.T) {
+	entry := &core.Replacement{Name: "n", Insts: []core.ReplInst{
+		core.FromLiteral(isa.Inst{Op: isa.OpADDQ, RS: 1, RT: 2, RD: 3}),
+	}}
+	out, changed := Inline(entry, nil, mfiProds(t))
+	if changed || out != entry {
+		t.Error("sequence without triggers should be shared unchanged")
+	}
+}
+
+func TestComposedExecutionCatchesViolation(t *testing.T) {
+	// End-to-end: an aware "decompression" dictionary whose entry hides a
+	// wild store; composing MFI into it at RT-miss time catches it.
+	dict := []*core.Replacement{{Name: "wild", Insts: []core.ReplInst{
+		// store r1 to (r2) where the app put a wild address in r2
+		core.FromLiteral(isa.Inst{Op: isa.OpSTQ, RT: 1, RS: 2, RD: isa.NoReg, Imm: 0}),
+	}}}
+	cfg := core.DefaultEngineConfig()
+	c := core.NewController(cfg)
+	mfiP, err := mfi.Install(c, mfi.DISE3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InstallAware("decomp", core.Pattern{
+		Op: isa.OpRES0, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg}, dict); err != nil {
+		t.Fatal(err)
+	}
+	c.SetComposer(Composer(mfiP))
+
+	p := asm.MustAssemble("w", `
+.entry main
+main:
+    li r1, 7
+    li r2, 4096       ; segment 0: illegal
+    res0 0, 0, 0, #0  ; expands to the wild store
+    halt
+`)
+	m := emu.New(p)
+	m.SetExpander(c.Engine())
+	mfi.Setup(m)
+	err = m.Run()
+	if !errors.Is(err, emu.ErrACFViolation) {
+		t.Errorf("err = %v, want violation from composed check", err)
+	}
+}
+
+func TestComposedExecutionAllowsLegal(t *testing.T) {
+	dict := []*core.Replacement{{Name: "st", Insts: []core.ReplInst{
+		core.FromLiteral(isa.Inst{Op: isa.OpSTQ, RT: 1, RS: 2, RD: isa.NoReg, Imm: 0}),
+		core.FromLiteral(isa.Inst{Op: isa.OpLDQ, RD: 3, RS: 2, RT: isa.NoReg, Imm: 0}),
+	}}}
+	cfg := core.DefaultEngineConfig()
+	c := core.NewController(cfg)
+	mfiP, err := mfi.Install(c, mfi.DISE3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InstallAware("decomp", core.Pattern{
+		Op: isa.OpRES0, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg}, dict); err != nil {
+		t.Fatal(err)
+	}
+	c.SetComposer(Composer(mfiP))
+
+	p := asm.MustAssemble("w", `
+.entry main
+.data
+x: .quad 0
+.text
+main:
+    li r1, 7
+    la r2, x
+    res0 0, 0, 0, #0
+    mov r3, r1
+    sys 2
+    halt
+`)
+	m := emu.New(p)
+	m.SetExpander(c.Engine())
+	mfi.Setup(m)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output() != "7" {
+		t.Errorf("output = %q, want 7", m.Output())
+	}
+	// The composing miss was charged at the higher latency.
+	if c.Engine().Stats.Composed == 0 {
+		t.Error("composition should have been invoked on the RT miss")
+	}
+}
+
+func TestMergeFigure5(t *testing.T) {
+	// Non-nested composition of store-address tracing and fault isolation:
+	// trace the application store, fault-isolate it, but do not
+	// fault-isolate the tracing stores (Figure 5, right).
+	satProds := core.MustParseProductions(trace.StoreAddressProductions)
+	mfiProds := core.MustParseProductions(mfi.Productions(mfi.DISE3))
+	var mfiStore *core.ParsedProduction
+	for _, p := range mfiProds {
+		if p.Name == "mfi_store" {
+			mfiStore = p
+		}
+	}
+	merged, err := Merge("r4", satProds[0].Repl, mfiStore.Repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 tracing insts + 3 MFI insts + single trigger = 7 (Figure 5 right).
+	if len(merged.Insts) != 7 {
+		t.Fatalf("merged length = %d:\n%s", len(merged.Insts), merged.String())
+	}
+	// The MFI error exit survives the merge.
+	var found bool
+	for _, in := range merged.Insts {
+		if in.Op == isa.OpJNE {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("merged sequence lost the error exit")
+	}
+	if s := merged.String(); !strings.Contains(s, "%insn") {
+		t.Errorf("merged sequence has no trigger:\n%s", s)
+	}
+}
+
+func TestMergedExecution(t *testing.T) {
+	// Install the merged production and check both effects: the trace
+	// buffer records the store address, and wild stores still fault.
+	satProds := core.MustParseProductions(trace.StoreAddressProductions)
+	mfiProds := core.MustParseProductions(mfi.Productions(mfi.DISE3))
+	merged, err := Merge("sat+mfi", satProds[0].Repl, mfiProds[0].Repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultEngineConfig()
+	cfg.RTPerfect = true
+	c := core.NewController(cfg)
+	if _, err := c.InstallTransparent("sat+mfi", core.Pattern{
+		Class: isa.ClassStore, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg}, merged); err != nil {
+		t.Fatal(err)
+	}
+	p := asm.MustAssemble("w", `
+.entry main
+.data
+x: .quad 0
+buf: .space 256
+.text
+main:
+    li r1, 7
+    la r2, x
+    stq r1, 0(r2)
+    halt
+`)
+	m := emu.New(p)
+	m.SetExpander(c.Engine())
+	mfi.Setup(m)
+	bufAddr := program.DataBase + 8
+	m.SetReg(trace.BufPtrReg, bufAddr)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one application store executed; the tracing stores inside the
+	// replacement sequence are never re-expanded (paper §3.3).
+	addrs := trace.ReadTrace(m, bufAddr)
+	if len(addrs) != 1 || addrs[0] != program.DataBase {
+		t.Fatalf("trace entries = %v, want [%#x]", addrs, program.DataBase)
+	}
+	// And the store actually happened.
+	if got := m.Mem().Read64(program.DataBase); got != 7 {
+		t.Errorf("x = %d, want 7", got)
+	}
+}
+
+func TestMergeRejectsTriggerNotLast(t *testing.T) {
+	a := &core.Replacement{Name: "a", Insts: []core.ReplInst{
+		core.TriggerInst(), core.FromLiteral(isa.Nop()),
+	}}
+	b := &core.Replacement{Name: "b", Insts: []core.ReplInst{core.TriggerInst()}}
+	if _, err := Merge("x", a, b); err == nil {
+		t.Error("merge with non-final trigger should fail")
+	}
+}
+
+func TestMergeRejectsTriggerTargetingBranch(t *testing.T) {
+	a := &core.Replacement{Name: "a", Insts: []core.ReplInst{
+		{Op: isa.OpBEQ, RS: core.Lit(isa.RegDR0), RT: core.Lit(isa.NoReg), RD: core.Lit(isa.NoReg),
+			DiseBranch: true, Imm: core.ImmField{Dir: core.ImmLit, Lit: 1}},
+		core.TriggerInst(),
+	}}
+	b := &core.Replacement{Name: "b", Insts: []core.ReplInst{
+		core.FromLiteral(isa.Nop()), core.TriggerInst(),
+	}}
+	if _, err := Merge("x", a, b); err == nil {
+		t.Error("merge where a's branch targets its trigger should fail")
+	}
+}
+
+func TestRenameDedicated(t *testing.T) {
+	r := &core.Replacement{Name: "r", Insts: []core.ReplInst{
+		{Op: isa.OpADDQ, RS: core.Lit(isa.RegDR0), RT: core.Lit(isa.RegDR0 + 2), RD: core.Lit(isa.RegDR0)},
+		{Op: isa.OpADDQ, RS: core.Lit(5), RT: core.TReg(core.RegTRS), RD: core.Lit(isa.RegDR0 + 2)},
+	}}
+	out := RenameDedicated(r, map[isa.Reg]isa.Reg{
+		isa.RegDR0:     isa.RegDR0 + 6,
+		isa.RegDR0 + 2: isa.RegDR0 + 7,
+	})
+	if out.Insts[0].RS.Lit != isa.RegDR0+6 || out.Insts[0].RT.Lit != isa.RegDR0+7 {
+		t.Errorf("rename failed: %+v", out.Insts[0])
+	}
+	// Architectural literals and directives untouched.
+	if out.Insts[1].RS.Lit != 5 || out.Insts[1].RT.Dir != core.RegTRS {
+		t.Errorf("rename touched wrong fields: %+v", out.Insts[1])
+	}
+	// Original untouched.
+	if r.Insts[0].RS.Lit != isa.RegDR0 {
+		t.Error("RenameDedicated mutated its input")
+	}
+}
+
+func TestInlineAllShares(t *testing.T) {
+	prods := mfiProds(t)
+	dict := []*core.Replacement{
+		{Name: "a", Insts: []core.ReplInst{core.FromLiteral(isa.Nop())}},
+		{Name: "b", Insts: []core.ReplInst{
+			core.FromLiteral(isa.Inst{Op: isa.OpLDQ, RD: 1, RS: 2, RT: isa.NoReg, Imm: 0})}},
+	}
+	out := InlineAll(dict, prods)
+	if out[0] != dict[0] {
+		t.Error("entry without triggers should be shared")
+	}
+	if out[1] == dict[1] || len(out[1].Insts) == 1 {
+		t.Error("entry with a load should be composed")
+	}
+}
+
+func TestInlineNestedTransparentFigure5Left(t *testing.T) {
+	// Figure 5 (bottom left): nest address tracing *within* fault
+	// isolation — fault-isolate traced code. The tracing production's
+	// replacement sequence contains two stores (one literal into the trace
+	// buffer, one T.INSN); applying MFI's productions to it expands both,
+	// with T.RS resolving to $dr5 for the literal store and staying %rs
+	// for the trigger copy.
+	satProds := core.MustParseProductions(trace.StoreAddressProductions)
+	sat := satProds[0]
+	composed, changed := Inline(sat.Repl, &sat.Pattern, mfiProds(t))
+	if !changed {
+		t.Fatal("inlining should change the tracing sequence")
+	}
+	// lda + (check 3 + stq) + lda + (check 3 + %insn) = 1+4+1+4 = 10.
+	if len(composed.Insts) != 10 {
+		t.Fatalf("composed length = %d:\n%s", len(composed.Insts), composed.String())
+	}
+	// First inlined check reads the literal trace-buffer base $dr5.
+	if in := composed.Insts[1]; in.Op != isa.OpSRLI || in.RS.Lit != isa.RegDR0+5 {
+		t.Errorf("buffer-store check = %+v", in)
+	}
+	// Second inlined check (for T.INSN) keeps the trigger directive %rs:
+	// it must check whatever address register the eventual trigger uses.
+	if in := composed.Insts[6]; in.Op != isa.OpSRLI || in.RS.Dir != core.RegTRS {
+		t.Errorf("trigger check = %+v", in)
+	}
+	if !composed.Insts[9].Trigger {
+		t.Errorf("sequence must end with T.INSN:\n%s", composed.String())
+	}
+
+	// Execute the nested composition: both the application store and the
+	// tracing store are checked; a wild trace *buffer* pointer is caught.
+	cfg := core.DefaultEngineConfig()
+	cfg.RTPerfect = true
+	c := core.NewController(cfg)
+	if _, err := c.InstallTransparent("mfi(sat)", sat.Pattern, composed); err != nil {
+		t.Fatal(err)
+	}
+	src := `
+.entry main
+.data
+x: .quad 0
+buf: .space 64
+.text
+main:
+    li r1, 7
+    la r2, x
+    stq r1, 0(r2)
+    halt
+`
+	m := emu.New(asm.MustAssemble("w", src))
+	m.SetExpander(c.Engine())
+	mfi.Setup(m)
+	m.SetReg(trace.BufPtrReg, program.DataBase+8)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := trace.ReadTrace(m, program.DataBase+8); len(got) != 1 || got[0] != program.DataBase {
+		t.Errorf("trace = %v", got)
+	}
+
+	// Same composition with a corrupted (wild) trace-buffer pointer: the
+	// nested fault isolation catches the *tracing ACF's own* store.
+	m2 := emu.New(asm.MustAssemble("w", src))
+	m2.SetExpander(c.Engine())
+	mfi.Setup(m2)
+	m2.SetReg(trace.BufPtrReg, 4096) // segment 0
+	if err := m2.Run(); !errors.Is(err, emu.ErrACFViolation) {
+		t.Errorf("wild trace buffer should be caught by the nested checks: %v", err)
+	}
+}
+
+func TestTripleMergeTraceWatchMFI(t *testing.T) {
+	// Chain-merge three store ACFs around a single trigger: address
+	// tracing, then a watchpoint, then fault isolation. All three effects
+	// must be observable in one run, and the watchpoint/violation exits
+	// must still fire.
+	sat := core.MustParseProductions(trace.StoreAddressProductions)[0].Repl
+	watch := core.MustParseProductions(monitor.WatchpointProductions)[0].Repl
+	mfiRepl := core.MustParseProductions(mfi.Productions(mfi.DISE3))[0].Repl
+
+	ab, err := Merge("sat+watch", sat, watch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abc, err := Merge("sat+watch+mfi", ab, mfiRepl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 + 3 + 3 + trigger.
+	if len(abc.Insts) != 10 {
+		t.Fatalf("triple merge length = %d:\n%s", len(abc.Insts), abc.String())
+	}
+
+	install := func() (*core.Controller, *emu.Machine) {
+		cfg := core.DefaultEngineConfig()
+		cfg.RTPerfect = true
+		c := core.NewController(cfg)
+		if _, err := c.InstallTransparent("triple", core.Pattern{
+			Class: isa.ClassStore, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg}, abc); err != nil {
+			t.Fatal(err)
+		}
+		m := emu.New(asm.MustAssemble("w", `
+.entry main
+.data
+x: .space 32
+buf: .space 256
+.text
+main:
+    li r1, 7
+    la r2, x
+    stq r1, 0(r2)
+    stq r1, 8(r2)
+    halt
+`))
+		m.SetExpander(c.Engine())
+		mfi.Setup(m)
+		m.SetReg(trace.BufPtrReg, program.DataBase+32)
+		return c, m
+	}
+
+	// Benign run: both stores traced, executed, checked.
+	_, m := install()
+	m.SetReg(monitor.WatchReg, ^uint64(0)) // watch nothing
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := trace.ReadTrace(m, program.DataBase+32); len(got) != 2 {
+		t.Errorf("trace entries = %v", got)
+	}
+	if m.Mem().Read64(program.DataBase) != 7 || m.Mem().Read64(program.DataBase+8) != 7 {
+		t.Error("stores lost under triple composition")
+	}
+
+	// Watchpoint on the second store: first completes, second traps; the
+	// tracing prefix of the second expansion still ran (it precedes the
+	// watch check in the merge order).
+	_, m = install()
+	m.SetReg(monitor.WatchReg, program.DataBase+8)
+	if err := m.Run(); !errors.Is(err, emu.ErrACFViolation) {
+		t.Fatalf("watch hit expected, got %v", err)
+	}
+	if m.Mem().Read64(program.DataBase+8) != 0 {
+		t.Error("watched store executed")
+	}
+	if got := trace.ReadTrace(m, program.DataBase+32); len(got) != 2 {
+		t.Errorf("both store *addresses* should be traced before the trap: %v", got)
+	}
+}

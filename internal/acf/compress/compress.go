@@ -1,0 +1,384 @@
+package compress
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Result is a compressed program plus its decompression dictionary.
+type Result struct {
+	Prog *program.Program
+	Dict []*core.Replacement
+	// CodewordOp is the reserved opcode codewords use: OpRES0 for DISE
+	// (full-instruction codewords), OpRES3 for the dedicated baseline.
+	CodewordOp isa.Opcode
+	Stats      Stats
+}
+
+// Pattern returns the aware pattern specification matching this result's
+// codewords.
+func (r *Result) Pattern() core.Pattern {
+	return core.Pattern{Op: r.CodewordOp, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg}
+}
+
+// Install activates DISE decompression for r on a controller. When the
+// compressor found nothing profitable the image is unchanged, there is no
+// dictionary, and Install is a no-op returning (nil, nil).
+func (r *Result) Install(c *core.Controller) (*core.Production, error) {
+	if len(r.Dict) == 0 {
+		return nil, nil
+	}
+	return c.InstallAware("decomp", r.Pattern(), r.Dict)
+}
+
+type candidate struct {
+	sh      shape
+	extract func([]isa.Inst) (instParams, bool)
+	windows []int // start units, ascending
+
+	benefit int // cached (possibly stale) benefit
+	index   int // heap index
+}
+
+type candHeap []*candidate
+
+func (h candHeap) Len() int { return len(h) }
+
+// Less orders by benefit, tie-broken by shape key: the candidate pool is a
+// map, so a deterministic total order is what makes compression reproducible.
+func (h candHeap) Less(i, j int) bool {
+	if h[i].benefit != h[j].benefit {
+		return h[i].benefit > h[j].benefit
+	}
+	return h[i].sh.key < h[j].sh.key
+}
+func (h candHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *candHeap) Push(x any)   { c := x.(*candidate); c.index = len(*h); *h = append(*h, c) }
+func (h *candHeap) Pop() any     { old := *h; n := len(old); c := old[n-1]; *h = old[:n-1]; return c }
+
+// Compress compresses p under cfg. The input program must be a natural
+// (all-4-byte) image; the original is not modified.
+func Compress(p *program.Program, cfg Config) (*Result, error) {
+	if cfg.MinLen < 1 || cfg.MaxLen < cfg.MinLen || cfg.CodewordBytes <= 0 || cfg.MaxEntries <= 0 {
+		return nil, fmt.Errorf("compress: bad config %+v", cfg)
+	}
+	if p.Sizes != nil {
+		return nil, fmt.Errorf("compress: %s is already compressed", p.Name)
+	}
+
+	cands := enumerate(p, cfg)
+	chosen, claimed := selectGreedy(p, cfg, cands)
+	return apply(p, cfg, chosen, claimed)
+}
+
+// enumerate builds the candidate pool: every basic-block-contained window
+// in both its literal and (when enabled) parameterized form.
+func enumerate(p *program.Program, cfg Config) map[string]*candidate {
+	cands := map[string]*candidate{}
+	add := func(sh shape, extract func([]isa.Inst) (instParams, bool), start int) {
+		c, ok := cands[sh.key]
+		if !ok {
+			c = &candidate{sh: sh, extract: extract}
+			cands[sh.key] = c
+		}
+		c.windows = append(c.windows, start)
+	}
+	for _, blk := range p.BasicBlocks() {
+		for start := blk.Start; start < blk.End; start++ {
+			maxLen := blk.End - start
+			if maxLen > cfg.MaxLen {
+				maxLen = cfg.MaxLen
+			}
+			for n := cfg.MinLen; n <= maxLen; n++ {
+				win := p.Text[start : start+n]
+				if sh, ok := literalShape(win); ok {
+					add(sh, nil, start)
+				}
+				if !cfg.Params {
+					continue
+				}
+				sh, extract, ok := abstractShape(win, cfg.Branches)
+				if !ok {
+					continue
+				}
+				if sh.hasBranch {
+					// Conservative displacement-fit check: compression only
+					// shrinks unit distances, so the displacement measured
+					// from the window start bounds the final one.
+					oldFromStart := int64(p.BranchTargetUnit(start+n-1) - start - 1)
+					if !fits(oldFromStart, sh.dispBits) {
+						continue
+					}
+				}
+				if _, ok := extract(win); !ok {
+					continue
+				}
+				add(sh, extract, start)
+			}
+		}
+	}
+	return cands
+}
+
+type chosenEntry struct {
+	cand    *candidate
+	dictIdx int
+	starts  []int
+}
+
+// usable counts (and optionally returns) the non-overlapping instances of c
+// still available given claimed units.
+func usable(c *candidate, claimed []bool, collect bool) (int, []int) {
+	var starts []int
+	count := 0
+	nextFree := -1
+	n := c.sh.length
+	for _, s := range c.windows {
+		if s < nextFree {
+			continue
+		}
+		free := true
+		for u := s; u < s+n; u++ {
+			if claimed[u] {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		count++
+		nextFree = s + n
+		if collect {
+			starts = append(starts, s)
+		}
+	}
+	return count, starts
+}
+
+func benefit(cfg Config, sh shape, count int) int {
+	saved := (4*sh.length - cfg.CodewordBytes) * count
+	return saved - cfg.DictBytesPerInst*sh.length
+}
+
+// selectGreedy runs lazy greedy selection: repeatedly take the candidate
+// with the greatest immediate compression (paper §3.2), using stale-benefit
+// reinsertion to avoid rescanning the whole pool per step. Selection runs
+// in two phases — multi-instruction sequences first, then single
+// instructions — so that frequent singles never fragment longer matches
+// (guaranteeing single-instruction compression only ever helps).
+func selectGreedy(p *program.Program, cfg Config, cands map[string]*candidate) ([]chosenEntry, map[int]*chosenEntry) {
+	claimed := make([]bool, p.NumUnits())
+	var chosen []chosenEntry
+	phase := func(pick func(*candidate) bool) {
+		h := make(candHeap, 0, len(cands))
+		for _, c := range cands {
+			if !pick(c) {
+				continue
+			}
+			count, _ := usable(c, claimed, false)
+			c.benefit = benefit(cfg, c.sh, count)
+			if c.benefit > 0 {
+				h = append(h, c)
+			}
+		}
+		heap.Init(&h)
+		for len(h) > 0 && len(chosen) < cfg.MaxEntries {
+			c := heap.Pop(&h).(*candidate)
+			count, _ := usable(c, claimed, false)
+			fresh := benefit(cfg, c.sh, count)
+			if fresh <= 0 {
+				continue
+			}
+			if len(h) > 0 && fresh < h[0].benefit {
+				c.benefit = fresh
+				heap.Push(&h, c)
+				continue
+			}
+			_, starts := usable(c, claimed, true)
+			for _, s := range starts {
+				for u := s; u < s+c.sh.length; u++ {
+					claimed[u] = true
+				}
+			}
+			chosen = append(chosen, chosenEntry{cand: c, dictIdx: len(chosen), starts: starts})
+		}
+	}
+	phase(func(c *candidate) bool { return c.sh.length > 1 })
+	phase(func(c *candidate) bool { return c.sh.length == 1 })
+	byStart := map[int]*chosenEntry{}
+	for i := range chosen {
+		for _, s := range chosen[i].starts {
+			byStart[s] = &chosen[i]
+		}
+	}
+	return chosen, byStart
+}
+
+// apply rebuilds the program with codewords planted and every displacement
+// re-resolved after the re-layout.
+func apply(p *program.Program, cfg Config, chosen []chosenEntry, byStart map[int]*chosenEntry) (*Result, error) {
+	cwOp := isa.OpRES3
+	if cfg.Params {
+		cwOp = isa.OpRES0
+	}
+	res := &Result{CodewordOp: cwOp}
+	res.Stats.OrigBytes = p.TextBytes()
+
+	q := &program.Program{
+		Name:    p.Name + "+comp",
+		Data:    append([]byte(nil), p.Data...),
+		Symbols: map[string]int{},
+	}
+	newIdx := make([]int, p.NumUnits()+1)
+	type plant struct {
+		newUnit  int
+		entry    *chosenEntry
+		oldStart int
+	}
+	var plants []plant
+	for i := 0; i < p.NumUnits(); {
+		newIdx[i] = len(q.Text)
+		if e, ok := byStart[i]; ok {
+			win := p.Text[i : i+e.cand.sh.length]
+			var ps instParams
+			if e.cand.extract != nil {
+				var ok2 bool
+				ps, ok2 = e.cand.extract(win)
+				if !ok2 {
+					return nil, fmt.Errorf("compress: instance at unit %d does not fit its shape", i)
+				}
+			}
+			cw := isa.Codeword(cwOp, ps.slots[0], ps.slots[1], ps.slots[2], uint16(e.dictIdx))
+			q.Text = append(q.Text, cw)
+			q.Sizes = append(q.Sizes, uint8(cfg.CodewordBytes))
+			plants = append(plants, plant{newUnit: len(q.Text) - 1, entry: e, oldStart: i})
+			// Interior units map to the codeword (nothing may target them,
+			// but keep the mapping total).
+			for u := i + 1; u <= i+e.cand.sh.length; u++ {
+				if u <= p.NumUnits() {
+					newIdx[u] = len(q.Text)
+				}
+			}
+			i += e.cand.sh.length
+			continue
+		}
+		q.Text = append(q.Text, p.Text[i])
+		q.Sizes = append(q.Sizes, 4)
+		i++
+	}
+	newIdx[p.NumUnits()] = len(q.Text)
+
+	for sym, u := range p.Symbols {
+		q.Symbols[sym] = newIdx[u]
+	}
+	q.Entry = newIdx[p.Entry]
+
+	// Re-resolve uncompressed branches.
+	for i := 0; i < p.NumUnits(); i++ {
+		if e := byStart[i]; e != nil {
+			i += e.cand.sh.length - 1
+			continue
+		}
+		if !p.Text[i].Op.IsBranch() {
+			continue
+		}
+		q.SetBranchTarget(newIdx[i], newIdx[p.BranchTargetUnit(i)])
+	}
+
+	// Re-resolve displacements carried by codeword parameters.
+	for _, pl := range plants {
+		sh := &pl.entry.cand.sh
+		if !sh.hasBranch {
+			continue
+		}
+		oldBranch := pl.oldStart + sh.length - 1
+		newT := newIdx[p.BranchTargetUnit(oldBranch)]
+		disp := int64(newT - pl.newUnit - 1)
+		cw := q.Text[pl.newUnit]
+		ps := instParams{slots: [3]uint8{uint8(cw.RS), uint8(cw.RT), uint8(cw.RD)}}
+		if !packDisp(&ps, sh, disp) {
+			return nil, fmt.Errorf("compress: displacement %d at unit %d exceeds %d parameter bits",
+				disp, pl.newUnit, sh.dispBits)
+		}
+		q.Text[pl.newUnit] = isa.Codeword(cwOp, ps.slots[0], ps.slots[1], ps.slots[2], uint16(pl.entry.dictIdx))
+	}
+
+	q.Invalidate()
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("compress: %w", err)
+	}
+
+	// Build the dictionary in index order (selection appended in order).
+	for _, e := range chosen {
+		res.Dict = append(res.Dict, &core.Replacement{
+			Name:  fmt.Sprintf("dict%d", e.dictIdx),
+			Insts: e.cand.sh.tmpl,
+		})
+		res.Stats.Removed += e.cand.sh.length * len(e.starts)
+		res.Stats.Codewords += len(e.starts)
+		res.Stats.DictBytes += cfg.DictBytesPerInst * e.cand.sh.length
+	}
+	res.Stats.Entries = len(res.Dict)
+	res.Prog = q
+	res.Stats.TextBytes = q.TextBytes()
+	return res, nil
+}
+
+// Decompressor is the dedicated decoder-based decompressor baseline
+// (paper §4.2, [20]): a hardware dictionary expander with no DISE engine —
+// expansions are free and there is no replacement table to miss.
+type Decompressor struct {
+	op   isa.Opcode
+	dict []*core.Replacement
+}
+
+// NewDecompressor builds the dedicated decompressor for a compression
+// result.
+func NewDecompressor(r *Result) *Decompressor {
+	return &Decompressor{op: r.CodewordOp, dict: r.Dict}
+}
+
+// Expand implements the post-fetch expansion interface.
+func (d *Decompressor) Expand(in isa.Inst, pc uint64) *core.Expansion {
+	if in.Op != d.op {
+		return nil
+	}
+	idx := int(in.Imm)
+	if idx < 0 || idx >= len(d.dict) {
+		return nil
+	}
+	r := d.dict[idx]
+	return &core.Expansion{
+		SeqID:     idx,
+		Insts:     r.Instantiate(in, pc),
+		Templates: r.Insts,
+	}
+}
+
+// ProductionText renders the decompression dictionary in the production
+// language, with an inline dict block — the external representation a
+// DISE-aware compressor ships next to the compressed binary (paper §2.3:
+// productions travel as directive-annotated native assembly; §3.2: the
+// dictionary is coded into the application's "production segment"). The
+// text round-trips through core.ParseProductions/InstallFile.
+func (r *Result) ProductionText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# decompression dictionary: %d entries, %d codewords in text\n",
+		len(r.Dict), r.Stats.Codewords)
+	fmt.Fprintf(&b, "aware decomp {\n    match op == %s\n    dict {\n", r.CodewordOp)
+	for _, e := range r.Dict {
+		b.WriteString("        entry {\n")
+		for i := range e.Insts {
+			fmt.Fprintf(&b, "            %s\n", e.Insts[i].String())
+		}
+		b.WriteString("        }\n")
+	}
+	b.WriteString("    }\n}\n")
+	return b.String()
+}

@@ -1,0 +1,371 @@
+package compress
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// redundantProgram builds a program with heavy idiom reuse: the same
+// 3-instruction load-add-store idiom appears at many sites with different
+// registers, plus repeated literal blocks.
+func redundantProgram(t *testing.T) string {
+	var b strings.Builder
+	b.WriteString(".entry main\n.data\nbuf: .space 8192\n.text\nmain:\n    la r1, buf\n    li r2, 50\nmainloop:\n")
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, "    bsr ra, f%d\n", i)
+	}
+	b.WriteString("    subqi r2, 1, r2\n    bgt r2, mainloop\n    halt\n")
+	for i := 0; i < 8; i++ {
+		ra, rb := 3+i%4, 7+i%4
+		fmt.Fprintf(&b, "f%d:\n", i)
+		// The idiom: same shape, different registers at different sites.
+		fmt.Fprintf(&b, "    ldq r%d, 0(r1)\n    addqi r%d, 1, r%d\n    stq r%d, 0(r1)\n", ra, ra, ra, ra)
+		fmt.Fprintf(&b, "    ldq r%d, 8(r1)\n    addqi r%d, 1, r%d\n    stq r%d, 8(r1)\n", rb, rb, rb, rb)
+		b.WriteString("    ret\n")
+	}
+	return b.String()
+}
+
+func mustCompress(t *testing.T, src string, cfg Config) *Result {
+	t.Helper()
+	p := asm.MustAssemble("r", src)
+	res, err := Compress(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDiseFullCompresses(t *testing.T) {
+	res := mustCompress(t, redundantProgram(t), DiseFull())
+	if res.Stats.Ratio() >= 0.95 {
+		t.Errorf("ratio = %.2f, want meaningful compression", res.Stats.Ratio())
+	}
+	if res.Stats.Entries == 0 || res.Stats.Codewords == 0 {
+		t.Error("no dictionary entries selected")
+	}
+	if res.CodewordOp != isa.OpRES0 {
+		t.Errorf("codeword op = %v", res.CodewordOp)
+	}
+}
+
+func TestCompressedProgramRunsCorrectly(t *testing.T) {
+	src := redundantProgram(t)
+	p := asm.MustAssemble("r", src)
+	m0 := emu.New(p)
+	if err := m0.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := m0.Mem().Read64(m0.Reg(1))
+
+	res := mustCompress(t, src, DiseFull())
+	c := core.NewController(core.DefaultEngineConfig())
+	if _, err := res.Install(c); err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(res.Prog)
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem().Read64(m.Reg(1)); got != want {
+		t.Errorf("compressed run result %d != original %d", got, want)
+	}
+	// The decompressed dynamic stream must replay the original app stream.
+	if m.Stats.Loads != m0.Stats.Loads || m.Stats.Stores != m0.Stats.Stores {
+		t.Errorf("dynamic mix diverged: loads %d/%d stores %d/%d",
+			m.Stats.Loads, m0.Stats.Loads, m.Stats.Stores, m0.Stats.Stores)
+	}
+}
+
+func TestDedicatedCompressedProgramRuns(t *testing.T) {
+	src := redundantProgram(t)
+	p := asm.MustAssemble("r", src)
+	m0 := emu.New(p)
+	if err := m0.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res := mustCompress(t, src, Dedicated())
+	if res.CodewordOp != isa.OpRES3 {
+		t.Errorf("dedicated codeword op = %v", res.CodewordOp)
+	}
+	m := emu.New(res.Prog)
+	m.SetExpander(NewDecompressor(res))
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Stores != m0.Stats.Stores {
+		t.Errorf("stores %d != %d", m.Stats.Stores, m0.Stats.Stores)
+	}
+	// 2-byte codewords: image must contain 2-byte units.
+	has2 := false
+	for i := 0; i < res.Prog.NumUnits(); i++ {
+		if res.Prog.UnitSize(i) == 2 {
+			has2 = true
+		}
+	}
+	if !has2 {
+		t.Error("dedicated image has no 2-byte codewords")
+	}
+}
+
+func TestFeatureLadderOrdering(t *testing.T) {
+	// The Figure 7a shape: dedicated beats -1insn beats -2byteCW; +8byteDE
+	// is worst; +3param recovers; full DISE (branches) is best overall.
+	src := redundantProgram(t)
+	ratios := map[string]float64{}
+	for _, step := range Ladder() {
+		res := mustCompress(t, src, step.Cfg)
+		ratios[step.Name] = res.Stats.Ratio()
+	}
+	le := func(a, b string) {
+		if ratios[a] > ratios[b]+1e-9 {
+			t.Errorf("%s (%.3f) should compress at least as well as %s (%.3f)",
+				a, ratios[a], b, ratios[b])
+		}
+	}
+	le("dedicated", "-1insn")
+	le("-1insn", "-2byteCW")
+	le("-2byteCW", "+8byteDE")
+	le("+3param", "+8byteDE")
+	le("DISE", "+3param")
+}
+
+func TestBranchCompressionOnlyWithFullDISE(t *testing.T) {
+	// A program whose redundancy is dominated by compare-and-branch idioms:
+	// only branch-parameterizing DISE can compress them.
+	var b strings.Builder
+	b.WriteString(".entry main\nmain:\n    li r2, 10\n")
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&b, "b%d:\n    cmplti r2, 5, r3\n    beq r3, b%d\n", i, i)
+	}
+	b.WriteString("    halt\n")
+	src := b.String()
+	_ = src
+	noBr := mustCompress(t, src, DiseParameterized())
+	withBr := mustCompress(t, src, DiseFull())
+	if !(withBr.Stats.Ratio() < noBr.Stats.Ratio()) {
+		t.Errorf("branch compression should improve ratio: %.3f vs %.3f",
+			withBr.Stats.Ratio(), noBr.Stats.Ratio())
+	}
+}
+
+func TestCompressedBranchesExecuteCorrectly(t *testing.T) {
+	// Loops whose back-edges get compressed must still iterate correctly.
+	var b strings.Builder
+	b.WriteString(".entry main\nmain:\n    li r1, 0\n")
+	// 12 identical count-up loops: the loop body (incl. the backward
+	// branch) is highly redundant.
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&b, "    li r2, 10\nl%d:\n    addqi r1, 1, r1\n    subqi r2, 1, r2\n    bgt r2, l%d\n", i, i)
+	}
+	b.WriteString("    sys 2\n    halt\n")
+	src := b.String()
+
+	m0 := emu.New(asm.MustAssemble("l", src))
+	if err := m0.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	res := mustCompress(t, src, DiseFull())
+	if res.Stats.Codewords == 0 {
+		t.Fatal("expected codewords")
+	}
+	// Verify at least one dictionary entry parameterizes a displacement.
+	hasDisp := false
+	for _, e := range res.Dict {
+		for _, ri := range e.Insts {
+			if ri.Imm.Dir == core.ImmP3 || ri.Imm.Dir == core.ImmP23 || ri.Imm.Dir == core.ImmP123 {
+				hasDisp = true
+			}
+		}
+	}
+	if !hasDisp {
+		t.Error("no parameterized branch displacement in the dictionary")
+	}
+	c := core.NewController(core.DefaultEngineConfig())
+	if _, err := res.Install(c); err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(res.Prog)
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output() != m0.Output() {
+		t.Errorf("output %q != original %q", m.Output(), m0.Output())
+	}
+}
+
+func TestParameterizedEntrySharing(t *testing.T) {
+	// Two register-renamed instances of the same idiom must share one
+	// dictionary entry under +3param.
+	src := `
+.entry main
+.data
+b: .space 64
+.text
+main:
+    la r1, b
+    ldq r3, 0(r1)
+    addq r3, r3, r4
+    stq r4, 8(r1)
+    ldq r7, 0(r1)
+    addq r7, r7, r8
+    stq r8, 8(r1)
+    ldq r9, 0(r1)
+    addq r9, r9, r10
+    stq r10, 8(r1)
+    ldq r11, 0(r1)
+    addq r11, r11, r12
+    stq r12, 8(r1)
+    halt
+`
+	res := mustCompress(t, src, DiseParameterized())
+	if res.Stats.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 shared parameterized entry (stats %+v)",
+			res.Stats.Entries, res.Stats)
+	}
+	if res.Stats.Codewords != 4 {
+		t.Errorf("codewords = %d, want 4", res.Stats.Codewords)
+	}
+	// And the codewords carry distinct register parameters.
+	var params []isa.Inst
+	for _, in := range res.Prog.Text {
+		if in.Op == isa.OpRES0 {
+			params = append(params, in)
+		}
+	}
+	// The renamed operands land in parameter slots and must differ between
+	// instances (r1 is an EVR platform register, kept literal).
+	if len(params) >= 2 && params[0].RS == params[1].RS && params[0].RT == params[1].RT {
+		t.Errorf("instances should differ in parameters: %v vs %v", params[0], params[1])
+	}
+}
+
+func TestUnparameterizedCannotShareRenamed(t *testing.T) {
+	src := `
+.entry main
+.data
+b: .space 64
+.text
+main:
+    la r1, b
+    ldq r3, 0(r1)
+    addq r3, r3, r4
+    stq r4, 8(r1)
+    ldq r5, 0(r1)
+    addq r5, r5, r6
+    stq r6, 8(r1)
+    halt
+`
+	res := mustCompress(t, src, DedicatedWordCW())
+	// The two triples differ in registers: no literal sharing, each alone
+	// is unprofitable (2 instances needed), so nothing compresses.
+	if res.Stats.Entries != 0 {
+		t.Errorf("entries = %d, want 0 without parameterization", res.Stats.Entries)
+	}
+}
+
+func TestSingleInstructionCompression(t *testing.T) {
+	// Dedicated 2-byte codewords profit from compressing one repeated
+	// instruction; word codewords cannot.
+	var b strings.Builder
+	b.WriteString(".entry main\nmain:\n")
+	for i := 0; i < 20; i++ {
+		// The repeated instruction is isolated by a unique neighbor so no
+		// multi-instruction window repeats.
+		fmt.Fprintf(&b, "    addqi r3, 77, r3\n    addqi r4, %d, r4\n", i+1)
+	}
+	b.WriteString("    halt\n")
+	src := b.String()
+	ded := mustCompress(t, src, Dedicated())
+	no1 := mustCompress(t, src, DedicatedNoSingle())
+	if !(ded.Stats.Ratio() < no1.Stats.Ratio()) {
+		t.Errorf("single-insn compression should help: %.3f vs %.3f",
+			ded.Stats.Ratio(), no1.Stats.Ratio())
+	}
+}
+
+func TestCompressRejectsCompressedInput(t *testing.T) {
+	res := mustCompress(t, redundantProgram(t), Dedicated())
+	if _, err := Compress(res.Prog, Dedicated()); err == nil {
+		t.Error("recompression of a short-unit image should fail")
+	}
+}
+
+func TestCompressRejectsBadConfig(t *testing.T) {
+	p := asm.MustAssemble("t", ".entry main\nmain:\n halt\n")
+	if _, err := Compress(p, Config{}); err == nil {
+		t.Error("zero config should be rejected")
+	}
+}
+
+func TestDictionaryWithinTagSpace(t *testing.T) {
+	res := mustCompress(t, redundantProgram(t), DiseFull())
+	if res.Stats.Entries > isa.MaxTag+1 {
+		t.Errorf("entries = %d exceeds tag space", res.Stats.Entries)
+	}
+	for i, in := range res.Prog.Text {
+		if in.Op == res.CodewordOp && (in.Imm < 0 || in.Imm > isa.MaxTag) {
+			t.Errorf("unit %d: tag %d out of range", i, in.Imm)
+		}
+	}
+}
+
+func TestDecompressorIgnoresOtherOps(t *testing.T) {
+	res := mustCompress(t, redundantProgram(t), Dedicated())
+	d := NewDecompressor(res)
+	if d.Expand(isa.Nop(), 0) != nil {
+		t.Error("decompressor expanded a non-codeword")
+	}
+	if d.Expand(isa.Codeword(isa.OpRES3, 0, 0, 0, 2047), 0) != nil {
+		t.Error("decompressor expanded an out-of-range tag")
+	}
+}
+
+func TestProductionTextRoundTrip(t *testing.T) {
+	// The compressor's textual dictionary must re-install through the
+	// production language and reproduce the original execution exactly —
+	// the full "server ships binary + production file" pipeline.
+	src := redundantProgram(t)
+	m0 := emu.New(asm.MustAssemble("r", src))
+	if err := m0.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	res := mustCompress(t, src, DiseFull())
+	text := res.ProductionText()
+	if !strings.Contains(text, "aware decomp") || !strings.Contains(text, "entry {") {
+		t.Fatalf("production text malformed:\n%s", text)
+	}
+
+	c := core.NewController(core.DefaultEngineConfig())
+	prods, err := c.InstallFile(text, nil)
+	if err != nil {
+		t.Fatalf("re-install failed: %v\ntext:\n%s", err, text)
+	}
+	if len(prods) != 1 || !prods[0].TagIndexed {
+		t.Fatalf("installed %v", prods)
+	}
+	m := emu.New(res.Prog)
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Loads != m0.Stats.Loads || m.Stats.Stores != m0.Stats.Stores ||
+		m.Stats.Branches != m0.Stats.Branches {
+		t.Errorf("round-tripped dictionary diverged: L%d/%d S%d/%d B%d/%d",
+			m.Stats.Loads, m0.Stats.Loads, m.Stats.Stores, m0.Stats.Stores,
+			m.Stats.Branches, m0.Stats.Branches)
+	}
+}

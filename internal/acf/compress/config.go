@@ -1,0 +1,122 @@
+// Package compress implements dynamic code (de)compression (paper §3.2): a
+// greedy dictionary compressor over basic-block-contained instruction
+// sequences, with DISE's parameterized templates (register and wide
+// immediate parameters, enabling PC-relative branch compression) and the
+// dedicated decoder-based decompressor baseline (2-byte codewords,
+// single-instruction compression, unparameterized dictionary).
+//
+// The six configurations of the paper's Figure 7 feature ladder are exposed
+// as named constructors: Dedicated, DedicatedNoSingle, DedicatedWordCW,
+// DiseUnparameterized, DiseParameterized, and DiseFull.
+package compress
+
+// Config selects the compression features.
+type Config struct {
+	// CodewordBytes is the static size of one codeword: 2 for the dedicated
+	// decompressor's short format, 4 for DISE codewords (full instructions).
+	CodewordBytes int
+	// MinLen / MaxLen bound the candidate sequence lengths considered.
+	// Dedicated decompression profits from MinLen 1; DISE needs MinLen 2.
+	MinLen, MaxLen int
+	// DictBytesPerInst is the dictionary cost per instruction: 4 plain, 8
+	// when instantiation directives are stored (paper: "+8byteDE").
+	DictBytesPerInst int
+	// Params enables parameterized matching: sequences differing only in
+	// (up to three) register fields share a dictionary entry.
+	Params bool
+	// Branches enables compression of PC-relative branches by making the
+	// displacement a wide immediate parameter.
+	Branches bool
+	// MaxEntries caps the dictionary (2048 = the 11-bit tag space).
+	MaxEntries int
+}
+
+// Dedicated is the full dedicated-decompressor baseline: 2-byte codewords
+// and single-instruction compression, no parameterization, no branches.
+// A 2-byte codeword has only 10 payload bits after the reserved opcode, so
+// its dictionary is limited to 1024 entries.
+func Dedicated() Config {
+	return Config{CodewordBytes: 2, MinLen: 1, MaxLen: 8, DictBytesPerInst: 4, MaxEntries: 1024}
+}
+
+// DedicatedNoSingle removes single-instruction compression ("-1insn").
+func DedicatedNoSingle() Config {
+	c := Dedicated()
+	c.MinLen = 2
+	return c
+}
+
+// DedicatedWordCW additionally uses 4-byte codewords ("-2byteCW").
+func DedicatedWordCW() Config {
+	c := DedicatedNoSingle()
+	c.CodewordBytes = 4
+	c.MaxEntries = 2048
+	return c
+}
+
+// DiseUnparameterized pays the 8-byte dictionary entries that directives
+// require without using parameterization ("+8byteDE").
+func DiseUnparameterized() Config {
+	c := DedicatedWordCW()
+	c.DictBytesPerInst = 8
+	return c
+}
+
+// DiseParameterized adds three-slot parameterized matching ("+3param").
+func DiseParameterized() Config {
+	c := DiseUnparameterized()
+	c.Params = true
+	return c
+}
+
+// DiseFull is full DISE compression: parameterization plus PC-relative
+// branch compression.
+func DiseFull() Config {
+	c := DiseParameterized()
+	c.Branches = true
+	return c
+}
+
+// Ladder returns the Figure 7a feature ladder in presentation order.
+func Ladder() []struct {
+	Name string
+	Cfg  Config
+} {
+	return []struct {
+		Name string
+		Cfg  Config
+	}{
+		{"dedicated", Dedicated()},
+		{"-1insn", DedicatedNoSingle()},
+		{"-2byteCW", DedicatedWordCW()},
+		{"+8byteDE", DiseUnparameterized()},
+		{"+3param", DiseParameterized()},
+		{"DISE", DiseFull()},
+	}
+}
+
+// Stats reports a compression outcome.
+type Stats struct {
+	OrigBytes int // uncompressed text bytes
+	TextBytes int // compressed text bytes
+	DictBytes int // dictionary bytes (the solid stack tops of Fig 7a)
+	Entries   int // dictionary entries
+	Removed   int // static instructions compressed out of the text
+	Codewords int // codewords planted
+}
+
+// Ratio is compressed text / original text (the bottom stack of Fig 7a).
+func (s Stats) Ratio() float64 {
+	if s.OrigBytes == 0 {
+		return 1
+	}
+	return float64(s.TextBytes) / float64(s.OrigBytes)
+}
+
+// TotalRatio includes the dictionary.
+func (s Stats) TotalRatio() float64 {
+	if s.OrigBytes == 0 {
+		return 1
+	}
+	return float64(s.TextBytes+s.DictBytes) / float64(s.OrigBytes)
+}

@@ -1,0 +1,273 @@
+package compress
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// A shape is a dictionary-entry candidate: the template key under which
+// instances are grouped, the replacement templates, and the parameter
+// layout. Unparameterized shapes are keyed by their exact instructions;
+// parameterized shapes abstract non-ABI register fields into (up to three)
+// codeword parameter slots and, when enabled, the final branch displacement
+// into the remaining slots as a wide immediate.
+type shape struct {
+	key    string
+	tmpl   []core.ReplInst
+	length int
+
+	nRegSlots int
+	hasBranch bool
+	dispDir   core.ImmDir // which wide directive carries the displacement
+	dispBits  int
+}
+
+// instance parameters for one codeword.
+type instParams struct {
+	slots [3]uint8 // register parameter values
+}
+
+// fixedReg reports registers that are never parameterized: ABI-structural
+// registers, the EVR platform globals (r1, r2, r5, r6, r15..r18), the
+// registers rewriting tools scavenge (r20..r24), and DISE dedicated
+// registers reached through composition. They are identical across idiom
+// instances, so spending a parameter slot on them is waste — a production
+// compressor would derive this set from per-program register frequency;
+// EVR fixes it by convention.
+func fixedReg(r isa.Reg) bool {
+	switch r {
+	case isa.NoReg, isa.RegZero, isa.RegSP, isa.RegRA, isa.RegGP, isa.RegAT:
+		return true
+	}
+	if r <= 2 || r == 5 || r == 6 || r >= 15 && r <= 18 || r >= 20 && r <= 24 {
+		return true
+	}
+	return r.IsDedicated()
+}
+
+var slotDirs = [3]core.RegDir{core.RegTRS, core.RegTRT, core.RegTRD}
+
+// dispDirFor returns the wide-immediate directive and bit width available
+// when nRegSlots slots are taken by registers.
+func dispDirFor(nRegSlots int) (core.ImmDir, int) {
+	switch nRegSlots {
+	case 0:
+		return core.ImmP123, 15
+	case 1:
+		return core.ImmP23, 10
+	case 2:
+		return core.ImmP3, 5
+	default:
+		return core.ImmLit, 0
+	}
+}
+
+// fits reports whether v is representable as a signed bits-wide integer.
+func fits(v int64, bits int) bool {
+	if bits <= 0 {
+		return false
+	}
+	lim := int64(1) << (bits - 1)
+	return v >= -lim && v < lim
+}
+
+// literalShape builds an unparameterized candidate. Sequences containing
+// PC-relative branches are rejected: compression changes relative PCs, so
+// unparameterized branch compression is infeasible (paper §3.2).
+func literalShape(insts []isa.Inst) (shape, bool) {
+	var b strings.Builder
+	tmpl := make([]core.ReplInst, len(insts))
+	for i, in := range insts {
+		if !compressibleOp(in.Op) {
+			return shape{}, false
+		}
+		if in.Op.IsBranch() {
+			return shape{}, false
+		}
+		tmpl[i] = core.FromLiteral(in)
+		fmt.Fprintf(&b, "%d:%v;", in.Op, in)
+	}
+	return shape{key: "L|" + b.String(), tmpl: tmpl, length: len(insts)}, true
+}
+
+var slotImmDirs = [3]core.ImmDir{core.ImmP1, core.ImmP2, core.ImmP3}
+
+// smallImm reports immediates worth parameterizing: they fit one signed
+// 5-bit parameter slot (the paper's Figure 4 case — lda 8 vs lda -8 sharing
+// one entry through T.P2).
+func smallImm(v int64) bool { return v >= -16 && v <= 15 }
+
+// abstractShape builds the parameterized candidate: non-ABI registers and
+// small immediates become parameter slots in order of first appearance; the
+// trailing branch's displacement (if branches are enabled) becomes a wide
+// immediate parameter in the remaining slots. It also returns the per-call
+// parameter extractor.
+func abstractShape(insts []isa.Inst, branches bool) (shape, func([]isa.Inst) (instParams, bool), bool) {
+	slotOf := map[isa.Reg]int{}
+	immSlotOf := map[int64]int{}
+	nSlots := 0
+	reg := func(r isa.Reg) (core.RegField, string) {
+		if fixedReg(r) {
+			return core.Lit(r), "l" + r.String()
+		}
+		s, ok := slotOf[r]
+		if !ok {
+			if nSlots == 3 {
+				return core.RegField{}, ""
+			}
+			s = nSlots
+			slotOf[r] = s
+			nSlots++
+		}
+		return core.TReg(slotDirs[s]), fmt.Sprintf("p%d", s)
+	}
+	// Immediate slots are shared by value, so a load/store pair with the
+	// same displacement consumes one parameter (both instantiate from it).
+	imm := func(v int64) (core.ImmField, string, bool) {
+		s, ok := immSlotOf[v]
+		if !ok {
+			if nSlots == 3 {
+				return core.ImmField{}, "", false
+			}
+			s = nSlots
+			immSlotOf[v] = s
+			nSlots++
+		}
+		return core.ImmField{Dir: slotImmDirs[s]}, fmt.Sprintf("I%d", s), true
+	}
+
+	var b strings.Builder
+	tmpl := make([]core.ReplInst, len(insts))
+	sh := shape{length: len(insts)}
+	for i, in := range insts {
+		if !compressibleOp(in.Op) {
+			return shape{}, nil, false
+		}
+		ri := core.ReplInst{Op: in.Op,
+			RS: core.Lit(isa.NoReg), RT: core.Lit(isa.NoReg), RD: core.Lit(isa.NoReg),
+			Imm: core.ImmField{Dir: core.ImmLit, Lit: in.Imm}}
+		fmt.Fprintf(&b, "%d:", in.Op)
+		for _, f := range []struct {
+			r   isa.Reg
+			dst *core.RegField
+		}{{in.RS, &ri.RS}, {in.RT, &ri.RT}, {in.RD, &ri.RD}} {
+			fld, tag := reg(f.r)
+			if tag == "" {
+				return shape{}, nil, false // more than 3 distinct registers
+			}
+			*f.dst = fld
+			b.WriteString(tag)
+			b.WriteByte(',')
+		}
+		switch {
+		case in.Op.IsBranch():
+			if !branches || i != len(insts)-1 {
+				return shape{}, nil, false
+			}
+			dir, bits := dispDirFor(nSlots)
+			if bits == 0 {
+				return shape{}, nil, false // no slots left for the displacement
+			}
+			sh.hasBranch = true
+			sh.dispDir, sh.dispBits = dir, bits
+			ri.Imm = core.ImmField{Dir: dir}
+			b.WriteString("D")
+		case immSlot(in) && smallImm(in.Imm):
+			f, tag, ok := imm(in.Imm)
+			if !ok {
+				fmt.Fprintf(&b, "i%d", in.Imm)
+				break
+			}
+			ri.Imm = f
+			b.WriteString(tag)
+		default:
+			fmt.Fprintf(&b, "i%d", in.Imm)
+		}
+		b.WriteByte(';')
+		tmpl[i] = ri
+	}
+	sh.key = "A|" + b.String()
+	sh.tmpl = tmpl
+	sh.nRegSlots = nSlots
+
+	// The extractor replays the allocation walk on a concrete instance. Two
+	// instances share a shape iff their keys match, which guarantees the
+	// same slot structure.
+	extract := func(win []isa.Inst) (instParams, bool) {
+		var ps instParams
+		seen := map[isa.Reg]int{}
+		seenImm := map[int64]int{}
+		n := 0
+		for _, in := range win {
+			for _, r := range []isa.Reg{in.RS, in.RT, in.RD} {
+				if fixedReg(r) {
+					continue
+				}
+				if _, ok := seen[r]; !ok {
+					if n == 3 {
+						return ps, false
+					}
+					seen[r] = n
+					ps.slots[n] = uint8(r)
+					n++
+				}
+			}
+			if !in.Op.IsBranch() && immSlot(in) && smallImm(in.Imm) {
+				if _, ok := seenImm[in.Imm]; !ok && n < 3 {
+					seenImm[in.Imm] = n
+					ps.slots[n] = uint8(in.Imm) & 0x1f
+					n++
+				}
+			}
+		}
+		return ps, true
+	}
+	return sh, extract, true
+}
+
+// immSlot reports whether in's format carries a general immediate that may
+// be parameterized (memory displacements and operate immediates).
+func immSlot(in isa.Inst) bool {
+	switch in.Op.Format() {
+	case isa.FmtMem, isa.FmtOpImm:
+		return true
+	}
+	return false
+}
+
+// compressibleOp rejects instructions that may not appear in a dictionary
+// entry: codewords (no recursive expansion), and specials (halt/sys occupy
+// negligible static space and complicate trigger semantics).
+func compressibleOp(op isa.Opcode) bool {
+	switch op.Class() {
+	case isa.ClassCodeword, isa.ClassSpecial, isa.ClassInvalid:
+		return false
+	}
+	return true
+}
+
+// packDisp packs a displacement into the parameter slots the shape reserved
+// for it, overlaying any register slots already assigned.
+func packDisp(ps *instParams, sh *shape, disp int64) bool {
+	if !fits(disp, sh.dispBits) {
+		return false
+	}
+	u := uint64(disp) & (1<<uint(sh.dispBits) - 1)
+	switch sh.dispDir {
+	case core.ImmP3:
+		ps.slots[2] = uint8(u & 0x1f)
+	case core.ImmP23:
+		ps.slots[1] = uint8(u >> 5 & 0x1f)
+		ps.slots[2] = uint8(u & 0x1f)
+	case core.ImmP123:
+		ps.slots[0] = uint8(u >> 10 & 0x1f)
+		ps.slots[1] = uint8(u >> 5 & 0x1f)
+		ps.slots[2] = uint8(u & 0x1f)
+	default:
+		return false
+	}
+	return true
+}

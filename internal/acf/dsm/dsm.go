@@ -1,0 +1,191 @@
+// Package dsm implements the fine-grain distributed-shared-memory access
+// check of paper §3.1 (in the style of Shasta): every load and store is
+// expanded with an inline presence check against a line directory held in
+// application memory and addressed through a dedicated register. A DISE-
+// capable machine thereby "has the appearance of hardware-supported
+// fine-grained DSM without custom hardware": the checks cost ordinary
+// pipelined instructions rather than a software rewrite, and the directory
+// base/handler are unforgeable dedicated state.
+//
+// Two operating modes are provided:
+//
+//   - Trap mode: an access to a non-present line escapes to the coherence
+//     handler (address 0 = kernel), modelling the remote-fetch trap.
+//   - Tracking mode: the expansion itself marks the line present and counts
+//     first-touch misses in a dedicated register — branch-free, so the
+//     common (present) case costs a fixed short sequence, exactly the
+//     property fine-grain software DSM systems engineer for.
+package dsm
+
+import (
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Line geometry: 64-byte coherence lines, a directory of 64-bit words with
+// one presence bit per line.
+const (
+	LineShift = 6
+	// DirLines is the number of lines the directory covers (bits).
+	DirLines = 1 << 16 // 4MB of shared space
+	// DirBytes is the directory's size in bytes.
+	DirBytes = DirLines / 8
+)
+
+// Dedicated register roles.
+const (
+	dirBaseReg = isa.RegDR0 + 5 // $dr5: directory base address
+	oneReg     = isa.RegDR0 + 4 // $dr4: the constant 1
+	missReg    = isa.RegDR0 + 6 // $dr6: first-touch miss counter
+	handlerReg = isa.RegDR0 + 7 // $dr7: coherence trap handler
+)
+
+// MissCount reads the tracking-mode first-touch counter.
+func MissCount(m *emu.Machine) uint64 { return m.Reg(missReg) }
+
+// trackBody is the branch-free presence check + mark + count sequence
+// shared by loads and stores; %ea computes the effective address per class.
+const trackProductions = `
+prod dsm_load {
+    match class == load
+    replace {
+        lda  $dr0, %imm(%rs)
+        srli $dr0, 6, $dr0
+        andi $dr0, 65535, $dr0
+        srli $dr0, 6, $dr1
+        slli $dr1, 3, $dr1
+        addq $dr5, $dr1, $dr1
+        ldq  $dr2, 0($dr1)
+        andi $dr0, 63, $dr0
+        sll  $dr4, $dr0, $dr3
+        bis  $dr2, $dr3, $dr0
+        stq  $dr0, 0($dr1)
+        and  $dr2, $dr3, $dr3
+        cmpeqi $dr3, 0, $dr3
+        addq $dr6, $dr3, $dr6
+        %insn
+    }
+}
+prod dsm_store {
+    match class == store
+    replace {
+        lda  $dr0, %imm(%rs)
+        srli $dr0, 6, $dr0
+        andi $dr0, 65535, $dr0
+        srli $dr0, 6, $dr1
+        slli $dr1, 3, $dr1
+        addq $dr5, $dr1, $dr1
+        ldq  $dr2, 0($dr1)
+        andi $dr0, 63, $dr0
+        sll  $dr4, $dr0, $dr3
+        bis  $dr2, $dr3, $dr0
+        stq  $dr0, 0($dr1)
+        and  $dr2, $dr3, $dr3
+        cmpeqi $dr3, 0, $dr3
+        addq $dr6, $dr3, $dr6
+        %insn
+    }
+}
+`
+
+const trapProductions = `
+prod dsm_load {
+    match class == load
+    replace {
+        lda  $dr0, %imm(%rs)
+        srli $dr0, 6, $dr0
+        andi $dr0, 65535, $dr0
+        srli $dr0, 6, $dr1
+        slli $dr1, 3, $dr1
+        addq $dr5, $dr1, $dr1
+        ldq  $dr2, 0($dr1)
+        andi $dr0, 63, $dr0
+        srl  $dr2, $dr0, $dr2
+        andi $dr2, 1, $dr2
+        jeq  $dr2, ($dr7)
+        %insn
+    }
+}
+prod dsm_store {
+    match class == store
+    replace {
+        lda  $dr0, %imm(%rs)
+        srli $dr0, 6, $dr0
+        andi $dr0, 65535, $dr0
+        srli $dr0, 6, $dr1
+        slli $dr1, 3, $dr1
+        addq $dr5, $dr1, $dr1
+        ldq  $dr2, 0($dr1)
+        andi $dr0, 63, $dr0
+        srl  $dr2, $dr0, $dr2
+        andi $dr2, 1, $dr2
+        jeq  $dr2, ($dr7)
+        %insn
+    }
+}
+`
+
+// InstallTracking activates tracking mode: the directory lives at dirBase
+// in m's data space; misses are counted in a dedicated register. Every
+// load/store marks its line present (first touch counts once).
+func InstallTracking(c *core.Controller, m *emu.Machine, dirBase uint64) ([]*core.Production, error) {
+	prods, err := c.InstallFile(trackProductions, nil)
+	if err != nil {
+		return nil, err
+	}
+	setup(m, dirBase)
+	return prods, nil
+}
+
+// InstallTrap activates trap mode: accesses to non-present lines escape to
+// the coherence handler (the kernel trap vector).
+func InstallTrap(c *core.Controller, m *emu.Machine, dirBase uint64) ([]*core.Production, error) {
+	prods, err := c.InstallFile(trapProductions, nil)
+	if err != nil {
+		return nil, err
+	}
+	setup(m, dirBase)
+	return prods, nil
+}
+
+func setup(m *emu.Machine, dirBase uint64) {
+	m.SetReg(dirBaseReg, dirBase)
+	m.SetReg(oneReg, 1)
+	m.SetReg(missReg, 0)
+	m.SetReg(handlerReg, 0)
+}
+
+// MarkPresent sets the presence bit for every line covering [addr,
+// addr+size) — the host-side stand-in for the home node granting access.
+func MarkPresent(m *emu.Machine, dirBase, addr uint64, size int) {
+	for a := addr; a < addr+uint64(size); a += 1 << LineShift {
+		line := a >> LineShift & (DirLines - 1)
+		wordAddr := dirBase + line/64*8
+		w := m.Mem().Read64(wordAddr)
+		m.Mem().Write64(wordAddr, w|1<<(line%64))
+	}
+}
+
+// Present reports whether addr's line is marked present.
+func Present(m *emu.Machine, dirBase, addr uint64) bool {
+	line := addr >> LineShift & (DirLines - 1)
+	w := m.Mem().Read64(dirBase + line/64*8)
+	return w>>(line%64)&1 == 1
+}
+
+// Lines returns the number of distinct lines marked present in the
+// directory (tracking mode's touched-footprint measure).
+func Lines(m *emu.Machine, dirBase uint64) int {
+	n := 0
+	for i := uint64(0); i < DirBytes/8; i++ {
+		w := m.Mem().Read64(dirBase + i*8)
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+var _ = program.DataBase // referenced by tests/examples for directory placement

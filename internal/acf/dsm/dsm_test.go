@@ -1,0 +1,204 @@
+package dsm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/program"
+)
+
+func newController() *core.Controller {
+	cfg := core.DefaultEngineConfig()
+	cfg.RTPerfect = true
+	return core.NewController(cfg)
+}
+
+// walker touches `lines` distinct 64-byte lines, `passes` times each.
+const walker = `
+.entry main
+.data
+dir:  .space 8192
+heap: .space 16384
+.text
+main:
+    li r9, 3          ; passes
+outer:
+    la r1, heap
+    li r2, 20         ; lines
+loop:
+    ldq r3, 0(r1)
+    addqi r3, 1, r3
+    stq r3, 0(r1)
+    addqi r1, 64, r1
+    subqi r2, 1, r2
+    bgt r2, loop
+    subqi r9, 1, r9
+    bgt r9, outer
+    halt
+`
+
+func dirBase() uint64 { return program.DataBase }
+
+func heapBase() uint64 { return program.DataBase + 8192 }
+
+func TestTrackingCountsFirstTouches(t *testing.T) {
+	p := asm.MustAssemble("w", walker)
+	m := emu.New(p)
+	c := newController()
+	if _, err := InstallTracking(c, m, dirBase()); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 20 heap lines touched (load+store on the same line counts once), but
+	// the program also loads/stores... only heap accesses here. 3 passes
+	// re-touch the same lines: still 20 first-touch misses.
+	if got := MissCount(m); got != 20 {
+		t.Errorf("first-touch misses = %d, want 20", got)
+	}
+	if got := Lines(m, dirBase()); got != 20 {
+		t.Errorf("present lines = %d, want 20", got)
+	}
+	if !Present(m, dirBase(), heapBase()) {
+		t.Error("first heap line should be present")
+	}
+	if Present(m, dirBase(), heapBase()+20*64) {
+		t.Error("untouched line should be absent")
+	}
+}
+
+func TestTrackingPreservesComputation(t *testing.T) {
+	p := asm.MustAssemble("w", walker)
+	m0 := emu.New(p)
+	if err := m0.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(asm.MustAssemble("w", walker))
+	c := newController()
+	if _, err := InstallTracking(c, m, dirBase()); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		a := heapBase() + uint64(i*64)
+		if m.Mem().Read64(a) != m0.Mem().Read64(a) {
+			t.Fatalf("heap line %d diverged under tracking", i)
+		}
+	}
+}
+
+func TestTrapModeCatchesAbsent(t *testing.T) {
+	p := asm.MustAssemble("w", walker)
+	m := emu.New(p)
+	c := newController()
+	if _, err := InstallTrap(c, m, dirBase()); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+	err := m.Run()
+	if !errors.Is(err, emu.ErrACFViolation) {
+		t.Fatalf("access to absent line should trap, got %v", err)
+	}
+	if m.Stats.Loads != 0 && m.Stats.Stores != 0 {
+		// The very first heap load must have trapped before executing.
+		t.Errorf("accesses executed before trap: loads=%d stores=%d", m.Stats.Loads, m.Stats.Stores)
+	}
+}
+
+func TestTrapModeRunsWhenPresent(t *testing.T) {
+	p := asm.MustAssemble("w", walker)
+	m := emu.New(p)
+	c := newController()
+	if _, err := InstallTrap(c, m, dirBase()); err != nil {
+		t.Fatal(err)
+	}
+	// The "home node" grants the whole heap up front.
+	MarkPresent(m, dirBase(), heapBase(), 20*64)
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Stores == 0 {
+		t.Error("no stores executed")
+	}
+}
+
+func TestInterruptGrantResume(t *testing.T) {
+	// The coherence-protocol shape the paper's precise-state model enables:
+	// an interrupt lands in the middle of a DSM check sequence, the
+	// "home node" grants the lines while the process is suspended, and
+	// execution resumes at the saved PC:DISEPC — the re-expanded sequence
+	// re-reads the directory and the access now proceeds.
+	p := asm.MustAssemble("w", walker)
+	m := emu.New(p)
+	c := newController()
+	if _, err := InstallTrap(c, m, dirBase()); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+
+	// Run until we are a few instructions into the first check sequence
+	// (before the directory word is read at DISEPC 6).
+	for m.DISEPC() < 3 {
+		if _, ok := m.Step(); !ok {
+			t.Fatalf("machine stopped early: %v", m.Err())
+		}
+	}
+	st := m.Interrupt()
+	if st.DISEPC < 3 {
+		t.Fatalf("interrupt state = %+v", st)
+	}
+	// Handler: grant the whole heap.
+	MarkPresent(m, dirBase(), heapBase(), 20*64)
+	if err := m.Resume(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatalf("post-grant run should complete: %v", err)
+	}
+	if m.Stats.Stores == 0 {
+		t.Error("no stores executed after the grant")
+	}
+}
+
+func TestDirectoryHelpers(t *testing.T) {
+	m := emu.New(asm.MustAssemble("d", ".entry main\nmain:\n halt\n"))
+	if Present(m, dirBase(), heapBase()) {
+		t.Error("fresh directory should be empty")
+	}
+	MarkPresent(m, dirBase(), heapBase(), 200)
+	if got := Lines(m, dirBase()); got != 4 { // 200 bytes = 4 lines
+		t.Errorf("lines = %d, want 4", got)
+	}
+	if !Present(m, dirBase(), heapBase()+128) {
+		t.Error("marked line should be present")
+	}
+}
+
+func TestCheckCostIsConstant(t *testing.T) {
+	// The tracking check is branch-free: every load/store expands to the
+	// same 15-instruction sequence regardless of hit/miss.
+	p := asm.MustAssemble("w", walker)
+	m := emu.New(p)
+	c := newController()
+	if _, err := InstallTracking(c, m, dirBase()); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 20 lines x 3 passes x (1 load + 1 store) = 120 accesses, 14 inserted
+	// instructions each.
+	if got := m.Stats.ReplInsts; got != 120*14 {
+		t.Errorf("replacement insts = %d, want %d", got, 120*14)
+	}
+}

@@ -1,0 +1,291 @@
+// Package mfi implements memory fault isolation (paper §3.1), the paper's
+// flagship transparent ACF, in all evaluated variants:
+//
+//   - DISE3: the three-instruction segment-matching check + trigger enabled
+//     by DISE's control-flow model (no copy instruction is needed because
+//     jumps cannot enter the middle of a replacement sequence).
+//   - DISE4: the four-instruction sequence equivalent to what binary
+//     rewriting must insert (including the copy), retiring exactly as many
+//     instructions as the rewriting baseline.
+//   - Sandbox: the address-masking variant (forces the segment bits rather
+//     than checking them), which rewrites the trigger's base register.
+//   - Rewrite: the static binary-rewriting baseline, which scavenges
+//     application registers and embeds the checks into the text image.
+//
+// Loads, stores, and indirect jumps (returns included) are monitored.
+package mfi
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/rewrite"
+)
+
+// Variant selects an MFI formulation.
+type Variant int
+
+// MFI variants.
+const (
+	// DISE3 is segment matching exploiting DISE replacement-sequence
+	// atomicity: srl/xor/branch + trigger.
+	DISE3 Variant = iota
+	// DISE4 adds the copy instruction that software implementations need,
+	// making its retired instruction count identical to rewriting.
+	DISE4
+	// Sandbox masks the address into the legal segment instead of checking.
+	Sandbox
+)
+
+func (v Variant) String() string {
+	switch v {
+	case DISE4:
+		return "dise4"
+	case Sandbox:
+		return "sandbox"
+	default:
+		return "dise3"
+	}
+}
+
+// Dedicated register roles. $dr2 holds the legal data segment identifier,
+// $dr3 the legal code segment identifier, and $dr7 the violation handler
+// address (the paper Figure 1 "error" target; address 0 is the kernel trap
+// vector). $dr0/$dr1 are scratch.
+const (
+	ScratchReg  = isa.RegDR0
+	Scratch2Reg = isa.RegDR0 + 1
+	DataSegReg  = isa.RegDR0 + 2
+	TextSegReg  = isa.RegDR0 + 3
+	HandlerReg  = isa.RegDR0 + 7
+)
+
+// Productions returns the production-language source for an MFI variant.
+// Data accesses are checked against $dr2, indirect jump targets against
+// $dr3 (checking jumps prevents escape from the code segment — paper §3.1).
+func Productions(v Variant) string {
+	switch v {
+	case DISE3:
+		return `
+# memory fault isolation, segment matching (DISE3: paper Figure 1).
+# The error branch is NOT taken on the good path: the check falls through
+# to the trigger and costs nothing (non-trigger replacement branches are
+# effectively predicted not-taken, paper 2.2). On a violation the jne
+# squashes the rest of the sequence and fetch resumes at the handler in
+# $dr7 (address 0 = kernel trap vector).
+prod mfi_store {
+    match class == store
+    replace {
+        srli %rs, 26, $dr1
+        xor  $dr1, $dr2, $dr1
+        jne  $dr1, ($dr7)
+        %insn
+    }
+}
+prod mfi_load {
+    match class == load
+    replace {
+        srli %rs, 26, $dr1
+        xor  $dr1, $dr2, $dr1
+        jne  $dr1, ($dr7)
+        %insn
+    }
+}
+prod mfi_jump {
+    match class == jump
+    replace {
+        srli %rs, 26, $dr1
+        xor  $dr1, $dr3, $dr1
+        jne  $dr1, ($dr7)
+        %insn
+    }
+}
+`
+	case DISE4:
+		return `
+# memory fault isolation with the software-equivalent copy (DISE4)
+prod mfi_store {
+    match class == store
+    replace {
+        bis  %rs, %rs, $dr0
+        srli $dr0, 26, $dr1
+        xor  $dr1, $dr2, $dr1
+        jne  $dr1, ($dr7)
+        %op %rt, %imm($dr0)
+    }
+}
+prod mfi_load {
+    match class == load
+    replace {
+        bis  %rs, %rs, $dr0
+        srli $dr0, 26, $dr1
+        xor  $dr1, $dr2, $dr1
+        jne  $dr1, ($dr7)
+        %op %rd, %imm($dr0)
+    }
+}
+prod mfi_jump {
+    match class == jump
+    replace {
+        bis  %rs, %rs, $dr0
+        srli $dr0, 26, $dr1
+        xor  $dr1, $dr3, $dr1
+        jne  $dr1, ($dr7)
+        %op %rd, ($dr0)
+    }
+}
+`
+	case Sandbox:
+		return `
+# memory fault isolation, sandboxing: force the segment bits (2 + trigger)
+prod mfi_store {
+    match class == store
+    replace {
+        andi %rs, 67108863, $dr0
+        bis  $dr0, $dr4, $dr0
+        %op  %rt, %imm($dr0)
+    }
+}
+prod mfi_load {
+    match class == load
+    replace {
+        andi %rs, 67108863, $dr0
+        bis  $dr0, $dr4, $dr0
+        %op  %rd, %imm($dr0)
+    }
+}
+`
+	}
+	return ""
+}
+
+// Install activates MFI productions on a controller.
+func Install(c *core.Controller, v Variant) ([]*core.Production, error) {
+	return c.InstallFile(Productions(v), nil)
+}
+
+// Setup initializes the DISE dedicated registers MFI uses on machine m: the
+// legal data and code segment identifiers, the violation handler (the
+// kernel trap vector at 0), and, for sandboxing, the precomposed data
+// segment base in $dr4.
+func Setup(m *emu.Machine) {
+	m.SetReg(DataSegReg, program.SegData)
+	m.SetReg(TextSegReg, program.SegText)
+	m.SetReg(HandlerReg, 0)
+	m.SetReg(isa.RegDR0+4, program.DataBase)
+}
+
+// The sandbox mask must match the production text above.
+func init() {
+	if 67108863 != (uint64(1)<<program.SegShift)-1 {
+		panic("mfi: sandbox mask out of sync with program.SegShift")
+	}
+}
+
+// Scavenged registers used by the rewriting baseline. A static rewriter
+// cannot allocate fresh registers, so it steals high application registers
+// (r20..r23), exactly the cost the paper charges to software fault
+// isolation ("as many as five dedicated registers that must be reserved by
+// the compiler or scavenged by a rewriting tool").
+const (
+	scavAddr    = isa.Reg(20) // copied effective base address
+	scavTmp     = isa.Reg(21) // scratch for the segment extraction
+	scavDataSeg = isa.Reg(22) // legal data segment identifier
+	scavTextSeg = isa.Reg(23) // legal code segment identifier
+	scavHandler = isa.Reg(24) // violation handler address (0 = kernel trap)
+)
+
+// ScavengedRegs lists the registers the rewriting baseline reserves;
+// workload generators must keep application code out of them for the
+// rewriting comparison to be sound.
+func ScavengedRegs() []isa.Reg {
+	return []isa.Reg{scavAddr, scavTmp, scavDataSeg, scavTextSeg, scavHandler}
+}
+
+// stationSpacing bounds the distance (in rewritten units) between a check's
+// error branch and its trap station, keeping every such PC-relative branch
+// short. Real SFI rewriters do the same to keep error exits in short branch
+// range.
+const stationSpacing = 400
+
+// Rewrite produces the binary-rewriting implementation of segment-matching
+// MFI: each load, store and indirect jump is preceded by a check through
+// scavenged registers — copy the address (so jumps into the middle cannot
+// bypass the check with a different address), extract and compare the
+// segment, branch to a nearby inline trap station on mismatch — and the
+// access itself is redirected through the copied register. Trap stations
+// ("sys 3" behind an unconditional skip) are planted with the first check
+// and re-planted whenever the previous one falls out of short branch range;
+// their PC-relative displacement differs at every check site, which is
+// exactly what makes rewritten checks hard for unparameterized compressors
+// and easy for DISE's displacement parameters (paper §4.3). A prologue
+// initializes the segment identifiers. On the good path this retires the
+// same instructions as the DISE4 formulation (plus one skip branch per
+// station passed).
+func Rewrite(p *program.Program) (*program.Program, error) {
+	edit := &rewrite.Edit{
+		Prologue: []isa.Inst{
+			{Op: isa.OpLDA, RD: scavDataSeg, RS: isa.RegZero, RT: isa.NoReg, Imm: program.SegData},
+			{Op: isa.OpLDA, RD: scavTextSeg, RS: isa.RegZero, RT: isa.NoReg, Imm: program.SegText},
+		},
+	}
+	sinceStation := stationSpacing + 1 // force a station at the first check
+	stations := 0
+	station := ""
+	for i, in := range p.Text {
+		var segReg isa.Reg
+		var replace isa.Inst
+		switch in.Op.Class() {
+		case isa.ClassLoad:
+			segReg = scavDataSeg
+			replace = isa.Inst{Op: in.Op, RD: in.RD, RS: scavAddr, RT: isa.NoReg, Imm: in.Imm}
+		case isa.ClassStore:
+			segReg = scavDataSeg
+			replace = isa.Inst{Op: in.Op, RT: in.RT, RS: scavAddr, RD: isa.NoReg, Imm: in.Imm}
+		case isa.ClassJump:
+			segReg = scavTextSeg
+			replace = isa.Inst{Op: in.Op, RD: in.RD, RS: scavAddr, RT: isa.NoReg, Imm: in.Imm}
+		default:
+			sinceStation++
+			continue
+		}
+		if in.RS.IsDedicated() {
+			return nil, fmt.Errorf("mfi: rewrite: unit %d uses dedicated registers", i)
+		}
+		ins := rewrite.Insertion{At: i, Replace: &replace}
+		if sinceStation > stationSpacing {
+			station = fmt.Sprintf("__mfi_trap_%d", stations)
+			stations++
+			ins.Insts = []isa.Inst{
+				// Fall-through execution skips the trap.
+				{Op: isa.OpBR, RD: isa.RegZero, RS: isa.NoReg, RT: isa.NoReg, Imm: 1},
+				{Op: isa.OpSYS, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg, Imm: isa.SysError},
+			}
+			ins.Syms = map[string]int{station: 1}
+			sinceStation = 0
+		}
+		base := len(ins.Insts)
+		ins.Insts = append(ins.Insts,
+			// The copy ensures a jump into the middle of the check cannot
+			// reach the access with an unchecked address (paper 3.1).
+			isa.Inst{Op: isa.OpBIS, RS: in.RS, RT: in.RS, RD: scavAddr},
+			isa.Inst{Op: isa.OpSRLI, RS: scavAddr, RD: scavTmp, RT: isa.NoReg, Imm: program.SegShift},
+			isa.Inst{Op: isa.OpXOR, RS: scavTmp, RT: segReg, RD: scavTmp},
+			// Not taken on the good path; jumps to the trap station
+			// otherwise (PC-relative, resolved after relocation).
+			isa.Inst{Op: isa.OpBNE, RS: scavTmp, RT: isa.NoReg, RD: isa.NoReg, Imm: 0},
+		)
+		ins.Refs = []rewrite.SymRef{{Index: base + 3, Symbol: station}}
+		edit.Insertions = append(edit.Insertions, ins)
+		sinceStation += len(ins.Insts) + 1
+	}
+	q, err := rewrite.Apply(p, edit)
+	if err != nil {
+		return nil, err
+	}
+	q.Name = p.Name + "+mfi-rw"
+	return q, nil
+}

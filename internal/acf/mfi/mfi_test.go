@@ -1,0 +1,255 @@
+package mfi
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+const workload = `
+.entry main
+.data
+arr: .space 4096
+.text
+main:
+    li r2, 200
+    la r1, arr
+outer:
+    bsr ra, body
+    subqi r2, 1, r2
+    bgt r2, outer
+    halt
+body:
+    li r3, 16
+    mov r1, r4
+inner:
+    ldq r5, 0(r4)
+    addqi r5, 1, r5
+    stq r5, 0(r4)
+    addqi r4, 8, r4
+    subqi r3, 1, r3
+    bgt r3, inner
+    ret
+`
+
+const wild = `
+.entry main
+main:
+    li r1, 1
+    li r2, 99
+    slli r2, 30, r2   ; far outside any legal segment
+    stq r1, 0(r2)
+    halt
+`
+
+func newDISE(t *testing.T, v Variant) *core.Controller {
+	t.Helper()
+	cfg := core.DefaultEngineConfig()
+	cfg.RTPerfect = true
+	c := core.NewController(cfg)
+	if _, err := Install(c, v); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func runDISE(t *testing.T, src string, v Variant) *cpu.Result {
+	t.Helper()
+	m := emu.New(asm.MustAssemble("w", src))
+	c := newDISE(t, v)
+	m.SetExpander(c.Engine())
+	Setup(m)
+	return cpu.Run(m, cpu.DefaultConfig())
+}
+
+func TestVariantsPreserveSemantics(t *testing.T) {
+	base := cpu.Run(emu.New(asm.MustAssemble("w", workload)), cpu.DefaultConfig())
+	if base.Err != nil {
+		t.Fatal(base.Err)
+	}
+	for _, v := range []Variant{DISE3, DISE4, Sandbox} {
+		r := runDISE(t, workload, v)
+		if r.Err != nil {
+			t.Fatalf("%v: %v", v, r.Err)
+		}
+		if r.AppInsts != base.AppInsts {
+			t.Errorf("%v: app insts %d != base %d", v, r.AppInsts, base.AppInsts)
+		}
+	}
+}
+
+func TestDISE3CatchesWildStore(t *testing.T) {
+	r := runDISE(t, wild, DISE3)
+	if !errors.Is(r.Err, emu.ErrACFViolation) {
+		t.Errorf("err = %v, want violation", r.Err)
+	}
+}
+
+func TestDISE4CatchesWildStore(t *testing.T) {
+	r := runDISE(t, wild, DISE4)
+	if !errors.Is(r.Err, emu.ErrACFViolation) {
+		t.Errorf("err = %v, want violation", r.Err)
+	}
+}
+
+func TestSandboxMasksWildStore(t *testing.T) {
+	// Sandboxing does not detect the wild store; it redirects it into the
+	// legal segment.
+	r := runDISE(t, wild, Sandbox)
+	if r.Err != nil {
+		t.Fatalf("sandbox should not fault: %v", r.Err)
+	}
+}
+
+func TestSandboxRedirectsIntoSegment(t *testing.T) {
+	p := asm.MustAssemble("sb", wild)
+	m := emu.New(p)
+	c := newDISE(t, Sandbox)
+	m.SetExpander(c.Engine())
+	Setup(m)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The store of 1 went to (wildAddr & mask) | DataBase.
+	wildAddr := (uint64(99) << 30)
+	masked := wildAddr&((1<<program.SegShift)-1) | program.DataBase
+	if got := m.Mem().Read64(masked); got != 1 {
+		t.Errorf("sandboxed store landed wrong: mem[%#x] = %d", masked, got)
+	}
+}
+
+func TestDISE3ExecutesFewerThanDISE4(t *testing.T) {
+	r3 := runDISE(t, workload, DISE3)
+	r4 := runDISE(t, workload, DISE4)
+	if !(r3.Insts < r4.Insts) {
+		t.Errorf("DISE3 (%d insts) should execute fewer than DISE4 (%d)", r3.Insts, r4.Insts)
+	}
+}
+
+func TestRewritePreservesSemantics(t *testing.T) {
+	p := asm.MustAssemble("w", workload)
+	q, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cpu.Run(emu.New(p), cpu.DefaultConfig())
+	r := cpu.Run(emu.New(q), cpu.DefaultConfig())
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Output != base.Output {
+		t.Errorf("rewritten output %q != base %q", r.Output, base.Output)
+	}
+}
+
+func TestRewriteCatchesWildStore(t *testing.T) {
+	q, err := Rewrite(asm.MustAssemble("w", wild))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cpu.Run(emu.New(q), cpu.DefaultConfig())
+	if !errors.Is(r.Err, emu.ErrACFViolation) {
+		t.Errorf("err = %v, want violation", r.Err)
+	}
+}
+
+func TestRewriteBloatsText(t *testing.T) {
+	p := asm.MustAssemble("w", workload)
+	q, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 memory ops + 1 ret checked, 4 inserted insts each, plus one trap
+	// station (2 insts) and the 2-inst prologue.
+	want := p.NumUnits() + 3*4 + 2 + 2
+	if q.NumUnits() != want {
+		t.Errorf("rewritten units = %d, want %d", q.NumUnits(), want)
+	}
+}
+
+func TestRewriteMatchesDISE4RetiredCount(t *testing.T) {
+	// The paper: DISE4 and rewriting retire an identical number of
+	// instructions (modulo the rewriter's fixed prologue).
+	p := asm.MustAssemble("w", workload)
+	q, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := cpu.Run(emu.New(q), cpu.DefaultConfig())
+	d4 := runDISE(t, workload, DISE4)
+	if d4.Err != nil || rw.Err != nil {
+		t.Fatal(d4.Err, rw.Err)
+	}
+	// Equal modulo the prologue and the skip branch retired at each trap
+	// station crossing (well under 10% of the stream).
+	if rw.Insts < d4.Insts || float64(rw.Insts) > float64(d4.Insts)*1.10 {
+		t.Errorf("rewrite retires %d, DISE4 %d; want equal modulo station skips", rw.Insts, d4.Insts)
+	}
+}
+
+func TestRewriteDoesNotUseDISE(t *testing.T) {
+	// The rewritten binary runs on a stock machine: no expander needed.
+	q, err := Rewrite(asm.MustAssemble("w", workload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := emu.New(q).Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDISEJumpChecking(t *testing.T) {
+	// Returns are indirect jumps and must be checked against the code
+	// segment; a corrupted return address is caught before the jump.
+	src := `
+.entry main
+main:
+    bsr ra, f
+    halt
+f:
+    li r9, 12345      ; garbage (segment 0)
+    mov r9, ra
+    ret
+`
+	r := runDISE(t, src, DISE3)
+	if !errors.Is(r.Err, emu.ErrACFViolation) {
+		t.Errorf("err = %v, want violation on corrupted return", r.Err)
+	}
+}
+
+func TestScavengedRegs(t *testing.T) {
+	regs := ScavengedRegs()
+	if len(regs) != 5 {
+		t.Fatalf("scavenged count = %d", len(regs))
+	}
+	for _, r := range regs {
+		if !r.IsArch() {
+			t.Errorf("scavenged reg %v must be architectural", r)
+		}
+		if r == isa.RegSP || r == isa.RegZero || r == isa.RegRA {
+			t.Errorf("scavenged reg %v collides with ABI register", r)
+		}
+	}
+}
+
+func TestRewriteExpansionRateAbout30Percent(t *testing.T) {
+	// The paper: fault isolation expands ~30% of dynamic instructions. Our
+	// inner loop is 7 insts with 2 memory ops + the ret: in that ballpark.
+	m := emu.New(asm.MustAssemble("w", workload))
+	c := newDISE(t, DISE3)
+	m.SetExpander(c.Engine())
+	Setup(m)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rate := c.Engine().Stats.ExpansionRate()
+	if rate < 0.15 || rate > 0.45 {
+		t.Errorf("expansion rate = %.2f, want ~0.3", rate)
+	}
+}

@@ -1,0 +1,115 @@
+// Package monitor implements the security/debugging observation ACFs of
+// paper §3.1: reference monitors that enforce a policy on instruction
+// execution, and code assertions (watchpoints) that trap arbitrary
+// conditions — both as transparent productions with the three properties
+// the paper highlights: the policy state lives behind the PT/RT access
+// model (tamper-proof), the checks run inside atomic replacement sequences
+// (not bypassable), and the productions are small declarative rules.
+package monitor
+
+import (
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// Dedicated register roles used by this package.
+const (
+	// PolicyReg ($dr6) holds the syscall-permission bitmask: bit k set
+	// means "sys k" is permitted.
+	PolicyReg = isa.RegDR0 + 6
+	// WatchReg ($dr6) holds the watched address for watchpoints.
+	WatchReg = isa.RegDR0 + 6
+	// HandlerReg ($dr7) holds the violation handler (0 = kernel trap).
+	HandlerReg = isa.RegDR0 + 7
+)
+
+// SyscallPolicyProductions is a reference monitor over the sys interface:
+// every sys instruction is expanded into a permission check against the
+// bitmask in $dr6 before it executes. The application cannot read or write
+// the mask, and — because replacement sequences cannot be jumped into —
+// cannot reach the sys without passing the check.
+const SyscallPolicyProductions = `
+prod sys_monitor {
+    match op == sys
+    replace {
+        lda  $dr0, %imm(zero)
+        srl  $dr6, $dr0, $dr1
+        andi $dr1, 1, $dr1
+        jeq  $dr1, ($dr7)
+        %insn
+    }
+}
+`
+
+// InstallSyscallPolicy activates the monitor, permitting exactly the given
+// sys codes for machine m.
+func InstallSyscallPolicy(c *core.Controller, m *emu.Machine, allowed ...int64) ([]*core.Production, error) {
+	prods, err := c.InstallFile(SyscallPolicyProductions, nil)
+	if err != nil {
+		return nil, err
+	}
+	var mask uint64
+	for _, code := range allowed {
+		if code >= 0 && code < 64 {
+			mask |= 1 << uint(code)
+		}
+	}
+	m.SetReg(PolicyReg, mask)
+	m.SetReg(HandlerReg, 0)
+	return prods, nil
+}
+
+// WatchpointProductions is a data watchpoint: every store's effective
+// address is compared against the watched address in $dr6; a hit traps to
+// the handler before the store executes. Unlike a debugger's single-
+// stepping implementation, the comparison is inlined into the stream and
+// runs at full pipeline speed (paper §3.1, "code assertions").
+const WatchpointProductions = `
+prod watch_store {
+    match class == store
+    replace {
+        lda $dr0, %imm(%rs)
+        xor $dr0, $dr6, $dr0
+        jeq $dr0, ($dr7)
+        %insn
+    }
+}
+`
+
+// InstallWatchpoint activates a store watchpoint on addr for machine m.
+func InstallWatchpoint(c *core.Controller, m *emu.Machine, addr uint64) ([]*core.Production, error) {
+	prods, err := c.InstallFile(WatchpointProductions, nil)
+	if err != nil {
+		return nil, err
+	}
+	m.SetReg(WatchReg, addr)
+	m.SetReg(HandlerReg, 0)
+	return prods, nil
+}
+
+// NullRangeProductions extends the monitor idea with a negative pattern
+// specification (paper §2.2): stores through the zero register (absolute
+// low addresses — null-pointer dereferences) trap, while a more specific
+// identity production... has no use here; instead the pattern itself
+// constrains the base register, demonstrating register-constrained
+// patterns in a policy.
+const NullRangeProductions = `
+prod null_store {
+    match class == store && rs == zero
+    replace {
+        jmp zero, ($dr7)
+    }
+}
+`
+
+// InstallNullStoreTrap traps all stores with a zero base register (absolute
+// null-page addresses).
+func InstallNullStoreTrap(c *core.Controller, m *emu.Machine) ([]*core.Production, error) {
+	prods, err := c.InstallFile(NullRangeProductions, nil)
+	if err != nil {
+		return nil, err
+	}
+	m.SetReg(HandlerReg, 0)
+	return prods, nil
+}

@@ -1,0 +1,201 @@
+package monitor
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/program"
+)
+
+func newController() *core.Controller {
+	cfg := core.DefaultEngineConfig()
+	cfg.RTPerfect = true
+	return core.NewController(cfg)
+}
+
+func TestSyscallPolicyAllows(t *testing.T) {
+	p := asm.MustAssemble("ok", `
+.entry main
+main:
+    li r1, 42
+    sys 2
+    halt
+`)
+	m := emu.New(p)
+	c := newController()
+	if _, err := InstallSyscallPolicy(c, m, 2); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output() != "42" {
+		t.Errorf("output = %q", m.Output())
+	}
+}
+
+func TestSyscallPolicyDenies(t *testing.T) {
+	p := asm.MustAssemble("bad", `
+.entry main
+main:
+    li r1, 65
+    sys 1
+    halt
+`)
+	m := emu.New(p)
+	c := newController()
+	if _, err := InstallSyscallPolicy(c, m, 2); err != nil { // only sys 2 allowed
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+	err := m.Run()
+	if !errors.Is(err, emu.ErrACFViolation) {
+		t.Errorf("err = %v, want violation", err)
+	}
+	if m.Output() != "" {
+		t.Errorf("denied sys still produced output %q", m.Output())
+	}
+}
+
+func TestPolicyMaskInvisible(t *testing.T) {
+	// The application cannot weaken the policy: writing r6 does not touch
+	// the dedicated $dr6 holding the mask.
+	p := asm.MustAssemble("sneaky", `
+.entry main
+main:
+    li r6, -1     ; try to "set all bits"
+    li r1, 1
+    sys 1
+    halt
+`)
+	m := emu.New(p)
+	c := newController()
+	if _, err := InstallSyscallPolicy(c, m, 2); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+	if err := m.Run(); !errors.Is(err, emu.ErrACFViolation) {
+		t.Errorf("err = %v, want violation despite r6 tampering", err)
+	}
+}
+
+const watchProg = `
+.entry main
+.data
+arr: .space 256
+.text
+main:
+    la r1, arr
+    li r2, 8
+loop:
+    stq r2, 0(r1)
+    addqi r1, 8, r1
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`
+
+func TestWatchpointHits(t *testing.T) {
+	p := asm.MustAssemble("w", watchProg)
+	m := emu.New(p)
+	c := newController()
+	// Watch the 4th element: hit on the 4th store.
+	if _, err := InstallWatchpoint(c, m, program.DataBase+24); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+	err := m.Run()
+	if !errors.Is(err, emu.ErrACFViolation) {
+		t.Fatalf("err = %v, want watchpoint trap", err)
+	}
+	// The first three stores completed; the watched one did not execute.
+	if got := m.Mem().Read64(program.DataBase + 16); got != 6 {
+		t.Errorf("third store missing: %d", got)
+	}
+	if got := m.Mem().Read64(program.DataBase + 24); got != 0 {
+		t.Errorf("watched store executed: %d", got)
+	}
+	if m.Stats.Stores != 3 {
+		t.Errorf("stores executed = %d, want 3", m.Stats.Stores)
+	}
+}
+
+func TestWatchpointMissesCleanly(t *testing.T) {
+	p := asm.MustAssemble("w", watchProg)
+	m := emu.New(p)
+	c := newController()
+	if _, err := InstallWatchpoint(c, m, program.DataBase+4096); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Stores != 8 {
+		t.Errorf("stores = %d", m.Stats.Stores)
+	}
+}
+
+func TestWatchpointRemovable(t *testing.T) {
+	// "Assertions can be added and removed quickly. Inactive assertions
+	// have no runtime overhead." (§3.1)
+	p := asm.MustAssemble("w", watchProg)
+	m := emu.New(p)
+	c := newController()
+	prods, err := InstallWatchpoint(c, m, program.DataBase+24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range prods {
+		c.Deactivate(pr)
+	}
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Engine().Stats.Expansions; got != 0 {
+		t.Errorf("deactivated watchpoint expanded %d times", got)
+	}
+}
+
+func TestNullStoreTrap(t *testing.T) {
+	p := asm.MustAssemble("n", `
+.entry main
+main:
+    li r1, 5
+    stq r1, 64(zero)   ; null-page store
+    halt
+`)
+	m := emu.New(p)
+	c := newController()
+	if _, err := InstallNullStoreTrap(c, m); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+	if err := m.Run(); !errors.Is(err, emu.ErrACFViolation) {
+		t.Errorf("err = %v, want null-store trap", err)
+	}
+	// Ordinary stores are untouched (pattern constrains the base register).
+	m2 := emu.New(asm.MustAssemble("n2", `
+.entry main
+main:
+    li r1, 5
+    stq r1, 0(sp)
+    halt
+`))
+	c2 := newController()
+	if _, err := InstallNullStoreTrap(c2, m2); err != nil {
+		t.Fatal(err)
+	}
+	m2.SetExpander(c2.Engine())
+	if err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Engine().Stats.Expansions != 0 {
+		t.Error("sp-based store should not match the null-store pattern")
+	}
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// Path profiling (paper §3.1, and Corliss et al.'s DISE path profiler):
+// DISE productions record, with no binary modification, enough information
+// to reconstruct acyclic path frequencies offline.
+//
+// The formulation is outcome tracing: a production matching every
+// conditional branch appends two words to a buffer held in a dedicated
+// register — the trigger's PC (via the %pc directive, the non-instruction
+// trigger attribute the paper §2.1 singles out as useful for profiling) and
+// the *value of the trigger's condition register* (via a %rs-parameterized
+// store). The branch's opcode plus the recorded value yield the exact
+// taken/not-taken outcome; the offline pass folds outcome sequences into
+// acyclic paths delimited, as in Ball-Larus profiling, at taken back edges.
+
+// PathProfileProductions records (PC, condition value) per conditional
+// branch.
+const PathProfileProductions = `
+prod pathprof {
+    match class == condbr
+    replace {
+        lda $dr4, %pc(zero)
+        stq $dr4, 0($dr5)
+        stq %rs, 8($dr5)
+        lda $dr5, 16($dr5)
+        %insn
+    }
+}
+`
+
+// InstallPathProfiling activates the path profiler writing to bufAddr.
+func InstallPathProfiling(c *core.Controller, m *emu.Machine, bufAddr uint64) ([]*core.Production, error) {
+	prods, err := c.InstallFile(PathProfileProductions, nil)
+	if err != nil {
+		return nil, err
+	}
+	m.SetReg(BufPtrReg, bufAddr)
+	return prods, nil
+}
+
+// Path is one acyclic path: the unit index of its first conditional branch
+// and the sequence of outcomes along it.
+type Path struct {
+	Entry    int
+	Outcomes string // 'T'/'N' per conditional branch on the path
+}
+
+func (p Path) String() string { return fmt.Sprintf("unit %d [%s]", p.Entry, p.Outcomes) }
+
+// PathCount is a path with its execution frequency.
+type PathCount struct {
+	Path  Path
+	Count int
+}
+
+// outcome evaluates a conditional branch's direction from its recorded
+// condition-register value.
+func outcome(op isa.Opcode, v uint64) (bool, error) {
+	s := int64(v)
+	switch op {
+	case isa.OpBEQ:
+		return s == 0, nil
+	case isa.OpBNE:
+		return s != 0, nil
+	case isa.OpBLT:
+		return s < 0, nil
+	case isa.OpBLE:
+		return s <= 0, nil
+	case isa.OpBGT:
+		return s > 0, nil
+	case isa.OpBGE:
+		return s >= 0, nil
+	}
+	return false, fmt.Errorf("trace: %v is not a conditional branch", op)
+}
+
+// ReconstructPaths converts the recorded (PC, condition) trace into acyclic
+// path counts: outcomes accumulate along a path, and a taken backward
+// branch (a loop back edge) terminates it. The profiler tracks conditional
+// branches only, so paths spanning calls/returns are concatenated — the
+// usual intra-procedural approximation of lossy profiling (the paper notes
+// profile consumers rarely need complete information).
+func ReconstructPaths(m *emu.Machine, start uint64) ([]PathCount, error) {
+	prog := m.Program()
+	end := m.Reg(BufPtrReg)
+	counts := map[Path]int{}
+
+	cur := Path{Entry: -1}
+	flush := func() {
+		if cur.Entry >= 0 {
+			counts[cur]++
+		}
+		cur = Path{Entry: -1}
+	}
+	for a := start; a+16 <= end; a += 16 {
+		pc := m.Mem().Read64(a)
+		val := m.Mem().Read64(a + 8)
+		unit := prog.UnitAt(pc)
+		if unit < 0 {
+			return nil, fmt.Errorf("trace: branch PC %#x outside text", pc)
+		}
+		in := prog.Text[unit]
+		taken, err := outcome(in.Op, val)
+		if err != nil {
+			return nil, err
+		}
+		if cur.Entry < 0 {
+			cur.Entry = unit
+		}
+		if taken {
+			cur.Outcomes += "T"
+			if prog.BranchTargetUnit(unit) <= unit {
+				flush() // taken back edge: the acyclic path ends
+			}
+		} else {
+			cur.Outcomes += "N"
+		}
+	}
+	flush()
+
+	out := make([]PathCount, 0, len(counts))
+	for p, c := range counts {
+		out = append(out, PathCount{Path: p, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Path.Entry != out[j].Path.Entry {
+			return out[i].Path.Entry < out[j].Path.Entry
+		}
+		return out[i].Path.Outcomes < out[j].Path.Outcomes
+	})
+	return out, nil
+}
+
+// HotPath returns the most frequent path, for quick assertions.
+func HotPath(counts []PathCount) (PathCount, bool) {
+	if len(counts) == 0 {
+		return PathCount{}, false
+	}
+	return counts[0], true
+}

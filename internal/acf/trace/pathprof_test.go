@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/program"
+)
+
+// A loop with one internal conditional: 16 iterations, the internal branch
+// taken on odd counters. Two distinct acyclic paths through the loop body.
+const pathProg = `
+.entry main
+.data
+scratch: .space 64
+.text
+main:
+    li r2, 16
+loop:
+    andi r2, 1, r3
+    beq r3, even
+    addqi r4, 1, r4    ; odd path work
+even:
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`
+
+func runPathProfile(t *testing.T, src string) []PathCount {
+	t.Helper()
+	p := asm.MustAssemble("pp", src)
+	cfg := core.DefaultEngineConfig()
+	cfg.RTPerfect = true
+	c := core.NewController(cfg)
+	m := emu.New(p)
+	buf := program.DataBase + 64
+	if _, err := InstallPathProfiling(c, m, buf); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := ReconstructPaths(m, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return counts
+}
+
+func TestPathProfileTwoPaths(t *testing.T) {
+	counts := runPathProfile(t, pathProg)
+	// 16 iterations alternate between the odd path (beq not taken) and the
+	// even path (beq taken). Expect both paths with substantial counts.
+	total := 0
+	for _, pc := range counts {
+		total += pc.Count
+	}
+	if len(counts) < 2 {
+		t.Fatalf("paths found: %v", counts)
+	}
+	hot, _ := HotPath(counts)
+	if hot.Count < 7 || hot.Count > 9 {
+		t.Errorf("hot path count = %d, want ~8 of 16 iterations: %v", hot.Count, counts)
+	}
+	// The two dominant paths must differ in the internal branch outcome.
+	if len(counts) >= 2 && counts[0].Path.Outcomes == counts[1].Path.Outcomes {
+		t.Errorf("paths should differ in outcomes: %v", counts[:2])
+	}
+}
+
+func TestPathProfileBiased(t *testing.T) {
+	// A branch taken 1 time in 16: the hot path dominates.
+	counts := runPathProfile(t, `
+.entry main
+main:
+    li r2, 64
+loop:
+    andi r2, 15, r3
+    beq r3, rare
+    addqi r4, 1, r4
+rare:
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`)
+	hot, ok := HotPath(counts)
+	if !ok {
+		t.Fatal("no paths")
+	}
+	if hot.Count < 50 {
+		t.Errorf("hot path count = %d, want ~60: %v", hot.Count, counts)
+	}
+}
+
+func TestPathProfileDoesNotDisturb(t *testing.T) {
+	// Profiled and unprofiled runs retire the same application stream.
+	p := asm.MustAssemble("pp", pathProg)
+	m0 := emu.New(p)
+	if err := m0.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultEngineConfig()
+	cfg.RTPerfect = true
+	c := core.NewController(cfg)
+	m := emu.New(p)
+	if _, err := InstallPathProfiling(c, m, program.DataBase+64); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.AppInsts != m0.Stats.AppInsts {
+		t.Errorf("profiling disturbed the app stream: %d vs %d", m.Stats.AppInsts, m0.Stats.AppInsts)
+	}
+}
+
+func TestReconstructEmptyTrace(t *testing.T) {
+	p := asm.MustAssemble("e", ".entry main\nmain:\n halt\n")
+	m := emu.New(p)
+	counts, err := ReconstructPaths(m, program.DataBase)
+	if err != nil || len(counts) != 0 {
+		t.Errorf("empty trace: %v, %v", counts, err)
+	}
+}

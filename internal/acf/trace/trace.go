@@ -1,0 +1,84 @@
+// Package trace implements the observation ACFs used in the paper's
+// composition discussion (§3.3, Figure 5) and in the profiling sketch of
+// §3.1: store-address tracing, which appends every store's effective
+// address to an in-memory buffer through dedicated registers, and a simple
+// branch-bias profiler that counts taken conditional branches — a "bit
+// tracing" profile in the style of the paper's path profiler.
+package trace
+
+import (
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Dedicated register roles (kept disjoint from mfi's so the two ACFs
+// compose without renaming; paper §3.3 notes renaming is sometimes needed).
+const (
+	TmpReg    = isa.RegDR0 + 4 // $dr4: computed store address
+	BufPtrReg = isa.RegDR0 + 5 // $dr5: trace buffer cursor
+	CntReg    = isa.RegDR0 + 6 // $dr6: taken-branch counter
+)
+
+// StoreAddressProductions is the store-address-tracing production (Figure 5
+// R3): compute the effective address into $dr4, append it to the buffer at
+// $dr5, bump the cursor, then perform the original store.
+const StoreAddressProductions = `
+prod sat_store {
+    match class == store
+    replace {
+        lda  $dr4, %imm(%rs)
+        stq  $dr4, 0($dr5)
+        lda  $dr5, 8($dr5)
+        %insn
+    }
+}
+`
+
+// BranchProfileProductions counts executed conditional branches in $dr6.
+// (A full path profiler would also fold the outcome history into a tag;
+// the counter shows the mechanism with zero application disturbance.)
+const BranchProfileProductions = `
+prod bprof {
+    match class == condbr
+    replace {
+        lda $dr6, 1($dr6)
+        %insn
+    }
+}
+`
+
+// InstallStoreTracing activates store-address tracing and points the trace
+// buffer at bufAddr in m.
+func InstallStoreTracing(c *core.Controller, m *emu.Machine, bufAddr uint64) ([]*core.Production, error) {
+	prods, err := c.InstallFile(StoreAddressProductions, nil)
+	if err != nil {
+		return nil, err
+	}
+	m.SetReg(BufPtrReg, bufAddr)
+	return prods, nil
+}
+
+// InstallBranchProfiling activates the branch counter.
+func InstallBranchProfiling(c *core.Controller) ([]*core.Production, error) {
+	return c.InstallFile(BranchProfileProductions, nil)
+}
+
+// ReadTrace extracts the recorded store addresses from m's memory: the
+// buffer began at start and has advanced to the current $dr5.
+func ReadTrace(m *emu.Machine, start uint64) []uint64 {
+	end := m.Reg(BufPtrReg)
+	if end <= start || program.Segment(start) != program.SegData {
+		return nil
+	}
+	n := int((end - start) / 8)
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.Mem().Read64(start + uint64(i)*8)
+	}
+	return out
+}
+
+// BranchCount reads the profiler counter.
+func BranchCount(m *emu.Machine) uint64 { return m.Reg(CntReg) }

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/program"
+)
+
+func controller(t *testing.T) *core.Controller {
+	t.Helper()
+	cfg := core.DefaultEngineConfig()
+	cfg.RTPerfect = true
+	return core.NewController(cfg)
+}
+
+const prog = `
+.entry main
+.data
+a: .space 64
+trc: .space 1024
+.text
+main:
+    la r1, a
+    li r2, 4
+loop:
+    stq r2, 0(r1)
+    addqi r1, 16, r1
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`
+
+func TestStoreAddressTracing(t *testing.T) {
+	p := asm.MustAssemble("t", prog)
+	m := emu.New(p)
+	c := controller(t)
+	buf := program.DataBase + 64
+	if _, err := InstallStoreTracing(c, m, buf); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	addrs := ReadTrace(m, buf)
+	if len(addrs) != 4 {
+		t.Fatalf("traced %d stores, want 4: %v", len(addrs), addrs)
+	}
+	for i, a := range addrs {
+		want := program.DataBase + uint64(i*16)
+		if a != want {
+			t.Errorf("trace[%d] = %#x, want %#x", i, a, want)
+		}
+	}
+}
+
+func TestTracingDoesNotDisturbStores(t *testing.T) {
+	p := asm.MustAssemble("t", prog)
+	m := emu.New(p)
+	c := controller(t)
+	if _, err := InstallStoreTracing(c, m, program.DataBase+64); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		want := uint64(4 - i)
+		if got := m.Mem().Read64(program.DataBase + uint64(i*16)); got != want {
+			t.Errorf("a[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBranchProfiling(t *testing.T) {
+	p := asm.MustAssemble("t", prog)
+	m := emu.New(p)
+	c := controller(t)
+	if _, err := InstallBranchProfiling(c); err != nil {
+		t.Fatal(err)
+	}
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := BranchCount(m); got != 4 {
+		t.Errorf("branch count = %d, want 4", got)
+	}
+}
+
+func TestReadTraceEmpty(t *testing.T) {
+	p := asm.MustAssemble("t", ".entry main\nmain:\n halt\n")
+	m := emu.New(p)
+	if got := ReadTrace(m, program.DataBase); got != nil {
+		t.Errorf("empty trace = %v", got)
+	}
+}

@@ -1,0 +1,525 @@
+// Package asm implements a two-pass assembler and a disassembler for the
+// EVR instruction set. It exists so that workload generators, tests, and
+// the DISE production language can all describe code symbolically.
+//
+// Syntax overview:
+//
+//	; line comment (also "//" and "#")
+//	.text            switch to text section (default)
+//	.data            switch to data section
+//	.entry main      set the entry symbol
+//	main:            label (text: unit index; data: byte address)
+//	ldq r1, 8(r2)    memory format
+//	addq r1, r2, r3  operate format
+//	addqi r1, 5, r3  operate-immediate format
+//	beq r1, loop     branch to label (or numeric unit displacement)
+//	bsr ra, func     direct call
+//	jsr ra, (r4)     indirect call
+//	ret zero, (ra)   return (also plain "ret")
+//	res0 1, 2, 3, #7 explicit DISE codeword: params and #tag
+//	halt / sys 2     specials
+//	nop              pseudo: bis zero, zero, zero
+//	mov r1, r2       pseudo: bis r1, r1, r2
+//	li r1, 123456    pseudo: load immediate (1-2 instructions)
+//	la r1, buf       pseudo: load address of a *data* symbol (2 instructions)
+//	.quad 1 2 3      data: 64-bit little-endian values
+//	.byte 1 2 3      data: bytes
+//	.space 64        data: zero fill
+//
+// Text labels are unit indices; compression and rewriting can therefore
+// relocate code freely and re-resolve displacements. Data labels are byte
+// addresses in the data segment. "la" of a text symbol is rejected: the EVR
+// toolchain deliberately keeps absolute code addresses out of registers so
+// that binaries remain relocatable by DISE-aware rewriters.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Error reports an assembly failure with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type item struct {
+	line   int
+	mnem   string
+	args   []string
+	label  string // branch label operand, if symbolic
+	inst   isa.Inst
+	needLa string // data symbol for the second half of "la"
+}
+
+type assembler struct {
+	items    []item
+	textSyms map[string]int
+	dataSyms map[string]uint64
+	data     []byte
+	entrySym string
+}
+
+// Assemble translates source into a Program.
+func Assemble(name, src string) (*program.Program, error) {
+	a := &assembler{
+		textSyms: map[string]int{},
+		dataSyms: map[string]uint64{},
+	}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	return a.resolve(name)
+}
+
+// MustAssemble is Assemble for known-good sources; it panics on error.
+func MustAssemble(name, src string) *program.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(line string) string {
+	for _, marker := range []string{";", "//", "#"} {
+		if i := strings.Index(line, marker); i >= 0 {
+			// "#" introduces codeword tags, not comments, when preceded by
+			// a comma or space inside an operand list; only treat it as a
+			// comment when it starts the trimmed line.
+			if marker == "#" && strings.TrimSpace(line[:i]) != "" {
+				continue
+			}
+			line = line[:i]
+		}
+	}
+	return line
+}
+
+func (a *assembler) parse(src string) error {
+	section := "text"
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		// Labels (possibly several) at the start of the line.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,()") {
+				break
+			}
+			label := line[:i]
+			if _, dup := a.textSyms[label]; dup {
+				return &Error{lineNo, fmt.Sprintf("duplicate label %q", label)}
+			}
+			if _, dup := a.dataSyms[label]; dup {
+				return &Error{lineNo, fmt.Sprintf("duplicate label %q", label)}
+			}
+			if section == "text" {
+				a.textSyms[label] = len(a.items)
+			} else {
+				a.dataSyms[label] = program.DataBase + uint64(len(a.data))
+			}
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		fields := splitOperands(line)
+		mnem, args := fields[0], fields[1:]
+		switch {
+		case mnem == ".text":
+			section = "text"
+		case mnem == ".data":
+			section = "data"
+		case mnem == ".entry":
+			if len(args) != 1 {
+				return &Error{lineNo, ".entry wants one symbol"}
+			}
+			a.entrySym = args[0]
+		case strings.HasPrefix(mnem, "."):
+			if section != "data" {
+				return &Error{lineNo, fmt.Sprintf("%s outside .data", mnem)}
+			}
+			if err := a.parseData(lineNo, mnem, args); err != nil {
+				return err
+			}
+		default:
+			if section != "text" {
+				return &Error{lineNo, "instruction outside .text"}
+			}
+			if err := a.parseInst(lineNo, mnem, args); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// splitOperands splits "op a, b, c" into {"op", "a", "b", "c"}.
+func splitOperands(line string) []string {
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return []string{line}
+	}
+	out := []string{line[:i]}
+	for _, f := range strings.Split(line[i+1:], ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (a *assembler) parseData(lineNo int, mnem string, args []string) error {
+	// Data directives accept space-separated values in a single operand too.
+	var vals []string
+	for _, arg := range args {
+		vals = append(vals, strings.Fields(arg)...)
+	}
+	switch mnem {
+	case ".quad":
+		for _, v := range vals {
+			n, err := strconv.ParseInt(v, 0, 64)
+			if err != nil {
+				return &Error{lineNo, fmt.Sprintf(".quad %q: %v", v, err)}
+			}
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], uint64(n))
+			a.data = append(a.data, buf[:]...)
+		}
+	case ".byte":
+		for _, v := range vals {
+			n, err := strconv.ParseInt(v, 0, 16)
+			if err != nil || n < -128 || n > 255 {
+				return &Error{lineNo, fmt.Sprintf(".byte %q out of range", v)}
+			}
+			a.data = append(a.data, byte(n))
+		}
+	case ".space":
+		if len(vals) != 1 {
+			return &Error{lineNo, ".space wants one size"}
+		}
+		n, err := strconv.ParseInt(vals[0], 0, 32)
+		if err != nil || n < 0 {
+			return &Error{lineNo, fmt.Sprintf(".space %q invalid", vals[0])}
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	default:
+		return &Error{lineNo, fmt.Sprintf("unknown directive %s", mnem)}
+	}
+	return nil
+}
+
+func parseImm(s string) (int64, bool) {
+	n, err := strconv.ParseInt(s, 0, 64)
+	return n, err == nil
+}
+
+func (a *assembler) emit(lineNo int, in isa.Inst, label, needLa string) {
+	a.items = append(a.items, item{line: lineNo, inst: in, label: label, needLa: needLa})
+}
+
+func (a *assembler) parseInst(lineNo int, mnem string, args []string) error {
+	fail := func(format string, v ...any) error {
+		return &Error{lineNo, fmt.Sprintf(mnem+": "+format, v...)}
+	}
+	reg := func(s string) (isa.Reg, error) {
+		r := isa.RegByName(s, false)
+		if r == isa.NoReg {
+			return isa.NoReg, fail("bad register %q", s)
+		}
+		return r, nil
+	}
+	// Pseudo-instructions first.
+	switch mnem {
+	case "nop":
+		a.emit(lineNo, isa.Nop(), "", "")
+		return nil
+	case "mov":
+		if len(args) != 2 {
+			return fail("want 2 operands")
+		}
+		rs, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		rd, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		a.emit(lineNo, isa.Inst{Op: isa.OpBIS, RS: rs, RT: rs, RD: rd}, "", "")
+		return nil
+	case "li":
+		if len(args) != 2 {
+			return fail("want 2 operands")
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		v, ok := parseImm(args[1])
+		if !ok {
+			return fail("bad immediate %q", args[1])
+		}
+		return a.emitLoadConst(lineNo, rd, v)
+	case "la":
+		if len(args) != 2 {
+			return fail("want 2 operands")
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		// Two fixed units: ldah rd, hi(zero); lda rd, lo(rd). Resolved once
+		// data layout is final.
+		a.emit(lineNo, isa.Inst{Op: isa.OpLDAH, RD: rd, RS: isa.RegZero, RT: isa.NoReg}, "", args[1])
+		a.emit(lineNo, isa.Inst{Op: isa.OpLDA, RD: rd, RS: rd, RT: isa.NoReg}, "", args[1])
+		return nil
+	case "ret":
+		if len(args) == 0 {
+			a.emit(lineNo, isa.Inst{Op: isa.OpRET, RD: isa.RegZero, RS: isa.RegRA, RT: isa.NoReg}, "", "")
+			return nil
+		}
+	}
+
+	op := isa.OpcodeByName(mnem)
+	if op == isa.OpInvalid {
+		return fail("unknown mnemonic")
+	}
+	in := isa.Inst{Op: op, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg}
+	switch op.Format() {
+	case isa.FmtMem:
+		if len(args) != 2 {
+			return fail("want rd, disp(rs)")
+		}
+		ra, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		disp, base, err := parseMemOperand(args[1])
+		if err != nil {
+			return fail("%v", err)
+		}
+		if disp < isa.MinDisp16 || disp > isa.MaxDisp16 {
+			return fail("displacement %d out of range", disp)
+		}
+		rb, err := reg(base)
+		if err != nil {
+			return err
+		}
+		in.RS, in.Imm = rb, disp
+		if op.Class() == isa.ClassStore {
+			in.RT = ra
+		} else {
+			in.RD = ra
+		}
+	case isa.FmtBranch:
+		if len(args) != 2 {
+			return fail("want reg, target")
+		}
+		ra, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		if op == isa.OpBR || op == isa.OpBSR {
+			in.RD = ra
+		} else {
+			in.RS = ra
+		}
+		if v, ok := parseImm(args[1]); ok {
+			in.Imm = v
+		} else {
+			a.emit(lineNo, in, args[1], "")
+			return nil
+		}
+	case isa.FmtJump, isa.FmtJumpCond:
+		if len(args) != 2 {
+			return fail("want rd, (rs)")
+		}
+		ra, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		t := strings.TrimSuffix(strings.TrimPrefix(args[1], "("), ")")
+		rs, err := reg(t)
+		if err != nil {
+			return err
+		}
+		in.RS = rs
+		if op.Format() == isa.FmtJumpCond {
+			in.RT = ra
+		} else {
+			in.RD = ra
+		}
+	case isa.FmtOpReg:
+		if len(args) != 3 {
+			return fail("want rs, rt, rd")
+		}
+		var err error
+		if in.RS, err = reg(args[0]); err != nil {
+			return err
+		}
+		if in.RT, err = reg(args[1]); err != nil {
+			return err
+		}
+		if in.RD, err = reg(args[2]); err != nil {
+			return err
+		}
+	case isa.FmtOpImm:
+		if len(args) != 3 {
+			return fail("want rs, imm, rd")
+		}
+		var err error
+		if in.RS, err = reg(args[0]); err != nil {
+			return err
+		}
+		v, ok := parseImm(args[1])
+		if !ok {
+			return fail("bad immediate %q", args[1])
+		}
+		if v < isa.MinDisp16 || v > isa.MaxDisp16 {
+			return fail("immediate %d out of range", v)
+		}
+		in.Imm = v
+		if in.RD, err = reg(args[2]); err != nil {
+			return err
+		}
+	case isa.FmtSpecial:
+		if op == isa.OpHALT {
+			if len(args) != 0 {
+				return fail("no operands")
+			}
+		} else {
+			if len(args) != 1 {
+				return fail("want code")
+			}
+			v, ok := parseImm(args[0])
+			if !ok {
+				return fail("bad code %q", args[0])
+			}
+			in.Imm = v
+		}
+	case isa.FmtCodeword:
+		if len(args) != 4 {
+			return fail("want p1, p2, p3, #tag")
+		}
+		ps := make([]uint8, 3)
+		for k := 0; k < 3; k++ {
+			v, ok := parseImm(args[k])
+			if !ok || v < 0 || v > 31 {
+				return fail("bad param %q", args[k])
+			}
+			ps[k] = uint8(v)
+		}
+		tagStr := strings.TrimPrefix(args[3], "#")
+		v, ok := parseImm(tagStr)
+		if !ok || v < 0 || v > isa.MaxTag {
+			return fail("bad tag %q", args[3])
+		}
+		in = isa.Codeword(op, ps[0], ps[1], ps[2], uint16(v))
+	default:
+		return fail("unsupported format")
+	}
+	a.emit(lineNo, in, "", "")
+	return nil
+}
+
+func parseMemOperand(s string) (int64, string, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, "", fmt.Errorf("bad memory operand %q", s)
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	disp := int64(0)
+	if dispStr != "" {
+		var ok bool
+		if disp, ok = parseImm(dispStr); !ok {
+			return 0, "", fmt.Errorf("bad displacement %q", dispStr)
+		}
+	}
+	return disp, strings.TrimSpace(s[open+1 : len(s)-1]), nil
+}
+
+// emitLoadConst emits the shortest lda/ldah sequence producing v in rd.
+func (a *assembler) emitLoadConst(lineNo int, rd isa.Reg, v int64) error {
+	if v >= isa.MinDisp16 && v <= isa.MaxDisp16 {
+		a.emit(lineNo, isa.Inst{Op: isa.OpLDA, RD: rd, RS: isa.RegZero, RT: isa.NoReg, Imm: v}, "", "")
+		return nil
+	}
+	lo := int64(int16(v))
+	hi := (v - lo) >> 16
+	if hi < isa.MinDisp16 || hi > isa.MaxDisp16 {
+		return &Error{lineNo, fmt.Sprintf("li: constant %d out of 32-bit range", v)}
+	}
+	a.emit(lineNo, isa.Inst{Op: isa.OpLDAH, RD: rd, RS: isa.RegZero, RT: isa.NoReg, Imm: hi}, "", "")
+	a.emit(lineNo, isa.Inst{Op: isa.OpLDA, RD: rd, RS: rd, RT: isa.NoReg, Imm: lo}, "", "")
+	return nil
+}
+
+func (a *assembler) resolve(name string) (*program.Program, error) {
+	p := &program.Program{
+		Name:    name,
+		Data:    a.data,
+		Symbols: a.textSyms,
+	}
+	p.Text = make([]isa.Inst, len(a.items))
+	var laPending bool
+	var laHi int // index of pending ldah of an la pair
+	for i, it := range a.items {
+		in := it.inst
+		if it.label != "" {
+			t, ok := a.textSyms[it.label]
+			if !ok {
+				return nil, &Error{it.line, fmt.Sprintf("undefined label %q", it.label)}
+			}
+			in.Imm = int64(t - i - 1)
+		}
+		if it.needLa != "" {
+			addr, ok := a.dataSyms[it.needLa]
+			if !ok {
+				if _, isText := a.textSyms[it.needLa]; isText {
+					return nil, &Error{it.line, fmt.Sprintf("la %q: absolute code addresses are not supported (use bsr)", it.needLa)}
+				}
+				return nil, &Error{it.line, fmt.Sprintf("undefined data symbol %q", it.needLa)}
+			}
+			if in.Op == isa.OpLDAH {
+				lo := int64(int16(addr))
+				in.Imm = (int64(addr) - lo) >> 16
+				laPending, laHi = true, i
+			} else {
+				if !laPending || laHi != i-1 {
+					return nil, &Error{it.line, "internal: mismatched la pair"}
+				}
+				in.Imm = int64(int16(addr))
+				laPending = false
+			}
+		}
+		p.Text[i] = in
+	}
+	if a.entrySym != "" {
+		e, ok := a.textSyms[a.entrySym]
+		if !ok {
+			return nil, &Error{0, fmt.Sprintf("entry symbol %q undefined", a.entrySym)}
+		}
+		p.Entry = e
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return p, nil
+}

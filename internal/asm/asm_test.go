@@ -1,0 +1,266 @@
+package asm
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+const helloSrc = `
+; a tiny program
+.entry main
+.data
+buf: .quad 7 9
+tail: .byte 1 2 3 4
+      .space 8
+
+.text
+main:
+    la r1, buf
+    ldq r2, 0(r1)
+    ldq r3, 8(r1)
+    addq r2, r3, r4
+    stq r4, 16(r1)
+loop:
+    subqi r4, 1, r4
+    bne r4, loop
+    bsr ra, leaf
+    halt
+leaf:
+    li r5, 70000
+    mov r5, r6
+    nop
+    ret
+`
+
+func TestAssembleHello(t *testing.T) {
+	p, err := Assemble("hello", helloSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != p.Symbols["main"] {
+		t.Errorf("entry = %d, want main (%d)", p.Entry, p.Symbols["main"])
+	}
+	if len(p.Data) != 16+4+8 {
+		t.Errorf("data size = %d, want 28", len(p.Data))
+	}
+	// la expands to 2 units, li 70000 expands to 2 units.
+	// main block: 2(la)+4 = 6 units before loop.
+	if p.Symbols["loop"] != 6 {
+		t.Errorf("loop at %d, want 6", p.Symbols["loop"])
+	}
+	// bne targets loop.
+	bne := p.Text[7]
+	if bne.Op != isa.OpBNE {
+		t.Fatalf("unit 7 is %v, want bne", bne)
+	}
+	if got := p.BranchTargetUnit(7); got != p.Symbols["loop"] {
+		t.Errorf("bne target %d, want loop", got)
+	}
+	// bsr targets leaf.
+	if got := p.BranchTargetUnit(8); got != p.Symbols["leaf"] {
+		t.Errorf("bsr target %d, want leaf (%d)", got, p.Symbols["leaf"])
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLaLoadsDataAddress(t *testing.T) {
+	p := MustAssemble("t", `
+.data
+x: .space 32
+y: .quad 42
+.text
+main:
+  la r1, y
+  halt
+`)
+	// Simulate the ldah/lda pair by hand.
+	hi := p.Text[0]
+	lo := p.Text[1]
+	if hi.Op != isa.OpLDAH || lo.Op != isa.OpLDA {
+		t.Fatalf("la expansion = %v; %v", hi, lo)
+	}
+	v := int64(0) + hi.Imm<<16
+	v += lo.Imm
+	want := int64(program.DataBase) + 32
+	if v != want {
+		t.Errorf("la resolves to %#x, want %#x", v, want)
+	}
+}
+
+func TestLiSmallAndLarge(t *testing.T) {
+	p := MustAssemble("t", `
+main:
+  li r1, 5
+  li r2, -5
+  li r3, 1000000
+  halt
+`)
+	if p.Text[0].Op != isa.OpLDA || p.Text[0].Imm != 5 {
+		t.Errorf("li 5 = %v", p.Text[0])
+	}
+	if p.Text[1].Imm != -5 {
+		t.Errorf("li -5 = %v", p.Text[1])
+	}
+	// 1000000 needs ldah+lda: check value reconstruction.
+	v := p.Text[2].Imm<<16 + p.Text[3].Imm
+	if v != 1000000 {
+		t.Errorf("li 1000000 reconstructs to %d", v)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"main:\n bogus r1, r2\n", "unknown mnemonic"},
+		{"main:\n beq r1, nowhere\n halt\n", "undefined label"},
+		{"main:\n ldq r1, 8(r99)\n", "bad register"},
+		{"main:\n la r1, main\n halt\n", "absolute code addresses"},
+		{"main:\nmain:\n halt\n", "duplicate label"},
+		{".entry nosuch\nmain:\n halt\n", "undefined"},
+		{".quad 5\n", "outside .data"},
+		{"main:\n addqi r1, 999999, r2\n", "out of range"},
+		{"main:\n res0 1, 2, 3, #99999\n", "bad tag"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("t", c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Assemble(%q) error %q, want containing %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestCodewordAssembly(t *testing.T) {
+	p := MustAssemble("t", `
+main:
+  res0 1, 2, 3, #77
+  halt
+`)
+	cw := p.Text[0]
+	if cw.Op != isa.OpRES0 || cw.RS != 1 || cw.RT != 2 || cw.RD != 3 || cw.Imm != 77 {
+		t.Errorf("codeword = %+v", cw)
+	}
+}
+
+func TestNumericBranchDisp(t *testing.T) {
+	p := MustAssemble("t", `
+main:
+  nop
+  br zero, -2
+  halt
+`)
+	if got := p.BranchTargetUnit(1); got != 0 {
+		t.Errorf("br target = %d, want 0", got)
+	}
+}
+
+func TestRoundTripThroughEncoding(t *testing.T) {
+	p := MustAssemble("rt", helloSrc)
+	words, err := p.EncodeText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := program.DecodeText("rt", words, p.Entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Text {
+		if p.Text[i] != q.Text[i] {
+			t.Errorf("unit %d: %v != %v", i, p.Text[i], q.Text[i])
+		}
+	}
+}
+
+func TestDisassembleContainsSymbols(t *testing.T) {
+	p := MustAssemble("d", helloSrc)
+	out := Disassemble(p)
+	for _, want := range []string{"main:", "loop:", "leaf:", "bsr", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+}
+
+func TestSymbolsInOrder(t *testing.T) {
+	p := MustAssemble("s", helloSrc)
+	syms := SymbolsInOrder(p)
+	if len(syms) != 3 || syms[0] != "main" || syms[1] != "loop" || syms[2] != "leaf" {
+		t.Errorf("SymbolsInOrder = %v", syms)
+	}
+}
+
+func TestBasicBlocks(t *testing.T) {
+	p := MustAssemble("b", helloSrc)
+	blocks := p.BasicBlocks()
+	if len(blocks) < 4 {
+		t.Fatalf("got %d blocks, want >= 4", len(blocks))
+	}
+	// Block boundaries must cover the whole text without gaps.
+	pos := 0
+	for _, b := range blocks {
+		if b.Start != pos {
+			t.Errorf("block starts at %d, want %d", b.Start, pos)
+		}
+		if b.Len() <= 0 {
+			t.Errorf("empty block at %d", b.Start)
+		}
+		pos = b.End
+	}
+	if pos != p.NumUnits() {
+		t.Errorf("blocks cover %d units, want %d", pos, p.NumUnits())
+	}
+	// loop must start a block (it is a branch target).
+	found := false
+	for _, b := range blocks {
+		if b.Start == p.Symbols["loop"] {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("loop is not a block leader")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	srcPath := filepath.Join(dir, "p.s")
+	if err := os.WriteFile(srcPath, []byte(".entry main\nmain:\n li r1, 3\n halt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadFile(srcPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through an EVRX image.
+	imgPath := filepath.Join(dir, "p.evrx")
+	f, err := os.Create(imgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteImage(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	q, err := LoadFile(imgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumUnits() != p.NumUnits() || q.Text[1] != p.Text[1] {
+		t.Errorf("image load mismatch: %+v vs %+v", q.Text, p.Text)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.s")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,85 @@
+package asm
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Disassemble renders a program as annotated assembly text: unit index, byte
+// address, instruction, and symbolic branch targets where known.
+func Disassemble(p *program.Program) string {
+	names := make(map[int]string)
+	for sym, u := range p.Symbols {
+		if cur, ok := names[u]; !ok || sym < cur {
+			names[u] = sym
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %s: %d units, %d text bytes, %d data bytes\n",
+		p.Name, p.NumUnits(), p.TextBytes(), len(p.Data))
+	for i, in := range p.Text {
+		if sym, ok := names[i]; ok {
+			fmt.Fprintf(&b, "%s:\n", sym)
+		}
+		entry := " "
+		if i == p.Entry {
+			entry = ">"
+		}
+		text := in.String()
+		if in.Op.IsBranch() {
+			t := p.BranchTargetUnit(i)
+			if sym, ok := names[t]; ok {
+				text += fmt.Sprintf("\t; -> %s", sym)
+			} else {
+				text += fmt.Sprintf("\t; -> unit %d", t)
+			}
+		}
+		fmt.Fprintf(&b, "%s%6d  %08x  %s\n", entry, i, p.Addr(i), text)
+	}
+	return b.String()
+}
+
+// SymbolsInOrder returns the program's text symbols sorted by unit index.
+func SymbolsInOrder(p *program.Program) []string {
+	syms := make([]string, 0, len(p.Symbols))
+	for s := range p.Symbols {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		a, b := p.Symbols[syms[i]], p.Symbols[syms[j]]
+		if a != b {
+			return a < b
+		}
+		return syms[i] < syms[j]
+	})
+	return syms
+}
+
+// FormatInst renders a single instruction, marking DISE-internal register
+// usage. It is shared by trace printers.
+func FormatInst(in isa.Inst) string {
+	s := in.String()
+	if in.UsesDedicated() {
+		s += "  ; dise"
+	}
+	return s
+}
+
+// LoadFile loads a program from a file: an EVRX binary image (by magic) or
+// EVR assembly text.
+func LoadFile(path string) (*program.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if bytes.HasPrefix(data, []byte("EVRX")) {
+		return program.ReadImage(path, bytes.NewReader(data))
+	}
+	return Assemble(path, string(data))
+}

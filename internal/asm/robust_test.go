@@ -1,0 +1,65 @@
+package asm
+
+// Robustness: the assembler and the production parser must reject arbitrary
+// mutations of valid input with errors, never panics. This matters because
+// both parse user-supplied text (the paper's external production interface).
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mutate(r *rand.Rand, s string) string {
+	b := []byte(s)
+	if len(b) == 0 {
+		return "x"
+	}
+	switch r.Intn(5) {
+	case 0: // flip a byte
+		b[r.Intn(len(b))] = byte(r.Intn(128))
+	case 1: // delete a span
+		i := r.Intn(len(b))
+		j := i + r.Intn(len(b)-i)
+		b = append(b[:i], b[j:]...)
+	case 2: // duplicate a span
+		i := r.Intn(len(b))
+		j := i + r.Intn(len(b)-i)
+		b = append(b[:j], append([]byte(string(b[i:j])), b[j:]...)...)
+	case 3: // insert noise
+		noise := []string{",", "(", ")", "%", "#", ":", "-", "99999999999", "\t", "$dr9"}
+		n := noise[r.Intn(len(noise))]
+		i := r.Intn(len(b))
+		b = append(b[:i], append([]byte(n), b[i:]...)...)
+	case 4: // swap two lines
+		lines := strings.Split(string(b), "\n")
+		if len(lines) > 2 {
+			i, j := r.Intn(len(lines)), r.Intn(len(lines))
+			lines[i], lines[j] = lines[j], lines[i]
+		}
+		return strings.Join(lines, "\n")
+	}
+	return string(b)
+}
+
+func TestAssemblerNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	seed := helloSrc
+	for i := 0; i < 3000; i++ {
+		src := seed
+		for k := 0; k <= r.Intn(3); k++ {
+			src = mutate(r, src)
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("assembler panicked on mutated input: %v\nsource:\n%s", p, src)
+				}
+			}()
+			p, err := Assemble("fuzz", src)
+			if err == nil && p.Validate() != nil {
+				t.Fatalf("assembler accepted invalid program:\n%s", src)
+			}
+		}()
+	}
+}

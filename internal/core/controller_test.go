@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestDescribeListsProductions(t *testing.T) {
+	c := NewController(perfectCfg())
+	installMFI(t, c)
+	dict := []*Replacement{{Name: "e0", Insts: []ReplInst{FromLiteral(isa.Nop())}}}
+	if _, err := c.InstallAware("decomp", pat(func(p *Pattern) { p.Op = isa.OpRES0 }), dict); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Describe()
+	for _, want := range []string{"mfi_store (transparent)", "class == store", "decomp (aware)", "op == res0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	c := NewController(perfectCfg())
+	installMFI(t, c)
+	c.Engine().Expand(aStore, 0)
+	s := c.Engine().String()
+	if !strings.Contains(s, "expansions=1") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRTUtilization(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.RTEntries = 64
+	cfg.RTAssoc = 2
+	c := NewController(cfg)
+	installMFI(t, c)
+	e := c.Engine()
+	if e.RTUtilization() != 0 {
+		t.Error("fresh RT should be empty")
+	}
+	e.Expand(aStore, 0)
+	got := e.RTUtilization()
+	// 5 entries filled out of 64.
+	if got <= 0 || got > 0.2 {
+		t.Errorf("utilization = %v", got)
+	}
+	// Perfect RTs report zero utilization (no physical structure).
+	cp := NewController(perfectCfg())
+	installMFI(t, cp)
+	cp.Engine().Expand(aStore, 0)
+	if cp.Engine().RTUtilization() != 0 {
+		t.Error("perfect RT has no utilization")
+	}
+}
+
+func TestEngineConfigAccessor(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.PTEntries = 7
+	c := NewController(cfg)
+	if got := c.Engine().Config().PTEntries; got != 7 {
+		t.Errorf("Config().PTEntries = %d", got)
+	}
+}
+
+func TestStallAccountingOnPTFillWithoutMatch(t *testing.T) {
+	// Force a PT miss whose fill produces no match for the fetched
+	// instruction: the stall must still be reported and counted.
+	cfg := perfectCfg()
+	cfg.PTEntries = 1
+	c := NewController(cfg)
+	// Two patterns on different opcodes; only one fits the PT.
+	id := &Replacement{Name: "id", Insts: []ReplInst{TriggerInst()}}
+	if _, err := c.InstallTransparent("a", pat(func(p *Pattern) { p.Op = isa.OpSTQ; p.RS = isa.RegSP }), id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InstallTransparent("b", pat(func(p *Pattern) { p.Op = isa.OpSTL }), id); err != nil {
+		t.Fatal(err)
+	}
+	e := c.Engine()
+	stl := isa.Inst{Op: isa.OpSTL, RT: 1, RS: 2, RD: isa.NoReg}
+	e.Expand(stl, 0) // faults "b" in, evicting "a"
+	// A store that does not match pattern "a" (base != sp) still faults the
+	// pattern in (counter mismatch) and stalls, then passes through.
+	notSP := isa.Inst{Op: isa.OpSTQ, RT: 1, RS: 2, RD: isa.NoReg}
+	exp := e.Expand(notSP, 0)
+	if exp == nil || !exp.PTMiss || exp.Insts != nil {
+		t.Errorf("PT fill without match should report stall-only expansion: %+v", exp)
+	}
+	if e.Stats.PTMisses == 0 || e.Stats.Stall == 0 {
+		t.Errorf("stats = %+v", e.Stats)
+	}
+}

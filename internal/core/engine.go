@@ -1,0 +1,432 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Production binds a pattern specification to a replacement sequence. A
+// transparent production names its replacement directly; an aware production
+// reads the replacement-sequence identifier from the trigger's tag bits
+// (explicit tagging, paper §2.1).
+type Production struct {
+	Name    string
+	Pattern Pattern
+
+	// Repl is the replacement sequence of a transparent production.
+	Repl *Replacement
+
+	// TagIndexed marks an aware production: the replacement-sequence
+	// identifier is DictBase plus the trigger's 11-bit tag. DictBase lets
+	// several reserved opcodes address disjoint dictionaries.
+	TagIndexed bool
+	DictBase   int
+}
+
+// Transparent reports whether p maps to a single fixed replacement.
+func (p *Production) Transparent() bool { return !p.TagIndexed }
+
+// EngineConfig sizes the engine structures and fixes the miss costs
+// (defaults follow the paper's §4 simulated configuration).
+type EngineConfig struct {
+	PTEntries int // pattern table capacity (default 32)
+
+	RTEntries int  // replacement table capacity in instructions (default 2K)
+	RTAssoc   int  // 1 = direct-mapped, k = k-way set-associative
+	RTPerfect bool // model a perfect RT: no misses, no stalls
+
+	// RTBlock coalesces this many sequential replacement instructions into
+	// one RT entry, "reducing the number of RT read ports at the expense of
+	// internal fragmentation" (paper §2.2): a sequence of length L occupies
+	// ceil(L/RTBlock) blocks, and the trailing block's unused slots are
+	// wasted capacity. 0 or 1 = one instruction per entry.
+	RTBlock int
+
+	MissPenalty    int // cycles for a simple PT/RT miss (default 30)
+	ComposePenalty int // cycles for a miss whose handler composes (default 150)
+}
+
+// DefaultEngineConfig returns the paper's default DISE mechanism: 32 PT
+// entries, a 2K-entry 2-way RT, 30-cycle misses, 150-cycle composing misses.
+func DefaultEngineConfig() EngineConfig {
+	return EngineConfig{
+		PTEntries:      32,
+		RTEntries:      2048,
+		RTAssoc:        2,
+		MissPenalty:    30,
+		ComposePenalty: 150,
+	}
+}
+
+// Expansion is the engine's output for one trigger: the instantiated
+// replacement sequence, the templates it came from (the timing model needs
+// the DISE-branch attribute), and the events its production incurred.
+type Expansion struct {
+	Prod      *Production
+	SeqID     int
+	Insts     []isa.Inst
+	Templates []ReplInst
+
+	PTMiss   bool
+	RTMiss   bool
+	Composed bool
+	// Stall is the total miss-handling penalty in cycles; the pipeline
+	// flushes and stalls for this long (paper §2.3: "the mechanics of PT/RT
+	// miss handling resemble those of software TLB miss handling").
+	Stall int
+}
+
+// EngineStats counts engine events.
+type EngineStats struct {
+	Fetched    int64 // application instructions inspected
+	Expansions int64 // triggers replaced
+	Inserted   int64 // replacement instructions produced (incl. trigger copies)
+	PTMisses   int64
+	RTMisses   int64
+	Composed   int64 // RT misses that invoked the composer
+	Stall      int64 // total miss stall cycles
+}
+
+// ExpansionRate returns the fraction of inspected instructions that
+// triggered an expansion — e.g. ~30% under memory fault isolation (paper §4.1).
+func (s *EngineStats) ExpansionRate() float64 {
+	if s.Fetched == 0 {
+		return 0
+	}
+	return float64(s.Expansions) / float64(s.Fetched)
+}
+
+type ptEntry struct {
+	prod *Production
+	lru  int64
+}
+
+// rtEntry caches one block of sequential replacement instructions, tagged
+// by sequence identifier and block index (DISEPC / block size); it also
+// records the sequence length, which aids virtualization (paper §2.2).
+type rtEntry struct {
+	valid  bool
+	id     int
+	block  int
+	seqLen int
+	tmpl   []ReplInst
+	lru    int64
+}
+
+// Engine is the DISE engine: it inspects every fetched application
+// instruction and macro-expands triggers.
+type Engine struct {
+	cfg  EngineConfig
+	ctrl *Controller
+
+	pt     []ptEntry
+	rtSets [][]rtEntry
+	clock  int64
+
+	// pattern counter table: active vs PT-resident patterns per opcode
+	// (the only architectural state of the PT/RT complex, paper §2.3).
+	active   [isa.NumOpcodes]int8
+	resident [isa.NumOpcodes]int8
+
+	Stats EngineStats
+}
+
+func newEngine(cfg EngineConfig, ctrl *Controller) *Engine {
+	e := &Engine{cfg: cfg, ctrl: ctrl}
+	if cfg.PTEntries <= 0 {
+		cfg.PTEntries = 32
+		e.cfg.PTEntries = 32
+	}
+	if cfg.RTBlock <= 0 {
+		cfg.RTBlock = 1
+		e.cfg.RTBlock = 1
+	}
+	if !cfg.RTPerfect {
+		assoc := cfg.RTAssoc
+		if assoc <= 0 {
+			assoc = 1
+		}
+		sets := cfg.RTEntries / cfg.RTBlock / assoc
+		if sets <= 0 {
+			sets = 1
+		}
+		e.rtSets = make([][]rtEntry, sets)
+		for i := range e.rtSets {
+			e.rtSets[i] = make([]rtEntry, assoc)
+		}
+	}
+	return e
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() EngineConfig { return e.cfg }
+
+// reset clears all cached PT/RT state (productions changed).
+func (e *Engine) reset() {
+	e.pt = nil
+	for i := range e.rtSets {
+		for j := range e.rtSets[i] {
+			e.rtSets[i][j] = rtEntry{}
+		}
+	}
+	for op := range e.active {
+		e.active[op] = 0
+		e.resident[op] = 0
+	}
+	for _, p := range e.ctrl.activeProds {
+		for _, op := range p.Pattern.Opcodes() {
+			e.active[op]++
+		}
+	}
+	// The controller loads patterns procedurally at install time; only an
+	// active set larger than the PT leads to demand faulting later.
+	for _, p := range e.ctrl.activeProds {
+		if len(e.pt) >= e.cfg.PTEntries {
+			break
+		}
+		e.ptInsert(p)
+	}
+}
+
+// Expand inspects one fetched application instruction. It returns nil when
+// the instruction matches no active pattern and is passed through unchanged.
+// Instructions inside replacement sequences must not be offered back to
+// Expand: DISE never re-expands its own output (paper §3.3).
+func (e *Engine) Expand(in isa.Inst, pc uint64) *Expansion {
+	e.Stats.Fetched++
+	e.clock++
+	op := in.Op
+	if e.active[op] == 0 {
+		return nil
+	}
+	exp := &Expansion{}
+	if e.resident[op] != e.active[op] {
+		e.ptFill(op)
+		exp.PTMiss = true
+		e.Stats.PTMisses++
+		exp.Stall += e.cfg.MissPenalty
+	}
+	prod := e.ptMatch(in)
+	if prod == nil {
+		if exp.PTMiss {
+			// A PT fill with no match still stalled the pipe.
+			e.Stats.Stall += int64(exp.Stall)
+			return exp
+		}
+		return nil
+	}
+	id := e.ctrl.seqID(prod, in)
+	tmpl, miss, composed := e.rtFetch(id)
+	if tmpl == nil {
+		// No replacement registered under this identifier: treat as a
+		// non-match (the codeword passes through; the emulator will fault).
+		if exp.PTMiss {
+			e.Stats.Stall += int64(exp.Stall)
+			return exp
+		}
+		return nil
+	}
+	if miss {
+		exp.RTMiss = true
+		e.Stats.RTMisses++
+		if composed {
+			exp.Composed = true
+			e.Stats.Composed++
+			exp.Stall += e.cfg.ComposePenalty
+		} else {
+			exp.Stall += e.cfg.MissPenalty
+		}
+	}
+	exp.Prod = prod
+	exp.SeqID = id
+	exp.Templates = tmpl
+	exp.Insts = make([]isa.Inst, len(tmpl))
+	for i := range tmpl {
+		exp.Insts[i] = tmpl[i].Instantiate(in, pc)
+	}
+	e.Stats.Expansions++
+	e.Stats.Inserted += int64(len(tmpl))
+	e.Stats.Stall += int64(exp.Stall)
+	return exp
+}
+
+// ptFill loads all active patterns for op into the PT, evicting LRU entries.
+func (e *Engine) ptFill(op isa.Opcode) {
+	for _, p := range e.ctrl.activeProds {
+		if !patternCovers(&p.Pattern, op) {
+			continue
+		}
+		if e.ptResident(p) {
+			continue
+		}
+		e.ptInsert(p)
+	}
+}
+
+func patternCovers(p *Pattern, op isa.Opcode) bool {
+	if p.Op != isa.OpInvalid {
+		return p.Op == op
+	}
+	return p.Class == isa.ClassInvalid || p.Class == op.Class()
+}
+
+func (e *Engine) ptResident(p *Production) bool {
+	for i := range e.pt {
+		if e.pt[i].prod == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) ptInsert(p *Production) {
+	if len(e.pt) < e.cfg.PTEntries {
+		e.pt = append(e.pt, ptEntry{prod: p, lru: e.clock})
+	} else {
+		victim := 0
+		for i := range e.pt {
+			if e.pt[i].lru < e.pt[victim].lru {
+				victim = i
+			}
+		}
+		for _, op := range e.pt[victim].prod.Pattern.Opcodes() {
+			e.resident[op]--
+		}
+		e.pt[victim] = ptEntry{prod: p, lru: e.clock}
+	}
+	for _, op := range p.Pattern.Opcodes() {
+		e.resident[op]++
+	}
+}
+
+// ptMatch finds the most specific resident pattern matching in.
+func (e *Engine) ptMatch(in isa.Inst) *Production {
+	var best *Production
+	bestSpec := -1
+	for i := range e.pt {
+		p := e.pt[i].prod
+		if !p.Pattern.Matches(in) {
+			continue
+		}
+		if s := p.Pattern.Specificity(); s > bestSpec {
+			best, bestSpec = p, s
+			e.pt[i].lru = e.clock
+		}
+	}
+	return best
+}
+
+// rtFetch returns the templates of sequence id, filling the RT on a miss.
+// It reports whether a miss occurred and whether the miss handler had to
+// compose the sequence.
+func (e *Engine) rtFetch(id int) (tmpl []ReplInst, miss, composed bool) {
+	if e.cfg.RTPerfect {
+		// A perfect RT always hits; the miss handler (and composer) never runs.
+		r, _ := e.ctrl.fetchSequence(id)
+		if r == nil {
+			return nil, false, false
+		}
+		return r.Insts, false, false
+	}
+	// Probe the RT for every instruction of the sequence. The sequence
+	// length is recorded in each resident entry's tag.
+	if insts, ok := e.rtProbe(id); ok {
+		return insts, false, false
+	}
+	r, comp := e.ctrl.fetchSequence(id)
+	if r == nil {
+		return nil, false, false
+	}
+	e.rtInstall(id, r)
+	return r.Insts, true, comp
+}
+
+func (e *Engine) rtSet(id, block int) []rtEntry {
+	// Bit-sliced indexing, as cheap hardware would build it: the low bits
+	// of {sequence identifier, block offset} select the set. Sequence
+	// identifiers 4 bits apart alias; coarser blocks (RTBlock > 1) also
+	// coarsen this index, so block coalescing costs both internal
+	// fragmentation and index resolution.
+	h := uint64(id)<<4 + uint64(block&0xf) + uint64(block>>4)*31
+	return e.rtSets[h%uint64(len(e.rtSets))]
+}
+
+// rtProbe returns the cached sequence if every block is resident.
+func (e *Engine) rtProbe(id int) ([]ReplInst, bool) {
+	set := e.rtSet(id, 0)
+	n := -1
+	for i := range set {
+		if set[i].valid && set[i].id == id && set[i].block == 0 {
+			n = set[i].seqLen
+			break
+		}
+	}
+	if n < 0 {
+		return nil, false
+	}
+	blocks := (n + e.cfg.RTBlock - 1) / e.cfg.RTBlock
+	insts := make([]ReplInst, 0, n)
+	for b := 0; b < blocks; b++ {
+		set := e.rtSet(id, b)
+		found := false
+		for i := range set {
+			if set[i].valid && set[i].id == id && set[i].block == b {
+				insts = append(insts, set[i].tmpl...)
+				set[i].lru = e.clock
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return insts, true
+}
+
+func (e *Engine) rtInstall(id int, r *Replacement) {
+	bsz := e.cfg.RTBlock
+	for start := 0; start < len(r.Insts); start += bsz {
+		end := start + bsz
+		if end > len(r.Insts) {
+			end = len(r.Insts)
+		}
+		set := e.rtSet(id, start/bsz)
+		victim := 0
+		for i := range set {
+			if !set[i].valid {
+				victim = i
+				break
+			}
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+		set[victim] = rtEntry{valid: true, id: id, block: start / bsz,
+			seqLen: len(r.Insts), tmpl: r.Insts[start:end], lru: e.clock}
+	}
+}
+
+// RTUtilization returns the fraction of RT entries currently valid.
+func (e *Engine) RTUtilization() float64 {
+	if e.cfg.RTPerfect || len(e.rtSets) == 0 {
+		return 0
+	}
+	total, valid := 0, 0
+	for _, set := range e.rtSets {
+		for i := range set {
+			total++
+			if set[i].valid {
+				valid++
+			}
+		}
+	}
+	return float64(valid) / float64(total)
+}
+
+// String summarizes the engine state.
+func (e *Engine) String() string {
+	return fmt.Sprintf("dise.Engine{pt=%d/%d, expansions=%d, rtMisses=%d}",
+		len(e.pt), e.cfg.PTEntries, e.Stats.Expansions, e.Stats.RTMisses)
+}

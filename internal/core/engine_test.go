@@ -1,0 +1,384 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func perfectCfg() EngineConfig {
+	cfg := DefaultEngineConfig()
+	cfg.RTPerfect = true
+	return cfg
+}
+
+func installMFI(t *testing.T, c *Controller) *Production {
+	t.Helper()
+	p, err := c.InstallTransparent("mfi_store",
+		pat(func(p *Pattern) { p.Class = isa.ClassStore }), mfiRepl())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestExpandNoMatch(t *testing.T) {
+	c := NewController(perfectCfg())
+	installMFI(t, c)
+	if exp := c.Engine().Expand(aAdd, 0); exp != nil {
+		t.Errorf("add should not expand, got %+v", exp)
+	}
+	if exp := c.Engine().Expand(aLoad, 0); exp != nil {
+		t.Errorf("load should not expand under store-only MFI")
+	}
+}
+
+func TestExpandMatch(t *testing.T) {
+	c := NewController(perfectCfg())
+	installMFI(t, c)
+	exp := c.Engine().Expand(aStore, 0x1000)
+	if exp == nil {
+		t.Fatal("store should expand")
+	}
+	if len(exp.Insts) != 5 {
+		t.Fatalf("expanded to %d insts", len(exp.Insts))
+	}
+	if exp.Insts[4] != aStore {
+		t.Errorf("trigger not spliced: %v", exp.Insts[4])
+	}
+	if exp.Stall != 0 {
+		t.Errorf("perfect RT should not stall, got %d", exp.Stall)
+	}
+	st := c.Engine().Stats
+	if st.Expansions != 1 || st.Fetched != 3-2+2 {
+		// Fetched counts every Expand call in this test only: 1.
+		_ = st
+	}
+}
+
+func TestMostSpecificWins(t *testing.T) {
+	// Negative specification from §2.2: "all loads that don't use the stack
+	// pointer": an identity expansion for sp-loads plus a general pattern.
+	c := NewController(perfectCfg())
+	identity := &Replacement{Name: "id", Insts: []ReplInst{TriggerInst()}}
+	if _, err := c.InstallTransparent("sp_loads",
+		pat(func(p *Pattern) { p.Class = isa.ClassLoad; p.RS = isa.RegSP }), identity); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InstallTransparent("all_loads",
+		pat(func(p *Pattern) { p.Class = isa.ClassLoad }), mfiRepl()); err != nil {
+		t.Fatal(err)
+	}
+	spLoad := isa.Inst{Op: isa.OpLDQ, RD: 1, RS: isa.RegSP, RT: isa.NoReg}
+	exp := c.Engine().Expand(spLoad, 0)
+	if exp == nil || len(exp.Insts) != 1 {
+		t.Fatalf("sp load should expand to identity, got %+v", exp)
+	}
+	exp = c.Engine().Expand(aLoad, 0)
+	if exp == nil || len(exp.Insts) != 5 {
+		t.Fatalf("other loads should get the full check, got %+v", exp)
+	}
+}
+
+func TestAwareTagSelectsEntry(t *testing.T) {
+	c := NewController(perfectCfg())
+	dict := []*Replacement{
+		{Name: "e0", Insts: []ReplInst{FromLiteral(isa.Nop())}},
+		{Name: "e1", Insts: []ReplInst{FromLiteral(aAdd), FromLiteral(aAdd)}},
+	}
+	if _, err := c.InstallAware("decomp",
+		pat(func(p *Pattern) { p.Op = isa.OpRES0 }), dict); err != nil {
+		t.Fatal(err)
+	}
+	exp := c.Engine().Expand(isa.Codeword(isa.OpRES0, 0, 0, 0, 1), 0)
+	if exp == nil || len(exp.Insts) != 2 {
+		t.Fatalf("tag 1 should select e1, got %+v", exp)
+	}
+	exp = c.Engine().Expand(isa.Codeword(isa.OpRES0, 0, 0, 0, 0), 0)
+	if exp == nil || len(exp.Insts) != 1 {
+		t.Fatalf("tag 0 should select e0, got %+v", exp)
+	}
+}
+
+func TestAwareUnknownTagPassesThrough(t *testing.T) {
+	c := NewController(perfectCfg())
+	dict := []*Replacement{{Name: "e0", Insts: []ReplInst{FromLiteral(isa.Nop())}}}
+	if _, err := c.InstallAware("decomp",
+		pat(func(p *Pattern) { p.Op = isa.OpRES0 }), dict); err != nil {
+		t.Fatal(err)
+	}
+	if exp := c.Engine().Expand(isa.Codeword(isa.OpRES0, 0, 0, 0, 100), 0); exp != nil && exp.Insts != nil {
+		t.Error("unknown tag should pass through")
+	}
+}
+
+func TestRTMissAndRefill(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	cfg.RTEntries = 8
+	cfg.RTAssoc = 2
+	c := NewController(cfg)
+	installMFI(t, c)
+	e := c.Engine()
+
+	exp := e.Expand(aStore, 0)
+	if exp == nil || !exp.RTMiss {
+		t.Fatalf("first expansion should miss the RT: %+v", exp)
+	}
+	if exp.Stall != cfg.MissPenalty {
+		t.Errorf("stall = %d, want %d", exp.Stall, cfg.MissPenalty)
+	}
+	exp = e.Expand(aStore, 4)
+	if exp == nil || exp.RTMiss {
+		t.Errorf("second expansion should hit: %+v", exp)
+	}
+	if e.Stats.RTMisses != 1 {
+		t.Errorf("RTMisses = %d", e.Stats.RTMisses)
+	}
+}
+
+func TestRTConflictEviction(t *testing.T) {
+	// Two sequences that collide in a tiny direct-mapped RT must evict one
+	// another: alternating triggers miss every time.
+	cfg := DefaultEngineConfig()
+	cfg.RTEntries = 4
+	cfg.RTAssoc = 1
+	c := NewController(cfg)
+	r1 := &Replacement{Name: "a", Insts: []ReplInst{FromLiteral(isa.Nop()), FromLiteral(isa.Nop()), FromLiteral(isa.Nop()), FromLiteral(isa.Nop())}}
+	r2 := &Replacement{Name: "b", Insts: []ReplInst{FromLiteral(aAdd), FromLiteral(aAdd), FromLiteral(aAdd), FromLiteral(aAdd)}}
+	if _, err := c.InstallTransparent("pa", pat(func(p *Pattern) { p.Op = isa.OpSTQ }), r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InstallTransparent("pb", pat(func(p *Pattern) { p.Op = isa.OpSTL }), r2); err != nil {
+		t.Fatal(err)
+	}
+	e := c.Engine()
+	stl := isa.Inst{Op: isa.OpSTL, RT: 1, RS: 2, RD: isa.NoReg}
+	misses := e.Stats.RTMisses
+	for i := 0; i < 6; i++ {
+		e.Expand(aStore, 0)
+		e.Expand(stl, 4)
+	}
+	if got := e.Stats.RTMisses - misses; got < 10 {
+		t.Errorf("alternating conflicting sequences should thrash a 4-entry DM RT; misses = %d", got)
+	}
+}
+
+// installAwareEntry registers a one-entry aware dictionary triggered by
+// res0 codewords and returns the codeword that selects it.
+func installAwareEntry(t *testing.T, c *Controller) isa.Inst {
+	t.Helper()
+	dict := []*Replacement{{Name: "e0", Insts: []ReplInst{FromLiteral(aAdd), FromLiteral(aAdd)}}}
+	if _, err := c.InstallAware("aw", pat(func(p *Pattern) { p.Op = isa.OpRES0 }), dict); err != nil {
+		t.Fatal(err)
+	}
+	return isa.Codeword(isa.OpRES0, 0, 0, 0, 0)
+}
+
+func TestComposerInvokedOnAwareMiss(t *testing.T) {
+	cfg := DefaultEngineConfig()
+	c := NewController(cfg)
+	cw := installAwareEntry(t, c)
+	calls := 0
+	c.SetComposer(ComposerFunc(func(id int, r *Replacement) (*Replacement, bool) {
+		calls++
+		longer := &Replacement{Name: r.Name + "+", Insts: append([]ReplInst{FromLiteral(isa.Nop())}, r.Insts...)}
+		return longer, true
+	}))
+	e := c.Engine()
+	exp := e.Expand(cw, 0)
+	if exp == nil || !exp.Composed {
+		t.Fatalf("first aware miss should compose: %+v", exp)
+	}
+	if exp.Stall != cfg.ComposePenalty {
+		t.Errorf("stall = %d, want compose penalty %d", exp.Stall, cfg.ComposePenalty)
+	}
+	if len(exp.Insts) != 3 {
+		t.Errorf("composed length = %d, want 3", len(exp.Insts))
+	}
+	if calls != 1 {
+		t.Errorf("composer calls = %d", calls)
+	}
+	// Hits serve the composed form without re-invoking the composer.
+	exp = e.Expand(cw, 4)
+	if exp.RTMiss || len(exp.Insts) != 3 {
+		t.Errorf("hit should serve composed form: %+v", exp)
+	}
+}
+
+func TestComposerSkipsTransparentMisses(t *testing.T) {
+	// Composition is invoked only on aware production misses (paper §3.3);
+	// a transparent production's sequences are never re-composed.
+	cfg := DefaultEngineConfig()
+	c := NewController(cfg)
+	installMFI(t, c)
+	c.SetComposer(ComposerFunc(func(id int, r *Replacement) (*Replacement, bool) {
+		t.Error("composer must not run for transparent sequences")
+		return r, false
+	}))
+	exp := c.Engine().Expand(aStore, 0)
+	if exp == nil || exp.Composed || exp.Stall != cfg.MissPenalty {
+		t.Errorf("transparent miss record wrong: %+v", exp)
+	}
+}
+
+func TestPerfectRTComposesWithoutPenalty(t *testing.T) {
+	// A perfect RT (Fig 8a) still serves *composed* sequences — only the
+	// miss-handling latency disappears.
+	c := NewController(perfectCfg())
+	cw := installAwareEntry(t, c)
+	c.SetComposer(ComposerFunc(func(id int, r *Replacement) (*Replacement, bool) {
+		longer := &Replacement{Name: r.Name + "+", Insts: append([]ReplInst{FromLiteral(isa.Nop())}, r.Insts...)}
+		return longer, true
+	}))
+	exp := c.Engine().Expand(cw, 0)
+	if exp == nil || exp.Stall != 0 || exp.RTMiss || exp.Composed {
+		t.Errorf("perfect RT must not charge miss events: %+v", exp)
+	}
+	if len(exp.Insts) != 3 {
+		t.Errorf("perfect RT must still serve the composed form; len = %d", len(exp.Insts))
+	}
+}
+
+func TestPTMissVirtualization(t *testing.T) {
+	// More active patterns than PT entries: references to evicted patterns
+	// re-fault them in, counting PT misses.
+	cfg := perfectCfg()
+	cfg.PTEntries = 2
+	c := NewController(cfg)
+	id := func(n string) *Replacement {
+		return &Replacement{Name: n, Insts: []ReplInst{TriggerInst()}}
+	}
+	ops := []isa.Opcode{isa.OpADDQ, isa.OpSUBQ, isa.OpMULQ, isa.OpAND}
+	for _, op := range ops {
+		opc := op
+		if _, err := c.InstallTransparent(opc.String(),
+			pat(func(p *Pattern) { p.Op = opc }), id(opc.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := c.Engine()
+	for round := 0; round < 3; round++ {
+		for _, op := range ops {
+			in := isa.Inst{Op: op, RS: 1, RT: 2, RD: 3}
+			if exp := e.Expand(in, 0); exp == nil || len(exp.Insts) != 1 {
+				t.Fatalf("round %d op %v: no expansion", round, op)
+			}
+		}
+	}
+	if e.Stats.PTMisses == 0 {
+		t.Error("cycling 4 patterns through a 2-entry PT must miss")
+	}
+	// Correctness is preserved despite misses: every op still expanded.
+	if e.Stats.Expansions != 12 {
+		t.Errorf("Expansions = %d, want 12", e.Stats.Expansions)
+	}
+}
+
+func TestDeactivateActivate(t *testing.T) {
+	c := NewController(perfectCfg())
+	p := installMFI(t, c)
+	e := c.Engine()
+	if e.Expand(aStore, 0) == nil {
+		t.Fatal("should expand while active")
+	}
+	c.Deactivate(p)
+	if e.Expand(aStore, 0) != nil {
+		t.Error("should not expand after deactivation")
+	}
+	c.Activate(p)
+	if e.Expand(aStore, 0) == nil {
+		t.Error("should expand after re-activation")
+	}
+}
+
+func TestSaveRestoreState(t *testing.T) {
+	c := NewController(perfectCfg())
+	installMFI(t, c)
+	saved := c.SaveState()
+	// "Context switch": a second process with no productions.
+	c.RestoreState(State{})
+	if c.Engine().Expand(aStore, 0) != nil {
+		t.Error("other process should see no productions")
+	}
+	c.RestoreState(saved)
+	if c.Engine().Expand(aStore, 0) == nil {
+		t.Error("original process's productions should be restored")
+	}
+}
+
+func TestExpansionRate(t *testing.T) {
+	c := NewController(perfectCfg())
+	installMFI(t, c)
+	e := c.Engine()
+	e.Expand(aStore, 0)
+	e.Expand(aAdd, 4)
+	e.Expand(aAdd, 8)
+	e.Expand(aStore, 12)
+	if got := e.Stats.ExpansionRate(); got != 0.5 {
+		t.Errorf("ExpansionRate = %v", got)
+	}
+}
+
+func TestInstallErrors(t *testing.T) {
+	c := NewController(perfectCfg())
+	if _, err := c.InstallTransparent("e", anyRegs(), &Replacement{Name: "e"}); err == nil {
+		t.Error("empty replacement should fail")
+	}
+	if _, err := c.InstallAware("e", anyRegs(), nil); err == nil {
+		t.Error("empty dictionary should fail")
+	}
+	big := make([]*Replacement, isa.MaxTag+2)
+	for i := range big {
+		big[i] = &Replacement{Name: "x", Insts: []ReplInst{FromLiteral(isa.Nop())}}
+	}
+	if _, err := c.InstallAware("big", anyRegs(), big); err == nil {
+		t.Error("oversized dictionary should fail")
+	}
+}
+
+func TestRTBlockFragmentation(t *testing.T) {
+	// §2.2: coalescing replacement instructions into blocks trades read
+	// ports for internal fragmentation. A 5-instruction sequence occupies
+	// 5 slots at block=1 but 2 blocks x 4 = 8 slots at block=4; with two
+	// such sequences and a 12-instruction RT, block=1 fits both while
+	// block=4 cannot, and the working set thrashes.
+	mkSeq := func(op isa.Opcode) *Replacement {
+		r := &Replacement{Name: op.String()}
+		for i := 0; i < 5; i++ {
+			r.Insts = append(r.Insts, FromLiteral(isa.Inst{Op: op, RS: 1, RT: 2, RD: 3}))
+		}
+		return r
+	}
+	run := func(block int) int64 {
+		cfg := DefaultEngineConfig()
+		cfg.RTEntries = 12
+		cfg.RTAssoc = 2
+		cfg.RTBlock = block
+		c := NewController(cfg)
+		if _, err := c.InstallTransparent("pa", pat(func(p *Pattern) { p.Op = isa.OpSTQ }), mkSeq(isa.OpADDQ)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.InstallTransparent("pb", pat(func(p *Pattern) { p.Op = isa.OpSTL }), mkSeq(isa.OpSUBQ)); err != nil {
+			t.Fatal(err)
+		}
+		e := c.Engine()
+		stl := isa.Inst{Op: isa.OpSTL, RT: 1, RS: 2, RD: isa.NoReg}
+		for i := 0; i < 20; i++ {
+			if exp := e.Expand(aStore, 0); exp == nil || len(exp.Insts) != 5 {
+				t.Fatal("expansion broken under blocking")
+			}
+			if exp := e.Expand(stl, 4); exp == nil || len(exp.Insts) != 5 {
+				t.Fatal("expansion broken under blocking")
+			}
+		}
+		return e.Stats.RTMisses
+	}
+	fine := run(1)
+	coarse := run(4)
+	if fine > 2 {
+		t.Errorf("block=1 should hold both sequences: misses = %d", fine)
+	}
+	if coarse <= fine {
+		t.Errorf("block=4 fragmentation should cause misses: %d vs %d", coarse, fine)
+	}
+}

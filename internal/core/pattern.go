@@ -1,0 +1,136 @@
+// Package core implements DISE itself: productions (pattern specifications
+// plus parameterized replacement-sequence specifications), the engine that
+// applies them to the fetch stream — pattern table (PT), replacement table
+// (RT) and instantiation logic (IL) — and the controller that programs and
+// virtualizes the PT/RT (paper §2).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Pattern is a pattern specification: a fetched instruction matching it is a
+// trigger. A pattern may constrain any combination of opcode, opcode class,
+// logical register names, and the immediate field or its sign (paper §2.1).
+type Pattern struct {
+	// Op, if valid, requires an exact opcode.
+	Op isa.Opcode
+	// Class, if not ClassInvalid, requires an opcode class. Ignored when Op
+	// is set (an exact opcode is strictly more specific).
+	Class isa.Class
+	// RS, RT, RD, when not NoReg, require the named register in that slot.
+	RS, RT, RD isa.Reg
+	// MatchImm requires Imm to equal the trigger's immediate exactly.
+	MatchImm bool
+	Imm      int64
+	// ImmSign constrains the immediate's sign: 0 = unconstrained,
+	// -1 = negative, +1 = non-negative.
+	ImmSign int
+}
+
+// Matches reports whether in is a trigger for p.
+func (p *Pattern) Matches(in isa.Inst) bool {
+	if p.Op != isa.OpInvalid {
+		if in.Op != p.Op {
+			return false
+		}
+	} else if p.Class != isa.ClassInvalid && in.Op.Class() != p.Class {
+		return false
+	}
+	if p.RS != isa.NoReg && in.RS != p.RS {
+		return false
+	}
+	if p.RT != isa.NoReg && in.RT != p.RT {
+		return false
+	}
+	if p.RD != isa.NoReg && in.RD != p.RD {
+		return false
+	}
+	if p.MatchImm && in.Imm != p.Imm {
+		return false
+	}
+	switch p.ImmSign {
+	case -1:
+		if in.Imm >= 0 {
+			return false
+		}
+	case 1:
+		if in.Imm < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Specificity scores how many instruction bits p constrains. When several
+// active patterns match a trigger, the PT selects the most specific one,
+// enabling overlapping and negative pattern specifications (paper §2.2).
+func (p *Pattern) Specificity() int {
+	s := 0
+	if p.Op != isa.OpInvalid {
+		s += 6
+	} else if p.Class != isa.ClassInvalid {
+		s += 3 // a class constrains fewer opcode bits than an exact opcode
+	}
+	for _, r := range []isa.Reg{p.RS, p.RT, p.RD} {
+		if r != isa.NoReg {
+			s += 5
+		}
+	}
+	if p.MatchImm {
+		s += 16
+	} else if p.ImmSign != 0 {
+		s++
+	}
+	return s
+}
+
+// Opcodes returns the opcodes p can trigger on. The controller uses this to
+// maintain the per-opcode pattern counter table that detects PT misses
+// (paper §2.3).
+func (p *Pattern) Opcodes() []isa.Opcode {
+	if p.Op != isa.OpInvalid {
+		return []isa.Opcode{p.Op}
+	}
+	var ops []isa.Opcode
+	for _, op := range isa.Opcodes() {
+		if p.Class == isa.ClassInvalid || op.Class() == p.Class {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// String renders p in the production-language condition syntax.
+func (p *Pattern) String() string {
+	var conds []string
+	if p.Op != isa.OpInvalid {
+		conds = append(conds, "op == "+p.Op.String())
+	} else if p.Class != isa.ClassInvalid {
+		conds = append(conds, "class == "+p.Class.String())
+	}
+	if p.RS != isa.NoReg {
+		conds = append(conds, "rs == "+p.RS.String())
+	}
+	if p.RT != isa.NoReg {
+		conds = append(conds, "rt == "+p.RT.String())
+	}
+	if p.RD != isa.NoReg {
+		conds = append(conds, "rd == "+p.RD.String())
+	}
+	if p.MatchImm {
+		conds = append(conds, fmt.Sprintf("imm == %d", p.Imm))
+	}
+	if p.ImmSign < 0 {
+		conds = append(conds, "imm < 0")
+	} else if p.ImmSign > 0 {
+		conds = append(conds, "imm >= 0")
+	}
+	if len(conds) == 0 {
+		return "any"
+	}
+	return strings.Join(conds, " && ")
+}

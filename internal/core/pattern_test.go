@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func anyRegs() Pattern { return Pattern{RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg} }
+
+func pat(mut func(*Pattern)) Pattern {
+	p := anyRegs()
+	mut(&p)
+	return p
+}
+
+var (
+	aLoad  = isa.Inst{Op: isa.OpLDQ, RD: 1, RS: 2, RT: isa.NoReg, Imm: 8}
+	aStore = isa.Inst{Op: isa.OpSTQ, RT: 1, RS: isa.RegSP, RD: isa.NoReg, Imm: -8}
+	aAdd   = isa.Inst{Op: isa.OpADDQ, RS: 1, RT: 2, RD: 3}
+)
+
+func TestPatternOpcode(t *testing.T) {
+	p := pat(func(p *Pattern) { p.Op = isa.OpLDQ })
+	if !p.Matches(aLoad) || p.Matches(aStore) || p.Matches(aAdd) {
+		t.Error("opcode pattern match wrong")
+	}
+}
+
+func TestPatternClass(t *testing.T) {
+	p := pat(func(p *Pattern) { p.Class = isa.ClassStore })
+	if p.Matches(aLoad) || !p.Matches(aStore) {
+		t.Error("class pattern match wrong")
+	}
+	stl := isa.Inst{Op: isa.OpSTL, RT: 4, RS: 5, RD: isa.NoReg}
+	if !p.Matches(stl) {
+		t.Error("class pattern should match all stores")
+	}
+}
+
+func TestPatternRegister(t *testing.T) {
+	// "loads that use the stack pointer as their address register" (§2.1).
+	p := pat(func(p *Pattern) { p.Class = isa.ClassLoad; p.RS = isa.RegSP })
+	spLoad := isa.Inst{Op: isa.OpLDQ, RD: 1, RS: isa.RegSP, RT: isa.NoReg}
+	if !p.Matches(spLoad) || p.Matches(aLoad) {
+		t.Error("register-constrained pattern wrong")
+	}
+}
+
+func TestPatternImmSign(t *testing.T) {
+	// "conditional branches with negative offsets" (§2.1).
+	p := pat(func(p *Pattern) { p.Class = isa.ClassCondBr; p.ImmSign = -1 })
+	back := isa.Inst{Op: isa.OpBNE, RS: 1, RT: isa.NoReg, RD: isa.NoReg, Imm: -4}
+	fwd := isa.Inst{Op: isa.OpBNE, RS: 1, RT: isa.NoReg, RD: isa.NoReg, Imm: 4}
+	if !p.Matches(back) || p.Matches(fwd) {
+		t.Error("negative-offset pattern wrong")
+	}
+}
+
+func TestPatternExactImm(t *testing.T) {
+	p := pat(func(p *Pattern) { p.Op = isa.OpSTQ; p.MatchImm = true; p.Imm = -8 })
+	if !p.Matches(aStore) {
+		t.Error("exact-imm should match")
+	}
+	other := aStore
+	other.Imm = 0
+	if p.Matches(other) {
+		t.Error("exact-imm should not match different imm")
+	}
+}
+
+func TestSpecificityOrdering(t *testing.T) {
+	classPat := pat(func(p *Pattern) { p.Class = isa.ClassLoad })
+	opPat := pat(func(p *Pattern) { p.Op = isa.OpLDQ })
+	opRegPat := pat(func(p *Pattern) { p.Op = isa.OpLDQ; p.RS = isa.RegSP })
+	if !(classPat.Specificity() < opPat.Specificity()) {
+		t.Error("opcode should be more specific than class")
+	}
+	if !(opPat.Specificity() < opRegPat.Specificity()) {
+		t.Error("opcode+reg should be more specific than opcode")
+	}
+}
+
+func TestPatternOpcodes(t *testing.T) {
+	p := pat(func(p *Pattern) { p.Class = isa.ClassStore })
+	ops := p.Opcodes()
+	if len(ops) != 2 { // stq, stl
+		t.Errorf("store class covers %d opcodes, want 2", len(ops))
+	}
+	q := pat(func(p *Pattern) { p.Op = isa.OpBNE })
+	if len(q.Opcodes()) != 1 {
+		t.Error("exact opcode covers exactly itself")
+	}
+	wild := anyRegs()
+	if len(wild.Opcodes()) != len(isa.Opcodes()) {
+		t.Error("unconstrained pattern covers all opcodes")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := pat(func(p *Pattern) { p.Class = isa.ClassStore; p.RS = isa.RegSP })
+	if got := p.String(); got != "class == store && rs == sp" {
+		t.Errorf("String = %q", got)
+	}
+	empty := anyRegs()
+	if got := empty.String(); got != "any" {
+		t.Errorf("String = %q", got)
+	}
+}

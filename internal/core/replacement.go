@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// RegDir selects how a replacement instruction's register field is
+// instantiated (paper §2.1: literal, dedicated, T.RS, T.RT, T.RD —
+// "dedicated" is a literal naming a dedicated register).
+type RegDir uint8
+
+// Register-field directives.
+const (
+	RegLit RegDir = iota // use the literal register in the template
+	RegTRS               // copy the trigger's RS field (aka T.P1 for codewords)
+	RegTRT               // copy the trigger's RT field (T.P2)
+	RegTRD               // copy the trigger's RD field (T.P3)
+)
+
+// ImmDir selects how an immediate field is instantiated.
+type ImmDir uint8
+
+// Immediate-field directives. The PJoin directives assemble a wider signed
+// immediate from adjacent 5-bit codeword parameter slots — an aware ACF is
+// free to interpret unused trigger bits however it likes (paper §2.1); wide
+// immediate parameters are how the compressor parameterizes PC-relative
+// branch displacements (paper §3.2).
+const (
+	ImmLit  ImmDir = iota // literal immediate in the template
+	ImmTImm               // trigger's immediate field
+	ImmTPC                // trigger's PC (profiling ACFs, paper §2.1)
+	ImmP1                 // trigger RS field as a signed 5-bit value
+	ImmP2                 // trigger RT field as a signed 5-bit value
+	ImmP3                 // trigger RD field as a signed 5-bit value
+	ImmP23                // (RT<<5|RD) as a signed 10-bit value
+	ImmP123               // (RS<<10|RT<<5|RD) as a signed 15-bit value
+)
+
+// RegField is a register slot of a replacement instruction template.
+type RegField struct {
+	Dir RegDir
+	Lit isa.Reg // used when Dir == RegLit
+}
+
+// ImmField is the immediate slot of a replacement instruction template.
+type ImmField struct {
+	Dir ImmDir
+	Lit int64 // used when Dir == ImmLit
+}
+
+// Lit returns a literal register field.
+func Lit(r isa.Reg) RegField { return RegField{Dir: RegLit, Lit: r} }
+
+// TReg returns a trigger-copy register field.
+func TReg(d RegDir) RegField { return RegField{Dir: d} }
+
+// ReplInst is one instruction of a replacement sequence specification: an
+// opcode (possibly copied from the trigger), a directive per field, and the
+// DISE-branch attribute. It is the unit the RT caches and the IL executes.
+type ReplInst struct {
+	// Trigger splices the trigger instruction itself (T.INSN). All other
+	// fields except DiseBranch are ignored.
+	Trigger bool
+
+	Op            isa.Opcode
+	OpFromTrigger bool // use the trigger's opcode with this template's fields
+
+	RS, RT, RD RegField
+	Imm        ImmField
+
+	// DiseBranch marks a branch variant that moves the DISEPC instead of
+	// the PC (paper §2.1, replacement-sequence control flow). Its target is
+	// the absolute DISEPC (offset within this sequence) given by the
+	// instantiated immediate.
+	DiseBranch bool
+}
+
+func sext5(v isa.Reg) int64 { return int64(int8(uint8(v)<<3)) >> 3 }
+
+func immP(fields ...isa.Reg) int64 {
+	var v uint64
+	bits := uint(0)
+	for _, f := range fields {
+		v = v<<5 | uint64(uint8(f)&0x1f)
+		bits += 5
+	}
+	shift := 64 - bits
+	return int64(v<<shift) >> shift
+}
+
+// Instantiate executes the instantiation directives against a trigger,
+// producing the actual replacement instruction (the IL's combinational
+// function).
+func (r *ReplInst) Instantiate(trigger isa.Inst, pc uint64) isa.Inst {
+	if r.Trigger {
+		return trigger
+	}
+	var out isa.Inst
+	if r.OpFromTrigger {
+		out.Op = trigger.Op
+	} else {
+		out.Op = r.Op
+	}
+	pick := func(f RegField) isa.Reg {
+		switch f.Dir {
+		case RegTRS:
+			return trigger.RS
+		case RegTRT:
+			return trigger.RT
+		case RegTRD:
+			return trigger.RD
+		default:
+			return f.Lit
+		}
+	}
+	out.RS = pick(r.RS)
+	out.RT = pick(r.RT)
+	out.RD = pick(r.RD)
+	switch r.Imm.Dir {
+	case ImmTImm:
+		out.Imm = trigger.Imm
+	case ImmTPC:
+		out.Imm = int64(pc)
+	case ImmP1:
+		out.Imm = sext5(trigger.RS)
+	case ImmP2:
+		out.Imm = sext5(trigger.RT)
+	case ImmP3:
+		out.Imm = sext5(trigger.RD)
+	case ImmP23:
+		out.Imm = immP(trigger.RT, trigger.RD)
+	case ImmP123:
+		out.Imm = immP(trigger.RS, trigger.RT, trigger.RD)
+	default:
+		out.Imm = r.Imm.Lit
+	}
+	return out
+}
+
+// FromLiteral builds a fully literal template from a decoded instruction —
+// the degenerate case used by dictionary entries whose fields carry no
+// parameters.
+func FromLiteral(in isa.Inst) ReplInst {
+	return ReplInst{
+		Op: in.Op,
+		RS: Lit(in.RS), RT: Lit(in.RT), RD: Lit(in.RD),
+		Imm: ImmField{Dir: ImmLit, Lit: in.Imm},
+	}
+}
+
+// TriggerInst returns the T.INSN template.
+func TriggerInst() ReplInst { return ReplInst{Trigger: true} }
+
+// Parameterized reports whether any field of r depends on the trigger.
+func (r ReplInst) Parameterized() bool {
+	if r.Trigger || r.OpFromTrigger {
+		return true
+	}
+	if r.RS.Dir != RegLit || r.RT.Dir != RegLit || r.RD.Dir != RegLit {
+		return true
+	}
+	return r.Imm.Dir != ImmLit
+}
+
+func regFieldString(f RegField) string {
+	switch f.Dir {
+	case RegTRS:
+		return "%rs"
+	case RegTRT:
+		return "%rt"
+	case RegTRD:
+		return "%rd"
+	default:
+		return f.Lit.String()
+	}
+}
+
+// String renders r in the production-language replacement syntax.
+func (r ReplInst) String() string {
+	if r.Trigger {
+		return "%insn"
+	}
+	op := r.Op.String()
+	if r.OpFromTrigger {
+		op = "%op"
+	}
+	if r.DiseBranch {
+		op = "d" + op
+	}
+	imm := ""
+	switch r.Imm.Dir {
+	case ImmTImm:
+		imm = "%imm"
+	case ImmTPC:
+		imm = "%pc"
+	case ImmP1:
+		imm = "%p1"
+	case ImmP2:
+		imm = "%p2"
+	case ImmP3:
+		imm = "%p3"
+	case ImmP23:
+		imm = "%p23"
+	case ImmP123:
+		imm = "%p123"
+	default:
+		imm = fmt.Sprintf("%d", r.Imm.Lit)
+	}
+	var fields []string
+	format := isa.FmtOpReg
+	if !r.OpFromTrigger {
+		format = r.Op.Format()
+	}
+	switch format {
+	case isa.FmtMem:
+		ra := r.RD
+		if !r.OpFromTrigger && r.Op.Class() == isa.ClassStore {
+			ra = r.RT
+		}
+		return fmt.Sprintf("%s %s, %s(%s)", op, regFieldString(ra), imm, regFieldString(r.RS))
+	case isa.FmtBranch:
+		ra := r.RS
+		if r.Op == isa.OpBR || r.Op == isa.OpBSR {
+			ra = r.RD
+		}
+		return fmt.Sprintf("%s %s, %s", op, regFieldString(ra), imm)
+	case isa.FmtJump:
+		return fmt.Sprintf("%s %s, (%s)", op, regFieldString(r.RD), regFieldString(r.RS))
+	case isa.FmtJumpCond:
+		return fmt.Sprintf("%s %s, (%s)", op, regFieldString(r.RT), regFieldString(r.RS))
+	case isa.FmtOpImm:
+		return fmt.Sprintf("%s %s, %s, %s", op, regFieldString(r.RS), imm, regFieldString(r.RD))
+	case isa.FmtSpecial:
+		return fmt.Sprintf("%s %s", op, imm)
+	default:
+		fields = []string{regFieldString(r.RS), regFieldString(r.RT), regFieldString(r.RD)}
+		return fmt.Sprintf("%s %s", op, strings.Join(fields, ", "))
+	}
+}
+
+// Replacement is a named replacement sequence specification.
+type Replacement struct {
+	Name  string
+	Insts []ReplInst
+}
+
+// Len returns the sequence length in instructions.
+func (r *Replacement) Len() int { return len(r.Insts) }
+
+// TriggerIndex returns the position of the T.INSN template, or -1.
+func (r *Replacement) TriggerIndex() int {
+	for i := range r.Insts {
+		if r.Insts[i].Trigger {
+			return i
+		}
+	}
+	return -1
+}
+
+// Instantiate expands the whole sequence against a trigger.
+func (r *Replacement) Instantiate(trigger isa.Inst, pc uint64) []isa.Inst {
+	out := make([]isa.Inst, len(r.Insts))
+	for i := range r.Insts {
+		out[i] = r.Insts[i].Instantiate(trigger, pc)
+	}
+	return out
+}
+
+// Validate checks sequence invariants: DISE-branch targets must stay within
+// the sequence (one dynamic replacement sequence cannot jump into the middle
+// of another — paper §2.1).
+func (r *Replacement) Validate() error {
+	for i, ri := range r.Insts {
+		if !ri.DiseBranch {
+			continue
+		}
+		if ri.Imm.Dir != ImmLit {
+			continue // parameterized targets are checked at instantiation
+		}
+		t := ri.Imm.Lit
+		if t < 0 || t > int64(len(r.Insts)) {
+			return fmt.Errorf("dise: replacement %s: inst %d: DISE branch target %d outside sequence [0,%d]",
+				r.Name, i, t, len(r.Insts))
+		}
+	}
+	return nil
+}
+
+// String renders the sequence, one instruction per line.
+func (r *Replacement) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", r.Name)
+	for i := range r.Insts {
+		fmt.Fprintf(&b, "  %d: %s\n", i, r.Insts[i].String())
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// mfiRepl builds the paper's Figure 1 replacement sequence by hand:
+//
+//	srli %rs, 26, $dr1
+//	xor  $dr1, $dr2, $dr1
+//	dbeq $dr1, @ok
+//	sys  3
+//	@ok: %insn
+func mfiRepl() *Replacement {
+	dr1, dr2 := isa.RegDR0+1, isa.RegDR0+2
+	return &Replacement{
+		Name: "mfi",
+		Insts: []ReplInst{
+			{Op: isa.OpSRLI, RS: TReg(RegTRS), RT: Lit(isa.NoReg), RD: Lit(dr1),
+				Imm: ImmField{Dir: ImmLit, Lit: 26}},
+			{Op: isa.OpXOR, RS: Lit(dr1), RT: Lit(dr2), RD: Lit(dr1)},
+			{Op: isa.OpBEQ, RS: Lit(dr1), RT: Lit(isa.NoReg), RD: Lit(isa.NoReg),
+				Imm: ImmField{Dir: ImmLit, Lit: 4}, DiseBranch: true},
+			{Op: isa.OpSYS, RS: Lit(isa.NoReg), RT: Lit(isa.NoReg), RD: Lit(isa.NoReg),
+				Imm: ImmField{Dir: ImmLit, Lit: isa.SysError}},
+			TriggerInst(),
+		},
+	}
+}
+
+func TestInstantiateMFI(t *testing.T) {
+	store := isa.Inst{Op: isa.OpSTQ, RT: 7, RS: 9, RD: isa.NoReg, Imm: 16}
+	seq := mfiRepl().Instantiate(store, 0x4000)
+	if len(seq) != 5 {
+		t.Fatalf("len = %d", len(seq))
+	}
+	// T.RS parameterization: the srl reads the trigger's address register.
+	if seq[0].Op != isa.OpSRLI || seq[0].RS != 9 || seq[0].RD != isa.RegDR0+1 || seq[0].Imm != 26 {
+		t.Errorf("seq[0] = %v", seq[0])
+	}
+	// T.INSN: the final instruction is the trigger itself.
+	if seq[4] != store {
+		t.Errorf("seq[4] = %v, want trigger", seq[4])
+	}
+}
+
+func TestInstantiateOpFromTrigger(t *testing.T) {
+	// Sandboxing-style: re-issue the trigger's own opcode with the base
+	// register swapped to a dedicated register.
+	ri := ReplInst{
+		OpFromTrigger: true,
+		RS:            Lit(isa.RegDR0),
+		RT:            TReg(RegTRT),
+		RD:            TReg(RegTRD),
+		Imm:           ImmField{Dir: ImmTImm},
+	}
+	store := isa.Inst{Op: isa.OpSTQ, RT: 7, RS: 9, RD: isa.NoReg, Imm: 16}
+	got := ri.Instantiate(store, 0)
+	if got.Op != isa.OpSTQ || got.RS != isa.RegDR0 || got.RT != 7 || got.Imm != 16 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestInstantiateTPC(t *testing.T) {
+	ri := ReplInst{Op: isa.OpLDA, RS: Lit(isa.RegZero), RT: Lit(isa.NoReg),
+		RD: Lit(isa.RegDR0), Imm: ImmField{Dir: ImmTPC}}
+	got := ri.Instantiate(isa.Nop(), 0x1234)
+	if got.Imm != 0x1234 {
+		t.Errorf("TPC imm = %#x", got.Imm)
+	}
+}
+
+func TestWideImmParams(t *testing.T) {
+	cw := isa.Codeword(isa.OpRES0, 3, 31, 30, 5) // p2..p3 = 11111 11110
+	cases := []struct {
+		dir  ImmDir
+		want int64
+	}{
+		{ImmP1, 3},
+		{ImmP2, -1},  // 31 as signed 5-bit
+		{ImmP3, -2},  // 30 as signed 5-bit
+		{ImmP23, -2}, // 1111111110 as signed 10-bit
+		{ImmP123, 3<<10 | 0x3fe - (0 << 15)},
+	}
+	for _, c := range cases {
+		ri := ReplInst{Op: isa.OpLDA, RS: Lit(isa.RegZero), RT: Lit(isa.NoReg),
+			RD: Lit(isa.RegDR0), Imm: ImmField{Dir: c.dir}}
+		if got := ri.Instantiate(cw, 0).Imm; got != c.want {
+			t.Errorf("dir %d: got %d, want %d", c.dir, got, c.want)
+		}
+	}
+}
+
+func TestWideImmRoundTripProperty(t *testing.T) {
+	// Any signed 10-bit value survives a pack-into-params / extract cycle.
+	f := func(raw int16) bool {
+		v := int64(raw % 512) // signed 10-bit range
+		p2 := uint8(v>>5) & 0x1f
+		p3 := uint8(v) & 0x1f
+		cw := isa.Codeword(isa.OpRES0, 0, p2, p3, 0)
+		ri := ReplInst{Op: isa.OpLDA, RS: Lit(isa.RegZero), RT: Lit(isa.NoReg),
+			RD: Lit(isa.RegDR0), Imm: ImmField{Dir: ImmP23}}
+		return ri.Instantiate(cw, 0).Imm == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromLiteral(t *testing.T) {
+	in := isa.Inst{Op: isa.OpADDQ, RS: 1, RT: 2, RD: 3}
+	ri := FromLiteral(in)
+	if ri.Parameterized() {
+		t.Error("literal template should not be parameterized")
+	}
+	if got := ri.Instantiate(isa.Nop(), 0); got != in {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestParameterized(t *testing.T) {
+	if !TriggerInst().Parameterized() {
+		t.Error("%insn is parameterized")
+	}
+	ri := FromLiteral(isa.Nop())
+	ri.Imm = ImmField{Dir: ImmTImm}
+	if !ri.Parameterized() {
+		t.Error("T.IMM is parameterized")
+	}
+}
+
+func TestReplacementValidate(t *testing.T) {
+	r := mfiRepl()
+	if err := r.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := &Replacement{Name: "bad", Insts: []ReplInst{
+		{Op: isa.OpBEQ, RS: Lit(isa.RegDR0), RT: Lit(isa.NoReg), RD: Lit(isa.NoReg),
+			Imm: ImmField{Dir: ImmLit, Lit: 99}, DiseBranch: true},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate should reject out-of-sequence DISE branch")
+	}
+}
+
+func TestTriggerIndex(t *testing.T) {
+	if got := mfiRepl().TriggerIndex(); got != 4 {
+		t.Errorf("TriggerIndex = %d", got)
+	}
+	r := &Replacement{Name: "n", Insts: []ReplInst{FromLiteral(isa.Nop())}}
+	if got := r.TriggerIndex(); got != -1 {
+		t.Errorf("TriggerIndex = %d", got)
+	}
+}
+
+func TestReplacementString(t *testing.T) {
+	s := mfiRepl().String()
+	for _, want := range []string{"srli %rs, 26, $dr1", "dbeq", "%insn"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q in:\n%s", want, s)
+		}
+	}
+}

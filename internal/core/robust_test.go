@@ -1,0 +1,72 @@
+package core
+
+// Robustness: the production-language parser must reject arbitrary
+// mutations of valid production text with errors, never panics — it is the
+// user-facing controller interface (paper §2.3).
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mutateProd(r *rand.Rand, s string) string {
+	b := []byte(s)
+	if len(b) == 0 {
+		return "prod"
+	}
+	switch r.Intn(5) {
+	case 0:
+		b[r.Intn(len(b))] = byte(32 + r.Intn(95))
+	case 1:
+		i := r.Intn(len(b))
+		j := i + r.Intn(len(b)-i)
+		b = append(b[:i], b[j:]...)
+	case 2:
+		tok := []string{"{", "}", "%insn", "%p23", "@x:", "dbeq", "match", "replace", "==", "$dr8"}
+		n := tok[r.Intn(len(tok))]
+		i := r.Intn(len(b))
+		b = append(b[:i], append([]byte(" "+n+" "), b[i:]...)...)
+	case 3:
+		lines := strings.Split(string(b), "\n")
+		if len(lines) > 2 {
+			i, j := r.Intn(len(lines)), r.Intn(len(lines))
+			lines[i], lines[j] = lines[j], lines[i]
+		}
+		return strings.Join(lines, "\n")
+	case 4:
+		return string(b) + string(b[:r.Intn(len(b))])
+	}
+	return string(b)
+}
+
+func TestProductionParserNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 3000; i++ {
+		src := mfiSrc
+		for k := 0; k <= r.Intn(3); k++ {
+			src = mutateProd(r, src)
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("parser panicked: %v\nsource:\n%s", p, src)
+				}
+			}()
+			prods, err := ParseProductions(src)
+			if err != nil {
+				return
+			}
+			// Whatever parsed must also install and validate cleanly.
+			c := NewController(perfectCfg())
+			for _, pp := range prods {
+				if pp.Aware {
+					continue
+				}
+				if _, err := c.InstallTransparent(pp.Name, pp.Pattern, pp.Repl); err != nil {
+					t.Fatalf("parsed production failed to install: %v\nsource:\n%s", err, src)
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,159 @@
+package cpu
+
+// Branch prediction: a gshare conditional predictor, a BTB for indirect
+// jumps, and a return address stack — the "aggressive branch speculation"
+// of the paper's simulated MIPS-R10000-like core.
+
+const (
+	gshareBits = 12
+	rasDepth   = 16
+)
+
+// Predictor models the front-end branch prediction structures.
+type Predictor struct {
+	counters [1 << gshareBits]uint8 // 2-bit saturating counters
+	bimodal  [1 << gshareBits]uint8 // history-free counters (cond. jumps)
+	ghr      uint64
+
+	btb map[uint64]uint64 // indirect-target cache
+
+	ras    [rasDepth]uint64
+	rasTop int
+	rasLen int
+
+	Stats PredStats
+}
+
+// PredStats counts prediction outcomes.
+type PredStats struct {
+	CondBranches int64
+	CondMiss     int64
+	IndBranches  int64
+	IndMiss      int64
+	Returns      int64
+	RetMiss      int64
+}
+
+// Mispredicts returns the total mispredictions of all kinds.
+func (s *PredStats) Mispredicts() int64 { return s.CondMiss + s.IndMiss + s.RetMiss }
+
+// NewPredictor returns an initialized predictor.
+func NewPredictor() *Predictor {
+	p := &Predictor{btb: make(map[uint64]uint64)}
+	for i := range p.counters {
+		p.counters[i] = 1 // weakly not-taken
+		p.bimodal[i] = 1
+	}
+	return p
+}
+
+func (p *Predictor) condIndex(pc uint64) uint64 {
+	return (pc>>2 ^ p.ghr) & (1<<gshareBits - 1)
+}
+
+// Cond predicts and updates a conditional branch; it returns whether the
+// prediction was correct. A bias filter keeps strongly-not-taken branches
+// (error checks, assertion exits) out of the global history register so
+// they do not dilute gshare's correlation for the real branches — the
+// standard filtering refinement of two-level predictors.
+func (p *Predictor) Cond(pc uint64, taken bool) bool {
+	p.Stats.CondBranches++
+	bidx := pc >> 2 & (1<<gshareBits - 1)
+	if p.bimodal[bidx] == 0 {
+		// Filtered: predicted not-taken off the bias table alone.
+		if taken {
+			p.bimodal[bidx]++
+			p.ghr = p.ghr<<1 | 1
+			p.Stats.CondMiss++
+			return false
+		}
+		return true
+	}
+	if !taken && p.bimodal[bidx] > 0 {
+		p.bimodal[bidx]--
+	}
+	if taken && p.bimodal[bidx] < 3 {
+		p.bimodal[bidx]++
+	}
+	idx := p.condIndex(pc)
+	pred := p.counters[idx] >= 2
+	if taken && p.counters[idx] < 3 {
+		p.counters[idx]++
+	}
+	if !taken && p.counters[idx] > 0 {
+		p.counters[idx]--
+	}
+	p.ghr = p.ghr<<1 | b2u64(taken)
+	correct := pred == taken
+	if !correct {
+		p.Stats.CondMiss++
+	}
+	return correct
+}
+
+// Indirect predicts and updates an indirect jump/call through the BTB; it
+// returns whether the predicted target matched.
+func (p *Predictor) Indirect(pc, target uint64) bool {
+	p.Stats.IndBranches++
+	pred, ok := p.btb[pc]
+	p.btb[pc] = target
+	correct := ok && pred == target
+	if !correct {
+		p.Stats.IndMiss++
+	}
+	return correct
+}
+
+// Call pushes a return address onto the RAS.
+func (p *Predictor) Call(retAddr uint64) {
+	p.rasTop = (p.rasTop + 1) % rasDepth
+	p.ras[p.rasTop] = retAddr
+	if p.rasLen < rasDepth {
+		p.rasLen++
+	}
+}
+
+// Return predicts a return through the RAS; it returns whether the popped
+// address matched the actual target.
+func (p *Predictor) Return(target uint64) bool {
+	p.Stats.Returns++
+	if p.rasLen == 0 {
+		p.Stats.RetMiss++
+		return false
+	}
+	pred := p.ras[p.rasTop]
+	p.rasTop = (p.rasTop - 1 + rasDepth) % rasDepth
+	p.rasLen--
+	if pred != target {
+		p.Stats.RetMiss++
+		return false
+	}
+	return true
+}
+
+// CondStatic predicts a conditional *jump* (jeq/jne) through a history-free
+// bimodal table: conditional indirects neither read nor shift the global
+// history register, so ACF check jumps do not pollute gshare.
+func (p *Predictor) CondStatic(pc uint64, taken bool) bool {
+	idx := pc >> 2 & (1<<gshareBits - 1)
+	pred := p.bimodal[idx] >= 2
+	if taken && p.bimodal[idx] < 3 {
+		p.bimodal[idx]++
+	}
+	if !taken && p.bimodal[idx] > 0 {
+		p.bimodal[idx]--
+	}
+	p.Stats.CondBranches++
+	correct := pred == taken
+	if !correct {
+		p.Stats.CondMiss++
+	}
+	return correct
+}
+
+func b2u64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,154 @@
+package cpu
+
+import "testing"
+
+func TestCondLearnsBias(t *testing.T) {
+	p := NewPredictor()
+	miss := 0
+	for i := 0; i < 100; i++ {
+		if !p.Cond(0x1000, true) {
+			miss++
+		}
+	}
+	// gshare sees a fresh history pattern for the first ~12 executions
+	// (each indexes a cold counter); after warmup it must be near perfect.
+	if miss > 20 {
+		t.Errorf("always-taken branch missed %d times", miss)
+	}
+	p2 := NewPredictor()
+	for i := 0; i < 100; i++ {
+		p2.Cond(0x1000, true)
+	}
+	warmMiss := 0
+	for i := 0; i < 100; i++ {
+		if !p2.Cond(0x1000, true) {
+			warmMiss++
+		}
+	}
+	if warmMiss > 0 {
+		t.Errorf("warm always-taken branch missed %d times", warmMiss)
+	}
+}
+
+func TestCondLearnsAlternating(t *testing.T) {
+	// gshare with history should learn a strict alternation.
+	p := NewPredictor()
+	miss := 0
+	for i := 0; i < 400; i++ {
+		if !p.Cond(0x1000, i%2 == 0) {
+			miss++
+		}
+	}
+	if miss > 40 {
+		t.Errorf("alternating branch missed %d/400 times", miss)
+	}
+}
+
+func TestBiasFilterProtectsHistory(t *testing.T) {
+	// A never-taken "check" branch interleaved with a history-correlated
+	// branch: with the bias filter, the check must not destroy the
+	// correlated branch's accuracy.
+	p := NewPredictor()
+	miss := 0
+	outcome := false
+	for i := 0; i < 600; i++ {
+		p.Cond(0x2000, false) // the check: never taken
+		outcome = !outcome    // strict alternation
+		if ok := p.Cond(0x3000, outcome); !ok && i > 50 {
+			miss++
+		}
+	}
+	rate := float64(miss) / 550
+	if rate > 0.1 {
+		t.Errorf("filtered checks still ruined correlation: miss rate %.2f", rate)
+	}
+}
+
+func TestCondStaticIgnoresHistory(t *testing.T) {
+	p := NewPredictor()
+	// Biased conditional jumps predict well regardless of global history.
+	for i := 0; i < 50; i++ {
+		p.Cond(0x4000, i%3 == 0) // churn the GHR
+		p.CondStatic(0x5000, false)
+	}
+	miss := p.Stats.CondMiss
+	for i := 0; i < 100; i++ {
+		if !p.CondStatic(0x5000, false) {
+			t.Fatal("biased conditional jump mispredicted after warmup")
+		}
+	}
+	_ = miss
+}
+
+func TestIndirectBTB(t *testing.T) {
+	p := NewPredictor()
+	if p.Indirect(0x100, 0x8000) {
+		t.Error("cold BTB should miss")
+	}
+	if !p.Indirect(0x100, 0x8000) {
+		t.Error("warm same-target should hit")
+	}
+	if p.Indirect(0x100, 0x9000) {
+		t.Error("changed target should miss")
+	}
+	if !p.Indirect(0x100, 0x9000) {
+		t.Error("re-learned target should hit")
+	}
+}
+
+func TestRASMatchesCallReturn(t *testing.T) {
+	p := NewPredictor()
+	p.Call(0x100)
+	p.Call(0x200)
+	if !p.Return(0x200) || !p.Return(0x100) {
+		t.Error("LIFO returns should hit")
+	}
+	if p.Return(0x300) {
+		t.Error("empty RAS should miss")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	p := NewPredictor()
+	for i := 0; i < rasDepth+4; i++ {
+		p.Call(uint64(i) * 16)
+	}
+	// The newest rasDepth entries survive.
+	for i := rasDepth + 3; i >= 4; i-- {
+		if !p.Return(uint64(i) * 16) {
+			t.Fatalf("entry %d should have survived", i)
+		}
+	}
+	// Older ones were overwritten.
+	if p.Return(3 * 16) {
+		t.Error("overwritten entry should miss")
+	}
+}
+
+func TestBandwidthCursor(t *testing.T) {
+	c := bandwidthCursor{width: 2}
+	if got := c.slot(5); got != 5 {
+		t.Errorf("first slot = %d", got)
+	}
+	if got := c.slot(5); got != 5 {
+		t.Errorf("second slot = %d", got)
+	}
+	if got := c.slot(5); got != 6 {
+		t.Errorf("third slot should spill to next cycle, got %d", got)
+	}
+	c.close()
+	if got := c.slot(6); got != 7 {
+		t.Errorf("slot after close = %d, want 7", got)
+	}
+	// Requests never go backwards.
+	if got := c.slot(3); got < 7 {
+		t.Errorf("cursor went backwards: %d", got)
+	}
+}
+
+func TestMispredictsTotal(t *testing.T) {
+	s := PredStats{CondMiss: 2, IndMiss: 3, RetMiss: 4}
+	if s.Mispredicts() != 9 {
+		t.Errorf("Mispredicts = %d", s.Mispredicts())
+	}
+}

@@ -1,0 +1,317 @@
+// Package cpu is the cycle-level timing model: an N-wide superscalar,
+// out-of-order core in the style of the paper's simulated MIPS-R10000-like
+// machine (4-wide, 12-stage, 128-entry reorder buffer), with split L1
+// caches, a unified L2, branch prediction, and the three DISE decoder
+// integration options of paper §4.1 — free, one-cycle stall per expansion,
+// and an added pipe stage.
+//
+// The model consumes the annotated dynamic instruction stream produced by
+// the functional emulator and schedules it in a single pass: each dynamic
+// instruction's dispatch is limited by fetch bandwidth, I-cache latency,
+// reorder-buffer occupancy and DISE miss stalls; its execution by operand
+// readiness and functional-unit/D-cache latency; its commit by program
+// order and commit bandwidth. Branch mispredictions (and taken DISE
+// branches, which are architecturally mispredictions — paper §2.2) redirect
+// fetch after the branch executes plus the pipeline refill penalty.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// DiseMode selects how the DISE engine is integrated into the decoder
+// (paper §4.1, "DISE implementation").
+type DiseMode int
+
+// Decoder integration options.
+const (
+	// DiseFree models DISE with no decode cost (an upper bound).
+	DiseFree DiseMode = iota
+	// DiseStall charges one stall cycle per successful expansion (PT and RT
+	// read in parallel with decode; expansion repeats the cycle).
+	DiseStall
+	// DisePipe adds a decode stage: +1 cycle on every pipeline refill,
+	// including ACF-free code.
+	DisePipe
+)
+
+func (m DiseMode) String() string {
+	switch m {
+	case DiseStall:
+		return "stall"
+	case DisePipe:
+		return "pipe"
+	default:
+		return "free"
+	}
+}
+
+// Config parameterizes the core.
+type Config struct {
+	Width     int // fetch/dispatch/commit width
+	ROB       int // reorder buffer entries
+	PipeDepth int // front-end depth = minimum misprediction penalty
+
+	Mem mem.HierarchyConfig
+
+	DiseMode DiseMode
+}
+
+// DefaultConfig is the paper's §4 configuration: 4-wide, 12-stage, 128-entry
+// ROB, 32KB L1s, 1MB L2.
+func DefaultConfig() Config {
+	return Config{
+		Width:     4,
+		ROB:       128,
+		PipeDepth: 12,
+		Mem:       mem.DefaultHierarchyConfig(),
+		DiseMode:  DiseFree,
+	}
+}
+
+// Result reports a timed run.
+type Result struct {
+	Cycles   int64
+	Insts    int64 // dynamic instructions committed (incl. replacement)
+	AppInsts int64 // application instructions committed
+
+	ICacheMisses int64
+	DCacheMisses int64
+	Mispredicts  int64
+	DiseStalls   int64 // cycles lost to PT/RT miss handling
+	ExpStalls    int64 // cycles lost to DiseStall-mode expansion bubbles
+
+	Emu  emu.Stats
+	Pred PredStats
+
+	Output string
+	Err    error
+}
+
+// IPC returns committed application instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.AppInsts) / float64(r.Cycles)
+}
+
+// bandwidthCursor enforces an at-most-width-per-cycle resource.
+type bandwidthCursor struct {
+	cycle int64
+	count int
+	width int
+}
+
+// slot returns the cycle at which the next event may happen, no earlier
+// than at.
+func (b *bandwidthCursor) slot(at int64) int64 {
+	if at > b.cycle {
+		b.cycle, b.count = at, 0
+	}
+	if b.count >= b.width {
+		b.cycle++
+		b.count = 0
+	}
+	b.count++
+	return b.cycle
+}
+
+// close forbids further events in the current cycle (fetch break after a
+// taken branch).
+func (b *bandwidthCursor) close() { b.count = b.width }
+
+// Run executes machine m to completion under the timing model and returns
+// the result. The machine must be freshly created (its expander and any
+// dedicated registers already configured).
+func Run(m *emu.Machine, cfg Config) *Result {
+	if cfg.Width <= 0 || cfg.ROB <= 0 || cfg.PipeDepth <= 0 {
+		return &Result{Err: fmt.Errorf("cpu: bad config %+v", cfg)}
+	}
+	h := mem.NewHierarchy(cfg.Mem)
+	pred := NewPredictor()
+	res := &Result{}
+
+	redirectPenalty := int64(cfg.PipeDepth)
+	if cfg.DiseMode == DisePipe {
+		redirectPenalty++
+	}
+
+	var (
+		fetchCycle int64 // earliest fetch slot for the next instruction
+		dispatch   = bandwidthCursor{width: cfg.Width}
+		commit     = bandwidthCursor{width: cfg.Width}
+		lastCommit int64
+		regReady   [isa.NumRegs]int64
+		rob        = make([]int64, cfg.ROB)
+		robIdx     int
+		idx        int64
+	)
+
+	for {
+		d, ok := m.Step()
+		if !ok {
+			break
+		}
+		// ----- fetch -----
+		if d.Stall > 0 {
+			// PT/RT miss: pipeline flush + fixed handler stall (§2.3).
+			if lastCommit > fetchCycle {
+				fetchCycle = lastCommit
+			}
+			fetchCycle += int64(d.Stall)
+			res.DiseStalls += int64(d.Stall)
+		}
+		if d.FetchSize > 0 {
+			if lat := h.FetchLatency(d.PC, d.FetchSize); lat > 0 {
+				fetchCycle += int64(lat)
+			}
+		}
+		if d.SeqLen > 0 && cfg.DiseMode == DiseStall {
+			// One bubble per actual expansion (§4.1).
+			fetchCycle++
+			res.ExpStalls++
+		}
+
+		// ----- dispatch -----
+		dc := fetchCycle
+		if robWait := rob[robIdx]; robWait > dc {
+			dc = robWait // reorder buffer full: wait for the oldest to retire
+		}
+		dc = dispatch.slot(dc)
+
+		// ----- execute -----
+		start := dc + 1
+		for _, r := range d.Inst.Sources() {
+			if t := regReady[r]; t > start {
+				start = t
+			}
+		}
+		lat := int64(execLatency(d.Inst.Op))
+		if d.IsLoad || d.IsStore {
+			dlat := int64(h.DataLatency(d.MemAddr))
+			if d.IsLoad {
+				lat += dlat
+			}
+			// Stores retire through the write buffer; their latency does
+			// not stall dependents.
+		}
+		done := start + lat
+		if dest := d.Inst.Dest(); dest != isa.NoReg && dest != isa.RegZero {
+			regReady[dest] = done
+		}
+
+		// ----- control -----
+		mispredict := false
+		switch {
+		case d.DiseBranch:
+			// Not predicted; taken => fetch restart at PC:DISEPC' (§2.2).
+			if d.Taken {
+				mispredict = true
+			}
+		case d.IsBranch && !d.Predicted:
+			// Non-trigger replacement branch: effectively predicted
+			// not-taken, never updates the predictor (§2.2).
+			if d.Taken {
+				mispredict = true
+			}
+		case d.IsBranch:
+			mispredict = !predict(pred, &d, m)
+		}
+		if mispredict {
+			res.Mispredicts++
+			if t := done + redirectPenalty; t > fetchCycle {
+				fetchCycle = t
+			}
+			dispatch.close()
+		} else if d.IsBranch && d.Taken {
+			// Correctly predicted taken branch still breaks the fetch group.
+			dispatch.close()
+			if dc+1 > fetchCycle {
+				fetchCycle = dc + 1
+			}
+		}
+
+		// ----- commit -----
+		ct := done
+		if ct < lastCommit {
+			ct = lastCommit
+		}
+		ct = commit.slot(ct)
+		lastCommit = ct
+		rob[robIdx] = ct
+		robIdx++
+		if robIdx == cfg.ROB {
+			robIdx = 0
+		}
+		idx++
+		res.Insts++
+		if d.IsApp {
+			res.AppInsts++
+		}
+	}
+
+	res.Cycles = lastCommit
+	res.Emu = m.Stats
+	res.Pred = pred.Stats
+	res.ICacheMisses = h.IL1.Stats.Misses
+	res.DCacheMisses = h.DL1.Stats.Misses
+	res.Output = m.Output()
+	res.Err = m.Err()
+	return res
+}
+
+// predict runs the appropriate predictor for an application-level branch
+// and reports whether it was correct.
+func predict(p *Predictor, d *emu.DynInst, m *emu.Machine) bool {
+	op := d.Inst.Op
+	switch op {
+	case isa.OpBR:
+		return true // direct unconditional: always correct
+	case isa.OpBSR:
+		p.Call(retAddrOf(d, m))
+		return true
+	case isa.OpJSR:
+		p.Call(retAddrOf(d, m))
+		return p.Indirect(d.PC, d.Target)
+	case isa.OpJMP:
+		return p.Indirect(d.PC, d.Target)
+	case isa.OpRET:
+		return p.Return(d.Target)
+	case isa.OpJEQ, isa.OpJNE:
+		// Conditional indirect: direction via a history-free bimodal
+		// predictor, target via BTB when taken.
+		ok := p.CondStatic(d.PC, d.Taken)
+		if d.Taken {
+			return ok && p.Indirect(d.PC, d.Target)
+		}
+		return ok
+	default:
+		return p.Cond(d.PC, d.Taken)
+	}
+}
+
+// retAddrOf computes the byte address of the instruction after the call.
+func retAddrOf(d *emu.DynInst, m *emu.Machine) uint64 {
+	p := m.Program()
+	if d.Unit+1 < p.NumUnits() {
+		return p.Addr(d.Unit + 1)
+	}
+	return 0
+}
+
+// execLatency gives functional-unit latencies in cycles.
+func execLatency(op isa.Opcode) int {
+	switch op {
+	case isa.OpMULQ, isa.OpMULQI:
+		return 3
+	case isa.OpLDQ, isa.OpLDL:
+		return 0 // the D-cache latency is added by the caller
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,305 @@
+package cpu
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// chainLoop builds a loop whose body is `n` data-dependent adds.
+func chainLoop(n int) string {
+	var b strings.Builder
+	b.WriteString(".entry main\nmain:\n    li r1, 0\n    li r2, 1000\nloop:\n")
+	for i := 0; i < n; i++ {
+		b.WriteString("    addqi r1, 1, r1\n")
+	}
+	b.WriteString("    subqi r2, 1, r2\n    bgt r2, loop\n    halt\n")
+	return b.String()
+}
+
+// parLoop builds a loop whose body is `n` independent adds.
+func parLoop(n int) string {
+	var b strings.Builder
+	b.WriteString(".entry main\nmain:\n    li r2, 1000\nloop:\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "    addqi r%d, 1, r%d\n", 3+i%8, 3+i%8)
+	}
+	b.WriteString("    subqi r2, 1, r2\n    bgt r2, loop\n    halt\n")
+	return b.String()
+}
+
+func run(t *testing.T, src string, cfg Config) *Result {
+	t.Helper()
+	m := emu.New(asm.MustAssemble("t", src))
+	r := Run(m, cfg)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	return r
+}
+
+func TestDependentChainIPCNearOne(t *testing.T) {
+	r := run(t, chainLoop(16), DefaultConfig())
+	ipc := r.IPC()
+	if ipc < 0.8 || ipc > 1.3 {
+		t.Errorf("dependent chain IPC = %.2f, want ~1", ipc)
+	}
+}
+
+func TestIndependentOpsScaleWithWidth(t *testing.T) {
+	cfg := DefaultConfig()
+	r4 := run(t, parLoop(16), cfg)
+	cfg.Width = 1
+	r1 := run(t, parLoop(16), cfg)
+	if r4.IPC() < 2.5 {
+		t.Errorf("4-wide IPC on independent ops = %.2f, want > 2.5", r4.IPC())
+	}
+	if r1.IPC() > 1.01 {
+		t.Errorf("1-wide IPC = %.2f, want <= 1", r1.IPC())
+	}
+	if !(r4.Cycles < r1.Cycles) {
+		t.Error("4-wide should be faster than 1-wide")
+	}
+}
+
+func TestWiderMachinesNotSlower(t *testing.T) {
+	cfg := DefaultConfig()
+	var prev int64 = 1 << 62
+	for _, w := range []int{1, 2, 4, 8} {
+		cfg.Width = w
+		r := run(t, parLoop(12), cfg)
+		if r.Cycles > prev+prev/100 {
+			t.Errorf("width %d slower than narrower machine (%d > %d)", w, r.Cycles, prev)
+		}
+		prev = r.Cycles
+	}
+}
+
+// bigLoop creates a loop body much larger than the I-cache.
+func bigLoop(insts int) string {
+	var b strings.Builder
+	b.WriteString(".entry main\nmain:\n    li r2, 50\nloop:\n")
+	for i := 0; i < insts; i++ {
+		fmt.Fprintf(&b, "    addqi r%d, 1, r%d\n", 3+i%8, 3+i%8)
+	}
+	b.WriteString("    subqi r2, 1, r2\n    bgt r2, loop\n    halt\n")
+	return b.String()
+}
+
+func TestICachePressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mem.IL1.Size = 1 << 10 // 1KB: 256 instructions
+	small := run(t, bigLoop(100), cfg)
+
+	cfg2 := DefaultConfig()
+	cfg2.Mem.IL1.Size = 1 << 10
+	big := run(t, bigLoop(2000), cfg2)
+
+	if small.ICacheMisses > 40 {
+		t.Errorf("resident loop misses = %d", small.ICacheMisses)
+	}
+	if big.ICacheMisses < 1000 {
+		t.Errorf("oversized loop misses = %d, want many", big.ICacheMisses)
+	}
+	if big.IPC() >= small.IPC() {
+		t.Errorf("thrashing loop IPC %.2f should be below resident loop IPC %.2f",
+			big.IPC(), small.IPC())
+	}
+}
+
+func TestPerfectICacheRemovesMissCost(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mem.IL1.Size = 1 << 10
+	finite := run(t, bigLoop(2000), cfg)
+	cfg.Mem.IL1.Perfect = true
+	perfect := run(t, bigLoop(2000), cfg)
+	if perfect.ICacheMisses != 0 {
+		t.Errorf("perfect I-cache misses = %d", perfect.ICacheMisses)
+	}
+	if perfect.Cycles >= finite.Cycles {
+		t.Error("perfect I-cache should be faster")
+	}
+}
+
+func TestBranchPredictorLearnsLoop(t *testing.T) {
+	r := run(t, chainLoop(4), DefaultConfig())
+	// A 1000-iteration loop branch: gshare should approach perfect.
+	rate := float64(r.Pred.CondMiss) / float64(r.Pred.CondBranches)
+	if rate > 0.05 {
+		t.Errorf("loop branch miss rate = %.3f", rate)
+	}
+}
+
+func TestDataDependentBranchMispredicts(t *testing.T) {
+	// Branch on a pseudo-random bit: prediction near chance; mispredict
+	// penalty dominates.
+	src := `
+.entry main
+main:
+    li r1, 12345
+    li r2, 4000
+loop:
+    srli r1, 7, r3
+    xor  r1, r3, r1
+    slli r1, 9, r3
+    xor  r1, r3, r1
+    srli r1, 13, r3
+    xor  r1, r3, r1
+    andi r1, 1, r3
+    beq r3, skip
+    addqi r4, 1, r4
+skip:
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`
+	r := run(t, src, DefaultConfig())
+	if r.Mispredicts < 1000 {
+		t.Errorf("random branch mispredicts = %d, want ~2000", r.Mispredicts)
+	}
+	// Deeper pipelines pay more per mispredict.
+	cfg := DefaultConfig()
+	cfg.PipeDepth = 24
+	deep := run(t, src, cfg)
+	if deep.Cycles <= r.Cycles {
+		t.Error("deeper pipeline should be slower on mispredict-heavy code")
+	}
+}
+
+func TestCallsUseRAS(t *testing.T) {
+	src := `
+.entry main
+main:
+    li r2, 500
+loop:
+    bsr ra, f
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+f:
+    addqi r3, 1, r3
+    ret
+`
+	r := run(t, src, DefaultConfig())
+	if r.Pred.Returns < 500 || r.Pred.RetMiss > 2 {
+		t.Errorf("RAS stats = %+v", r.Pred)
+	}
+}
+
+const storeLoop = `
+.entry main
+main:
+    li r2, 1000
+    la r1, buf
+loop:
+    stq r2, 0(r1)
+    addqi r1, 8, r1
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+.data
+buf: .space 8192
+`
+
+func mfiEngine(t *testing.T, perfect bool) *core.Controller {
+	t.Helper()
+	cfg := core.DefaultEngineConfig()
+	cfg.RTPerfect = perfect
+	c := core.NewController(cfg)
+	_, err := c.InstallFile(`
+prod mfi_store {
+    match class == store
+    replace {
+        srli %rs, 26, $dr1
+        xor  $dr1, $dr2, $dr1
+        dbeq $dr1, @ok
+        sys  3
+    @ok:
+        %insn
+    }
+}
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func runMFI(t *testing.T, cfg Config, perfect bool) *Result {
+	t.Helper()
+	m := emu.New(asm.MustAssemble("s", storeLoop))
+	c := mfiEngine(t, perfect)
+	m.SetExpander(c.Engine())
+	m.SetReg(isa.RegDR0+2, program.SegData)
+	r := Run(m, cfg)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	return r
+}
+
+func TestMFISlowdownOrdering(t *testing.T) {
+	base := run(t, storeLoop, DefaultConfig())
+
+	free := runMFI(t, DefaultConfig(), true)
+	cfgStall := DefaultConfig()
+	cfgStall.DiseMode = DiseStall
+	stall := runMFI(t, cfgStall, true)
+	cfgPipe := DefaultConfig()
+	cfgPipe.DiseMode = DisePipe
+	pipe := runMFI(t, cfgPipe, true)
+
+	if !(base.Cycles <= free.Cycles) {
+		t.Errorf("MFI free (%d) should not beat no-ACF (%d)", free.Cycles, base.Cycles)
+	}
+	if !(free.Cycles <= stall.Cycles) {
+		t.Errorf("stall mode (%d) should cost at least free (%d)", stall.Cycles, free.Cycles)
+	}
+	if !(free.Cycles <= pipe.Cycles) {
+		t.Errorf("pipe mode (%d) should cost at least free (%d)", pipe.Cycles, free.Cycles)
+	}
+	// Expansion on every store: stall cycles ~= number of stores.
+	if stall.ExpStalls < 1000 {
+		t.Errorf("ExpStalls = %d, want >= 1000", stall.ExpStalls)
+	}
+	// Replacement instructions do not touch the I-cache: same misses as base.
+	if free.ICacheMisses > base.ICacheMisses+8 {
+		t.Errorf("MFI icache misses %d vs base %d: replacement insts should not occupy the cache",
+			free.ICacheMisses, base.ICacheMisses)
+	}
+}
+
+func TestRTMissStallsAppear(t *testing.T) {
+	r := runMFI(t, DefaultConfig(), false) // finite RT: one cold miss
+	if r.DiseStalls == 0 {
+		t.Error("finite RT should charge at least the cold miss")
+	}
+	rp := runMFI(t, DefaultConfig(), true)
+	if rp.DiseStalls != 0 {
+		t.Errorf("perfect RT charged %d stall cycles", rp.DiseStalls)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	m := emu.New(asm.MustAssemble("t", ".entry main\nmain:\n halt\n"))
+	r := Run(m, Config{})
+	if r.Err == nil {
+		t.Error("zero config should be rejected")
+	}
+}
+
+func TestResultCountsMatchEmu(t *testing.T) {
+	r := run(t, chainLoop(4), DefaultConfig())
+	if r.Insts != r.Emu.Total {
+		t.Errorf("timed insts %d != emu total %d", r.Insts, r.Emu.Total)
+	}
+	if r.AppInsts != r.Emu.AppInsts {
+		t.Errorf("timed app insts %d != emu app %d", r.AppInsts, r.Emu.AppInsts)
+	}
+}

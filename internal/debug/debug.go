@@ -1,0 +1,271 @@
+// Package debug is a machine-level debugger built the way paper §3.1
+// argues debuggers should be built on DISE: assertions and watchpoints are
+// transparent productions expanded into the stream — no single-stepping
+// from another process, full pipeline speed between hits, and hit points
+// reported with precise PC:DISEPC state. The debugger itself is an
+// interactive command loop over the functional machine.
+package debug
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/acf/monitor"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Debugger drives one machine interactively.
+type Debugger struct {
+	prog *program.Program
+	m    *emu.Machine
+	ctrl *core.Controller
+
+	watch     *core.Production
+	watchAddr uint64
+
+	history []emu.DynInst // ring of recent dynamic instructions
+	histPos int
+	steps   int64
+}
+
+const historyDepth = 16
+
+// New creates a debugger for prog.
+func New(prog *program.Program) *Debugger {
+	d := &Debugger{prog: prog, history: make([]emu.DynInst, 0, historyDepth)}
+	d.reset()
+	return d
+}
+
+func (d *Debugger) reset() {
+	cfg := core.DefaultEngineConfig()
+	cfg.RTPerfect = true
+	d.ctrl = core.NewController(cfg)
+	d.m = emu.New(d.prog)
+	d.m.SetExpander(d.ctrl.Engine())
+	d.history = d.history[:0]
+	d.steps = 0
+	d.watch = nil
+	if d.watchAddr != 0 {
+		d.installWatch(d.watchAddr)
+	}
+}
+
+func (d *Debugger) installWatch(addr uint64) {
+	prods, err := monitor.InstallWatchpoint(d.ctrl, d.m, addr)
+	if err == nil && len(prods) > 0 {
+		d.watch = prods[0]
+		d.watchAddr = addr
+	}
+}
+
+// Machine exposes the underlying machine (for tests and tooling).
+func (d *Debugger) Machine() *emu.Machine { return d.m }
+
+// step executes one dynamic instruction, recording history.
+func (d *Debugger) step() (emu.DynInst, bool) {
+	di, ok := d.m.Step()
+	if ok {
+		if len(d.history) < historyDepth {
+			d.history = append(d.history, di)
+		} else {
+			d.history[d.histPos] = di
+			d.histPos = (d.histPos + 1) % historyDepth
+		}
+		d.steps++
+	}
+	return di, ok
+}
+
+// Run executes the command stream from r, writing responses to w, until
+// "q", EOF, or a read error. The command language:
+//
+//	s [n]      step n dynamic instructions (default 1), printing each
+//	c          continue until halt or watchpoint
+//	r          print PC:DISEPC, interesting registers, dedicated registers
+//	m <addr> [n]   dump n quadwords of data memory (default 4)
+//	w <addr>   set the store watchpoint (replaces any previous one)
+//	w -        clear the watchpoint
+//	t          print the last few executed instructions
+//	d          disassemble around the current PC
+//	restart    reset the machine (watchpoint persists)
+//	q          quit
+func (d *Debugger) Run(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	fmt.Fprintf(w, "disedbg: %s (%d units); type s/c/r/m/w/t/d/restart/q\n", d.prog.Name, d.prog.NumUnits())
+	for {
+		fmt.Fprint(w, "(dbg) ")
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "q", "quit":
+			return nil
+		case "s", "step":
+			n := 1
+			if len(fields) > 1 {
+				n, _ = strconv.Atoi(fields[1])
+			}
+			d.cmdStep(w, n)
+		case "c", "continue":
+			d.cmdContinue(w)
+		case "r", "regs":
+			d.cmdRegs(w)
+		case "m", "mem":
+			d.cmdMem(w, fields[1:])
+		case "w", "watch":
+			d.cmdWatch(w, fields[1:])
+		case "t", "trace":
+			d.cmdTrace(w)
+		case "d", "disasm":
+			d.cmdDisasm(w)
+		case "restart":
+			d.reset()
+			fmt.Fprintln(w, "restarted")
+		default:
+			fmt.Fprintf(w, "unknown command %q\n", fields[0])
+		}
+	}
+}
+
+func (d *Debugger) cmdStep(w io.Writer, n int) {
+	for i := 0; i < n; i++ {
+		di, ok := d.step()
+		if !ok {
+			d.report(w)
+			return
+		}
+		src := "mem"
+		if di.FromRT {
+			src = " rt"
+		}
+		fmt.Fprintf(w, "%10x:%-2d %s  %v\n", di.PC, di.DISEPC, src, di.Inst)
+	}
+}
+
+func (d *Debugger) cmdContinue(w io.Writer) {
+	for {
+		if _, ok := d.step(); !ok {
+			d.report(w)
+			return
+		}
+	}
+}
+
+func (d *Debugger) report(w io.Writer) {
+	switch err := d.m.Err(); {
+	case err == nil:
+		fmt.Fprintf(w, "halted cleanly after %d dynamic instructions\n", d.steps)
+	case errors.Is(err, emu.ErrACFViolation) && d.watch != nil:
+		fmt.Fprintf(w, "watchpoint hit: store to %#x blocked before execution (after %d insts)\n",
+			d.watchAddr, d.steps)
+	default:
+		fmt.Fprintf(w, "stopped: %v\n", err)
+	}
+}
+
+func (d *Debugger) cmdRegs(w io.Writer) {
+	fmt.Fprintf(w, "PC=%#x DISEPC=%d steps=%d\n", d.m.PC(), d.m.DISEPC(), d.steps)
+	for r := isa.Reg(1); r < 20; r++ {
+		if v := d.m.Reg(r); v != 0 {
+			fmt.Fprintf(w, "  %-4s %#x\n", r, v)
+		}
+	}
+	fmt.Fprintf(w, "  %-4s %#x\n", isa.RegSP, d.m.Reg(isa.RegSP))
+	for k := 0; k < isa.NumDiseRegs; k++ {
+		r := isa.RegDR0 + isa.Reg(k)
+		if v := d.m.Reg(r); v != 0 {
+			fmt.Fprintf(w, "  %-4s %#x (dedicated)\n", r, v)
+		}
+	}
+}
+
+func (d *Debugger) cmdMem(w io.Writer, args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(w, "usage: m <addr> [quadwords]")
+		return
+	}
+	addr, err := strconv.ParseUint(strings.TrimPrefix(args[0], "0x"), 16, 64)
+	if err != nil {
+		fmt.Fprintf(w, "bad address %q (hex expected)\n", args[0])
+		return
+	}
+	n := 4
+	if len(args) > 1 {
+		n, _ = strconv.Atoi(args[1])
+	}
+	for i := 0; i < n; i++ {
+		a := addr + uint64(i*8)
+		fmt.Fprintf(w, "  %010x: %016x\n", a, d.m.Mem().Read64(a))
+	}
+}
+
+func (d *Debugger) cmdWatch(w io.Writer, args []string) {
+	if len(args) == 0 {
+		if d.watch == nil {
+			fmt.Fprintln(w, "no watchpoint")
+		} else {
+			fmt.Fprintf(w, "watching stores to %#x\n", d.watchAddr)
+		}
+		return
+	}
+	if args[0] == "-" {
+		if d.watch != nil {
+			d.ctrl.Deactivate(d.watch)
+			d.watch = nil
+			d.watchAddr = 0
+		}
+		fmt.Fprintln(w, "watchpoint cleared")
+		return
+	}
+	addr, err := strconv.ParseUint(strings.TrimPrefix(args[0], "0x"), 16, 64)
+	if err != nil {
+		fmt.Fprintf(w, "bad address %q (hex expected)\n", args[0])
+		return
+	}
+	if d.watch != nil {
+		d.ctrl.Deactivate(d.watch)
+		d.watch = nil
+	}
+	d.installWatch(addr)
+	fmt.Fprintf(w, "watching stores to %#x (inlined check, no single-stepping)\n", addr)
+}
+
+func (d *Debugger) cmdTrace(w io.Writer) {
+	n := len(d.history)
+	for i := 0; i < n; i++ {
+		di := d.history[(d.histPos+i)%n]
+		fmt.Fprintf(w, "  %10x:%-2d %v\n", di.PC, di.DISEPC, di.Inst)
+	}
+}
+
+func (d *Debugger) cmdDisasm(w io.Writer) {
+	cur := d.prog.UnitAt(d.m.PC())
+	lo := cur - 2
+	if lo < 0 {
+		lo = 0
+	}
+	hi := cur + 4
+	if hi > d.prog.NumUnits() {
+		hi = d.prog.NumUnits()
+	}
+	for u := lo; u < hi; u++ {
+		marker := "  "
+		if u == cur {
+			marker = "=>"
+		}
+		fmt.Fprintf(w, "%s %6d %08x  %s\n", marker, u, d.prog.Addr(u), asm.FormatInst(d.prog.Text[u]))
+	}
+}

@@ -1,0 +1,108 @@
+package debug
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/program"
+)
+
+const prog = `
+.entry main
+.data
+arr: .space 128
+.text
+main:
+    la r1, arr
+    li r2, 5
+loop:
+    stq r2, 0(r1)
+    addqi r1, 8, r1
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`
+
+func runCmds(t *testing.T, cmds string) string {
+	t.Helper()
+	d := New(asm.MustAssemble("dbg", prog))
+	var out strings.Builder
+	if err := d.Run(strings.NewReader(cmds), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestStepAndRegs(t *testing.T) {
+	out := runCmds(t, "s 3\nr\nq\n")
+	if !strings.Contains(out, "ldah r1") {
+		t.Errorf("step output missing first instruction:\n%s", out)
+	}
+	if !strings.Contains(out, "r2") || !strings.Contains(out, "PC=") {
+		t.Errorf("regs output incomplete:\n%s", out)
+	}
+}
+
+func TestContinueToHalt(t *testing.T) {
+	out := runCmds(t, "c\nq\n")
+	if !strings.Contains(out, "halted cleanly") {
+		t.Errorf("continue output:\n%s", out)
+	}
+}
+
+func TestWatchpointStopsBeforeStore(t *testing.T) {
+	// Watch the third array slot; the debugger must stop with the slot
+	// still unwritten while earlier slots are written.
+	addr := program.DataBase + 16
+	cmds := fmt.Sprintf("w %x\nc\nm %x 3\nq\n", addr, program.DataBase)
+	out := runCmds(t, cmds)
+	if !strings.Contains(out, "watchpoint hit") {
+		t.Fatalf("no watchpoint hit:\n%s", out)
+	}
+	// Memory dump: slot0 = 5, slot1 = 4, slot2 = 0 (blocked).
+	if !strings.Contains(out, "0000000000000005") || !strings.Contains(out, "0000000000000004") {
+		t.Errorf("earlier stores missing from dump:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if strings.Contains(l, fmt.Sprintf("%010x", addr)) && !strings.Contains(l, "0000000000000000") {
+			t.Errorf("watched slot was written:\n%s", out)
+		}
+	}
+}
+
+func TestWatchClearAndRestart(t *testing.T) {
+	addr := program.DataBase + 16
+	cmds := fmt.Sprintf("w %x\nw -\nc\nq\n", addr)
+	out := runCmds(t, cmds)
+	if !strings.Contains(out, "watchpoint cleared") || !strings.Contains(out, "halted cleanly") {
+		t.Errorf("clearing the watchpoint should let the program finish:\n%s", out)
+	}
+	// Restart keeps the watchpoint armed.
+	cmds = fmt.Sprintf("w %x\nc\nrestart\nc\nq\n", addr)
+	out = runCmds(t, cmds)
+	if strings.Count(out, "watchpoint hit") != 2 {
+		t.Errorf("watchpoint should survive restart:\n%s", out)
+	}
+}
+
+func TestTraceAndDisasm(t *testing.T) {
+	out := runCmds(t, "s 6\nt\nd\nq\n")
+	if !strings.Contains(out, "stq r2") {
+		t.Errorf("trace missing executed store:\n%s", out)
+	}
+	if !strings.Contains(out, "=>") {
+		t.Errorf("disasm missing current-PC marker:\n%s", out)
+	}
+}
+
+func TestBadCommands(t *testing.T) {
+	out := runCmds(t, "bogus\nm zz\nw zz\nm\nq\n")
+	for _, want := range []string{"unknown command", "bad address", "usage: m"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

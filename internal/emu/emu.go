@@ -1,0 +1,590 @@
+// Package emu is the functional EVR simulator. It executes programs
+// instruction by instruction, applying an optional post-fetch expander (the
+// DISE engine, or the dedicated-decompressor baseline) to every application
+// fetch — producing the exact dynamic instruction stream, tagged PC:DISEPC,
+// that the cycle-level model in internal/cpu times.
+package emu
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Expander transforms fetched application instructions. A nil *Expansion
+// passes the instruction through unchanged. The DISE engine (*core.Engine)
+// implements Expander; so does the dedicated decompressor baseline.
+type Expander interface {
+	Expand(in isa.Inst, pc uint64) *core.Expansion
+}
+
+// Errors reported by execution.
+var (
+	// ErrACFViolation is raised by "sys 3": an ACF detected a violation
+	// (e.g. memory fault isolation caught an out-of-segment access).
+	ErrACFViolation = errors.New("emu: ACF violation")
+	// ErrBudget is raised when the dynamic instruction budget is exhausted.
+	ErrBudget = errors.New("emu: instruction budget exhausted")
+)
+
+// DynInst is one executed dynamic instruction, annotated with everything the
+// timing model needs.
+type DynInst struct {
+	Inst isa.Inst
+	PC   uint64 // byte address; for replacement instructions, the trigger's PC
+	Unit int    // application unit index of PC
+
+	// DISEPC is the offset within the replacement sequence; 0 for
+	// application instructions (paper §2.1: every dynamic instruction is
+	// tagged with a PC:DISEPC pair).
+	DISEPC int
+	// FromRT marks replacement instructions: they are spliced in after
+	// fetch and never access the I-cache.
+	FromRT bool
+	// IsApp marks the dynamic instruction that stands in for the fetched
+	// application instruction (the T.INSN splice or a re-emitted %op form);
+	// plain unexpanded instructions are also IsApp.
+	IsApp bool
+	// SeqLen is the replacement sequence length (trigger instruction only).
+	SeqLen int
+
+	// FetchSize is the number of text-image bytes this fetch consumed
+	// (application instructions only; 2 for dedicated codewords).
+	FetchSize int
+
+	// Stall carries DISE PT/RT miss-handling cycles charged at this
+	// instruction (pipeline flush + fixed stall).
+	Stall int
+
+	// Control outcome.
+	IsBranch   bool // application-level control transfer
+	Taken      bool
+	Target     uint64 // byte address of the taken target
+	Predicted  bool   // eligible for branch prediction (non-trigger replacement branches are not: paper §2.2)
+	DiseBranch bool   // moves DISEPC only; taken => restart fetch (mispredict-like)
+
+	// Memory outcome.
+	IsLoad  bool
+	IsStore bool
+	MemAddr uint64
+}
+
+// Stats counts dynamic execution events.
+type Stats struct {
+	AppInsts  int64 // application instructions (incl. triggers)
+	ReplInsts int64 // replacement instructions inserted by expansion (excl. trigger copies executed in place)
+	Total     int64 // total dynamic instructions executed
+	Loads     int64
+	Stores    int64
+	Branches  int64 // application conditional branches executed
+	Taken     int64
+}
+
+// Machine is a functional EVR machine.
+type Machine struct {
+	prog *program.Program
+	mem  *Memory
+	regs [isa.NumRegs]uint64
+
+	expander Expander
+
+	unit   int // current application unit
+	halted bool
+	err    error
+
+	// in-flight replacement sequence
+	seq      []isa.Inst
+	seqTmpl  []core.ReplInst
+	seqIdx   int
+	seqStall int
+	trigPC   uint64
+	trigUnit int
+	trigger  isa.Inst
+
+	output bytes.Buffer
+	budget int64
+
+	Stats Stats
+}
+
+// New loads prog into a fresh machine. The data segment is copied to
+// DataBase and the stack pointer initialized to StackTop.
+func New(prog *program.Program) *Machine {
+	m := &Machine{prog: prog, mem: NewMemory(), unit: prog.Entry, budget: 1 << 40}
+	m.mem.Load(program.DataBase, prog.Data)
+	m.regs[isa.RegSP] = program.StackTop
+	return m
+}
+
+// SetExpander installs the post-fetch expander (DISE engine or dedicated
+// decompressor). It must be set before execution begins.
+func (m *Machine) SetExpander(e Expander) { m.expander = e }
+
+// SetBudget limits the number of dynamic instructions executed; exceeding it
+// stops the machine with ErrBudget.
+func (m *Machine) SetBudget(n int64) { m.budget = n }
+
+// Reg returns register r (dedicated registers included).
+func (m *Machine) Reg(r isa.Reg) uint64 {
+	if r == isa.RegZero || !r.Valid() {
+		return 0
+	}
+	return m.regs[r]
+}
+
+// SetReg writes register r. Writes to the zero register are discarded.
+// ACFs use this to initialize dedicated registers (e.g. the legal segment
+// identifier in $dr2 for memory fault isolation).
+func (m *Machine) SetReg(r isa.Reg, v uint64) {
+	if r == isa.RegZero || !r.Valid() {
+		return
+	}
+	m.regs[r] = v
+}
+
+// Mem returns the machine's data memory.
+func (m *Machine) Mem() *Memory { return m.mem }
+
+// Program returns the loaded program.
+func (m *Machine) Program() *program.Program { return m.prog }
+
+// Output returns everything the program printed via sys.
+func (m *Machine) Output() string { return m.output.String() }
+
+// Done reports whether the machine has halted (normally or with error).
+func (m *Machine) Done() bool { return m.halted }
+
+// Err returns the termination error, nil after a clean halt.
+func (m *Machine) Err() error { return m.err }
+
+// PC returns the current application PC (byte address).
+func (m *Machine) PC() uint64 { return m.prog.Addr(m.unit) }
+
+// DISEPC returns the current offset within an in-flight replacement
+// sequence, 0 otherwise.
+func (m *Machine) DISEPC() int {
+	if m.seq != nil {
+		return m.seqIdx
+	}
+	return 0
+}
+
+func (m *Machine) stop(err error) {
+	m.halted = true
+	m.err = err
+}
+
+// Step executes one dynamic instruction and returns its record.
+// After the machine halts, Step returns ok == false.
+func (m *Machine) Step() (DynInst, bool) {
+	if m.halted {
+		return DynInst{}, false
+	}
+	if m.Stats.Total >= m.budget {
+		m.stop(fmt.Errorf("%w after %d instructions", ErrBudget, m.Stats.Total))
+		return DynInst{}, false
+	}
+
+	if m.seq != nil {
+		return m.stepReplacement()
+	}
+	return m.stepApplication()
+}
+
+// stepApplication fetches, possibly expands, and executes at the current PC.
+func (m *Machine) stepApplication() (DynInst, bool) {
+	if m.unit < 0 || m.unit >= m.prog.NumUnits() {
+		m.stop(fmt.Errorf("emu: PC out of text (unit %d)", m.unit))
+		return DynInst{}, false
+	}
+	in := m.prog.Text[m.unit]
+	pc := m.prog.Addr(m.unit)
+
+	if m.expander != nil {
+		if exp := m.expander.Expand(in, pc); exp != nil && exp.Insts != nil {
+			m.seq = exp.Insts
+			m.seqTmpl = exp.Templates
+			m.seqIdx = 0
+			m.seqStall = exp.Stall
+			m.trigPC = pc
+			m.trigUnit = m.unit
+			m.trigger = in
+			return m.stepReplacement()
+		} else if exp != nil && exp.Stall > 0 {
+			// A PT fill that produced no match still stalled the pipe.
+			d := m.exec(in, pc, m.unit)
+			d.Stall = exp.Stall
+			return d, true
+		}
+	}
+	return m.exec(in, pc, m.unit), true
+}
+
+// stepReplacement executes the next instruction of the in-flight sequence.
+func (m *Machine) stepReplacement() (DynInst, bool) {
+	idx := m.seqIdx
+	in := m.seq[idx]
+	tmpl := m.seqTmpl[idx]
+	// A T.INSN splice or a re-emitted trigger opcode (%op ...) stands in
+	// for the application instruction: it counts as one and keeps the
+	// trigger's branch-prediction eligibility.
+	isTrigger := tmpl.Trigger || tmpl.OpFromTrigger
+
+	d := m.execCommon(in, m.trigPC, m.trigUnit)
+	d.DISEPC = idx
+	d.FromRT = !tmpl.Trigger
+	d.IsApp = isTrigger
+	if idx == 0 {
+		d.Stall = m.seqStall
+		d.SeqLen = len(m.seq)
+		d.FetchSize = m.prog.UnitSize(m.trigUnit)
+	}
+	if !isTrigger {
+		m.Stats.ReplInsts++
+	} else {
+		m.Stats.AppInsts++
+	}
+	m.Stats.Total++
+
+	if tmpl.DiseBranch {
+		// DISE branch: moves the DISEPC only. Taken => fetch restart at the
+		// same PC with a new DISEPC (treated as a mispredict by the timing
+		// model); targets outside [0,len) fall out of the sequence.
+		d.DiseBranch = true
+		d.IsBranch = false
+		taken := m.condTaken(in)
+		d.Taken = taken
+		if taken {
+			t := int(in.Imm)
+			if t >= 0 && t < len(m.seq) {
+				m.seqIdx = t
+				return d, true
+			}
+			m.endSequence(m.trigUnit + 1)
+			return d, true
+		}
+		m.advanceSeq()
+		return d, true
+	}
+
+	// Application-level semantics for this replacement instruction.
+	redirect, target := m.applyEffects(in, &d)
+	if m.halted {
+		return d, false
+	}
+	// Non-trigger replacement branches are not predicted; they behave as
+	// predicted-not-taken (paper §2.2) — the right semantics for embedded
+	// checks like MFI's error branch. A branch in the *final* slot of the
+	// sequence redirects fetch exactly like a branch fetched at the
+	// trigger's PC (the decompression case), so the front end predicts it
+	// through the trigger's BTB/gshare entry.
+	d.Predicted = d.IsBranch && (isTrigger || idx == len(m.seq)-1)
+	if redirect {
+		// An application control transfer exits the sequence: the remaining
+		// replacement instructions belong to the not-taken path and are
+		// squashed (paper §2.1).
+		m.endSequence(target)
+		return d, true
+	}
+	m.advanceSeq()
+	return d, true
+}
+
+func (m *Machine) advanceSeq() {
+	m.seqIdx++
+	if m.seqIdx >= len(m.seq) {
+		m.endSequence(m.trigUnit + 1)
+	}
+}
+
+func (m *Machine) endSequence(nextUnit int) {
+	m.seq, m.seqTmpl = nil, nil
+	m.seqIdx, m.seqStall = 0, 0
+	m.unit = nextUnit
+}
+
+// exec executes a plain application instruction (no expansion in flight).
+func (m *Machine) exec(in isa.Inst, pc uint64, unit int) DynInst {
+	d := m.execCommon(in, pc, unit)
+	d.FetchSize = m.prog.UnitSize(unit)
+	d.IsApp = true
+	m.Stats.AppInsts++
+	m.Stats.Total++
+	redirect, target := m.applyEffects(in, &d)
+	d.Predicted = d.IsBranch
+	if m.halted {
+		return d
+	}
+	if redirect {
+		m.unit = target
+	} else {
+		m.unit = unit + 1
+	}
+	return d
+}
+
+// execCommon fills the common record fields and evaluates data semantics
+// that do not redirect control.
+func (m *Machine) execCommon(in isa.Inst, pc uint64, unit int) DynInst {
+	return DynInst{Inst: in, PC: pc, Unit: unit}
+}
+
+// condTaken evaluates a conditional branch condition.
+func (m *Machine) condTaken(in isa.Inst) bool {
+	v := int64(m.Reg(in.RS))
+	switch in.Op {
+	case isa.OpBEQ:
+		return v == 0
+	case isa.OpBNE:
+		return v != 0
+	case isa.OpBLT:
+		return v < 0
+	case isa.OpBLE:
+		return v <= 0
+	case isa.OpBGT:
+		return v > 0
+	case isa.OpBGE:
+		return v >= 0
+	case isa.OpBR, isa.OpBSR:
+		return true
+	}
+	return false
+}
+
+// applyEffects executes in's architectural semantics, updating d with
+// memory/control outcomes. It returns (true, unit) when control transfers.
+// PC-relative control is computed against the *trigger's* unit: replacement
+// instructions all carry the trigger's PC (paper §2.1).
+func (m *Machine) applyEffects(in isa.Inst, d *DynInst) (bool, int) {
+	unit := d.Unit
+	switch in.Op {
+	case isa.OpLDQ, isa.OpLDL:
+		addr := m.Reg(in.RS) + uint64(in.Imm)
+		d.IsLoad, d.MemAddr = true, addr
+		m.Stats.Loads++
+		if in.Op == isa.OpLDQ {
+			m.SetReg(in.RD, m.mem.Read64(addr))
+		} else {
+			m.SetReg(in.RD, uint64(int64(int32(m.mem.Read32(addr)))))
+		}
+	case isa.OpSTQ, isa.OpSTL:
+		addr := m.Reg(in.RS) + uint64(in.Imm)
+		d.IsStore, d.MemAddr = true, addr
+		m.Stats.Stores++
+		if in.Op == isa.OpSTQ {
+			m.mem.Write64(addr, m.Reg(in.RT))
+		} else {
+			m.mem.Write32(addr, uint32(m.Reg(in.RT)))
+		}
+	case isa.OpLDA:
+		m.SetReg(in.RD, m.Reg(in.RS)+uint64(in.Imm))
+	case isa.OpLDAH:
+		m.SetReg(in.RD, m.Reg(in.RS)+uint64(in.Imm)<<16)
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBLE, isa.OpBGT, isa.OpBGE:
+		d.IsBranch = true
+		m.Stats.Branches++
+		t := unit + 1 + int(in.Imm)
+		if m.condTaken(in) {
+			d.Taken = true
+			m.Stats.Taken++
+			d.Target = m.unitAddr(t)
+			return true, t
+		}
+	case isa.OpBR, isa.OpBSR:
+		d.IsBranch, d.Taken = true, true
+		t := unit + 1 + int(in.Imm)
+		d.Target = m.unitAddr(t)
+		m.SetReg(in.RD, m.prog.Addr(minInt(unit+1, m.prog.NumUnits())))
+		return true, t
+	case isa.OpJMP, isa.OpJSR, isa.OpRET:
+		d.IsBranch, d.Taken = true, true
+		target := m.Reg(in.RS)
+		d.Target = target
+		m.SetReg(in.RD, m.prog.Addr(minInt(unit+1, m.prog.NumUnits())))
+		return true, m.jumpUnit(target)
+	case isa.OpJEQ, isa.OpJNE:
+		d.IsBranch = true
+		cond := m.Reg(in.RT)
+		if (in.Op == isa.OpJEQ) == (cond == 0) {
+			d.Taken = true
+			target := m.Reg(in.RS)
+			d.Target = target
+			return true, m.jumpUnit(target)
+		}
+	case isa.OpADDQ:
+		m.SetReg(in.RD, m.Reg(in.RS)+m.Reg(in.RT))
+	case isa.OpSUBQ:
+		m.SetReg(in.RD, m.Reg(in.RS)-m.Reg(in.RT))
+	case isa.OpMULQ:
+		m.SetReg(in.RD, m.Reg(in.RS)*m.Reg(in.RT))
+	case isa.OpAND:
+		m.SetReg(in.RD, m.Reg(in.RS)&m.Reg(in.RT))
+	case isa.OpBIS:
+		m.SetReg(in.RD, m.Reg(in.RS)|m.Reg(in.RT))
+	case isa.OpXOR:
+		m.SetReg(in.RD, m.Reg(in.RS)^m.Reg(in.RT))
+	case isa.OpSLL:
+		m.SetReg(in.RD, m.Reg(in.RS)<<(m.Reg(in.RT)&63))
+	case isa.OpSRL:
+		m.SetReg(in.RD, m.Reg(in.RS)>>(m.Reg(in.RT)&63))
+	case isa.OpSRA:
+		m.SetReg(in.RD, uint64(int64(m.Reg(in.RS))>>(m.Reg(in.RT)&63)))
+	case isa.OpCMPEQ:
+		m.SetReg(in.RD, b2u(m.Reg(in.RS) == m.Reg(in.RT)))
+	case isa.OpCMPLT:
+		m.SetReg(in.RD, b2u(int64(m.Reg(in.RS)) < int64(m.Reg(in.RT))))
+	case isa.OpCMPLE:
+		m.SetReg(in.RD, b2u(int64(m.Reg(in.RS)) <= int64(m.Reg(in.RT))))
+	case isa.OpCMPULT:
+		m.SetReg(in.RD, b2u(m.Reg(in.RS) < m.Reg(in.RT)))
+	case isa.OpCMPULE:
+		m.SetReg(in.RD, b2u(m.Reg(in.RS) <= m.Reg(in.RT)))
+	case isa.OpADDQI:
+		m.SetReg(in.RD, m.Reg(in.RS)+uint64(in.Imm))
+	case isa.OpSUBQI:
+		m.SetReg(in.RD, m.Reg(in.RS)-uint64(in.Imm))
+	case isa.OpMULQI:
+		m.SetReg(in.RD, m.Reg(in.RS)*uint64(in.Imm))
+	case isa.OpANDI:
+		m.SetReg(in.RD, m.Reg(in.RS)&uint64(in.Imm))
+	case isa.OpBISI:
+		m.SetReg(in.RD, m.Reg(in.RS)|uint64(in.Imm))
+	case isa.OpXORI:
+		m.SetReg(in.RD, m.Reg(in.RS)^uint64(in.Imm))
+	case isa.OpSLLI:
+		m.SetReg(in.RD, m.Reg(in.RS)<<(uint64(in.Imm)&63))
+	case isa.OpSRLI:
+		m.SetReg(in.RD, m.Reg(in.RS)>>(uint64(in.Imm)&63))
+	case isa.OpSRAI:
+		m.SetReg(in.RD, uint64(int64(m.Reg(in.RS))>>(uint64(in.Imm)&63)))
+	case isa.OpCMPEQI:
+		m.SetReg(in.RD, b2u(int64(m.Reg(in.RS)) == in.Imm))
+	case isa.OpCMPLTI:
+		m.SetReg(in.RD, b2u(int64(m.Reg(in.RS)) < in.Imm))
+	case isa.OpCMPULTI:
+		m.SetReg(in.RD, b2u(m.Reg(in.RS) < uint64(in.Imm)))
+	case isa.OpHALT:
+		m.stop(nil)
+	case isa.OpSYS:
+		m.sys(in.Imm)
+	default:
+		if in.Op.Class() == isa.ClassCodeword {
+			m.stop(fmt.Errorf("emu: unexpanded codeword %v at unit %d", in, unit))
+		} else {
+			m.stop(fmt.Errorf("emu: unimplemented %v", in))
+		}
+	}
+	return false, 0
+}
+
+// jumpUnit resolves an indirect-jump target. Address 0 is the kernel trap
+// vector: ACFs route violations there (paper Figure 1's "error"), and the
+// kernel terminates the offender.
+func (m *Machine) jumpUnit(target uint64) int {
+	if target == 0 {
+		m.stop(ErrACFViolation)
+		return 0
+	}
+	t := m.prog.UnitAt(target)
+	if t < 0 {
+		m.stop(fmt.Errorf("emu: indirect jump to %#x outside text", target))
+		return 0
+	}
+	return t
+}
+
+func (m *Machine) unitAddr(t int) uint64 {
+	if t >= 0 && t < m.prog.NumUnits() {
+		return m.prog.Addr(t)
+	}
+	return 0
+}
+
+func (m *Machine) sys(code int64) {
+	switch code {
+	case isa.SysPutChar:
+		m.output.WriteByte(byte(m.Reg(1)))
+	case isa.SysPutInt:
+		fmt.Fprintf(&m.output, "%d", int64(m.Reg(1)))
+	case isa.SysError:
+		m.stop(ErrACFViolation)
+	default:
+		m.stop(fmt.Errorf("emu: unknown sys code %d", code))
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Run executes until halt, returning the termination error.
+func (m *Machine) Run() error {
+	for {
+		if _, ok := m.Step(); !ok {
+			return m.err
+		}
+	}
+}
+
+// InterruptState is the precise state saved when a replacement sequence is
+// interrupted: the PC:DISEPC pair (paper §2.1, "Precise state is defined at
+// each PC:DISEPC boundary").
+type InterruptState struct {
+	Unit   int
+	DISEPC int
+}
+
+// Interrupt abandons any in-flight replacement sequence, returning the
+// PC:DISEPC at which execution should resume. (A real OS would also save
+// the registers; the emulator's registers are simply left in place.)
+func (m *Machine) Interrupt() InterruptState {
+	st := InterruptState{Unit: m.unit, DISEPC: 0}
+	if m.seq != nil {
+		st.Unit = m.trigUnit
+		st.DISEPC = m.seqIdx
+		m.seq, m.seqTmpl = nil, nil
+		m.seqIdx, m.seqStall = 0, 0
+	}
+	return st
+}
+
+// Resume restarts execution at a saved PC:DISEPC: fetch re-reads the
+// application instruction at PC; the DISE engine re-expands the replacement
+// sequence and skips the first DISEPC instructions.
+func (m *Machine) Resume(st InterruptState) error {
+	m.unit = st.Unit
+	if st.DISEPC == 0 {
+		return nil
+	}
+	if m.expander == nil {
+		return fmt.Errorf("emu: resume at DISEPC %d without an expander", st.DISEPC)
+	}
+	in := m.prog.Text[st.Unit]
+	pc := m.prog.Addr(st.Unit)
+	exp := m.expander.Expand(in, pc)
+	if exp == nil || exp.Insts == nil || st.DISEPC >= len(exp.Insts) {
+		return fmt.Errorf("emu: resume at DISEPC %d: no matching expansion", st.DISEPC)
+	}
+	m.seq = exp.Insts
+	m.seqTmpl = exp.Templates
+	m.seqIdx = st.DISEPC
+	m.seqStall = exp.Stall
+	m.trigPC = pc
+	m.trigUnit = st.Unit
+	m.trigger = in
+	return nil
+}

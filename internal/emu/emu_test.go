@@ -1,0 +1,399 @@
+package emu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// factorial(10) via a loop, result printed with sys 2.
+const factSrc = `
+.entry main
+.text
+main:
+    li r1, 1      ; acc
+    li r2, 10     ; n
+loop:
+    mulq r1, r2, r1
+    subqi r2, 1, r2
+    bgt r2, loop
+    sys 2         ; print r1
+    halt
+`
+
+func TestRunFactorial(t *testing.T) {
+	m := New(asm.MustAssemble("fact", factSrc))
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Output(); got != "3628800" {
+		t.Errorf("output = %q, want 3628800", got)
+	}
+	if m.Stats.Branches != 10 || m.Stats.Taken != 9 {
+		t.Errorf("branches = %d taken = %d", m.Stats.Branches, m.Stats.Taken)
+	}
+}
+
+const memSrc = `
+.entry main
+.data
+arr: .quad 3 1 4 1 5 9 2 6
+sum: .quad 0
+.text
+main:
+    la r1, arr
+    li r2, 8      ; count
+    li r3, 0      ; sum
+loop:
+    ldq r4, 0(r1)
+    addq r3, r4, r3
+    addqi r1, 8, r1
+    subqi r2, 1, r2
+    bgt r2, loop
+    la r5, sum
+    stq r3, 0(r5)
+    mov r3, r1
+    sys 2
+    halt
+`
+
+func TestLoadsAndStores(t *testing.T) {
+	p := asm.MustAssemble("mem", memSrc)
+	m := New(p)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Output(); got != "31" {
+		t.Errorf("sum output = %q, want 31", got)
+	}
+	if m.Stats.Loads != 8 || m.Stats.Stores != 1 {
+		t.Errorf("loads = %d stores = %d", m.Stats.Loads, m.Stats.Stores)
+	}
+	if got := m.Mem().Read64(program.DataBase + 64); got != 31 {
+		t.Errorf("stored sum = %d", got)
+	}
+}
+
+const callSrc = `
+.entry main
+.text
+main:
+    li r1, 5
+    bsr ra, double
+    bsr ra, double
+    sys 2
+    halt
+double:
+    addq r1, r1, r1
+    ret
+`
+
+func TestCallReturn(t *testing.T) {
+	m := New(asm.MustAssemble("call", callSrc))
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Output(); got != "20" {
+		t.Errorf("output = %q, want 20", got)
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	m := New(asm.MustAssemble("stack", `
+.entry main
+main:
+    subqi sp, 16, sp
+    li r1, 42
+    stq r1, 0(sp)
+    li r1, 0
+    ldq r1, 0(sp)
+    addqi sp, 16, sp
+    sys 2
+    halt
+`))
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Output(); got != "42" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	m := New(asm.MustAssemble("spin", `
+.entry main
+main:
+    br zero, main
+`))
+	m.SetBudget(100)
+	err := m.Run()
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestUnexpandedCodewordFaults(t *testing.T) {
+	m := New(asm.MustAssemble("cw", `
+.entry main
+main:
+    res0 0, 0, 0, #5
+    halt
+`))
+	if err := m.Run(); err == nil {
+		t.Error("raw codeword without expander should fault")
+	}
+}
+
+// mfiController installs Figure-1 MFI (stores only) and returns it.
+func mfiController(t *testing.T) *core.Controller {
+	t.Helper()
+	cfg := core.DefaultEngineConfig()
+	cfg.RTPerfect = true
+	c := core.NewController(cfg)
+	_, err := c.InstallFile(`
+prod mfi_store {
+    match class == store
+    replace {
+        srli %rs, 26, $dr1
+        xor  $dr1, $dr2, $dr1
+        dbeq $dr1, @ok
+        sys  3
+    @ok:
+        %insn
+    }
+}
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMFIAllowsLegalStores(t *testing.T) {
+	p := asm.MustAssemble("legal", memSrc)
+	m := New(p)
+	c := mfiController(t)
+	m.SetExpander(c.Engine())
+	// $dr2 holds the legal data segment identifier. The program also writes
+	// the stack... this variant only stores to data, so data segment is fine.
+	m.SetReg(isa.RegDR0+2, program.SegData)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Output(); got != "31" {
+		t.Errorf("output = %q", got)
+	}
+	// Each store expanded: 4 extra replacement instructions... the DISE
+	// branch skips sys 3, so 3 extra execute per store.
+	if m.Stats.ReplInsts != 3 {
+		t.Errorf("ReplInsts = %d, want 3", m.Stats.ReplInsts)
+	}
+}
+
+func TestMFICatchesWildStore(t *testing.T) {
+	p := asm.MustAssemble("wild", `
+.entry main
+main:
+    li r1, 99
+    li r2, 4096   ; segment 0: illegal
+    stq r1, 0(r2)
+    halt
+`)
+	m := New(p)
+	c := mfiController(t)
+	m.SetExpander(c.Engine())
+	m.SetReg(isa.RegDR0+2, program.SegData)
+	err := m.Run()
+	if !errors.Is(err, ErrACFViolation) {
+		t.Errorf("err = %v, want ErrACFViolation", err)
+	}
+}
+
+func TestMFIDedicatedRegsInvisible(t *testing.T) {
+	// The application cannot see or clobber $dr2: an app instruction writing
+	// r2 does not touch the dedicated register of the same low number.
+	p := asm.MustAssemble("t", memSrc)
+	m := New(p)
+	c := mfiController(t)
+	m.SetExpander(c.Engine())
+	m.SetReg(isa.RegDR0+2, program.SegData)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(isa.RegDR0+2) != program.SegData {
+		t.Error("$dr2 clobbered by application execution")
+	}
+}
+
+func TestDynInstTagging(t *testing.T) {
+	p := asm.MustAssemble("tag", `
+.entry main
+main:
+    li r9, 1
+    stq r9, 0(sp)
+    halt
+`)
+	m := New(p)
+	c := mfiController(t)
+	m.SetExpander(c.Engine())
+	m.SetReg(isa.RegDR0+2, program.SegData)
+	var seq []DynInst
+	for {
+		d, ok := m.Step()
+		if !ok {
+			break
+		}
+		seq = append(seq, d)
+	}
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	// li(1) + expansion of stq: srl,xor,dbeq,stq (sys skipped) + halt.
+	if len(seq) != 6 {
+		t.Fatalf("executed %d dynamic instructions: %v", len(seq), seq)
+	}
+	storePC := p.Addr(1)
+	exp := seq[1:5]
+	for i, d := range exp[:3] {
+		if !d.FromRT {
+			t.Errorf("replacement inst %d not marked FromRT", i)
+		}
+		if d.PC != storePC {
+			t.Errorf("replacement inst %d PC = %#x, want trigger PC %#x", i, d.PC, storePC)
+		}
+	}
+	if exp[0].DISEPC != 0 || exp[1].DISEPC != 1 || exp[2].DISEPC != 2 {
+		t.Errorf("DISEPCs = %d %d %d", exp[0].DISEPC, exp[1].DISEPC, exp[2].DISEPC)
+	}
+	// The dbeq jumped to DISEPC 4 (the trigger), skipping sys 3.
+	if exp[3].DISEPC != 4 || exp[3].FromRT {
+		t.Errorf("trigger record = %+v", exp[3])
+	}
+	if !exp[2].DiseBranch || !exp[2].Taken {
+		t.Errorf("dbeq record = %+v", exp[2])
+	}
+	// Only the first instruction of the sequence charges the fetch.
+	if exp[0].FetchSize != 4 || exp[1].FetchSize != 0 {
+		t.Errorf("FetchSize = %d, %d", exp[0].FetchSize, exp[1].FetchSize)
+	}
+}
+
+func TestInterruptResume(t *testing.T) {
+	p := asm.MustAssemble("intr", `
+.entry main
+main:
+    li r9, 7
+    stq r9, 0(sp)
+    ldq r8, 0(sp)
+    mov r8, r1
+    sys 2
+    halt
+`)
+	m := New(p)
+	c := mfiController(t)
+	m.SetExpander(c.Engine())
+	m.SetReg(isa.RegDR0+2, program.SegData)
+
+	// Execute until we are two instructions into the store's replacement
+	// sequence, then interrupt.
+	for i := 0; i < 3; i++ {
+		if _, ok := m.Step(); !ok {
+			t.Fatal(m.Err())
+		}
+	}
+	if m.DISEPC() == 0 {
+		t.Fatal("expected to be inside a replacement sequence")
+	}
+	st := m.Interrupt()
+	if st.DISEPC == 0 {
+		t.Fatalf("interrupt state = %+v", st)
+	}
+	// Post-handler: fetch restarts at PC, DISE re-expands skipping the
+	// first DISEPC instructions.
+	if err := m.Resume(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Output(); got != "7" {
+		t.Errorf("output after interrupt/resume = %q, want 7", got)
+	}
+}
+
+func TestSaveRestoreAcrossContextSwitch(t *testing.T) {
+	// Two "processes": one with MFI active, one without. The controller
+	// state swap keeps the second process free of expansions.
+	c := mfiController(t)
+
+	p1 := asm.MustAssemble("p1", memSrc)
+	m1 := New(p1)
+	m1.SetExpander(c.Engine())
+	m1.SetReg(isa.RegDR0+2, program.SegData)
+
+	mfiState := c.SaveState()
+	c.RestoreState(core.State{})
+
+	m2 := New(asm.MustAssemble("p2", memSrc))
+	m2.SetExpander(c.Engine())
+	if err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Stats.ReplInsts != 0 {
+		t.Error("process without productions saw expansions")
+	}
+
+	c.RestoreState(mfiState)
+	if err := m1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m1.Stats.ReplInsts == 0 {
+		t.Error("process with productions saw no expansions")
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	mem := NewMemory()
+	mem.Write64(0x1000, 0xdeadbeefcafe)
+	if got := mem.Read64(0x1000); got != 0xdeadbeefcafe {
+		t.Errorf("Read64 = %#x", got)
+	}
+	// Cross-page access.
+	mem.Write64(0x1ffc, 0x1122334455667788)
+	if got := mem.Read64(0x1ffc); got != 0x1122334455667788 {
+		t.Errorf("cross-page Read64 = %#x", got)
+	}
+	mem.Write32(0x2000, 0xabcd)
+	if got := mem.Read32(0x2000); got != 0xabcd {
+		t.Errorf("Read32 = %#x", got)
+	}
+	if mem.Read64(0x999999) != 0 {
+		t.Error("unwritten memory should read zero")
+	}
+}
+
+func TestShiftAndCompareOps(t *testing.T) {
+	m := New(asm.MustAssemble("ops", `
+.entry main
+main:
+    li r1, -16
+    srai r1, 2, r2    ; -4
+    li r3, 3
+    sll r3, r3, r4    ; 24
+    addq r2, r4, r1   ; 20
+    cmplti r1, 21, r5 ; 1
+    addq r1, r5, r1   ; 21
+    sys 2
+    halt
+`))
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Output(); got != "21" {
+		t.Errorf("output = %q", got)
+	}
+}

@@ -1,0 +1,90 @@
+package emu
+
+import "encoding/binary"
+
+const pageShift = 12
+const pageSize = 1 << pageShift
+
+// Memory is a sparse, paged, byte-addressed 64-bit data memory.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory; unwritten locations read as zero.
+func NewMemory() *Memory {
+	return &Memory{pages: map[uint64]*[pageSize]byte{}}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte reads one byte.
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// StoreByte writes one byte.
+func (m *Memory) StoreByte(addr uint64, v byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// Read64 reads a little-endian 64-bit value (no alignment requirement).
+func (m *Memory) Read64(addr uint64) uint64 {
+	var buf [8]byte
+	m.read(addr, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Write64 writes a little-endian 64-bit value.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	m.write(addr, buf[:])
+}
+
+// Read32 reads a little-endian 32-bit value.
+func (m *Memory) Read32(addr uint64) uint32 {
+	var buf [4]byte
+	m.read(addr, buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+// Write32 writes a little-endian 32-bit value.
+func (m *Memory) Write32(addr uint64, v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	m.write(addr, buf[:])
+}
+
+func (m *Memory) read(addr uint64, buf []byte) {
+	for i := range buf {
+		buf[i] = m.LoadByte(addr + uint64(i))
+	}
+}
+
+func (m *Memory) write(addr uint64, buf []byte) {
+	for i, b := range buf {
+		m.StoreByte(addr+uint64(i), b)
+	}
+}
+
+// Load copies data into memory starting at base.
+func (m *Memory) Load(base uint64, data []byte) {
+	for i, b := range data {
+		m.StoreByte(base+uint64(i), b)
+	}
+}
+
+// Pages returns the number of materialized pages (memory footprint proxy).
+func (m *Memory) Pages() int { return len(m.pages) }

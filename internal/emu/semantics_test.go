@@ -1,0 +1,260 @@
+package emu
+
+// Exhaustive ALU semantics: every operate instruction checked against the
+// corresponding Go computation over randomized operands, plus the DISE
+// branch and sequence-exit semantics of §2.1 that the ACF tests rely on.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// evalRR is the reference semantics of register-register operates.
+var evalRR = map[isa.Opcode]func(a, b uint64) uint64{
+	isa.OpADDQ:   func(a, b uint64) uint64 { return a + b },
+	isa.OpSUBQ:   func(a, b uint64) uint64 { return a - b },
+	isa.OpMULQ:   func(a, b uint64) uint64 { return a * b },
+	isa.OpAND:    func(a, b uint64) uint64 { return a & b },
+	isa.OpBIS:    func(a, b uint64) uint64 { return a | b },
+	isa.OpXOR:    func(a, b uint64) uint64 { return a ^ b },
+	isa.OpSLL:    func(a, b uint64) uint64 { return a << (b & 63) },
+	isa.OpSRL:    func(a, b uint64) uint64 { return a >> (b & 63) },
+	isa.OpSRA:    func(a, b uint64) uint64 { return uint64(int64(a) >> (b & 63)) },
+	isa.OpCMPEQ:  func(a, b uint64) uint64 { return b2u(a == b) },
+	isa.OpCMPLT:  func(a, b uint64) uint64 { return b2u(int64(a) < int64(b)) },
+	isa.OpCMPLE:  func(a, b uint64) uint64 { return b2u(int64(a) <= int64(b)) },
+	isa.OpCMPULT: func(a, b uint64) uint64 { return b2u(a < b) },
+	isa.OpCMPULE: func(a, b uint64) uint64 { return b2u(a <= b) },
+}
+
+// evalRI is the reference semantics of register-immediate operates.
+var evalRI = map[isa.Opcode]func(a uint64, imm int64) uint64{
+	isa.OpADDQI:   func(a uint64, i int64) uint64 { return a + uint64(i) },
+	isa.OpSUBQI:   func(a uint64, i int64) uint64 { return a - uint64(i) },
+	isa.OpMULQI:   func(a uint64, i int64) uint64 { return a * uint64(i) },
+	isa.OpANDI:    func(a uint64, i int64) uint64 { return a & uint64(i) },
+	isa.OpBISI:    func(a uint64, i int64) uint64 { return a | uint64(i) },
+	isa.OpXORI:    func(a uint64, i int64) uint64 { return a ^ uint64(i) },
+	isa.OpSLLI:    func(a uint64, i int64) uint64 { return a << (uint64(i) & 63) },
+	isa.OpSRLI:    func(a uint64, i int64) uint64 { return a >> (uint64(i) & 63) },
+	isa.OpSRAI:    func(a uint64, i int64) uint64 { return uint64(int64(a) >> (uint64(i) & 63)) },
+	isa.OpCMPEQI:  func(a uint64, i int64) uint64 { return b2u(int64(a) == i) },
+	isa.OpCMPLTI:  func(a uint64, i int64) uint64 { return b2u(int64(a) < i) },
+	isa.OpCMPULTI: func(a uint64, i int64) uint64 { return b2u(a < uint64(i)) },
+}
+
+// scratch machine with a single halt, used to execute single instructions.
+func scratchMachine() *Machine {
+	return New(asm.MustAssemble("s", ".entry main\nmain:\n halt\n"))
+}
+
+func TestOperateSemanticsExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	operands := []uint64{0, 1, 2, 63, 64, 0x7fffffffffffffff, 0x8000000000000000, ^uint64(0)}
+	for i := 0; i < 40; i++ {
+		operands = append(operands, r.Uint64())
+	}
+	m := scratchMachine()
+	for op, ref := range evalRR {
+		for _, a := range operands {
+			for _, b := range operands[:12] {
+				m.SetReg(1, a)
+				m.SetReg(2, b)
+				in := isa.Inst{Op: op, RS: 1, RT: 2, RD: 3}
+				var d DynInst
+				d.Unit = 0
+				m.applyEffects(in, &d)
+				if got, want := m.Reg(3), ref(a, b); got != want {
+					t.Fatalf("%v with a=%#x b=%#x: got %#x, want %#x", op, a, b, got, want)
+				}
+			}
+		}
+	}
+	imms := []int64{0, 1, -1, 5, 63, -16, 32767, -32768}
+	for op, ref := range evalRI {
+		for _, a := range operands {
+			for _, i := range imms {
+				m.SetReg(1, a)
+				in := isa.Inst{Op: op, RS: 1, RD: 3, RT: isa.NoReg, Imm: i}
+				var d DynInst
+				m.applyEffects(in, &d)
+				if got, want := m.Reg(3), ref(a, i); got != want {
+					t.Fatalf("%v with a=%#x imm=%d: got %#x, want %#x", op, a, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLdaLdahSemantics(t *testing.T) {
+	m := scratchMachine()
+	m.SetReg(2, 1000)
+	var d DynInst
+	m.applyEffects(isa.Inst{Op: isa.OpLDA, RD: 3, RS: 2, RT: isa.NoReg, Imm: -8}, &d)
+	if m.Reg(3) != 992 {
+		t.Errorf("lda = %d", m.Reg(3))
+	}
+	m.applyEffects(isa.Inst{Op: isa.OpLDAH, RD: 3, RS: 2, RT: isa.NoReg, Imm: 2}, &d)
+	if m.Reg(3) != 1000+2<<16 {
+		t.Errorf("ldah = %d", m.Reg(3))
+	}
+}
+
+func TestZeroRegisterSemantics(t *testing.T) {
+	m := scratchMachine()
+	var d DynInst
+	m.applyEffects(isa.Inst{Op: isa.OpADDQI, RS: isa.RegZero, RD: isa.RegZero, RT: isa.NoReg, Imm: 7}, &d)
+	if m.Reg(isa.RegZero) != 0 {
+		t.Error("zero register must stay zero")
+	}
+}
+
+// diseBranchController installs a production whose DISE branch jumps
+// *forward over* one instruction and another whose target is the sequence
+// length (exit).
+func diseBranchController(t *testing.T, src string) *core.Controller {
+	t.Helper()
+	cfg := core.DefaultEngineConfig()
+	cfg.RTPerfect = true
+	c := core.NewController(cfg)
+	if _, err := c.InstallFile(src, nil); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDiseBranchSkipsWithinSequence(t *testing.T) {
+	// dbne taken skips the poisoning instruction; dbne not-taken executes it.
+	c := diseBranchController(t, `
+prod p {
+    match op == res2
+    replace {
+        dbne $dr0, @skip
+        lda  $dr1, 99(zero)
+    @skip:
+        lda  $dr2, 7(zero)
+    }
+}
+`)
+	run := func(flag uint64) *Machine {
+		m := New(asm.MustAssemble("d", ".entry main\nmain:\n res2 0, 0, 0, #0\n halt\n"))
+		m.SetExpander(c.Engine())
+		m.SetReg(isa.RegDR0, flag)
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m := run(1) // dbne taken: skip
+	if m.Reg(isa.RegDR0+1) != 0 || m.Reg(isa.RegDR0+2) != 7 {
+		t.Errorf("taken DISE branch executed the skipped inst: dr1=%d dr2=%d",
+			m.Reg(isa.RegDR0+1), m.Reg(isa.RegDR0+2))
+	}
+	m = run(0) // not taken: fall through
+	if m.Reg(isa.RegDR0+1) != 99 || m.Reg(isa.RegDR0+2) != 7 {
+		t.Errorf("untaken DISE branch skipped code: dr1=%d dr2=%d",
+			m.Reg(isa.RegDR0+1), m.Reg(isa.RegDR0+2))
+	}
+}
+
+func TestDiseBranchToSequenceEndExits(t *testing.T) {
+	// A DISE branch targeting one-past-the-end abandons the rest of the
+	// sequence, including the trigger copy.
+	c := diseBranchController(t, `
+prod p {
+    match op == res2
+    replace {
+        dbne $dr0, @end
+        lda  $dr1, 5(zero)
+    @end:
+    }
+}
+`)
+	_ = c
+	// The @end label at the very end is awkward in the language (labels
+	// name instructions); use a numeric target instead.
+	c2 := diseBranchController(t, `
+prod p {
+    match op == res2
+    replace {
+        dbne $dr0, 2
+        lda  $dr1, 5(zero)
+    }
+}
+`)
+	m := New(asm.MustAssemble("d", ".entry main\nmain:\n res2 0, 0, 0, #0\n lda r4, 1(zero)\n halt\n"))
+	m.SetExpander(c2.Engine())
+	m.SetReg(isa.RegDR0, 1)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(isa.RegDR0+1) != 0 {
+		t.Error("exited sequence still executed its tail")
+	}
+	if m.Reg(4) != 1 {
+		t.Error("execution did not continue after the trigger")
+	}
+}
+
+func TestBackwardDiseBranchLoopsWithinSequence(t *testing.T) {
+	// A replacement sequence with an internal counted loop: DISE branches
+	// can iterate inside one expansion ("complex tasks", §2.1).
+	c := diseBranchController(t, `
+prod p {
+    match op == res2
+    replace {
+        lda  $dr0, 4(zero)
+    @top:
+        lda  $dr1, 3($dr1)
+        subqi $dr0, 1, $dr0
+        dbgt $dr0, @top
+    }
+}
+`)
+	m := New(asm.MustAssemble("d", ".entry main\nmain:\n res2 0, 0, 0, #0\n halt\n"))
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reg(isa.RegDR0 + 1); got != 12 {
+		t.Errorf("internal loop accumulated %d, want 12", got)
+	}
+}
+
+func TestAppBranchInsideSequenceSquashesTail(t *testing.T) {
+	// An application-level branch inside a sequence that is taken exits the
+	// sequence and squashes the rest (paper §2.1 — the MFI error case).
+	c := diseBranchController(t, `
+prod p {
+    match op == res2
+    replace {
+        beq $dr0, 1
+        lda $dr1, 88(zero)
+    }
+}
+`)
+	m := New(asm.MustAssemble("d", `
+.entry main
+main:
+    res2 0, 0, 0, #0
+    lda r4, 9(zero)
+    halt
+`))
+	m.SetExpander(c.Engine())
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// beq $dr0 (0) taken, displacement 1 relative to the *trigger*: control
+	// resumes at main+2 (halt), skipping both the sequence tail and the
+	// next application instruction.
+	if m.Reg(isa.RegDR0+1) != 0 {
+		t.Error("squashed tail executed")
+	}
+	if m.Reg(4) != 0 {
+		t.Error("application branch target wrong: lda r4 executed")
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/acf/compress"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/stats"
+)
+
+// Ablations beyond the paper's figures: sensitivity of the evaluated design
+// points to the fixed costs the paper assumes. The paper charges 30 cycles
+// per PT/RT miss and 150 per composing miss "similar [to] software TLB miss
+// handling" (§2.3/§4); these sweeps show how the conclusions depend on
+// those constants and on the engine's decoder integration.
+
+// AblationRTPenalty sweeps the RT miss-handler latency under DISE
+// decompression with the realistic 512-entry 2-way RT, normalized to the
+// perfect-RT run. The paper's 30-cycle point sits on this curve.
+func AblationRTPenalty(o Options) *stats.Table {
+	ps := o.profiles()
+	penalties := []int{10, 30, 60, 150, 300}
+	var cols []string
+	for _, p := range penalties {
+		cols = append(cols, fmt.Sprintf("%dcy", p))
+	}
+	t := stats.NewTable("Ablation: RT miss penalty (512-entry 2-way RT, DISE decompression)", names(ps), cols)
+	t.Note = "1.0 = perfect RT, 32KB I$"
+	for _, p := range ps {
+		o.logf("ablate-rt: %s", p.Name)
+		prog := p.MustGenerate()
+		res, err := compress.Compress(prog, compress.DiseFull())
+		if err != nil {
+			panic(err)
+		}
+		cfg := icacheCfg(32)
+		cfg.DiseMode = cpu.DisePipe
+		base := run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil))
+		for _, pen := range penalties {
+			ecfg := core.DefaultEngineConfig()
+			ecfg.RTEntries = 512
+			ecfg.RTAssoc = 2
+			ecfg.MissPenalty = pen
+			ecfg.ComposePenalty = pen
+			t.Set(p.Name, fmt.Sprintf("%dcy", pen),
+				norm(run(res.Prog, cfg, decompPrep(res, ecfg, nil)), base))
+		}
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// AblationEngineMode isolates the decoder-integration cost on ACF-free
+// code: the paper's "zero performance degradation on ACF-free code" design
+// goal. Free and stall must be exactly 1.0 without ACFs; +pipe pays the
+// deeper-pipeline mispredict tax even with no productions installed.
+func AblationEngineMode(o Options) *stats.Table {
+	ps := o.profiles()
+	cols := []string{"free", "stall", "+pipe"}
+	t := stats.NewTable("Ablation: decoder integration on ACF-free code", names(ps), cols)
+	t.Note = "no productions installed; 1.0 = plain core"
+	for _, p := range ps {
+		o.logf("ablate-mode: %s", p.Name)
+		prog := p.MustGenerate()
+		base := run(prog, cpu.DefaultConfig(), nil)
+		for _, mode := range []struct {
+			name string
+			m    cpu.DiseMode
+		}{{"free", cpu.DiseFree}, {"stall", cpu.DiseStall}, {"+pipe", cpu.DisePipe}} {
+			cfg := cpu.DefaultConfig()
+			cfg.DiseMode = mode.m
+			// An engine with no productions: inspects every fetch, never
+			// expands.
+			prep := func(m *emu.Machine) {
+				c := core.NewController(perfectEngine())
+				m.SetExpander(c.Engine())
+			}
+			t.Set(p.Name, mode.name, norm(run(prog, cfg, prep), base))
+		}
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// AblationRTBlock sweeps the RT block size (instructions coalesced per RT
+// entry, paper §2.2: fewer read ports at the expense of internal
+// fragmentation — and, under the engine's bit-sliced set index, coarser
+// index resolution) on a 512-instruction RT under DISE decompression.
+func AblationRTBlock(o Options) *stats.Table {
+	ps := o.profiles()
+	blocks := []int{1, 2, 4}
+	var cols []string
+	for _, b := range blocks {
+		cols = append(cols, fmt.Sprintf("block%d", b))
+	}
+	t := stats.NewTable("Ablation: RT block coalescing (512-entry 2-way RT, DISE decompression)", names(ps), cols)
+	t.Note = "1.0 = perfect RT, 32KB I$, 30-cycle RT miss"
+	for _, p := range ps {
+		o.logf("ablate-block: %s", p.Name)
+		prog := p.MustGenerate()
+		res, err := compress.Compress(prog, compress.DiseFull())
+		if err != nil {
+			panic(err)
+		}
+		cfg := icacheCfg(32)
+		cfg.DiseMode = cpu.DisePipe
+		base := run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil))
+		for _, blk := range blocks {
+			ecfg := core.DefaultEngineConfig()
+			ecfg.RTEntries = 512
+			ecfg.RTAssoc = 2
+			ecfg.RTBlock = blk
+			t.Set(p.Name, fmt.Sprintf("block%d", blk),
+				norm(run(res.Prog, cfg, decompPrep(res, ecfg, nil)), base))
+		}
+	}
+	t.AddMeanRow()
+	return t
+}

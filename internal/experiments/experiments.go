@@ -1,0 +1,481 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (Section 4): Figure 6 (memory fault isolation), Figure 7 (dynamic code
+// decompression), and Figure 8 (their composition). Each harness returns
+// paper-shaped tables — one row per benchmark, one column per configuration,
+// values normalized exactly as the paper normalizes them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/acf/compose"
+	"repro/internal/acf/compress"
+	"repro/internal/acf/mfi"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/program"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options scales and scopes an experiment run.
+type Options struct {
+	// Benchmarks restricts the benchmark set (nil = all ten).
+	Benchmarks []string
+	// DynScaleK overrides every profile's dynamic-length target (thousands
+	// of instructions); 0 keeps the profile defaults. Benchmarks use small
+	// values to stay fast; the full harness uses the defaults.
+	DynScaleK int
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+func (o Options) profiles() []workload.Profile {
+	all := workload.Profiles()
+	if o.DynScaleK > 0 {
+		for i := range all {
+			all[i].TargetDynK = o.DynScaleK
+		}
+	}
+	if o.Benchmarks == nil {
+		return all
+	}
+	var out []workload.Profile
+	for _, name := range o.Benchmarks {
+		for _, p := range all {
+			if p.Name == name {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+func names(ps []workload.Profile) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// run times a program on cfg with an optional machine preparer.
+func run(prog *program.Program, cfg cpu.Config, prep func(*emu.Machine)) *cpu.Result {
+	m := emu.New(prog)
+	if prep != nil {
+		prep(m)
+	}
+	r := cpu.Run(m, cfg)
+	if r.Err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", prog.Name, r.Err))
+	}
+	return r
+}
+
+// diseMFI prepares a machine with MFI productions active.
+func diseMFI(v mfi.Variant, ecfg core.EngineConfig) func(*emu.Machine) {
+	return func(m *emu.Machine) {
+		c := core.NewController(ecfg)
+		if _, err := mfi.Install(c, v); err != nil {
+			panic(err)
+		}
+		m.SetExpander(c.Engine())
+		mfi.Setup(m)
+	}
+}
+
+func perfectEngine() core.EngineConfig {
+	cfg := core.DefaultEngineConfig()
+	cfg.RTPerfect = true
+	return cfg
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Fig6Formulation reproduces Figure 6 (top): execution time of MFI under
+// binary rewriting and the DISE formulations/implementations, normalized to
+// the fault-isolation-free run. Columns, left to right: the rewriting
+// baseline; DISE3 on the two realistic decoder integrations (stall, +pipe);
+// and the two free-DISE formulations (DISE4, DISE3).
+func Fig6Formulation(o Options) *stats.Table {
+	ps := o.profiles()
+	cols := []string{"rewrite", "stall", "+pipe", "DISE4", "DISE3"}
+	t := stats.NewTable("Figure 6 (top): memory fault isolation, normalized execution time", names(ps), cols)
+	t.Note = "4-wide, 32KB I$; 1.0 = no fault isolation"
+	for _, p := range ps {
+		o.logf("fig6a: %s", p.Name)
+		prog := p.MustGenerate()
+		base := run(prog, cpu.DefaultConfig(), nil)
+
+		rw, err := mfi.Rewrite(prog)
+		if err != nil {
+			panic(err)
+		}
+		t.Set(p.Name, "rewrite", norm(run(rw, cpu.DefaultConfig(), nil), base))
+
+		stall := cpu.DefaultConfig()
+		stall.DiseMode = cpu.DiseStall
+		t.Set(p.Name, "stall", norm(run(prog, stall, diseMFI(mfi.DISE3, perfectEngine())), base))
+
+		pipe := cpu.DefaultConfig()
+		pipe.DiseMode = cpu.DisePipe
+		t.Set(p.Name, "+pipe", norm(run(prog, pipe, diseMFI(mfi.DISE3, perfectEngine())), base))
+
+		t.Set(p.Name, "DISE4", norm(run(prog, cpu.DefaultConfig(), diseMFI(mfi.DISE4, perfectEngine())), base))
+		t.Set(p.Name, "DISE3", norm(run(prog, cpu.DefaultConfig(), diseMFI(mfi.DISE3, perfectEngine())), base))
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// Fig6CacheSize reproduces Figure 6 (middle): DISE3 vs rewriting across
+// I-cache sizes, each normalized to the MFI-free run at the same size.
+func Fig6CacheSize(o Options) *stats.Table {
+	ps := o.profiles()
+	sizes := []struct {
+		name string
+		kb   int // 0 = perfect
+	}{{"8K", 8}, {"32K", 32}, {"128K", 128}, {"perf", 0}}
+	var cols []string
+	for _, s := range sizes {
+		cols = append(cols, "rw-"+s.name, "dise-"+s.name)
+	}
+	t := stats.NewTable("Figure 6 (middle): MFI vs I-cache size, normalized execution time", names(ps), cols)
+	t.Note = "4-wide; per size, 1.0 = no fault isolation at that size"
+	for _, p := range ps {
+		o.logf("fig6b: %s", p.Name)
+		prog := p.MustGenerate()
+		rw, err := mfi.Rewrite(prog)
+		if err != nil {
+			panic(err)
+		}
+		for _, s := range sizes {
+			cfg := cpu.DefaultConfig()
+			setICache(&cfg, s.kb)
+			// The paper assumes the elongated-pipe design from here on.
+			cfg.DiseMode = cpu.DisePipe
+			baseCfg := cfg
+			baseCfg.DiseMode = cpu.DiseFree
+			base := run(prog, baseCfg, nil)
+			t.Set(p.Name, "rw-"+s.name, norm(run(rw, baseCfg, nil), base))
+			t.Set(p.Name, "dise-"+s.name, norm(run(prog, cfg, diseMFI(mfi.DISE3, perfectEngine())), base))
+		}
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// Fig6Width reproduces Figure 6 (bottom): DISE3 vs rewriting across machine
+// widths at 32KB I$.
+func Fig6Width(o Options) *stats.Table {
+	ps := o.profiles()
+	widths := []int{2, 4, 8}
+	var cols []string
+	for _, w := range widths {
+		cols = append(cols, fmt.Sprintf("rw-%dw", w), fmt.Sprintf("dise-%dw", w))
+	}
+	t := stats.NewTable("Figure 6 (bottom): MFI vs processor width, normalized execution time", names(ps), cols)
+	t.Note = "32KB I$; per width, 1.0 = no fault isolation at that width"
+	for _, p := range ps {
+		o.logf("fig6c: %s", p.Name)
+		prog := p.MustGenerate()
+		rw, err := mfi.Rewrite(prog)
+		if err != nil {
+			panic(err)
+		}
+		for _, w := range widths {
+			cfg := cpu.DefaultConfig()
+			cfg.Width = w
+			base := run(prog, cfg, nil)
+			t.Set(p.Name, fmt.Sprintf("rw-%dw", w), norm(run(rw, cfg, nil), base))
+			diseCfg := cfg
+			diseCfg.DiseMode = cpu.DisePipe
+			t.Set(p.Name, fmt.Sprintf("dise-%dw", w), norm(run(prog, diseCfg, diseMFI(mfi.DISE3, perfectEngine())), base))
+		}
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+// Fig7Compression reproduces Figure 7 (top): the compression feature
+// ladder. It returns two tables: compressed text size and text+dictionary,
+// both normalized to the uncompressed text (the paper's stacked bars).
+func Fig7Compression(o Options) (*stats.Table, *stats.Table) {
+	ps := o.profiles()
+	ladder := compress.Ladder()
+	var cols []string
+	for _, step := range ladder {
+		cols = append(cols, step.Name)
+	}
+	text := stats.NewTable("Figure 7 (top): compressed text size / original", names(ps), cols)
+	total := stats.NewTable("Figure 7 (top, stack): text+dictionary / original", names(ps), cols)
+	for _, p := range ps {
+		o.logf("fig7a: %s", p.Name)
+		prog := p.MustGenerate()
+		for _, step := range ladder {
+			res, err := compress.Compress(prog, step.Cfg)
+			if err != nil {
+				panic(err)
+			}
+			text.Set(p.Name, step.Name, res.Stats.Ratio())
+			total.Set(p.Name, step.Name, res.Stats.TotalRatio())
+		}
+	}
+	text.AddMeanRow()
+	total.AddMeanRow()
+	return text, total
+}
+
+// Fig7Performance reproduces Figure 7 (middle): execution time of the DISE-
+// decompressed program across I-cache sizes, normalized to the uncompressed
+// run with a 32KB I-cache. A perfect RT is modeled, as in the paper.
+func Fig7Performance(o Options) *stats.Table {
+	ps := o.profiles()
+	sizes := []struct {
+		name string
+		kb   int
+	}{{"8K", 8}, {"32K", 32}, {"128K", 128}, {"perf", 0}}
+	var cols []string
+	for _, s := range sizes {
+		cols = append(cols, "raw-"+s.name, "dise-"+s.name)
+	}
+	t := stats.NewTable("Figure 7 (middle): DISE decompression, normalized execution time", names(ps), cols)
+	t.Note = "1.0 = uncompressed, 32KB I$; perfect RT"
+	for _, p := range ps {
+		o.logf("fig7b: %s", p.Name)
+		prog := p.MustGenerate()
+		res, err := compress.Compress(prog, compress.DiseFull())
+		if err != nil {
+			panic(err)
+		}
+		base32 := run(prog, icacheCfg(32), nil)
+		for _, s := range sizes {
+			cfg := icacheCfg(s.kb)
+			cfg.DiseMode = cpu.DisePipe
+			rawCfg := icacheCfg(s.kb)
+			t.Set(p.Name, "raw-"+s.name, norm(run(prog, rawCfg, nil), base32))
+			t.Set(p.Name, "dise-"+s.name, norm(run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil)), base32))
+		}
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// Fig7RTSize reproduces Figure 7 (bottom): realistic RT configurations vs
+// the perfect RT, under DISE decompression with 30-cycle misses.
+func Fig7RTSize(o Options) *stats.Table {
+	ps := o.profiles()
+	cols := []string{"512-dm", "512-2way", "2K-dm", "2K-2way"}
+	t := stats.NewTable("Figure 7 (bottom): RT configuration, normalized execution time", names(ps), cols)
+	t.Note = "1.0 = perfect RT, 32KB I$, 30-cycle RT miss"
+	for _, p := range ps {
+		o.logf("fig7c: %s", p.Name)
+		prog := p.MustGenerate()
+		res, err := compress.Compress(prog, compress.DiseFull())
+		if err != nil {
+			panic(err)
+		}
+		cfg := icacheCfg(32)
+		cfg.DiseMode = cpu.DisePipe
+		base := run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil))
+		for _, rt := range rtConfigs() {
+			t.Set(p.Name, rt.name, norm(run(res.Prog, cfg, decompPrep(res, rt.cfg, nil)), base))
+		}
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+// Fig8Combos reproduces Figure 8 (top): simultaneous fault isolation and
+// decompression under the three implementation combinations, across I-cache
+// sizes, normalized to the unmodified program on a 32KB I-cache.
+func Fig8Combos(o Options) *stats.Table {
+	ps := o.profiles()
+	sizes := []struct {
+		name string
+		kb   int
+	}{{"8K", 8}, {"32K", 32}, {"128K", 128}, {"perf", 0}}
+	combos := []string{"rw+ded", "rw+dise", "dise+dise"}
+	var cols []string
+	for _, s := range sizes {
+		for _, c := range combos {
+			cols = append(cols, c+"-"+s.name)
+		}
+	}
+	t := stats.NewTable("Figure 8 (top): composed MFI+decompression, normalized execution time", names(ps), cols)
+	t.Note = "1.0 = unmodified, 32KB I$; perfect RT"
+	for _, p := range ps {
+		o.logf("fig8a: %s", p.Name)
+		prog := p.MustGenerate()
+		base32 := run(prog, icacheCfg(32), nil)
+
+		rw, err := mfi.Rewrite(prog)
+		if err != nil {
+			panic(err)
+		}
+		rwDed, err := compress.Compress(rw, compress.Dedicated())
+		if err != nil {
+			panic(err)
+		}
+		rwDise, err := compress.Compress(rw, compress.DiseFull())
+		if err != nil {
+			panic(err)
+		}
+		diseComp, err := compress.Compress(prog, compress.DiseFull())
+		if err != nil {
+			panic(err)
+		}
+
+		for _, s := range sizes {
+			cfg := icacheCfg(s.kb)
+			cfg.DiseMode = cpu.DisePipe
+
+			// Rewriting MFI + dedicated hardware decompression.
+			dedCfg := icacheCfg(s.kb)
+			r := run(rwDed.Prog, dedCfg, func(m *emu.Machine) {
+				m.SetExpander(compress.NewDecompressor(rwDed))
+			})
+			t.Set(p.Name, "rw+ded-"+s.name, norm(r, base32))
+
+			// Rewriting MFI + DISE decompression.
+			r = run(rwDise.Prog, cfg, decompPrep(rwDise, perfectEngine(), nil))
+			t.Set(p.Name, "rw+dise-"+s.name, norm(r, base32))
+
+			// DISE MFI composed with DISE decompression at RT fill.
+			r = run(diseComp.Prog, cfg, decompPrep(diseComp, perfectEngine(), composeMFI))
+			t.Set(p.Name, "dise+dise-"+s.name, norm(r, base32))
+		}
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// Fig8RT reproduces Figure 8 (bottom): the composed DISE+DISE configuration
+// under realistic RTs; each RT size/associativity is measured with the
+// plain 30-cycle miss handler (capacity effect) and with the 150-cycle
+// composing handler (composition latency effect).
+func Fig8RT(o Options) *stats.Table {
+	ps := o.profiles()
+	var cols []string
+	for _, rt := range rtConfigs() {
+		cols = append(cols, rt.name+"-30", rt.name+"-150")
+	}
+	t := stats.NewTable("Figure 8 (bottom): composed ACFs vs RT configuration", names(ps), cols)
+	t.Note = "1.0 = perfect RT; 30 = capacity only, 150 = +composition latency"
+	for _, p := range ps {
+		o.logf("fig8b: %s", p.Name)
+		prog := p.MustGenerate()
+		res, err := compress.Compress(prog, compress.DiseFull())
+		if err != nil {
+			panic(err)
+		}
+		cfg := icacheCfg(32)
+		cfg.DiseMode = cpu.DisePipe
+		base := run(res.Prog, cfg, decompPrep(res, perfectEngine(), composeMFI))
+		for _, rt := range rtConfigs() {
+			fast := rt.cfg
+			fast.ComposePenalty = fast.MissPenalty
+			t.Set(p.Name, rt.name+"-30", norm(run(res.Prog, cfg, decompPrep(res, fast, composeMFI)), base))
+			slow := rt.cfg
+			slow.ComposePenalty = 150
+			t.Set(p.Name, rt.name+"-150", norm(run(res.Prog, cfg, decompPrep(res, slow, composeMFI)), base))
+		}
+	}
+	t.AddMeanRow()
+	return t
+}
+
+// ------------------------------------------------------------------ shared
+
+// norm returns r's cycles normalized to base's.
+func norm(r, base *cpu.Result) float64 {
+	return stats.Ratio(float64(r.Cycles), float64(base.Cycles))
+}
+
+func setICache(cfg *cpu.Config, kb int) {
+	if kb == 0 {
+		cfg.Mem.IL1.Perfect = true
+		return
+	}
+	cfg.Mem.IL1.Size = kb << 10
+}
+
+func icacheCfg(kb int) cpu.Config {
+	cfg := cpu.DefaultConfig()
+	setICache(&cfg, kb)
+	return cfg
+}
+
+type rtConfig struct {
+	name string
+	cfg  core.EngineConfig
+}
+
+func rtConfigs() []rtConfig {
+	mk := func(name string, entries, assoc int) rtConfig {
+		cfg := core.DefaultEngineConfig()
+		cfg.RTEntries = entries
+		cfg.RTAssoc = assoc
+		return rtConfig{name: name, cfg: cfg}
+	}
+	return []rtConfig{
+		mk("512-dm", 512, 1),
+		mk("512-2way", 512, 2),
+		mk("2K-dm", 2048, 1),
+		mk("2K-2way", 2048, 2),
+	}
+}
+
+// decompPrep prepares a machine for a DISE-compressed program: installs the
+// decompression dictionary on a fresh controller, optionally lets withMFI
+// add fault isolation (composition), and initializes dedicated registers.
+func decompPrep(res *compress.Result, ecfg core.EngineConfig, withMFI func(*core.Controller)) func(*emu.Machine) {
+	return func(m *emu.Machine) {
+		c := core.NewController(ecfg)
+		if withMFI != nil {
+			withMFI(c)
+		}
+		if _, err := res.Install(c); err != nil {
+			panic(err)
+		}
+		m.SetExpander(c.Engine())
+		mfi.Setup(m)
+	}
+}
+
+// composeMFI installs DISE3 MFI productions and the RT-fill composer that
+// inlines them into decompression sequences (paper §3.3: transparent with
+// aware composition happens in the RT miss handler).
+func composeMFI(c *core.Controller) {
+	prods, err := mfi.Install(c, mfi.DISE3)
+	if err != nil {
+		panic(err)
+	}
+	c.SetComposer(compose.Composer(prods))
+}
+
+// All runs every experiment and writes the tables to w.
+func All(o Options, w io.Writer) {
+	fmt.Fprintln(w, Fig6Formulation(o))
+	fmt.Fprintln(w, Fig6CacheSize(o))
+	fmt.Fprintln(w, Fig6Width(o))
+	text, total := Fig7Compression(o)
+	fmt.Fprintln(w, text)
+	fmt.Fprintln(w, total)
+	fmt.Fprintln(w, Fig7Performance(o))
+	fmt.Fprintln(w, Fig7RTSize(o))
+	fmt.Fprintln(w, Fig8Combos(o))
+	fmt.Fprintln(w, Fig8RT(o))
+}

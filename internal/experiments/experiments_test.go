@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tiny-scale options: one small benchmark, short runs. These tests check
+// harness plumbing (labels, normalization, completeness), not the paper's
+// claims — those are asserted at full scale in the repository root tests.
+func tinyOptions() Options {
+	return Options{Benchmarks: []string{"mcf"}, DynScaleK: 30}
+}
+
+func TestOptionsProfiles(t *testing.T) {
+	o := Options{Benchmarks: []string{"gcc", "mcf"}}
+	ps := o.profiles()
+	if len(ps) != 2 || ps[0].Name != "gcc" || ps[1].Name != "mcf" {
+		t.Errorf("profiles = %v", names(ps))
+	}
+	if got := len(Options{}.profiles()); got != 10 {
+		t.Errorf("default profiles = %d, want 10", got)
+	}
+	o = Options{DynScaleK: 44, Benchmarks: []string{"mcf"}}
+	if ps := o.profiles(); ps[0].TargetDynK != 44 {
+		t.Errorf("scale override not applied: %d", ps[0].TargetDynK)
+	}
+}
+
+func TestFig6FormulationStructure(t *testing.T) {
+	tb := Fig6Formulation(tinyOptions())
+	for _, col := range []string{"rewrite", "stall", "+pipe", "DISE4", "DISE3"} {
+		v := tb.Get("mcf", col)
+		if v < 1.0 || v > 5 {
+			t.Errorf("%s = %.3f: MFI overhead must be >= 1 and sane", col, v)
+		}
+	}
+	if !strings.Contains(tb.String(), "gmean") {
+		t.Error("missing mean row")
+	}
+}
+
+func TestFig6CacheAndWidthStructure(t *testing.T) {
+	tb := Fig6CacheSize(tinyOptions())
+	if len(tb.Cols) != 8 {
+		t.Errorf("cache-size cols = %v", tb.Cols)
+	}
+	tw := Fig6Width(tinyOptions())
+	if len(tw.Cols) != 6 {
+		t.Errorf("width cols = %v", tw.Cols)
+	}
+	for _, c := range tw.Cols {
+		if v := tw.Get("mcf", c); v < 1.0 {
+			t.Errorf("%s = %.3f < 1", c, v)
+		}
+	}
+}
+
+func TestFig7CompressionStructure(t *testing.T) {
+	text, total := Fig7Compression(tinyOptions())
+	for _, c := range text.Cols {
+		tv, totv := text.Get("mcf", c), total.Get("mcf", c)
+		if tv <= 0 || tv > 1 {
+			t.Errorf("%s text ratio = %.3f", c, tv)
+		}
+		if totv < tv {
+			t.Errorf("%s: total ratio %.3f below text ratio %.3f", c, totv, tv)
+		}
+	}
+}
+
+func TestFig7PerformanceNormalization(t *testing.T) {
+	tb := Fig7Performance(tinyOptions())
+	// The raw 32K column is the normalization basis: exactly 1.
+	if v := tb.Get("mcf", "raw-32K"); v != 1.0 {
+		t.Errorf("raw-32K = %.3f, want 1.0", v)
+	}
+}
+
+func TestFig7RTStructure(t *testing.T) {
+	tb := Fig7RTSize(tinyOptions())
+	for _, c := range tb.Cols {
+		if v := tb.Get("mcf", c); v < 0.99 {
+			t.Errorf("%s = %.3f: realistic RT cannot beat perfect", c, v)
+		}
+	}
+}
+
+func TestFig8Structure(t *testing.T) {
+	tb := Fig8Combos(tinyOptions())
+	if len(tb.Cols) != 12 {
+		t.Errorf("combo cols = %v", tb.Cols)
+	}
+	rt := Fig8RT(tinyOptions())
+	for _, base := range []string{"512-dm", "512-2way", "2K-dm", "2K-2way"} {
+		fast, slow := rt.Get("mcf", base+"-30"), rt.Get("mcf", base+"-150")
+		if slow < fast {
+			t.Errorf("%s: composition latency cannot speed things up (%.3f vs %.3f)", base, slow, fast)
+		}
+	}
+}
+
+func TestAllWrites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	var sb strings.Builder
+	All(tinyOptions(), &sb)
+	out := sb.String()
+	for _, want := range []string{"Figure 6 (top)", "Figure 6 (middle)", "Figure 6 (bottom)",
+		"Figure 7 (top)", "Figure 7 (middle)", "Figure 7 (bottom)",
+		"Figure 8 (top)", "Figure 8 (bottom)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("All output missing %q", want)
+		}
+	}
+}
+
+func TestAblationRTPenaltyMonotone(t *testing.T) {
+	tb := AblationRTPenalty(Options{Benchmarks: []string{"gzip"}, DynScaleK: 60})
+	prev := 0.0
+	for _, c := range []string{"10cy", "30cy", "60cy", "150cy", "300cy"} {
+		v := tb.Get("gzip", c)
+		if v < prev-1e-9 {
+			t.Errorf("penalty sweep must be monotone: %s = %.3f after %.3f", c, v, prev)
+		}
+		prev = v
+	}
+	if prev <= 1.0 {
+		t.Error("300-cycle misses should cost something on gzip")
+	}
+}
+
+func TestAblationEngineModeFreeIsFree(t *testing.T) {
+	tb := AblationEngineMode(Options{Benchmarks: []string{"mcf"}, DynScaleK: 40})
+	if v := tb.Get("mcf", "free"); v != 1.0 {
+		t.Errorf("free mode on ACF-free code = %.4f, want exactly 1.0", v)
+	}
+	if v := tb.Get("mcf", "stall"); v != 1.0 {
+		t.Errorf("stall mode with no expansions = %.4f, want exactly 1.0", v)
+	}
+	if v := tb.Get("mcf", "+pipe"); v < 1.0 {
+		t.Errorf("+pipe = %.4f, cannot beat the base", v)
+	}
+}

@@ -1,0 +1,216 @@
+package isa
+
+import "fmt"
+
+// Machine encoding field layout. All instructions are 4 bytes.
+//
+//	FmtMem      op(6) ra(5) rb(5) disp16       ra = RD (loads) / RT (stores), rb = RS
+//	FmtBranch   op(6) ra(5) disp21             ra = RS (cond) / RD (br, bsr)
+//	FmtJump     op(6) rd(5) rs(5) hint16
+//	FmtOpReg    op(6) rs(5) rt(5) rd(5) func11
+//	FmtOpImm    op(6) rs(5) rd(5) imm16
+//	FmtSpecial  op(6) code26
+//	FmtCodeword op(6) p1(5) p2(5) p3(5) tag11
+
+// InstBytes is the size of an encoded instruction in bytes.
+const InstBytes = 4
+
+// Immediate range limits.
+const (
+	MaxDisp16 = 1<<15 - 1
+	MinDisp16 = -(1 << 15)
+	MaxDisp21 = 1<<20 - 1
+	MinDisp21 = -(1 << 20)
+	MaxTag    = 1<<11 - 1
+	MaxCode26 = 1<<26 - 1
+)
+
+func sext(v uint32, bits uint) int64 {
+	shift := 64 - bits
+	return int64(uint64(v)<<shift) >> shift
+}
+
+// Encode packs a decoded instruction into its 32-bit machine word. It fails
+// if the instruction is not encodable: dedicated registers (which only exist
+// inside DISE replacement sequences) or out-of-range immediates.
+func Encode(i Inst) (uint32, error) {
+	if !i.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", i.Op)
+	}
+	if i.UsesDedicated() {
+		return 0, fmt.Errorf("isa: encode %v: dedicated registers have no machine encoding", i)
+	}
+	op := uint32(i.Op) << 26
+	reg := func(r Reg) (uint32, error) {
+		if r == NoReg {
+			return uint32(RegZero), nil
+		}
+		if !r.IsArch() {
+			return 0, fmt.Errorf("isa: encode %v: bad register %v", i, r)
+		}
+		return uint32(r), nil
+	}
+	switch i.Op.Format() {
+	case FmtMem:
+		ra := i.RD
+		if i.Op.Class() == ClassStore {
+			ra = i.RT
+		}
+		a, err := reg(ra)
+		if err != nil {
+			return 0, err
+		}
+		b, err := reg(i.RS)
+		if err != nil {
+			return 0, err
+		}
+		if i.Imm < MinDisp16 || i.Imm > MaxDisp16 {
+			return 0, fmt.Errorf("isa: encode %v: disp16 out of range", i)
+		}
+		return op | a<<21 | b<<16 | uint32(uint16(i.Imm)), nil
+	case FmtBranch:
+		ra := i.RS
+		if i.Op == OpBR || i.Op == OpBSR {
+			ra = i.RD
+		}
+		a, err := reg(ra)
+		if err != nil {
+			return 0, err
+		}
+		if i.Imm < MinDisp21 || i.Imm > MaxDisp21 {
+			return 0, fmt.Errorf("isa: encode %v: disp21 out of range", i)
+		}
+		return op | a<<21 | uint32(i.Imm)&0x1fffff, nil
+	case FmtJump:
+		d, err := reg(i.RD)
+		if err != nil {
+			return 0, err
+		}
+		s, err := reg(i.RS)
+		if err != nil {
+			return 0, err
+		}
+		return op | d<<21 | s<<16 | uint32(uint16(i.Imm)), nil
+	case FmtJumpCond:
+		c, err := reg(i.RT)
+		if err != nil {
+			return 0, err
+		}
+		s, err := reg(i.RS)
+		if err != nil {
+			return 0, err
+		}
+		return op | c<<21 | s<<16, nil
+	case FmtOpReg:
+		s, err := reg(i.RS)
+		if err != nil {
+			return 0, err
+		}
+		t, err := reg(i.RT)
+		if err != nil {
+			return 0, err
+		}
+		d, err := reg(i.RD)
+		if err != nil {
+			return 0, err
+		}
+		return op | s<<21 | t<<16 | d<<11, nil
+	case FmtOpImm:
+		s, err := reg(i.RS)
+		if err != nil {
+			return 0, err
+		}
+		d, err := reg(i.RD)
+		if err != nil {
+			return 0, err
+		}
+		if i.Imm < MinDisp16 || i.Imm > MaxDisp16 {
+			return 0, fmt.Errorf("isa: encode %v: imm16 out of range", i)
+		}
+		return op | s<<21 | d<<16 | uint32(uint16(i.Imm)), nil
+	case FmtSpecial:
+		if i.Imm < 0 || i.Imm > MaxCode26 {
+			return 0, fmt.Errorf("isa: encode %v: code26 out of range", i)
+		}
+		return op | uint32(i.Imm), nil
+	case FmtCodeword:
+		p1, err := reg(i.RS)
+		if err != nil {
+			return 0, err
+		}
+		p2, err := reg(i.RT)
+		if err != nil {
+			return 0, err
+		}
+		p3, err := reg(i.RD)
+		if err != nil {
+			return 0, err
+		}
+		if i.Imm < 0 || i.Imm > MaxTag {
+			return 0, fmt.Errorf("isa: encode %v: tag out of range", i)
+		}
+		return op | p1<<21 | p2<<16 | p3<<11 | uint32(i.Imm), nil
+	}
+	return 0, fmt.Errorf("isa: encode %v: bad format", i)
+}
+
+// Decode unpacks a 32-bit machine word into its decoded form.
+func Decode(w uint32) (Inst, error) {
+	op := Opcode(w >> 26)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: decode %#08x: invalid opcode %d", w, op)
+	}
+	i := Inst{Op: op, RS: NoReg, RT: NoReg, RD: NoReg}
+	ra := Reg(w >> 21 & 0x1f)
+	rb := Reg(w >> 16 & 0x1f)
+	switch op.Format() {
+	case FmtMem:
+		if op.Class() == ClassStore {
+			i.RT = ra
+		} else {
+			i.RD = ra
+		}
+		i.RS = rb
+		i.Imm = sext(w&0xffff, 16)
+	case FmtBranch:
+		if op == OpBR || op == OpBSR {
+			i.RD = ra
+		} else {
+			i.RS = ra
+		}
+		i.Imm = sext(w&0x1fffff, 21)
+	case FmtJump:
+		i.RD = ra
+		i.RS = rb
+		i.Imm = int64(w & 0xffff)
+	case FmtJumpCond:
+		i.RT = ra
+		i.RS = rb
+	case FmtOpReg:
+		i.RS = ra
+		i.RT = rb
+		i.RD = Reg(w >> 11 & 0x1f)
+	case FmtOpImm:
+		i.RS = ra
+		i.RD = rb
+		i.Imm = sext(w&0xffff, 16)
+	case FmtSpecial:
+		i.Imm = int64(w & 0x3ffffff)
+	case FmtCodeword:
+		i.RS = ra
+		i.RT = rb
+		i.RD = Reg(w >> 11 & 0x1f)
+		i.Imm = int64(w & 0x7ff)
+	}
+	return i, nil
+}
+
+// MustEncode is Encode for instructions known to be encodable; it panics on
+// error. It is intended for tests and generators of literal code.
+func MustEncode(i Inst) uint32 {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

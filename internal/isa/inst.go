@@ -1,0 +1,158 @@
+package isa
+
+import "fmt"
+
+// Inst is a decoded EVR instruction. The decoded form is the common currency
+// of the toolchain: the assembler produces it, the encoder packs it into a
+// 32-bit word, the DISE engine pattern-matches and instantiates it, and the
+// emulator and pipeline execute it. DISE replacement instructions exist only
+// in decoded form (their register fields may name dedicated registers, which
+// have no machine encoding).
+type Inst struct {
+	Op  Opcode
+	RS  Reg   // first source (base register for memory ops)
+	RT  Reg   // second source (store value register)
+	RD  Reg   // destination (link register for calls)
+	Imm int64 // sign-extended displacement/immediate; codeword tag; SYS code
+}
+
+// Field slot mapping per format:
+//
+//	FmtMem      loads/lda: RD, RS, Imm     stores: RT (value), RS (base), Imm
+//	FmtBranch   cond: RS, Imm (word disp)  br/bsr: RD (link), Imm
+//	FmtJump     RD (link), RS (target)
+//	FmtOpReg    RS, RT, RD
+//	FmtOpImm    RS, Imm, RD
+//	FmtSpecial  Imm (code)
+//	FmtCodeword RS=p1, RT=p2, RD=p3, Imm=tag
+
+// Dest returns the register written by i, or NoReg.
+func (i Inst) Dest() Reg {
+	switch i.Op.Format() {
+	case FmtMem:
+		if i.Op.Class() == ClassStore {
+			return NoReg
+		}
+		return i.RD
+	case FmtBranch:
+		if i.Op == OpBR || i.Op == OpBSR {
+			return i.RD
+		}
+		return NoReg
+	case FmtJump:
+		return i.RD
+	case FmtJumpCond:
+		return NoReg
+	case FmtOpReg, FmtOpImm:
+		return i.RD
+	case FmtCodeword:
+		// A raw codeword has no semantics of its own; it is replaced before
+		// execution. Treat as no destination.
+		return NoReg
+	}
+	return NoReg
+}
+
+// Sources returns the registers read by i (zero, one or two entries).
+func (i Inst) Sources() []Reg {
+	var srcs []Reg
+	add := func(r Reg) {
+		if r != NoReg && r != RegZero {
+			srcs = append(srcs, r)
+		}
+	}
+	switch i.Op.Format() {
+	case FmtMem:
+		add(i.RS)
+		if i.Op.Class() == ClassStore {
+			add(i.RT)
+		}
+	case FmtBranch:
+		if i.Op != OpBR && i.Op != OpBSR {
+			add(i.RS)
+		}
+	case FmtJump:
+		add(i.RS)
+	case FmtJumpCond:
+		add(i.RT)
+		add(i.RS)
+	case FmtOpReg:
+		add(i.RS)
+		add(i.RT)
+	case FmtOpImm:
+		add(i.RS)
+	}
+	return srcs
+}
+
+// UsesDedicated reports whether any register field of i names a DISE
+// dedicated register. Such instructions are representable only inside
+// replacement sequences.
+func (i Inst) UsesDedicated() bool {
+	return i.RS.IsDedicated() || i.RT.IsDedicated() || i.RD.IsDedicated()
+}
+
+// BranchTarget returns the target PC of a PC-relative branch at address pc.
+func (i Inst) BranchTarget(pc uint64) uint64 {
+	return pc + 4 + uint64(i.Imm)*4
+}
+
+// String renders i in assembler syntax.
+func (i Inst) String() string {
+	switch i.Op.Format() {
+	case FmtMem:
+		if i.Op.Class() == ClassStore {
+			return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.RT, i.Imm, i.RS)
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.RD, i.Imm, i.RS)
+	case FmtBranch:
+		if i.Op == OpBR || i.Op == OpBSR {
+			return fmt.Sprintf("%s %s, %d", i.Op, i.RD, i.Imm)
+		}
+		return fmt.Sprintf("%s %s, %d", i.Op, i.RS, i.Imm)
+	case FmtJump:
+		return fmt.Sprintf("%s %s, (%s)", i.Op, i.RD, i.RS)
+	case FmtJumpCond:
+		return fmt.Sprintf("%s %s, (%s)", i.Op, i.RT, i.RS)
+	case FmtOpReg:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.RS, i.RT, i.RD)
+	case FmtOpImm:
+		return fmt.Sprintf("%s %s, %d, %s", i.Op, i.RS, i.Imm, i.RD)
+	case FmtSpecial:
+		if i.Op == OpHALT {
+			return "halt"
+		}
+		return fmt.Sprintf("%s %d", i.Op, i.Imm)
+	case FmtCodeword:
+		return fmt.Sprintf("%s %d, %d, %d, #%d", i.Op, uint8(i.RS), uint8(i.RT), uint8(i.RD), i.Imm)
+	}
+	return fmt.Sprintf("%s <bad format>", i.Op)
+}
+
+// Nop returns the canonical EVR no-op (bis zero, zero, zero).
+func Nop() Inst {
+	return Inst{Op: OpBIS, RS: RegZero, RT: RegZero, RD: RegZero}
+}
+
+// IsNop reports whether i has no architectural effect. The simulator, like
+// the paper's, "extracts nops from both the dynamic instruction stream and
+// the static image".
+func (i Inst) IsNop() bool {
+	switch i.Op {
+	case OpBIS, OpADDQ, OpXOR:
+		return i.RD == RegZero
+	case OpBISI, OpADDQI, OpLDA:
+		return i.Op.Format() != FmtMem && i.RD == RegZero
+	}
+	if i.Op == OpLDA && i.RD == RegZero {
+		return true
+	}
+	return false
+}
+
+// Codeword constructs a decoded DISE codeword instruction with the given
+// reserved opcode, three 5-bit parameters, and 11-bit replacement sequence
+// tag (paper §2.1, "Explicit tagging").
+func Codeword(op Opcode, p1, p2, p3 uint8, tag uint16) Inst {
+	return Inst{Op: op, RS: Reg(p1 & 0x1f), RT: Reg(p2 & 0x1f), RD: Reg(p3 & 0x1f), Imm: int64(tag & 0x7ff)}
+}

@@ -1,0 +1,307 @@
+// Package isa defines EVR, a 64-bit Alpha-like RISC instruction set used as
+// the target architecture for the DISE reproduction. EVR has fixed 32-bit
+// instruction words, 32 general-purpose registers, and a small set of
+// reserved opcodes whose instances ("codewords") never occur naturally and
+// are available to aware DISE application customization functions.
+//
+// The package provides the instruction representation shared by the
+// assembler, the functional emulator, the cycle-level pipeline model, and
+// the DISE engine: opcodes and opcode classes, register names (including the
+// DISE dedicated registers that are representable only in decoded form, not
+// in machine words), and binary encoding/decoding.
+package isa
+
+import "fmt"
+
+// Opcode identifies an EVR operation.
+type Opcode uint8
+
+// Opcodes. The numeric values are the 6-bit primary opcode field of the
+// machine encoding.
+const (
+	OpInvalid Opcode = iota
+
+	// Memory format: op rd, disp16(rs)
+	OpLDQ  // rd = mem64[rs+disp]
+	OpLDL  // rd = sext32(mem32[rs+disp])
+	OpSTQ  // mem64[rs+disp] = rt
+	OpSTL  // mem32[rs+disp] = low32(rt)
+	OpLDA  // rd = rs + disp
+	OpLDAH // rd = rs + disp<<16
+
+	// Branch format: op rs, disp21 (PC-relative, in words)
+	OpBR  // rd = PC+4; PC += 4 + disp*4 (rd in RS slot)
+	OpBSR // call: rd = PC+4; PC += 4 + disp*4
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBLE
+	OpBGT
+	OpBGE
+
+	// Jump format: op rd, (rs)
+	OpJMP // rd = PC+4; PC = rs &^ 3
+	OpJSR // call through register
+	OpRET // return through register
+
+	// Conditional jump format: op rc, (rs) — jump to rs if rc ==/!= 0.
+	// Provided for DISE replacement sequences that must conditionally
+	// escape to a handler whose address lives in a (dedicated) register,
+	// e.g. memory fault isolation's error exit (paper Figure 1).
+	OpJEQ
+	OpJNE
+
+	// Operate register format: op rs, rt, rd
+	OpADDQ
+	OpSUBQ
+	OpMULQ
+	OpAND
+	OpBIS // logical OR ("bit set")
+	OpXOR
+	OpSLL
+	OpSRL
+	OpSRA
+	OpCMPEQ
+	OpCMPLT
+	OpCMPLE
+	OpCMPULT
+	OpCMPULE
+
+	// Operate immediate format: op rs, imm16, rd
+	OpADDQI
+	OpSUBQI
+	OpMULQI
+	OpANDI
+	OpBISI
+	OpXORI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpCMPEQI
+	OpCMPLTI
+	OpCMPULTI
+
+	// Special format: op code26
+	OpHALT
+	OpSYS // lightweight "system call": code selects a host service
+
+	// Reserved opcodes for DISE codewords. Format: op p1, p2, p3, tag11.
+	// These never occur in natural code; aware ACFs plant them.
+	OpRES0
+	OpRES1
+	OpRES2
+	OpRES3
+
+	numOpcodes
+)
+
+// NumOpcodes is the number of defined opcodes (including OpInvalid).
+const NumOpcodes = int(numOpcodes)
+
+// Class is a coarse opcode category. DISE pattern specifications may match
+// on classes ("all stores") as well as exact opcodes.
+type Class uint8
+
+// Opcode classes.
+const (
+	ClassInvalid Class = iota
+	ClassLoad
+	ClassStore
+	ClassCondBr
+	ClassUncondBr // BR, BSR
+	ClassJump     // JMP, JSR, RET (indirect control)
+	ClassIntOp    // register-register and register-immediate ALU ops
+	ClassSpecial  // HALT, SYS
+	ClassCodeword // reserved opcodes
+	NumClasses
+)
+
+// Format describes the field layout of an opcode's machine encoding.
+type Format uint8
+
+// Instruction formats.
+const (
+	FmtInvalid  Format = iota
+	FmtMem             // op(6) ra(5) rb(5) disp16: ra=RD for loads/LDA, ra=RT(value) for stores
+	FmtBranch          // op(6) ra(5) disp21
+	FmtJump            // op(6) rd(5) rs(5) hint16
+	FmtJumpCond        // op(6) rc(5) rs(5) pad16: rc = condition (RT slot)
+	FmtOpReg           // op(6) rs(5) rt(5) rd(5) func11
+	FmtOpImm           // op(6) rs(5) rd(5) imm16
+	FmtSpecial         // op(6) code26
+	FmtCodeword        // op(6) p1(5) p2(5) p3(5) tag11
+)
+
+type opInfo struct {
+	name   string
+	class  Class
+	format Format
+}
+
+var opTable = [numOpcodes]opInfo{
+	OpInvalid: {"invalid", ClassInvalid, FmtInvalid},
+
+	OpLDQ:  {"ldq", ClassLoad, FmtMem},
+	OpLDL:  {"ldl", ClassLoad, FmtMem},
+	OpSTQ:  {"stq", ClassStore, FmtMem},
+	OpSTL:  {"stl", ClassStore, FmtMem},
+	OpLDA:  {"lda", ClassIntOp, FmtMem},
+	OpLDAH: {"ldah", ClassIntOp, FmtMem},
+
+	OpBR:  {"br", ClassUncondBr, FmtBranch},
+	OpBSR: {"bsr", ClassUncondBr, FmtBranch},
+	OpBEQ: {"beq", ClassCondBr, FmtBranch},
+	OpBNE: {"bne", ClassCondBr, FmtBranch},
+	OpBLT: {"blt", ClassCondBr, FmtBranch},
+	OpBLE: {"ble", ClassCondBr, FmtBranch},
+	OpBGT: {"bgt", ClassCondBr, FmtBranch},
+	OpBGE: {"bge", ClassCondBr, FmtBranch},
+
+	OpJMP: {"jmp", ClassJump, FmtJump},
+	OpJSR: {"jsr", ClassJump, FmtJump},
+	OpRET: {"ret", ClassJump, FmtJump},
+	OpJEQ: {"jeq", ClassJump, FmtJumpCond},
+	OpJNE: {"jne", ClassJump, FmtJumpCond},
+
+	OpADDQ:   {"addq", ClassIntOp, FmtOpReg},
+	OpSUBQ:   {"subq", ClassIntOp, FmtOpReg},
+	OpMULQ:   {"mulq", ClassIntOp, FmtOpReg},
+	OpAND:    {"and", ClassIntOp, FmtOpReg},
+	OpBIS:    {"bis", ClassIntOp, FmtOpReg},
+	OpXOR:    {"xor", ClassIntOp, FmtOpReg},
+	OpSLL:    {"sll", ClassIntOp, FmtOpReg},
+	OpSRL:    {"srl", ClassIntOp, FmtOpReg},
+	OpSRA:    {"sra", ClassIntOp, FmtOpReg},
+	OpCMPEQ:  {"cmpeq", ClassIntOp, FmtOpReg},
+	OpCMPLT:  {"cmplt", ClassIntOp, FmtOpReg},
+	OpCMPLE:  {"cmple", ClassIntOp, FmtOpReg},
+	OpCMPULT: {"cmpult", ClassIntOp, FmtOpReg},
+	OpCMPULE: {"cmpule", ClassIntOp, FmtOpReg},
+
+	OpADDQI:   {"addqi", ClassIntOp, FmtOpImm},
+	OpSUBQI:   {"subqi", ClassIntOp, FmtOpImm},
+	OpMULQI:   {"mulqi", ClassIntOp, FmtOpImm},
+	OpANDI:    {"andi", ClassIntOp, FmtOpImm},
+	OpBISI:    {"bisi", ClassIntOp, FmtOpImm},
+	OpXORI:    {"xori", ClassIntOp, FmtOpImm},
+	OpSLLI:    {"slli", ClassIntOp, FmtOpImm},
+	OpSRLI:    {"srli", ClassIntOp, FmtOpImm},
+	OpSRAI:    {"srai", ClassIntOp, FmtOpImm},
+	OpCMPEQI:  {"cmpeqi", ClassIntOp, FmtOpImm},
+	OpCMPLTI:  {"cmplti", ClassIntOp, FmtOpImm},
+	OpCMPULTI: {"cmpulti", ClassIntOp, FmtOpImm},
+
+	OpHALT: {"halt", ClassSpecial, FmtSpecial},
+	OpSYS:  {"sys", ClassSpecial, FmtSpecial},
+
+	OpRES0: {"res0", ClassCodeword, FmtCodeword},
+	OpRES1: {"res1", ClassCodeword, FmtCodeword},
+	OpRES2: {"res2", ClassCodeword, FmtCodeword},
+	OpRES3: {"res3", ClassCodeword, FmtCodeword},
+}
+
+// String returns the assembler mnemonic for op.
+func (op Opcode) String() string {
+	if int(op) >= len(opTable) {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Class returns the opcode class of op.
+func (op Opcode) Class() Class {
+	if int(op) >= len(opTable) {
+		return ClassInvalid
+	}
+	return opTable[op].class
+}
+
+// Format returns the encoding format of op.
+func (op Opcode) Format() Format {
+	if int(op) >= len(opTable) {
+		return FmtInvalid
+	}
+	return opTable[op].format
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool {
+	return op > OpInvalid && op < numOpcodes
+}
+
+// IsBranch reports whether op is any PC-relative branch (conditional or not).
+func (op Opcode) IsBranch() bool {
+	c := op.Class()
+	return c == ClassCondBr || c == ClassUncondBr
+}
+
+// IsControl reports whether op changes the PC (branch, jump, call, return).
+func (op Opcode) IsControl() bool {
+	c := op.Class()
+	return c == ClassCondBr || c == ClassUncondBr || c == ClassJump
+}
+
+// IsMem reports whether op accesses data memory.
+func (op Opcode) IsMem() bool {
+	c := op.Class()
+	return c == ClassLoad || c == ClassStore
+}
+
+var classNames = [NumClasses]string{
+	ClassInvalid:  "invalid",
+	ClassLoad:     "load",
+	ClassStore:    "store",
+	ClassCondBr:   "condbr",
+	ClassUncondBr: "ubr",
+	ClassJump:     "jump",
+	ClassIntOp:    "intop",
+	ClassSpecial:  "special",
+	ClassCodeword: "codeword",
+}
+
+// String returns the name of the class as used by the production language
+// (e.g. "store" in "T.OPCLASS == store").
+func (c Class) String() string {
+	if int(c) >= len(classNames) {
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+	return classNames[c]
+}
+
+// ClassByName maps a production-language class name to its Class. It returns
+// ClassInvalid for unknown names.
+func ClassByName(name string) Class {
+	for c, n := range classNames {
+		if n == name && Class(c) != ClassInvalid {
+			return Class(c)
+		}
+	}
+	return ClassInvalid
+}
+
+// OpcodeByName maps an assembler mnemonic to its Opcode. It returns
+// OpInvalid for unknown mnemonics.
+func OpcodeByName(name string) Opcode {
+	for op, info := range opTable {
+		if info.name == name && Opcode(op) != OpInvalid {
+			return Opcode(op)
+		}
+	}
+	return OpInvalid
+}
+
+// Opcodes returns all defined opcodes in numeric order, excluding OpInvalid.
+func Opcodes() []Opcode {
+	ops := make([]Opcode, 0, int(numOpcodes)-1)
+	for op := OpInvalid + 1; op < numOpcodes; op++ {
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// SYS service codes (the 26-bit code field of OpSYS).
+const (
+	SysPutChar = 1 // print low byte of r1 to the emulator's output
+	SysPutInt  = 2 // print r1 as a decimal integer
+	SysError   = 3 // abort execution: an ACF detected a violation
+)

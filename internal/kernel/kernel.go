@@ -1,0 +1,223 @@
+// Package kernel models the OS layer of the DISE system architecture
+// (paper §2.3): virtualization of the resident production set across
+// context switches, preservation of per-process DISE state (dedicated
+// registers and active productions; the PT/RT fault their contents back
+// in), and the two-tier security model — kernel-approved productions that
+// may act on any process, and user productions confined to their owner.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Errors reported by the kernel.
+var (
+	// ErrNotApproved is returned when an unapproved ACF asks for
+	// system-wide scope.
+	ErrNotApproved = errors.New("kernel: production set not approved for system scope")
+	// ErrNoProcess is returned for operations on unknown PIDs.
+	ErrNoProcess = errors.New("kernel: no such process")
+)
+
+// Scope says which processes an installed ACF applies to.
+type Scope int
+
+// ACF scopes.
+const (
+	// ScopeProcess confines the ACF to the installing process: its
+	// productions are deactivated whenever that process is switched out
+	// (the default for productions living in user data space).
+	ScopeProcess Scope = iota
+	// ScopeSystem applies the ACF to every process. Requires kernel
+	// approval: these productions live in kernel space (paper §2.3,
+	// "inspection and approval").
+	ScopeSystem
+)
+
+// ACF is a production set submitted for installation.
+type ACF struct {
+	Name  string
+	Src   string                         // production-language text
+	Dicts map[string][]*core.Replacement // dictionaries for aware productions
+	// Setup initializes dedicated registers when the ACF is (re)attached
+	// to a process.
+	Setup func(*emu.Machine)
+}
+
+// Approver is the kernel's ACF inspection policy.
+type Approver func(acf *ACF) bool
+
+// ApproveTransparentOnly is a reasonable default policy: system scope is
+// granted only to production sets with no aware (codeword) productions —
+// transparent utilities with a system flavor, as the paper suggests.
+func ApproveTransparentOnly(acf *ACF) bool {
+	parsed, err := core.ParseProductions(acf.Src)
+	if err != nil {
+		return false
+	}
+	for _, p := range parsed {
+		if p.Aware {
+			return false
+		}
+	}
+	return true
+}
+
+type installed struct {
+	acf   *ACF
+	scope Scope
+	owner int // PID for ScopeProcess
+	prods []*core.Production
+}
+
+// Process is one schedulable machine with its saved DISE state.
+type Process struct {
+	PID     int
+	Machine *emu.Machine
+
+	// Saved across context switches: the dedicated register file and the
+	// DISEPC are part of the process state (paper §2.3). Dedicated
+	// registers are read out of the machine at switch-out; the machine
+	// itself preserves any in-flight replacement sequence, standing in for
+	// the saved PC:DISEPC pair.
+	dedicated [isa.NumDiseRegs]uint64
+}
+
+// Kernel multiplexes one DISE controller among processes.
+type Kernel struct {
+	ctrl    *core.Controller
+	approve Approver
+
+	procs   map[int]*Process
+	nextPID int
+	current int // running PID, 0 = none
+
+	installs []*installed
+}
+
+// New creates a kernel over a controller. A nil approver rejects all
+// system-scope requests.
+func New(ctrl *core.Controller, approve Approver) *Kernel {
+	if approve == nil {
+		approve = func(*ACF) bool { return false }
+	}
+	return &Kernel{ctrl: ctrl, approve: approve, procs: map[int]*Process{}, nextPID: 1}
+}
+
+// Controller returns the kernel's controller (for inspection).
+func (k *Kernel) Controller() *core.Controller { return k.ctrl }
+
+// Spawn creates a process running prog. The machine's expander is wired to
+// the kernel's engine.
+func (k *Kernel) Spawn(prog *program.Program) *Process {
+	p := &Process{PID: k.nextPID, Machine: emu.New(prog)}
+	k.nextPID++
+	p.Machine.SetExpander(k.ctrl.Engine())
+	k.procs[p.PID] = p
+	return p
+}
+
+// Install submits an ACF. System scope must pass the approval policy;
+// process scope installs are always accepted and bound to pid.
+func (k *Kernel) Install(acf *ACF, scope Scope, pid int) error {
+	if scope == ScopeSystem {
+		if !k.approve(acf) {
+			return fmt.Errorf("%w: %s", ErrNotApproved, acf.Name)
+		}
+	} else if _, ok := k.procs[pid]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoProcess, pid)
+	}
+	inst := &installed{acf: acf, scope: scope, owner: pid}
+	k.installs = append(k.installs, inst)
+	// If the affected process is currently running, activate immediately.
+	if scope == ScopeSystem || pid == k.current {
+		if err := k.activate(inst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (k *Kernel) activate(inst *installed) error {
+	if inst.prods != nil {
+		for _, p := range inst.prods {
+			k.ctrl.Activate(p)
+		}
+		return nil
+	}
+	prods, err := k.ctrl.InstallFile(inst.acf.Src, inst.acf.Dicts)
+	if err != nil {
+		return fmt.Errorf("kernel: installing %s: %w", inst.acf.Name, err)
+	}
+	inst.prods = prods
+	return nil
+}
+
+func (k *Kernel) deactivate(inst *installed) {
+	for _, p := range inst.prods {
+		k.ctrl.Deactivate(p)
+	}
+}
+
+// Switch performs a context switch to pid: the outgoing process's dedicated
+// registers are saved and its user-scope productions deactivated; the
+// incoming process's state is restored and its productions (plus all
+// system-scope productions) activated. The PT and RT contents are left to
+// fault back in, as on real hardware.
+func (k *Kernel) Switch(pid int) error {
+	next, ok := k.procs[pid]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoProcess, pid)
+	}
+	if cur, ok := k.procs[k.current]; ok {
+		for i := 0; i < isa.NumDiseRegs; i++ {
+			cur.dedicated[i] = cur.Machine.Reg(isa.RegDR0 + isa.Reg(i))
+		}
+		for _, inst := range k.installs {
+			if inst.scope == ScopeProcess && inst.owner == k.current {
+				k.deactivate(inst)
+			}
+		}
+	}
+	k.current = pid
+	for i := 0; i < isa.NumDiseRegs; i++ {
+		next.Machine.SetReg(isa.RegDR0+isa.Reg(i), next.dedicated[i])
+	}
+	for _, inst := range k.installs {
+		if inst.scope == ScopeSystem || (inst.scope == ScopeProcess && inst.owner == pid) {
+			if err := k.activate(inst); err != nil {
+				return err
+			}
+		}
+		if inst.acf.Setup != nil && (inst.scope == ScopeSystem || inst.owner == pid) {
+			inst.acf.Setup(next.Machine)
+		}
+	}
+	return nil
+}
+
+// RunSlice runs the current process for up to n dynamic instructions,
+// returning the executed count. The process may halt earlier.
+func (k *Kernel) RunSlice(n int64) (int64, error) {
+	p, ok := k.procs[k.current]
+	if !ok {
+		return 0, fmt.Errorf("%w: no process running", ErrNoProcess)
+	}
+	var executed int64
+	for executed < n && !p.Machine.Done() {
+		if _, ok := p.Machine.Step(); !ok {
+			break
+		}
+		executed++
+	}
+	return executed, p.Machine.Err()
+}
+
+// Current returns the running process, or nil.
+func (k *Kernel) Current() *Process { return k.procs[k.current] }

@@ -1,0 +1,198 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/acf/mfi"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+const counterSrc = `
+.entry main
+.data
+x: .space 64
+.text
+main:
+    la r1, x
+    li r2, 100
+loop:
+    stq r2, 0(r1)
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`
+
+// storeCounter counts stores in $dr0.
+var storeCounter = &ACF{
+	Name: "count",
+	Src: `
+prod count {
+    match class == store
+    replace {
+        lda $dr0, 1($dr0)
+        %insn
+    }
+}
+`,
+}
+
+func newKernel() *Kernel {
+	return New(core.NewController(core.DefaultEngineConfig()), ApproveTransparentOnly)
+}
+
+func TestProcessScopeConfined(t *testing.T) {
+	k := newKernel()
+	p1 := k.Spawn(asm.MustAssemble("p1", counterSrc))
+	p2 := k.Spawn(asm.MustAssemble("p2", counterSrc))
+
+	if err := k.Switch(p1.PID); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Install(storeCounter, ScopeProcess, p1.PID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.RunSlice(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := p1.Machine.Reg(isa.RegDR0); got != 100 {
+		t.Errorf("p1 counted %d stores, want 100", got)
+	}
+
+	// p2 runs without the ACF: its productions were deactivated at switch.
+	if err := k.Switch(p2.PID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.RunSlice(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := p2.Machine.Reg(isa.RegDR0); got != 0 {
+		t.Errorf("p2 saw the user-scope ACF: counter = %d", got)
+	}
+}
+
+func TestSystemScopeAppliesEverywhere(t *testing.T) {
+	k := newKernel()
+	p1 := k.Spawn(asm.MustAssemble("p1", counterSrc))
+	p2 := k.Spawn(asm.MustAssemble("p2", counterSrc))
+	if err := k.Install(storeCounter, ScopeSystem, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []*Process{p1, p2} {
+		if err := k.Switch(p.PID); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.RunSlice(1 << 20); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Machine.Reg(isa.RegDR0); got != 100 {
+			t.Errorf("pid %d counted %d stores, want 100", p.PID, got)
+		}
+	}
+}
+
+func TestApprovalPolicy(t *testing.T) {
+	k := newKernel()
+	aware := &ACF{
+		Name: "decomp",
+		Src:  "aware decomp {\n match op == res0\n}",
+		Dicts: map[string][]*core.Replacement{
+			"decomp": {{Name: "e", Insts: []core.ReplInst{core.FromLiteral(isa.Nop())}}},
+		},
+	}
+	err := k.Install(aware, ScopeSystem, 0)
+	if !errors.Is(err, ErrNotApproved) {
+		t.Errorf("aware ACF at system scope should be rejected, got %v", err)
+	}
+	// The same ACF is fine confined to its own process.
+	p := k.Spawn(asm.MustAssemble("p", counterSrc))
+	if err := k.Switch(p.PID); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Install(aware, ScopeProcess, p.PID); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDedicatedRegistersPerProcess(t *testing.T) {
+	// Interleaved time slices: each process's $dr0 counter must be private
+	// even though both run on the same physical engine.
+	k := newKernel()
+	p1 := k.Spawn(asm.MustAssemble("p1", counterSrc))
+	p2 := k.Spawn(asm.MustAssemble("p2", counterSrc))
+	if err := k.Install(storeCounter, ScopeSystem, 0); err != nil {
+		t.Fatal(err)
+	}
+	for !p1.Machine.Done() || !p2.Machine.Done() {
+		for _, p := range []*Process{p1, p2} {
+			if p.Machine.Done() {
+				continue
+			}
+			if err := k.Switch(p.PID); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := k.RunSlice(37); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Counters live in the saved per-process state now; re-attach to read.
+	for _, p := range []*Process{p1, p2} {
+		if err := k.Switch(p.PID); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.Machine.Reg(isa.RegDR0); got != 100 {
+			t.Errorf("pid %d counter = %d, want 100 (state leaked across switches)", p.PID, got)
+		}
+	}
+}
+
+func TestMFIAsSystemUtility(t *testing.T) {
+	// The paper's motivating case: fault isolation supplied by the OS
+	// vendor, approved, applied to every process.
+	k := newKernel()
+	mfiACF := &ACF{Name: "mfi", Src: mfi.Productions(mfi.DISE3), Setup: mfi.Setup}
+	if err := k.Install(mfiACF, ScopeSystem, 0); err != nil {
+		t.Fatal(err)
+	}
+	good := k.Spawn(asm.MustAssemble("good", counterSrc))
+	evil := k.Spawn(asm.MustAssemble("evil", `
+.entry main
+main:
+    li r1, 1
+    li r2, 4096
+    stq r1, 0(r2)
+    halt
+`))
+	if err := k.Switch(good.PID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.RunSlice(1 << 20); err != nil {
+		t.Fatalf("good process must run clean: %v", err)
+	}
+	if err := k.Switch(evil.PID); err != nil {
+		t.Fatal(err)
+	}
+	_, err := k.RunSlice(1 << 20)
+	if !errors.Is(err, emu.ErrACFViolation) {
+		t.Errorf("evil process should be caught, got %v", err)
+	}
+	_ = program.SegData
+}
+
+func TestSwitchErrors(t *testing.T) {
+	k := newKernel()
+	if err := k.Switch(99); !errors.Is(err, ErrNoProcess) {
+		t.Errorf("switch to unknown pid: %v", err)
+	}
+	if _, err := k.RunSlice(10); !errors.Is(err, ErrNoProcess) {
+		t.Errorf("run without process: %v", err)
+	}
+	if err := k.Install(storeCounter, ScopeProcess, 42); !errors.Is(err, ErrNoProcess) {
+		t.Errorf("install for unknown pid: %v", err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package mem models the on-chip memory hierarchy: set-associative LRU
+// caches with configurable geometry, composed into the split-L1 / unified-L2
+// hierarchy the paper simulates (32KB I, 32KB D, 1MB L2). The instruction
+// cache is accessed at byte granularity so that compressed images — 2-byte
+// dedicated codewords in particular — genuinely improve line utilization.
+package mem
+
+import "fmt"
+
+// CacheConfig describes one cache.
+type CacheConfig struct {
+	Name     string
+	Size     int  // total bytes; 0 with Perfect set means "always hits"
+	LineSize int  // bytes per line
+	Assoc    int  // ways per set
+	Perfect  bool // model an infinite cache (the paper's "perfect" points)
+}
+
+// Validate checks the geometry.
+func (c *CacheConfig) Validate() error {
+	if c.Perfect {
+		return nil
+	}
+	if c.LineSize <= 0 || c.Size <= 0 || c.Assoc <= 0 {
+		return fmt.Errorf("mem: cache %s: bad geometry %+v", c.Name, *c)
+	}
+	sets := c.Size / (c.LineSize * c.Assoc)
+	if sets <= 0 || c.Size%(c.LineSize*c.Assoc) != 0 {
+		return fmt.Errorf("mem: cache %s: size %d not divisible into %d-byte %d-way sets",
+			c.Name, c.Size, c.LineSize, c.Assoc)
+	}
+	return nil
+}
+
+// CacheStats counts accesses.
+type CacheStats struct {
+	Accesses int64
+	Misses   int64
+}
+
+// MissRate returns misses per access.
+func (s *CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type cacheLine struct {
+	valid bool
+	tag   uint64
+	lru   int64
+}
+
+// Cache is a set-associative LRU cache (tags only; data is never stored —
+// the functional simulator owns values).
+type Cache struct {
+	cfg   CacheConfig
+	sets  [][]cacheLine
+	clock int64
+
+	Stats CacheStats
+}
+
+// NewCache builds a cache; it panics on invalid geometry (configuration is
+// programmer error, not runtime input).
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg}
+	if !cfg.Perfect {
+		n := cfg.Size / (cfg.LineSize * cfg.Assoc)
+		c.sets = make([][]cacheLine, n)
+		for i := range c.sets {
+			c.sets[i] = make([]cacheLine, cfg.Assoc)
+		}
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access looks up addr, filling on miss. It returns true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Stats.Accesses++
+	if c.cfg.Perfect {
+		return true
+	}
+	c.clock++
+	tag := addr / uint64(c.cfg.LineSize)
+	set := c.sets[tag%uint64(len(c.sets))]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.clock
+			return true
+		}
+	}
+	c.Stats.Misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = cacheLine{valid: true, tag: tag, lru: c.clock}
+	return false
+}
+
+// AccessRange looks up every line covering [addr, addr+size). It returns the
+// number of misses (a fetch spanning a line boundary can miss twice).
+func (c *Cache) AccessRange(addr uint64, size int) int {
+	if size <= 0 {
+		size = 1
+	}
+	if c.cfg.Perfect {
+		c.Stats.Accesses++
+		return 0
+	}
+	misses := 0
+	first := addr / uint64(c.cfg.LineSize)
+	last := (addr + uint64(size) - 1) / uint64(c.cfg.LineSize)
+	for line := first; line <= last; line++ {
+		if !c.Access(line * uint64(c.cfg.LineSize)) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// Flush invalidates all lines (statistics are preserved).
+func (c *Cache) Flush() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = cacheLine{}
+		}
+	}
+}
+
+// Hierarchy is the two-level hierarchy of the paper's simulator: split L1
+// instruction/data caches over a unified L2 over main memory.
+type Hierarchy struct {
+	IL1, DL1, L2 *Cache
+
+	L1Latency  int // cycles for an L1 hit beyond the pipelined access
+	L2Latency  int // additional cycles for an L1 miss / L2 hit
+	MemLatency int // additional cycles for an L2 miss
+}
+
+// HierarchyConfig configures a Hierarchy.
+type HierarchyConfig struct {
+	IL1, DL1, L2 CacheConfig
+	L1Latency    int
+	L2Latency    int
+	MemLatency   int
+}
+
+// DefaultHierarchyConfig is the paper's memory system: 32KB 2-way L1s with
+// 64B lines, a 1MB 4-way unified L2.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		IL1:        CacheConfig{Name: "il1", Size: 32 << 10, LineSize: 64, Assoc: 2},
+		DL1:        CacheConfig{Name: "dl1", Size: 32 << 10, LineSize: 64, Assoc: 2},
+		L2:         CacheConfig{Name: "l2", Size: 1 << 20, LineSize: 128, Assoc: 4},
+		L1Latency:  1,
+		L2Latency:  12,
+		MemLatency: 100,
+	}
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		IL1:        NewCache(cfg.IL1),
+		DL1:        NewCache(cfg.DL1),
+		L2:         NewCache(cfg.L2),
+		L1Latency:  cfg.L1Latency,
+		L2Latency:  cfg.L2Latency,
+		MemLatency: cfg.MemLatency,
+	}
+}
+
+// FetchLatency performs an instruction fetch of size bytes at addr and
+// returns the added latency beyond a pipelined L1 hit (0 on full hit).
+func (h *Hierarchy) FetchLatency(addr uint64, size int) int {
+	misses := h.IL1.AccessRange(addr, size)
+	if misses == 0 {
+		return 0
+	}
+	lat := 0
+	for i := 0; i < misses; i++ {
+		if h.L2.Access(addr) {
+			lat += h.L2Latency
+		} else {
+			lat += h.L2Latency + h.MemLatency
+		}
+	}
+	return lat
+}
+
+// DataLatency performs a data access at addr and returns its total latency
+// in cycles (L1Latency on a hit).
+func (h *Hierarchy) DataLatency(addr uint64) int {
+	if h.DL1.Access(addr) {
+		return h.L1Latency
+	}
+	if h.L2.Access(addr) {
+		return h.L1Latency + h.L2Latency
+	}
+	return h.L1Latency + h.L2Latency + h.MemLatency
+}

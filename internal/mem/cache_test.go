@@ -1,0 +1,174 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallCache() *Cache {
+	// 4 sets x 2 ways x 16B lines = 128 bytes.
+	return NewCache(CacheConfig{Name: "t", Size: 128, LineSize: 16, Assoc: 2})
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := smallCache()
+	if c.Access(0x100) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(0x100) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(0x10f) {
+		t.Error("same line should hit")
+	}
+	if c.Access(0x110) {
+		t.Error("next line should miss")
+	}
+	if c.Stats.Accesses != 4 || c.Stats.Misses != 2 {
+		t.Errorf("stats = %+v", c.Stats)
+	}
+}
+
+func TestAssociativityAndLRU(t *testing.T) {
+	c := smallCache()
+	// Three lines mapping to the same set (stride = sets*line = 64).
+	a, b, d := uint64(0), uint64(64), uint64(128)
+	c.Access(a)
+	c.Access(b)
+	if !c.Access(a) || !c.Access(b) {
+		t.Fatal("two-way set should hold two lines")
+	}
+	c.Access(d) // evicts LRU = a
+	if c.Access(a) {
+		t.Error("a should have been evicted")
+	}
+	// Now a evicted b (LRU after d touched), i.e. b misses.
+	if c.Access(b) {
+		t.Error("b should have been evicted by a's refill")
+	}
+}
+
+func TestPerfectCacheNeverMisses(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "p", Perfect: true})
+	for i := 0; i < 1000; i++ {
+		if !c.Access(uint64(i) * 4096) {
+			t.Fatal("perfect cache missed")
+		}
+	}
+	if c.Stats.Misses != 0 {
+		t.Error("perfect cache recorded misses")
+	}
+}
+
+func TestAccessRangeSpanning(t *testing.T) {
+	c := smallCache()
+	// A 4-byte access straddling a 16-byte boundary touches two lines.
+	if got := c.AccessRange(14, 4); got != 2 {
+		t.Errorf("straddling cold access misses = %d, want 2", got)
+	}
+	if got := c.AccessRange(14, 4); got != 0 {
+		t.Errorf("straddling warm access misses = %d, want 0", got)
+	}
+	if got := c.AccessRange(32, 2); got != 1 {
+		t.Errorf("contained cold access misses = %d, want 1", got)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := smallCache()
+	c.Access(0)
+	c.Flush()
+	if c.Access(0) {
+		t.Error("flushed line should miss")
+	}
+}
+
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	bad := []CacheConfig{
+		{Name: "b1", Size: 100, LineSize: 16, Assoc: 2}, // not divisible
+		{Name: "b2", Size: 0, LineSize: 16, Assoc: 1},
+		{Name: "b3", Size: 128, LineSize: 0, Assoc: 1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", cfg)
+		}
+	}
+	good := CacheConfig{Name: "g", Size: 32 << 10, LineSize: 64, Assoc: 2}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkingSetFitsProperty(t *testing.T) {
+	// Any working set no larger than the cache, walked repeatedly with
+	// line-stride accesses, incurs only cold misses.
+	f := func(nLines uint8) bool {
+		n := int(nLines)%8 + 1 // 1..8 lines, cache holds 8
+		c := smallCache()
+		for pass := 0; pass < 4; pass++ {
+			for i := 0; i < n; i++ {
+				c.Access(uint64(i * 16))
+			}
+		}
+		return c.Stats.Misses == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThrashingWorkingSet(t *testing.T) {
+	// A working set of 3 lines per 2-way set thrashes under LRU.
+	c := smallCache()
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < 3; i++ {
+			c.Access(uint64(i * 64)) // all map to set 0
+		}
+	}
+	if c.Stats.Misses != 30 {
+		t.Errorf("LRU thrash misses = %d, want 30", c.Stats.Misses)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	h := NewHierarchy(cfg)
+	// Cold fetch: IL1 miss + L2 miss.
+	lat := h.FetchLatency(0x1000, 4)
+	if lat != cfg.L2Latency+cfg.MemLatency {
+		t.Errorf("cold fetch latency = %d", lat)
+	}
+	// Warm fetch: hit.
+	if lat := h.FetchLatency(0x1000, 4); lat != 0 {
+		t.Errorf("warm fetch latency = %d", lat)
+	}
+	// IL1 eviction later would hit in L2: force by flushing IL1 only.
+	h.IL1.Flush()
+	if lat := h.FetchLatency(0x1000, 4); lat != cfg.L2Latency {
+		t.Errorf("L2-hit fetch latency = %d", lat)
+	}
+	// Data: cold miss then hit.
+	if lat := h.DataLatency(0x8000_0000); lat != cfg.L1Latency+cfg.L2Latency+cfg.MemLatency {
+		t.Errorf("cold data latency = %d", lat)
+	}
+	if lat := h.DataLatency(0x8000_0000); lat != cfg.L1Latency {
+		t.Errorf("warm data latency = %d", lat)
+	}
+}
+
+func TestByteGranularityFootprint(t *testing.T) {
+	// 2-byte codewords pack twice as many instructions per line: walking N
+	// "instructions" of 2 bytes misses half as often as 4-byte ones.
+	c4 := NewCache(CacheConfig{Name: "a", Size: 1 << 10, LineSize: 64, Assoc: 2})
+	c2 := NewCache(CacheConfig{Name: "b", Size: 1 << 10, LineSize: 64, Assoc: 2})
+	n := 4096
+	for i := 0; i < n; i++ {
+		c4.AccessRange(uint64(i*4), 4)
+		c2.AccessRange(uint64(i*2), 2)
+	}
+	if c2.Stats.Misses*2 != c4.Stats.Misses {
+		t.Errorf("2-byte misses = %d, 4-byte = %d; want exactly half",
+			c2.Stats.Misses, c4.Stats.Misses)
+	}
+}

@@ -1,0 +1,61 @@
+package program
+
+import "repro/internal/isa"
+
+// BasicBlock is a maximal single-entry straight-line region of the text.
+// The compression candidate enumeration only considers sequences that do
+// not straddle basic blocks (paper §3.2).
+type BasicBlock struct {
+	Start int // first unit
+	End   int // one past the last unit
+}
+
+// Len returns the number of units in b.
+func (b BasicBlock) Len() int { return b.End - b.Start }
+
+// BasicBlocks partitions the text into basic blocks. Leaders are: the entry
+// point, every symbol (potential indirect-jump/call target), every branch
+// target, and every instruction following a control transfer.
+func (p *Program) BasicBlocks() []BasicBlock {
+	n := len(p.Text)
+	if n == 0 {
+		return nil
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	if p.Entry < n {
+		leader[p.Entry] = true
+	}
+	for _, u := range p.Symbols {
+		leader[u] = true
+	}
+	for i, in := range p.Text {
+		if in.Op.IsBranch() {
+			if t := p.BranchTargetUnit(i); t >= 0 && t < n {
+				leader[t] = true
+			}
+		}
+		if in.Op.IsControl() && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+	var blocks []BasicBlock
+	start := 0
+	for i := 1; i < n; i++ {
+		if leader[i] {
+			blocks = append(blocks, BasicBlock{Start: start, End: i})
+			start = i
+		}
+	}
+	blocks = append(blocks, BasicBlock{Start: start, End: n})
+	return blocks
+}
+
+// StaticMix counts static instructions per opcode class.
+func (p *Program) StaticMix() map[isa.Class]int {
+	mix := make(map[isa.Class]int)
+	for _, in := range p.Text {
+		mix[in.Op.Class()]++
+	}
+	return mix
+}

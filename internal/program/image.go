@@ -1,0 +1,161 @@
+package program
+
+// The EVRX container: a simple serialized form of a Program, so the tools
+// can pass binaries between each other (assemble once, simulate and
+// compress elsewhere). The container stores the *decoded* unit stream plus
+// per-unit sizes, which also represents compressed images (4-byte DISE
+// codewords, 2-byte dedicated codewords) that have no flat word encoding.
+//
+// Layout (all little-endian):
+//
+//	magic   "EVRX"            4 bytes
+//	version u32               currently 1
+//	entry   u32
+//	nUnits  u32
+//	units   nUnits * 12       op u8, rs u8, rt u8, rd u8, size u8, pad u8[? none] — see below
+//	        (op u8, rs u8, rt u8, rd u8, size u8, pad u8, imm i64 would be 14;
+//	         the actual record is op, rs, rt, rd, size, pad, imm — 14 bytes)
+//	nData   u32, data bytes
+//	nSyms   u32, then per symbol: u16 name length, name, u32 unit
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+const (
+	imageMagic   = "EVRX"
+	imageVersion = 1
+)
+
+// WriteImage serializes p to w.
+func (p *Program) WriteImage(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("program: write image: %w", err)
+	}
+	var b bytes.Buffer
+	b.WriteString(imageMagic)
+	u32 := func(v uint32) { _ = binary.Write(&b, binary.LittleEndian, v) }
+	u32(imageVersion)
+	u32(uint32(p.Entry))
+	u32(uint32(len(p.Text)))
+	for i, in := range p.Text {
+		b.WriteByte(byte(in.Op))
+		b.WriteByte(byte(in.RS))
+		b.WriteByte(byte(in.RT))
+		b.WriteByte(byte(in.RD))
+		b.WriteByte(byte(p.UnitSize(i)))
+		b.WriteByte(0)
+		_ = binary.Write(&b, binary.LittleEndian, in.Imm)
+	}
+	u32(uint32(len(p.Data)))
+	b.Write(p.Data)
+	syms := make([]string, 0, len(p.Symbols))
+	for s := range p.Symbols {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	u32(uint32(len(syms)))
+	for _, s := range syms {
+		if len(s) > 1<<16-1 {
+			return fmt.Errorf("program: symbol %q too long", s[:32])
+		}
+		_ = binary.Write(&b, binary.LittleEndian, uint16(len(s)))
+		b.WriteString(s)
+		u32(uint32(p.Symbols[s]))
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// ReadImage deserializes a Program written by WriteImage.
+func ReadImage(name string, r io.Reader) (*Program, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	br := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != imageMagic {
+		return nil, fmt.Errorf("program: not an EVRX image")
+	}
+	var version, entry, nUnits uint32
+	u32 := func(v *uint32) error { return binary.Read(br, binary.LittleEndian, v) }
+	if err := u32(&version); err != nil {
+		return nil, err
+	}
+	if version != imageVersion {
+		return nil, fmt.Errorf("program: unsupported image version %d", version)
+	}
+	if err := u32(&entry); err != nil {
+		return nil, err
+	}
+	if err := u32(&nUnits); err != nil {
+		return nil, err
+	}
+	if int(nUnits) > br.Len()/14 {
+		return nil, fmt.Errorf("program: truncated image (%d units claimed)", nUnits)
+	}
+	p := &Program{Name: name, Entry: int(entry), Symbols: map[string]int{}}
+	p.Text = make([]isa.Inst, nUnits)
+	sizes := make([]uint8, nUnits)
+	uniform := true
+	for i := range p.Text {
+		var rec [6]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, err
+		}
+		var imm int64
+		if err := binary.Read(br, binary.LittleEndian, &imm); err != nil {
+			return nil, err
+		}
+		p.Text[i] = isa.Inst{Op: isa.Opcode(rec[0]), RS: isa.Reg(rec[1]),
+			RT: isa.Reg(rec[2]), RD: isa.Reg(rec[3]), Imm: imm}
+		sizes[i] = rec[4]
+		if rec[4] != isa.InstBytes {
+			uniform = false
+		}
+	}
+	if !uniform {
+		p.Sizes = sizes
+	}
+	var nData uint32
+	if err := u32(&nData); err != nil {
+		return nil, err
+	}
+	if int(nData) > br.Len() {
+		return nil, fmt.Errorf("program: truncated data segment")
+	}
+	p.Data = make([]byte, nData)
+	if _, err := io.ReadFull(br, p.Data); err != nil {
+		return nil, err
+	}
+	var nSyms uint32
+	if err := u32(&nSyms); err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nSyms); i++ {
+		var n uint16
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		nameBuf := make([]byte, n)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, err
+		}
+		var unit uint32
+		if err := u32(&unit); err != nil {
+			return nil, err
+		}
+		p.Symbols[string(nameBuf)] = int(unit)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("program: corrupt image: %w", err)
+	}
+	return p, nil
+}

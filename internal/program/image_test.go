@@ -1,0 +1,124 @@
+package program
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func imageRoundTrip(t *testing.T, p *Program) *Program {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadImage(p.Name, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	p := mkProg(
+		isa.Inst{Op: isa.OpLDQ, RD: 1, RS: 2, RT: isa.NoReg, Imm: 8},
+		isa.Inst{Op: isa.OpADDQ, RS: 1, RT: 2, RD: 3},
+		isa.Inst{Op: isa.OpBEQ, RS: 3, RT: isa.NoReg, RD: isa.NoReg, Imm: -2},
+		isa.Inst{Op: isa.OpHALT, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg},
+	)
+	p.Entry = 1
+	p.Data = []byte{1, 2, 3, 4, 5}
+	p.Symbols["main"] = 1
+	p.Symbols["loop"] = 0
+
+	q := imageRoundTrip(t, p)
+	if q.Entry != p.Entry || len(q.Text) != len(p.Text) {
+		t.Fatalf("shape mismatch: %+v", q)
+	}
+	for i := range p.Text {
+		if p.Text[i] != q.Text[i] {
+			t.Errorf("unit %d: %v != %v", i, p.Text[i], q.Text[i])
+		}
+	}
+	if !bytes.Equal(p.Data, q.Data) {
+		t.Error("data mismatch")
+	}
+	if q.Symbols["main"] != 1 || q.Symbols["loop"] != 0 {
+		t.Errorf("symbols = %v", q.Symbols)
+	}
+	if q.Sizes != nil {
+		t.Error("uniform image should round-trip with nil Sizes")
+	}
+}
+
+func TestImageRoundTripMixedSizes(t *testing.T) {
+	p := mkProg(
+		isa.Nop(),
+		isa.Codeword(isa.OpRES3, 1, 2, 3, 40),
+		isa.Inst{Op: isa.OpHALT, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg},
+	)
+	p.Sizes = []uint8{4, 2, 4}
+	q := imageRoundTrip(t, p)
+	if q.Sizes == nil || q.UnitSize(1) != 2 {
+		t.Errorf("sizes lost: %v", q.Sizes)
+	}
+	if q.TextBytes() != p.TextBytes() {
+		t.Errorf("TextBytes %d != %d", q.TextBytes(), p.TextBytes())
+	}
+}
+
+func TestImagePreservesDedicatedRegisters(t *testing.T) {
+	// Decoded replacement-like instructions (dedicated registers) have no
+	// word encoding but must survive the container.
+	p := mkProg(
+		isa.Inst{Op: isa.OpADDQ, RS: isa.RegDR0, RT: isa.RegDR0 + 2, RD: isa.RegDR0},
+		isa.Inst{Op: isa.OpHALT, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg},
+	)
+	q := imageRoundTrip(t, p)
+	if q.Text[0].RS != isa.RegDR0 {
+		t.Errorf("dedicated register lost: %v", q.Text[0])
+	}
+}
+
+func TestImageRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"NOPE",
+		"EVRX\x02\x00\x00\x00", // bad version
+	}
+	for _, c := range cases {
+		if _, err := ReadImage("g", strings.NewReader(c)); err == nil {
+			t.Errorf("ReadImage(%q) should fail", c)
+		}
+	}
+	// Claimed unit count exceeding the payload must not allocate/crash.
+	var buf bytes.Buffer
+	buf.WriteString("EVRX")
+	buf.Write([]byte{1, 0, 0, 0})         // version
+	buf.Write([]byte{0, 0, 0, 0})         // entry
+	buf.Write([]byte{255, 255, 255, 255}) // nUnits = 4B
+	if _, err := ReadImage("g", &buf); err == nil {
+		t.Error("oversized unit count should fail")
+	}
+}
+
+func TestImageRejectsCorruptProgram(t *testing.T) {
+	// A structurally valid container holding an invalid program (branch out
+	// of range) must be rejected by validation.
+	p := mkProg(
+		isa.Inst{Op: isa.OpBR, RD: isa.RegZero, RS: isa.NoReg, RT: isa.NoReg, Imm: 0},
+		isa.Inst{Op: isa.OpHALT, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg},
+	)
+	var buf bytes.Buffer
+	if err := p.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Patch the branch displacement (imm at bytes 16+6..) to something wild.
+	raw[16+6] = 0x40
+	if _, err := ReadImage("c", bytes.NewReader(raw)); err == nil {
+		t.Error("corrupt branch target should fail validation")
+	}
+}

@@ -1,0 +1,221 @@
+// Package program defines the executable representation shared by the
+// assembler, rewriters, compressors, emulator and pipeline model: a text
+// segment of decoded instructions laid out in a byte-addressed image, a data
+// segment, and symbols.
+//
+// Control flow is expressed in "units": every static instruction occupies
+// one unit of the text, and branch displacements count units (a unit is one
+// 4-byte instruction word in natural code). Compression replaces multi-unit
+// sequences with single-unit codewords, which — exactly as in the paper —
+// changes the relative distances between branches and their targets, so the
+// compressors must re-resolve every displacement after re-layout. Byte
+// addresses are derived from per-unit sizes: natural instructions and DISE
+// codewords are 4 bytes, while the dedicated-decompressor baseline uses
+// 2-byte codewords, shrinking the image and the I-cache footprint.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// Address-space layout. The high-order bits of an address, from bit SegShift
+// up, are its segment identifier — the quantity the memory-fault-isolation
+// ACF extracts with "srl T.RS, 26, $dr1" (paper Figure 1).
+const (
+	SegShift = 26
+
+	SegText = 1
+	SegData = 2
+
+	TextBase = uint64(SegText) << SegShift
+	DataBase = uint64(SegData) << SegShift
+
+	// The stack lives at the top of the data segment (fault-isolated
+	// modules own a single data segment covering globals and stack, as in
+	// software-based fault isolation), growing down from StackTop.
+	StackTop = DataBase + 56<<20
+)
+
+// Segment returns the segment identifier of an address.
+func Segment(addr uint64) uint64 { return addr >> SegShift }
+
+// Program is an executable image.
+type Program struct {
+	Name  string
+	Entry int // entry point, as a unit index into Text
+
+	// Text is the decoded text segment, one instruction per unit.
+	Text []isa.Inst
+	// Sizes holds the byte size of each unit. A nil Sizes means every unit
+	// is a natural 4-byte instruction word.
+	Sizes []uint8
+
+	// Data is the initialized data segment, loaded at DataBase.
+	Data []byte
+
+	// Symbols maps labels to unit indices.
+	Symbols map[string]int
+
+	addrs []uint64 // lazily built unit index -> byte address
+}
+
+// Clone returns a deep copy of p. Rewriters and compressors operate on
+// clones so baselines and transformed variants can be compared side by side.
+func (p *Program) Clone() *Program {
+	q := &Program{Name: p.Name, Entry: p.Entry}
+	q.Text = append([]isa.Inst(nil), p.Text...)
+	if p.Sizes != nil {
+		q.Sizes = append([]uint8(nil), p.Sizes...)
+	}
+	q.Data = append([]byte(nil), p.Data...)
+	q.Symbols = make(map[string]int, len(p.Symbols))
+	for k, v := range p.Symbols {
+		q.Symbols[k] = v
+	}
+	return q
+}
+
+// NumUnits returns the number of static instruction units.
+func (p *Program) NumUnits() int { return len(p.Text) }
+
+// UnitSize returns the byte size of unit i.
+func (p *Program) UnitSize(i int) int {
+	if p.Sizes == nil {
+		return isa.InstBytes
+	}
+	return int(p.Sizes[i])
+}
+
+// TextBytes returns the total size of the text image in bytes. This is the
+// "compressed text" quantity of Figure 7.
+func (p *Program) TextBytes() int {
+	if p.Sizes == nil {
+		return len(p.Text) * isa.InstBytes
+	}
+	n := 0
+	for _, s := range p.Sizes {
+		n += int(s)
+	}
+	return n
+}
+
+// buildAddrs computes the unit-index -> byte-address table.
+func (p *Program) buildAddrs() {
+	p.addrs = make([]uint64, len(p.Text)+1)
+	a := TextBase
+	for i := range p.Text {
+		p.addrs[i] = a
+		a += uint64(p.UnitSize(i))
+	}
+	p.addrs[len(p.Text)] = a
+}
+
+// Addr returns the byte address of unit i. Addresses are stable for a given
+// layout; call Invalidate after mutating Text or Sizes.
+func (p *Program) Addr(i int) uint64 {
+	if p.addrs == nil || len(p.addrs) != len(p.Text)+1 {
+		p.buildAddrs()
+	}
+	return p.addrs[i]
+}
+
+// UnitAt returns the unit index whose image spans byte address a, or -1.
+// Used to resolve indirect-jump targets, which travel through registers as
+// byte addresses.
+func (p *Program) UnitAt(a uint64) int {
+	if p.addrs == nil || len(p.addrs) != len(p.Text)+1 {
+		p.buildAddrs()
+	}
+	if a < TextBase || a >= p.addrs[len(p.Text)] {
+		return -1
+	}
+	i := sort.Search(len(p.Text), func(i int) bool { return p.addrs[i+1] > a })
+	return i
+}
+
+// Invalidate drops cached layout state after a mutation.
+func (p *Program) Invalidate() { p.addrs = nil }
+
+// BranchTargetUnit returns the target unit of the PC-relative branch at unit
+// i: displacement counts units, relative to the following unit.
+func (p *Program) BranchTargetUnit(i int) int {
+	return i + 1 + int(p.Text[i].Imm)
+}
+
+// SetBranchTarget rewrites the displacement of the branch at unit i to
+// target unit t.
+func (p *Program) SetBranchTarget(i, t int) {
+	p.Text[i].Imm = int64(t - i - 1)
+}
+
+// Validate checks structural invariants: branch targets inside text, entry
+// in range, unit sizes sane. Tools run it after every transformation.
+func (p *Program) Validate() error {
+	if p.Entry < 0 || p.Entry >= len(p.Text) {
+		return fmt.Errorf("program %s: entry %d out of range [0,%d)", p.Name, p.Entry, len(p.Text))
+	}
+	if p.Sizes != nil && len(p.Sizes) != len(p.Text) {
+		return fmt.Errorf("program %s: %d sizes for %d units", p.Name, len(p.Sizes), len(p.Text))
+	}
+	for i, in := range p.Text {
+		if !in.Op.Valid() {
+			return fmt.Errorf("program %s: unit %d: invalid opcode", p.Name, i)
+		}
+		if in.Op.IsBranch() {
+			t := p.BranchTargetUnit(i)
+			if t < 0 || t >= len(p.Text) {
+				return fmt.Errorf("program %s: unit %d (%v): branch target %d out of range", p.Name, i, in, t)
+			}
+		}
+		if p.Sizes != nil {
+			if s := p.Sizes[i]; s != 2 && s != 4 {
+				return fmt.Errorf("program %s: unit %d: bad size %d", p.Name, i, s)
+			}
+		}
+	}
+	for sym, u := range p.Symbols {
+		if u < 0 || u >= len(p.Text) {
+			return fmt.Errorf("program %s: symbol %q out of range", p.Name, sym)
+		}
+	}
+	return nil
+}
+
+// EncodeText packs the text into machine words. It fails for programs whose
+// layout contains 2-byte units (the dedicated-decompressor image is not a
+// sequence of words) or unencodable instructions.
+func (p *Program) EncodeText() ([]uint32, error) {
+	if p.Sizes != nil {
+		for i, s := range p.Sizes {
+			if s != isa.InstBytes {
+				return nil, fmt.Errorf("program %s: unit %d has size %d; image is not word-aligned", p.Name, i, s)
+			}
+		}
+	}
+	words := make([]uint32, len(p.Text))
+	for i, in := range p.Text {
+		w, err := isa.Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("unit %d: %w", i, err)
+		}
+		words[i] = w
+	}
+	return words, nil
+}
+
+// DecodeText builds a Program from machine words.
+func DecodeText(name string, words []uint32, entry int) (*Program, error) {
+	p := &Program{Name: name, Entry: entry, Symbols: map[string]int{}}
+	p.Text = make([]isa.Inst, len(words))
+	for i, w := range words {
+		in, err := isa.Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("word %d: %w", i, err)
+		}
+		p.Text[i] = in
+	}
+	return p, p.Validate()
+}

@@ -1,0 +1,149 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func mkProg(insts ...isa.Inst) *Program {
+	return &Program{Name: "t", Text: insts, Symbols: map[string]int{}}
+}
+
+func TestSegment(t *testing.T) {
+	if Segment(TextBase) != SegText {
+		t.Error("TextBase segment")
+	}
+	if Segment(DataBase+100) != SegData {
+		t.Error("DataBase segment")
+	}
+	if Segment(StackTop-8) != SegData {
+		t.Error("the stack must live inside the data segment")
+	}
+	if Segment(0) == SegData {
+		t.Error("null segment should not be data")
+	}
+}
+
+func TestAddrsUniform(t *testing.T) {
+	p := mkProg(isa.Nop(), isa.Nop(), isa.Nop())
+	if p.Addr(0) != TextBase || p.Addr(2) != TextBase+8 {
+		t.Errorf("addrs: %#x %#x", p.Addr(0), p.Addr(2))
+	}
+	if p.TextBytes() != 12 {
+		t.Errorf("TextBytes = %d", p.TextBytes())
+	}
+}
+
+func TestAddrsMixedSizes(t *testing.T) {
+	p := mkProg(isa.Nop(), isa.Codeword(isa.OpRES3, 0, 0, 0, 1), isa.Nop())
+	p.Sizes = []uint8{4, 2, 4}
+	if p.Addr(1) != TextBase+4 || p.Addr(2) != TextBase+6 {
+		t.Errorf("addrs: %#x %#x", p.Addr(1), p.Addr(2))
+	}
+	if p.TextBytes() != 10 {
+		t.Errorf("TextBytes = %d", p.TextBytes())
+	}
+	// UnitAt must resolve interior byte addresses of a unit to that unit.
+	if got := p.UnitAt(TextBase + 5); got != 1 {
+		t.Errorf("UnitAt(+5) = %d, want 1", got)
+	}
+	if got := p.UnitAt(TextBase + 6); got != 2 {
+		t.Errorf("UnitAt(+6) = %d, want 2", got)
+	}
+	if got := p.UnitAt(TextBase + 10); got != -1 {
+		t.Errorf("UnitAt(end) = %d, want -1", got)
+	}
+	if got := p.UnitAt(0); got != -1 {
+		t.Errorf("UnitAt(0) = %d, want -1", got)
+	}
+}
+
+func TestUnitAtAddrInverse(t *testing.T) {
+	p := mkProg(isa.Nop(), isa.Nop(), isa.Nop(), isa.Nop())
+	p.Sizes = []uint8{4, 2, 2, 4}
+	f := func(idx uint8) bool {
+		i := int(idx) % p.NumUnits()
+		return p.UnitAt(p.Addr(i)) == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchTargetRoundTrip(t *testing.T) {
+	br := isa.Inst{Op: isa.OpBR, RD: isa.RegZero, RS: isa.NoReg, RT: isa.NoReg}
+	p := mkProg(isa.Nop(), br, isa.Nop(), isa.Nop())
+	p.SetBranchTarget(1, 3)
+	if got := p.BranchTargetUnit(1); got != 3 {
+		t.Errorf("target = %d", got)
+	}
+	p.SetBranchTarget(1, 0)
+	if got := p.BranchTargetUnit(1); got != 0 {
+		t.Errorf("backward target = %d", got)
+	}
+	if err := p.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesBadTarget(t *testing.T) {
+	br := isa.Inst{Op: isa.OpBR, RD: isa.RegZero, RS: isa.NoReg, RT: isa.NoReg, Imm: 100}
+	p := mkProg(br, isa.Nop())
+	if err := p.Validate(); err == nil {
+		t.Error("Validate should reject out-of-range branch")
+	}
+}
+
+func TestValidateCatchesBadEntry(t *testing.T) {
+	p := mkProg(isa.Nop())
+	p.Entry = 5
+	if err := p.Validate(); err == nil {
+		t.Error("Validate should reject bad entry")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := mkProg(isa.Nop(), isa.Nop())
+	p.Symbols["a"] = 1
+	p.Data = []byte{1, 2, 3}
+	q := p.Clone()
+	q.Text[0] = isa.Inst{Op: isa.OpHALT}
+	q.Symbols["a"] = 0
+	q.Data[0] = 9
+	if p.Text[0].Op == isa.OpHALT || p.Symbols["a"] != 1 || p.Data[0] != 1 {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestInvalidateRebuildsAddrs(t *testing.T) {
+	p := mkProg(isa.Nop(), isa.Nop())
+	_ = p.Addr(1)
+	p.Text = append(p.Text, isa.Nop())
+	p.Invalidate()
+	if p.Addr(2) != TextBase+8 {
+		t.Errorf("Addr(2) = %#x after invalidate", p.Addr(2))
+	}
+}
+
+func TestEncodeTextRejectsShortUnits(t *testing.T) {
+	p := mkProg(isa.Nop(), isa.Nop())
+	p.Sizes = []uint8{4, 2}
+	if _, err := p.EncodeText(); err == nil {
+		t.Error("EncodeText should reject 2-byte units")
+	}
+}
+
+func TestStaticMix(t *testing.T) {
+	p := mkProg(
+		isa.Inst{Op: isa.OpLDQ, RD: 1, RS: 2, RT: isa.NoReg},
+		isa.Inst{Op: isa.OpSTQ, RT: 1, RS: 2, RD: isa.NoReg},
+		isa.Inst{Op: isa.OpSTQ, RT: 3, RS: 2, RD: isa.NoReg},
+		isa.Nop(),
+	)
+	mix := p.StaticMix()
+	if mix[isa.ClassLoad] != 1 || mix[isa.ClassStore] != 2 || mix[isa.ClassIntOp] != 1 {
+		t.Errorf("mix = %v", mix)
+	}
+}

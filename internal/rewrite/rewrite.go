@@ -1,0 +1,206 @@
+// Package rewrite is the static binary rewriting infrastructure used by the
+// software ACF baselines the paper compares DISE against (§4.1): it inserts
+// instruction sequences before selected instructions, optionally replaces
+// the originals, relocates the text, and re-resolves every branch
+// displacement and symbol. The memory-fault-isolation rewriter itself lives
+// in internal/acf/mfi; this package provides the generic transformation.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// SymRef marks a branch inside inserted code whose displacement must be
+// resolved to a symbol after relocation.
+type SymRef struct {
+	Index  int    // instruction index within the insertion
+	Symbol string // target text symbol
+}
+
+// Insertion describes one edit: Insts are placed immediately before the
+// original unit At; if Replace is non-nil it substitutes the original
+// instruction (e.g. to redirect a checked memory access through a scavenged
+// register). Syms publishes new symbols at offsets within the insertion
+// (e.g. inline trap stations other insertions branch to).
+type Insertion struct {
+	At      int
+	Insts   []isa.Inst
+	Refs    []SymRef
+	Replace *isa.Inst
+	Syms    map[string]int
+}
+
+// Edit is a full rewriting request: per-unit insertions plus appended code
+// (error handlers, stubs) published under new symbols.
+type Edit struct {
+	Insertions []Insertion
+	// Append adds instructions at the end of the text under the given
+	// symbols (offset within the appended block -> symbol name).
+	Append     []isa.Inst
+	AppendSyms map[string]int
+	AppendRefs []SymRef
+	// Prologue is inserted before the entry point (e.g. to initialize the
+	// scavenged segment-identifier register).
+	Prologue []isa.Inst
+}
+
+// Apply rewrites p according to e, returning a new program. The original is
+// not modified.
+func Apply(p *program.Program, e *Edit) (*program.Program, error) {
+	ins := append([]Insertion(nil), e.Insertions...)
+	sort.SliceStable(ins, func(i, j int) bool { return ins[i].At < ins[j].At })
+	for i, in := range ins {
+		if in.At < 0 || in.At >= p.NumUnits() {
+			return nil, fmt.Errorf("rewrite: insertion %d out of range (unit %d)", i, in.At)
+		}
+		if i > 0 && ins[i-1].At == in.At {
+			return nil, fmt.Errorf("rewrite: duplicate insertion at unit %d", in.At)
+		}
+	}
+	if len(e.Prologue) > 0 {
+		for _, in := range ins {
+			if in.At == p.Entry {
+				return nil, fmt.Errorf("rewrite: prologue collides with insertion at entry unit %d", p.Entry)
+			}
+		}
+		ins = append(ins, Insertion{At: p.Entry, Insts: e.Prologue})
+		sort.SliceStable(ins, func(i, j int) bool { return ins[i].At < ins[j].At })
+	}
+
+	q := &program.Program{
+		Name:    p.Name,
+		Data:    append([]byte(nil), p.Data...),
+		Symbols: make(map[string]int, len(p.Symbols)+len(e.AppendSyms)),
+	}
+
+	// Pass 1: lay out the new text, recording old-unit -> new-unit.
+	newIndex := make([]int, p.NumUnits()+1)
+	type pendingRef struct {
+		unit int
+		sym  string
+	}
+	var refs []pendingRef
+	k := 0
+	insSyms := map[string]int{}
+	for i := 0; i < p.NumUnits(); i++ {
+		newIndex[i] = k
+		if idx := findInsertion(ins, i); idx >= 0 {
+			in := ins[idx]
+			for sym, off := range in.Syms {
+				insSyms[sym] = k + off
+			}
+			for j, inst := range in.Insts {
+				q.Text = append(q.Text, inst)
+				for _, r := range in.Refs {
+					if r.Index == j {
+						refs = append(refs, pendingRef{unit: k, sym: r.Symbol})
+					}
+				}
+				k++
+			}
+			// The insertion point (where execution of the edited region
+			// begins) is the first inserted instruction, but branch targets
+			// must point there too, so newIndex[i] stays at the insertion.
+			if in.Replace != nil {
+				q.Text = append(q.Text, *in.Replace)
+			} else {
+				q.Text = append(q.Text, p.Text[i])
+			}
+			k++
+			continue
+		}
+		q.Text = append(q.Text, p.Text[i])
+		k++
+	}
+	newIndex[p.NumUnits()] = k
+
+	appendBase := k
+	for j, inst := range e.Append {
+		q.Text = append(q.Text, inst)
+		for _, r := range e.AppendRefs {
+			if r.Index == j {
+				refs = append(refs, pendingRef{unit: appendBase + j, sym: r.Symbol})
+			}
+		}
+	}
+
+	// Pass 2: symbols and entry.
+	for sym, u := range p.Symbols {
+		q.Symbols[sym] = newIndex[u]
+	}
+	for sym, off := range e.AppendSyms {
+		if _, dup := q.Symbols[sym]; dup {
+			return nil, fmt.Errorf("rewrite: appended symbol %q already defined", sym)
+		}
+		q.Symbols[sym] = appendBase + off
+	}
+	for sym, u := range insSyms {
+		if _, dup := q.Symbols[sym]; dup {
+			return nil, fmt.Errorf("rewrite: insertion symbol %q already defined", sym)
+		}
+		q.Symbols[sym] = u
+	}
+	q.Entry = newIndex[p.Entry]
+
+	// Pass 3: re-resolve branch displacements of original instructions.
+	// Inserted instructions use either local displacements (kept verbatim)
+	// or symbol refs (resolved below).
+	for oldI := 0; oldI < p.NumUnits(); oldI++ {
+		in := p.Text[oldI]
+		if !in.Op.IsBranch() {
+			continue
+		}
+		oldT := p.BranchTargetUnit(oldI)
+		if oldT < 0 || oldT > p.NumUnits() {
+			return nil, fmt.Errorf("rewrite: unit %d branch target %d out of range", oldI, oldT)
+		}
+		newI := newIndex[oldI] + insertedBefore(ins, oldI)
+		q.SetBranchTarget(newI, newIndex[oldT])
+	}
+	for _, r := range refs {
+		t, ok := q.Symbols[r.sym]
+		if !ok {
+			return nil, fmt.Errorf("rewrite: unresolved symbol %q", r.sym)
+		}
+		if !q.Text[r.unit].Op.IsBranch() {
+			return nil, fmt.Errorf("rewrite: symbol ref on non-branch at unit %d", r.unit)
+		}
+		q.SetBranchTarget(r.unit, t)
+	}
+
+	q.Invalidate()
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("rewrite: %w", err)
+	}
+	return q, nil
+}
+
+// insertedBefore returns the number of instructions inserted before old unit
+// i's own instruction (i.e. the offset of the original instruction within
+// its edited region).
+func insertedBefore(ins []Insertion, oldI int) int {
+	if idx := findInsertion(ins, oldI); idx >= 0 {
+		return len(ins[idx].Insts)
+	}
+	return 0
+}
+
+func findInsertion(ins []Insertion, at int) int {
+	lo, hi := 0, len(ins)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case ins[mid].At == at:
+			return mid
+		case ins[mid].At < at:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return -1
+}

@@ -1,0 +1,221 @@
+package rewrite
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+const src = `
+.entry main
+.data
+buf: .space 64
+.text
+main:
+    li r2, 5
+    la r1, buf
+loop:
+    stq r2, 0(r1)
+    subqi r2, 1, r2
+    bgt r2, loop
+    ldq r1, 0(r1)
+    sys 2
+    halt
+`
+
+func nopInst() isa.Inst { return isa.Nop() }
+
+func TestApplyNoEdits(t *testing.T) {
+	p := asm.MustAssemble("t", src)
+	q, err := Apply(p, &Edit{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumUnits() != p.NumUnits() {
+		t.Errorf("units changed: %d -> %d", p.NumUnits(), q.NumUnits())
+	}
+	m := emu.New(q)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output() != "1" {
+		t.Errorf("output = %q", m.Output())
+	}
+}
+
+func TestInsertionPreservesSemantics(t *testing.T) {
+	p := asm.MustAssemble("t", src)
+	store := p.Symbols["loop"]
+	q, err := Apply(p, &Edit{Insertions: []Insertion{
+		{At: store, Insts: []isa.Inst{nopInst(), nopInst()}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumUnits() != p.NumUnits()+2 {
+		t.Errorf("units = %d", q.NumUnits())
+	}
+	m := emu.New(q)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output() != "1" {
+		t.Errorf("output = %q, want 1", m.Output())
+	}
+	// The backward branch must now target the first inserted instruction.
+	bgt := q.Symbols["loop"]
+	if q.Text[bgt].Op != isa.OpBIS {
+		t.Errorf("loop symbol should point at inserted code, got %v", q.Text[bgt])
+	}
+}
+
+func TestReplaceOriginal(t *testing.T) {
+	p := asm.MustAssemble("t", `
+.entry main
+main:
+    li r1, 1
+    sys 2
+    halt
+`)
+	repl := isa.Inst{Op: isa.OpLDA, RD: 1, RS: isa.RegZero, RT: isa.NoReg, Imm: 7}
+	q, err := Apply(p, &Edit{Insertions: []Insertion{
+		{At: 0, Insts: []isa.Inst{nopInst()}, Replace: &repl},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(q)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output() != "7" {
+		t.Errorf("output = %q, want 7", m.Output())
+	}
+}
+
+func TestAppendAndSymRef(t *testing.T) {
+	p := asm.MustAssemble("t", `
+.entry main
+main:
+    li r1, 3
+    beq r31, done     ; always taken (zero reg) -> rewritten to handler
+done:
+    sys 2
+    halt
+`)
+	// Insert a branch to an appended handler before the beq.
+	q, err := Apply(p, &Edit{
+		Insertions: []Insertion{{
+			At: 1,
+			Insts: []isa.Inst{
+				{Op: isa.OpBR, RD: isa.RegZero, RS: isa.NoReg, RT: isa.NoReg, Imm: 0},
+			},
+			Refs: []SymRef{{Index: 0, Symbol: "handler"}},
+		}},
+		Append: []isa.Inst{
+			{Op: isa.OpLDA, RD: 1, RS: isa.RegZero, RT: isa.NoReg, Imm: 42},
+			{Op: isa.OpSYS, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg, Imm: isa.SysPutInt},
+			{Op: isa.OpHALT, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg},
+		},
+		AppendSyms: map[string]int{"handler": 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(q)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output() != "42" {
+		t.Errorf("output = %q, want 42", m.Output())
+	}
+}
+
+func TestPrologueRunsFirst(t *testing.T) {
+	p := asm.MustAssemble("t", `
+.entry main
+main:
+    sys 2
+    halt
+`)
+	q, err := Apply(p, &Edit{Prologue: []isa.Inst{
+		{Op: isa.OpLDA, RD: 1, RS: isa.RegZero, RT: isa.NoReg, Imm: 9},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(q)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output() != "9" {
+		t.Errorf("output = %q, want 9", m.Output())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	p := asm.MustAssemble("t", src)
+	if _, err := Apply(p, &Edit{Insertions: []Insertion{{At: -1}}}); err == nil {
+		t.Error("negative insertion should fail")
+	}
+	if _, err := Apply(p, &Edit{Insertions: []Insertion{
+		{At: 0, Insts: []isa.Inst{nopInst()}},
+		{At: 0, Insts: []isa.Inst{nopInst()}},
+	}}); err == nil {
+		t.Error("duplicate insertion should fail")
+	}
+	if _, err := Apply(p, &Edit{Insertions: []Insertion{{
+		At:    0,
+		Insts: []isa.Inst{nopInst()},
+		Refs:  []SymRef{{Index: 0, Symbol: "nowhere"}},
+	}}}); err == nil {
+		t.Error("unresolved symbol should fail")
+	}
+}
+
+func TestManyInsertionsBranchFixup(t *testing.T) {
+	// Insert before every store in a multi-branch program; all branch
+	// displacements must survive.
+	p := asm.MustAssemble("t", `
+.entry main
+.data
+b: .space 256
+.text
+main:
+    li r2, 10
+    la r1, b
+loop:
+    stq r2, 0(r1)
+    andi r2, 1, r3
+    beq r3, even
+    stq r3, 8(r1)
+even:
+    subqi r2, 1, r2
+    bgt r2, loop
+    sys 2
+    halt
+`)
+	var ins []Insertion
+	for i, in := range p.Text {
+		if in.Op.Class() == isa.ClassStore {
+			ins = append(ins, Insertion{At: i, Insts: []isa.Inst{nopInst(), nopInst(), nopInst()}})
+		}
+	}
+	q, err := Apply(p, &Edit{Insertions: ins})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0 := emu.New(p)
+	if err := m0.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m1 := emu.New(q)
+	if err := m1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m0.Output() != m1.Output() {
+		t.Errorf("outputs diverge: %q vs %q", m0.Output(), m1.Output())
+	}
+}

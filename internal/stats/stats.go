@@ -1,0 +1,140 @@
+// Package stats provides the small numeric and formatting helpers the
+// experiment harnesses use to report paper-style series: normalized values,
+// geometric means, and aligned text tables (one row per benchmark, one
+// column per configuration — the shape of the paper's bar graphs).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a benchmarks x configurations result grid.
+type Table struct {
+	Title  string
+	Note   string
+	Rows   []string // row labels (benchmarks)
+	Cols   []string // column labels (configurations)
+	Cells  [][]float64
+	Format string // cell format, default "%7.3f"
+}
+
+// NewTable allocates a rows x cols table.
+func NewTable(title string, rows, cols []string) *Table {
+	cells := make([][]float64, len(rows))
+	for i := range cells {
+		cells[i] = make([]float64, len(cols))
+	}
+	return &Table{Title: title, Rows: rows, Cols: cols, Cells: cells}
+}
+
+// Set stores a cell by labels; it panics on unknown labels (harness bug).
+func (t *Table) Set(row, col string, v float64) {
+	ri, ci := t.index(row, col)
+	t.Cells[ri][ci] = v
+}
+
+// Get fetches a cell by labels.
+func (t *Table) Get(row, col string) float64 {
+	ri, ci := t.index(row, col)
+	return t.Cells[ri][ci]
+}
+
+func (t *Table) index(row, col string) (int, int) {
+	ri, ci := -1, -1
+	for i, r := range t.Rows {
+		if r == row {
+			ri = i
+		}
+	}
+	for j, c := range t.Cols {
+		if c == col {
+			ci = j
+		}
+	}
+	if ri < 0 || ci < 0 {
+		panic(fmt.Sprintf("stats: no cell (%q, %q) in table %q", row, col, t.Title))
+	}
+	return ri, ci
+}
+
+// Col returns one column as a slice in row order.
+func (t *Table) Col(col string) []float64 {
+	_, ci := t.index(t.Rows[0], col)
+	out := make([]float64, len(t.Rows))
+	for i := range t.Rows {
+		out[i] = t.Cells[i][ci]
+	}
+	return out
+}
+
+// AddMeanRow appends a geometric-mean summary row.
+func (t *Table) AddMeanRow() {
+	means := make([]float64, len(t.Cols))
+	for j := range t.Cols {
+		vals := make([]float64, len(t.Rows))
+		for i := range t.Rows {
+			vals[i] = t.Cells[i][j]
+		}
+		means[j] = GeoMean(vals)
+	}
+	t.Rows = append(t.Rows, "gmean")
+	t.Cells = append(t.Cells, means)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	format := t.Format
+	if format == "" {
+		format = "%7.3f"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "   %s\n", t.Note)
+	}
+	width := 8
+	for _, r := range t.Rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, "")
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, " %10s", c)
+	}
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", width+2, r)
+		for j := range t.Cols {
+			cell := fmt.Sprintf(format, t.Cells[i][j])
+			fmt.Fprintf(&b, " %10s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// GeoMean returns the geometric mean of vs (ignoring non-positive values).
+func GeoMean(vs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vs {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Ratio returns a/b, guarding against a zero denominator.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

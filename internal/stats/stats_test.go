@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableSetGet(t *testing.T) {
+	tb := NewTable("t", []string{"a", "b"}, []string{"x", "y"})
+	tb.Set("a", "y", 1.5)
+	tb.Set("b", "x", 2.5)
+	if tb.Get("a", "y") != 1.5 || tb.Get("b", "x") != 2.5 {
+		t.Error("set/get mismatch")
+	}
+	if tb.Get("a", "x") != 0 {
+		t.Error("unset cell should be zero")
+	}
+}
+
+func TestTableUnknownLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown label should panic")
+		}
+	}()
+	tb := NewTable("t", []string{"a"}, []string{"x"})
+	tb.Set("nope", "x", 1)
+}
+
+func TestCol(t *testing.T) {
+	tb := NewTable("t", []string{"a", "b"}, []string{"x"})
+	tb.Set("a", "x", 1)
+	tb.Set("b", "x", 3)
+	col := tb.Col("x")
+	if len(col) != 2 || col[0] != 1 || col[1] != 3 {
+		t.Errorf("Col = %v", col)
+	}
+}
+
+func TestMeanRow(t *testing.T) {
+	tb := NewTable("t", []string{"a", "b"}, []string{"x"})
+	tb.Set("a", "x", 2)
+	tb.Set("b", "x", 8)
+	tb.AddMeanRow()
+	got := tb.Get("gmean", "x")
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("gmean = %v, want 4", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	tb := NewTable("title", []string{"bench"}, []string{"cfg"})
+	tb.Note = "a note"
+	tb.Set("bench", "cfg", 1.234)
+	s := tb.String()
+	for _, want := range []string{"title", "a note", "bench", "cfg", "1.234"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestGeoMeanProperties(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("empty gmean should be 0")
+	}
+	if GeoMean([]float64{5}) != 5 {
+		t.Error("singleton gmean")
+	}
+	// gmean of k copies of v is v.
+	f := func(raw uint8) bool {
+		v := 0.5 + float64(raw)/64
+		g := GeoMean([]float64{v, v, v})
+		return math.Abs(g-v) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// gmean is scale-equivariant: gmean(c*xs) = c*gmean(xs).
+	g1 := GeoMean([]float64{1, 2, 4})
+	g2 := GeoMean([]float64{3, 6, 12})
+	if math.Abs(g2-3*g1) > 1e-9 {
+		t.Errorf("scale equivariance: %v vs %v", g2, 3*g1)
+	}
+	// non-positive values are ignored.
+	if got := GeoMean([]float64{2, 0, -5, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("gmean with junk = %v", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("ratio")
+	}
+	if Ratio(6, 0) != 0 {
+		t.Error("zero denominator should yield 0")
+	}
+}

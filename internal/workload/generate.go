@@ -1,0 +1,378 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"repro/internal/acf/mfi"
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Register conventions of generated code. The rewriting baseline scavenges
+// r20..r23, so generated code must never touch them (the paper charges this
+// register pressure to software fault isolation; our generator simply obeys
+// the reservation, as a compiler flag would).
+//
+//	r1  data base pointer          r2  outer iteration counter
+//	r5  roving data index          r6  current data pointer
+//	r15 inner-loop counter         r16 xorshift state
+//	r17 accumulator                r18 data index mask
+//	r3, r4, r7..r14, r19, r25, r27 scratch / idiom operands
+var scratchRegs = []int{3, 4, 7, 8, 9, 10, 11, 12, 13, 14, 19, 25, 27}
+
+type gen struct {
+	p   Profile
+	rng *rand.Rand
+	b   strings.Builder
+
+	label     int
+	idioms    []idiom // per-module pool (refreshed every few functions)
+	global    []idiom // program-wide compiler idioms
+	funcCount int
+}
+
+// idiom is a reusable short code template. Most instances are emitted with
+// per-site operand registers — the classic compiler situation where the
+// same idiom recurs under register renaming, sharable only through DISE
+// parameterization — while a minority reuse a fixed binding and are
+// sharable literally (what a dedicated decompressor can exploit).
+type idiom struct {
+	lines []string // with %A, %B placeholders
+	fixed [2]int   // the idiom's literal binding
+}
+
+func (g *gen) newLabel(prefix string) string {
+	g.label++
+	return fmt.Sprintf("%s_%d", prefix, g.label)
+}
+
+func (g *gen) emit(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+// buildIdioms creates the program's idiom pool. Offsets and constants are
+// chosen once per idiom, so all instances share them.
+func (g *gen) buildIdioms() {
+	mk := func(lines ...string) idiom {
+		a := scratchRegs[g.rng.Intn(len(scratchRegs))]
+		b := scratchRegs[g.rng.Intn(len(scratchRegs))]
+		for b == a {
+			b = scratchRegs[g.rng.Intn(len(scratchRegs))]
+		}
+		return idiom{lines: lines, fixed: [2]int{a, b}}
+	}
+	off := func() int { return 8 * g.rng.Intn(32) }
+	cst := func() int { return 1 + g.rng.Intn(7) }
+	if g.global == nil {
+		// Program-wide compiler idioms: the same shape everywhere, with
+		// per-site registers and small constants — exactly what DISE's
+		// parameterized entries share globally.
+		g.global = []idiom{
+			// load-modify-store: per-site offset and constant, sharable
+			// only through parameterized entries (offset uses one shared
+			// immediate slot for the ldq/stq pair)
+			mk("ldq %A, %D(r6)",
+				"addqi %A, %C, %A",
+				"stq %A, %D(r6)"),
+			mk("ldq %A, %D(r6)",
+				"addq %B, %A, %B"),
+			// pointer bump (the classic induction idiom)
+			mk("addqi r5, %C, r5",
+				"and r5, r18, %A",
+				"andi %A, -8, %B",
+				"addq r1, %B, r6"),
+			// rng mix (per-site shift)
+			mk("srli r16, %C, %A",
+				"xor r16, %A, r16"),
+			// scaled add (per-site scale)
+			mk("mulqi %A, %C, %B",
+				"addq %B, %A, %B"),
+			// store-modify: read-modify-write with distinct operand
+			mk("ldq %A, %D(r6)",
+				"xor %A, %B, %A",
+				"stq %A, %D(r6)"),
+			// guarded increment
+			mk("cmplti %A, %C, %B",
+				"addq %A, %B, %A"),
+			// shift-mask-combine
+			mk("slli %A, %C, %B",
+				"xor %B, %A, %A"),
+			// offset copy
+			mk("ldq %A, %D(r6)",
+				"stq %A, %D2(r6)"),
+			// difference accumulate
+			mk("subq %B, %A, %A",
+				"srai %A, %C, %A"),
+		}
+	}
+	g.idioms = []idiom{
+		// module-local idioms: offsets and constants baked per module
+		mk(fmt.Sprintf("ldq %%A, %d(r6)", off()),
+			fmt.Sprintf("addqi %%A, %d, %%A", cst()),
+			fmt.Sprintf("stq %%A, %d(r6)", off())),
+		mk(fmt.Sprintf("ldq %%A, %d(r6)", off()),
+			"addq %B, %A, %B"),
+		mk(fmt.Sprintf("slli %%A, %d, %%B", cst()),
+			"xor %B, %A, %A",
+			"addq r17, %A, r17"),
+		mk(fmt.Sprintf("stq r17, %d(r6)", off()),
+			fmt.Sprintf("stq %%A, %d(r6)", off())),
+		mk(fmt.Sprintf("cmplti %%B, %d, %%A", 64*cst()),
+			"addq %A, r16, r16"),
+		mk(fmt.Sprintf("ldq %%A, %d(r6)", off()),
+			fmt.Sprintf("ldq %%B, %d(r6)", off()),
+			"xor %A, %B, %A",
+			"addq %B, %A, %B"),
+	}
+}
+
+// emitIdiom writes one idiom instance. One instance in IdiomSets reuses the
+// idiom's fixed binding (literally sharable); the rest draw per-site
+// registers (sharable only via parameterization).
+func (g *gen) emitIdiom() int {
+	pool := g.idioms
+	if g.rng.Intn(100) < 70 {
+		pool = g.global
+	}
+	id := pool[g.rng.Intn(len(pool))]
+	bind := id.fixed
+	if g.p.IdiomSets <= 0 || g.rng.Intn(g.p.IdiomSets) != 0 {
+		a := scratchRegs[g.rng.Intn(len(scratchRegs))]
+		b := scratchRegs[g.rng.Intn(len(scratchRegs))]
+		for b == a {
+			b = scratchRegs[g.rng.Intn(len(scratchRegs))]
+		}
+		bind = [2]int{a, b}
+	}
+	c := fmt.Sprintf("%d", 1+g.rng.Intn(15))
+	d := fmt.Sprintf("%d", g.rng.Intn(16))
+	d2 := fmt.Sprintf("%d", g.rng.Intn(16))
+	for _, l := range id.lines {
+		l = strings.ReplaceAll(l, "%A", fmt.Sprintf("r%d", bind[0]))
+		l = strings.ReplaceAll(l, "%B", fmt.Sprintf("r%d", bind[1]))
+		l = strings.ReplaceAll(l, "%C", c)
+		l = strings.ReplaceAll(l, "%D2", d2)
+		l = strings.ReplaceAll(l, "%D", d)
+		g.emit("    %s", l)
+	}
+	return len(id.lines)
+}
+
+// emitRandomInst writes one non-idiomatic instruction obeying the profile's
+// dynamic mix.
+func (g *gen) emitRandomInst() {
+	r := func() int { return scratchRegs[g.rng.Intn(len(scratchRegs))] }
+	x := g.rng.Float64()
+	switch {
+	case x < g.p.MemRate*(1-g.p.StoreFrac):
+		g.emit("    ldq r%d, %d(r6)", r(), 8*g.rng.Intn(32))
+	case x < g.p.MemRate:
+		g.emit("    stq r%d, %d(r6)", r(), 8*g.rng.Intn(32))
+	default:
+		switch g.rng.Intn(6) {
+		case 0:
+			g.emit("    addqi r%d, %d, r%d", r(), g.rng.Intn(30000), r())
+		case 1:
+			g.emit("    addq r%d, r%d, r%d", r(), r(), r())
+		case 2:
+			g.emit("    xor r%d, r%d, r%d", r(), r(), r())
+		case 3:
+			g.emit("    srli r%d, %d, r%d", r(), 1+g.rng.Intn(48), r())
+		case 4:
+			g.emit("    cmplti r%d, %d, r%d", r(), g.rng.Intn(30000), r())
+		default:
+			g.emit("    slli r%d, %d, r%d", r(), 1+g.rng.Intn(40), r())
+		}
+	}
+}
+
+// emitBlock writes one basic block body and its optional trailing forward
+// branch to next.
+func (g *gen) emitBlock(next string) int {
+	n := g.p.InstsPerBlock/2 + g.rng.Intn(g.p.InstsPerBlock)
+	inner := g.rng.Float64() < g.p.InnerLoopRate
+	var innerLabel string
+	if inner {
+		trips := 2 + g.rng.Intn(4)
+		g.emit("    li r15, %d", trips)
+		innerLabel = g.newLabel("inner")
+		g.emit("%s:", innerLabel)
+	}
+	emitted := 0
+	for emitted < n {
+		if g.rng.Float64() < g.p.IdiomRate {
+			emitted += g.emitIdiom()
+		} else {
+			g.emitRandomInst()
+			emitted++
+		}
+	}
+	if inner {
+		g.emit("    subqi r15, 1, r15")
+		g.emit("    bgt r15, %s", innerLabel)
+	}
+	// Trailing conditional branch to next block (sometimes skipping it is
+	// the point: forward branches with profile-selected predictability).
+	if g.rng.Float64() < g.p.BranchRate*4 {
+		h := scratchRegs[g.rng.Intn(len(scratchRegs))]
+		if g.rng.Float64() < g.p.Predictability {
+			// Biased: depends on the slowly-varying accumulator; the
+			// threshold varies per site.
+			g.emit("    cmplti r17, %d, r%d", g.rng.Intn(14), h)
+			g.emit("    bne r%d, %s", h, next)
+		} else {
+			// Data-dependent on the xorshift state: near-chance.
+			g.emit("    srli r16, 9, r%d", h)
+			g.emit("    xor r16, r%d, r16", h)
+			g.emit("    andi r16, 1, r%d", h)
+			g.emit("    bne r%d, %s", h, next)
+		}
+	}
+	return n
+}
+
+// emitFunc writes one function; returns its approximate instruction count.
+// The idiom pool is refreshed every few functions: code vocabulary grows
+// with program size, as it does in real programs (different modules use
+// different offsets and constants), keeping large programs from becoming
+// proportionally more literally-redundant.
+func (g *gen) emitFunc(name string) int {
+	if g.funcCount%6 == 0 {
+		g.buildIdioms()
+	}
+	g.funcCount++
+	g.emit("%s:", name)
+	g.emit("    subqi sp, 16, sp")
+	g.emit("    stq ra, 0(sp)")
+	count := 2
+	blocks := g.p.BlocksPerFunc/2 + 1 + g.rng.Intn(g.p.BlocksPerFunc)
+	for b := 0; b < blocks; b++ {
+		next := g.newLabel(name + "_b")
+		count += g.emitBlock(next)
+		g.emit("%s:", next)
+	}
+	g.emit("    ldq ra, 0(sp)")
+	g.emit("    addqi sp, 16, sp")
+	g.emit("    ret")
+	return count + 3
+}
+
+// Source generates the benchmark's assembly text.
+func (p Profile) Source() string {
+	g := &gen{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+
+	dataBytes := p.DataKB*1024 + 512
+	g.emit(".entry main")
+	g.emit(".data")
+	g.emit("data: .space %d", dataBytes)
+	g.emit(".text")
+
+	// Function bodies first (sizes needed for the iteration estimate).
+	var funcs strings.Builder
+	prev := g.b
+	g.b = funcs
+	hotInsts := 0
+	for i := 0; i < p.HotFuncs; i++ {
+		hotInsts += g.emitFunc(fmt.Sprintf("hot%d", i))
+	}
+	coldInsts := 0
+	for i := 0; i < p.ColdFuncs; i++ {
+		coldInsts += g.emitFunc(fmt.Sprintf("cold%d", i))
+	}
+	funcs = g.b
+	g.b = prev
+
+	// The dynamic cost of one outer iteration: every hot function (inner
+	// loops roughly multiply block work), plus 1/16 of the cold section.
+	loopFactor := 1 + p.InnerLoopRate*2.0
+	perIter := float64(hotInsts)*loopFactor + float64(coldInsts)*loopFactor/16 + float64(p.HotFuncs)
+	iters := int(float64(p.TargetDynK*1000) / perIter)
+	if iters < 8 {
+		iters = 8
+	}
+
+	g.emit("main:")
+	g.emit("    la r1, data")
+	g.emit("    li r18, %d", p.DataKB*1024-1)
+	g.emit("    li r16, %d", 12345+p.Seed)
+	g.emit("    li r5, 0")
+	g.emit("    mov r1, r6")
+	g.emit("    li r2, %d", iters)
+	g.emit("outer:")
+	for i := 0; i < p.HotFuncs; i++ {
+		g.emit("    bsr ra, hot%d", i)
+	}
+	if p.ColdFuncs > 0 {
+		g.emit("    andi r2, 15, r3")
+		g.emit("    bne r3, skipcold")
+		for i := 0; i < p.ColdFuncs; i++ {
+			g.emit("    bsr ra, cold%d", i)
+		}
+		g.emit("skipcold:")
+	}
+	g.emit("    subqi r2, 1, r2")
+	g.emit("    bgt r2, outer")
+	g.emit("    mov r17, r1")
+	g.emit("    sys 2")
+	g.emit("    halt")
+
+	g.b.WriteString(funcs.String())
+	return g.b.String()
+}
+
+var (
+	genMu    sync.Mutex
+	genCache = map[string]*program.Program{}
+)
+
+// Generate builds (and caches) the benchmark program. Generation is
+// deterministic: the same profile always yields the same program.
+func (p Profile) Generate() (*program.Program, error) {
+	genMu.Lock()
+	defer genMu.Unlock()
+	key := fmt.Sprintf("%s/%d", p.Name, p.TargetDynK)
+	if q, ok := genCache[key]; ok {
+		return q, nil
+	}
+	prog, err := asm.Assemble(p.Name, p.Source())
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", p.Name, err)
+	}
+	if err := checkScavengedFree(prog); err != nil {
+		return nil, err
+	}
+	genCache[key] = prog
+	return prog, nil
+}
+
+// MustGenerate is Generate for known profiles; it panics on error.
+func (p Profile) MustGenerate() *program.Program {
+	prog, err := p.Generate()
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+// checkScavengedFree verifies generated code leaves the rewriter's
+// scavenged registers untouched.
+func checkScavengedFree(p *program.Program) error {
+	bad := map[isa.Reg]bool{}
+	for _, r := range mfi.ScavengedRegs() {
+		bad[r] = true
+	}
+	for i, in := range p.Text {
+		for _, r := range []isa.Reg{in.RS, in.RT, in.RD} {
+			if r != isa.NoReg && bad[r] {
+				return fmt.Errorf("workload %s: unit %d (%v) uses scavenged register %v",
+					p.Name, i, in, r)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Package workload generates the benchmark programs for the experiments: a
+// deterministic, seeded program generator with one profile per SPEC2000
+// integer benchmark. The real benchmarks cannot be compiled for a scratch
+// ISA, so each profile is calibrated to the properties the paper's results
+// actually depend on (see DESIGN.md "Substitutions"): static code size and
+// instruction working set (I-cache behaviour), dynamic load/store/branch
+// mix (MFI expansion frequency ~30%), branch predictability, data working
+// set, and code redundancy from reused idiom templates (compressibility and
+// dictionary working-set size).
+package workload
+
+// Profile describes one synthetic benchmark.
+type Profile struct {
+	Name string
+	Seed int64
+
+	// HotFuncs are called every outer iteration: their combined size is the
+	// instruction working set. ColdFuncs are called one-per-iteration in
+	// rotation and pad the static image.
+	HotFuncs  int
+	ColdFuncs int
+	// BlocksPerFunc and InstsPerBlock shape function bodies (averages).
+	BlocksPerFunc int
+	InstsPerBlock int
+
+	// IdiomRate is the fraction of code drawn from the reused idiom pool
+	// (drives compressibility); IdiomSets is how many register bindings the
+	// pool cycles through (more sets = more parameter-only variation).
+	IdiomRate float64
+	IdiomSets int
+
+	// MemRate is the approximate fraction of instructions that are loads or
+	// stores; StoreFrac the store share of those.
+	MemRate   float64
+	StoreFrac float64
+
+	// BranchRate is the approximate fraction of conditional branches, and
+	// Predictability the fraction of them with stable bias.
+	BranchRate     float64
+	Predictability float64
+
+	// InnerLoopRate adds small counted inner loops to blocks.
+	InnerLoopRate float64
+
+	// DataKB is the data working set walked by memory operations.
+	DataKB int
+
+	// TargetDynK is the approximate dynamic instruction count, in
+	// thousands, used to pick the outer iteration count.
+	TargetDynK int
+}
+
+// Profiles returns the ten SPEC2000 integer benchmark stand-ins, in the
+// paper's presentation order. Sizes: a function averages roughly
+// BlocksPerFunc*InstsPerBlock instructions (4 bytes each) plus
+// prologue/epilogue; hot size approximates the paper's per-benchmark
+// instruction working sets (most < 32KB; crafty, gzip and vpr above it —
+// §4.2), and cold functions pad static images into the tens of KB.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name: "bzip2", Seed: 101,
+			HotFuncs: 12, ColdFuncs: 20, BlocksPerFunc: 6, InstsPerBlock: 9,
+			IdiomRate: 0.4, IdiomSets: 3,
+			MemRate: 0.32, StoreFrac: 0.4, BranchRate: 0.12, Predictability: 0.93,
+			InnerLoopRate: 0.3, DataKB: 256, TargetDynK: 400,
+		},
+		{
+			Name: "crafty", Seed: 102,
+			HotFuncs: 115, ColdFuncs: 60, BlocksPerFunc: 7, InstsPerBlock: 9,
+			IdiomRate: 0.4, IdiomSets: 5,
+			MemRate: 0.3, StoreFrac: 0.3, BranchRate: 0.14, Predictability: 0.9,
+			InnerLoopRate: 0.15, DataKB: 512, TargetDynK: 500,
+		},
+		{
+			Name: "gap", Seed: 103,
+			HotFuncs: 40, ColdFuncs: 50, BlocksPerFunc: 6, InstsPerBlock: 8,
+			IdiomRate: 0.45, IdiomSets: 4,
+			MemRate: 0.34, StoreFrac: 0.35, BranchRate: 0.13, Predictability: 0.91,
+			InnerLoopRate: 0.2, DataKB: 384, TargetDynK: 400,
+		},
+		{
+			Name: "gcc", Seed: 104,
+			HotFuncs: 60, ColdFuncs: 160, BlocksPerFunc: 7, InstsPerBlock: 8,
+			IdiomRate: 0.42, IdiomSets: 6,
+			MemRate: 0.33, StoreFrac: 0.4, BranchRate: 0.16, Predictability: 0.86,
+			InnerLoopRate: 0.1, DataKB: 512, TargetDynK: 450,
+		},
+		{
+			Name: "gzip", Seed: 105,
+			HotFuncs: 118, ColdFuncs: 30, BlocksPerFunc: 7, InstsPerBlock: 9,
+			IdiomRate: 0.45, IdiomSets: 3,
+			MemRate: 0.3, StoreFrac: 0.35, BranchRate: 0.12, Predictability: 0.92,
+			InnerLoopRate: 0.3, DataKB: 256, TargetDynK: 500,
+		},
+		{
+			Name: "mcf", Seed: 106,
+			HotFuncs: 8, ColdFuncs: 10, BlocksPerFunc: 5, InstsPerBlock: 8,
+			IdiomRate: 0.42, IdiomSets: 2,
+			MemRate: 0.4, StoreFrac: 0.25, BranchRate: 0.13, Predictability: 0.9,
+			InnerLoopRate: 0.25, DataKB: 2048, TargetDynK: 350,
+		},
+		{
+			Name: "parser", Seed: 107,
+			HotFuncs: 28, ColdFuncs: 40, BlocksPerFunc: 6, InstsPerBlock: 8,
+			IdiomRate: 0.45, IdiomSets: 3,
+			MemRate: 0.33, StoreFrac: 0.35, BranchRate: 0.15, Predictability: 0.9,
+			InnerLoopRate: 0.2, DataKB: 256, TargetDynK: 400,
+		},
+		{
+			Name: "twolf", Seed: 108,
+			HotFuncs: 35, ColdFuncs: 40, BlocksPerFunc: 6, InstsPerBlock: 9,
+			IdiomRate: 0.42, IdiomSets: 4,
+			MemRate: 0.35, StoreFrac: 0.3, BranchRate: 0.13, Predictability: 0.89,
+			InnerLoopRate: 0.2, DataKB: 384, TargetDynK: 400,
+		},
+		{
+			Name: "vortex", Seed: 109,
+			HotFuncs: 50, ColdFuncs: 70, BlocksPerFunc: 6, InstsPerBlock: 8,
+			IdiomRate: 0.4, IdiomSets: 4,
+			MemRate: 0.36, StoreFrac: 0.45, BranchRate: 0.12, Predictability: 0.93,
+			InnerLoopRate: 0.15, DataKB: 512, TargetDynK: 400,
+		},
+		{
+			Name: "vpr", Seed: 110,
+			HotFuncs: 120, ColdFuncs: 40, BlocksPerFunc: 7, InstsPerBlock: 8,
+			IdiomRate: 0.42, IdiomSets: 4,
+			MemRate: 0.32, StoreFrac: 0.35, BranchRate: 0.14, Predictability: 0.88,
+			InnerLoopRate: 0.2, DataKB: 384, TargetDynK: 450,
+		},
+	}
+}
+
+// ProfileByName looks a profile up by benchmark name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Names returns the benchmark names in order.
+func Names() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}

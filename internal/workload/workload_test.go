@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+func TestAllProfilesGenerate(t *testing.T) {
+	for _, p := range Profiles() {
+		prog, err := p.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p, _ := ProfileByName("bzip2")
+	a := p.Source()
+	b := p.Source()
+	if a != b {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestAllRunToCompletion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	for _, p := range Profiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			m := emu.New(p.MustGenerate())
+			m.SetBudget(int64(p.TargetDynK) * 1000 * 20)
+			if err := m.Run(); err != nil {
+				t.Fatalf("%s: %v", p.Name, err)
+			}
+			dyn := m.Stats.Total
+			lo := int64(p.TargetDynK) * 1000 / 4
+			hi := int64(p.TargetDynK) * 1000 * 6
+			if dyn < lo || dyn > hi {
+				t.Errorf("%s: dynamic insts = %d, want within [%d, %d]", p.Name, dyn, lo, hi)
+			}
+			// The paper's MFI premise: ~30% of dynamic instructions are
+			// loads, stores or jumps. Keep every benchmark in a band.
+			memJump := float64(m.Stats.Loads+m.Stats.Stores) / float64(dyn)
+			if memJump < 0.12 || memJump > 0.55 {
+				t.Errorf("%s: load+store fraction = %.2f", p.Name, memJump)
+			}
+		})
+	}
+}
+
+func TestCodeSizeDiversity(t *testing.T) {
+	sizes := map[string]int{}
+	for _, p := range Profiles() {
+		sizes[p.Name] = p.MustGenerate().TextBytes()
+	}
+	// mcf is the paper's small-code benchmark; gcc among the largest.
+	if !(sizes["mcf"] < sizes["parser"] && sizes["parser"] < sizes["gcc"]) {
+		t.Errorf("static size ordering wrong: %v", sizes)
+	}
+	// Working-set claims need hot-code spread: crafty/gzip/vpr above 32KB.
+	for _, big := range []string{"crafty", "gzip", "vpr"} {
+		p, _ := ProfileByName(big)
+		hot := hotBytes(p)
+		if hot < 30<<10 {
+			t.Errorf("%s hot code = %d bytes, want ~>32KB", big, hot)
+		}
+	}
+	for _, small := range []string{"mcf", "bzip2", "parser"} {
+		p, _ := ProfileByName(small)
+		if hot := hotBytes(p); hot > 28<<10 {
+			t.Errorf("%s hot code = %d bytes, want < 28KB", small, hot)
+		}
+	}
+}
+
+// hotBytes measures the hot-function footprint of a profile's program.
+func hotBytes(p Profile) int {
+	prog := p.MustGenerate()
+	cold, ok := prog.Symbols["cold0"]
+	if !ok {
+		return prog.TextBytes()
+	}
+	hot0 := prog.Symbols["hot0"]
+	return int(prog.Addr(cold) - prog.Addr(hot0))
+}
+
+func TestScavengedRegistersUnused(t *testing.T) {
+	for _, p := range Profiles() {
+		prog := p.MustGenerate()
+		if err := checkScavengedFree(prog); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestBranchPredictabilityDiversity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	rate := func(name string) float64 {
+		p, _ := ProfileByName(name)
+		r := cpu.Run(emu.New(p.MustGenerate()), cpu.DefaultConfig())
+		if r.Err != nil {
+			t.Fatalf("%s: %v", name, r.Err)
+		}
+		return float64(r.Pred.CondMiss) / float64(r.Pred.CondBranches+1)
+	}
+	gcc := rate("gcc")
+	bzip2 := rate("bzip2")
+	if !(gcc > bzip2) {
+		t.Errorf("gcc cond-miss rate (%.3f) should exceed bzip2's (%.3f)", gcc, bzip2)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if _, ok := ProfileByName("gcc"); !ok {
+		t.Error("gcc missing")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown name should fail")
+	}
+	if len(Names()) != 10 {
+		t.Errorf("names = %v", Names())
+	}
+}
+
+func TestNoCodewordsInNaturalPrograms(t *testing.T) {
+	for _, p := range Profiles() {
+		prog := p.MustGenerate()
+		for i, in := range prog.Text {
+			if in.Op.Class() == isa.ClassCodeword {
+				t.Fatalf("%s: unit %d is a codeword in natural code", p.Name, i)
+			}
+		}
+	}
+}
