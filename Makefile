@@ -1,0 +1,32 @@
+GO       ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet test race fuzz verify clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Smoke-run every fuzzer for $(FUZZTIME) each. The fuzzers assert the
+# robustness contract: hostile input produces typed errors, never a panic.
+fuzz:
+	$(GO) test ./internal/isa -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/asm -run '^$$' -fuzz '^FuzzAssemble$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzParseProductions$$' -fuzztime $(FUZZTIME)
+	$(GO) test . -run '^$$' -fuzz '^FuzzRun$$' -fuzztime $(FUZZTIME)
+
+verify: build vet race fuzz
+
+clean:
+	rm -f disefault
+	$(GO) clean ./...

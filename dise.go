@@ -28,6 +28,8 @@
 package dise
 
 import (
+	"fmt"
+
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -75,6 +77,38 @@ type (
 	Result = cpu.Result
 )
 
+// Trap model: every abnormal termination is a *Trap with a TrapKind, so
+// callers classify with errors.Is/As instead of matching message text.
+type (
+	// Trap is a precise architectural trap (kind, PC:DISEPC, address).
+	Trap = emu.Trap
+	// TrapKind classifies traps (TrapOutOfSegment, TrapIllegalInst, ...).
+	TrapKind = emu.TrapKind
+)
+
+// Trap kinds, re-exported for classification of Result.Err.
+const (
+	TrapACFViolation = emu.TrapACFViolation
+	TrapOutOfSegment = emu.TrapOutOfSegment
+	TrapIllegalInst  = emu.TrapIllegalInst
+	TrapBadCodeword  = emu.TrapBadCodeword
+	TrapUnaligned    = emu.TrapUnaligned
+	TrapRTCorrupt    = emu.TrapRTCorrupt
+	TrapPCOutOfText  = emu.TrapPCOutOfText
+	TrapBadSyscall   = emu.TrapBadSyscall
+	TrapBudget       = emu.TrapBudget
+	TrapWatchdog     = emu.TrapWatchdog
+	TrapInternal     = emu.TrapInternal
+)
+
+// Trap sentinels for errors.Is.
+var (
+	// ErrACFViolation matches any trap raised by an ACF check.
+	ErrACFViolation = emu.ErrACFViolation
+	// ErrBudget matches instruction-budget exhaustion.
+	ErrBudget = emu.ErrBudget
+)
+
 // NewController creates a DISE controller and its engine.
 func NewController(cfg EngineConfig) *Controller { return core.NewController(cfg) }
 
@@ -105,8 +139,18 @@ func Disassemble(p *Program) string { return asm.Disassemble(p) }
 // NewMachine loads a program into a fresh functional machine.
 func NewMachine(p *Program) *Machine { return emu.New(p) }
 
-// Run times a machine to completion on the cycle-level core.
-func Run(m *Machine, cfg CPUConfig) *Result { return cpu.Run(m, cfg) }
+// Run times a machine to completion on the cycle-level core. It never
+// panics on guest misbehavior: any internal invariant violation provoked by
+// the machine surfaces as a TrapInternal in Result.Err.
+func Run(m *Machine, cfg CPUConfig) (res *Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = &Result{Err: &emu.Trap{Kind: emu.TrapInternal,
+				Detail: fmt.Sprintf("dise: %v", r)}}
+		}
+	}()
+	return cpu.Run(m, cfg)
+}
 
 // DefaultCPUConfig is the paper's simulated core: 4-wide, 12-stage,
 // 128-entry ROB, 32KB L1s, 1MB L2.

@@ -1,0 +1,79 @@
+package dise
+
+// FuzzRun feeds the machine arbitrary text images: raw bytes are chopped into
+// 32-bit words, decoded (words that don't decode become explicit invalid
+// instructions, as a hardware fetch path would see them), and executed under a
+// tight budget. The contract under test is the robustness guarantee: a hostile
+// guest binary terminates with nil or a typed *Trap — the host never panics.
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func FuzzRun(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	seed := MustAssemble("seed", `
+.entry main
+main:
+    li r1, 7
+    stq r1, 0(r1)
+    halt
+`)
+	var words []byte
+	for _, in := range seed.Text {
+		if w, err := isa.Encode(in); err == nil {
+			words = binary.LittleEndian.AppendUint32(words, w)
+		}
+	}
+	f.Add(words)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x03, 0x00, 0x00, 0x68})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var text []isa.Inst
+		for len(data) >= isa.InstBytes {
+			w := binary.LittleEndian.Uint32(data)
+			data = data[isa.InstBytes:]
+			in, err := isa.Decode(w)
+			if err != nil {
+				in = isa.Inst{Op: isa.OpInvalid}
+			}
+			text = append(text, in)
+			if len(text) >= 256 {
+				break
+			}
+		}
+		prog := &program.Program{Name: "fuzz", Text: text}
+
+		// Functional path.
+		m := NewMachine(prog)
+		m.SetBudget(20000)
+		if err := m.Run(); err != nil {
+			var trap *Trap
+			if !errors.As(err, &trap) {
+				t.Fatalf("emu run returned untyped error: %v", err)
+			}
+		}
+
+		// Timing path, watchdog-capped.
+		cfg := DefaultCPUConfig()
+		cfg.MaxCycles = 200000
+		m2 := NewMachine(prog)
+		m2.SetBudget(20000)
+		res := Run(m2, cfg)
+		if res.Err != nil {
+			var trap *Trap
+			if !errors.As(res.Err, &trap) {
+				t.Fatalf("cpu run returned untyped error: %v", res.Err)
+			}
+			if trap.Kind == emu.TrapInternal {
+				t.Fatalf("cpu run hit an internal panic: %v", res.Err)
+			}
+		}
+	})
+}

@@ -253,3 +253,64 @@ func TestRewriteExpansionRateAbout30Percent(t *testing.T) {
 		t.Errorf("expansion rate = %.2f, want ~0.3", rate)
 	}
 }
+
+func TestWildStoreIsPreciseOutOfSegmentTrap(t *testing.T) {
+	// End-to-end precision, timing path: the DISE3 check refines the ACF
+	// violation into TrapOutOfSegment carrying the wild effective address.
+	r := runDISE(t, wild, DISE3)
+	var trap *emu.Trap
+	if !errors.As(r.Err, &trap) {
+		t.Fatalf("err = %v (%T), want *emu.Trap", r.Err, r.Err)
+	}
+	if trap.Kind != emu.TrapOutOfSegment {
+		t.Errorf("trap kind = %v, want out-of-segment", trap.Kind)
+	}
+	if want := uint64(99) << 30; trap.Addr != want {
+		t.Errorf("trap addr = %#x, want %#x", trap.Addr, want)
+	}
+	if !trap.ACF {
+		t.Error("MFI catch must be flagged ACF-raised")
+	}
+}
+
+func TestWildStoreIsPreciseOutOfSegmentTrapEmu(t *testing.T) {
+	// Same check on the functional path (no timing model in between).
+	m := emu.New(asm.MustAssemble("w", wild))
+	c := newDISE(t, DISE3)
+	m.SetExpander(c.Engine())
+	Setup(m)
+	err := m.Run()
+	var trap *emu.Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("err = %v (%T), want *emu.Trap", err, err)
+	}
+	if trap.Kind != emu.TrapOutOfSegment || !trap.ACF {
+		t.Errorf("trap = %+v, want ACF-raised out-of-segment", trap)
+	}
+	if !errors.Is(err, emu.ErrACFViolation) {
+		t.Error("refined trap must still match ErrACFViolation")
+	}
+}
+
+func TestWildStoreSilentWithoutMFI(t *testing.T) {
+	// Without any ACF the wild store completes "successfully" and lands in
+	// an illegal segment: silent corruption, in both machines.
+	wildAddr := uint64(99) << 30
+
+	m := emu.New(asm.MustAssemble("w", wild))
+	if err := m.Run(); err != nil {
+		t.Fatalf("emu: unprotected wild store must not fault: %v", err)
+	}
+	if got := m.Mem().Read64(wildAddr); got != 1 {
+		t.Errorf("emu: wild store did not land: mem[%#x] = %d", wildAddr, got)
+	}
+
+	m2 := emu.New(asm.MustAssemble("w", wild))
+	r := cpu.Run(m2, cpu.DefaultConfig())
+	if r.Err != nil {
+		t.Fatalf("cpu: unprotected wild store must not fault: %v", r.Err)
+	}
+	if got := m2.Mem().Read64(wildAddr); got != 1 {
+		t.Errorf("cpu: wild store did not land: mem[%#x] = %d", wildAddr, got)
+	}
+}

@@ -35,6 +35,7 @@ package asm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -43,6 +44,10 @@ import (
 	"repro/internal/program"
 )
 
+// ErrAssemble wraps every error returned by Assemble: malformed source is
+// user error, classifiable with errors.Is(err, ErrAssemble), never a panic.
+var ErrAssemble = errors.New("asm: assemble")
+
 // Error reports an assembly failure with its source line.
 type Error struct {
 	Line int
@@ -50,6 +55,9 @@ type Error struct {
 }
 
 func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// Unwrap makes every *Error match ErrAssemble under errors.Is.
+func (e *Error) Unwrap() error { return ErrAssemble }
 
 type item struct {
 	line   int
@@ -80,7 +88,10 @@ func Assemble(name, src string) (*program.Program, error) {
 	return a.resolve(name)
 }
 
-// MustAssemble is Assemble for known-good sources; it panics on error.
+// MustAssemble is Assemble for known-good sources; it panics on error. The
+// panic marks a programmer error (a source literal in tests or generators
+// that fails to assemble), never a data-dependent condition: code handling
+// external source text must call Assemble.
 func MustAssemble(name, src string) *program.Program {
 	p, err := Assemble(name, src)
 	if err != nil {
@@ -519,7 +530,7 @@ func (a *assembler) resolve(name string) (*program.Program, error) {
 		p.Entry = e
 	}
 	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("asm: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrAssemble, err)
 	}
 	return p, nil
 }

@@ -1,0 +1,32 @@
+package asm
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzAssemble asserts the assembler never panics on arbitrary source and that
+// every rejection wraps ErrAssemble — hostile input yields a typed error, not
+// a crash.
+func FuzzAssemble(f *testing.F) {
+	f.Add("")
+	f.Add(helloSrc)
+	f.Add(".entry main\nmain:\n    halt\n")
+	f.Add(".entry nowhere\n")
+	f.Add("main:\n    ldq r1, 0(r99)\n")
+	f.Add(".data\nx: .quad 1\n.text\n    la r1, x\n")
+	f.Add(".entry main\nmain:\n    addqi r1, 99999999, r1\n")
+	f.Add("\x00\xff .entry \n\t:::")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			if !errors.Is(err, ErrAssemble) {
+				t.Fatalf("error %v does not wrap ErrAssemble", err)
+			}
+			return
+		}
+		if p == nil {
+			t.Fatal("nil program without error")
+		}
+	})
+}

@@ -408,6 +408,44 @@ func (e *Engine) rtInstall(id int, r *Replacement) {
 	}
 }
 
+// ValidRTBlocks returns the number of currently valid RT blocks (set-major
+// order is used to index them for CorruptRTBlock). A perfect RT caches
+// nothing and reports 0.
+func (e *Engine) ValidRTBlocks() int {
+	n := 0
+	for _, set := range e.rtSets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CorruptRTBlock applies mut to a copy of the n-th valid RT block's cached
+// templates (set-major order), modeling a soft error in the RT array. The
+// copy matters: installed blocks alias the controller's virtual replacement
+// store, and a hardware fault corrupts only the cached bits — eviction and
+// refill repair it. It reports whether a block was corrupted.
+func (e *Engine) CorruptRTBlock(n int, mut func([]ReplInst) []ReplInst) bool {
+	for _, set := range e.rtSets {
+		for i := range set {
+			if !set[i].valid {
+				continue
+			}
+			if n == 0 {
+				tmpl := make([]ReplInst, len(set[i].tmpl))
+				copy(tmpl, set[i].tmpl)
+				set[i].tmpl = mut(tmpl)
+				return true
+			}
+			n--
+		}
+	}
+	return false
+}
+
 // RTUtilization returns the fraction of RT entries currently valid.
 func (e *Engine) RTUtilization() float64 {
 	if e.cfg.RTPerfect || len(e.rtSets) == 0 {

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseProductions asserts the production parser never panics on arbitrary
+// input and that every rejection wraps ErrParse.
+func FuzzParseProductions(f *testing.F) {
+	f.Add("")
+	f.Add(mfiSrc)
+	f.Add("prod p { match op == addq\n replace { addqi %rd, 1, %rd } }")
+	f.Add("prod p { match class == store }")
+	f.Add("prod { }")
+	f.Add("prod p { replace { bogus $dr9, 1 } }")
+	f.Add("# comment only\n")
+	f.Add("prod p { match op == nosuchop\n replace { } }")
+	f.Add("\x00{{}}")
+	f.Fuzz(func(t *testing.T, src string) {
+		ps, err := ParseProductions(src)
+		if err != nil {
+			if !errors.Is(err, ErrParse) {
+				t.Fatalf("error %v does not wrap ErrParse", err)
+			}
+			return
+		}
+		for _, p := range ps {
+			if p == nil {
+				t.Fatal("nil production without error")
+			}
+		}
+	})
+}

@@ -1,12 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"repro/internal/isa"
 )
+
+// ErrParse wraps every error returned by ParseProductions (and InstallFile's
+// parse phase): malformed production text is user error, classifiable with
+// errors.Is(err, ErrParse), never a panic.
+var ErrParse = errors.New("dise: parse")
 
 // The production language is the external representation of DISE
 // productions: a directive-annotated version of the native assembly
@@ -64,7 +70,10 @@ func ParseProductions(src string) ([]*ParsedProduction, error) {
 	return p.parse()
 }
 
-// MustParseProductions is ParseProductions for known-good text.
+// MustParseProductions is ParseProductions for known-good text; it panics on
+// error. The panic marks a programmer error (a production literal in source
+// that fails to parse), never a data-dependent condition: code handling
+// external production text must call ParseProductions.
 func MustParseProductions(src string) []*ParsedProduction {
 	out, err := ParseProductions(src)
 	if err != nil {
@@ -110,7 +119,7 @@ type prodParser struct {
 }
 
 func (p *prodParser) errf(format string, v ...any) error {
-	return fmt.Errorf("dise: line %d: %s", p.pos, fmt.Sprintf(format, v...))
+	return fmt.Errorf("%w: line %d: %s", ErrParse, p.pos, fmt.Sprintf(format, v...))
 }
 
 func (p *prodParser) next() (string, bool) {
@@ -348,14 +357,14 @@ func (p *prodParser) parseReplace(name string) (*Replacement, error) {
 		if pd.label != "" {
 			t, ok := labels[pd.label]
 			if !ok {
-				return nil, fmt.Errorf("dise: line %d: undefined label @%s", pd.line, pd.label)
+				return nil, fmt.Errorf("%w: line %d: undefined label @%s", ErrParse, pd.line, pd.label)
 			}
 			ri.Imm = ImmField{Dir: ImmLit, Lit: int64(t)}
 		}
 		repl.Insts = append(repl.Insts, ri)
 	}
 	if err := repl.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
 	}
 	return repl, nil
 }

@@ -59,6 +59,17 @@ type Config struct {
 	Mem mem.HierarchyConfig
 
 	DiseMode DiseMode
+
+	// MaxCycles, when positive, is a watchdog: a run whose commit clock
+	// passes it stops with emu.TrapWatchdog. It bounds trials whose control
+	// flow was corrupted into a non-terminating loop the instruction budget
+	// alone would take too long to catch.
+	MaxCycles int64
+
+	// Hook, when set, observes the run once per dynamic instruction, after
+	// it is scheduled. Fault campaigns use it to corrupt the cache hierarchy
+	// mid-run; it must not retain h beyond the call.
+	Hook func(insts int64, h *mem.Hierarchy)
 }
 
 // DefaultConfig is the paper's §4 configuration: 4-wide, 12-stage, 128-entry
@@ -127,14 +138,25 @@ func (b *bandwidthCursor) close() { b.count = b.width }
 
 // Run executes machine m to completion under the timing model and returns
 // the result. The machine must be freshly created (its expander and any
-// dedicated registers already configured).
-func Run(m *emu.Machine, cfg Config) *Result {
+// dedicated registers already configured). Run never panics on machine
+// misbehavior: a host-side invariant violation surfaces as emu.TrapInternal
+// in Result.Err.
+func Run(m *emu.Machine, cfg Config) (res *Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = &Result{Err: &emu.Trap{Kind: emu.TrapInternal,
+				Detail: fmt.Sprintf("cpu: %v", r)}}
+		}
+	}()
 	if cfg.Width <= 0 || cfg.ROB <= 0 || cfg.PipeDepth <= 0 {
 		return &Result{Err: fmt.Errorf("cpu: bad config %+v", cfg)}
 	}
-	h := mem.NewHierarchy(cfg.Mem)
+	h, err := mem.NewHierarchyChecked(cfg.Mem)
+	if err != nil {
+		return &Result{Err: fmt.Errorf("cpu: %w", err)}
+	}
 	pred := NewPredictor()
-	res := &Result{}
+	res = &Result{}
 
 	redirectPenalty := int64(cfg.PipeDepth)
 	if cfg.DiseMode == DisePipe {
@@ -152,7 +174,13 @@ func Run(m *emu.Machine, cfg Config) *Result {
 		idx        int64
 	)
 
+	var watchdog error
 	for {
+		if cfg.MaxCycles > 0 && lastCommit > cfg.MaxCycles {
+			watchdog = &emu.Trap{Kind: emu.TrapWatchdog, PC: m.PC(), DISEPC: m.DISEPC(),
+				Detail: fmt.Sprintf("no completion within %d cycles", cfg.MaxCycles)}
+			break
+		}
 		d, ok := m.Step()
 		if !ok {
 			break
@@ -185,10 +213,16 @@ func Run(m *emu.Machine, cfg Config) *Result {
 		dc = dispatch.slot(dc)
 
 		// ----- execute -----
+		// Register indices are bounds-checked: a hostile or fault-corrupted
+		// expander can emit registers outside the architectural file, and the
+		// scheduler must degrade (treat them as always-ready) rather than
+		// crash the host.
 		start := dc + 1
 		for _, r := range d.Inst.Sources() {
-			if t := regReady[r]; t > start {
-				start = t
+			if int(r) < len(regReady) {
+				if t := regReady[r]; t > start {
+					start = t
+				}
 			}
 		}
 		lat := int64(execLatency(d.Inst.Op))
@@ -201,7 +235,7 @@ func Run(m *emu.Machine, cfg Config) *Result {
 			// not stall dependents.
 		}
 		done := start + lat
-		if dest := d.Inst.Dest(); dest != isa.NoReg && dest != isa.RegZero {
+		if dest := d.Inst.Dest(); dest != isa.NoReg && dest != isa.RegZero && int(dest) < len(regReady) {
 			regReady[dest] = done
 		}
 
@@ -253,6 +287,9 @@ func Run(m *emu.Machine, cfg Config) *Result {
 		if d.IsApp {
 			res.AppInsts++
 		}
+		if cfg.Hook != nil {
+			cfg.Hook(res.Insts, h)
+		}
 	}
 
 	res.Cycles = lastCommit
@@ -262,6 +299,9 @@ func Run(m *emu.Machine, cfg Config) *Result {
 	res.DCacheMisses = h.DL1.Stats.Misses
 	res.Output = m.Output()
 	res.Err = m.Err()
+	if watchdog != nil {
+		res.Err = watchdog
+	}
 	return res
 }
 

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/program"
 )
 
@@ -301,5 +303,90 @@ func TestResultCountsMatchEmu(t *testing.T) {
 	}
 	if r.AppInsts != r.Emu.AppInsts {
 		t.Errorf("timed app insts %d != emu app %d", r.AppInsts, r.Emu.AppInsts)
+	}
+}
+
+func TestWatchdogStopsInfiniteLoop(t *testing.T) {
+	m := emu.New(asm.MustAssemble("t", `
+.entry main
+main:
+    br zero, main
+`))
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 10000
+	r := Run(m, cfg)
+	var trap *emu.Trap
+	if !errors.As(r.Err, &trap) || trap.Kind != emu.TrapWatchdog {
+		t.Fatalf("err = %v, want watchdog trap", r.Err)
+	}
+	if r.Cycles > cfg.MaxCycles+1000 {
+		t.Errorf("watchdog fired too late: %d cycles", r.Cycles)
+	}
+}
+
+func TestWatchdogQuietOnNormalRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 1 << 40
+	r := run(t, chainLoop(3), cfg)
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+}
+
+func TestHookSeesEveryInstruction(t *testing.T) {
+	cfg := DefaultConfig()
+	var calls int64
+	cfg.Hook = func(insts int64, h *mem.Hierarchy) {
+		calls = insts
+		if h == nil {
+			t.Fatal("hook got nil hierarchy")
+		}
+	}
+	r := run(t, chainLoop(3), cfg)
+	if calls != r.Insts {
+		t.Errorf("hook saw %d instructions, committed %d", calls, r.Insts)
+	}
+}
+
+func TestBadHierarchyConfigIsError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mem.IL1.Size = 7 // not divisible into sets
+	m := emu.New(asm.MustAssemble("t", chainLoop(1)))
+	r := Run(m, cfg)
+	if !errors.Is(r.Err, mem.ErrConfig) {
+		t.Fatalf("err = %v, want ErrConfig", r.Err)
+	}
+}
+
+func TestHostileDestRegisterDoesNotPanic(t *testing.T) {
+	// An expander that emits out-of-range register indices must not crash
+	// the scheduler.
+	src := `
+.entry main
+main:
+    li r1, 1
+    halt
+`
+	m := emu.New(asm.MustAssemble("t", src))
+	m.SetExpander(hostileExpander{})
+	r := Run(m, DefaultConfig())
+	if r.Err != nil {
+		var trap *emu.Trap
+		if errors.As(r.Err, &trap) && trap.Kind == emu.TrapInternal {
+			t.Fatalf("scheduler panicked internally: %v", r.Err)
+		}
+	}
+}
+
+type hostileExpander struct{}
+
+func (hostileExpander) Expand(in isa.Inst, pc uint64) *core.Expansion {
+	if in.Op != isa.OpLDA {
+		return nil
+	}
+	bad := isa.Inst{Op: isa.OpADDQ, RS: isa.Reg(200), RT: isa.Reg(201), RD: isa.Reg(202)}
+	return &core.Expansion{
+		Insts:     []isa.Inst{bad, in},
+		Templates: []core.ReplInst{core.FromLiteral(bad), core.TriggerInst()},
 	}
 }

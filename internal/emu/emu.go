@@ -7,7 +7,6 @@ package emu
 
 import (
 	"bytes"
-	"errors"
 	"fmt"
 
 	"repro/internal/core"
@@ -22,13 +21,18 @@ type Expander interface {
 	Expand(in isa.Inst, pc uint64) *core.Expansion
 }
 
-// Errors reported by execution.
+// Errors reported by execution. Both are *Trap members of the typed trap
+// hierarchy: use errors.Is against them (or errors.As to a *Trap) — never
+// pointer equality — to classify a termination error.
 var (
-	// ErrACFViolation is raised by "sys 3": an ACF detected a violation
-	// (e.g. memory fault isolation caught an out-of-segment access).
-	ErrACFViolation = errors.New("emu: ACF violation")
-	// ErrBudget is raised when the dynamic instruction budget is exhausted.
-	ErrBudget = errors.New("emu: instruction budget exhausted")
+	// ErrACFViolation matches any trap raised by an ACF check (e.g. memory
+	// fault isolation catching an out-of-segment access via "sys 3" or a
+	// jump to the kernel trap vector), including refined kinds such as
+	// TrapOutOfSegment.
+	ErrACFViolation = &Trap{Kind: TrapACFViolation, ACF: true, Detail: "ACF violation"}
+	// ErrBudget matches the trap raised when the dynamic instruction budget
+	// is exhausted.
+	ErrBudget = &Trap{Kind: TrapBudget, Detail: "instruction budget exhausted"}
 )
 
 // DynInst is one executed dynamic instruction, annotated with everything the
@@ -92,9 +96,10 @@ type Machine struct {
 
 	expander Expander
 
-	unit   int // current application unit
-	halted bool
-	err    error
+	unit        int // current application unit
+	halted      bool
+	err         error
+	strictAlign bool
 
 	// in-flight replacement sequence
 	seq      []isa.Inst
@@ -127,6 +132,12 @@ func (m *Machine) SetExpander(e Expander) { m.expander = e }
 // SetBudget limits the number of dynamic instructions executed; exceeding it
 // stops the machine with ErrBudget.
 func (m *Machine) SetBudget(n int64) { m.budget = n }
+
+// SetStrictAlign enables natural-alignment checking for data accesses:
+// a misaligned load or store raises TrapUnaligned instead of executing.
+// Off by default (EVR memory is byte-addressed and alignment-free), it turns
+// corrupted-address accesses into observable trap events for fault campaigns.
+func (m *Machine) SetStrictAlign(on bool) { m.strictAlign = on }
 
 // Reg returns register r (dedicated registers included).
 func (m *Machine) Reg(r isa.Reg) uint64 {
@@ -161,8 +172,28 @@ func (m *Machine) Done() bool { return m.halted }
 // Err returns the termination error, nil after a clean halt.
 func (m *Machine) Err() error { return m.err }
 
-// PC returns the current application PC (byte address).
-func (m *Machine) PC() uint64 { return m.prog.Addr(m.unit) }
+// PC returns the current application PC (byte address), or 0 if the PC has
+// run off the text image (the next Step will raise TrapPCOutOfText).
+func (m *Machine) PC() uint64 {
+	if m.unit < 0 || m.unit >= m.prog.NumUnits() {
+		return 0
+	}
+	return m.prog.Addr(m.unit)
+}
+
+// InReplacement reports whether a replacement sequence is in flight.
+func (m *Machine) InReplacement() bool { return m.seq != nil }
+
+// NextInst returns the application instruction the machine will fetch next,
+// when it sits at an application-stream boundary (running, no replacement
+// sequence in flight, PC inside text). Fault injectors use it to time
+// corruption relative to a specific upcoming instruction.
+func (m *Machine) NextInst() (isa.Inst, bool) {
+	if m.halted || m.seq != nil || m.unit < 0 || m.unit >= m.prog.NumUnits() {
+		return isa.Inst{}, false
+	}
+	return m.prog.Text[m.unit], true
+}
 
 // DISEPC returns the current offset within an in-flight replacement
 // sequence, 0 otherwise.
@@ -178,6 +209,34 @@ func (m *Machine) stop(err error) {
 	m.err = err
 }
 
+// trap builds a precise trap at the current PC:DISEPC.
+func (m *Machine) trap(kind TrapKind, addr uint64, detail string) *Trap {
+	return &Trap{Kind: kind, PC: m.PC(), DISEPC: m.DISEPC(), Addr: addr, Detail: detail}
+}
+
+// acfTrap classifies an ACF-raised violation (sys 3, or a jump to the kernel
+// trap vector at address 0). When the violation fires inside a replacement
+// sequence guarding a memory or jump trigger — the MFI shapes — the trap is
+// refined to TrapOutOfSegment and records the faulting effective address the
+// check rejected; otherwise it stays the generic TrapACFViolation.
+func (m *Machine) acfTrap() *Trap {
+	t := m.trap(TrapACFViolation, 0, "")
+	t.ACF = true
+	if m.seq == nil {
+		return t
+	}
+	trig := m.trigger
+	switch {
+	case trig.Op.IsMem():
+		t.Kind = TrapOutOfSegment
+		t.Addr = m.Reg(trig.RS) + uint64(trig.Imm)
+	case trig.Op.Class() == isa.ClassJump:
+		t.Kind = TrapOutOfSegment
+		t.Addr = m.Reg(trig.RS)
+	}
+	return t
+}
+
 // Step executes one dynamic instruction and returns its record.
 // After the machine halts, Step returns ok == false.
 func (m *Machine) Step() (DynInst, bool) {
@@ -185,7 +244,7 @@ func (m *Machine) Step() (DynInst, bool) {
 		return DynInst{}, false
 	}
 	if m.Stats.Total >= m.budget {
-		m.stop(fmt.Errorf("%w after %d instructions", ErrBudget, m.Stats.Total))
+		m.stop(m.trap(TrapBudget, 0, fmt.Sprintf("budget exhausted after %d instructions", m.Stats.Total)))
 		return DynInst{}, false
 	}
 
@@ -198,7 +257,7 @@ func (m *Machine) Step() (DynInst, bool) {
 // stepApplication fetches, possibly expands, and executes at the current PC.
 func (m *Machine) stepApplication() (DynInst, bool) {
 	if m.unit < 0 || m.unit >= m.prog.NumUnits() {
-		m.stop(fmt.Errorf("emu: PC out of text (unit %d)", m.unit))
+		m.stop(m.trap(TrapPCOutOfText, 0, fmt.Sprintf("sequential fetch ran off text (unit %d)", m.unit)))
 		return DynInst{}, false
 	}
 	in := m.prog.Text[m.unit]
@@ -206,6 +265,13 @@ func (m *Machine) stepApplication() (DynInst, bool) {
 
 	if m.expander != nil {
 		if exp := m.expander.Expand(in, pc); exp != nil && exp.Insts != nil {
+			if len(exp.Insts) == 0 || len(exp.Templates) != len(exp.Insts) {
+				// A structurally broken expansion (e.g. a corrupted RT entry)
+				// is an architectural event, not a host crash.
+				m.stop(&Trap{Kind: TrapRTCorrupt, PC: pc,
+					Detail: fmt.Sprintf("malformed expansion: %d insts, %d templates", len(exp.Insts), len(exp.Templates))})
+				return DynInst{}, false
+			}
 			m.seq = exp.Insts
 			m.seqTmpl = exp.Templates
 			m.seqIdx = 0
@@ -229,6 +295,18 @@ func (m *Machine) stepReplacement() (DynInst, bool) {
 	idx := m.seqIdx
 	in := m.seq[idx]
 	tmpl := m.seqTmpl[idx]
+	if !in.Op.Valid() {
+		// A corrupted RT entry delivered garbage into the replacement stream.
+		kind := TrapRTCorrupt
+		if tmpl.Trigger || tmpl.OpFromTrigger {
+			// The slot standing in for the fetched instruction: the corruption
+			// came in through fetch, so it decodes as an illegal instruction.
+			kind = TrapIllegalInst
+		}
+		m.stop(&Trap{Kind: kind, PC: m.trigPC, DISEPC: idx,
+			Detail: fmt.Sprintf("invalid opcode %v in replacement sequence", in.Op)})
+		return DynInst{}, false
+	}
 	// A T.INSN splice or a re-emitted trigger opcode (%op ...) stands in
 	// for the application instruction: it counts as one and keeps the
 	// trigger's branch-prediction eligibility.
@@ -366,6 +444,9 @@ func (m *Machine) applyEffects(in isa.Inst, d *DynInst) (bool, int) {
 		addr := m.Reg(in.RS) + uint64(in.Imm)
 		d.IsLoad, d.MemAddr = true, addr
 		m.Stats.Loads++
+		if !m.alignOK(in.Op, addr) {
+			return false, 0
+		}
 		if in.Op == isa.OpLDQ {
 			m.SetReg(in.RD, m.mem.Read64(addr))
 		} else {
@@ -375,6 +456,9 @@ func (m *Machine) applyEffects(in isa.Inst, d *DynInst) (bool, int) {
 		addr := m.Reg(in.RS) + uint64(in.Imm)
 		d.IsStore, d.MemAddr = true, addr
 		m.Stats.Stores++
+		if !m.alignOK(in.Op, addr) {
+			return false, 0
+		}
 		if in.Op == isa.OpSTQ {
 			m.mem.Write64(addr, m.Reg(in.RT))
 		} else {
@@ -473,12 +557,30 @@ func (m *Machine) applyEffects(in isa.Inst, d *DynInst) (bool, int) {
 		m.sys(in.Imm)
 	default:
 		if in.Op.Class() == isa.ClassCodeword {
-			m.stop(fmt.Errorf("emu: unexpanded codeword %v at unit %d", in, unit))
+			m.stop(m.trap(TrapBadCodeword, 0, fmt.Sprintf("unexpanded codeword %v at unit %d", in, unit)))
 		} else {
-			m.stop(fmt.Errorf("emu: unimplemented %v", in))
+			m.stop(m.trap(TrapIllegalInst, 0, fmt.Sprintf("undefined or unimplemented instruction %v", in)))
 		}
 	}
 	return false, 0
+}
+
+// alignOK checks natural alignment under SetStrictAlign, raising
+// TrapUnaligned on a misaligned access. It always passes when strict
+// alignment is off.
+func (m *Machine) alignOK(op isa.Opcode, addr uint64) bool {
+	if !m.strictAlign {
+		return true
+	}
+	var mask uint64 = 7 // LDQ/STQ: 8-byte
+	if op == isa.OpLDL || op == isa.OpSTL {
+		mask = 3
+	}
+	if addr&mask != 0 {
+		m.stop(m.trap(TrapUnaligned, addr, fmt.Sprintf("misaligned %v", op)))
+		return false
+	}
+	return true
 }
 
 // jumpUnit resolves an indirect-jump target. Address 0 is the kernel trap
@@ -486,12 +588,12 @@ func (m *Machine) applyEffects(in isa.Inst, d *DynInst) (bool, int) {
 // kernel terminates the offender.
 func (m *Machine) jumpUnit(target uint64) int {
 	if target == 0 {
-		m.stop(ErrACFViolation)
+		m.stop(m.acfTrap())
 		return 0
 	}
 	t := m.prog.UnitAt(target)
 	if t < 0 {
-		m.stop(fmt.Errorf("emu: indirect jump to %#x outside text", target))
+		m.stop(m.trap(TrapOutOfSegment, target, "indirect jump outside text"))
 		return 0
 	}
 	return t
@@ -511,9 +613,9 @@ func (m *Machine) sys(code int64) {
 	case isa.SysPutInt:
 		fmt.Fprintf(&m.output, "%d", int64(m.Reg(1)))
 	case isa.SysError:
-		m.stop(ErrACFViolation)
+		m.stop(m.acfTrap())
 	default:
-		m.stop(fmt.Errorf("emu: unknown sys code %d", code))
+		m.stop(m.trap(TrapBadSyscall, 0, fmt.Sprintf("unknown sys code %d", code)))
 	}
 }
 

@@ -1,6 +1,9 @@
 package emu
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sort"
+)
 
 const pageShift = 12
 const pageSize = 1 << pageShift
@@ -88,3 +91,46 @@ func (m *Memory) Load(base uint64, data []byte) {
 
 // Pages returns the number of materialized pages (memory footprint proxy).
 func (m *Memory) Pages() int { return len(m.pages) }
+
+// Checksum returns a deterministic FNV-1a digest of the entire memory image
+// (pages visited in address order, zero pages ignored). Fault campaigns
+// compare it against a golden run's digest to detect silent data corruption.
+func (m *Memory) Checksum() uint64 {
+	pns := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for _, pn := range pns {
+		p := m.pages[pn]
+		zero := true
+		for _, b := range p {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			// An all-zero page is indistinguishable from an untouched one.
+			continue
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], pn)
+		for _, b := range buf {
+			mix(b)
+		}
+		for _, b := range p {
+			mix(b)
+		}
+	}
+	return h
+}

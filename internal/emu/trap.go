@@ -1,0 +1,114 @@
+package emu
+
+import "fmt"
+
+// TrapKind classifies architectural traps. The emulator never panics on
+// guest-controlled input: every abnormal condition a program (or an injected
+// fault) can provoke terminates the machine with a *Trap carrying one of
+// these kinds, so harnesses can tell an ACF catch from a wild crash from a
+// hung trial.
+type TrapKind uint8
+
+// Trap kinds.
+const (
+	// TrapNone is the zero kind; it never appears in a raised trap.
+	TrapNone TrapKind = iota
+	// TrapACFViolation: an ACF check failed (sys 3, or a jump to the kernel
+	// trap vector at address 0) and the cause could not be refined further.
+	TrapACFViolation
+	// TrapOutOfSegment: an access escaped its legal segment — raised when an
+	// MFI-style check fires on a memory or jump trigger (the trap records the
+	// faulting address), or when an indirect jump leaves the text image.
+	TrapOutOfSegment
+	// TrapIllegalInst: an undefined or unimplemented opcode reached execute.
+	TrapIllegalInst
+	// TrapBadCodeword: a DISE codeword reached execute unexpanded (no engine,
+	// or no production/dictionary entry claims it).
+	TrapBadCodeword
+	// TrapUnaligned: a strict-alignment machine saw a misaligned data access.
+	TrapUnaligned
+	// TrapRTCorrupt: a replacement sequence was structurally bad — an invalid
+	// opcode inside RT-supplied instructions, or a malformed expansion.
+	TrapRTCorrupt
+	// TrapPCOutOfText: sequential fetch ran off the text image.
+	TrapPCOutOfText
+	// TrapBadSyscall: a sys instruction carried an unknown service code.
+	TrapBadSyscall
+	// TrapBudget: the dynamic instruction budget was exhausted.
+	TrapBudget
+	// TrapWatchdog: the cycle-level scheduler's forward-progress cap expired.
+	TrapWatchdog
+	// TrapInternal: a host-side invariant violation was converted to an error
+	// at a recover boundary instead of crashing the process.
+	TrapInternal
+
+	// NumTrapKinds is the number of defined trap kinds (including TrapNone).
+	NumTrapKinds
+)
+
+var trapNames = [NumTrapKinds]string{
+	TrapNone:         "none",
+	TrapACFViolation: "acf-violation",
+	TrapOutOfSegment: "out-of-segment",
+	TrapIllegalInst:  "illegal-inst",
+	TrapBadCodeword:  "bad-codeword",
+	TrapUnaligned:    "unaligned",
+	TrapRTCorrupt:    "rt-corrupt",
+	TrapPCOutOfText:  "pc-out-of-text",
+	TrapBadSyscall:   "bad-syscall",
+	TrapBudget:       "budget",
+	TrapWatchdog:     "watchdog",
+	TrapInternal:     "internal",
+}
+
+// String returns the kind's report name.
+func (k TrapKind) String() string {
+	if int(k) >= len(trapNames) {
+		return fmt.Sprintf("trap(%d)", uint8(k))
+	}
+	return trapNames[k]
+}
+
+// Trap is a precise architectural trap: what happened (Kind), where
+// (PC:DISEPC — the paper's precise-state pair, §2.1), and, for memory
+// events, the faulting address. It implements error; errors.Is matches on
+// Kind, and every trap raised by an ACF check additionally matches
+// ErrACFViolation, so policy code can ask the coarse question ("did an ACF
+// catch this?") or the precise one ("was it an out-of-segment store?").
+type Trap struct {
+	Kind   TrapKind
+	PC     uint64 // trigger PC of the faulting dynamic instruction
+	DISEPC int    // offset within the replacement sequence, 0 at app level
+	Addr   uint64 // faulting data/target address, when meaningful
+	ACF    bool   // raised by an ACF check (sys 3 / kernel trap vector)
+	Detail string
+}
+
+// Error implements error.
+func (t *Trap) Error() string {
+	s := fmt.Sprintf("emu: trap %s at pc=%#x", t.Kind, t.PC)
+	if t.DISEPC != 0 {
+		s += fmt.Sprintf(":%d", t.DISEPC)
+	}
+	if t.Addr != 0 {
+		s += fmt.Sprintf(" addr=%#x", t.Addr)
+	}
+	if t.Detail != "" {
+		s += ": " + t.Detail
+	}
+	return s
+}
+
+// Is supports errors.Is: traps match when their kinds agree, and a target of
+// kind TrapACFViolation (e.g. the ErrACFViolation sentinel) matches any trap
+// raised by an ACF check, however precisely classified.
+func (t *Trap) Is(target error) bool {
+	o, ok := target.(*Trap)
+	if !ok {
+		return false
+	}
+	if o.Kind == TrapACFViolation {
+		return t.ACF || t.Kind == TrapACFViolation
+	}
+	return t.Kind == o.Kind
+}

@@ -1,0 +1,214 @@
+package emu
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+func runSrc(t *testing.T, src string) error {
+	t.Helper()
+	return New(asm.MustAssemble("t", src)).Run()
+}
+
+func wantKind(t *testing.T, err error, kind TrapKind) *Trap {
+	t.Helper()
+	var trap *Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("err = %v (%T), want *Trap", err, err)
+	}
+	if trap.Kind != kind {
+		t.Fatalf("trap kind = %v, want %v (err: %v)", trap.Kind, kind, err)
+	}
+	return trap
+}
+
+func TestTrapBadSyscall(t *testing.T) {
+	err := runSrc(t, `
+.entry main
+main:
+    sys 99
+    halt
+`)
+	wantKind(t, err, TrapBadSyscall)
+}
+
+func TestTrapPCOutOfText(t *testing.T) {
+	// No halt: sequential fetch runs off the image.
+	err := runSrc(t, `
+.entry main
+main:
+    li r1, 1
+`)
+	wantKind(t, err, TrapPCOutOfText)
+}
+
+func TestTrapOutOfSegmentJump(t *testing.T) {
+	err := runSrc(t, `
+.entry main
+main:
+    li r1, 12345
+    jmp zero, (r1)
+`)
+	trap := wantKind(t, err, TrapOutOfSegment)
+	if trap.Addr != 12345 {
+		t.Errorf("trap addr = %#x, want 12345", trap.Addr)
+	}
+	if trap.ACF {
+		t.Error("plain wild jump is not an ACF event")
+	}
+}
+
+func TestTrapACFViolationViaSys3(t *testing.T) {
+	err := runSrc(t, `
+.entry main
+main:
+    sys 3
+`)
+	trap := wantKind(t, err, TrapACFViolation)
+	if !trap.ACF {
+		t.Error("sys 3 must be flagged as ACF-raised")
+	}
+	if !errors.Is(err, ErrACFViolation) {
+		t.Error("must match ErrACFViolation")
+	}
+}
+
+func TestTrapBudgetMatchesSentinel(t *testing.T) {
+	m := New(asm.MustAssemble("t", `
+.entry main
+main:
+    br zero, main
+`))
+	m.SetBudget(100)
+	err := m.Run()
+	wantKind(t, err, TrapBudget)
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("budget trap must match ErrBudget: %v", err)
+	}
+	if errors.Is(err, ErrACFViolation) {
+		t.Error("budget trap must not match ErrACFViolation")
+	}
+}
+
+func TestTrapBadCodeword(t *testing.T) {
+	// A dedicated codeword with no expander (or no matching production)
+	// reaching execute is an architectural trap, not a crash.
+	p := asm.MustAssemble("t", `
+.entry main
+main:
+    res0 1, 2, 3, #5
+    halt
+`)
+	err := New(p).Run()
+	wantKind(t, err, TrapBadCodeword)
+}
+
+func TestTrapUnalignedStrictMode(t *testing.T) {
+	src := `
+.entry main
+main:
+    li r1, 3
+    ldq r2, 0(r1)
+    halt
+`
+	// Default: byte-addressed, alignment-free.
+	if err := runSrc(t, src); err != nil {
+		t.Fatalf("alignment-free machine faulted: %v", err)
+	}
+	m := New(asm.MustAssemble("t", src))
+	m.SetStrictAlign(true)
+	trap := wantKind(t, m.Run(), TrapUnaligned)
+	if trap.Addr != 3 {
+		t.Errorf("trap addr = %#x, want 3", trap.Addr)
+	}
+}
+
+func TestTrapErrorStringsNameTheKind(t *testing.T) {
+	for k := TrapKind(1); k < NumTrapKinds; k++ {
+		tr := &Trap{Kind: k, PC: 0x40}
+		if !strings.Contains(tr.Error(), k.String()) {
+			t.Errorf("trap %v: error %q does not name the kind", k, tr.Error())
+		}
+	}
+}
+
+func TestTrapIsSemantics(t *testing.T) {
+	oos := &Trap{Kind: TrapOutOfSegment, ACF: true, Addr: 0x999}
+	if !errors.Is(oos, ErrACFViolation) {
+		t.Error("ACF-raised out-of-segment must match ErrACFViolation")
+	}
+	if !errors.Is(oos, &Trap{Kind: TrapOutOfSegment}) {
+		t.Error("kind equality must match")
+	}
+	if errors.Is(oos, &Trap{Kind: TrapIllegalInst}) {
+		t.Error("different kinds must not match")
+	}
+	plain := &Trap{Kind: TrapOutOfSegment}
+	if errors.Is(plain, ErrACFViolation) {
+		t.Error("non-ACF out-of-segment must not match ErrACFViolation")
+	}
+	if errors.Is(errors.New("x"), ErrACFViolation) {
+		t.Error("foreign errors must not match")
+	}
+}
+
+func TestTrapKindStringsTotal(t *testing.T) {
+	for k := TrapKind(0); k < NumTrapKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "trap(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if s := TrapKind(200).String(); !strings.HasPrefix(s, "trap(") {
+		t.Errorf("out-of-range kind misrendered: %q", s)
+	}
+}
+
+func TestNextInstAndInReplacement(t *testing.T) {
+	m := New(asm.MustAssemble("t", `
+.entry main
+main:
+    li r1, 1
+    halt
+`))
+	in, ok := m.NextInst()
+	if !ok || in.Op != isa.OpLDA {
+		t.Fatalf("NextInst = %v, %v; want the li expansion", in, ok)
+	}
+	if m.InReplacement() {
+		t.Error("fresh machine cannot be mid-sequence")
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.NextInst(); ok {
+		t.Error("halted machine still reports a next instruction")
+	}
+}
+
+func TestMemoryChecksumDetectsWrites(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	if a.Checksum() != b.Checksum() {
+		t.Fatal("empty memories differ")
+	}
+	a.Write64(0x8000, 42)
+	b.Write64(0x8000, 42)
+	if a.Checksum() != b.Checksum() {
+		t.Error("identical writes differ")
+	}
+	b.StoreByte(0x9000, 1)
+	if a.Checksum() == b.Checksum() {
+		t.Error("divergent writes collide")
+	}
+	// An all-zero page is indistinguishable from an untouched one.
+	a.StoreByte(0x20000, 7)
+	a.StoreByte(0x20000, 0)
+	c := NewMemory()
+	c.Write64(0x8000, 42)
+	if a.Checksum() != c.Checksum() {
+		t.Error("zeroed page changed the checksum")
+	}
+}

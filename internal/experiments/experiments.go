@@ -67,7 +67,12 @@ func names(ps []workload.Profile) []string {
 	return out
 }
 
-// run times a program on cfg with an optional machine preparer.
+// run times a program on cfg with an optional machine preparer. It (and the
+// other panics in this package) may panic: the harnesses run only the
+// built-in workloads with known-good productions, so any failure is a
+// regression in the simulator itself and should abort figure generation
+// loudly rather than skew a series. Code that runs guest-supplied programs
+// goes through cpu.Run / emu.Run and gets typed traps instead.
 func run(prog *program.Program, cfg cpu.Config, prep func(*emu.Machine)) *cpu.Result {
 	m := emu.New(prog)
 	if prep != nil {

@@ -1,0 +1,359 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/program"
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	Seed   int64
+	Trials int
+	// Sites are cycled round-robin across trials; nil means every site
+	// (SiteICache included only when Timing is set).
+	Sites []Site
+
+	// Build constructs a fresh machine for one trial: program loaded,
+	// productions installed, dedicated registers initialized — everything
+	// except SetExpander, which the campaign wires itself (interposing the
+	// fetch faulter). The returned engine may be nil for a DISE-less
+	// machine. RT corruption needs a non-perfect RT to have anything to hit.
+	Build func() (*emu.Machine, *core.Engine)
+
+	// Timing runs every trial under the cycle-level model (with the
+	// MaxCycles watchdog). SiteICache trials use it regardless.
+	Timing bool
+	CPU    cpu.Config
+
+	// BudgetFactor bounds each trial at golden-instructions × factor
+	// (plus slack), guaranteeing termination; 0 means 4.
+	BudgetFactor int64
+}
+
+// Report is the outcome matrix of a campaign. All state is fixed-size
+// arrays, so its String rendering is deterministic.
+type Report struct {
+	Seed   int64
+	Trials int
+
+	// Matrix counts trials by (site, outcome).
+	Matrix [NumSites][NumOutcomes]int
+	// Kinds counts the trap kinds of terminated trials.
+	Kinds [emu.NumTrapKinds]int
+
+	// WildInjected/WildCaught track SiteWildAddr trials: injected
+	// out-of-segment accesses, and how many an ACF caught.
+	WildInjected int
+	WildCaught   int
+}
+
+// MFIWildCatchRate returns the fraction of injected out-of-segment accesses
+// caught by an ACF (0 when none were injected).
+func (r *Report) MFIWildCatchRate() float64 {
+	if r.WildInjected == 0 {
+		return 0
+	}
+	return float64(r.WildCaught) / float64(r.WildInjected)
+}
+
+// String renders the coverage matrix.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault campaign: %d trials, seed %d\n", r.Trials, r.Seed)
+	fmt.Fprintf(&b, "%-10s", "site")
+	for o := Outcome(0); o < NumOutcomes; o++ {
+		fmt.Fprintf(&b, " %10s", o)
+	}
+	b.WriteByte('\n')
+	for s := Site(0); s < NumSites; s++ {
+		total := 0
+		for _, n := range r.Matrix[s] {
+			total += n
+		}
+		if total == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s", s)
+		for o := Outcome(0); o < NumOutcomes; o++ {
+			fmt.Fprintf(&b, " %10d", r.Matrix[s][o])
+		}
+		b.WriteByte('\n')
+	}
+	first := true
+	for k := emu.TrapKind(0); k < emu.NumTrapKinds; k++ {
+		if r.Kinds[k] == 0 {
+			continue
+		}
+		if first {
+			b.WriteString("traps:")
+			first = false
+		}
+		fmt.Fprintf(&b, " %s=%d", k, r.Kinds[k])
+	}
+	if !first {
+		b.WriteByte('\n')
+	}
+	if r.WildInjected > 0 {
+		fmt.Fprintf(&b, "wild-addr: injected=%d caught=%d (catch rate %.1f%%)\n",
+			r.WildInjected, r.WildCaught, 100*r.MFIWildCatchRate())
+	}
+	return b.String()
+}
+
+// golden is the fault-free reference a trial is compared against.
+type golden struct {
+	output   string
+	checksum uint64
+	total    int64 // dynamic instructions
+	app      int64 // application instructions (= fetches)
+	cycles   int64 // timing-model cycles, when a timing golden ran
+}
+
+// Run executes a campaign and returns its report. Every trial terminates
+// (budget and cycle watchdogs are derived from the golden run) and is
+// classified into exactly one outcome.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Build == nil {
+		return nil, errors.New("fault: Config.Build is required")
+	}
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("fault: bad trial count %d", cfg.Trials)
+	}
+	sites := cfg.Sites
+	if sites == nil {
+		for s := Site(0); s < NumSites; s++ {
+			if s == SiteICache && !cfg.Timing {
+				continue
+			}
+			sites = append(sites, s)
+		}
+	}
+	if len(sites) == 0 {
+		return nil, errors.New("fault: no sites")
+	}
+	factor := cfg.BudgetFactor
+	if factor <= 0 {
+		factor = 4
+	}
+	if cfg.CPU.Width == 0 {
+		cfg.CPU = cpu.DefaultConfig()
+	}
+
+	// Golden functional run: the reference output, memory image, and length.
+	g, err := goldenRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	needTiming := cfg.Timing
+	for _, s := range sites {
+		if s == SiteICache {
+			needTiming = true
+		}
+	}
+	if needTiming {
+		if err := goldenTiming(cfg, g); err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &Report{Seed: cfg.Seed, Trials: cfg.Trials}
+	for i := 0; i < cfg.Trials; i++ {
+		site := sites[i%len(sites)]
+		rng := rand.New(rand.NewSource(cfg.Seed*1000003 + int64(i)))
+		outcome, kind := runTrial(cfg, g, site, rng, factor)
+		rep.Matrix[site][outcome]++
+		if kind != emu.TrapNone {
+			rep.Kinds[kind]++
+		}
+		if site == SiteWildAddr && outcome != OutcomeNoInject {
+			rep.WildInjected++
+			if outcome == OutcomeACFCaught {
+				rep.WildCaught++
+			}
+		}
+	}
+	return rep, nil
+}
+
+func goldenRun(cfg Config) (*golden, error) {
+	m, eng := cfg.Build()
+	m.SetExpander(NewFetchFaulter(engineExpander(eng)))
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("fault: golden run failed: %w", err)
+	}
+	return &golden{
+		output:   m.Output(),
+		checksum: m.Mem().Checksum(),
+		total:    m.Stats.Total,
+		app:      m.Stats.AppInsts,
+	}, nil
+}
+
+func goldenTiming(cfg Config, g *golden) error {
+	m, eng := cfg.Build()
+	m.SetExpander(NewFetchFaulter(engineExpander(eng)))
+	res := cpu.Run(m, cfg.CPU)
+	if res.Err != nil {
+		return fmt.Errorf("fault: golden timing run failed: %w", res.Err)
+	}
+	g.cycles = res.Cycles
+	return nil
+}
+
+// engineExpander converts a possibly-nil *core.Engine into an emu.Expander
+// without producing a non-nil interface holding a nil pointer.
+func engineExpander(eng *core.Engine) emu.Expander {
+	if eng == nil {
+		return nil
+	}
+	return eng
+}
+
+// runTrial executes one trial and classifies it.
+func runTrial(cfg Config, g *golden, site Site, rng *rand.Rand, factor int64) (Outcome, emu.TrapKind) {
+	m, eng := cfg.Build()
+	f := NewFetchFaulter(engineExpander(eng))
+	m.SetExpander(f)
+	m.SetBudget(g.total*factor + 1000)
+
+	armAt := rng.Int63n(max64(g.total, 1))
+	if site == SiteFetch {
+		f.Arm(rng.Int63n(max64(g.app, 1)), uint(rng.Intn(32)))
+	}
+	injected := false
+	// injectAt perturbs machine state at one instruction boundary; for
+	// opportunistic sites (RT blocks, upcoming memory ops) it keeps trying
+	// from the armed boundary onward.
+	injectAt := func(step int64) {
+		if injected || step < armAt {
+			return
+		}
+		switch site {
+		case SiteReg:
+			r := isa.Reg(1 + rng.Intn(isa.NumArchRegs-1)) // skip the zero register
+			m.SetReg(r, m.Reg(r)^1<<uint(rng.Intn(64)))
+			injected = true
+		case SiteMem:
+			span := len(m.Program().Data)
+			if span == 0 {
+				span = 1 << 12
+			}
+			addr := program.DataBase + uint64(rng.Intn(span))
+			m.Mem().StoreByte(addr, m.Mem().LoadByte(addr)^1<<uint(rng.Intn(8)))
+			injected = true
+		case SiteRT:
+			if eng == nil {
+				return
+			}
+			if n := eng.ValidRTBlocks(); n > 0 {
+				injected = eng.CorruptRTBlock(rng.Intn(n), scrambleTemplates(rng))
+			}
+		case SiteWildAddr:
+			in, ok := m.NextInst()
+			if !ok || !in.Op.IsMem() {
+				return
+			}
+			base := in.RS
+			if !base.Valid() || base == isa.RegZero || !base.IsArch() {
+				return
+			}
+			m.SetReg(base, wildAddress(m.Reg(base)))
+			injected = true
+		}
+	}
+
+	var err error
+	if cfg.Timing || site == SiteICache {
+		ccfg := cfg.CPU
+		ccfg.MaxCycles = g.cycles*factor + 100000
+		ccfg.Hook = func(insts int64, h *mem.Hierarchy) {
+			if site == SiteICache {
+				if injected || insts < armAt {
+					return
+				}
+				if n := h.IL1.ValidLines(); n > 0 {
+					injected = h.IL1.FlipTagBit(rng.Intn(n), uint(rng.Intn(18)))
+				}
+				return
+			}
+			injectAt(insts)
+		}
+		err = cpu.Run(m, ccfg).Err
+	} else {
+		for step := int64(0); ; step++ {
+			injectAt(step)
+			if _, ok := m.Step(); !ok {
+				break
+			}
+		}
+		err = m.Err()
+	}
+	if site == SiteFetch {
+		injected = f.Injected
+	}
+
+	var kind = emu.TrapNone
+	var trap *emu.Trap
+	if errors.As(err, &trap) {
+		kind = trap.Kind
+	}
+	if !injected {
+		return OutcomeNoInject, kind
+	}
+	switch {
+	case err == nil:
+		if m.Output() == g.output && m.Mem().Checksum() == g.checksum {
+			return OutcomeClean, kind
+		}
+		return OutcomeSilent, kind
+	case errors.Is(err, emu.ErrACFViolation):
+		return OutcomeACFCaught, kind
+	case kind == emu.TrapBudget || kind == emu.TrapWatchdog:
+		return OutcomeWatchdog, kind
+	default:
+		return OutcomeTrapped, kind
+	}
+}
+
+// wildAddress relocates addr into segment 9 — far outside the text (1) and
+// data (2) segments — preserving its offset bits.
+func wildAddress(addr uint64) uint64 {
+	return addr&(1<<program.SegShift-1) | 9<<program.SegShift
+}
+
+// scrambleTemplates returns an RT-block mutator: it rewrites one template of
+// the block into garbage (invalid opcode, wild register, or wrong literal).
+func scrambleTemplates(rng *rand.Rand) func([]core.ReplInst) []core.ReplInst {
+	return func(tmpl []core.ReplInst) []core.ReplInst {
+		if len(tmpl) == 0 {
+			return tmpl
+		}
+		i := rng.Intn(len(tmpl))
+		switch rng.Intn(3) {
+		case 0:
+			tmpl[i].Trigger, tmpl[i].OpFromTrigger = false, false
+			tmpl[i].Op = isa.Opcode(0x3f) // reserved: decodes as invalid
+		case 1:
+			tmpl[i].RS = core.Lit(isa.Reg(rng.Intn(64)))
+		default:
+			tmpl[i].Imm = core.ImmField{Dir: core.ImmLit, Lit: int64(rng.Intn(1 << 13))}
+		}
+		return tmpl
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

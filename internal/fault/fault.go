@@ -1,0 +1,209 @@
+// Package fault is a deterministic, seedable fault-injection harness for the
+// DISE machine. It perturbs a run at named sites — fetched instruction
+// words, the register file, data memory, cached RT entries, I-cache tags,
+// and effective addresses — and classifies how the machine dies (or fails to
+// notice). Its headline measurement is the paper's own robustness claim made
+// testable: what fraction of out-of-segment accesses does the memory
+// fault-isolation ACF actually catch?
+//
+// Every trial derives its RNG from (seed, trial index), so campaigns are
+// exactly reproducible across runs and machines.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// Site names a fault-injection point.
+type Site int
+
+// Injection sites.
+const (
+	// SiteFetch flips one bit of a fetched instruction word before decode.
+	SiteFetch Site = iota
+	// SiteReg flips one bit of a random architectural register.
+	SiteReg
+	// SiteMem flips one bit of a random data-segment byte.
+	SiteMem
+	// SiteRT corrupts one cached RT block (templates are scrambled in the
+	// cached copy only, as a hardware soft error would).
+	SiteRT
+	// SiteICache flips one I-cache tag bit (timing-only: tags-only caches
+	// never corrupt values). Requires a timing run.
+	SiteICache
+	// SiteWildAddr redirects the base register of an upcoming memory access
+	// into an illegal segment — the access MFI is specified to catch.
+	SiteWildAddr
+
+	// NumSites is the number of defined sites.
+	NumSites
+)
+
+var siteNames = [NumSites]string{
+	SiteFetch:    "fetch",
+	SiteReg:      "reg",
+	SiteMem:      "mem",
+	SiteRT:       "rt",
+	SiteICache:   "icache",
+	SiteWildAddr: "wild-addr",
+}
+
+// String returns the site's report name.
+func (s Site) String() string {
+	if s < 0 || s >= NumSites {
+		return fmt.Sprintf("site(%d)", int(s))
+	}
+	return siteNames[s]
+}
+
+// SiteByName maps a report name back to its Site; ok is false for unknown
+// names.
+func SiteByName(name string) (Site, bool) {
+	for s, n := range siteNames {
+		if n == name {
+			return Site(s), true
+		}
+	}
+	return 0, false
+}
+
+// AllSites returns every defined site.
+func AllSites() []Site {
+	out := make([]Site, NumSites)
+	for i := range out {
+		out[i] = Site(i)
+	}
+	return out
+}
+
+// Outcome classifies how one trial terminated.
+type Outcome int
+
+// Trial outcomes.
+const (
+	// OutcomeClean: the run finished with output and memory identical to the
+	// golden run (the fault was masked).
+	OutcomeClean Outcome = iota
+	// OutcomeTrapped: the machine raised a typed trap other than an ACF
+	// violation (illegal instruction, out-of-text jump, ...).
+	OutcomeTrapped
+	// OutcomeACFCaught: an installed ACF detected the fault (the trap
+	// matches emu.ErrACFViolation).
+	OutcomeACFCaught
+	// OutcomeSilent: the run finished "successfully" but its output or
+	// memory image diverged from the golden run — silent corruption.
+	OutcomeSilent
+	// OutcomeWatchdog: the budget or cycle watchdog fired (the fault caused
+	// a hang or runaway loop).
+	OutcomeWatchdog
+	// OutcomeNoInject: the trial found no opportunity to inject (e.g. no
+	// valid RT block at the chosen instant); nothing was perturbed.
+	OutcomeNoInject
+
+	// NumOutcomes is the number of defined outcomes.
+	NumOutcomes
+)
+
+var outcomeNames = [NumOutcomes]string{
+	OutcomeClean:     "clean",
+	OutcomeTrapped:   "trapped",
+	OutcomeACFCaught: "acf-caught",
+	OutcomeSilent:    "silent",
+	OutcomeWatchdog:  "watchdog",
+	OutcomeNoInject:  "no-inject",
+}
+
+// String returns the outcome's report name.
+func (o Outcome) String() string {
+	if o < 0 || o >= NumOutcomes {
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+	return outcomeNames[o]
+}
+
+// FlipInstBit models a single-event upset in a fetched instruction word: the
+// instruction is re-encoded to its 32-bit machine form, one bit is flipped,
+// and the word is decoded again. A word that no longer decodes comes back as
+// an invalid-opcode instruction — exactly what a hardware decoder would hand
+// to the illegal-instruction trap path. Instructions with no machine
+// encoding (replacement-only forms) are returned invalid outright.
+func FlipInstBit(in isa.Inst, bit uint) isa.Inst {
+	w, err := isa.Encode(in)
+	if err != nil {
+		return isa.Inst{Op: isa.OpInvalid}
+	}
+	w ^= 1 << (bit & 31)
+	out, err := isa.Decode(w)
+	if err != nil {
+		return isa.Inst{Op: isa.OpInvalid}
+	}
+	return out
+}
+
+// FetchFaulter interposes on the machine's expander and corrupts exactly one
+// fetched instruction word, at a chosen fetch index. Unarmed, it is a
+// transparent passthrough (the golden run uses the same wiring). The
+// corrupted word is pushed into the execute stream via a single-instruction
+// pseudo-expansion when the inner engine declines to expand it, because the
+// emulator otherwise executes the pristine text image.
+type FetchFaulter struct {
+	Inner emu.Expander // wrapped engine; nil for a DISE-less machine
+
+	armed bool
+	armAt int64
+	bit   uint
+	count int64
+
+	// Injected reports whether the armed corruption happened, and PC where.
+	Injected   bool
+	InjectedPC uint64
+}
+
+// NewFetchFaulter wraps inner (which may be nil).
+func NewFetchFaulter(inner emu.Expander) *FetchFaulter {
+	return &FetchFaulter{Inner: inner}
+}
+
+// Arm schedules a bit-flip of the fetch with index at (0-based, counting
+// application fetches).
+func (f *FetchFaulter) Arm(at int64, bit uint) {
+	f.armed, f.armAt, f.bit = true, at, bit
+}
+
+// Expand implements emu.Expander.
+func (f *FetchFaulter) Expand(in isa.Inst, pc uint64) *core.Expansion {
+	idx := f.count
+	f.count++
+	hit := f.armed && idx == f.armAt
+	if hit {
+		f.armed = false
+		f.Injected = true
+		f.InjectedPC = pc
+		in = FlipInstBit(in, f.bit)
+	}
+	var exp *core.Expansion
+	if f.Inner != nil {
+		exp = f.Inner.Expand(in, pc)
+	}
+	if !hit {
+		return exp
+	}
+	if exp != nil && exp.Insts != nil {
+		// The engine expanded the corrupted word; its sequence carries the
+		// corruption (and any ACF checks) into execution.
+		return exp
+	}
+	stall := 0
+	if exp != nil {
+		stall = exp.Stall
+	}
+	return &core.Expansion{
+		Insts:     []isa.Inst{in},
+		Templates: []core.ReplInst{core.TriggerInst()},
+		Stall:     stall,
+	}
+}

@@ -1,0 +1,242 @@
+package fault_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/acf/mfi"
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/fault"
+	"repro/internal/isa"
+)
+
+// workload mirrors the MFI benchmark: a store/load loop over a data array,
+// so every site (fetch, registers, memory, RT, wild addresses) has targets.
+const workload = `
+.entry main
+.data
+arr: .space 4096
+.text
+main:
+    li r2, 60
+    la r1, arr
+outer:
+    bsr ra, body
+    subqi r2, 1, r2
+    bgt r2, outer
+    halt
+body:
+    li r3, 16
+    mov r1, r4
+inner:
+    ldq r5, 0(r4)
+    addqi r5, 1, r5
+    stq r5, 0(r4)
+    addqi r4, 8, r4
+    subqi r3, 1, r3
+    bgt r3, inner
+    ret
+`
+
+func buildMFI(t *testing.T) func() (*emu.Machine, *core.Engine) {
+	t.Helper()
+	prog := asm.MustAssemble("w", workload)
+	return func() (*emu.Machine, *core.Engine) {
+		m := emu.New(prog)
+		c := core.NewController(core.DefaultEngineConfig())
+		if _, err := mfi.Install(c, mfi.DISE3); err != nil {
+			t.Fatal(err)
+		}
+		mfi.Setup(m)
+		return m, c.Engine()
+	}
+}
+
+func buildBare(t *testing.T) func() (*emu.Machine, *core.Engine) {
+	t.Helper()
+	prog := asm.MustAssemble("w", workload)
+	return func() (*emu.Machine, *core.Engine) {
+		return emu.New(prog), nil
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	cfg := fault.Config{Seed: 7, Trials: 60, Build: buildMFI(t)}
+	a, err := fault.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fault.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed, different reports:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestCampaignClassifiesEveryTrial(t *testing.T) {
+	rep, err := fault.Run(fault.Config{Seed: 1, Trials: 100, Build: buildMFI(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for s := fault.Site(0); s < fault.NumSites; s++ {
+		for o := fault.Outcome(0); o < fault.NumOutcomes; o++ {
+			total += rep.Matrix[s][o]
+		}
+	}
+	if total != 100 {
+		t.Errorf("classified %d of 100 trials:\n%s", total, rep)
+	}
+}
+
+func TestMFICatchesInjectedWildAccesses(t *testing.T) {
+	rep, err := fault.Run(fault.Config{
+		Seed: 1, Trials: 80,
+		Sites: []fault.Site{fault.SiteWildAddr},
+		Build: buildMFI(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WildInjected == 0 {
+		t.Fatalf("no wild accesses injected:\n%s", rep)
+	}
+	if rate := rep.MFIWildCatchRate(); rate < 0.95 {
+		t.Errorf("MFI catch rate = %.2f, want >= 0.95:\n%s", rate, rep)
+	}
+}
+
+func TestWildAccessesSilentWithoutMFI(t *testing.T) {
+	rep, err := fault.Run(fault.Config{
+		Seed: 1, Trials: 40,
+		Sites: []fault.Site{fault.SiteWildAddr},
+		Build: buildBare(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Matrix[fault.SiteWildAddr][fault.OutcomeACFCaught] != 0 {
+		t.Errorf("no ACF installed, yet trials classified acf-caught:\n%s", rep)
+	}
+	if rep.Matrix[fault.SiteWildAddr][fault.OutcomeSilent] == 0 {
+		t.Errorf("wild stores without MFI should corrupt silently:\n%s", rep)
+	}
+}
+
+func TestICacheCorruptionIsTimingOnly(t *testing.T) {
+	rep, err := fault.Run(fault.Config{
+		Seed: 3, Trials: 10,
+		Sites:  []fault.Site{fault.SiteICache},
+		Build:  buildMFI(t),
+		Timing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rep.Matrix[fault.SiteICache]
+	if n := row[fault.OutcomeSilent] + row[fault.OutcomeTrapped]; n != 0 {
+		t.Errorf("tag-only corruption must not change architectural state:\n%s", rep)
+	}
+	if row[fault.OutcomeClean] == 0 {
+		t.Errorf("expected clean icache trials:\n%s", rep)
+	}
+}
+
+func TestTimingCampaignRuns(t *testing.T) {
+	rep, err := fault.Run(fault.Config{
+		Seed: 5, Trials: 24, Build: buildMFI(t), Timing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for s := fault.Site(0); s < fault.NumSites; s++ {
+		for o := fault.Outcome(0); o < fault.NumOutcomes; o++ {
+			total += rep.Matrix[s][o]
+		}
+	}
+	if total != 24 {
+		t.Errorf("classified %d of 24 trials:\n%s", total, rep)
+	}
+}
+
+func TestFetchFaulterUnarmedIsPassthrough(t *testing.T) {
+	prog := asm.MustAssemble("w", workload)
+	base := emu.New(prog)
+	if err := base.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(prog)
+	m.SetExpander(fault.NewFetchFaulter(nil))
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Output() != base.Output() || m.Mem().Checksum() != base.Mem().Checksum() {
+		t.Error("unarmed faulter changed execution")
+	}
+	if m.Stats.Total != base.Stats.Total {
+		t.Errorf("unarmed faulter changed instruction count: %d != %d", m.Stats.Total, base.Stats.Total)
+	}
+}
+
+func TestFlipInstBitProducesTypedTraps(t *testing.T) {
+	// Flipping opcode bits of a valid instruction either yields another
+	// valid instruction or an invalid one; never anything that panics the
+	// machine.
+	in := isa.Inst{Op: isa.OpADDQ, RS: 1, RT: 2, RD: 3}
+	for bit := uint(0); bit < 32; bit++ {
+		out := fault.FlipInstBit(in, bit)
+		_ = out.Op.Class() // must not panic for any result
+	}
+}
+
+func TestSiteNamesRoundTrip(t *testing.T) {
+	for _, s := range fault.AllSites() {
+		got, ok := fault.SiteByName(s.String())
+		if !ok || got != s {
+			t.Errorf("SiteByName(%q) = %v, %v", s.String(), got, ok)
+		}
+	}
+	if _, ok := fault.SiteByName("nosuch"); ok {
+		t.Error("SiteByName accepted garbage")
+	}
+}
+
+func TestReportMentionsTrapKinds(t *testing.T) {
+	rep, err := fault.Run(fault.Config{
+		Seed: 2, Trials: 50,
+		Sites: []fault.Site{fault.SiteWildAddr},
+		Build: buildMFI(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kinds[emu.TrapOutOfSegment] == 0 {
+		t.Errorf("wild accesses under MFI should be precise out-of-segment traps:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "out-of-segment") {
+		t.Errorf("report does not name the trap kind:\n%s", rep)
+	}
+}
+
+func TestCampaignRejectsBadConfig(t *testing.T) {
+	if _, err := fault.Run(fault.Config{Trials: 5}); err == nil {
+		t.Error("nil Build accepted")
+	}
+	if _, err := fault.Run(fault.Config{Trials: 0, Build: buildBare(t)}); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestWildTrapIsACFAndOutOfSegment(t *testing.T) {
+	// The refined trap still satisfies the coarse sentinel.
+	tr := &emu.Trap{Kind: emu.TrapOutOfSegment, ACF: true}
+	if !errors.Is(tr, emu.ErrACFViolation) {
+		t.Error("refined ACF trap must match ErrACFViolation")
+	}
+}

@@ -1,6 +1,9 @@
 package isa
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Machine encoding field layout. All instructions are 4 bytes.
 //
@@ -11,6 +14,15 @@ import "fmt"
 //	FmtOpImm    op(6) rs(5) rd(5) imm16
 //	FmtSpecial  op(6) code26
 //	FmtCodeword op(6) p1(5) p2(5) p3(5) tag11
+//
+// Encoding/decoding failures wrap the ErrEncode/ErrDecode sentinels, so
+// callers can classify them with errors.Is without matching message text.
+var (
+	// ErrEncode wraps every error returned by Encode.
+	ErrEncode = errors.New("isa: encode")
+	// ErrDecode wraps every error returned by Decode.
+	ErrDecode = errors.New("isa: decode")
+)
 
 // InstBytes is the size of an encoded instruction in bytes.
 const InstBytes = 4
@@ -30,15 +42,21 @@ func sext(v uint32, bits uint) int64 {
 	return int64(uint64(v)<<shift) >> shift
 }
 
+// encodeErr builds an ErrEncode-wrapped error for instruction i.
+func encodeErr(i Inst, msg string) error {
+	return fmt.Errorf("%w %v: %s", ErrEncode, i, msg)
+}
+
 // Encode packs a decoded instruction into its 32-bit machine word. It fails
-// if the instruction is not encodable: dedicated registers (which only exist
-// inside DISE replacement sequences) or out-of-range immediates.
+// (with an error wrapping ErrEncode) if the instruction is not encodable:
+// dedicated registers (which only exist inside DISE replacement sequences) or
+// out-of-range immediates.
 func Encode(i Inst) (uint32, error) {
 	if !i.Op.Valid() {
-		return 0, fmt.Errorf("isa: encode: invalid opcode %d", i.Op)
+		return 0, fmt.Errorf("%w: invalid opcode %d", ErrEncode, i.Op)
 	}
 	if i.UsesDedicated() {
-		return 0, fmt.Errorf("isa: encode %v: dedicated registers have no machine encoding", i)
+		return 0, encodeErr(i, "dedicated registers have no machine encoding")
 	}
 	op := uint32(i.Op) << 26
 	reg := func(r Reg) (uint32, error) {
@@ -46,7 +64,7 @@ func Encode(i Inst) (uint32, error) {
 			return uint32(RegZero), nil
 		}
 		if !r.IsArch() {
-			return 0, fmt.Errorf("isa: encode %v: bad register %v", i, r)
+			return 0, encodeErr(i, fmt.Sprintf("bad register %v", r))
 		}
 		return uint32(r), nil
 	}
@@ -65,7 +83,7 @@ func Encode(i Inst) (uint32, error) {
 			return 0, err
 		}
 		if i.Imm < MinDisp16 || i.Imm > MaxDisp16 {
-			return 0, fmt.Errorf("isa: encode %v: disp16 out of range", i)
+			return 0, encodeErr(i, "disp16 out of range")
 		}
 		return op | a<<21 | b<<16 | uint32(uint16(i.Imm)), nil
 	case FmtBranch:
@@ -78,7 +96,7 @@ func Encode(i Inst) (uint32, error) {
 			return 0, err
 		}
 		if i.Imm < MinDisp21 || i.Imm > MaxDisp21 {
-			return 0, fmt.Errorf("isa: encode %v: disp21 out of range", i)
+			return 0, encodeErr(i, "disp21 out of range")
 		}
 		return op | a<<21 | uint32(i.Imm)&0x1fffff, nil
 	case FmtJump:
@@ -125,12 +143,12 @@ func Encode(i Inst) (uint32, error) {
 			return 0, err
 		}
 		if i.Imm < MinDisp16 || i.Imm > MaxDisp16 {
-			return 0, fmt.Errorf("isa: encode %v: imm16 out of range", i)
+			return 0, encodeErr(i, "imm16 out of range")
 		}
 		return op | s<<21 | d<<16 | uint32(uint16(i.Imm)), nil
 	case FmtSpecial:
 		if i.Imm < 0 || i.Imm > MaxCode26 {
-			return 0, fmt.Errorf("isa: encode %v: code26 out of range", i)
+			return 0, encodeErr(i, "code26 out of range")
 		}
 		return op | uint32(i.Imm), nil
 	case FmtCodeword:
@@ -147,18 +165,19 @@ func Encode(i Inst) (uint32, error) {
 			return 0, err
 		}
 		if i.Imm < 0 || i.Imm > MaxTag {
-			return 0, fmt.Errorf("isa: encode %v: tag out of range", i)
+			return 0, encodeErr(i, "tag out of range")
 		}
 		return op | p1<<21 | p2<<16 | p3<<11 | uint32(i.Imm), nil
 	}
-	return 0, fmt.Errorf("isa: encode %v: bad format", i)
+	return 0, encodeErr(i, "bad format")
 }
 
-// Decode unpacks a 32-bit machine word into its decoded form.
+// Decode unpacks a 32-bit machine word into its decoded form. Errors wrap
+// ErrDecode.
 func Decode(w uint32) (Inst, error) {
 	op := Opcode(w >> 26)
 	if !op.Valid() {
-		return Inst{}, fmt.Errorf("isa: decode %#08x: invalid opcode %d", w, op)
+		return Inst{}, fmt.Errorf("%w %#08x: invalid opcode %d", ErrDecode, w, op)
 	}
 	i := Inst{Op: op, RS: NoReg, RT: NoReg, RD: NoReg}
 	ra := Reg(w >> 21 & 0x1f)
@@ -206,7 +225,9 @@ func Decode(w uint32) (Inst, error) {
 }
 
 // MustEncode is Encode for instructions known to be encodable; it panics on
-// error. It is intended for tests and generators of literal code.
+// error. The panic marks a programmer error (a generator emitting literal
+// code it promised was encodable), never a data-dependent condition: code
+// handling guest-controlled instructions must call Encode.
 func MustEncode(i Inst) uint32 {
 	w, err := Encode(i)
 	if err != nil {

@@ -1,0 +1,52 @@
+package isa
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecode asserts the decoder's contract over the whole 32-bit word space:
+// it never panics, every failure wraps ErrDecode, and every success round-trips
+// (Decode∘Encode∘Decode is Decode — don't-care bits may be canonicalized, but
+// the decoded instruction is a fixed point).
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0xffffffff))
+	f.Add(uint32(0x3f) << 26) // invalid opcode
+	for _, in := range []Inst{
+		{Op: OpADDQ, RS: 1, RT: 2, RD: 3},
+		{Op: OpLDQ, RS: 4, RD: 5, Imm: -8},
+		{Op: OpSTQ, RS: 4, RT: 5, Imm: 16},
+		{Op: OpBR, RD: 26, Imm: -100},
+		{Op: OpJMP, RD: 26, RS: 27},
+		{Op: OpSYS, Imm: 3},
+		{Op: OpRES0, RS: 1, RT: 2, RD: 3, Imm: 7},
+	} {
+		if w, err := Encode(in); err == nil {
+			f.Add(w)
+		}
+	}
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(w)
+		if err != nil {
+			if !errors.Is(err, ErrDecode) {
+				t.Fatalf("Decode(%#08x) error %v does not wrap ErrDecode", w, err)
+			}
+			return
+		}
+		if !in.Op.Valid() {
+			t.Fatalf("Decode(%#08x) succeeded with invalid opcode %d", w, in.Op)
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Decode(%#08x) = %v does not re-encode: %v", w, in, err)
+		}
+		in2, err := Decode(w2)
+		if err != nil {
+			t.Fatalf("re-encoded word %#08x does not decode: %v", w2, err)
+		}
+		if in2 != in {
+			t.Fatalf("round trip diverged: %v -> %#08x -> %v", in, w2, in2)
+		}
+	})
+}

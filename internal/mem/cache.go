@@ -5,7 +5,14 @@
 // dedicated codewords in particular — genuinely improve line utilization.
 package mem
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrConfig wraps every cache-geometry validation error, so callers of the
+// Checked constructors can classify bad configuration with errors.Is.
+var ErrConfig = errors.New("mem: bad cache config")
 
 // CacheConfig describes one cache.
 type CacheConfig struct {
@@ -22,12 +29,12 @@ func (c *CacheConfig) Validate() error {
 		return nil
 	}
 	if c.LineSize <= 0 || c.Size <= 0 || c.Assoc <= 0 {
-		return fmt.Errorf("mem: cache %s: bad geometry %+v", c.Name, *c)
+		return fmt.Errorf("%w: cache %s: bad geometry %+v", ErrConfig, c.Name, *c)
 	}
 	sets := c.Size / (c.LineSize * c.Assoc)
 	if sets <= 0 || c.Size%(c.LineSize*c.Assoc) != 0 {
-		return fmt.Errorf("mem: cache %s: size %d not divisible into %d-byte %d-way sets",
-			c.Name, c.Size, c.LineSize, c.Assoc)
+		return fmt.Errorf("%w: cache %s: size %d not divisible into %d-byte %d-way sets",
+			ErrConfig, c.Name, c.Size, c.LineSize, c.Assoc)
 	}
 	return nil
 }
@@ -62,11 +69,22 @@ type Cache struct {
 	Stats CacheStats
 }
 
-// NewCache builds a cache; it panics on invalid geometry (configuration is
-// programmer error, not runtime input).
+// NewCache builds a cache; it panics on invalid geometry. The panic marks a
+// programmer error (a hard-coded configuration in tests or experiments);
+// code taking configuration from external input must use NewCacheChecked.
 func NewCache(cfg CacheConfig) *Cache {
-	if err := cfg.Validate(); err != nil {
+	c, err := NewCacheChecked(cfg)
+	if err != nil {
 		panic(err)
+	}
+	return c
+}
+
+// NewCacheChecked builds a cache, returning an ErrConfig-wrapped error on
+// invalid geometry.
+func NewCacheChecked(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	c := &Cache{cfg: cfg}
 	if !cfg.Perfect {
@@ -76,7 +94,7 @@ func NewCache(cfg CacheConfig) *Cache {
 			c.sets[i] = make([]cacheLine, cfg.Assoc)
 		}
 	}
-	return c
+	return c, nil
 }
 
 // Config returns the cache's configuration.
@@ -133,6 +151,42 @@ func (c *Cache) AccessRange(addr uint64, size int) int {
 	return misses
 }
 
+// ValidLines returns the number of currently valid lines (set-major order is
+// used to index them for FlipTagBit). Fault injectors use it to pick a
+// corruption target; perfect caches hold no state and report 0.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			if c.sets[i][j].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// FlipTagBit flips one bit of the n-th valid line's tag (set-major order),
+// modeling a soft error in the tag array. Because this cache stores tags
+// only — the functional simulator owns all values — the corruption perturbs
+// timing (spurious misses/false hits), never correctness. It reports whether
+// a line was corrupted.
+func (c *Cache) FlipTagBit(n int, bit uint) bool {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			if !c.sets[i][j].valid {
+				continue
+			}
+			if n == 0 {
+				c.sets[i][j].tag ^= 1 << (bit & 63)
+				return true
+			}
+			n--
+		}
+	}
+	return false
+}
+
 // Flush invalidates all lines (statistics are preserved).
 func (c *Cache) Flush() {
 	for i := range c.sets {
@@ -173,16 +227,40 @@ func DefaultHierarchyConfig() HierarchyConfig {
 	}
 }
 
-// NewHierarchy builds the hierarchy.
+// NewHierarchy builds the hierarchy; it panics on invalid geometry (see
+// NewCache). Code taking configuration from external input must use
+// NewHierarchyChecked.
 func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h, err := NewHierarchyChecked(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// NewHierarchyChecked builds the hierarchy, returning an ErrConfig-wrapped
+// error on invalid geometry.
+func NewHierarchyChecked(cfg HierarchyConfig) (*Hierarchy, error) {
+	il1, err := NewCacheChecked(cfg.IL1)
+	if err != nil {
+		return nil, err
+	}
+	dl1, err := NewCacheChecked(cfg.DL1)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := NewCacheChecked(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
 	return &Hierarchy{
-		IL1:        NewCache(cfg.IL1),
-		DL1:        NewCache(cfg.DL1),
-		L2:         NewCache(cfg.L2),
+		IL1:        il1,
+		DL1:        dl1,
+		L2:         l2,
 		L1Latency:  cfg.L1Latency,
 		L2Latency:  cfg.L2Latency,
 		MemLatency: cfg.MemLatency,
-	}
+	}, nil
 }
 
 // FetchLatency performs an instruction fetch of size bytes at addr and

@@ -41,6 +41,9 @@ func (t *Table) Get(row, col string) float64 {
 	return t.Cells[ri][ci]
 }
 
+// index panics on unknown labels: tables are built by the experiment
+// harnesses from fixed row/column sets, so a miss is a programmer error
+// (a typo in a harness), never a data-dependent condition.
 func (t *Table) index(row, col string) (int, int) {
 	ri, ci := -1, -1
 	for i, r := range t.Rows {

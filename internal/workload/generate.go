@@ -350,7 +350,9 @@ func (p Profile) Generate() (*program.Program, error) {
 	return prog, nil
 }
 
-// MustGenerate is Generate for known profiles; it panics on error.
+// MustGenerate is Generate for known profiles; it panics on error. The
+// panic marks a programmer error (a built-in profile that fails to
+// assemble); callers generating from untrusted profiles must use Generate.
 func (p Profile) MustGenerate() *program.Program {
 	prog, err := p.Generate()
 	if err != nil {
