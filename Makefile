@@ -1,7 +1,7 @@
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz verify clean
+.PHONY: all build vet test race race-experiments bench fuzz verify clean
 
 all: build test
 
@@ -17,6 +17,18 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The parallel experiment scheduler is the concurrency hot spot; run it under
+# the race detector on its own so verify catches scheduler races even when
+# the full race sweep is skipped.
+race-experiments:
+	$(GO) test -race ./internal/experiments
+
+# Perf receipts: run every benchmark 3x with allocation stats and emit a
+# machine-readable summary (ns/op, B/op, allocs/op per benchmark) for the
+# perf trajectory across PRs.
+bench:
+	$(GO) test -bench=. -benchmem -count=3 -run '^$$' . | $(GO) run ./cmd/benchjson BENCH_PR2.json
+
 # Smoke-run every fuzzer for $(FUZZTIME) each. The fuzzers assert the
 # robustness contract: hostile input produces typed errors, never a panic.
 fuzz:
@@ -25,7 +37,7 @@ fuzz:
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzParseProductions$$' -fuzztime $(FUZZTIME)
 	$(GO) test . -run '^$$' -fuzz '^FuzzRun$$' -fuzztime $(FUZZTIME)
 
-verify: build vet race fuzz
+verify: build vet race race-experiments fuzz
 
 clean:
 	rm -f disefault

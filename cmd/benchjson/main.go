@@ -1,0 +1,113 @@
+// benchjson converts `go test -bench` output on stdin into a JSON summary on
+// stdout: one record per benchmark with ns/op, B/op and allocs/op averaged
+// across -count repetitions. The bench Makefile target uses it to commit
+// machine-readable perf receipts (BENCH_PR2.json) alongside the human log.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// record accumulates repetitions of one benchmark.
+type record struct {
+	runs     int
+	nsOp     float64
+	bytesOp  float64
+	allocsOp float64
+}
+
+// Summary is the emitted JSON shape.
+type Summary struct {
+	Name     string  `json:"name"`
+	Runs     int     `json:"runs"`
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  float64 `json:"bytes_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+func main() {
+	recs := map[string]*record{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(lineEcho(line)) // pass the log through for the human eye
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		// BenchmarkName-8  N  123 ns/op  456 B/op  7 allocs/op
+		name := strings.SplitN(f[0], "-", 2)[0]
+		r := recs[name]
+		if r == nil {
+			r = &record{}
+			recs[name] = r
+		}
+		got := false
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				r.nsOp += v
+				got = true
+			case "B/op":
+				r.bytesOp += v
+			case "allocs/op":
+				r.allocsOp += v
+			}
+		}
+		if got {
+			r.runs++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(recs))
+	for n := range recs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Summary, 0, len(names))
+	for _, n := range names {
+		r := recs[n]
+		if r.runs == 0 {
+			continue
+		}
+		k := float64(r.runs)
+		out = append(out, Summary{Name: n, Runs: r.runs,
+			NsOp: r.nsOp / k, BytesOp: r.bytesOp / k, AllocsOp: r.allocsOp / k})
+	}
+
+	path := "BENCH.json"
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// lineEcho trims trailing space so the echoed log is byte-stable.
+func lineEcho(s string) string { return strings.TrimRight(s, " \t") }

@@ -22,13 +22,14 @@ func main() {
 		quick  = flag.Bool("quick", false, "small benchmark subset at reduced scale")
 		fig    = flag.Int("fig", 0, "run only one figure (6, 7 or 8)")
 		ablate = flag.Bool("ablate", false, "run the extension ablations instead of the paper figures")
-		benchs = flag.String("benchmarks", "", "comma-separated benchmark subset")
-		scale  = flag.Int("scale", 0, "dynamic-length target in K instructions (0 = profile default)")
-		quiet  = flag.Bool("q", false, "suppress progress output")
+		benchs  = flag.String("benchmarks", "", "comma-separated benchmark subset")
+		scale   = flag.Int("scale", 0, "dynamic-length target in K instructions (0 = profile default)")
+		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		quiet   = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
 
-	o := experiments.Options{DynScaleK: *scale}
+	o := experiments.Options{DynScaleK: *scale, Workers: *workers}
 	if !*quiet {
 		o.Log = os.Stderr
 	}

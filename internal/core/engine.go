@@ -86,6 +86,22 @@ type EngineStats struct {
 	RTMisses   int64
 	Composed   int64 // RT misses that invoked the composer
 	Stall      int64 // total miss stall cycles
+
+	// MemoHits/MemoMisses count expansion-memo lookups: a hit reuses the
+	// instantiated sequence for a previously seen (sequence id, trigger
+	// bits, PC) site instead of re-running template instantiation. The memo
+	// is a host-side optimization — RT residency, misses and stalls are
+	// modeled identically on both paths.
+	MemoHits   int64
+	MemoMisses int64
+}
+
+// MemoRate returns the fraction of expansion attempts served from the memo.
+func (s *EngineStats) MemoRate() float64 {
+	if s.MemoHits+s.MemoMisses == 0 {
+		return 0
+	}
+	return float64(s.MemoHits) / float64(s.MemoHits+s.MemoMisses)
 }
 
 // ExpansionRate returns the fraction of inspected instructions that
@@ -114,15 +130,39 @@ type rtEntry struct {
 	lru    int64
 }
 
+// memoKey identifies one expansion site: the resolved sequence identifier,
+// the exact trigger instruction bits (Instantiate substitutes trigger fields
+// into the templates), and the trigger PC (ImmTPC bakes it into immediates).
+type memoKey struct {
+	id int
+	in isa.Inst
+	pc uint64
+}
+
+// memoEntry caches the instantiated sequence and its templates for a site.
+type memoEntry struct {
+	insts []isa.Inst
+	tmpl  []ReplInst
+}
+
 // Engine is the DISE engine: it inspects every fetched application
 // instruction and macro-expands triggers.
 type Engine struct {
 	cfg  EngineConfig
 	ctrl *Controller
 
-	pt     []ptEntry
-	rtSets [][]rtEntry
-	clock  int64
+	pt        []ptEntry
+	rtSets    [][]rtEntry
+	rtSetPow2 bool   // len(rtSets) is a power of two
+	rtSetMask uint64 // len(rtSets)-1, valid when rtSetPow2
+	clock     int64
+
+	// memo caches instantiated expansions per static site. memoOff disables
+	// it while the RT array holds corrupted bits (CorruptRTBlock): a memo
+	// hit would replay the pristine instantiation and hide the corruption
+	// from the fetch stream.
+	memo    map[memoKey]memoEntry
+	memoOff bool
 
 	// pattern counter table: active vs PT-resident patterns per opcode
 	// (the only architectural state of the PT/RT complex, paper §2.3).
@@ -155,6 +195,10 @@ func newEngine(cfg EngineConfig, ctrl *Controller) *Engine {
 		for i := range e.rtSets {
 			e.rtSets[i] = make([]rtEntry, assoc)
 		}
+		if sets&(sets-1) == 0 {
+			e.rtSetPow2 = true
+			e.rtSetMask = uint64(sets - 1)
+		}
 	}
 	return e
 }
@@ -162,8 +206,13 @@ func newEngine(cfg EngineConfig, ctrl *Controller) *Engine {
 // Config returns the engine configuration.
 func (e *Engine) Config() EngineConfig { return e.cfg }
 
-// reset clears all cached PT/RT state (productions changed).
+// reset clears all cached PT/RT state (productions changed). The expansion
+// memo is flushed — and re-enabled, if a fault campaign had disabled it —
+// because memoized sequences were instantiated from the previous production
+// set.
 func (e *Engine) reset() {
+	e.memo = nil
+	e.memoOff = false
 	e.pt = nil
 	for i := range e.rtSets {
 		for j := range e.rtSets[i] {
@@ -217,6 +266,43 @@ func (e *Engine) Expand(in isa.Inst, pc uint64) *Expansion {
 		return nil
 	}
 	id := e.ctrl.seqID(prod, in)
+	if !e.memoOff {
+		if ent, ok := e.memo[memoKey{id: id, in: in, pc: pc}]; ok {
+			// Memo hit: reuse the instantiated sequence, but model the RT
+			// exactly as the slow path would — touch resident blocks' LRU
+			// state, or take the miss (refill + stall) if it was evicted.
+			e.Stats.MemoHits++
+			if !e.cfg.RTPerfect && !e.rtTouch(id) {
+				r, comp := e.ctrl.fetchSequence(id)
+				if r == nil {
+					if exp.PTMiss {
+						e.Stats.Stall += int64(exp.Stall)
+						return exp
+					}
+					return nil
+				}
+				e.rtInstall(id, r)
+				exp.RTMiss = true
+				e.Stats.RTMisses++
+				if comp {
+					exp.Composed = true
+					e.Stats.Composed++
+					exp.Stall += e.cfg.ComposePenalty
+				} else {
+					exp.Stall += e.cfg.MissPenalty
+				}
+			}
+			exp.Prod = prod
+			exp.SeqID = id
+			exp.Templates = ent.tmpl
+			exp.Insts = ent.insts
+			e.Stats.Expansions++
+			e.Stats.Inserted += int64(len(ent.tmpl))
+			e.Stats.Stall += int64(exp.Stall)
+			return exp
+		}
+		e.Stats.MemoMisses++
+	}
 	tmpl, miss, composed := e.rtFetch(id)
 	if tmpl == nil {
 		// No replacement registered under this identifier: treat as a
@@ -244,6 +330,12 @@ func (e *Engine) Expand(in isa.Inst, pc uint64) *Expansion {
 	exp.Insts = make([]isa.Inst, len(tmpl))
 	for i := range tmpl {
 		exp.Insts[i] = tmpl[i].Instantiate(in, pc)
+	}
+	if !e.memoOff {
+		if e.memo == nil {
+			e.memo = make(map[memoKey]memoEntry)
+		}
+		e.memo[memoKey{id: id, in: in, pc: pc}] = memoEntry{insts: exp.Insts, tmpl: tmpl}
 	}
 	e.Stats.Expansions++
 	e.Stats.Inserted += int64(len(tmpl))
@@ -349,7 +441,45 @@ func (e *Engine) rtSet(id, block int) []rtEntry {
 	// coarsen this index, so block coalescing costs both internal
 	// fragmentation and index resolution.
 	h := uint64(id)<<4 + uint64(block&0xf) + uint64(block>>4)*31
+	if e.rtSetPow2 {
+		return e.rtSets[h&e.rtSetMask]
+	}
 	return e.rtSets[h%uint64(len(e.rtSets))]
+}
+
+// rtTouch replays rtProbe's LRU side effects for sequence id — block by
+// block, stopping at the first non-resident block, exactly as the probe
+// would — without assembling the instruction slice. It reports whether the
+// whole sequence is resident. The memo hit path uses it so that RT
+// replacement behavior is bit-identical with and without the memo.
+func (e *Engine) rtTouch(id int) bool {
+	set := e.rtSet(id, 0)
+	n := -1
+	for i := range set {
+		if set[i].valid && set[i].id == id && set[i].block == 0 {
+			n = set[i].seqLen
+			break
+		}
+	}
+	if n < 0 {
+		return false
+	}
+	blocks := (n + e.cfg.RTBlock - 1) / e.cfg.RTBlock
+	for b := 0; b < blocks; b++ {
+		set := e.rtSet(id, b)
+		found := false
+		for i := range set {
+			if set[i].valid && set[i].id == id && set[i].block == b {
+				set[i].lru = e.clock
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // rtProbe returns the cached sequence if every block is resident.
@@ -428,7 +558,14 @@ func (e *Engine) ValidRTBlocks() int {
 // copy matters: installed blocks alias the controller's virtual replacement
 // store, and a hardware fault corrupts only the cached bits — eviction and
 // refill repair it. It reports whether a block was corrupted.
+//
+// Corrupting the RT also flushes and disables the expansion memo: memoized
+// sequences were instantiated from pristine RT reads, and serving them would
+// hide the corruption from the fetch stream. The memo stays off until the
+// next production reload (reset) so post-repair behavior needs no tracking.
 func (e *Engine) CorruptRTBlock(n int, mut func([]ReplInst) []ReplInst) bool {
+	e.memo = nil
+	e.memoOff = true
 	for _, set := range e.rtSets {
 		for i := range set {
 			if !set[i].valid {

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// The expansion memo must be invisible: repeated expansions of the same site
+// return the same sequence with the same RT behavior, only faster.
+func TestExpansionMemoHits(t *testing.T) {
+	c := NewController(DefaultEngineConfig())
+	installMFI(t, c)
+	e := c.Engine()
+
+	first := e.Expand(aStore, 0x1000)
+	if first == nil {
+		t.Fatal("store should expand")
+	}
+	if e.Stats.MemoHits != 0 || e.Stats.MemoMisses != 1 {
+		t.Fatalf("after first expand: hits=%d misses=%d", e.Stats.MemoHits, e.Stats.MemoMisses)
+	}
+	if !first.RTMiss {
+		t.Error("cold RT should miss on the first expansion")
+	}
+
+	second := e.Expand(aStore, 0x1000)
+	if e.Stats.MemoHits != 1 {
+		t.Fatalf("repeat expansion should hit the memo: %+v", e.Stats)
+	}
+	if second.RTMiss || second.Stall != 0 {
+		t.Errorf("resident RT must hit on the memo path: %+v", second)
+	}
+	if len(second.Insts) != len(first.Insts) {
+		t.Fatalf("memo returned %d insts, want %d", len(second.Insts), len(first.Insts))
+	}
+	for i := range first.Insts {
+		if first.Insts[i] != second.Insts[i] {
+			t.Errorf("inst %d: memo %v != fresh %v", i, second.Insts[i], first.Insts[i])
+		}
+	}
+
+	// A different trigger PC is a different site: ImmTPC bakes the PC into
+	// instantiated immediates, so it must not reuse the 0x1000 entry.
+	e.Expand(aStore, 0x2000)
+	if e.Stats.MemoMisses != 2 {
+		t.Errorf("distinct PC should miss the memo: %+v", e.Stats)
+	}
+	if rate := e.Stats.MemoRate(); rate <= 0 || rate >= 1 {
+		t.Errorf("memo rate = %v, want in (0,1)", rate)
+	}
+}
+
+// RT corruption must stay observable: a fault campaign that scrambles a
+// cached RT block disables the memo, so subsequent expansions read the
+// corrupted array instead of replaying the pristine instantiation.
+func TestExpansionMemoDisabledByRTCorruption(t *testing.T) {
+	c := NewController(DefaultEngineConfig())
+	installMFI(t, c)
+	e := c.Engine()
+	e.Expand(aStore, 0x1000)
+
+	ok := e.CorruptRTBlock(0, func(tmpl []ReplInst) []ReplInst {
+		for i := range tmpl {
+			tmpl[i].Trigger = false
+			tmpl[i].OpFromTrigger = false
+			tmpl[i].Op = isa.OpInvalid
+		}
+		return tmpl
+	})
+	if !ok {
+		t.Fatal("no RT block to corrupt")
+	}
+
+	hits := e.Stats.MemoHits
+	exp := e.Expand(aStore, 0x1000)
+	if e.Stats.MemoHits != hits {
+		t.Error("memo must not serve expansions after RT corruption")
+	}
+	if exp == nil {
+		t.Fatal("corrupted expansion should still be produced")
+	}
+	corrupted := false
+	for _, in := range exp.Insts {
+		if !in.Op.Valid() {
+			corrupted = true
+		}
+	}
+	if !corrupted {
+		t.Error("corruption was not observed through Expand")
+	}
+
+	// A production reload (reset) flushes the RT — repairing the corruption
+	// — and re-enables the memo.
+	e.reset()
+	e.Expand(aStore, 0x1000)
+	e.Expand(aStore, 0x1000)
+	if e.Stats.MemoHits == hits {
+		t.Error("memo should serve hits again after reset")
+	}
+}

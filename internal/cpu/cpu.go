@@ -175,14 +175,14 @@ func Run(m *emu.Machine, cfg Config) (res *Result) {
 	)
 
 	var watchdog error
+	var d emu.DynInst // reused across iterations; StepInto overwrites it
 	for {
 		if cfg.MaxCycles > 0 && lastCommit > cfg.MaxCycles {
 			watchdog = &emu.Trap{Kind: emu.TrapWatchdog, PC: m.PC(), DISEPC: m.DISEPC(),
 				Detail: fmt.Sprintf("no completion within %d cycles", cfg.MaxCycles)}
 			break
 		}
-		d, ok := m.Step()
-		if !ok {
+		if !m.StepInto(&d) {
 			break
 		}
 		// ----- fetch -----
@@ -218,11 +218,15 @@ func Run(m *emu.Machine, cfg Config) (res *Result) {
 		// scheduler must degrade (treat them as always-ready) rather than
 		// crash the host.
 		start := dc + 1
-		for _, r := range d.Inst.Sources() {
-			if int(r) < len(regReady) {
-				if t := regReady[r]; t > start {
-					start = t
-				}
+		src1, src2 := d.Inst.SourceRegs()
+		if src1 != isa.NoReg && int(src1) < len(regReady) {
+			if t := regReady[src1]; t > start {
+				start = t
+			}
+		}
+		if src2 != isa.NoReg && int(src2) < len(regReady) {
+			if t := regReady[src2]; t > start {
+				start = t
 			}
 		}
 		lat := int64(execLatency(d.Inst.Op))
@@ -344,14 +348,25 @@ func retAddrOf(d *emu.DynInst, m *emu.Machine) uint64 {
 	return 0
 }
 
+// latencyTable holds per-opcode functional-unit latencies in cycles,
+// indexed directly by opcode: multiplies take 3, loads take 0 (the D-cache
+// latency is added by the caller), everything else 1.
+var latencyTable = func() [isa.NumOpcodes]int8 {
+	var t [isa.NumOpcodes]int8
+	for op := range t {
+		t[op] = 1
+	}
+	t[isa.OpMULQ] = 3
+	t[isa.OpMULQI] = 3
+	t[isa.OpLDQ] = 0
+	t[isa.OpLDL] = 0
+	return t
+}()
+
 // execLatency gives functional-unit latencies in cycles.
 func execLatency(op isa.Opcode) int {
-	switch op {
-	case isa.OpMULQ, isa.OpMULQI:
-		return 3
-	case isa.OpLDQ, isa.OpLDL:
-		return 0 // the D-cache latency is added by the caller
-	default:
-		return 1
+	if int(op) < len(latencyTable) {
+		return int(latencyTable[op])
 	}
+	return 1
 }

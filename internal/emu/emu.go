@@ -7,6 +7,7 @@ package emu
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/core"
@@ -86,6 +87,26 @@ type Stats struct {
 	Stores    int64
 	Branches  int64 // application conditional branches executed
 	Taken     int64
+
+	// TextWrites counts stores that landed inside the text image
+	// (self-modifying code); Redecodes counts the predecoded units such
+	// writes forced back through the decoder.
+	TextWrites int64
+	Redecodes  int64
+}
+
+// unitInfo is one predecoded text unit: the fetch hot path reads this flat
+// record instead of re-deriving instruction, address and size from the
+// program on every fetch. The encoded image word is kept so that a store
+// into the text segment can patch the affected bytes and re-decode —
+// self-modifying code invalidates the predecoded form instead of being
+// silently ignored.
+type unitInfo struct {
+	inst isa.Inst
+	addr uint64
+	word uint32 // little-endian image word, valid only when enc
+	size uint8
+	enc  bool   // inst round-trips through the 32-bit encoding
 }
 
 // Machine is a functional EVR machine.
@@ -93,6 +114,13 @@ type Machine struct {
 	prog *program.Program
 	mem  *Memory
 	regs [isa.NumRegs]uint64
+
+	// units is the per-machine predecoded text cache (one entry per unit),
+	// built once at load time and invalidated unit-wise by stores into the
+	// text image. textEnd bounds the image so the store hot path can reject
+	// data-segment addresses with one compare.
+	units   []unitInfo
+	textEnd uint64
 
 	expander Expander
 
@@ -117,11 +145,25 @@ type Machine struct {
 }
 
 // New loads prog into a fresh machine. The data segment is copied to
-// DataBase and the stack pointer initialized to StackTop.
+// DataBase, the stack pointer initialized to StackTop, and the text segment
+// predecoded into the per-machine unit cache.
 func New(prog *program.Program) *Machine {
 	m := &Machine{prog: prog, mem: NewMemory(), unit: prog.Entry, budget: 1 << 40}
 	m.mem.Load(program.DataBase, prog.Data)
 	m.regs[isa.RegSP] = program.StackTop
+	m.units = make([]unitInfo, prog.NumUnits())
+	for i := range m.units {
+		u := &m.units[i]
+		u.inst = prog.Text[i]
+		u.addr = prog.Addr(i)
+		u.size = uint8(prog.UnitSize(i))
+		if u.size == isa.InstBytes {
+			if w, err := isa.Encode(u.inst); err == nil {
+				u.word, u.enc = w, true
+			}
+		}
+	}
+	m.textEnd = prog.Addr(prog.NumUnits())
 	return m
 }
 
@@ -189,10 +231,10 @@ func (m *Machine) InReplacement() bool { return m.seq != nil }
 // sequence in flight, PC inside text). Fault injectors use it to time
 // corruption relative to a specific upcoming instruction.
 func (m *Machine) NextInst() (isa.Inst, bool) {
-	if m.halted || m.seq != nil || m.unit < 0 || m.unit >= m.prog.NumUnits() {
+	if m.halted || m.seq != nil || m.unit < 0 || m.unit >= len(m.units) {
 		return isa.Inst{}, false
 	}
-	return m.prog.Text[m.unit], true
+	return m.units[m.unit].inst, true
 }
 
 // DISEPC returns the current offset within an in-flight replacement
@@ -240,28 +282,41 @@ func (m *Machine) acfTrap() *Trap {
 // Step executes one dynamic instruction and returns its record.
 // After the machine halts, Step returns ok == false.
 func (m *Machine) Step() (DynInst, bool) {
+	var d DynInst
+	ok := m.StepInto(&d)
+	return d, ok
+}
+
+// StepInto executes one dynamic instruction into *d, which is fully
+// overwritten. It is the allocation-free form of Step: the timing model
+// reuses one DynInst across the whole run instead of copying a fresh record
+// out of every step. After the machine halts, StepInto returns false and
+// leaves *d zeroed.
+func (m *Machine) StepInto(d *DynInst) bool {
+	*d = DynInst{}
 	if m.halted {
-		return DynInst{}, false
+		return false
 	}
 	if m.Stats.Total >= m.budget {
 		m.stop(m.trap(TrapBudget, 0, fmt.Sprintf("budget exhausted after %d instructions", m.Stats.Total)))
-		return DynInst{}, false
+		return false
 	}
 
 	if m.seq != nil {
-		return m.stepReplacement()
+		return m.stepReplacement(d)
 	}
-	return m.stepApplication()
+	return m.stepApplication(d)
 }
 
 // stepApplication fetches, possibly expands, and executes at the current PC.
-func (m *Machine) stepApplication() (DynInst, bool) {
-	if m.unit < 0 || m.unit >= m.prog.NumUnits() {
+func (m *Machine) stepApplication(d *DynInst) bool {
+	if m.unit < 0 || m.unit >= len(m.units) {
 		m.stop(m.trap(TrapPCOutOfText, 0, fmt.Sprintf("sequential fetch ran off text (unit %d)", m.unit)))
-		return DynInst{}, false
+		return false
 	}
-	in := m.prog.Text[m.unit]
-	pc := m.prog.Addr(m.unit)
+	u := &m.units[m.unit]
+	in := u.inst
+	pc := u.addr
 
 	if m.expander != nil {
 		if exp := m.expander.Expand(in, pc); exp != nil && exp.Insts != nil {
@@ -270,7 +325,7 @@ func (m *Machine) stepApplication() (DynInst, bool) {
 				// is an architectural event, not a host crash.
 				m.stop(&Trap{Kind: TrapRTCorrupt, PC: pc,
 					Detail: fmt.Sprintf("malformed expansion: %d insts, %d templates", len(exp.Insts), len(exp.Templates))})
-				return DynInst{}, false
+				return false
 			}
 			m.seq = exp.Insts
 			m.seqTmpl = exp.Templates
@@ -279,19 +334,20 @@ func (m *Machine) stepApplication() (DynInst, bool) {
 			m.trigPC = pc
 			m.trigUnit = m.unit
 			m.trigger = in
-			return m.stepReplacement()
+			return m.stepReplacement(d)
 		} else if exp != nil && exp.Stall > 0 {
 			// A PT fill that produced no match still stalled the pipe.
-			d := m.exec(in, pc, m.unit)
+			m.exec(d, in, pc, m.unit)
 			d.Stall = exp.Stall
-			return d, true
+			return true
 		}
 	}
-	return m.exec(in, pc, m.unit), true
+	m.exec(d, in, pc, m.unit)
+	return true
 }
 
 // stepReplacement executes the next instruction of the in-flight sequence.
-func (m *Machine) stepReplacement() (DynInst, bool) {
+func (m *Machine) stepReplacement(d *DynInst) bool {
 	idx := m.seqIdx
 	in := m.seq[idx]
 	tmpl := m.seqTmpl[idx]
@@ -305,21 +361,22 @@ func (m *Machine) stepReplacement() (DynInst, bool) {
 		}
 		m.stop(&Trap{Kind: kind, PC: m.trigPC, DISEPC: idx,
 			Detail: fmt.Sprintf("invalid opcode %v in replacement sequence", in.Op)})
-		return DynInst{}, false
+		*d = DynInst{}
+		return false
 	}
 	// A T.INSN splice or a re-emitted trigger opcode (%op ...) stands in
 	// for the application instruction: it counts as one and keeps the
 	// trigger's branch-prediction eligibility.
 	isTrigger := tmpl.Trigger || tmpl.OpFromTrigger
 
-	d := m.execCommon(in, m.trigPC, m.trigUnit)
+	d.Inst, d.PC, d.Unit = in, m.trigPC, m.trigUnit
 	d.DISEPC = idx
 	d.FromRT = !tmpl.Trigger
 	d.IsApp = isTrigger
 	if idx == 0 {
 		d.Stall = m.seqStall
 		d.SeqLen = len(m.seq)
-		d.FetchSize = m.prog.UnitSize(m.trigUnit)
+		d.FetchSize = int(m.units[m.trigUnit].size)
 	}
 	if !isTrigger {
 		m.Stats.ReplInsts++
@@ -340,19 +397,19 @@ func (m *Machine) stepReplacement() (DynInst, bool) {
 			t := int(in.Imm)
 			if t >= 0 && t < len(m.seq) {
 				m.seqIdx = t
-				return d, true
+				return true
 			}
 			m.endSequence(m.trigUnit + 1)
-			return d, true
+			return true
 		}
 		m.advanceSeq()
-		return d, true
+		return true
 	}
 
 	// Application-level semantics for this replacement instruction.
-	redirect, target := m.applyEffects(in, &d)
+	redirect, target := m.applyEffects(in, d)
 	if m.halted {
-		return d, false
+		return false
 	}
 	// Non-trigger replacement branches are not predicted; they behave as
 	// predicted-not-taken (paper §2.2) — the right semantics for embedded
@@ -366,10 +423,10 @@ func (m *Machine) stepReplacement() (DynInst, bool) {
 		// replacement instructions belong to the not-taken path and are
 		// squashed (paper §2.1).
 		m.endSequence(target)
-		return d, true
+		return true
 	}
 	m.advanceSeq()
-	return d, true
+	return true
 }
 
 func (m *Machine) advanceSeq() {
@@ -386,29 +443,22 @@ func (m *Machine) endSequence(nextUnit int) {
 }
 
 // exec executes a plain application instruction (no expansion in flight).
-func (m *Machine) exec(in isa.Inst, pc uint64, unit int) DynInst {
-	d := m.execCommon(in, pc, unit)
-	d.FetchSize = m.prog.UnitSize(unit)
+func (m *Machine) exec(d *DynInst, in isa.Inst, pc uint64, unit int) {
+	d.Inst, d.PC, d.Unit = in, pc, unit
+	d.FetchSize = int(m.units[unit].size)
 	d.IsApp = true
 	m.Stats.AppInsts++
 	m.Stats.Total++
-	redirect, target := m.applyEffects(in, &d)
+	redirect, target := m.applyEffects(in, d)
 	d.Predicted = d.IsBranch
 	if m.halted {
-		return d
+		return
 	}
 	if redirect {
 		m.unit = target
 	} else {
 		m.unit = unit + 1
 	}
-	return d
-}
-
-// execCommon fills the common record fields and evaluates data semantics
-// that do not redirect control.
-func (m *Machine) execCommon(in isa.Inst, pc uint64, unit int) DynInst {
-	return DynInst{Inst: in, PC: pc, Unit: unit}
 }
 
 // condTaken evaluates a conditional branch condition.
@@ -461,8 +511,14 @@ func (m *Machine) applyEffects(in isa.Inst, d *DynInst) (bool, int) {
 		}
 		if in.Op == isa.OpSTQ {
 			m.mem.Write64(addr, m.Reg(in.RT))
+			if addr < m.textEnd {
+				m.textStore(addr, 8)
+			}
 		} else {
 			m.mem.Write32(addr, uint32(m.Reg(in.RT)))
+			if addr < m.textEnd {
+				m.textStore(addr, 4)
+			}
 		}
 	case isa.OpLDA:
 		m.SetReg(in.RD, m.Reg(in.RS)+uint64(in.Imm))
@@ -565,6 +621,52 @@ func (m *Machine) applyEffects(in isa.Inst, d *DynInst) (bool, int) {
 	return false, 0
 }
 
+// textStore invalidates predecoded units overlapped by a store into
+// [addr, addr+n). The stored bytes (already written to data memory) are
+// patched into each affected unit's kept image word and the word is decoded
+// again; a word that no longer decodes becomes OpInvalid and raises
+// TrapIllegalInst if it is ever fetched. Units whose decoded form does not
+// round-trip through the 32-bit encoding (dedicated-decompressor 2-byte
+// codewords, synthetic instructions) keep their original decoding: their
+// image bytes are not authoritative, so there is nothing coherent to patch.
+func (m *Machine) textStore(addr, n uint64) {
+	lo, hi := addr, addr+n
+	if lo < program.TextBase {
+		lo = program.TextBase
+	}
+	if hi > m.textEnd {
+		hi = m.textEnd
+	}
+	if lo >= hi {
+		return
+	}
+	m.Stats.TextWrites++
+	for a := lo; a < hi; {
+		i := m.prog.UnitAt(a)
+		if i < 0 {
+			return
+		}
+		u := &m.units[i]
+		if u.enc {
+			var w [4]byte
+			binary.LittleEndian.PutUint32(w[:], u.word)
+			for b := uint64(0); b < uint64(u.size); b++ {
+				if ba := u.addr + b; ba >= addr && ba < addr+n {
+					w[b] = m.mem.LoadByte(ba)
+				}
+			}
+			u.word = binary.LittleEndian.Uint32(w[:])
+			if in, err := isa.Decode(u.word); err == nil {
+				u.inst = in
+			} else {
+				u.inst = isa.Inst{Op: isa.OpInvalid}
+			}
+			m.Stats.Redecodes++
+		}
+		a = u.addr + uint64(u.size)
+	}
+}
+
 // alignOK checks natural alignment under SetStrictAlign, raising
 // TrapUnaligned on a misaligned access. It always passes when strict
 // alignment is off.
@@ -635,11 +737,10 @@ func minInt(a, b int) int {
 
 // Run executes until halt, returning the termination error.
 func (m *Machine) Run() error {
-	for {
-		if _, ok := m.Step(); !ok {
-			return m.err
-		}
+	var d DynInst
+	for m.StepInto(&d) {
 	}
+	return m.err
 }
 
 // InterruptState is the precise state saved when a replacement sequence is
@@ -675,8 +776,8 @@ func (m *Machine) Resume(st InterruptState) error {
 	if m.expander == nil {
 		return fmt.Errorf("emu: resume at DISEPC %d without an expander", st.DISEPC)
 	}
-	in := m.prog.Text[st.Unit]
-	pc := m.prog.Addr(st.Unit)
+	u := &m.units[st.Unit]
+	in, pc := u.inst, u.addr
 	exp := m.expander.Expand(in, pc)
 	if exp == nil || exp.Insts == nil || st.DISEPC >= len(exp.Insts) {
 		return fmt.Errorf("emu: resume at DISEPC %d: no matching expansion", st.DISEPC)

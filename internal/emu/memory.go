@@ -11,6 +11,13 @@ const pageSize = 1 << pageShift
 // Memory is a sparse, paged, byte-addressed 64-bit data memory.
 type Memory struct {
 	pages map[uint64]*[pageSize]byte
+
+	// One-entry page TLB: accesses cluster heavily (stack, current data
+	// structure), so remembering the last page touched removes the map
+	// lookup from most accesses. Pages are never freed, so the cached
+	// pointer can only go stale by pointing at a still-valid page.
+	lastPN   uint64
+	lastPage *[pageSize]byte
 }
 
 // NewMemory returns an empty memory; unwritten locations read as zero.
@@ -20,10 +27,16 @@ func NewMemory() *Memory {
 
 func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
 	pn := addr >> pageShift
+	if m.lastPage != nil && m.lastPN == pn {
+		return m.lastPage
+	}
 	p := m.pages[pn]
 	if p == nil && create {
 		p = new([pageSize]byte)
 		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
 	}
 	return p
 }
@@ -44,6 +57,13 @@ func (m *Memory) StoreByte(addr uint64, v byte) {
 
 // Read64 reads a little-endian 64-bit value (no alignment requirement).
 func (m *Memory) Read64(addr uint64) uint64 {
+	if off := addr & (pageSize - 1); off <= pageSize-8 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p[off:])
+	}
 	var buf [8]byte
 	m.read(addr, buf[:])
 	return binary.LittleEndian.Uint64(buf[:])
@@ -51,6 +71,10 @@ func (m *Memory) Read64(addr uint64) uint64 {
 
 // Write64 writes a little-endian 64-bit value.
 func (m *Memory) Write64(addr uint64, v uint64) {
+	if off := addr & (pageSize - 1); off <= pageSize-8 {
+		binary.LittleEndian.PutUint64(m.page(addr, true)[off:], v)
+		return
+	}
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	m.write(addr, buf[:])
@@ -58,6 +82,13 @@ func (m *Memory) Write64(addr uint64, v uint64) {
 
 // Read32 reads a little-endian 32-bit value.
 func (m *Memory) Read32(addr uint64) uint32 {
+	if off := addr & (pageSize - 1); off <= pageSize-4 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint32(p[off:])
+	}
 	var buf [4]byte
 	m.read(addr, buf[:])
 	return binary.LittleEndian.Uint32(buf[:])
@@ -65,6 +96,10 @@ func (m *Memory) Read32(addr uint64) uint32 {
 
 // Write32 writes a little-endian 32-bit value.
 func (m *Memory) Write32(addr uint64, v uint32) {
+	if off := addr & (pageSize - 1); off <= pageSize-4 {
+		binary.LittleEndian.PutUint32(m.page(addr, true)[off:], v)
+		return
+	}
 	var buf [4]byte
 	binary.LittleEndian.PutUint32(buf[:], v)
 	m.write(addr, buf[:])
@@ -82,10 +117,17 @@ func (m *Memory) write(addr uint64, buf []byte) {
 	}
 }
 
-// Load copies data into memory starting at base.
+// Load copies data into memory starting at base, a page span at a time.
 func (m *Memory) Load(base uint64, data []byte) {
-	for i, b := range data {
-		m.StoreByte(base+uint64(i), b)
+	for len(data) > 0 {
+		off := base & (pageSize - 1)
+		n := pageSize - int(off)
+		if n > len(data) {
+			n = len(data)
+		}
+		copy(m.page(base, true)[off:], data[:n])
+		base += uint64(n)
+		data = data[n:]
 	}
 }
 

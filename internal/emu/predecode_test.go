@@ -1,0 +1,93 @@
+package emu
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// smcProgram stores word into the text image over patchTarget, then executes
+// the patched unit and prints r1.
+func smcProgram(t *testing.T, patchTarget isa.Inst, word uint32) *program.Program {
+	t.Helper()
+	const patchUnit = 3
+	text := []isa.Inst{
+		// r2 = address of the unit to patch; r3 = the replacement word.
+		{Op: isa.OpLDA, RS: isa.RegZero, RD: 2, Imm: int64(program.TextBase + patchUnit*isa.InstBytes)},
+		{Op: isa.OpLDA, RS: isa.RegZero, RD: 3, Imm: int64(word)},
+		{Op: isa.OpSTL, RT: 3, RS: 2, Imm: 0},
+		patchTarget,
+		{Op: isa.OpSYS, Imm: isa.SysPutInt},
+		{Op: isa.OpHALT},
+	}
+	p := &program.Program{Name: "smc", Entry: 0, Text: text, Symbols: map[string]int{}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// A store into the text segment must invalidate the predecoded unit: fetch
+// sees the patched instruction, not the load-time decoding.
+func TestSelfModifyingStoreForcesRedecode(t *testing.T) {
+	oldInst := isa.Inst{Op: isa.OpBISI, RS: isa.RegZero, RD: 1, Imm: 111}
+	newInst := isa.Inst{Op: isa.OpBISI, RS: isa.RegZero, RD: 1, Imm: 222}
+	word, err := isa.Encode(newInst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(smcProgram(t, oldInst, word))
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Output(); got != "222" {
+		t.Errorf("output = %q, want 222 (patched instruction must execute)", got)
+	}
+	if m.Stats.TextWrites != 1 || m.Stats.Redecodes != 1 {
+		t.Errorf("TextWrites = %d, Redecodes = %d, want 1, 1",
+			m.Stats.TextWrites, m.Stats.Redecodes)
+	}
+	// The program image itself is untouched: a fresh machine re-predecodes
+	// the original text and replays the same execution.
+	m2 := New(smcProgram(t, oldInst, word))
+	if err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Output(); got != "222" {
+		t.Errorf("second machine output = %q, want 222", got)
+	}
+}
+
+// A patch that no longer decodes becomes an illegal instruction at fetch.
+func TestSelfModifyingStoreGarbageTraps(t *testing.T) {
+	oldInst := isa.Inst{Op: isa.OpBISI, RS: isa.RegZero, RD: 1, Imm: 111}
+	m := New(smcProgram(t, oldInst, 0xffffffff))
+	err := m.Run()
+	var trap *Trap
+	if !errors.As(err, &trap) || trap.Kind != TrapIllegalInst {
+		t.Fatalf("err = %v, want TrapIllegalInst", err)
+	}
+	if m.Stats.Redecodes != 1 {
+		t.Errorf("Redecodes = %d, want 1", m.Stats.Redecodes)
+	}
+}
+
+// Ordinary data-segment stores must not touch the predecode cache.
+func TestDataStoreDoesNotInvalidate(t *testing.T) {
+	text := []isa.Inst{
+		{Op: isa.OpLDA, RS: isa.RegZero, RD: 2, Imm: int64(program.DataBase)},
+		{Op: isa.OpLDA, RS: isa.RegZero, RD: 3, Imm: 7},
+		{Op: isa.OpSTQ, RT: 3, RS: 2, Imm: 0},
+		{Op: isa.OpHALT},
+	}
+	p := &program.Program{Name: "data", Entry: 0, Text: text, Symbols: map[string]int{}}
+	m := New(p)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.TextWrites != 0 || m.Stats.Redecodes != 0 {
+		t.Errorf("data store counted as text write: %+v", m.Stats)
+	}
+}

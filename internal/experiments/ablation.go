@@ -28,26 +28,32 @@ func AblationRTPenalty(o Options) *stats.Table {
 	}
 	t := stats.NewTable("Ablation: RT miss penalty (512-entry 2-way RT, DISE decompression)", names(ps), cols)
 	t.Note = "1.0 = perfect RT, 32KB I$"
+	s := o.newSched()
 	for _, p := range ps {
-		o.logf("ablate-rt: %s", p.Name)
-		prog := p.MustGenerate()
-		res, err := compress.Compress(prog, compress.DiseFull())
-		if err != nil {
-			panic(err)
-		}
-		cfg := icacheCfg(32)
-		cfg.DiseMode = cpu.DisePipe
-		base := run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil))
-		for _, pen := range penalties {
-			ecfg := core.DefaultEngineConfig()
-			ecfg.RTEntries = 512
-			ecfg.RTAssoc = 2
-			ecfg.MissPenalty = pen
-			ecfg.ComposePenalty = pen
-			t.Set(p.Name, fmt.Sprintf("%dcy", pen),
-				norm(run(res.Prog, cfg, decompPrep(res, ecfg, nil)), base))
-		}
+		s.fork(func() {
+			s.logf("ablate-rt: %s", p.Name)
+			prog := p.MustGenerate()
+			res, err := compress.Compress(prog, compress.DiseFull())
+			if err != nil {
+				panic(err)
+			}
+			cfg := icacheCfg(32)
+			cfg.DiseMode = cpu.DisePipe
+			base := s.run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil))
+			for _, pen := range penalties {
+				s.fork(func() {
+					ecfg := core.DefaultEngineConfig()
+					ecfg.RTEntries = 512
+					ecfg.RTAssoc = 2
+					ecfg.MissPenalty = pen
+					ecfg.ComposePenalty = pen
+					t.Set(p.Name, fmt.Sprintf("%dcy", pen),
+						norm(s.run(res.Prog, cfg, decompPrep(res, ecfg, nil)), base))
+				})
+			}
+		})
 	}
+	s.wait()
 	t.AddMeanRow()
 	return t
 }
@@ -61,25 +67,31 @@ func AblationEngineMode(o Options) *stats.Table {
 	cols := []string{"free", "stall", "+pipe"}
 	t := stats.NewTable("Ablation: decoder integration on ACF-free code", names(ps), cols)
 	t.Note = "no productions installed; 1.0 = plain core"
+	s := o.newSched()
 	for _, p := range ps {
-		o.logf("ablate-mode: %s", p.Name)
-		prog := p.MustGenerate()
-		base := run(prog, cpu.DefaultConfig(), nil)
-		for _, mode := range []struct {
-			name string
-			m    cpu.DiseMode
-		}{{"free", cpu.DiseFree}, {"stall", cpu.DiseStall}, {"+pipe", cpu.DisePipe}} {
-			cfg := cpu.DefaultConfig()
-			cfg.DiseMode = mode.m
-			// An engine with no productions: inspects every fetch, never
-			// expands.
-			prep := func(m *emu.Machine) {
-				c := core.NewController(perfectEngine())
-				m.SetExpander(c.Engine())
+		s.fork(func() {
+			s.logf("ablate-mode: %s", p.Name)
+			prog := p.MustGenerate()
+			base := s.run(prog, cpu.DefaultConfig(), nil)
+			for _, mode := range []struct {
+				name string
+				m    cpu.DiseMode
+			}{{"free", cpu.DiseFree}, {"stall", cpu.DiseStall}, {"+pipe", cpu.DisePipe}} {
+				s.fork(func() {
+					cfg := cpu.DefaultConfig()
+					cfg.DiseMode = mode.m
+					// An engine with no productions: inspects every fetch,
+					// never expands.
+					prep := func(m *emu.Machine) {
+						c := core.NewController(perfectEngine())
+						m.SetExpander(c.Engine())
+					}
+					t.Set(p.Name, mode.name, norm(s.run(prog, cfg, prep), base))
+				})
 			}
-			t.Set(p.Name, mode.name, norm(run(prog, cfg, prep), base))
-		}
+		})
 	}
+	s.wait()
 	t.AddMeanRow()
 	return t
 }
@@ -97,25 +109,31 @@ func AblationRTBlock(o Options) *stats.Table {
 	}
 	t := stats.NewTable("Ablation: RT block coalescing (512-entry 2-way RT, DISE decompression)", names(ps), cols)
 	t.Note = "1.0 = perfect RT, 32KB I$, 30-cycle RT miss"
+	s := o.newSched()
 	for _, p := range ps {
-		o.logf("ablate-block: %s", p.Name)
-		prog := p.MustGenerate()
-		res, err := compress.Compress(prog, compress.DiseFull())
-		if err != nil {
-			panic(err)
-		}
-		cfg := icacheCfg(32)
-		cfg.DiseMode = cpu.DisePipe
-		base := run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil))
-		for _, blk := range blocks {
-			ecfg := core.DefaultEngineConfig()
-			ecfg.RTEntries = 512
-			ecfg.RTAssoc = 2
-			ecfg.RTBlock = blk
-			t.Set(p.Name, fmt.Sprintf("block%d", blk),
-				norm(run(res.Prog, cfg, decompPrep(res, ecfg, nil)), base))
-		}
+		s.fork(func() {
+			s.logf("ablate-block: %s", p.Name)
+			prog := p.MustGenerate()
+			res, err := compress.Compress(prog, compress.DiseFull())
+			if err != nil {
+				panic(err)
+			}
+			cfg := icacheCfg(32)
+			cfg.DiseMode = cpu.DisePipe
+			base := s.run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil))
+			for _, blk := range blocks {
+				s.fork(func() {
+					ecfg := core.DefaultEngineConfig()
+					ecfg.RTEntries = 512
+					ecfg.RTAssoc = 2
+					ecfg.RTBlock = blk
+					t.Set(p.Name, fmt.Sprintf("block%d", blk),
+						norm(s.run(res.Prog, cfg, decompPrep(res, ecfg, nil)), base))
+				})
+			}
+		})
 	}
+	s.wait()
 	t.AddMeanRow()
 	return t
 }

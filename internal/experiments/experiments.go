@@ -28,6 +28,12 @@ type Options struct {
 	// of instructions); 0 keeps the profile defaults. Benchmarks use small
 	// values to stay fast; the full harness uses the defaults.
 	DynScaleK int
+	// Workers bounds how many simulations run concurrently; 0 or negative
+	// means GOMAXPROCS. Every (benchmark x configuration) cell is an
+	// independent job with its own machine and caches, and tables are
+	// assembled by (row, column) position, so any Workers value produces
+	// byte-identical output.
+	Workers int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -115,28 +121,39 @@ func Fig6Formulation(o Options) *stats.Table {
 	cols := []string{"rewrite", "stall", "+pipe", "DISE4", "DISE3"}
 	t := stats.NewTable("Figure 6 (top): memory fault isolation, normalized execution time", names(ps), cols)
 	t.Note = "4-wide, 32KB I$; 1.0 = no fault isolation"
+	s := o.newSched()
 	for _, p := range ps {
-		o.logf("fig6a: %s", p.Name)
-		prog := p.MustGenerate()
-		base := run(prog, cpu.DefaultConfig(), nil)
+		s.fork(func() {
+			s.logf("fig6a: %s", p.Name)
+			prog := p.MustGenerate()
+			base := s.run(prog, cpu.DefaultConfig(), nil)
 
-		rw, err := mfi.Rewrite(prog)
-		if err != nil {
-			panic(err)
-		}
-		t.Set(p.Name, "rewrite", norm(run(rw, cpu.DefaultConfig(), nil), base))
-
-		stall := cpu.DefaultConfig()
-		stall.DiseMode = cpu.DiseStall
-		t.Set(p.Name, "stall", norm(run(prog, stall, diseMFI(mfi.DISE3, perfectEngine())), base))
-
-		pipe := cpu.DefaultConfig()
-		pipe.DiseMode = cpu.DisePipe
-		t.Set(p.Name, "+pipe", norm(run(prog, pipe, diseMFI(mfi.DISE3, perfectEngine())), base))
-
-		t.Set(p.Name, "DISE4", norm(run(prog, cpu.DefaultConfig(), diseMFI(mfi.DISE4, perfectEngine())), base))
-		t.Set(p.Name, "DISE3", norm(run(prog, cpu.DefaultConfig(), diseMFI(mfi.DISE3, perfectEngine())), base))
+			rw, err := mfi.Rewrite(prog)
+			if err != nil {
+				panic(err)
+			}
+			s.fork(func() {
+				t.Set(p.Name, "rewrite", norm(s.run(rw, cpu.DefaultConfig(), nil), base))
+			})
+			s.fork(func() {
+				stall := cpu.DefaultConfig()
+				stall.DiseMode = cpu.DiseStall
+				t.Set(p.Name, "stall", norm(s.run(prog, stall, diseMFI(mfi.DISE3, perfectEngine())), base))
+			})
+			s.fork(func() {
+				pipe := cpu.DefaultConfig()
+				pipe.DiseMode = cpu.DisePipe
+				t.Set(p.Name, "+pipe", norm(s.run(prog, pipe, diseMFI(mfi.DISE3, perfectEngine())), base))
+			})
+			s.fork(func() {
+				t.Set(p.Name, "DISE4", norm(s.run(prog, cpu.DefaultConfig(), diseMFI(mfi.DISE4, perfectEngine())), base))
+			})
+			s.fork(func() {
+				t.Set(p.Name, "DISE3", norm(s.run(prog, cpu.DefaultConfig(), diseMFI(mfi.DISE3, perfectEngine())), base))
+			})
+		})
 	}
+	s.wait()
 	t.AddMeanRow()
 	return t
 }
@@ -155,25 +172,35 @@ func Fig6CacheSize(o Options) *stats.Table {
 	}
 	t := stats.NewTable("Figure 6 (middle): MFI vs I-cache size, normalized execution time", names(ps), cols)
 	t.Note = "4-wide; per size, 1.0 = no fault isolation at that size"
+	sc := o.newSched()
 	for _, p := range ps {
-		o.logf("fig6b: %s", p.Name)
-		prog := p.MustGenerate()
-		rw, err := mfi.Rewrite(prog)
-		if err != nil {
-			panic(err)
-		}
-		for _, s := range sizes {
-			cfg := cpu.DefaultConfig()
-			setICache(&cfg, s.kb)
-			// The paper assumes the elongated-pipe design from here on.
-			cfg.DiseMode = cpu.DisePipe
-			baseCfg := cfg
-			baseCfg.DiseMode = cpu.DiseFree
-			base := run(prog, baseCfg, nil)
-			t.Set(p.Name, "rw-"+s.name, norm(run(rw, baseCfg, nil), base))
-			t.Set(p.Name, "dise-"+s.name, norm(run(prog, cfg, diseMFI(mfi.DISE3, perfectEngine())), base))
-		}
+		sc.fork(func() {
+			sc.logf("fig6b: %s", p.Name)
+			prog := p.MustGenerate()
+			rw, err := mfi.Rewrite(prog)
+			if err != nil {
+				panic(err)
+			}
+			for _, s := range sizes {
+				sc.fork(func() {
+					cfg := cpu.DefaultConfig()
+					setICache(&cfg, s.kb)
+					// The paper assumes the elongated-pipe design from here on.
+					cfg.DiseMode = cpu.DisePipe
+					baseCfg := cfg
+					baseCfg.DiseMode = cpu.DiseFree
+					base := sc.run(prog, baseCfg, nil)
+					sc.fork(func() {
+						t.Set(p.Name, "rw-"+s.name, norm(sc.run(rw, baseCfg, nil), base))
+					})
+					sc.fork(func() {
+						t.Set(p.Name, "dise-"+s.name, norm(sc.run(prog, cfg, diseMFI(mfi.DISE3, perfectEngine())), base))
+					})
+				})
+			}
+		})
 	}
+	sc.wait()
 	t.AddMeanRow()
 	return t
 }
@@ -189,23 +216,33 @@ func Fig6Width(o Options) *stats.Table {
 	}
 	t := stats.NewTable("Figure 6 (bottom): MFI vs processor width, normalized execution time", names(ps), cols)
 	t.Note = "32KB I$; per width, 1.0 = no fault isolation at that width"
+	s := o.newSched()
 	for _, p := range ps {
-		o.logf("fig6c: %s", p.Name)
-		prog := p.MustGenerate()
-		rw, err := mfi.Rewrite(prog)
-		if err != nil {
-			panic(err)
-		}
-		for _, w := range widths {
-			cfg := cpu.DefaultConfig()
-			cfg.Width = w
-			base := run(prog, cfg, nil)
-			t.Set(p.Name, fmt.Sprintf("rw-%dw", w), norm(run(rw, cfg, nil), base))
-			diseCfg := cfg
-			diseCfg.DiseMode = cpu.DisePipe
-			t.Set(p.Name, fmt.Sprintf("dise-%dw", w), norm(run(prog, diseCfg, diseMFI(mfi.DISE3, perfectEngine())), base))
-		}
+		s.fork(func() {
+			s.logf("fig6c: %s", p.Name)
+			prog := p.MustGenerate()
+			rw, err := mfi.Rewrite(prog)
+			if err != nil {
+				panic(err)
+			}
+			for _, w := range widths {
+				s.fork(func() {
+					cfg := cpu.DefaultConfig()
+					cfg.Width = w
+					base := s.run(prog, cfg, nil)
+					s.fork(func() {
+						t.Set(p.Name, fmt.Sprintf("rw-%dw", w), norm(s.run(rw, cfg, nil), base))
+					})
+					s.fork(func() {
+						diseCfg := cfg
+						diseCfg.DiseMode = cpu.DisePipe
+						t.Set(p.Name, fmt.Sprintf("dise-%dw", w), norm(s.run(prog, diseCfg, diseMFI(mfi.DISE3, perfectEngine())), base))
+					})
+				})
+			}
+		})
 	}
+	s.wait()
 	t.AddMeanRow()
 	return t
 }
@@ -224,18 +261,24 @@ func Fig7Compression(o Options) (*stats.Table, *stats.Table) {
 	}
 	text := stats.NewTable("Figure 7 (top): compressed text size / original", names(ps), cols)
 	total := stats.NewTable("Figure 7 (top, stack): text+dictionary / original", names(ps), cols)
+	s := o.newSched()
 	for _, p := range ps {
-		o.logf("fig7a: %s", p.Name)
-		prog := p.MustGenerate()
-		for _, step := range ladder {
-			res, err := compress.Compress(prog, step.Cfg)
-			if err != nil {
-				panic(err)
+		s.fork(func() {
+			s.logf("fig7a: %s", p.Name)
+			prog := p.MustGenerate()
+			for _, step := range ladder {
+				s.fork(func() {
+					res, err := compress.Compress(prog, step.Cfg)
+					if err != nil {
+						panic(err)
+					}
+					text.Set(p.Name, step.Name, res.Stats.Ratio())
+					total.Set(p.Name, step.Name, res.Stats.TotalRatio())
+				})
 			}
-			text.Set(p.Name, step.Name, res.Stats.Ratio())
-			total.Set(p.Name, step.Name, res.Stats.TotalRatio())
-		}
+		})
 	}
+	s.wait()
 	text.AddMeanRow()
 	total.AddMeanRow()
 	return text, total
@@ -256,22 +299,30 @@ func Fig7Performance(o Options) *stats.Table {
 	}
 	t := stats.NewTable("Figure 7 (middle): DISE decompression, normalized execution time", names(ps), cols)
 	t.Note = "1.0 = uncompressed, 32KB I$; perfect RT"
+	sc := o.newSched()
 	for _, p := range ps {
-		o.logf("fig7b: %s", p.Name)
-		prog := p.MustGenerate()
-		res, err := compress.Compress(prog, compress.DiseFull())
-		if err != nil {
-			panic(err)
-		}
-		base32 := run(prog, icacheCfg(32), nil)
-		for _, s := range sizes {
-			cfg := icacheCfg(s.kb)
-			cfg.DiseMode = cpu.DisePipe
-			rawCfg := icacheCfg(s.kb)
-			t.Set(p.Name, "raw-"+s.name, norm(run(prog, rawCfg, nil), base32))
-			t.Set(p.Name, "dise-"+s.name, norm(run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil)), base32))
-		}
+		sc.fork(func() {
+			sc.logf("fig7b: %s", p.Name)
+			prog := p.MustGenerate()
+			res, err := compress.Compress(prog, compress.DiseFull())
+			if err != nil {
+				panic(err)
+			}
+			base32 := sc.run(prog, icacheCfg(32), nil)
+			for _, s := range sizes {
+				sc.fork(func() {
+					rawCfg := icacheCfg(s.kb)
+					t.Set(p.Name, "raw-"+s.name, norm(sc.run(prog, rawCfg, nil), base32))
+				})
+				sc.fork(func() {
+					cfg := icacheCfg(s.kb)
+					cfg.DiseMode = cpu.DisePipe
+					t.Set(p.Name, "dise-"+s.name, norm(sc.run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil)), base32))
+				})
+			}
+		})
 	}
+	sc.wait()
 	t.AddMeanRow()
 	return t
 }
@@ -283,20 +334,26 @@ func Fig7RTSize(o Options) *stats.Table {
 	cols := []string{"512-dm", "512-2way", "2K-dm", "2K-2way"}
 	t := stats.NewTable("Figure 7 (bottom): RT configuration, normalized execution time", names(ps), cols)
 	t.Note = "1.0 = perfect RT, 32KB I$, 30-cycle RT miss"
+	s := o.newSched()
 	for _, p := range ps {
-		o.logf("fig7c: %s", p.Name)
-		prog := p.MustGenerate()
-		res, err := compress.Compress(prog, compress.DiseFull())
-		if err != nil {
-			panic(err)
-		}
-		cfg := icacheCfg(32)
-		cfg.DiseMode = cpu.DisePipe
-		base := run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil))
-		for _, rt := range rtConfigs() {
-			t.Set(p.Name, rt.name, norm(run(res.Prog, cfg, decompPrep(res, rt.cfg, nil)), base))
-		}
+		s.fork(func() {
+			s.logf("fig7c: %s", p.Name)
+			prog := p.MustGenerate()
+			res, err := compress.Compress(prog, compress.DiseFull())
+			if err != nil {
+				panic(err)
+			}
+			cfg := icacheCfg(32)
+			cfg.DiseMode = cpu.DisePipe
+			base := s.run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil))
+			for _, rt := range rtConfigs() {
+				s.fork(func() {
+					t.Set(p.Name, rt.name, norm(s.run(res.Prog, cfg, decompPrep(res, rt.cfg, nil)), base))
+				})
+			}
+		})
 	}
+	s.wait()
 	t.AddMeanRow()
 	return t
 }
@@ -321,48 +378,57 @@ func Fig8Combos(o Options) *stats.Table {
 	}
 	t := stats.NewTable("Figure 8 (top): composed MFI+decompression, normalized execution time", names(ps), cols)
 	t.Note = "1.0 = unmodified, 32KB I$; perfect RT"
+	sc := o.newSched()
 	for _, p := range ps {
-		o.logf("fig8a: %s", p.Name)
-		prog := p.MustGenerate()
-		base32 := run(prog, icacheCfg(32), nil)
+		sc.fork(func() {
+			sc.logf("fig8a: %s", p.Name)
+			prog := p.MustGenerate()
+			base32 := sc.run(prog, icacheCfg(32), nil)
 
-		rw, err := mfi.Rewrite(prog)
-		if err != nil {
-			panic(err)
-		}
-		rwDed, err := compress.Compress(rw, compress.Dedicated())
-		if err != nil {
-			panic(err)
-		}
-		rwDise, err := compress.Compress(rw, compress.DiseFull())
-		if err != nil {
-			panic(err)
-		}
-		diseComp, err := compress.Compress(prog, compress.DiseFull())
-		if err != nil {
-			panic(err)
-		}
+			rw, err := mfi.Rewrite(prog)
+			if err != nil {
+				panic(err)
+			}
+			rwDed, err := compress.Compress(rw, compress.Dedicated())
+			if err != nil {
+				panic(err)
+			}
+			rwDise, err := compress.Compress(rw, compress.DiseFull())
+			if err != nil {
+				panic(err)
+			}
+			diseComp, err := compress.Compress(prog, compress.DiseFull())
+			if err != nil {
+				panic(err)
+			}
 
-		for _, s := range sizes {
-			cfg := icacheCfg(s.kb)
-			cfg.DiseMode = cpu.DisePipe
-
-			// Rewriting MFI + dedicated hardware decompression.
-			dedCfg := icacheCfg(s.kb)
-			r := run(rwDed.Prog, dedCfg, func(m *emu.Machine) {
-				m.SetExpander(compress.NewDecompressor(rwDed))
-			})
-			t.Set(p.Name, "rw+ded-"+s.name, norm(r, base32))
-
-			// Rewriting MFI + DISE decompression.
-			r = run(rwDise.Prog, cfg, decompPrep(rwDise, perfectEngine(), nil))
-			t.Set(p.Name, "rw+dise-"+s.name, norm(r, base32))
-
-			// DISE MFI composed with DISE decompression at RT fill.
-			r = run(diseComp.Prog, cfg, decompPrep(diseComp, perfectEngine(), composeMFI))
-			t.Set(p.Name, "dise+dise-"+s.name, norm(r, base32))
-		}
+			for _, s := range sizes {
+				sc.fork(func() {
+					// Rewriting MFI + dedicated hardware decompression.
+					dedCfg := icacheCfg(s.kb)
+					r := sc.run(rwDed.Prog, dedCfg, func(m *emu.Machine) {
+						m.SetExpander(compress.NewDecompressor(rwDed))
+					})
+					t.Set(p.Name, "rw+ded-"+s.name, norm(r, base32))
+				})
+				sc.fork(func() {
+					// Rewriting MFI + DISE decompression.
+					cfg := icacheCfg(s.kb)
+					cfg.DiseMode = cpu.DisePipe
+					r := sc.run(rwDise.Prog, cfg, decompPrep(rwDise, perfectEngine(), nil))
+					t.Set(p.Name, "rw+dise-"+s.name, norm(r, base32))
+				})
+				sc.fork(func() {
+					// DISE MFI composed with DISE decompression at RT fill.
+					cfg := icacheCfg(s.kb)
+					cfg.DiseMode = cpu.DisePipe
+					r := sc.run(diseComp.Prog, cfg, decompPrep(diseComp, perfectEngine(), composeMFI))
+					t.Set(p.Name, "dise+dise-"+s.name, norm(r, base32))
+				})
+			}
+		})
 	}
+	sc.wait()
 	t.AddMeanRow()
 	return t
 }
@@ -379,25 +445,33 @@ func Fig8RT(o Options) *stats.Table {
 	}
 	t := stats.NewTable("Figure 8 (bottom): composed ACFs vs RT configuration", names(ps), cols)
 	t.Note = "1.0 = perfect RT; 30 = capacity only, 150 = +composition latency"
+	s := o.newSched()
 	for _, p := range ps {
-		o.logf("fig8b: %s", p.Name)
-		prog := p.MustGenerate()
-		res, err := compress.Compress(prog, compress.DiseFull())
-		if err != nil {
-			panic(err)
-		}
-		cfg := icacheCfg(32)
-		cfg.DiseMode = cpu.DisePipe
-		base := run(res.Prog, cfg, decompPrep(res, perfectEngine(), composeMFI))
-		for _, rt := range rtConfigs() {
-			fast := rt.cfg
-			fast.ComposePenalty = fast.MissPenalty
-			t.Set(p.Name, rt.name+"-30", norm(run(res.Prog, cfg, decompPrep(res, fast, composeMFI)), base))
-			slow := rt.cfg
-			slow.ComposePenalty = 150
-			t.Set(p.Name, rt.name+"-150", norm(run(res.Prog, cfg, decompPrep(res, slow, composeMFI)), base))
-		}
+		s.fork(func() {
+			s.logf("fig8b: %s", p.Name)
+			prog := p.MustGenerate()
+			res, err := compress.Compress(prog, compress.DiseFull())
+			if err != nil {
+				panic(err)
+			}
+			cfg := icacheCfg(32)
+			cfg.DiseMode = cpu.DisePipe
+			base := s.run(res.Prog, cfg, decompPrep(res, perfectEngine(), composeMFI))
+			for _, rt := range rtConfigs() {
+				s.fork(func() {
+					fast := rt.cfg
+					fast.ComposePenalty = fast.MissPenalty
+					t.Set(p.Name, rt.name+"-30", norm(s.run(res.Prog, cfg, decompPrep(res, fast, composeMFI)), base))
+				})
+				s.fork(func() {
+					slow := rt.cfg
+					slow.ComposePenalty = 150
+					t.Set(p.Name, rt.name+"-150", norm(s.run(res.Prog, cfg, decompPrep(res, slow, composeMFI)), base))
+				})
+			}
+		})
 	}
+	s.wait()
 	t.AddMeanRow()
 	return t
 }

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/program"
+)
+
+// sched is the bounded worker pool behind every figure harness. Each
+// (benchmark x configuration) cell is an independent job: it builds its own
+// machine, engine and cache hierarchy, so cells only share immutable inputs
+// (generated programs, compression dictionaries). Jobs are spawned freely —
+// a row job forks one job per cell — and a counting semaphore bounds only
+// the simulations themselves, so nested fan-out can never deadlock the pool.
+// Tables are deterministic regardless of completion order because every job
+// writes its own preallocated cell, addressed by (row, column) label.
+type sched struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu  sync.Mutex
+	log Options
+	pan any // first captured job panic, re-raised by wait
+}
+
+// newSched builds a scheduler with o.Workers simulation slots
+// (GOMAXPROCS when unset).
+func (o Options) newSched() *sched {
+	n := o.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &sched{sem: make(chan struct{}, n), log: o}
+}
+
+// logf emits one progress line; safe from concurrent jobs.
+func (s *sched) logf(format string, args ...any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log.logf(format, args...)
+}
+
+// fork runs fn as a job. A panicking job (the harnesses panic on any
+// simulator regression) does not crash the process from a bare goroutine:
+// the first panic value is captured and re-raised on the caller of wait.
+func (s *sched) fork(fn func()) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				s.mu.Lock()
+				if s.pan == nil {
+					s.pan = r
+				}
+				s.mu.Unlock()
+			}
+		}()
+		fn()
+	}()
+}
+
+// wait blocks until every job (including jobs forked by jobs) finishes,
+// then re-raises the first job panic, if any.
+func (s *sched) wait() {
+	s.wg.Wait()
+	if s.pan != nil {
+		panic(s.pan)
+	}
+}
+
+// run is the scheduled form of the package-level run: the semaphore bounds
+// how many simulations execute at once.
+func (s *sched) run(prog *program.Program, cfg cpu.Config, prep func(*emu.Machine)) *cpu.Result {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	return run(prog, cfg, prep)
+}

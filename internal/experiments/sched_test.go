@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// Every cell is an independent simulation written to a preallocated table
+// slot, so the rendered tables must be byte-identical at any worker count.
+func TestWorkersDeterministic(t *testing.T) {
+	serial := tinyOptions()
+	serial.Workers = 1
+	par := tinyOptions()
+	par.Workers = 8
+
+	figs := []struct {
+		name string
+		gen  func(Options) *stats.Table
+	}{
+		{"Fig6Formulation", Fig6Formulation},
+		{"Fig7Performance", Fig7Performance},
+		{"Fig8RT", Fig8RT},
+	}
+	for _, f := range figs {
+		a := f.gen(serial).String()
+		b := f.gen(par).String()
+		if a != b {
+			t.Errorf("%s: Workers=1 and Workers=8 tables differ:\n--- serial ---\n%s--- parallel ---\n%s", f.name, a, b)
+		}
+	}
+}
+
+// A panicking cell must surface on the caller, not kill the process from a
+// bare goroutine.
+func TestSchedPanicPropagates(t *testing.T) {
+	s := Options{}.newSched()
+	s.fork(func() {
+		s.fork(func() { panic("inner job failed") })
+	})
+	defer func() {
+		if r := recover(); r != "inner job failed" {
+			t.Errorf("recovered %v, want the job's panic value", r)
+		}
+	}()
+	s.wait()
+}

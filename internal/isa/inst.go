@@ -55,34 +55,53 @@ func (i Inst) Dest() Reg {
 
 // Sources returns the registers read by i (zero, one or two entries).
 func (i Inst) Sources() []Reg {
+	a, b := i.SourceRegs()
 	var srcs []Reg
-	add := func(r Reg) {
-		if r != NoReg && r != RegZero {
-			srcs = append(srcs, r)
-		}
+	if a != NoReg {
+		srcs = append(srcs, a)
 	}
+	if b != NoReg {
+		srcs = append(srcs, b)
+	}
+	return srcs
+}
+
+// SourceRegs returns the at-most-two registers read by i, NoReg-padded. The
+// timing model calls it once per dynamic instruction; unlike Sources it never
+// allocates.
+func (i Inst) SourceRegs() (Reg, Reg) {
+	var a, b Reg = NoReg, NoReg
 	switch i.Op.Format() {
 	case FmtMem:
-		add(i.RS)
+		a = i.RS
 		if i.Op.Class() == ClassStore {
-			add(i.RT)
+			b = i.RT
 		}
 	case FmtBranch:
 		if i.Op != OpBR && i.Op != OpBSR {
-			add(i.RS)
+			a = i.RS
 		}
 	case FmtJump:
-		add(i.RS)
+		a = i.RS
 	case FmtJumpCond:
-		add(i.RT)
-		add(i.RS)
+		a = i.RT
+		b = i.RS
 	case FmtOpReg:
-		add(i.RS)
-		add(i.RT)
+		a = i.RS
+		b = i.RT
 	case FmtOpImm:
-		add(i.RS)
+		a = i.RS
 	}
-	return srcs
+	if a == RegZero {
+		a = NoReg
+	}
+	if b == RegZero {
+		b = NoReg
+	}
+	if a == NoReg {
+		a, b = b, NoReg
+	}
+	return a, b
 }
 
 // UsesDedicated reports whether any register field of i names a DISE

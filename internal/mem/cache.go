@@ -8,6 +8,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ErrConfig wraps every cache-geometry validation error, so callers of the
@@ -66,6 +67,14 @@ type Cache struct {
 	sets  [][]cacheLine
 	clock int64
 
+	// Shift/mask fast path: real cache geometries are powers of two, so the
+	// tag and set computations are a shift and an AND instead of an integer
+	// divide on the hot path. lineShift is -1 when LineSize is not a power
+	// of two; setMask is 0 (with setPow2 false) when the set count is not.
+	lineShift int
+	setPow2   bool
+	setMask   uint64
+
 	Stats CacheStats
 }
 
@@ -86,15 +95,38 @@ func NewCacheChecked(cfg CacheConfig) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cache{cfg: cfg}
+	c := &Cache{cfg: cfg, lineShift: -1}
 	if !cfg.Perfect {
 		n := cfg.Size / (cfg.LineSize * cfg.Assoc)
 		c.sets = make([][]cacheLine, n)
 		for i := range c.sets {
 			c.sets[i] = make([]cacheLine, cfg.Assoc)
 		}
+		if ls := cfg.LineSize; ls&(ls-1) == 0 {
+			c.lineShift = bits.TrailingZeros(uint(ls))
+		}
+		if n&(n-1) == 0 {
+			c.setPow2 = true
+			c.setMask = uint64(n - 1)
+		}
 	}
 	return c, nil
+}
+
+// lineTag maps addr to its line-granularity tag.
+func (c *Cache) lineTag(addr uint64) uint64 {
+	if c.lineShift >= 0 {
+		return addr >> uint(c.lineShift)
+	}
+	return addr / uint64(c.cfg.LineSize)
+}
+
+// setFor selects the set a tag indexes.
+func (c *Cache) setFor(tag uint64) []cacheLine {
+	if c.setPow2 {
+		return c.sets[tag&c.setMask]
+	}
+	return c.sets[tag%uint64(len(c.sets))]
 }
 
 // Config returns the cache's configuration.
@@ -107,8 +139,8 @@ func (c *Cache) Access(addr uint64) bool {
 		return true
 	}
 	c.clock++
-	tag := addr / uint64(c.cfg.LineSize)
-	set := c.sets[tag%uint64(len(c.sets))]
+	tag := c.lineTag(addr)
+	set := c.setFor(tag)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			set[i].lru = c.clock
@@ -141,10 +173,11 @@ func (c *Cache) AccessRange(addr uint64, size int) int {
 		return 0
 	}
 	misses := 0
-	first := addr / uint64(c.cfg.LineSize)
-	last := (addr + uint64(size) - 1) / uint64(c.cfg.LineSize)
+	first := c.lineTag(addr)
+	last := c.lineTag(addr + uint64(size) - 1)
+	ls := uint64(c.cfg.LineSize)
 	for line := first; line <= last; line++ {
-		if !c.Access(line * uint64(c.cfg.LineSize)) {
+		if !c.Access(line * ls) {
 			misses++
 		}
 	}

@@ -17,6 +17,7 @@ package program
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/isa"
 )
@@ -59,7 +60,11 @@ type Program struct {
 	// Symbols maps labels to unit indices.
 	Symbols map[string]int
 
-	addrs []uint64 // lazily built unit index -> byte address
+	// addrs is the lazily built unit index -> byte address table. It is an
+	// atomic pointer so that machines running the same (immutable) program
+	// concurrently may fault it in without a lock; concurrent builders
+	// compute identical tables and the first published one wins.
+	addrs atomic.Pointer[[]uint64]
 }
 
 // Clone returns a deep copy of p. Rewriters and compressors operate on
@@ -102,42 +107,52 @@ func (p *Program) TextBytes() int {
 	return n
 }
 
-// buildAddrs computes the unit-index -> byte-address table.
-func (p *Program) buildAddrs() {
-	p.addrs = make([]uint64, len(p.Text)+1)
+// buildAddrs computes and publishes the unit-index -> byte-address table.
+func (p *Program) buildAddrs() []uint64 {
+	addrs := make([]uint64, len(p.Text)+1)
 	a := TextBase
 	for i := range p.Text {
-		p.addrs[i] = a
+		addrs[i] = a
 		a += uint64(p.UnitSize(i))
 	}
-	p.addrs[len(p.Text)] = a
+	addrs[len(p.Text)] = a
+	p.addrs.Store(&addrs)
+	return addrs
+}
+
+// addrTable returns the current address table, faulting it in if needed.
+func (p *Program) addrTable() []uint64 {
+	if t := p.addrs.Load(); t != nil && len(*t) == len(p.Text)+1 {
+		return *t
+	}
+	return p.buildAddrs()
 }
 
 // Addr returns the byte address of unit i. Addresses are stable for a given
 // layout; call Invalidate after mutating Text or Sizes.
 func (p *Program) Addr(i int) uint64 {
-	if p.addrs == nil || len(p.addrs) != len(p.Text)+1 {
-		p.buildAddrs()
-	}
-	return p.addrs[i]
+	return p.addrTable()[i]
 }
 
 // UnitAt returns the unit index whose image spans byte address a, or -1.
 // Used to resolve indirect-jump targets, which travel through registers as
 // byte addresses.
 func (p *Program) UnitAt(a uint64) int {
-	if p.addrs == nil || len(p.addrs) != len(p.Text)+1 {
-		p.buildAddrs()
-	}
-	if a < TextBase || a >= p.addrs[len(p.Text)] {
+	addrs := p.addrTable()
+	if a < TextBase || a >= addrs[len(p.Text)] {
 		return -1
 	}
-	i := sort.Search(len(p.Text), func(i int) bool { return p.addrs[i+1] > a })
+	if p.Sizes == nil {
+		// Natural layout: every unit is one 4-byte word, so the unit index
+		// is pure address arithmetic — no binary search.
+		return int((a - TextBase) / isa.InstBytes)
+	}
+	i := sort.Search(len(p.Text), func(i int) bool { return addrs[i+1] > a })
 	return i
 }
 
 // Invalidate drops cached layout state after a mutation.
-func (p *Program) Invalidate() { p.addrs = nil }
+func (p *Program) Invalidate() { p.addrs.Store(nil) }
 
 // BranchTargetUnit returns the target unit of the PC-relative branch at unit
 // i: displacement counts units, relative to the following unit.
