@@ -1,7 +1,8 @@
 GO       ?= go
 FUZZTIME ?= 10s
+BASE     ?= BENCH_PR2.json
 
-.PHONY: all build vet test race race-experiments bench fuzz verify clean
+.PHONY: all build vet test race race-experiments bench benchcmp check-experiments fuzz verify clean
 
 all: build test
 
@@ -27,7 +28,20 @@ race-experiments:
 # machine-readable summary (ns/op, B/op, allocs/op per benchmark) for the
 # perf trajectory across PRs.
 bench:
-	$(GO) test -bench=. -benchmem -count=3 -run '^$$' . | $(GO) run ./cmd/benchjson BENCH_PR2.json
+	$(GO) test -bench=. -benchmem -count=3 -run '^$$' . | $(GO) run ./cmd/benchjson BENCH_PR3.json
+
+# Diff the fresh receipt against a committed baseline (override with
+# BASE=...): per-benchmark ns/op deltas, nonzero exit on any >10% regression.
+benchcmp:
+	$(GO) run ./cmd/benchjson -compare $(BASE) BENCH_PR3.json
+
+# Regenerate the experiment tables and fail if they drift from the committed
+# experiments_full.txt — the replay fast paths must keep every table
+# byte-identical.
+check-experiments:
+	$(GO) run ./cmd/disebench -q > experiments_full.txt.new
+	diff -u experiments_full.txt experiments_full.txt.new
+	rm -f experiments_full.txt.new
 
 # Smoke-run every fuzzer for $(FUZZTIME) each. The fuzzers assert the
 # robustness contract: hostile input produces typed errors, never a panic.
@@ -40,5 +54,5 @@ fuzz:
 verify: build vet race race-experiments fuzz
 
 clean:
-	rm -f disefault
+	rm -f disefault experiments_full.txt.new
 	$(GO) clean ./...

@@ -1,18 +1,30 @@
 // benchjson converts `go test -bench` output on stdin into a JSON summary on
 // stdout: one record per benchmark with ns/op, B/op and allocs/op averaged
 // across -count repetitions. The bench Makefile target uses it to commit
-// machine-readable perf receipts (BENCH_PR2.json) alongside the human log.
+// machine-readable perf receipts (BENCH_PR3.json) alongside the human log.
+//
+// With -compare, it instead diffs two previously written receipts:
+//
+//	benchjson -compare OLD.json NEW.json
+//
+// printing a per-benchmark delta table and exiting nonzero when any
+// benchmark present in both files regressed by more than 10% on ns/op. The
+// `make benchcmp BASE=...` target wraps this mode.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// regressLimit is the ns/op growth factor beyond which -compare fails.
+const regressLimit = 1.10
 
 // record accumulates repetitions of one benchmark.
 type record struct {
@@ -32,6 +44,21 @@ type Summary struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two receipts: benchjson -compare OLD.json NEW.json")
+	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		os.Exit(compareReceipts(flag.Arg(0), flag.Arg(1)))
+	}
+	collect(flag.Args())
+}
+
+// collect is the original mode: bench log on stdin, receipt to the path in
+// args (default BENCH.json).
+func collect(args []string) {
 	recs := map[string]*record{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -94,8 +121,8 @@ func main() {
 	}
 
 	path := "BENCH.json"
-	if len(os.Args) > 1 {
-		path = os.Args[1]
+	if len(args) > 0 {
+		path = args[0]
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -107,6 +134,75 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// compareReceipts diffs two receipts and returns the process exit code: 0
+// when no benchmark shared by both files regressed past regressLimit on
+// ns/op, 1 otherwise.
+func compareReceipts(oldPath, newPath string) int {
+	olds, err := loadReceipt(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	news, err := loadReceipt(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(news))
+	for n := range news {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-22s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	regressed := 0
+	for _, n := range names {
+		nw := news[n]
+		old, ok := olds[n]
+		if !ok {
+			fmt.Printf("%-22s %14s %14.0f %8s\n", n, "-", nw.NsOp, "new")
+			continue
+		}
+		ratio := nw.NsOp / old.NsOp
+		mark := ""
+		if ratio > regressLimit {
+			mark = "  REGRESSION"
+			regressed++
+		}
+		fmt.Printf("%-22s %14.0f %14.0f %+7.1f%%%s\n",
+			n, old.NsOp, nw.NsOp, 100*(ratio-1), mark)
+	}
+	for n := range olds {
+		if _, ok := news[n]; !ok {
+			fmt.Printf("%-22s %14.0f %14s %8s\n", n, olds[n].NsOp, "-", "gone")
+		}
+	}
+	if regressed > 0 {
+		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%% on ns/op\n",
+			regressed, 100*(regressLimit-1))
+		return 1
+	}
+	fmt.Println("\nno ns/op regressions beyond the 10% gate")
+	return 0
+}
+
+func loadReceipt(path string) (map[string]Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var list []Summary
+	if err := json.Unmarshal(data, &list); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	m := make(map[string]Summary, len(list))
+	for _, s := range list {
+		m[s.Name] = s
+	}
+	return m, nil
 }
 
 // lineEcho trims trailing space so the echoed log is byte-stable.

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/profileflags"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
+	defer profileflags.Start()()
 
 	o := experiments.Options{DynScaleK: *scale, Workers: *workers}
 	if !*quiet {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/emu"
+	"repro/internal/profileflags"
 	"repro/internal/program"
 	"repro/internal/workload"
 )
@@ -40,6 +41,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print program statistics")
 	)
 	flag.Parse()
+	defer profileflags.Start()()
 
 	if *list {
 		for _, n := range workload.Names() {

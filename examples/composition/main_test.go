@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/acf/compose"
+	"repro/internal/acf/compress"
+	"repro/internal/acf/mfi"
+	"repro/internal/emu"
+	"repro/internal/goldentest"
+	"repro/internal/workload"
+
+	dise "repro"
+)
+
+// TestGolden pins the composed run: the server's decompression dictionary
+// with the client's MFI checks inlined at RT-fill time.
+func TestGolden(t *testing.T) {
+	prof, _ := workload.ProfileByName("parser")
+	prof.TargetDynK = 120
+	app := prof.MustGenerate()
+	shipped, err := compress.Compress(app, compress.DiseFull())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *emu.Machine {
+		ctrl := dise.NewController(dise.DefaultEngineConfig())
+		mfiProds, err := mfi.Install(ctrl, mfi.DISE3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl.SetComposer(compose.Composer(mfiProds))
+		if _, err := shipped.Install(ctrl); err != nil {
+			t.Fatal(err)
+		}
+		m := dise.NewMachine(shipped.Prog)
+		m.SetExpander(ctrl.Engine())
+		mfi.Setup(m)
+		return m
+	}
+	goldentest.Check(t, "composition", mk, 30, 150,
+		goldentest.Want{Cycles: 140809, Insts: 304383, Mispredicts: 2719, DiseStalls: 3780})
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/acf/compress"
+	"repro/internal/emu"
+	"repro/internal/goldentest"
+	"repro/internal/workload"
+
+	dise "repro"
+)
+
+// TestGolden pins the gzip workload the example compresses, in all three
+// execution modes: uncompressed, dedicated decompressor, and DISE
+// decompression.
+func TestGolden(t *testing.T) {
+	prof, _ := workload.ProfileByName("gzip")
+	prof.TargetDynK = 150
+	prog := prof.MustGenerate()
+
+	goldentest.Check(t, "compression-original", func() *emu.Machine {
+		return dise.NewMachine(prog)
+	}, 30, 150,
+		goldentest.Want{Cycles: 179427, Insts: 202902, Mispredicts: 4649, DiseStalls: 0})
+
+	ded, err := compress.Compress(prog, compress.Dedicated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldentest.Check(t, "compression-dedicated", func() *emu.Machine {
+		m := dise.NewMachine(ded.Prog)
+		m.SetExpander(compress.NewDecompressor(ded))
+		return m
+	}, 30, 150,
+		goldentest.Want{Cycles: 148748, Insts: 202902, Mispredicts: 4677, DiseStalls: 0})
+
+	res, err := compress.Compress(prog, compress.DiseFull())
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldentest.Check(t, "compression-dise", func() *emu.Machine {
+		ctrl := dise.NewController(dise.DefaultEngineConfig())
+		if _, err := res.Install(ctrl); err != nil {
+			t.Fatal(err)
+		}
+		m := dise.NewMachine(res.Prog)
+		m.SetExpander(ctrl.Engine())
+		return m
+	}, 30, 150,
+		goldentest.Want{Cycles: 150521, Insts: 202902, Mispredicts: 4705, DiseStalls: 1920})
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/acf/mfi"
+	"repro/internal/emu"
+	"repro/internal/goldentest"
+
+	dise "repro"
+)
+
+// TestGolden pins the honest module in each benign protection mode:
+// unprotected, DISE segment matching, and binary rewriting.
+func TestGolden(t *testing.T) {
+	mkPlain := func() *emu.Machine {
+		return dise.NewMachine(dise.MustAssemble("module", module))
+	}
+	goldentest.Check(t, "mfi-unprotected", mkPlain, 30, 150,
+		goldentest.Want{Cycles: 8311, Insts: 28005, Mispredicts: 14, DiseStalls: 0})
+
+	mkDISE := func() *emu.Machine {
+		prog := dise.MustAssemble("module", module)
+		ctrl := dise.NewController(dise.DefaultEngineConfig())
+		if _, err := mfi.Install(ctrl, mfi.DISE3); err != nil {
+			t.Fatal(err)
+		}
+		m := dise.NewMachine(prog)
+		m.SetExpander(ctrl.Engine())
+		mfi.Setup(m)
+		return m
+	}
+	goldentest.Check(t, "mfi-dise3", mkDISE, 30, 150,
+		goldentest.Want{Cycles: 12345, Insts: 40005, Mispredicts: 14, DiseStalls: 30})
+
+	mkRewrite := func() *emu.Machine {
+		prog, err := mfi.Rewrite(dise.MustAssemble("module", module))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dise.NewMachine(prog)
+	}
+	goldentest.Check(t, "mfi-rewrite", mkRewrite, 30, 150,
+		goldentest.Want{Cycles: 16322, Insts: 48007, Mispredicts: 14, DiseStalls: 0})
+}

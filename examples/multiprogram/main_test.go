@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/acf/mfi"
+	"repro/internal/emu"
+	"repro/internal/goldentest"
+
+	dise "repro"
+)
+
+// TestGolden pins the two process programs in their benign configurations:
+// the honest worker under the system-wide MFI ACF, and the rogue program
+// unprotected (its escape store is silent without MFI — see
+// internal/acf/mfi tests). The kernel's time slicing drives machines
+// directly and has no cycle model, so the golden runs cover the programs
+// and production set rather than the scheduler.
+func TestGolden(t *testing.T) {
+	mkWorker := func() *emu.Machine {
+		p := dise.MustAssemble("honest", worker)
+		ctrl := dise.NewController(dise.DefaultEngineConfig())
+		if _, err := mfi.Install(ctrl, mfi.DISE3); err != nil {
+			t.Fatal(err)
+		}
+		m := dise.NewMachine(p)
+		m.SetExpander(ctrl.Engine())
+		mfi.Setup(m)
+		return m
+	}
+	goldentest.Check(t, "multiprogram-worker-mfi", mkWorker, 30, 150,
+		goldentest.Want{Cycles: 1248, Insts: 1564, Mispredicts: 14, DiseStalls: 60})
+
+	mkRogue := func() *emu.Machine {
+		return dise.NewMachine(dise.MustAssemble("attacker", rogue))
+	}
+	goldentest.Check(t, "multiprogram-rogue-plain", mkRogue, 30, 150,
+		goldentest.Want{Cycles: 392, Insts: 165, Mispredicts: 14, DiseStalls: 0})
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/acf/compose"
+	"repro/internal/acf/mfi"
+	"repro/internal/acf/trace"
+	"repro/internal/emu"
+	"repro/internal/goldentest"
+	"repro/internal/isa"
+	"repro/internal/program"
+
+	dise "repro"
+)
+
+// TestGolden pins all three observation configurations: store-address
+// tracing, branch profiling, and the merged tracing+MFI composition.
+func TestGolden(t *testing.T) {
+	bufAddr := uint64(program.DataBase + 128)
+
+	mkTrace := func() *emu.Machine {
+		p := dise.MustAssemble("prof", prog)
+		ctrl := dise.NewController(dise.DefaultEngineConfig())
+		m := dise.NewMachine(p)
+		if _, err := trace.InstallStoreTracing(ctrl, m, bufAddr); err != nil {
+			t.Fatal(err)
+		}
+		m.SetExpander(ctrl.Engine())
+		return m
+	}
+	goldentest.Check(t, "profiling-stores", mkTrace, 30, 150,
+		goldentest.Want{Cycles: 506, Insts: 180, Mispredicts: 14, DiseStalls: 30})
+
+	mkBranch := func() *emu.Machine {
+		p := dise.MustAssemble("prof", prog)
+		ctrl := dise.NewController(dise.DefaultEngineConfig())
+		if _, err := trace.InstallBranchProfiling(ctrl); err != nil {
+			t.Fatal(err)
+		}
+		m := dise.NewMachine(p)
+		m.SetExpander(ctrl.Engine())
+		return m
+	}
+	goldentest.Check(t, "profiling-branches", mkBranch, 30, 150,
+		goldentest.Want{Cycles: 492, Insts: 148, Mispredicts: 14, DiseStalls: 30})
+
+	mkMerged := func() *emu.Machine {
+		p := dise.MustAssemble("prof", prog)
+		sat := dise.ParseProductionsOrDie(trace.StoreAddressProductions)
+		mfiP := dise.ParseProductionsOrDie(mfi.Productions(mfi.DISE3))
+		merged, err := compose.Merge("sat+mfi", sat[0].Repl, mfiP[0].Repl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl := dise.NewController(dise.DefaultEngineConfig())
+		if _, err := ctrl.InstallTransparent("sat+mfi", dise.Pattern{
+			Class: isa.ClassStore, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg}, merged); err != nil {
+			t.Fatal(err)
+		}
+		m := dise.NewMachine(p)
+		m.SetExpander(ctrl.Engine())
+		mfi.Setup(m)
+		m.SetReg(trace.BufPtrReg, bufAddr)
+		return m
+	}
+	goldentest.Check(t, "profiling-merged", mkMerged, 30, 150,
+		goldentest.Want{Cycles: 521, Insts: 228, Mispredicts: 14, DiseStalls: 30})
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/goldentest"
+
+	dise "repro"
+)
+
+// TestGolden pins the timing of the quickstart program with the store
+// counter installed, and checks that trace replay reproduces the live run.
+func TestGolden(t *testing.T) {
+	mk := func() *emu.Machine {
+		prog := dise.MustAssemble("quickstart", program)
+		ctrl := dise.NewController(dise.DefaultEngineConfig())
+		if _, err := ctrl.InstallFile(countStores, nil); err != nil {
+			t.Fatal(err)
+		}
+		m := dise.NewMachine(prog)
+		m.SetExpander(ctrl.Engine())
+		return m
+	}
+	goldentest.Check(t, "quickstart", mk, 30, 150,
+		goldentest.Want{Cycles: 193, Insts: 24, Mispredicts: 3, DiseStalls: 30})
+}

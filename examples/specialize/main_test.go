@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/goldentest"
+	"repro/internal/isa"
+
+	dise "repro"
+)
+
+// TestGolden pins the specialized loop for each multiplier class: one
+// shift, two shifts + add, and the generic-multiply fallback.
+func TestGolden(t *testing.T) {
+	for _, tc := range []struct {
+		k    uint64
+		want goldentest.Want
+	}{
+		{64, goldentest.Want{Cycles: 2666, Insts: 8007, Mispredicts: 14, DiseStalls: 30}},
+		{96, goldentest.Want{Cycles: 3657, Insts: 10007, Mispredicts: 14, DiseStalls: 30}},
+		{100, goldentest.Want{Cycles: 4582, Insts: 8007, Mispredicts: 14, DiseStalls: 30}},
+	} {
+		mk := func() *emu.Machine {
+			p := dise.MustAssemble("spec", loopSrc)
+			repl, _ := specialize(tc.k)
+			ctrl := dise.NewController(dise.DefaultEngineConfig())
+			if _, err := ctrl.InstallAware("mulspec", dise.Pattern{
+				Op: isa.OpRES1, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg},
+				[]*dise.Replacement{repl}); err != nil {
+				t.Fatal(err)
+			}
+			m := dise.NewMachine(p)
+			m.SetExpander(ctrl.Engine())
+			m.SetReg(isa.RegDR0+1, tc.k)
+			return m
+		}
+		goldentest.Check(t, fmt.Sprintf("specialize-%d", tc.k), mk, 30, 150, tc.want)
+	}
+}

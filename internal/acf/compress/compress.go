@@ -3,6 +3,7 @@ package compress
 import (
 	"container/heap"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -78,47 +79,158 @@ func Compress(p *program.Program, cfg Config) (*Result, error) {
 
 // enumerate builds the candidate pool: every basic-block-contained window
 // in both its literal and (when enabled) parameterized form.
+//
+// Keys are rendered incrementally: each start position extends the literal
+// and abstract keys of the previous (shorter) window by one unit's fragment
+// in a reused byte buffer, so a length-n window costs one fragment append and
+// one allocation-free map probe instead of an O(n) fmt walk. The extensions
+// are sound because every failure mode is monotone in window growth — a
+// noncompressible unit, a fourth register slot, and (for literals) a branch
+// all doom every longer window from the same start, and a branch can only be
+// a block's final unit, so "branch must come last" never prunes a prefix.
+// Shape construction (templates, extractor) runs only on a key's first
+// sighting.
 func enumerate(p *program.Program, cfg Config) map[string]*candidate {
 	cands := map[string]*candidate{}
-	add := func(sh shape, extract func([]isa.Inst) (instParams, bool), start int) {
-		c, ok := cands[sh.key]
-		if !ok {
-			c = &candidate{sh: sh, extract: extract}
-			cands[sh.key] = c
+	text := p.Text
+
+	// Per-unit fragments, computed once. litFrag is the exact "%d:%v;"
+	// rendering the literal keys have always used (one fmt call per static
+	// unit rather than per window).
+	compOK := make([]bool, len(text))
+	isBr := make([]bool, len(text))
+	litFrag := make([]string, len(text))
+	for u := range text {
+		in := &text[u]
+		if !compressibleOp(in.Op) {
+			continue
 		}
-		c.windows = append(c.windows, start)
+		compOK[u] = true
+		isBr[u] = in.Op.IsBranch()
+		if !isBr[u] {
+			litFrag[u] = fmt.Sprintf("%d:%v;", in.Op, *in)
+		}
 	}
+
+	addLit := func(key []byte, start, n int) {
+		if c, ok := cands[string(key)]; ok {
+			c.windows = append(c.windows, start)
+			return
+		}
+		tmpl := make([]core.ReplInst, n)
+		for i, in := range text[start : start+n] {
+			tmpl[i] = core.FromLiteral(in)
+		}
+		k := string(key)
+		cands[k] = &candidate{sh: shape{key: k, tmpl: tmpl, length: n}, windows: []int{start}}
+	}
+	addAbs := func(key []byte, start, n int) {
+		if c, ok := cands[string(key)]; ok {
+			c.windows = append(c.windows, start)
+			return
+		}
+		k := string(key)
+		sh, ok := abstractBuild(text[start:start+n], cfg.Branches, k)
+		if !ok {
+			panic("compress: abstract key accepted but shape build failed")
+		}
+		cands[k] = &candidate{sh: sh, extract: extractParams, windows: []int{start}}
+	}
+
+	var lbuf, abuf []byte
 	for _, blk := range p.BasicBlocks() {
 		for start := blk.Start; start < blk.End; start++ {
 			maxLen := blk.End - start
 			if maxLen > cfg.MaxLen {
 				maxLen = cfg.MaxLen
 			}
-			for n := cfg.MinLen; n <= maxLen; n++ {
-				win := p.Text[start : start+n]
-				if sh, ok := literalShape(win); ok {
-					add(sh, nil, start)
+			lbuf = append(lbuf[:0], "L|"...)
+			abuf = append(abuf[:0], "A|"...)
+			litAlive := true
+			absAlive := cfg.Params
+			var a slotAlloc
+			for n := 1; n <= maxLen; n++ {
+				u := start + n - 1
+				if !compOK[u] {
+					break // dooms every window through u, in both forms
 				}
-				if !cfg.Params {
-					continue
-				}
-				sh, extract, ok := abstractShape(win, cfg.Branches)
-				if !ok {
-					continue
-				}
-				if sh.hasBranch {
-					// Conservative displacement-fit check: compression only
-					// shrinks unit distances, so the displacement measured
-					// from the window start bounds the final one.
-					oldFromStart := int64(p.BranchTargetUnit(start+n-1) - start - 1)
-					if !fits(oldFromStart, sh.dispBits) {
-						continue
+				in := &text[u]
+				br := isBr[u]
+				if br {
+					litAlive = false // literals may not contain branches
+				} else if litAlive {
+					lbuf = append(lbuf, litFrag[u]...)
+					if n >= cfg.MinLen {
+						addLit(lbuf, start, n)
 					}
 				}
-				if _, ok := extract(win); !ok {
-					continue
+				if absAlive {
+					abuf = append(abuf, opKeyPrefix[in.Op]...)
+					regsOK := true
+					for _, r := range [3]isa.Reg{in.RS, in.RT, in.RD} {
+						if fixedReg(r) {
+							abuf = append(abuf, regLitTag[r]...)
+						} else if s, ok := a.regSlot(r); ok {
+							abuf = append(abuf, regSlotTag[s]...)
+						} else {
+							regsOK = false
+							break
+						}
+						abuf = append(abuf, ',')
+					}
+					valid := regsOK
+					dispBits := 0
+					if regsOK {
+						switch {
+						case br:
+							// A branch is necessarily the window's last unit
+							// (it ends the basic block); it parameterizes only
+							// when enabled and when slots remain for the
+							// displacement.
+							if _, bits := dispDirFor(a.n); cfg.Branches && bits > 0 {
+								dispBits = bits
+								abuf = append(abuf, 'D')
+							} else {
+								valid = false
+							}
+						case immSlot(*in) && smallImm(in.Imm):
+							if s, ok := a.immSlotOf(in.Imm); ok {
+								abuf = append(abuf, immSlotTag[s]...)
+							} else {
+								abuf = append(abuf, 'i')
+								abuf = strconv.AppendInt(abuf, in.Imm, 10)
+							}
+						default:
+							abuf = append(abuf, 'i')
+							abuf = strconv.AppendInt(abuf, in.Imm, 10)
+						}
+					}
+					if valid {
+						abuf = append(abuf, ';')
+						if n >= cfg.MinLen {
+							emit := true
+							if br {
+								// Conservative displacement-fit check:
+								// compression only shrinks unit distances, so
+								// the displacement measured from the window
+								// start bounds the final one.
+								oldFromStart := int64(p.BranchTargetUnit(u) - start - 1)
+								emit = fits(oldFromStart, dispBits)
+							}
+							if emit {
+								if _, ok := extractParams(text[start : start+n]); ok {
+									addAbs(abuf, start, n)
+								}
+							}
+						}
+					}
+					if br || !valid {
+						absAlive = false
+					}
 				}
-				add(sh, extract, start)
+				if !litAlive && !absAlive {
+					break
+				}
 			}
 		}
 	}

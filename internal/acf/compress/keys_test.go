@@ -1,0 +1,254 @@
+package compress
+
+// The incremental key renderer in enumerate must reproduce the original
+// fmt-based shape keys byte for byte: selection tie-breaks on the key
+// (candHeap.Less), so any drift would silently reorder greedy choices and
+// change compressed images. This file keeps the original builders as
+// references and pins the fast path against them over random programs.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// refLiteralShape is the original literal builder, verbatim.
+func refLiteralShape(insts []isa.Inst) (shape, bool) {
+	var b strings.Builder
+	tmpl := make([]core.ReplInst, len(insts))
+	for i, in := range insts {
+		if !compressibleOp(in.Op) {
+			return shape{}, false
+		}
+		if in.Op.IsBranch() {
+			return shape{}, false
+		}
+		tmpl[i] = core.FromLiteral(in)
+		fmt.Fprintf(&b, "%d:%v;", in.Op, in)
+	}
+	return shape{key: "L|" + b.String(), tmpl: tmpl, length: len(insts)}, true
+}
+
+// refAbstractShape is the original parameterized builder, verbatim.
+func refAbstractShape(insts []isa.Inst, branches bool) (shape, func([]isa.Inst) (instParams, bool), bool) {
+	slotOf := map[isa.Reg]int{}
+	immSlotOf := map[int64]int{}
+	nSlots := 0
+	reg := func(r isa.Reg) (core.RegField, string) {
+		if fixedReg(r) {
+			return core.Lit(r), "l" + r.String()
+		}
+		s, ok := slotOf[r]
+		if !ok {
+			if nSlots == 3 {
+				return core.RegField{}, ""
+			}
+			s = nSlots
+			slotOf[r] = s
+			nSlots++
+		}
+		return core.TReg(slotDirs[s]), fmt.Sprintf("p%d", s)
+	}
+	imm := func(v int64) (core.ImmField, string, bool) {
+		s, ok := immSlotOf[v]
+		if !ok {
+			if nSlots == 3 {
+				return core.ImmField{}, "", false
+			}
+			s = nSlots
+			immSlotOf[v] = s
+			nSlots++
+		}
+		return core.ImmField{Dir: slotImmDirs[s]}, fmt.Sprintf("I%d", s), true
+	}
+
+	var b strings.Builder
+	tmpl := make([]core.ReplInst, len(insts))
+	sh := shape{length: len(insts)}
+	for i, in := range insts {
+		if !compressibleOp(in.Op) {
+			return shape{}, nil, false
+		}
+		ri := core.ReplInst{Op: in.Op,
+			RS: core.Lit(isa.NoReg), RT: core.Lit(isa.NoReg), RD: core.Lit(isa.NoReg),
+			Imm: core.ImmField{Dir: core.ImmLit, Lit: in.Imm}}
+		fmt.Fprintf(&b, "%d:", in.Op)
+		for _, f := range []struct {
+			r   isa.Reg
+			dst *core.RegField
+		}{{in.RS, &ri.RS}, {in.RT, &ri.RT}, {in.RD, &ri.RD}} {
+			fld, tag := reg(f.r)
+			if tag == "" {
+				return shape{}, nil, false
+			}
+			*f.dst = fld
+			b.WriteString(tag)
+			b.WriteByte(',')
+		}
+		switch {
+		case in.Op.IsBranch():
+			if !branches || i != len(insts)-1 {
+				return shape{}, nil, false
+			}
+			dir, bits := dispDirFor(nSlots)
+			if bits == 0 {
+				return shape{}, nil, false
+			}
+			sh.hasBranch = true
+			sh.dispDir, sh.dispBits = dir, bits
+			ri.Imm = core.ImmField{Dir: dir}
+			b.WriteString("D")
+		case immSlot(in) && smallImm(in.Imm):
+			f, tag, ok := imm(in.Imm)
+			if !ok {
+				fmt.Fprintf(&b, "i%d", in.Imm)
+				break
+			}
+			ri.Imm = f
+			b.WriteString(tag)
+		default:
+			fmt.Fprintf(&b, "i%d", in.Imm)
+		}
+		b.WriteByte(';')
+		tmpl[i] = ri
+	}
+	sh.key = "A|" + b.String()
+	sh.tmpl = tmpl
+	sh.nRegSlots = nSlots
+
+	extract := func(win []isa.Inst) (instParams, bool) {
+		var ps instParams
+		seen := map[isa.Reg]int{}
+		seenImm := map[int64]int{}
+		n := 0
+		for _, in := range win {
+			for _, r := range []isa.Reg{in.RS, in.RT, in.RD} {
+				if fixedReg(r) {
+					continue
+				}
+				if _, ok := seen[r]; !ok {
+					if n == 3 {
+						return ps, false
+					}
+					seen[r] = n
+					ps.slots[n] = uint8(r)
+					n++
+				}
+			}
+			if !in.Op.IsBranch() && immSlot(in) && smallImm(in.Imm) {
+				if _, ok := seenImm[in.Imm]; !ok && n < 3 {
+					seenImm[in.Imm] = n
+					ps.slots[n] = uint8(in.Imm) & 0x1f
+					n++
+				}
+			}
+		}
+		return ps, true
+	}
+	return sh, extract, true
+}
+
+// refEnumerate is the original window walk, verbatim, over the reference
+// builders.
+func refEnumerate(p *program.Program, cfg Config) map[string]*candidate {
+	cands := map[string]*candidate{}
+	add := func(sh shape, extract func([]isa.Inst) (instParams, bool), start int) {
+		c, ok := cands[sh.key]
+		if !ok {
+			c = &candidate{sh: sh, extract: extract}
+			cands[sh.key] = c
+		}
+		c.windows = append(c.windows, start)
+	}
+	for _, blk := range p.BasicBlocks() {
+		for start := blk.Start; start < blk.End; start++ {
+			maxLen := blk.End - start
+			if maxLen > cfg.MaxLen {
+				maxLen = cfg.MaxLen
+			}
+			for n := cfg.MinLen; n <= maxLen; n++ {
+				win := p.Text[start : start+n]
+				if sh, ok := refLiteralShape(win); ok {
+					add(sh, nil, start)
+				}
+				if !cfg.Params {
+					continue
+				}
+				sh, extract, ok := refAbstractShape(win, cfg.Branches)
+				if !ok {
+					continue
+				}
+				if sh.hasBranch {
+					oldFromStart := int64(p.BranchTargetUnit(start+n-1) - start - 1)
+					if !fits(oldFromStart, sh.dispBits) {
+						continue
+					}
+				}
+				if _, ok := extract(win); !ok {
+					continue
+				}
+				add(sh, extract, start)
+			}
+		}
+	}
+	return cands
+}
+
+func TestFastKeysMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		src := randomProgram(r)
+		p, err := asm.Assemble(fmt.Sprintf("keys%d", trial), src)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, step := range Ladder() {
+			got := enumerate(p, step.Cfg)
+			want := refEnumerate(p, step.Cfg)
+			if len(got) != len(want) {
+				t.Errorf("trial %d %s: %d candidates, reference has %d",
+					trial, step.Name, len(got), len(want))
+			}
+			for key, wc := range want {
+				gc, ok := got[key]
+				if !ok {
+					t.Errorf("trial %d %s: reference key %q missing from fast pool", trial, step.Name, key)
+					continue
+				}
+				if !reflect.DeepEqual(gc.windows, wc.windows) {
+					t.Errorf("trial %d %s: key %q windows %v, reference %v",
+						trial, step.Name, key, gc.windows, wc.windows)
+				}
+				// Shape equality minus the extractor closure.
+				if !reflect.DeepEqual(gc.sh, wc.sh) {
+					t.Errorf("trial %d %s: key %q shape %+v, reference %+v",
+						trial, step.Name, key, gc.sh, wc.sh)
+				}
+				// Extractor agreement on every accepted window.
+				if wc.extract != nil {
+					for _, s := range wc.windows {
+						win := p.Text[s : s+wc.sh.length]
+						wp, wok := wc.extract(win)
+						gp, gok := gc.extract(win)
+						if wok != gok || wp != gp {
+							t.Errorf("trial %d %s: key %q window %d params %v/%v, reference %v/%v",
+								trial, step.Name, key, s, gp, gok, wp, wok)
+						}
+					}
+				}
+			}
+			for key := range got {
+				if _, ok := want[key]; !ok {
+					t.Errorf("trial %d %s: fast key %q not in reference pool", trial, step.Name, key)
+				}
+			}
+		}
+	}
+}

@@ -1,8 +1,7 @@
 package compress
 
 import (
-	"fmt"
-	"strings"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/isa"
@@ -74,25 +73,6 @@ func fits(v int64, bits int) bool {
 	return v >= -lim && v < lim
 }
 
-// literalShape builds an unparameterized candidate. Sequences containing
-// PC-relative branches are rejected: compression changes relative PCs, so
-// unparameterized branch compression is infeasible (paper §3.2).
-func literalShape(insts []isa.Inst) (shape, bool) {
-	var b strings.Builder
-	tmpl := make([]core.ReplInst, len(insts))
-	for i, in := range insts {
-		if !compressibleOp(in.Op) {
-			return shape{}, false
-		}
-		if in.Op.IsBranch() {
-			return shape{}, false
-		}
-		tmpl[i] = core.FromLiteral(in)
-		fmt.Fprintf(&b, "%d:%v;", in.Op, in)
-	}
-	return shape{key: "L|" + b.String(), tmpl: tmpl, length: len(insts)}, true
-}
-
 var slotImmDirs = [3]core.ImmDir{core.ImmP1, core.ImmP2, core.ImmP3}
 
 // smallImm reports immediates worth parameterizing: they fit one signed
@@ -100,132 +80,163 @@ var slotImmDirs = [3]core.ImmDir{core.ImmP1, core.ImmP2, core.ImmP3}
 // one entry through T.P2).
 func smallImm(v int64) bool { return v >= -16 && v <= 15 }
 
-// abstractShape builds the parameterized candidate: non-ABI registers and
-// small immediates become parameter slots in order of first appearance; the
-// trailing branch's displacement (if branches are enabled) becomes a wide
-// immediate parameter in the remaining slots. It also returns the per-call
-// parameter extractor.
-func abstractShape(insts []isa.Inst, branches bool) (shape, func([]isa.Inst) (instParams, bool), bool) {
-	slotOf := map[isa.Reg]int{}
-	immSlotOf := map[int64]int{}
-	nSlots := 0
-	reg := func(r isa.Reg) (core.RegField, string) {
-		if fixedReg(r) {
-			return core.Lit(r), "l" + r.String()
-		}
-		s, ok := slotOf[r]
-		if !ok {
-			if nSlots == 3 {
-				return core.RegField{}, ""
-			}
-			s = nSlots
-			slotOf[r] = s
-			nSlots++
-		}
-		return core.TReg(slotDirs[s]), fmt.Sprintf("p%d", s)
-	}
-	// Immediate slots are shared by value, so a load/store pair with the
-	// same displacement consumes one parameter (both instantiate from it).
-	imm := func(v int64) (core.ImmField, string, bool) {
-		s, ok := immSlotOf[v]
-		if !ok {
-			if nSlots == 3 {
-				return core.ImmField{}, "", false
-			}
-			s = nSlots
-			immSlotOf[v] = s
-			nSlots++
-		}
-		return core.ImmField{Dir: slotImmDirs[s]}, fmt.Sprintf("I%d", s), true
-	}
+// Key fragments, precomputed so the enumeration inner loop appends plain
+// strings instead of running fmt. The rendered keys are pinned byte-for-byte
+// against the original fmt-based builders by TestFastKeysMatchReference:
+// candHeap tie-breaks on the key, so any drift would silently change which
+// dictionary entries win.
+var (
+	opKeyPrefix [isa.NumOpcodes]string // "%d:" per opcode
+	regLitTag   [256]string            // "l" + Reg.String() per register
+)
 
-	var b strings.Builder
+var (
+	regSlotTag = [3]string{"p0", "p1", "p2"}
+	immSlotTag = [3]string{"I0", "I1", "I2"}
+)
+
+func init() {
+	for op := range opKeyPrefix {
+		opKeyPrefix[op] = strconv.Itoa(op) + ":"
+	}
+	for r := range regLitTag {
+		regLitTag[r] = "l" + isa.Reg(r).String()
+	}
+}
+
+// slotAlloc assigns the (at most three) codeword parameter slots in order of
+// first appearance — registers by identity, small immediates by value. The
+// same walk underlies the abstract key, the replacement templates, and
+// per-instance parameter extraction, which is what keeps them consistent.
+type slotAlloc struct {
+	n   int
+	ent [3]slotEnt
+}
+
+type slotEnt struct {
+	isReg bool
+	reg   isa.Reg
+	imm   int64
+}
+
+// regSlot returns r's slot, allocating on first appearance. ok=false means
+// the window needs a fourth slot and cannot be parameterized.
+func (a *slotAlloc) regSlot(r isa.Reg) (int, bool) {
+	for i := 0; i < a.n; i++ {
+		if a.ent[i].isReg && a.ent[i].reg == r {
+			return i, true
+		}
+	}
+	if a.n == 3 {
+		return 0, false
+	}
+	a.ent[a.n] = slotEnt{isReg: true, reg: r}
+	a.n++
+	return a.n - 1, true
+}
+
+// immSlotOf returns v's slot, allocating on first appearance. Immediate
+// slots are shared by value, so a load/store pair with the same displacement
+// consumes one parameter (both instantiate from it). ok=false means the
+// slots are exhausted; the caller keeps the immediate literal.
+func (a *slotAlloc) immSlotOf(v int64) (int, bool) {
+	for i := 0; i < a.n; i++ {
+		if !a.ent[i].isReg && a.ent[i].imm == v {
+			return i, true
+		}
+	}
+	if a.n == 3 {
+		return 0, false
+	}
+	a.ent[a.n] = slotEnt{imm: v}
+	a.n++
+	return a.n - 1, true
+}
+
+// abstractBuild constructs the parameterized shape for a window whose key
+// (already rendered incrementally by enumerate) was not yet in the candidate
+// pool. It repeats the slot walk to build the replacement templates; key
+// equality across windows guarantees both walks agree. The trailing branch's
+// displacement (if branches are enabled) becomes a wide immediate parameter
+// in the remaining slots.
+func abstractBuild(insts []isa.Inst, branches bool, key string) (shape, bool) {
+	var a slotAlloc
 	tmpl := make([]core.ReplInst, len(insts))
-	sh := shape{length: len(insts)}
+	sh := shape{key: key, length: len(insts)}
 	for i, in := range insts {
 		if !compressibleOp(in.Op) {
-			return shape{}, nil, false
+			return shape{}, false
 		}
 		ri := core.ReplInst{Op: in.Op,
 			RS: core.Lit(isa.NoReg), RT: core.Lit(isa.NoReg), RD: core.Lit(isa.NoReg),
 			Imm: core.ImmField{Dir: core.ImmLit, Lit: in.Imm}}
-		fmt.Fprintf(&b, "%d:", in.Op)
-		for _, f := range []struct {
+		for _, f := range [3]struct {
 			r   isa.Reg
 			dst *core.RegField
 		}{{in.RS, &ri.RS}, {in.RT, &ri.RT}, {in.RD, &ri.RD}} {
-			fld, tag := reg(f.r)
-			if tag == "" {
-				return shape{}, nil, false // more than 3 distinct registers
+			if fixedReg(f.r) {
+				*f.dst = core.Lit(f.r)
+				continue
 			}
-			*f.dst = fld
-			b.WriteString(tag)
-			b.WriteByte(',')
+			s, ok := a.regSlot(f.r)
+			if !ok {
+				return shape{}, false // more than 3 distinct registers
+			}
+			*f.dst = core.TReg(slotDirs[s])
 		}
 		switch {
 		case in.Op.IsBranch():
 			if !branches || i != len(insts)-1 {
-				return shape{}, nil, false
+				return shape{}, false
 			}
-			dir, bits := dispDirFor(nSlots)
+			dir, bits := dispDirFor(a.n)
 			if bits == 0 {
-				return shape{}, nil, false // no slots left for the displacement
+				return shape{}, false // no slots left for the displacement
 			}
 			sh.hasBranch = true
 			sh.dispDir, sh.dispBits = dir, bits
 			ri.Imm = core.ImmField{Dir: dir}
-			b.WriteString("D")
 		case immSlot(in) && smallImm(in.Imm):
-			f, tag, ok := imm(in.Imm)
-			if !ok {
-				fmt.Fprintf(&b, "i%d", in.Imm)
-				break
+			if s, ok := a.immSlotOf(in.Imm); ok {
+				ri.Imm = core.ImmField{Dir: slotImmDirs[s]}
 			}
-			ri.Imm = f
-			b.WriteString(tag)
-		default:
-			fmt.Fprintf(&b, "i%d", in.Imm)
 		}
-		b.WriteByte(';')
 		tmpl[i] = ri
 	}
-	sh.key = "A|" + b.String()
 	sh.tmpl = tmpl
-	sh.nRegSlots = nSlots
+	sh.nRegSlots = a.n
+	return sh, true
+}
 
-	// The extractor replays the allocation walk on a concrete instance. Two
-	// instances share a shape iff their keys match, which guarantees the
-	// same slot structure.
-	extract := func(win []isa.Inst) (instParams, bool) {
-		var ps instParams
-		seen := map[isa.Reg]int{}
-		seenImm := map[int64]int{}
-		n := 0
-		for _, in := range win {
-			for _, r := range []isa.Reg{in.RS, in.RT, in.RD} {
-				if fixedReg(r) {
-					continue
-				}
-				if _, ok := seen[r]; !ok {
-					if n == 3 {
-						return ps, false
-					}
-					seen[r] = n
-					ps.slots[n] = uint8(r)
-					n++
-				}
+// extractParams replays the slot-allocation walk on a concrete window and
+// packs the parameter values for one codeword. Two instances share a shape
+// iff their keys match, which guarantees the same slot structure, so the
+// walk needs no shape state.
+func extractParams(win []isa.Inst) (instParams, bool) {
+	var ps instParams
+	var a slotAlloc
+	for _, in := range win {
+		for _, r := range [3]isa.Reg{in.RS, in.RT, in.RD} {
+			if fixedReg(r) {
+				continue
 			}
-			if !in.Op.IsBranch() && immSlot(in) && smallImm(in.Imm) {
-				if _, ok := seenImm[in.Imm]; !ok && n < 3 {
-					seenImm[in.Imm] = n
-					ps.slots[n] = uint8(in.Imm) & 0x1f
-					n++
-				}
+			was := a.n
+			s, ok := a.regSlot(r)
+			if !ok {
+				return ps, false
+			}
+			if a.n > was {
+				ps.slots[s] = uint8(r)
 			}
 		}
-		return ps, true
+		if !in.Op.IsBranch() && immSlot(in) && smallImm(in.Imm) {
+			was := a.n
+			if s, ok := a.immSlotOf(in.Imm); ok && a.n > was {
+				ps.slots[s] = uint8(in.Imm) & 0x1f
+			}
+		}
 	}
-	return sh, extract, true
+	return ps, true
 }
 
 // immSlot reports whether in's format carries a general immediate that may

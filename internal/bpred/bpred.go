@@ -1,8 +1,19 @@
-package cpu
+// Package bpred models the front-end branch prediction structures — a
+// gshare conditional predictor, a BTB for indirect jumps, and a return
+// address stack: the "aggressive branch speculation" of the paper's
+// simulated MIPS-R10000-like core.
+//
+// It is a leaf package deliberately independent of the timing model so that
+// both the live scheduling path (internal/cpu) and trace capture
+// (internal/trace) can run the same predictor: prediction outcomes depend
+// only on the dynamic instruction stream, never on timing, so a trace can
+// record each instruction's mispredict verdict once and replay it for free.
+package bpred
 
-// Branch prediction: a gshare conditional predictor, a BTB for indirect
-// jumps, and a return address stack — the "aggressive branch speculation"
-// of the paper's simulated MIPS-R10000-like core.
+import (
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
 
 const (
 	gshareBits = 12
@@ -21,11 +32,11 @@ type Predictor struct {
 	rasTop int
 	rasLen int
 
-	Stats PredStats
+	Stats Stats
 }
 
-// PredStats counts prediction outcomes.
-type PredStats struct {
+// Stats counts prediction outcomes.
+type Stats struct {
 	CondBranches int64
 	CondMiss     int64
 	IndBranches  int64
@@ -35,10 +46,10 @@ type PredStats struct {
 }
 
 // Mispredicts returns the total mispredictions of all kinds.
-func (s *PredStats) Mispredicts() int64 { return s.CondMiss + s.IndMiss + s.RetMiss }
+func (s *Stats) Mispredicts() int64 { return s.CondMiss + s.IndMiss + s.RetMiss }
 
-// NewPredictor returns an initialized predictor.
-func NewPredictor() *Predictor {
+// New returns an initialized predictor.
+func New() *Predictor {
 	p := &Predictor{btb: make(map[uint64]uint64)}
 	for i := range p.counters {
 		p.counters[i] = 1 // weakly not-taken
@@ -104,8 +115,14 @@ func (p *Predictor) Indirect(pc, target uint64) bool {
 	return correct
 }
 
-// Call pushes a return address onto the RAS.
+// Call pushes a return address onto the RAS. A zero retAddr marks a call
+// with no fall-through instruction (the call sits in the program's last
+// unit): there is nothing to return to, so nothing is pushed — pushing the
+// bogus zero would misalign the stack for every enclosing return.
 func (p *Predictor) Call(retAddr uint64) {
+	if retAddr == 0 {
+		return
+	}
 	p.rasTop = (p.rasTop + 1) % rasDepth
 	p.ras[p.rasTop] = retAddr
 	if p.rasLen < rasDepth {
@@ -149,6 +166,54 @@ func (p *Predictor) CondStatic(pc uint64, taken bool) bool {
 		p.Stats.CondMiss++
 	}
 	return correct
+}
+
+// Mispredicted runs the prediction structures for one dynamic instruction
+// and reports whether fetch must redirect after it executes. retAddr is the
+// call's fall-through byte address, used to prime the RAS (zero when the
+// call has no successor instruction). The three arms mirror paper §2.2:
+// a taken DISE branch is architecturally a misprediction; a non-trigger
+// replacement branch behaves as predicted-not-taken and never updates the
+// predictor; everything else consults the predictor proper.
+func Mispredicted(p *Predictor, d *emu.DynInst, retAddr uint64) bool {
+	switch {
+	case d.DiseBranch:
+		return d.Taken
+	case d.IsBranch && !d.Predicted:
+		return d.Taken
+	case d.IsBranch:
+		return !p.predictApp(d, retAddr)
+	}
+	return false
+}
+
+// predictApp runs the appropriate predictor for an application-level branch
+// and reports whether it was correct.
+func (p *Predictor) predictApp(d *emu.DynInst, retAddr uint64) bool {
+	switch d.Inst.Op {
+	case isa.OpBR:
+		return true // direct unconditional: always correct
+	case isa.OpBSR:
+		p.Call(retAddr)
+		return true
+	case isa.OpJSR:
+		p.Call(retAddr)
+		return p.Indirect(d.PC, d.Target)
+	case isa.OpJMP:
+		return p.Indirect(d.PC, d.Target)
+	case isa.OpRET:
+		return p.Return(d.Target)
+	case isa.OpJEQ, isa.OpJNE:
+		// Conditional indirect: direction via a history-free bimodal
+		// predictor, target via BTB when taken.
+		ok := p.CondStatic(d.PC, d.Taken)
+		if d.Taken {
+			return ok && p.Indirect(d.PC, d.Target)
+		}
+		return ok
+	default:
+		return p.Cond(d.PC, d.Taken)
+	}
 }
 
 func b2u64(b bool) uint64 {

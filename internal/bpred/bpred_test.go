@@ -1,9 +1,14 @@
-package cpu
+package bpred
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
 
 func TestCondLearnsBias(t *testing.T) {
-	p := NewPredictor()
+	p := New()
 	miss := 0
 	for i := 0; i < 100; i++ {
 		if !p.Cond(0x1000, true) {
@@ -15,7 +20,7 @@ func TestCondLearnsBias(t *testing.T) {
 	if miss > 20 {
 		t.Errorf("always-taken branch missed %d times", miss)
 	}
-	p2 := NewPredictor()
+	p2 := New()
 	for i := 0; i < 100; i++ {
 		p2.Cond(0x1000, true)
 	}
@@ -32,7 +37,7 @@ func TestCondLearnsBias(t *testing.T) {
 
 func TestCondLearnsAlternating(t *testing.T) {
 	// gshare with history should learn a strict alternation.
-	p := NewPredictor()
+	p := New()
 	miss := 0
 	for i := 0; i < 400; i++ {
 		if !p.Cond(0x1000, i%2 == 0) {
@@ -48,7 +53,7 @@ func TestBiasFilterProtectsHistory(t *testing.T) {
 	// A never-taken "check" branch interleaved with a history-correlated
 	// branch: with the bias filter, the check must not destroy the
 	// correlated branch's accuracy.
-	p := NewPredictor()
+	p := New()
 	miss := 0
 	outcome := false
 	for i := 0; i < 600; i++ {
@@ -65,7 +70,7 @@ func TestBiasFilterProtectsHistory(t *testing.T) {
 }
 
 func TestCondStaticIgnoresHistory(t *testing.T) {
-	p := NewPredictor()
+	p := New()
 	// Biased conditional jumps predict well regardless of global history.
 	for i := 0; i < 50; i++ {
 		p.Cond(0x4000, i%3 == 0) // churn the GHR
@@ -81,7 +86,7 @@ func TestCondStaticIgnoresHistory(t *testing.T) {
 }
 
 func TestIndirectBTB(t *testing.T) {
-	p := NewPredictor()
+	p := New()
 	if p.Indirect(0x100, 0x8000) {
 		t.Error("cold BTB should miss")
 	}
@@ -97,7 +102,7 @@ func TestIndirectBTB(t *testing.T) {
 }
 
 func TestRASMatchesCallReturn(t *testing.T) {
-	p := NewPredictor()
+	p := New()
 	p.Call(0x100)
 	p.Call(0x200)
 	if !p.Return(0x200) || !p.Return(0x100) {
@@ -109,45 +114,91 @@ func TestRASMatchesCallReturn(t *testing.T) {
 }
 
 func TestRASOverflowWraps(t *testing.T) {
-	p := NewPredictor()
-	for i := 0; i < rasDepth+4; i++ {
+	p := New()
+	for i := 1; i <= rasDepth+4; i++ {
 		p.Call(uint64(i) * 16)
 	}
 	// The newest rasDepth entries survive.
-	for i := rasDepth + 3; i >= 4; i-- {
+	for i := rasDepth + 4; i >= 5; i-- {
 		if !p.Return(uint64(i) * 16) {
 			t.Fatalf("entry %d should have survived", i)
 		}
 	}
 	// Older ones were overwritten.
-	if p.Return(3 * 16) {
+	if p.Return(4 * 16) {
 		t.Error("overwritten entry should miss")
 	}
 }
 
-func TestBandwidthCursor(t *testing.T) {
-	c := bandwidthCursor{width: 2}
-	if got := c.slot(5); got != 5 {
-		t.Errorf("first slot = %d", got)
+// A call in the program's last unit has no fall-through instruction; its
+// zero return address must not be pushed, or every enclosing return would
+// pop one entry off-by-one and miss.
+func TestCallLastUnitSkipsPush(t *testing.T) {
+	p := New()
+	p.Call(0x100)
+	p.Call(0) // call with no successor: must not push
+	if !p.Return(0x100) {
+		t.Error("zero-retAddr call misaligned the RAS")
 	}
-	if got := c.slot(5); got != 5 {
-		t.Errorf("second slot = %d", got)
+	if p.Return(0x100) {
+		t.Error("RAS should now be empty")
 	}
-	if got := c.slot(5); got != 6 {
-		t.Errorf("third slot should spill to next cycle, got %d", got)
+	p2 := New()
+	p2.Call(0)
+	if p2.Return(0x200) {
+		t.Error("RAS should still be empty after a zero-retAddr call")
 	}
-	c.close()
-	if got := c.slot(6); got != 7 {
-		t.Errorf("slot after close = %d, want 7", got)
+	if p2.Stats.RetMiss != 1 {
+		t.Errorf("RetMiss = %d, want 1", p2.Stats.RetMiss)
 	}
-	// Requests never go backwards.
-	if got := c.slot(3); got < 7 {
-		t.Errorf("cursor went backwards: %d", got)
+}
+
+// Mispredicted must feed the RAS the same way through the DynInst-level
+// entry point: a bsr with no successor unit predicts taken (correct) but
+// pushes nothing.
+func TestMispredictedLastUnitCall(t *testing.T) {
+	p := New()
+	call := &emu.DynInst{
+		Inst: isa.Inst{Op: isa.OpBSR, RD: isa.Reg(26), Imm: 2}, PC: 0x1000,
+		IsBranch: true, Taken: true, Target: 0x100c, Predicted: true,
+	}
+	if Mispredicted(p, call, 0) {
+		t.Error("direct call should never mispredict")
+	}
+	ret := &emu.DynInst{
+		Inst: isa.Inst{Op: isa.OpRET, RS: isa.Reg(26)}, PC: 0x100c,
+		IsBranch: true, Taken: true, Target: 0x1004, Predicted: true,
+	}
+	if !Mispredicted(p, ret, 0) {
+		t.Error("return with an empty RAS must mispredict")
+	}
+	if p.Stats.RetMiss != 1 {
+		t.Errorf("RetMiss = %d, want 1", p.Stats.RetMiss)
+	}
+}
+
+func TestMispredictedDiseBranch(t *testing.T) {
+	p := New()
+	d := &emu.DynInst{DiseBranch: true, Taken: true}
+	if !Mispredicted(p, d, 0) {
+		t.Error("taken DISE branch is architecturally a misprediction")
+	}
+	d.Taken = false
+	if Mispredicted(p, d, 0) {
+		t.Error("not-taken DISE branch falls through for free")
+	}
+	// Unpredicted replacement branch: predicted-not-taken semantics.
+	r := &emu.DynInst{IsBranch: true, Taken: true, Predicted: false}
+	if !Mispredicted(p, r, 0) {
+		t.Error("taken non-trigger replacement branch must redirect")
+	}
+	if p.Stats.Mispredicts() != 0 {
+		t.Error("unpredicted branches must not touch predictor stats")
 	}
 }
 
 func TestMispredictsTotal(t *testing.T) {
-	s := PredStats{CondMiss: 2, IndMiss: 3, RetMiss: 4}
+	s := Stats{CondMiss: 2, IndMiss: 3, RetMiss: 4}
 	if s.Mispredicts() != 9 {
 		t.Errorf("Mispredicts = %d", s.Mispredicts())
 	}

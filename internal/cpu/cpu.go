@@ -13,11 +13,18 @@
 // order and commit bandwidth. Branch mispredictions (and taken DISE
 // branches, which are architecturally mispredictions — paper §2.2) redirect
 // fetch after the branch executes plus the pipeline refill penalty.
+//
+// The stream arrives through the Source interface. The live source is an
+// emu.Machine (Run); a recorded source is a trace replay
+// (internal/trace.Replayer via RunSource), which skips both the functional
+// emulation and the branch predictor — its per-record mispredict verdicts
+// were fixed at capture time.
 package cpu
 
 import (
 	"fmt"
 
+	"repro/internal/bpred"
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -84,6 +91,10 @@ func DefaultConfig() Config {
 	}
 }
 
+// PredStats counts prediction outcomes. It is an alias for the predictor
+// package's stats type.
+type PredStats = bpred.Stats
+
 // Result reports a timed run.
 type Result struct {
 	Cycles   int64
@@ -136,12 +147,169 @@ func (b *bandwidthCursor) slot(at int64) int64 {
 // taken branch).
 func (b *bandwidthCursor) close() { b.count = b.width }
 
+// Rec is one dynamic instruction in the timing model's native form: the
+// subset of the emulator's DynInst annotations the scheduling loop actually
+// reads, packed into 32 bytes (immediates, for instance, never affect
+// timing and are dropped). Recorded streams (internal/trace) store Recs
+// verbatim and replay hands them out by reference, so replay throughput is
+// bounded by the scheduler, not by record reassembly or memory traffic.
+//
+// Register operands are stored predecoded: MakeRec resolves the opcode's
+// operand-slot mapping (regSel) once, so SrcA/SrcB/Dst are the scheduler's
+// two source registers and destination directly, and Lat is the opcode's
+// functional-unit latency. A trace pays this once at capture and every
+// replay of it reads plain fields.
+type Rec struct {
+	PC        uint64 // byte address; replacement instructions carry the trigger's
+	MemAddr   uint64
+	DISEPC    int32
+	SeqLen    int32      // replacement sequence length (trigger record only)
+	FetchSize uint8      // text-image bytes this fetch consumed (0 for spliced records)
+	Op        isa.Opcode // uint8: the full opcode space fits
+	SrcA      isa.Reg    // scheduler source operands (NoReg when absent);
+	SrcB      isa.Reg    // out-of-file values mean always-ready (fault-corrupted
+	Dst       isa.Reg    // encodings degrade, they do not crash the host)
+	Lat       uint8      // functional-unit latency in cycles
+	Flags     uint16
+}
+
+// Rec flags. RecPTMiss/RecRTMiss/RecComposed carry the DISE table events so
+// a recorded stream can rebuild stall cycles under any penalty assignment;
+// RecMispredict is the branch predictor's verdict, resolved by the source.
+const (
+	RecIsApp uint16 = 1 << iota
+	RecIsBranch
+	RecTaken
+	RecIsLoad
+	RecIsStore
+	RecPTMiss
+	RecRTMiss
+	RecComposed
+	RecMispredict
+)
+
+// b2u compiles to a branch-free SETcc; MakeRec packs eight booleans per
+// record, so branch misses here would dominate the conversion.
+func b2u(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// MakeRec converts one emulator record to the timing form. The mispredict
+// flag is left clear: the caller owns the predictor and ors in
+// RecMispredict after consulting it.
+func MakeRec(d *emu.DynInst) Rec {
+	op := d.Inst.Op
+	sel := selAllNone
+	if int(op) < len(regSel) {
+		sel = regSel[op]
+	}
+	regs := [4]isa.Reg{d.Inst.RS, d.Inst.RT, d.Inst.RD, isa.NoReg}
+	return Rec{
+		PC:        d.PC,
+		MemAddr:   d.MemAddr,
+		DISEPC:    int32(d.DISEPC),
+		SeqLen:    int32(d.SeqLen),
+		FetchSize: uint8(d.FetchSize),
+		Op:        op,
+		SrcA:      regs[sel.a],
+		SrcB:      regs[sel.b],
+		Dst:       regs[sel.d],
+		Lat:       uint8(execLatency(op)),
+		Flags: b2u(d.IsApp) |
+			b2u(d.IsBranch)<<1 |
+			b2u(d.Taken)<<2 |
+			b2u(d.IsLoad)<<3 |
+			b2u(d.IsStore)<<4 |
+			b2u(d.PTMiss)<<5 |
+			b2u(d.RTMiss)<<6 |
+			b2u(d.Composed)<<7,
+	}
+}
+
+// Source is a stream of timing records for the scheduling loop: the live
+// functional machine, or a recorded trace. The source resolves everything
+// stream-determined — including branch prediction — so the loop is pure
+// scheduling and runs identically for both.
+type Source interface {
+	// Next returns the next record — owned by the source and read-only —
+	// plus the DISE stall cycles it incurs under the source's penalty
+	// configuration. It returns ok=false at end of stream.
+	Next() (r *Rec, stall int, ok bool)
+	// Loc reports the stream's current PC:DISEPC, for watchdog trap
+	// attribution.
+	Loc() (pc uint64, disepc int)
+	// Final reports the run's architectural outcome once the stream ends.
+	Final() (stats emu.Stats, output string, err error)
+	// PredStats returns the branch predictor's final counters.
+	PredStats() bpred.Stats
+}
+
+// ChunkedSource is an optional Source extension for sources whose whole
+// record stream is already resident in memory (trace replays). RunSource
+// walks the chunks directly — no per-record interface call — and rebuilds
+// each record's DISE stall from its event flags under the returned
+// penalties, exactly as the source's own Next would.
+type ChunkedSource interface {
+	Source
+	// Chunks returns the stream's record chunks in order (read-only; shared
+	// between concurrent replays) and the PT/RT miss and composing-miss
+	// penalties in cycles.
+	Chunks() (chunks [][]Rec, missPenalty, composePenalty int)
+}
+
+// machineSource adapts the live functional machine to the Source interface,
+// running the reference branch predictor alongside the emulation.
+type machineSource struct {
+	m    *emu.Machine
+	pred *bpred.Predictor
+	d    emu.DynInst
+	r    Rec
+}
+
+func (s *machineSource) Next() (*Rec, int, bool) {
+	if !s.m.StepInto(&s.d) {
+		return nil, 0, false
+	}
+	d := &s.d
+	s.r = MakeRec(d)
+	if d.IsBranch || d.DiseBranch {
+		var retAddr uint64
+		if op := d.Inst.Op; op == isa.OpBSR || op == isa.OpJSR {
+			if p := s.m.Program(); d.Unit+1 < p.NumUnits() {
+				retAddr = p.Addr(d.Unit + 1)
+			}
+		}
+		if bpred.Mispredicted(s.pred, d, retAddr) {
+			s.r.Flags |= RecMispredict
+		}
+	}
+	return &s.r, d.Stall, true
+}
+
+func (s *machineSource) Loc() (uint64, int) { return s.m.PC(), s.m.DISEPC() }
+
+func (s *machineSource) Final() (emu.Stats, string, error) {
+	return s.m.Stats, s.m.Output(), s.m.Err()
+}
+
+func (s *machineSource) PredStats() bpred.Stats { return s.pred.Stats }
+
 // Run executes machine m to completion under the timing model and returns
 // the result. The machine must be freshly created (its expander and any
 // dedicated registers already configured). Run never panics on machine
 // misbehavior: a host-side invariant violation surfaces as emu.TrapInternal
 // in Result.Err.
-func Run(m *emu.Machine, cfg Config) (res *Result) {
+func Run(m *emu.Machine, cfg Config) *Result {
+	return RunSource(&machineSource{m: m, pred: bpred.New()}, cfg)
+}
+
+// RunSource times an arbitrary record stream: the scheduling loop is
+// identical for live machines and trace replays, because the source resolves
+// prediction, stalls, and all stream annotations before the loop sees them.
+func RunSource(src Source, cfg Config) (res *Result) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = &Result{Err: &emu.Trap{Kind: emu.TrapInternal,
@@ -155,7 +323,6 @@ func Run(m *emu.Machine, cfg Config) (res *Result) {
 	if err != nil {
 		return &Result{Err: fmt.Errorf("cpu: %w", err)}
 	}
-	pred := NewPredictor()
 	res = &Result{}
 
 	redirectPenalty := int64(cfg.PipeDepth)
@@ -171,38 +338,99 @@ func Run(m *emu.Machine, cfg Config) (res *Result) {
 		regReady   [isa.NumRegs]int64
 		rob        = make([]int64, cfg.ROB)
 		robIdx     int
-		idx        int64
 	)
 
+	// Chunked sources (trace replays) are walked directly: the per-record
+	// interface call and the source's own cursor bookkeeping disappear from
+	// the hot loop, and the stall rebuild happens inline from the flags.
+	var (
+		chunks        [][]Rec
+		ci            int
+		cur           []Rec
+		ri            int
+		miss, compose int
+	)
+	chunked := false
+	if cs, ok := src.(ChunkedSource); ok {
+		chunks, miss, compose = cs.Chunks()
+		chunked = true
+	}
+	diseStallMode := cfg.DiseMode == DiseStall
+	maxCycles := cfg.MaxCycles
+	hook := cfg.Hook
+
+	// Counters live in locals so the scheduling loop never stores to the
+	// heap-allocated result; they are folded into res after the loop.
+	var insts, appInsts, mispredicts, diseStalls, expStalls int64
+
 	var watchdog error
-	var d emu.DynInst // reused across iterations; StepInto overwrites it
+	var d *Rec
+loop:
 	for {
-		if cfg.MaxCycles > 0 && lastCommit > cfg.MaxCycles {
-			watchdog = &emu.Trap{Kind: emu.TrapWatchdog, PC: m.PC(), DISEPC: m.DISEPC(),
+		if maxCycles > 0 && lastCommit > maxCycles {
+			pc, disepc := src.Loc()
+			if chunked && d != nil {
+				pc, disepc = d.PC, int(d.DISEPC)
+			}
+			watchdog = &emu.Trap{Kind: emu.TrapWatchdog, PC: pc, DISEPC: disepc,
 				Detail: fmt.Sprintf("no completion within %d cycles", cfg.MaxCycles)}
 			break
 		}
-		if !m.StepInto(&d) {
-			break
+		// d is read-only: a replayed record is shared between concurrent
+		// replays of the same trace.
+		var stall int
+		if chunked {
+			if ri >= len(cur) {
+				if ci >= len(chunks) {
+					break
+				}
+				cur = chunks[ci]
+				ci++
+				ri = 0
+				if len(cur) == 0 {
+					continue loop
+				}
+			}
+			d = &cur[ri]
+			ri++
+			if f := d.Flags; f&(RecPTMiss|RecRTMiss) != 0 {
+				if f&RecPTMiss != 0 {
+					stall += miss
+				}
+				if f&RecRTMiss != 0 {
+					if f&RecComposed != 0 {
+						stall += compose
+					} else {
+						stall += miss
+					}
+				}
+			}
+		} else {
+			var ok bool
+			d, stall, ok = src.Next()
+			if !ok {
+				break
+			}
 		}
+		f := d.Flags
 		// ----- fetch -----
-		if d.Stall > 0 {
+		if stall > 0 {
 			// PT/RT miss: pipeline flush + fixed handler stall (§2.3).
 			if lastCommit > fetchCycle {
 				fetchCycle = lastCommit
 			}
-			fetchCycle += int64(d.Stall)
-			res.DiseStalls += int64(d.Stall)
+			fetchCycle += int64(stall)
+			diseStalls += int64(stall)
 		}
 		if d.FetchSize > 0 {
-			if lat := h.FetchLatency(d.PC, d.FetchSize); lat > 0 {
+			if lat := h.FetchLatency(d.PC, int(d.FetchSize)); lat > 0 {
 				fetchCycle += int64(lat)
 			}
 		}
-		if d.SeqLen > 0 && cfg.DiseMode == DiseStall {
+		if d.SeqLen > 0 && diseStallMode {
 			// One bubble per actual expansion (§4.1).
 			fetchCycle++
-			res.ExpStalls++
+			expStalls++
 		}
 
 		// ----- dispatch -----
@@ -216,57 +444,41 @@ func Run(m *emu.Machine, cfg Config) (res *Result) {
 		// Register indices are bounds-checked: a hostile or fault-corrupted
 		// expander can emit registers outside the architectural file, and the
 		// scheduler must degrade (treat them as always-ready) rather than
-		// crash the host.
+		// crash the host. NoReg (0xFF) is rejected by the same bounds check,
+		// and RegZero reads/writes are harmless: its ready time is never set.
 		start := dc + 1
-		src1, src2 := d.Inst.SourceRegs()
-		if src1 != isa.NoReg && int(src1) < len(regReady) {
-			if t := regReady[src1]; t > start {
+		if s1 := d.SrcA; int(s1) < len(regReady) {
+			if t := regReady[s1]; t > start {
 				start = t
 			}
 		}
-		if src2 != isa.NoReg && int(src2) < len(regReady) {
-			if t := regReady[src2]; t > start {
+		if s2 := d.SrcB; int(s2) < len(regReady) {
+			if t := regReady[s2]; t > start {
 				start = t
 			}
 		}
-		lat := int64(execLatency(d.Inst.Op))
-		if d.IsLoad || d.IsStore {
+		lat := int64(d.Lat)
+		if f&(RecIsLoad|RecIsStore) != 0 {
 			dlat := int64(h.DataLatency(d.MemAddr))
-			if d.IsLoad {
+			if f&RecIsLoad != 0 {
 				lat += dlat
 			}
 			// Stores retire through the write buffer; their latency does
 			// not stall dependents.
 		}
 		done := start + lat
-		if dest := d.Inst.Dest(); dest != isa.NoReg && dest != isa.RegZero && int(dest) < len(regReady) {
+		if dest := d.Dst; dest != isa.RegZero && int(dest) < len(regReady) {
 			regReady[dest] = done
 		}
 
 		// ----- control -----
-		mispredict := false
-		switch {
-		case d.DiseBranch:
-			// Not predicted; taken => fetch restart at PC:DISEPC' (§2.2).
-			if d.Taken {
-				mispredict = true
-			}
-		case d.IsBranch && !d.Predicted:
-			// Non-trigger replacement branch: effectively predicted
-			// not-taken, never updates the predictor (§2.2).
-			if d.Taken {
-				mispredict = true
-			}
-		case d.IsBranch:
-			mispredict = !predict(pred, &d, m)
-		}
-		if mispredict {
-			res.Mispredicts++
+		if f&RecMispredict != 0 {
+			mispredicts++
 			if t := done + redirectPenalty; t > fetchCycle {
 				fetchCycle = t
 			}
 			dispatch.close()
-		} else if d.IsBranch && d.Taken {
+		} else if f&(RecIsBranch|RecTaken) == RecIsBranch|RecTaken {
 			// Correctly predicted taken branch still breaks the fetch group.
 			dispatch.close()
 			if dc+1 > fetchCycle {
@@ -286,67 +498,262 @@ func Run(m *emu.Machine, cfg Config) (res *Result) {
 		if robIdx == cfg.ROB {
 			robIdx = 0
 		}
-		idx++
-		res.Insts++
-		if d.IsApp {
-			res.AppInsts++
+		insts++
+		if f&RecIsApp != 0 {
+			appInsts++
 		}
-		if cfg.Hook != nil {
-			cfg.Hook(res.Insts, h)
+		if hook != nil {
+			hook(insts, h)
 		}
 	}
 
+	res.Insts = insts
+	res.AppInsts = appInsts
+	res.Mispredicts = mispredicts
+	res.DiseStalls = diseStalls
+	res.ExpStalls = expStalls
 	res.Cycles = lastCommit
-	res.Emu = m.Stats
-	res.Pred = pred.Stats
+	res.Emu, res.Output, res.Err = src.Final()
+	res.Pred = src.PredStats()
 	res.ICacheMisses = h.IL1.Stats.Misses
 	res.DCacheMisses = h.DL1.Stats.Misses
-	res.Output = m.Output()
-	res.Err = m.Err()
 	if watchdog != nil {
 		res.Err = watchdog
 	}
 	return res
 }
 
-// predict runs the appropriate predictor for an application-level branch
-// and reports whether it was correct.
-func predict(p *Predictor, d *emu.DynInst, m *emu.Machine) bool {
-	op := d.Inst.Op
-	switch op {
-	case isa.OpBR:
-		return true // direct unconditional: always correct
-	case isa.OpBSR:
-		p.Call(retAddrOf(d, m))
-		return true
-	case isa.OpJSR:
-		p.Call(retAddrOf(d, m))
-		return p.Indirect(d.PC, d.Target)
-	case isa.OpJMP:
-		return p.Indirect(d.PC, d.Target)
-	case isa.OpRET:
-		return p.Return(d.Target)
-	case isa.OpJEQ, isa.OpJNE:
-		// Conditional indirect: direction via a history-free bimodal
-		// predictor, target via BTB when taken.
-		ok := p.CondStatic(d.PC, d.Taken)
-		if d.Taken {
-			return ok && p.Indirect(d.PC, d.Target)
-		}
-		return ok
-	default:
-		return p.Cond(d.PC, d.Taken)
-	}
+// manyState is one configuration's scheduler in RunSourceMany: exactly the
+// loop-carried state of RunSource, boxed so several configurations can
+// advance in lockstep over a single record walk.
+type manyState struct {
+	h               *mem.Hierarchy
+	rob             []int64
+	regReady        [isa.NumRegs]int64
+	fetchCycle      int64
+	lastCommit      int64
+	dispatch        bandwidthCursor
+	commit          bandwidthCursor
+	robIdx          int
+	robLen          int
+	redirectPenalty int64
+	diseStallMode   bool
+
+	insts, appInsts, mispredicts, diseStalls, expStalls int64
 }
 
-// retAddrOf computes the byte address of the instruction after the call.
-func retAddrOf(d *emu.DynInst, m *emu.Machine) uint64 {
-	p := m.Program()
-	if d.Unit+1 < p.NumUnits() {
-		return p.Addr(d.Unit + 1)
+// RunSourceMany times one recorded stream under several configurations in a
+// single pass: every record is decoded once and stepped through each
+// configuration's scheduler state. The states are independent, so each
+// element of the result is byte-identical to RunSource over a fresh replay
+// of the same trace with the same configuration (pinned by
+// TestRunSourceManyMatchesIndividualReplays) — but the walk pays the record
+// fetch once, and the k per-record dependency chains (fetchCycle,
+// lastCommit, regReady) are disjoint, so they overlap in the host pipeline
+// instead of running back to back. This is the sweep shape of the timing
+// harnesses: one capture, k timing-only cells.
+//
+// Configurations carrying a Hook or a watchdog (MaxCycles > 0), or invalid
+// ones, make the whole call fall back to sequential RunSource runs — the
+// chunked walk of a trace replay is stateless over the source, so repeated
+// RunSource calls on one Replayer are independent.
+func RunSourceMany(src ChunkedSource, cfgs []Config) (out []*Result) {
+	out = make([]*Result, len(cfgs))
+	if len(cfgs) == 0 {
+		return out
 	}
-	return 0
+	sequential := len(cfgs) == 1
+	for i := range cfgs {
+		cfg := &cfgs[i]
+		if cfg.Hook != nil || cfg.MaxCycles > 0 ||
+			cfg.Width <= 0 || cfg.ROB <= 0 || cfg.PipeDepth <= 0 {
+			sequential = true
+		}
+	}
+	if sequential {
+		for i, cfg := range cfgs {
+			out[i] = RunSource(src, cfg)
+		}
+		return out
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err := &emu.Trap{Kind: emu.TrapInternal, Detail: fmt.Sprintf("cpu: %v", r)}
+			for i := range out {
+				out[i] = &Result{Err: err}
+			}
+		}
+	}()
+
+	states := make([]manyState, len(cfgs))
+	for i, cfg := range cfgs {
+		h, err := mem.NewHierarchyChecked(cfg.Mem)
+		if err != nil {
+			for j, c := range cfgs {
+				out[j] = RunSource(src, c)
+			}
+			return out
+		}
+		st := &states[i]
+		st.h = h
+		st.rob = make([]int64, cfg.ROB)
+		st.robLen = cfg.ROB
+		st.dispatch = bandwidthCursor{width: cfg.Width}
+		st.commit = bandwidthCursor{width: cfg.Width}
+		st.redirectPenalty = int64(cfg.PipeDepth)
+		if cfg.DiseMode == DisePipe {
+			st.redirectPenalty++
+		}
+		st.diseStallMode = cfg.DiseMode == DiseStall
+	}
+
+	chunks, miss, compose := src.Chunks()
+	for _, cur := range chunks {
+		for ri := range cur {
+			d := &cur[ri]
+			f := d.Flags
+			stall := 0
+			if f&(RecPTMiss|RecRTMiss) != 0 {
+				if f&RecPTMiss != 0 {
+					stall += miss
+				}
+				if f&RecRTMiss != 0 {
+					if f&RecComposed != 0 {
+						stall += compose
+					} else {
+						stall += miss
+					}
+				}
+			}
+			for si := range states {
+				st := &states[si]
+				if stall > 0 {
+					if st.lastCommit > st.fetchCycle {
+						st.fetchCycle = st.lastCommit
+					}
+					st.fetchCycle += int64(stall)
+					st.diseStalls += int64(stall)
+				}
+				if d.FetchSize > 0 {
+					if lat := st.h.FetchLatency(d.PC, int(d.FetchSize)); lat > 0 {
+						st.fetchCycle += int64(lat)
+					}
+				}
+				if d.SeqLen > 0 && st.diseStallMode {
+					st.fetchCycle++
+					st.expStalls++
+				}
+				dc := st.fetchCycle
+				if robWait := st.rob[st.robIdx]; robWait > dc {
+					dc = robWait
+				}
+				dc = st.dispatch.slot(dc)
+				start := dc + 1
+				if s1 := d.SrcA; int(s1) < len(st.regReady) {
+					if t := st.regReady[s1]; t > start {
+						start = t
+					}
+				}
+				if s2 := d.SrcB; int(s2) < len(st.regReady) {
+					if t := st.regReady[s2]; t > start {
+						start = t
+					}
+				}
+				lat := int64(d.Lat)
+				if f&(RecIsLoad|RecIsStore) != 0 {
+					dlat := int64(st.h.DataLatency(d.MemAddr))
+					if f&RecIsLoad != 0 {
+						lat += dlat
+					}
+				}
+				done := start + lat
+				if dest := d.Dst; dest != isa.RegZero && int(dest) < len(st.regReady) {
+					st.regReady[dest] = done
+				}
+				if f&RecMispredict != 0 {
+					st.mispredicts++
+					if t := done + st.redirectPenalty; t > st.fetchCycle {
+						st.fetchCycle = t
+					}
+					st.dispatch.close()
+				} else if f&(RecIsBranch|RecTaken) == RecIsBranch|RecTaken {
+					st.dispatch.close()
+					if dc+1 > st.fetchCycle {
+						st.fetchCycle = dc + 1
+					}
+				}
+				ct := done
+				if ct < st.lastCommit {
+					ct = st.lastCommit
+				}
+				ct = st.commit.slot(ct)
+				st.lastCommit = ct
+				st.rob[st.robIdx] = ct
+				st.robIdx++
+				if st.robIdx == st.robLen {
+					st.robIdx = 0
+				}
+				st.insts++
+				if f&RecIsApp != 0 {
+					st.appInsts++
+				}
+			}
+		}
+	}
+
+	stats, output, ferr := src.Final()
+	pred := src.PredStats()
+	for i := range states {
+		st := &states[i]
+		out[i] = &Result{
+			Cycles:       st.lastCommit,
+			Insts:        st.insts,
+			AppInsts:     st.appInsts,
+			Mispredicts:  st.mispredicts,
+			DiseStalls:   st.diseStalls,
+			ExpStalls:    st.expStalls,
+			ICacheMisses: st.h.IL1.Stats.Misses,
+			DCacheMisses: st.h.DL1.Stats.Misses,
+			Emu:          stats,
+			Output:       output,
+			Err:          ferr,
+			Pred:         pred,
+		}
+	}
+	return out
 }
+
+// regSel maps opcode → which Inst fields the scheduler reads as sources and
+// destination. The register slot an operand occupies is a pure function of
+// the opcode (see the isa.Inst field slot mapping), so the per-record
+// format/class switches in Inst.SourceRegs and Inst.Dest fold into one
+// table, built at init by decoding each opcode once with sentinel register
+// numbers and recording which slots come back.
+type regSelEnt struct{ a, b, d uint8 }
+
+// selAllNone indexes every operand at the trailing NoReg slot: used for
+// opcodes outside the table (fault-corrupted encodings).
+var selAllNone = regSelEnt{a: 3, b: 3, d: 3}
+
+var regSel = func() (t [isa.NumOpcodes]regSelEnt) {
+	slot := func(r isa.Reg) uint8 {
+		switch r {
+		case 1:
+			return 0 // RS
+		case 2:
+			return 1 // RT
+		case 3:
+			return 2 // RD
+		}
+		return 3 // none
+	}
+	for op := range t {
+		probe := isa.Inst{Op: isa.Opcode(op), RS: 1, RT: 2, RD: 3}
+		a, b := probe.SourceRegs()
+		t[op] = regSelEnt{a: slot(a), b: slot(b), d: slot(probe.Dest())}
+	}
+	return
+}()
 
 // latencyTable holds per-opcode functional-unit latencies in cycles,
 // indexed directly by opcode: multiplies take 3, loads take 0 (the D-cache

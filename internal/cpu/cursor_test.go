@@ -1,0 +1,24 @@
+package cpu
+
+import "testing"
+
+func TestBandwidthCursor(t *testing.T) {
+	c := bandwidthCursor{width: 2}
+	if got := c.slot(5); got != 5 {
+		t.Errorf("first slot = %d", got)
+	}
+	if got := c.slot(5); got != 5 {
+		t.Errorf("second slot = %d", got)
+	}
+	if got := c.slot(5); got != 6 {
+		t.Errorf("third slot should spill to next cycle, got %d", got)
+	}
+	c.close()
+	if got := c.slot(6); got != 7 {
+		t.Errorf("slot after close = %d, want 7", got)
+	}
+	// Requests never go backwards.
+	if got := c.slot(3); got < 7 {
+		t.Errorf("cursor went backwards: %d", got)
+	}
+}

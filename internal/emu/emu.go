@@ -65,6 +65,16 @@ type DynInst struct {
 	// instruction (pipeline flush + fixed stall).
 	Stall int
 
+	// PTMiss/RTMiss/Composed record the DISE table events behind Stall: a
+	// pattern-table fill, a replacement-table miss, and whether the RT
+	// refill invoked the composing handler. The events depend only on the
+	// fetch stream and the table geometry — never on the per-event
+	// penalties — so a recorded trace can rebuild Stall under any penalty
+	// assignment (Stall = PTMiss·miss + RTMiss·(Composed ? compose : miss)).
+	PTMiss   bool
+	RTMiss   bool
+	Composed bool
+
 	// Control outcome.
 	IsBranch   bool // application-level control transfer
 	Taken      bool
@@ -134,6 +144,9 @@ type Machine struct {
 	seqTmpl  []core.ReplInst
 	seqIdx   int
 	seqStall int
+	seqPT    bool // expansion took a PT fill
+	seqRT    bool // expansion took an RT miss
+	seqComp  bool // the RT refill invoked the composer
 	trigPC   uint64
 	trigUnit int
 	trigger  isa.Inst
@@ -331,6 +344,7 @@ func (m *Machine) stepApplication(d *DynInst) bool {
 			m.seqTmpl = exp.Templates
 			m.seqIdx = 0
 			m.seqStall = exp.Stall
+			m.seqPT, m.seqRT, m.seqComp = exp.PTMiss, exp.RTMiss, exp.Composed
 			m.trigPC = pc
 			m.trigUnit = m.unit
 			m.trigger = in
@@ -339,6 +353,7 @@ func (m *Machine) stepApplication(d *DynInst) bool {
 			// A PT fill that produced no match still stalled the pipe.
 			m.exec(d, in, pc, m.unit)
 			d.Stall = exp.Stall
+			d.PTMiss, d.RTMiss, d.Composed = exp.PTMiss, exp.RTMiss, exp.Composed
 			return true
 		}
 	}
@@ -375,6 +390,7 @@ func (m *Machine) stepReplacement(d *DynInst) bool {
 	d.IsApp = isTrigger
 	if idx == 0 {
 		d.Stall = m.seqStall
+		d.PTMiss, d.RTMiss, d.Composed = m.seqPT, m.seqRT, m.seqComp
 		d.SeqLen = len(m.seq)
 		d.FetchSize = int(m.units[m.trigUnit].size)
 	}
@@ -439,6 +455,7 @@ func (m *Machine) advanceSeq() {
 func (m *Machine) endSequence(nextUnit int) {
 	m.seq, m.seqTmpl = nil, nil
 	m.seqIdx, m.seqStall = 0, 0
+	m.seqPT, m.seqRT, m.seqComp = false, false, false
 	m.unit = nextUnit
 }
 
@@ -761,6 +778,7 @@ func (m *Machine) Interrupt() InterruptState {
 		st.DISEPC = m.seqIdx
 		m.seq, m.seqTmpl = nil, nil
 		m.seqIdx, m.seqStall = 0, 0
+		m.seqPT, m.seqRT, m.seqComp = false, false, false
 	}
 	return st
 }
@@ -786,6 +804,7 @@ func (m *Machine) Resume(st InterruptState) error {
 	m.seqTmpl = exp.Templates
 	m.seqIdx = st.DISEPC
 	m.seqStall = exp.Stall
+	m.seqPT, m.seqRT, m.seqComp = exp.PTMiss, exp.RTMiss, exp.Composed
 	m.trigPC = pc
 	m.trigUnit = st.Unit
 	m.trigger = in

@@ -39,16 +39,18 @@ func AblationRTPenalty(o Options) *stats.Table {
 			}
 			cfg := icacheCfg(32)
 			cfg.DiseMode = cpu.DisePipe
-			base := s.run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil))
+			base := s.runC(res.Prog, cfg, decompPrep(res, perfectEngine(), nil), decompClass(perfectEngine(), false))
 			for _, pen := range penalties {
 				s.fork(func() {
+					// Penalties only scale the recorded PT/RT miss events:
+					// every point of the sweep shares one captured stream.
 					ecfg := core.DefaultEngineConfig()
 					ecfg.RTEntries = 512
 					ecfg.RTAssoc = 2
 					ecfg.MissPenalty = pen
 					ecfg.ComposePenalty = pen
 					t.Set(p.Name, fmt.Sprintf("%dcy", pen),
-						norm(s.run(res.Prog, cfg, decompPrep(res, ecfg, nil)), base))
+						norm(s.runC(res.Prog, cfg, decompPrep(res, ecfg, nil), decompClass(ecfg, false)), base))
 				})
 			}
 		})
@@ -72,7 +74,7 @@ func AblationEngineMode(o Options) *stats.Table {
 		s.fork(func() {
 			s.logf("ablate-mode: %s", p.Name)
 			prog := p.MustGenerate()
-			base := s.run(prog, cpu.DefaultConfig(), nil)
+			base := s.runC(prog, cpu.DefaultConfig(), nil, plain)
 			for _, mode := range []struct {
 				name string
 				m    cpu.DiseMode
@@ -81,12 +83,13 @@ func AblationEngineMode(o Options) *stats.Table {
 					cfg := cpu.DefaultConfig()
 					cfg.DiseMode = mode.m
 					// An engine with no productions: inspects every fetch,
-					// never expands.
+					// never expands, never stalls — its stream is the plain
+					// stream, so all three modes replay the base capture.
 					prep := func(m *emu.Machine) {
 						c := core.NewController(perfectEngine())
 						m.SetExpander(c.Engine())
 					}
-					t.Set(p.Name, mode.name, norm(s.run(prog, cfg, prep), base))
+					t.Set(p.Name, mode.name, norm(s.runC(prog, cfg, prep, plain), base))
 				})
 			}
 		})
@@ -120,15 +123,17 @@ func AblationRTBlock(o Options) *stats.Table {
 			}
 			cfg := icacheCfg(32)
 			cfg.DiseMode = cpu.DisePipe
-			base := s.run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil))
+			base := s.runC(res.Prog, cfg, decompPrep(res, perfectEngine(), nil), decompClass(perfectEngine(), false))
 			for _, blk := range blocks {
 				s.fork(func() {
+					// RTBlock changes the RT's set indexing and therefore the
+					// miss pattern: each block size is its own stream class.
 					ecfg := core.DefaultEngineConfig()
 					ecfg.RTEntries = 512
 					ecfg.RTAssoc = 2
 					ecfg.RTBlock = blk
 					t.Set(p.Name, fmt.Sprintf("block%d", blk),
-						norm(s.run(res.Prog, cfg, decompPrep(res, ecfg, nil)), base))
+						norm(s.runC(res.Prog, cfg, decompPrep(res, ecfg, nil), decompClass(ecfg, false)), base))
 				})
 			}
 		})

@@ -126,30 +126,30 @@ func Fig6Formulation(o Options) *stats.Table {
 		s.fork(func() {
 			s.logf("fig6a: %s", p.Name)
 			prog := p.MustGenerate()
-			base := s.run(prog, cpu.DefaultConfig(), nil)
+			base := s.runC(prog, cpu.DefaultConfig(), nil, plain)
 
 			rw, err := mfi.Rewrite(prog)
 			if err != nil {
 				panic(err)
 			}
 			s.fork(func() {
-				t.Set(p.Name, "rewrite", norm(s.run(rw, cpu.DefaultConfig(), nil), base))
+				t.Set(p.Name, "rewrite", norm(s.runC(rw, cpu.DefaultConfig(), nil, plain), base))
 			})
 			s.fork(func() {
 				stall := cpu.DefaultConfig()
 				stall.DiseMode = cpu.DiseStall
-				t.Set(p.Name, "stall", norm(s.run(prog, stall, diseMFI(mfi.DISE3, perfectEngine())), base))
+				t.Set(p.Name, "stall", norm(s.runC(prog, stall, diseMFI(mfi.DISE3, perfectEngine()), mfiClass("3", perfectEngine())), base))
 			})
 			s.fork(func() {
 				pipe := cpu.DefaultConfig()
 				pipe.DiseMode = cpu.DisePipe
-				t.Set(p.Name, "+pipe", norm(s.run(prog, pipe, diseMFI(mfi.DISE3, perfectEngine())), base))
+				t.Set(p.Name, "+pipe", norm(s.runC(prog, pipe, diseMFI(mfi.DISE3, perfectEngine()), mfiClass("3", perfectEngine())), base))
 			})
 			s.fork(func() {
-				t.Set(p.Name, "DISE4", norm(s.run(prog, cpu.DefaultConfig(), diseMFI(mfi.DISE4, perfectEngine())), base))
+				t.Set(p.Name, "DISE4", norm(s.runC(prog, cpu.DefaultConfig(), diseMFI(mfi.DISE4, perfectEngine()), mfiClass("4", perfectEngine())), base))
 			})
 			s.fork(func() {
-				t.Set(p.Name, "DISE3", norm(s.run(prog, cpu.DefaultConfig(), diseMFI(mfi.DISE3, perfectEngine())), base))
+				t.Set(p.Name, "DISE3", norm(s.runC(prog, cpu.DefaultConfig(), diseMFI(mfi.DISE3, perfectEngine()), mfiClass("3", perfectEngine())), base))
 			})
 		})
 	}
@@ -181,23 +181,33 @@ func Fig6CacheSize(o Options) *stats.Table {
 			if err != nil {
 				panic(err)
 			}
-			for _, s := range sizes {
-				sc.fork(func() {
-					cfg := cpu.DefaultConfig()
-					setICache(&cfg, s.kb)
-					// The paper assumes the elongated-pipe design from here on.
-					cfg.DiseMode = cpu.DisePipe
-					baseCfg := cfg
-					baseCfg.DiseMode = cpu.DiseFree
-					base := sc.run(prog, baseCfg, nil)
-					sc.fork(func() {
-						t.Set(p.Name, "rw-"+s.name, norm(sc.run(rw, baseCfg, nil), base))
-					})
-					sc.fork(func() {
-						t.Set(p.Name, "dise-"+s.name, norm(sc.run(prog, cfg, diseMFI(mfi.DISE3, perfectEngine())), base))
-					})
-				})
+			// Each stream sweeps the cache sizes in one grouped replay: the
+			// three streams (plain, rewritten, DISE) each walk their capture
+			// once, stepping all four cache geometries together.
+			baseCfgs := make([]cpu.Config, len(sizes))
+			diseCfgs := make([]cpu.Config, len(sizes))
+			for i, s := range sizes {
+				cfg := cpu.DefaultConfig()
+				setICache(&cfg, s.kb)
+				// The paper assumes the elongated-pipe design from here on.
+				cfg.DiseMode = cpu.DisePipe
+				diseCfgs[i] = cfg
+				cfg.DiseMode = cpu.DiseFree
+				baseCfgs[i] = cfg
 			}
+			bases := sc.runCMany(prog, baseCfgs, nil, plain)
+			sc.fork(func() {
+				rws := sc.runCMany(rw, baseCfgs, nil, plain)
+				for i, s := range sizes {
+					t.Set(p.Name, "rw-"+s.name, norm(rws[i], bases[i]))
+				}
+			})
+			sc.fork(func() {
+				dises := sc.runCMany(prog, diseCfgs, diseMFI(mfi.DISE3, perfectEngine()), mfiClass("3", perfectEngine()))
+				for i, s := range sizes {
+					t.Set(p.Name, "dise-"+s.name, norm(dises[i], bases[i]))
+				}
+			})
 		})
 	}
 	sc.wait()
@@ -229,14 +239,14 @@ func Fig6Width(o Options) *stats.Table {
 				s.fork(func() {
 					cfg := cpu.DefaultConfig()
 					cfg.Width = w
-					base := s.run(prog, cfg, nil)
+					base := s.runC(prog, cfg, nil, plain)
 					s.fork(func() {
-						t.Set(p.Name, fmt.Sprintf("rw-%dw", w), norm(s.run(rw, cfg, nil), base))
+						t.Set(p.Name, fmt.Sprintf("rw-%dw", w), norm(s.runC(rw, cfg, nil, plain), base))
 					})
 					s.fork(func() {
 						diseCfg := cfg
 						diseCfg.DiseMode = cpu.DisePipe
-						t.Set(p.Name, fmt.Sprintf("dise-%dw", w), norm(s.run(prog, diseCfg, diseMFI(mfi.DISE3, perfectEngine())), base))
+						t.Set(p.Name, fmt.Sprintf("dise-%dw", w), norm(s.runC(prog, diseCfg, diseMFI(mfi.DISE3, perfectEngine()), mfiClass("3", perfectEngine())), base))
 					})
 				})
 			}
@@ -308,18 +318,26 @@ func Fig7Performance(o Options) *stats.Table {
 			if err != nil {
 				panic(err)
 			}
-			base32 := sc.run(prog, icacheCfg(32), nil)
-			for _, s := range sizes {
-				sc.fork(func() {
-					rawCfg := icacheCfg(s.kb)
-					t.Set(p.Name, "raw-"+s.name, norm(sc.run(prog, rawCfg, nil), base32))
-				})
-				sc.fork(func() {
-					cfg := icacheCfg(s.kb)
-					cfg.DiseMode = cpu.DisePipe
-					t.Set(p.Name, "dise-"+s.name, norm(sc.run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil)), base32))
-				})
+			base32 := sc.runC(prog, icacheCfg(32), nil, plain)
+			rawCfgs := make([]cpu.Config, len(sizes))
+			diseCfgs := make([]cpu.Config, len(sizes))
+			for i, s := range sizes {
+				rawCfgs[i] = icacheCfg(s.kb)
+				diseCfgs[i] = icacheCfg(s.kb)
+				diseCfgs[i].DiseMode = cpu.DisePipe
 			}
+			sc.fork(func() {
+				raws := sc.runCMany(prog, rawCfgs, nil, plain)
+				for i, s := range sizes {
+					t.Set(p.Name, "raw-"+s.name, norm(raws[i], base32))
+				}
+			})
+			sc.fork(func() {
+				dises := sc.runCMany(res.Prog, diseCfgs, decompPrep(res, perfectEngine(), nil), decompClass(perfectEngine(), false))
+				for i, s := range sizes {
+					t.Set(p.Name, "dise-"+s.name, norm(dises[i], base32))
+				}
+			})
 		})
 	}
 	sc.wait()
@@ -345,10 +363,10 @@ func Fig7RTSize(o Options) *stats.Table {
 			}
 			cfg := icacheCfg(32)
 			cfg.DiseMode = cpu.DisePipe
-			base := s.run(res.Prog, cfg, decompPrep(res, perfectEngine(), nil))
+			base := s.runC(res.Prog, cfg, decompPrep(res, perfectEngine(), nil), decompClass(perfectEngine(), false))
 			for _, rt := range rtConfigs() {
 				s.fork(func() {
-					t.Set(p.Name, rt.name, norm(s.run(res.Prog, cfg, decompPrep(res, rt.cfg, nil)), base))
+					t.Set(p.Name, rt.name, norm(s.runC(res.Prog, cfg, decompPrep(res, rt.cfg, nil), decompClass(rt.cfg, false)), base))
 				})
 			}
 		})
@@ -383,7 +401,7 @@ func Fig8Combos(o Options) *stats.Table {
 		sc.fork(func() {
 			sc.logf("fig8a: %s", p.Name)
 			prog := p.MustGenerate()
-			base32 := sc.run(prog, icacheCfg(32), nil)
+			base32 := sc.runC(prog, icacheCfg(32), nil, plain)
 
 			rw, err := mfi.Rewrite(prog)
 			if err != nil {
@@ -402,30 +420,36 @@ func Fig8Combos(o Options) *stats.Table {
 				panic(err)
 			}
 
-			for _, s := range sizes {
-				sc.fork(func() {
-					// Rewriting MFI + dedicated hardware decompression.
-					dedCfg := icacheCfg(s.kb)
-					r := sc.run(rwDed.Prog, dedCfg, func(m *emu.Machine) {
-						m.SetExpander(compress.NewDecompressor(rwDed))
-					})
-					t.Set(p.Name, "rw+ded-"+s.name, norm(r, base32))
-				})
-				sc.fork(func() {
-					// Rewriting MFI + DISE decompression.
-					cfg := icacheCfg(s.kb)
-					cfg.DiseMode = cpu.DisePipe
-					r := sc.run(rwDise.Prog, cfg, decompPrep(rwDise, perfectEngine(), nil))
-					t.Set(p.Name, "rw+dise-"+s.name, norm(r, base32))
-				})
-				sc.fork(func() {
-					// DISE MFI composed with DISE decompression at RT fill.
-					cfg := icacheCfg(s.kb)
-					cfg.DiseMode = cpu.DisePipe
-					r := sc.run(diseComp.Prog, cfg, decompPrep(diseComp, perfectEngine(), composeMFI))
-					t.Set(p.Name, "dise+dise-"+s.name, norm(r, base32))
-				})
+			dedCfgs := make([]cpu.Config, len(sizes))
+			pipeCfgs := make([]cpu.Config, len(sizes))
+			for i, s := range sizes {
+				dedCfgs[i] = icacheCfg(s.kb)
+				pipeCfgs[i] = icacheCfg(s.kb)
+				pipeCfgs[i].DiseMode = cpu.DisePipe
 			}
+			sc.fork(func() {
+				// Rewriting MFI + dedicated hardware decompression.
+				rs := sc.runCMany(rwDed.Prog, dedCfgs, func(m *emu.Machine) {
+					m.SetExpander(compress.NewDecompressor(rwDed))
+				}, ded)
+				for i, s := range sizes {
+					t.Set(p.Name, "rw+ded-"+s.name, norm(rs[i], base32))
+				}
+			})
+			sc.fork(func() {
+				// Rewriting MFI + DISE decompression.
+				rs := sc.runCMany(rwDise.Prog, pipeCfgs, decompPrep(rwDise, perfectEngine(), nil), decompClass(perfectEngine(), false))
+				for i, s := range sizes {
+					t.Set(p.Name, "rw+dise-"+s.name, norm(rs[i], base32))
+				}
+			})
+			sc.fork(func() {
+				// DISE MFI composed with DISE decompression at RT fill.
+				rs := sc.runCMany(diseComp.Prog, pipeCfgs, decompPrep(diseComp, perfectEngine(), composeMFI), decompClass(perfectEngine(), true))
+				for i, s := range sizes {
+					t.Set(p.Name, "dise+dise-"+s.name, norm(rs[i], base32))
+				}
+			})
 		})
 	}
 	sc.wait()
@@ -456,17 +480,17 @@ func Fig8RT(o Options) *stats.Table {
 			}
 			cfg := icacheCfg(32)
 			cfg.DiseMode = cpu.DisePipe
-			base := s.run(res.Prog, cfg, decompPrep(res, perfectEngine(), composeMFI))
+			base := s.runC(res.Prog, cfg, decompPrep(res, perfectEngine(), composeMFI), decompClass(perfectEngine(), true))
 			for _, rt := range rtConfigs() {
 				s.fork(func() {
 					fast := rt.cfg
 					fast.ComposePenalty = fast.MissPenalty
-					t.Set(p.Name, rt.name+"-30", norm(s.run(res.Prog, cfg, decompPrep(res, fast, composeMFI)), base))
+					t.Set(p.Name, rt.name+"-30", norm(s.runC(res.Prog, cfg, decompPrep(res, fast, composeMFI), decompClass(fast, true)), base))
 				})
 				s.fork(func() {
 					slow := rt.cfg
 					slow.ComposePenalty = 150
-					t.Set(p.Name, rt.name+"-150", norm(s.run(res.Prog, cfg, decompPrep(res, slow, composeMFI)), base))
+					t.Set(p.Name, rt.name+"-150", norm(s.runC(res.Prog, cfg, decompPrep(res, slow, composeMFI), decompClass(slow, true)), base))
 				})
 			}
 		})

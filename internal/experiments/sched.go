@@ -1,22 +1,35 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/emu"
 	"repro/internal/program"
+	"repro/internal/trace"
 )
 
 // sched is the bounded worker pool behind every figure harness. Each
 // (benchmark x configuration) cell is an independent job: it builds its own
 // machine, engine and cache hierarchy, so cells only share immutable inputs
-// (generated programs, compression dictionaries). Jobs are spawned freely —
-// a row job forks one job per cell — and a counting semaphore bounds only
-// the simulations themselves, so nested fan-out can never deadlock the pool.
-// Tables are deterministic regardless of completion order because every job
-// writes its own preallocated cell, addressed by (row, column) label.
+// (generated programs, compression dictionaries, captured traces). Jobs are
+// spawned freely — a row job forks one job per cell — and a counting
+// semaphore bounds only the simulations themselves, so nested fan-out can
+// never deadlock the pool. Tables are deterministic regardless of
+// completion order because every job writes its own preallocated cell,
+// addressed by (row, column) label.
+//
+// Cells whose configurations differ only in timing knobs (cache geometry,
+// machine width, decoder integration, PT/RT penalties) consume the same
+// dynamic instruction stream; such cells carry an equal class key and share
+// one trace capture (internal/trace), replaying it per cell instead of
+// re-running the functional emulation. Capture happens once per
+// (program, class key), on whichever cell gets there first — the stream is
+// identical for every cell of the class by construction, so the winner does
+// not matter and tables stay byte-identical at any worker count.
 type sched struct {
 	sem chan struct{}
 	wg  sync.WaitGroup
@@ -24,6 +37,61 @@ type sched struct {
 	mu  sync.Mutex
 	log Options
 	pan any // first captured job panic, re-raised by wait
+
+	tmu    sync.Mutex
+	traces map[traceKey]*traceEntry
+}
+
+// forceLive, when true, routes every cell through the live functional path.
+// The equivalence tests flip it to prove that trace replay leaves every
+// table byte-identical.
+var forceLive bool
+
+// class identifies a cell's functional-equivalence class. Cells of one
+// program with equal keys consume byte-identical dynamic instruction
+// streams; they share a single captured trace and differ only in the PT/RT
+// penalties used to rebuild DISE stall cycles at replay. The zero class
+// (empty key) opts a cell out of sharing — it always runs live.
+type class struct {
+	key           string
+	miss, compose int
+}
+
+// live is the empty class: always run the functional machine.
+var live = class{}
+
+// plain is the class of runs with no expander installed. An engine with no
+// productions inspects every fetch but never expands and never stalls, so
+// production-free engine runs share this class too.
+var plain = class{key: "plain"}
+
+// ded is the class of dedicated-decompressor runs: the hardware expander
+// never stalls, so the class carries no penalties.
+var ded = class{key: "ded"}
+
+// geomKey renders the stream-determining engine dimensions: table geometry
+// and virtualization, but never MissPenalty/ComposePenalty — those only
+// scale recorded stall events, and live in the class's replay penalties.
+func geomKey(c core.EngineConfig) string {
+	if c.RTPerfect {
+		return fmt.Sprintf("pt%d,rtperf,b%d", c.PTEntries, c.RTBlock)
+	}
+	return fmt.Sprintf("pt%d,rt%dx%d,b%d", c.PTEntries, c.RTEntries, c.RTAssoc, c.RTBlock)
+}
+
+// mfiClass keys a run with MFI productions installed on engine geometry c.
+func mfiClass(tag string, c core.EngineConfig) class {
+	return class{key: "mfi-" + tag + "|" + geomKey(c), miss: c.MissPenalty, compose: c.ComposePenalty}
+}
+
+// decompClass keys a DISE-decompression run on engine geometry c; composed
+// marks dictionaries whose RT fill inlines MFI productions.
+func decompClass(c core.EngineConfig, composed bool) class {
+	k := "decomp"
+	if composed {
+		k = "decomp+mfi"
+	}
+	return class{key: k + "|" + geomKey(c), miss: c.MissPenalty, compose: c.ComposePenalty}
 }
 
 // newSched builds a scheduler with o.Workers simulation slots
@@ -33,7 +101,8 @@ func (o Options) newSched() *sched {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	return &sched{sem: make(chan struct{}, n), log: o}
+	return &sched{sem: make(chan struct{}, n), log: o,
+		traces: make(map[traceKey]*traceEntry)}
 }
 
 // logf emits one progress line; safe from concurrent jobs.
@@ -78,4 +147,167 @@ func (s *sched) run(prog *program.Program, cfg cpu.Config, prep func(*emu.Machin
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 	return run(prog, cfg, prep)
+}
+
+// traceKey addresses one captured trace: the program identity (pointer —
+// programs are immutable once generated) plus the class key.
+type traceKey struct {
+	prog *program.Program
+	key  string
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+}
+
+// The process-wide capture store. A (prog, key) pair fully determines the
+// dynamic instruction stream — program pointers are memoized by the
+// workload/compression caches and the class key renders every
+// stream-changing dimension — so a capture made by one harness is valid for
+// every later harness and repeated run in the process (the same invariant
+// that lets cells share captures within one sched). The store is bounded:
+// when cached records exceed gTraceBudget bytes the least-recently used
+// traces are dropped and simply re-captured on next use, so full-scale
+// sweeps cannot grow the heap without limit. Eviction affects wall-clock
+// time only; results are byte-identical on hit, miss, or forceLive.
+const gTraceBudget = 256 << 20
+
+type gTraceEnt struct {
+	tr  *trace.Trace
+	gen uint64
+}
+
+var gTraces = struct {
+	sync.Mutex
+	m     map[traceKey]*gTraceEnt
+	gen   uint64
+	bytes int64
+}{m: make(map[traceKey]*gTraceEnt)}
+
+func gTraceGet(k traceKey) *trace.Trace {
+	gTraces.Lock()
+	defer gTraces.Unlock()
+	e := gTraces.m[k]
+	if e == nil {
+		return nil
+	}
+	gTraces.gen++
+	e.gen = gTraces.gen
+	return e.tr
+}
+
+func gTracePut(k traceKey, tr *trace.Trace) {
+	sz := traceBytes(tr)
+	gTraces.Lock()
+	defer gTraces.Unlock()
+	if _, ok := gTraces.m[k]; ok {
+		return
+	}
+	gTraces.gen++
+	gTraces.m[k] = &gTraceEnt{tr: tr, gen: gTraces.gen}
+	gTraces.bytes += sz
+	for gTraces.bytes > gTraceBudget && len(gTraces.m) > 1 {
+		var victim traceKey
+		vg := ^uint64(0)
+		for kk, ee := range gTraces.m {
+			if ee.gen < vg {
+				vg, victim = ee.gen, kk
+			}
+		}
+		gTraces.bytes -= traceBytes(gTraces.m[victim].tr)
+		delete(gTraces.m, victim)
+	}
+}
+
+// traceBytes estimates a trace's record footprint (32 bytes per cpu.Rec).
+func traceBytes(tr *trace.Trace) int64 { return int64(tr.Len()) * 32 }
+
+func (s *sched) traceEntry(k traceKey) *traceEntry {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	e := s.traces[k]
+	if e == nil {
+		e = &traceEntry{}
+		s.traces[k] = e
+	}
+	return e
+}
+
+// capture returns the shared trace for (prog, cl): from the process-wide
+// store when a previous harness already captured the class, otherwise
+// capturing on first use under a semaphore slot.
+func (s *sched) capture(prog *program.Program, prep func(*emu.Machine), cl class) *trace.Trace {
+	k := traceKey{prog: prog, key: cl.key}
+	ent := s.traceEntry(k)
+	ent.once.Do(func() {
+		if tr := gTraceGet(k); tr != nil {
+			ent.tr = tr
+			return
+		}
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		m := emu.New(prog)
+		if prep != nil {
+			prep(m)
+		}
+		ent.tr = trace.Capture(m)
+		gTracePut(k, ent.tr)
+	})
+	if ent.tr == nil {
+		// The capture panicked on another cell; that panic is already
+		// propagating through the scheduler.
+		panic(fmt.Sprintf("experiments: %s: trace capture failed for class %q", prog.Name, cl.key))
+	}
+	return ent.tr
+}
+
+// runC runs one cell under its equivalence class: the first cell of a
+// (program, class) pair captures the dynamic instruction stream under a
+// semaphore slot, every cell replays it with the class's penalties. Cells
+// that cannot share — empty class key, a fault-campaign Hook, or a watchdog
+// (both need the live machine) — fall back to run.
+func (s *sched) runC(prog *program.Program, cfg cpu.Config, prep func(*emu.Machine), cl class) *cpu.Result {
+	if cl.key == "" || cfg.Hook != nil || cfg.MaxCycles > 0 || forceLive {
+		return s.run(prog, cfg, prep)
+	}
+	tr := s.capture(prog, prep, cl)
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	r := cpu.RunSource(tr.Replay(cl.miss, cl.compose), cfg)
+	if r.Err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", prog.Name, r.Err))
+	}
+	return r
+}
+
+// runCMany runs a group of cells that share one equivalence class and differ
+// only in timing configuration: one shared capture, one record walk stepping
+// every configuration (cpu.RunSourceMany). Results are positionally matched
+// to cfgs and byte-identical to per-cell runC calls — the sweep harnesses
+// use this for their "same stream, k machine geometries" column groups.
+func (s *sched) runCMany(prog *program.Program, cfgs []cpu.Config, prep func(*emu.Machine), cl class) []*cpu.Result {
+	shareable := cl.key != "" && !forceLive
+	for _, cfg := range cfgs {
+		if cfg.Hook != nil || cfg.MaxCycles > 0 {
+			shareable = false
+		}
+	}
+	if !shareable {
+		out := make([]*cpu.Result, len(cfgs))
+		for i, cfg := range cfgs {
+			out[i] = s.runC(prog, cfg, prep, cl)
+		}
+		return out
+	}
+	tr := s.capture(prog, prep, cl)
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	out := cpu.RunSourceMany(tr.Replay(cl.miss, cl.compose), cfgs)
+	for _, r := range out {
+		if r.Err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", prog.Name, r.Err))
+		}
+	}
+	return out
 }

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// The trace-replay fast path must be invisible in the output: every table
+// rendered with shared captures must be byte-identical to the one produced
+// by running every cell on the live functional machine. This covers each
+// class kind the harnesses use — plain, MFI, DISE decompression (perfect
+// and finite RT geometries), composed MFI+decompression, the dedicated
+// decompressor, and penalty reconstruction in the RT-penalty sweep.
+func TestTraceReplayMatchesLiveTables(t *testing.T) {
+	if forceLive {
+		t.Fatal("forceLive left set by another test")
+	}
+	figs := []struct {
+		name string
+		gen  func(Options) *stats.Table
+	}{
+		{"Fig6Formulation", Fig6Formulation},
+		{"Fig6CacheSize", Fig6CacheSize},
+		{"Fig7RTSize", Fig7RTSize},
+		{"Fig8Combos", Fig8Combos},
+		{"Fig8RT", Fig8RT},
+		{"AblationRTPenalty", AblationRTPenalty},
+		{"AblationEngineMode", AblationEngineMode},
+	}
+	for _, f := range figs {
+		replayed := f.gen(tinyOptions()).String()
+		forceLive = true
+		liveOut := f.gen(tinyOptions()).String()
+		forceLive = false
+		if replayed != liveOut {
+			t.Errorf("%s: trace replay changed the table:\n--- replay ---\n%s--- live ---\n%s",
+				f.name, replayed, liveOut)
+		}
+	}
+}

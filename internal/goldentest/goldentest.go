@@ -1,0 +1,50 @@
+// Package goldentest pins end-to-end timing results for the example
+// programs. Each example ships a main_test.go that rebuilds its machines
+// (program + production set) through a factory and hands them to Check,
+// which guards two properties at once:
+//
+//   - the headline cpu.Result numbers under cpu.DefaultConfig match the
+//     committed golden values, so a timing-model refactor that shifts
+//     cycle counts fails loudly instead of silently drifting; and
+//
+//   - a trace captured from an identically prepared machine replays to a
+//     result deep-equal to the live run, so the capture-once/time-many
+//     path is exercised on every example program and production set, not
+//     just the synthetic streams in internal/trace's own tests.
+package goldentest
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/trace"
+)
+
+// Want holds the pinned headline numbers of one golden run.
+type Want struct {
+	Cycles, Insts, Mispredicts, DiseStalls int64
+}
+
+// Check runs a fresh machine from mk live under cpu.DefaultConfig and
+// compares the pinned numbers, then captures a second identically prepared
+// machine and requires that replay under (miss, compose) — the penalties of
+// the engine configuration mk installs — reproduces the live result field
+// for field. mk must return an equivalently prepared machine on every call.
+func Check(t *testing.T, name string, mk func() *emu.Machine, miss, compose int, want Want) {
+	t.Helper()
+	live := cpu.Run(mk(), cpu.DefaultConfig())
+	if live.Err != nil {
+		t.Fatalf("%s: live run failed: %v", name, live.Err)
+	}
+	got := Want{live.Cycles, live.Insts, live.Mispredicts, live.DiseStalls}
+	if got != want {
+		t.Errorf("%s: golden result drifted:\n got %+v\nwant %+v", name, got, want)
+	}
+	tr := trace.Capture(mk())
+	replay := cpu.RunSource(tr.Replay(miss, compose), cpu.DefaultConfig())
+	if !reflect.DeepEqual(live, replay) {
+		t.Errorf("%s: live and replay results differ\nlive:   %+v\nreplay: %+v", name, live, replay)
+	}
+}

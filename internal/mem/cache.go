@@ -54,17 +54,22 @@ func (s *CacheStats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// cacheLine is one tag-array entry. lru doubles as the valid bit: the access
+// clock starts at 1, so lru == 0 means the line is empty.
 type cacheLine struct {
-	valid bool
-	tag   uint64
-	lru   int64
+	tag uint64
+	lru int64
 }
 
 // Cache is a set-associative LRU cache (tags only; data is never stored —
-// the functional simulator owns values).
+// the functional simulator owns values). The tag array is one flat slice —
+// set s occupies lines[s*assoc : (s+1)*assoc] — so building a cache is a
+// single allocation regardless of geometry.
 type Cache struct {
 	cfg   CacheConfig
-	sets  [][]cacheLine
+	lines []cacheLine
+	assoc int
+	nsets int
 	clock int64
 
 	// Shift/mask fast path: real cache geometries are powers of two, so the
@@ -74,6 +79,24 @@ type Cache struct {
 	lineShift int
 	setPow2   bool
 	setMask   uint64
+
+	// Same-line memo: the tag of the most recent resident access. A repeat
+	// of that tag with nothing in between must hit (the line cannot have
+	// been evicted) and its skipped LRU update cannot reorder any victim
+	// choice (no other line was touched since), so Access short-circuits the
+	// set scan. Memo hits do not advance the LRU clock either: they re-stamp
+	// nothing, and skipping the tick preserves the strictly monotone stamp
+	// order of all non-memo touches, so every future victim choice is
+	// unchanged. memoLo/memoLen describe the memoized line's byte-address
+	// range [memoLo, memoLo+memoLen) so the Hierarchy fast paths test
+	// containment with one wraparound compare and no tag computation; an
+	// invalid memo is {1, 0}, which no in-range access satisfies (perfect
+	// caches stay there forever). The memo invalidates whenever tags change
+	// underneath (Flush, FlipTagBit).
+	memoValid bool
+	memoTag   uint64
+	memoLo    uint64
+	memoLen   uint64
 
 	Stats CacheStats
 }
@@ -95,13 +118,12 @@ func NewCacheChecked(cfg CacheConfig) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	c := &Cache{cfg: cfg, lineShift: -1}
+	c := &Cache{cfg: cfg, lineShift: -1, memoLo: 1}
 	if !cfg.Perfect {
 		n := cfg.Size / (cfg.LineSize * cfg.Assoc)
-		c.sets = make([][]cacheLine, n)
-		for i := range c.sets {
-			c.sets[i] = make([]cacheLine, cfg.Assoc)
-		}
+		c.nsets = n
+		c.assoc = cfg.Assoc
+		c.lines = make([]cacheLine, n*cfg.Assoc)
 		if ls := cfg.LineSize; ls&(ls-1) == 0 {
 			c.lineShift = bits.TrailingZeros(uint(ls))
 		}
@@ -111,6 +133,23 @@ func NewCacheChecked(cfg CacheConfig) (*Cache, error) {
 		}
 	}
 	return c, nil
+}
+
+// setMemo memoizes tag as the most recent resident line.
+func (c *Cache) setMemo(tag uint64) {
+	c.memoValid, c.memoTag = true, tag
+	if c.lineShift >= 0 {
+		c.memoLo = tag << uint(c.lineShift)
+	} else {
+		c.memoLo = tag * uint64(c.cfg.LineSize)
+	}
+	c.memoLen = uint64(c.cfg.LineSize)
+}
+
+// clearMemo invalidates the memo (the empty range matches no address).
+func (c *Cache) clearMemo() {
+	c.memoValid = false
+	c.memoLo, c.memoLen = 1, 0
 }
 
 // lineTag maps addr to its line-granularity tag.
@@ -123,10 +162,14 @@ func (c *Cache) lineTag(addr uint64) uint64 {
 
 // setFor selects the set a tag indexes.
 func (c *Cache) setFor(tag uint64) []cacheLine {
+	var s uint64
 	if c.setPow2 {
-		return c.sets[tag&c.setMask]
+		s = tag & c.setMask
+	} else {
+		s = tag % uint64(c.nsets)
 	}
-	return c.sets[tag%uint64(len(c.sets))]
+	i := int(s) * c.assoc
+	return c.lines[i : i+c.assoc]
 }
 
 // Config returns the cache's configuration.
@@ -134,23 +177,38 @@ func (c *Cache) Config() CacheConfig { return c.cfg }
 
 // Access looks up addr, filling on miss. It returns true on hit.
 func (c *Cache) Access(addr uint64) bool {
-	c.Stats.Accesses++
 	if c.cfg.Perfect {
+		c.Stats.Accesses++
+		return true
+	}
+	tag := c.lineTag(addr)
+	if c.memoValid && tag == c.memoTag {
+		c.Stats.Accesses++
+		return true
+	}
+	return c.accessTag(tag)
+}
+
+// accessTag is Access for a precomputed line tag (never called on perfect
+// caches).
+func (c *Cache) accessTag(tag uint64) bool {
+	c.Stats.Accesses++
+	if c.memoValid && tag == c.memoTag {
 		return true
 	}
 	c.clock++
-	tag := c.lineTag(addr)
 	set := c.setFor(tag)
 	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+		if set[i].lru != 0 && set[i].tag == tag {
 			set[i].lru = c.clock
+			c.setMemo(tag)
 			return true
 		}
 	}
 	c.Stats.Misses++
 	victim := 0
 	for i := range set {
-		if !set[i].valid {
+		if set[i].lru == 0 {
 			victim = i
 			break
 		}
@@ -158,7 +216,8 @@ func (c *Cache) Access(addr uint64) bool {
 			victim = i
 		}
 	}
-	set[victim] = cacheLine{valid: true, tag: tag, lru: c.clock}
+	set[victim] = cacheLine{tag: tag, lru: c.clock}
+	c.setMemo(tag)
 	return false
 }
 
@@ -172,12 +231,23 @@ func (c *Cache) AccessRange(addr uint64, size int) int {
 		c.Stats.Accesses++
 		return 0
 	}
-	misses := 0
 	first := c.lineTag(addr)
 	last := c.lineTag(addr + uint64(size) - 1)
-	ls := uint64(c.cfg.LineSize)
+	if first == last {
+		// The overwhelmingly common case: a fetch within one line, usually
+		// the same line as the previous fetch.
+		if c.memoValid && first == c.memoTag {
+			c.Stats.Accesses++
+			return 0
+		}
+		if c.accessTag(first) {
+			return 0
+		}
+		return 1
+	}
+	misses := 0
 	for line := first; line <= last; line++ {
-		if !c.Access(line * ls) {
+		if !c.accessTag(line) {
 			misses++
 		}
 	}
@@ -189,11 +259,9 @@ func (c *Cache) AccessRange(addr uint64, size int) int {
 // corruption target; perfect caches hold no state and report 0.
 func (c *Cache) ValidLines() int {
 	n := 0
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			if c.sets[i][j].valid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].lru != 0 {
+			n++
 		}
 	}
 	return n
@@ -205,27 +273,25 @@ func (c *Cache) ValidLines() int {
 // timing (spurious misses/false hits), never correctness. It reports whether
 // a line was corrupted.
 func (c *Cache) FlipTagBit(n int, bit uint) bool {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			if !c.sets[i][j].valid {
-				continue
-			}
-			if n == 0 {
-				c.sets[i][j].tag ^= 1 << (bit & 63)
-				return true
-			}
-			n--
+	for i := range c.lines {
+		if c.lines[i].lru == 0 {
+			continue
 		}
+		if n == 0 {
+			c.lines[i].tag ^= 1 << (bit & 63)
+			c.clearMemo()
+			return true
+		}
+		n--
 	}
 	return false
 }
 
 // Flush invalidates all lines (statistics are preserved).
 func (c *Cache) Flush() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = cacheLine{}
-		}
+	c.clearMemo()
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
 	}
 }
 
@@ -297,8 +363,20 @@ func NewHierarchyChecked(cfg HierarchyConfig) (*Hierarchy, error) {
 }
 
 // FetchLatency performs an instruction fetch of size bytes at addr and
-// returns the added latency beyond a pipelined L1 hit (0 on full hit).
+// returns the added latency beyond a pipelined L1 hit (0 on full hit). The
+// body is small enough to inline into the timing loop: straight-line fetch
+// hits the same I-cache line as its predecessor almost always, and that case
+// resolves against the line memo without any call.
 func (h *Hierarchy) FetchLatency(addr uint64, size int) int {
+	c := h.IL1
+	if addr-c.memoLo+uint64(size) <= c.memoLen {
+		c.Stats.Accesses++
+		return 0
+	}
+	return h.fetchLatencySlow(addr, size)
+}
+
+func (h *Hierarchy) fetchLatencySlow(addr uint64, size int) int {
 	misses := h.IL1.AccessRange(addr, size)
 	if misses == 0 {
 		return 0
@@ -315,8 +393,18 @@ func (h *Hierarchy) FetchLatency(addr uint64, size int) int {
 }
 
 // DataLatency performs a data access at addr and returns its total latency
-// in cycles (L1Latency on a hit).
+// in cycles (L1Latency on a hit). Like FetchLatency, the same-line memo hit
+// resolves inline.
 func (h *Hierarchy) DataLatency(addr uint64) int {
+	c := h.DL1
+	if addr-c.memoLo < c.memoLen {
+		c.Stats.Accesses++
+		return h.L1Latency
+	}
+	return h.dataLatencySlow(addr)
+}
+
+func (h *Hierarchy) dataLatencySlow(addr uint64) int {
 	if h.DL1.Access(addr) {
 		return h.L1Latency
 	}

@@ -1,0 +1,53 @@
+// Package profileflags registers the conventional -cpuprofile and
+// -memprofile flags and wires them to runtime/pprof. Commands import it,
+// call Start after flag.Parse, and defer the returned stop function; both
+// profiles are written only when the command runs to completion.
+package profileflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuOut = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memOut = flag.String("memprofile", "", "write a heap profile to this file on exit")
+)
+
+// Start begins CPU profiling when -cpuprofile was given. The returned stop
+// function ends the CPU profile and, when -memprofile was given, writes a
+// heap profile after a final GC.
+func Start() (stop func()) {
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if *cpuOut != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memOut != "" {
+			f, err := os.Create(*memOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package trace records the annotated dynamic instruction stream of one
+// functional run — as the timing model's native cpu.Rec records — so
+// timing-only configuration sweeps (cache geometry, machine width, DISE
+// decoder integration, PT/RT miss penalties) can replay one capture many
+// times instead of re-running the functional emulation per cell. This is
+// the classic functional/timing decoupling of fast simulators: the
+// expensive part (architectural execution + DISE expansion) runs once per
+// functional-equivalence class.
+//
+// Records are stored in fixed-capacity chunks that are never reallocated:
+// appending during capture never copies earlier records, and replay hands
+// the scheduling loop a pointer into the chunk — the replay read path does
+// no per-record work beyond rebuilding the stall cycles.
+//
+// Branch prediction is itself a pure function of the instruction stream, so
+// Capture runs the reference predictor once and stores each record's
+// verdict in its RecMispredict flag; replay does no predictor work at all.
+// DISE stall cycles are the one stream annotation that is *not* penalty
+// invariant, so the records carry the underlying table events
+// (RecPTMiss/RecRTMiss/RecComposed) and replay rebuilds Stall under the
+// replaying configuration's penalties.
+package trace
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Chunk sizing: the first chunk is small so short runs (tests, microkernels)
+// stay cheap; later chunks double up to chunkMax (≈3MB of records) so long
+// captures allocate O(log n + n/chunkMax) times and never copy.
+const (
+	chunkInit = 1 << 12
+	chunkMax  = 1 << 16
+)
+
+// Trace is one captured dynamic instruction stream plus the run's final
+// architectural state. It is immutable after Capture and safe to replay
+// from any number of goroutines concurrently (each via its own Replayer).
+type Trace struct {
+	prog   *program.Program
+	chunks [][]cpu.Rec
+	n      int
+
+	stats  emu.Stats
+	pred   bpred.Stats
+	output string
+	err    error
+}
+
+// Capture runs m to completion, recording every dynamic instruction and the
+// reference branch predictor's verdict on it. The machine must be freshly
+// prepared (expander installed, dedicated registers initialized), exactly as
+// if it were handed to cpu.Run.
+func Capture(m *emu.Machine) *Trace {
+	t := &Trace{prog: m.Program()}
+	p := bpred.New()
+	nu := t.prog.NumUnits()
+	var cur []cpu.Rec
+	var d emu.DynInst
+	for m.StepInto(&d) {
+		if len(cur) == cap(cur) {
+			if len(t.chunks) > 0 {
+				t.chunks[len(t.chunks)-1] = cur
+			}
+			c := chunkInit
+			if cap(cur) > 0 {
+				if c = cap(cur) * 2; c > chunkMax {
+					c = chunkMax
+				}
+			}
+			t.chunks = append(t.chunks, make([]cpu.Rec, 0, c))
+			cur = t.chunks[len(t.chunks)-1]
+		}
+		// Extend in place and build the record in its final slot: the chunk
+		// was allocated at full capacity above, so this never reallocates and
+		// the record is written exactly once. The chunk header in t.chunks is
+		// refreshed only on chunk turnover and after the loop.
+		cur = cur[:len(cur)+1]
+		rec := &cur[len(cur)-1]
+		*rec = cpu.MakeRec(&d)
+		if d.IsBranch || d.DiseBranch {
+			var retAddr uint64
+			if op := d.Inst.Op; op == isa.OpBSR || op == isa.OpJSR {
+				if d.Unit+1 < nu {
+					retAddr = t.prog.Addr(d.Unit + 1)
+				}
+			}
+			if bpred.Mispredicted(p, &d, retAddr) {
+				rec.Flags |= cpu.RecMispredict
+			}
+		}
+		t.n++
+	}
+	if len(t.chunks) > 0 {
+		t.chunks[len(t.chunks)-1] = cur
+	}
+	t.stats = m.Stats
+	t.pred = p.Stats
+	t.output = m.Output()
+	t.err = m.Err()
+	return t
+}
+
+// Len returns the number of recorded dynamic instructions.
+func (t *Trace) Len() int { return t.n }
+
+// Err returns the capture's termination error (nil after a clean halt).
+func (t *Trace) Err() error { return t.err }
+
+// Program returns the program the trace was captured from.
+func (t *Trace) Program() *program.Program { return t.prog }
+
+// Replay returns a fresh allocation-free reader over t with DISE stall
+// cycles rebuilt under the given PT/RT miss and composing-miss penalties.
+// The Replayer satisfies cpu.Source, so cpu.RunSource times it exactly like
+// a live machine but without the functional emulation.
+func (t *Trace) Replay(missPenalty, composePenalty int) *Replayer {
+	return &Replayer{t: t, miss: missPenalty, compose: composePenalty}
+}
+
+// Replayer walks one Trace as a timing-model stream source. Next performs
+// no copy, no allocation and no predictor work: the mispredict verdict and
+// all table events were fixed at capture.
+type Replayer struct {
+	t       *Trace
+	miss    int
+	compose int
+	cur     []cpu.Rec // current chunk
+	ci      int       // index of the next chunk
+	i       int       // index of the next record within cur
+	last    *cpu.Rec  // record most recently produced (for Loc)
+}
+
+// Next returns a pointer to the next record — owned by the trace, shared
+// between replays, and therefore read-only — together with the DISE stall
+// cycles the record incurs under the replay's penalties. It returns
+// ok=false when the trace is exhausted.
+func (r *Replayer) Next() (d *cpu.Rec, stall int, ok bool) {
+	if r.i >= len(r.cur) {
+		if r.ci >= len(r.t.chunks) {
+			return nil, 0, false
+		}
+		r.cur = r.t.chunks[r.ci]
+		r.ci++
+		r.i = 0
+	}
+	d = &r.cur[r.i]
+	r.i++
+	r.last = d
+	if f := d.Flags; f&(cpu.RecPTMiss|cpu.RecRTMiss) != 0 {
+		if f&cpu.RecPTMiss != 0 {
+			stall += r.miss
+		}
+		if f&cpu.RecRTMiss != 0 {
+			if f&cpu.RecComposed != 0 {
+				stall += r.compose
+			} else {
+				stall += r.miss
+			}
+		}
+	}
+	return d, stall, true
+}
+
+// Chunks exposes the trace's record chunks for cpu.RunSource's direct-walk
+// fast path (cpu.ChunkedSource), together with the replay penalties. The
+// chunks are shared and strictly read-only.
+func (r *Replayer) Chunks() ([][]cpu.Rec, int, int) {
+	return r.t.chunks, r.miss, r.compose
+}
+
+// Loc reports the PC:DISEPC of the most recently produced record (the
+// watchdog trap's position attribution).
+func (r *Replayer) Loc() (pc uint64, disepc int) {
+	if r.last == nil {
+		return 0, 0
+	}
+	return r.last.PC, int(r.last.DISEPC)
+}
+
+// Final returns the run's architectural outcome, identical for every replay
+// of the same trace.
+func (r *Replayer) Final() (emu.Stats, string, error) {
+	return r.t.stats, r.t.output, r.t.err
+}
+
+// PredStats returns the reference predictor's final counters.
+func (r *Replayer) PredStats() bpred.Stats { return r.t.pred }

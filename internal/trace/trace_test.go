@@ -1,0 +1,240 @@
+package trace_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// mixedSrc exercises every stream feature the trace must reproduce:
+// conditional branches (loop + data-dependent), calls/returns through the
+// RAS, loads and stores, and enough volume to warm the predictor.
+const mixedSrc = `
+.entry main
+main:
+    li r1, 12345
+    li r2, 1200
+    la r5, buf
+loop:
+    srli r1, 7, r3
+    xor  r1, r3, r1
+    slli r1, 9, r3
+    xor  r1, r3, r1
+    andi r1, 1, r3
+    beq r3, skip
+    bsr ra, bump
+skip:
+    stq r1, 0(r5)
+    ldq r4, 0(r5)
+    addqi r5, 8, r5
+    subqi r2, 1, r2
+    bgt r2, loop
+    sys 1
+    halt
+bump:
+    addqi r6, 1, r6
+    ret
+.data
+buf: .space 16384
+`
+
+const mfiProds = `
+prod mfi_store {
+    match class == store
+    replace {
+        srli %rs, 26, $dr1
+        xor  $dr1, $dr2, $dr1
+        dbeq $dr1, @ok
+        sys  3
+    @ok:
+        %insn
+    }
+}
+`
+
+// newMachine builds a machine over src; when ecfg is non-nil an MFI
+// controller with that engine configuration is installed. Every call
+// returns an identically prepared, fresh machine.
+func newMachine(t *testing.T, src string, ecfg *core.EngineConfig) *emu.Machine {
+	t.Helper()
+	m := emu.New(asm.MustAssemble("t", src))
+	if ecfg != nil {
+		c := core.NewController(*ecfg)
+		if _, err := c.InstallFile(mfiProds, nil); err != nil {
+			t.Fatal(err)
+		}
+		m.SetExpander(c.Engine())
+		m.SetReg(isa.RegDR0+2, program.SegData)
+	}
+	return m
+}
+
+// checkEqual captures one machine and requires that replay under (miss,
+// compose) reproduces the live run of an identically prepared machine under
+// cfg, field for field.
+func checkEqual(t *testing.T, name string, mk func() *emu.Machine, cfg cpu.Config, miss, compose int) {
+	t.Helper()
+	tr := trace.Capture(mk())
+	live := cpu.Run(mk(), cfg)
+	replay := cpu.RunSource(tr.Replay(miss, compose), cfg)
+	if live.Err != nil || replay.Err != nil {
+		t.Fatalf("%s: live err %v, replay err %v", name, live.Err, replay.Err)
+	}
+	if !reflect.DeepEqual(live, replay) {
+		t.Errorf("%s: live and replay results differ\nlive:   %+v\nreplay: %+v", name, live, replay)
+	}
+}
+
+func TestReplayMatchesLivePlain(t *testing.T) {
+	mk := func() *emu.Machine { return newMachine(t, mixedSrc, nil) }
+	checkEqual(t, "default", mk, cpu.DefaultConfig(), 30, 150)
+
+	small := cpu.DefaultConfig()
+	small.Mem.IL1.Size = 1 << 10
+	small.Width = 2
+	small.ROB = 32
+	checkEqual(t, "small-cache-narrow", mk, small, 30, 150)
+}
+
+func TestReplayMatchesLiveMFI(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		perfect bool
+		mode    cpu.DiseMode
+	}{
+		{"perfect-free", true, cpu.DiseFree},
+		{"perfect-stall", true, cpu.DiseStall},
+		{"perfect-pipe", true, cpu.DisePipe},
+		{"finite-free", false, cpu.DiseFree},
+		{"finite-pipe", false, cpu.DisePipe},
+	} {
+		ecfg := core.DefaultEngineConfig()
+		ecfg.RTPerfect = tc.perfect
+		ecfg.RTEntries = 512
+		ecfg.RTAssoc = 2
+		mk := func() *emu.Machine { return newMachine(t, mixedSrc, &ecfg) }
+		cfg := cpu.DefaultConfig()
+		cfg.DiseMode = tc.mode
+		checkEqual(t, tc.name, mk, cfg, ecfg.MissPenalty, ecfg.ComposePenalty)
+	}
+}
+
+// A trace captured under one penalty assignment must replay correctly under
+// another: the recorded PT/RT events are penalty-invariant, so the replayed
+// stall cycles must equal a live run whose engine charges those penalties.
+func TestReplayRebuildsStallsUnderNewPenalties(t *testing.T) {
+	geom := core.DefaultEngineConfig()
+	geom.RTEntries = 512
+	geom.RTAssoc = 2
+
+	capCfg := geom // capture with the default 30/150 penalties
+	tr := trace.Capture(newMachine(t, mixedSrc, &capCfg))
+
+	for _, pen := range []int{10, 60, 300} {
+		liveCfg := geom
+		liveCfg.MissPenalty = pen
+		liveCfg.ComposePenalty = pen
+		live := cpu.Run(newMachine(t, mixedSrc, &liveCfg), cpu.DefaultConfig())
+		replay := cpu.RunSource(tr.Replay(pen, pen), cpu.DefaultConfig())
+		if live.Err != nil || replay.Err != nil {
+			t.Fatalf("pen %d: live err %v, replay err %v", pen, live.Err, replay.Err)
+		}
+		if !reflect.DeepEqual(live, replay) {
+			t.Errorf("pen %d: live and replay differ\nlive:   %+v\nreplay: %+v", pen, live, replay)
+		}
+	}
+}
+
+func TestReplayIsRepeatable(t *testing.T) {
+	ecfg := core.DefaultEngineConfig()
+	ecfg.RTEntries = 512
+	tr := trace.Capture(newMachine(t, mixedSrc, &ecfg))
+	cfg := cpu.DefaultConfig()
+	a := cpu.RunSource(tr.Replay(30, 150), cfg)
+	b := cpu.RunSource(tr.Replay(30, 150), cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two replays of one trace disagree")
+	}
+}
+
+func TestTraceRecordsTermination(t *testing.T) {
+	// A program that traps must replay to the same error and output.
+	src := `
+.entry main
+main:
+    li r1, 65
+    sys 1
+    sys 99
+`
+	tr := trace.Capture(newMachine(t, src, nil))
+	if tr.Err() == nil {
+		t.Fatal("capture should record the trap")
+	}
+	live := cpu.Run(newMachine(t, src, nil), cpu.DefaultConfig())
+	replay := cpu.RunSource(tr.Replay(30, 150), cpu.DefaultConfig())
+	if live.Output != replay.Output || live.Output == "" {
+		t.Errorf("output: live %q, replay %q", live.Output, replay.Output)
+	}
+	if live.Err == nil || replay.Err == nil || live.Err.Error() != replay.Err.Error() {
+		t.Errorf("err: live %v, replay %v", live.Err, replay.Err)
+	}
+}
+
+// RunSourceMany steps several configurations over one record walk; each
+// element must be byte-identical to an individual RunSource replay of the
+// same trace. This is the guard that lets the sweep harnesses group their
+// timing-only cells into one pass.
+func TestRunSourceManyMatchesIndividualReplays(t *testing.T) {
+	ecfg := core.DefaultEngineConfig()
+	ecfg.RTEntries = 512
+	ecfg.RTAssoc = 2
+	tr := trace.Capture(newMachine(t, mixedSrc, &ecfg))
+
+	small := cpu.DefaultConfig()
+	small.Mem.IL1.Size = 1 << 10
+	narrow := cpu.DefaultConfig()
+	narrow.Width = 2
+	narrow.ROB = 32
+	perf := cpu.DefaultConfig()
+	perf.Mem.IL1.Perfect = true
+	stallMode := cpu.DefaultConfig()
+	stallMode.DiseMode = cpu.DiseStall
+	pipe := cpu.DefaultConfig()
+	pipe.DiseMode = cpu.DisePipe
+	cfgs := []cpu.Config{cpu.DefaultConfig(), small, narrow, perf, stallMode, pipe}
+
+	got := cpu.RunSourceMany(tr.Replay(ecfg.MissPenalty, ecfg.ComposePenalty), cfgs)
+	if len(got) != len(cfgs) {
+		t.Fatalf("got %d results for %d configs", len(got), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		want := cpu.RunSource(tr.Replay(ecfg.MissPenalty, ecfg.ComposePenalty), cfg)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("config %d: grouped and individual replay differ\ngrouped:    %+v\nindividual: %+v",
+				i, got[i], want)
+		}
+	}
+}
+
+func TestReplayNextDoesNotAllocate(t *testing.T) {
+	tr := trace.Capture(newMachine(t, mixedSrc, nil))
+	if tr.Len() < 1000 {
+		t.Fatalf("trace too short for the alloc probe: %d records", tr.Len())
+	}
+	r := tr.Replay(30, 150)
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, _, ok := r.Next(); !ok {
+			t.Fatal("trace exhausted mid-probe")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Next allocates %.1f objects per record, want 0", allocs)
+	}
+}
