@@ -2,7 +2,7 @@ GO       ?= go
 FUZZTIME ?= 10s
 BASE     ?= BENCH_PR2.json
 
-.PHONY: all build vet test race race-experiments bench benchcmp check-experiments fuzz verify clean
+.PHONY: all build vet test race race-experiments bench benchcmp check-experiments serve-smoke fuzz verify clean
 
 all: build test
 
@@ -43,15 +43,22 @@ check-experiments:
 	diff -u experiments_full.txt experiments_full.txt.new
 	rm -f experiments_full.txt.new
 
+# End-to-end serving smoke: build disesrvd, start it on a random port,
+# submit the committed smoke job, and assert the golden numbers, the
+# byte-identical cache hit, and a clean SIGTERM drain.
+serve-smoke:
+	$(GO) run ./cmd/servesmoke
+
 # Smoke-run every fuzzer for $(FUZZTIME) each. The fuzzers assert the
 # robustness contract: hostile input produces typed errors, never a panic.
 fuzz:
 	$(GO) test ./internal/isa -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/asm -run '^$$' -fuzz '^FuzzAssemble$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzParseProductions$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzSubmitRequest$$' -fuzztime $(FUZZTIME)
 	$(GO) test . -run '^$$' -fuzz '^FuzzRun$$' -fuzztime $(FUZZTIME)
 
-verify: build vet race race-experiments fuzz
+verify: build vet race race-experiments serve-smoke fuzz
 
 clean:
 	rm -f disefault experiments_full.txt.new

@@ -20,9 +20,9 @@ import (
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "small benchmark subset at reduced scale")
-		fig    = flag.Int("fig", 0, "run only one figure (6, 7 or 8)")
-		ablate = flag.Bool("ablate", false, "run the extension ablations instead of the paper figures")
+		quick   = flag.Bool("quick", false, "small benchmark subset at reduced scale")
+		fig     = flag.Int("fig", 0, "run only one figure (6, 7 or 8)")
+		ablate  = flag.Bool("ablate", false, "run the extension ablations instead of the paper figures")
 		benchs  = flag.String("benchmarks", "", "comma-separated benchmark subset")
 		scale   = flag.Int("scale", 0, "dynamic-length target in K instructions (0 = profile default)")
 		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")

@@ -60,10 +60,10 @@ inner:
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "campaign seed (same seed => identical report)")
-		trials  = flag.Int("trials", 500, "number of injection trials")
-		srcPath = flag.String("src", "", "assembly file to run (default: built-in store/load loop)")
-		variant = flag.String("mfi", "dise3", "MFI variant: dise3, dise4, sandbox, none")
+		seed     = flag.Int64("seed", 1, "campaign seed (same seed => identical report)")
+		trials   = flag.Int("trials", 500, "number of injection trials")
+		srcPath  = flag.String("src", "", "assembly file to run (default: built-in store/load loop)")
+		variant  = flag.String("mfi", "dise3", "MFI variant: dise3, dise4, sandbox, none")
 		sitesCSV = flag.String("sites", "",
 			"comma-separated injection sites (default: all; icache needs -timing): fetch,reg,mem,rt,icache,wild-addr")
 		timing = flag.Bool("timing", false, "run trials under the cycle-level model (watchdog-capped)")

@@ -26,6 +26,13 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole invocation so deferred cleanups (the profiling
+// flags' stop functions) execute even on failure paths — fail() returns a
+// status instead of calling os.Exit.
+func run() int {
 	var (
 		src      = flag.String("src", "", "assembly source file")
 		bench    = flag.String("bench", "", "synthetic benchmark name (e.g. gzip; see -list)")
@@ -47,11 +54,11 @@ func main() {
 		for _, n := range workload.Names() {
 			fmt.Println(n)
 		}
-		return
+		return 0
 	}
 	prog, err := loadProgram(*src, *bench)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	ecfg := core.DefaultEngineConfig()
@@ -76,7 +83,7 @@ func main() {
 	case "pipe":
 		ccfg.DiseMode = cpu.DisePipe
 	default:
-		fail(fmt.Errorf("unknown -mode %q", *mode))
+		return fail(fmt.Errorf("unknown -mode %q", *mode))
 	}
 
 	ctrl := core.NewController(ecfg)
@@ -86,29 +93,29 @@ func main() {
 	case "", "none":
 	case "rewrite":
 		if prog, err = mfi.Rewrite(prog); err != nil {
-			fail(err)
+			return fail(err)
 		}
 	case "dise3", "dise4", "sandbox":
 		v := map[string]mfi.Variant{"dise3": mfi.DISE3, "dise4": mfi.DISE4, "sandbox": mfi.Sandbox}[*mfiMode]
 		prods, err := mfi.Install(ctrl, v)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		needDise = true
 		if *comp {
 			ctrl.SetComposer(compose.Composer(prods))
 		}
 	default:
-		fail(fmt.Errorf("unknown -mfi %q", *mfiMode))
+		return fail(fmt.Errorf("unknown -mfi %q", *mfiMode))
 	}
 
 	if *prods != "" {
 		text, err := os.ReadFile(*prods)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if _, err := ctrl.InstallFile(string(text), nil); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		needDise = true
 	}
@@ -116,10 +123,10 @@ func main() {
 	var cres *compress.Result
 	if *comp {
 		if cres, err = compress.Compress(prog, compress.DiseFull()); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if _, err = cres.Install(ctrl); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		prog = cres.Prog
 		needDise = true
@@ -140,8 +147,12 @@ func main() {
 		mfi.Setup(m)
 	}
 	res := cpu.Run(m, ccfg)
+	status := 0
 	if res.Err != nil {
+		// An abnormal termination (trap, budget, watchdog) still prints the
+		// statistics below, but the invocation reports failure.
 		fmt.Fprintf(os.Stderr, "disesim: execution stopped: %v\n", res.Err)
+		status = 1
 	}
 	if res.Output != "" {
 		fmt.Printf("output: %s\n", res.Output)
@@ -157,6 +168,7 @@ func main() {
 		fmt.Printf("expansions:    %d (%.1f%% of fetches), RT misses %d, stall cycles %d\n",
 			st.Expansions, 100*st.ExpansionRate(), st.RTMisses, res.DiseStalls)
 	}
+	return status
 }
 
 func loadProgram(src, bench string) (*program.Program, error) {
@@ -176,7 +188,7 @@ func loadProgram(src, bench string) (*program.Program, error) {
 	}
 }
 
-func fail(err error) {
+func fail(err error) int {
 	fmt.Fprintf(os.Stderr, "disesim: %v\n", err)
-	os.Exit(1)
+	return 1
 }

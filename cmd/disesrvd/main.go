@@ -1,0 +1,96 @@
+// disesrvd serves the simulator over HTTP: POST /v1/jobs accepts an EVR
+// program (assembly text, base64 EVRX image, or a built-in benchmark name)
+// with an optional DISE production set and machine/engine configuration,
+// and answers with the full timing statistics payload. Repeat submissions
+// of the same dynamic instruction stream — including ones that change only
+// timing knobs — are served from a content-addressed trace cache. GET
+// /healthz and GET /stats expose readiness and the serving counters.
+//
+//	disesrvd -addr :8080
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"bench": "gzip"}'
+//
+// SIGINT/SIGTERM drain gracefully: in-flight jobs finish, queued and new
+// jobs fail fast with 503, then the listener closes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file (for :0 listeners)")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "admission queue depth")
+		cacheMB  = flag.Int("cache-mb", 256, "trace cache budget in MB")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default job deadline")
+		budget   = flag.Int64("budget", 50_000_000, "default dynamic instruction budget")
+	)
+	flag.Parse()
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	s := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     int64(*cacheMB) << 20,
+		DefaultTimeout: *timeout,
+		DefaultBudget:  *budget,
+		Log:            log,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "disesrvd: %v\n", err)
+		return 1
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "disesrvd: %v\n", err)
+			return 1
+		}
+	}
+
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	log.Info("listening", "addr", ln.Addr().String())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "disesrvd: %v\n", err)
+		return 1
+	case got := <-sig:
+		log.Info("draining", "signal", got.String())
+	}
+
+	// Drain first so queued jobs receive their 503s over the still-open
+	// listener, then shut the listener down.
+	s.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "disesrvd: shutdown: %v\n", err)
+		return 1
+	}
+	log.Info("drained")
+	return 0
+}

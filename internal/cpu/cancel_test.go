@@ -1,0 +1,114 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bpred"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+const spinSrc = `
+.entry main
+main:
+    br zero, main
+`
+
+func TestCancelledContextStopsInfiniteLoop(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultConfig()
+	cfg.Ctx = ctx
+	r := Run(emu.New(asm.MustAssemble("t", spinSrc)), cfg)
+	var trap *emu.Trap
+	if !errors.As(r.Err, &trap) || trap.Kind != emu.TrapCancelled {
+		t.Fatalf("err = %v, want cancelled trap", r.Err)
+	}
+	if !errors.Is(r.Err, emu.ErrCancelled) {
+		t.Errorf("errors.Is(err, emu.ErrCancelled) = false, want true")
+	}
+	if !errors.Is(r.Err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false, want true")
+	}
+	// The poll runs every cancelStride records; a pre-cancelled context must
+	// stop the run within one stride.
+	if r.Insts > cancelStride {
+		t.Errorf("run executed %d records after cancellation, want <= %d", r.Insts, cancelStride)
+	}
+}
+
+func TestContextQuietOnNormalRuns(t *testing.T) {
+	plain := run(t, chainLoop(3), DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Ctx = context.Background()
+	withCtx := run(t, chainLoop(3), cfg)
+	if !reflect.DeepEqual(plain, withCtx) {
+		t.Errorf("a live background context changed the result:\nplain:   %+v\nwithCtx: %+v", plain, withCtx)
+	}
+}
+
+// fakeChunked is a minimal in-memory ChunkedSource: one chunk of trivial
+// records, for exercising the chunked-walk cancellation points without
+// importing internal/trace (which depends on this package).
+type fakeChunked struct{ chunks [][]Rec }
+
+func (f *fakeChunked) Next() (*Rec, int, bool)           { return nil, 0, false }
+func (f *fakeChunked) Loc() (uint64, int)                { return 0, 0 }
+func (f *fakeChunked) Final() (emu.Stats, string, error) { return emu.Stats{}, "", nil }
+func (f *fakeChunked) PredStats() bpred.Stats            { return bpred.Stats{} }
+func (f *fakeChunked) Chunks() ([][]Rec, int, int)       { return f.chunks, 30, 150 }
+
+func fakeStream(n int) *fakeChunked {
+	recs := make([]Rec, n)
+	for i := range recs {
+		recs[i] = Rec{Op: isa.OpADDQ, SrcA: isa.NoReg, SrcB: isa.NoReg,
+			Dst: isa.RegZero, Lat: 1, FetchSize: 4, Flags: RecIsApp}
+	}
+	return &fakeChunked{chunks: [][]Rec{recs}}
+}
+
+func TestCancelledContextStopsChunkedWalk(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := DefaultConfig()
+	cfg.Ctx = ctx
+	r := RunSource(fakeStream(3*cancelStride), cfg)
+	if !errors.Is(r.Err, emu.ErrCancelled) {
+		t.Fatalf("chunked walk err = %v, want cancelled trap", r.Err)
+	}
+}
+
+func TestCancelledContextStopsRunSourceMany(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfgs := make([]Config, 3)
+	for i := range cfgs {
+		cfgs[i] = DefaultConfig()
+		cfgs[i].Ctx = ctx
+	}
+	for i, r := range RunSourceMany(fakeStream(3*cancelStride), cfgs) {
+		if !errors.Is(r.Err, emu.ErrCancelled) {
+			t.Errorf("cfg %d: err = %v, want cancelled trap", i, r.Err)
+		}
+	}
+}
+
+func TestRunSourceManyMixedContextsFallsBackSequential(t *testing.T) {
+	// Distinct per-config contexts cannot share one walk: each config must
+	// still be timed correctly via the sequential fallback.
+	cfgs := make([]Config, 2)
+	cfgs[0] = DefaultConfig()
+	cfgs[0].Ctx = context.Background()
+	cfgs[1] = DefaultConfig()
+	ref := RunSource(fakeStream(100), DefaultConfig())
+	for i, r := range RunSourceMany(fakeStream(100), cfgs) {
+		if r.Err != nil || r.Cycles != ref.Cycles || r.Insts != ref.Insts {
+			t.Errorf("cfg %d: got (cycles=%d insts=%d err=%v), want (cycles=%d insts=%d)",
+				i, r.Cycles, r.Insts, r.Err, ref.Cycles, ref.Insts)
+		}
+	}
+}

@@ -22,6 +22,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -70,8 +71,16 @@ type Config struct {
 	// MaxCycles, when positive, is a watchdog: a run whose commit clock
 	// passes it stops with emu.TrapWatchdog. It bounds trials whose control
 	// flow was corrupted into a non-terminating loop the instruction budget
-	// alone would take too long to catch.
+	// alone would take too long to catch. It remains the default deadline
+	// for harnesses with no caller-supplied context.
 	MaxCycles int64
+
+	// Ctx, when non-nil, cancels the run cooperatively: the scheduling loop
+	// checks it once per record chunk (every few thousand instructions),
+	// never per cycle, so the hot path stays synchronization-free. A
+	// cancelled run stops with an emu.TrapCancelled whose Cause is the
+	// context error.
+	Ctx context.Context
 
 	// Hook, when set, observes the run once per dynamic instruction, after
 	// it is scheduled. Fault campaigns use it to corrupt the cache hierarchy
@@ -101,11 +110,13 @@ type Result struct {
 	Insts    int64 // dynamic instructions committed (incl. replacement)
 	AppInsts int64 // application instructions committed
 
-	ICacheMisses int64
-	DCacheMisses int64
-	Mispredicts  int64
-	DiseStalls   int64 // cycles lost to PT/RT miss handling
-	ExpStalls    int64 // cycles lost to DiseStall-mode expansion bubbles
+	ICacheAccesses int64
+	ICacheMisses   int64
+	DCacheAccesses int64
+	DCacheMisses   int64
+	Mispredicts    int64
+	DiseStalls     int64 // cycles lost to PT/RT miss handling
+	ExpStalls      int64 // cycles lost to DiseStall-mode expansion bubbles
 
 	Emu  emu.Stats
 	Pred PredStats
@@ -121,6 +132,11 @@ func (r *Result) IPC() float64 {
 	}
 	return float64(r.AppInsts) / float64(r.Cycles)
 }
+
+// cancelStride is how many records the scheduling loop processes between
+// context polls: one capture-chunk's worth, so cancellation latency is
+// bounded without per-record synchronization.
+const cancelStride = 1 << 12
 
 // bandwidthCursor enforces an at-most-width-per-cycle resource.
 type bandwidthCursor struct {
@@ -358,6 +374,10 @@ func RunSource(src Source, cfg Config) (res *Result) {
 	diseStallMode := cfg.DiseMode == DiseStall
 	maxCycles := cfg.MaxCycles
 	hook := cfg.Hook
+	var cancelDone <-chan struct{}
+	if cfg.Ctx != nil {
+		cancelDone = cfg.Ctx.Done()
+	}
 
 	// Counters live in locals so the scheduling loop never stores to the
 	// heap-allocated result; they are folded into res after the loop.
@@ -375,6 +395,22 @@ loop:
 			watchdog = &emu.Trap{Kind: emu.TrapWatchdog, PC: pc, DISEPC: disepc,
 				Detail: fmt.Sprintf("no completion within %d cycles", cfg.MaxCycles)}
 			break
+		}
+		// Cooperative cancellation, polled once per cancelStride records —
+		// the same granularity as a capture chunk — so the per-record path
+		// never touches the context.
+		if cancelDone != nil && insts&(cancelStride-1) == 0 {
+			select {
+			case <-cancelDone:
+				pc, disepc := src.Loc()
+				if chunked && d != nil {
+					pc, disepc = d.PC, int(d.DISEPC)
+				}
+				watchdog = &emu.Trap{Kind: emu.TrapCancelled, PC: pc, DISEPC: disepc,
+					Cause: context.Cause(cfg.Ctx), Detail: "run cancelled"}
+				break loop
+			default:
+			}
 		}
 		// d is read-only: a replayed record is shared between concurrent
 		// replays of the same trace.
@@ -515,7 +551,9 @@ loop:
 	res.Cycles = lastCommit
 	res.Emu, res.Output, res.Err = src.Final()
 	res.Pred = src.PredStats()
+	res.ICacheAccesses = h.IL1.Stats.Accesses
 	res.ICacheMisses = h.IL1.Stats.Misses
+	res.DCacheAccesses = h.DL1.Stats.Accesses
 	res.DCacheMisses = h.DL1.Stats.Misses
 	if watchdog != nil {
 		res.Err = watchdog
@@ -569,6 +607,11 @@ func RunSourceMany(src ChunkedSource, cfgs []Config) (out []*Result) {
 			cfg.Width <= 0 || cfg.ROB <= 0 || cfg.PipeDepth <= 0 {
 			sequential = true
 		}
+		// The shared walk has one cancellation point; configurations with
+		// distinct contexts cannot share it.
+		if cfg.Ctx != cfgs[0].Ctx {
+			sequential = true
+		}
 	}
 	if sequential {
 		for i, cfg := range cfgs {
@@ -607,8 +650,24 @@ func RunSourceMany(src ChunkedSource, cfgs []Config) (out []*Result) {
 		st.diseStallMode = cfg.DiseMode == DiseStall
 	}
 
+	var cancelDone <-chan struct{}
+	if ctx := cfgs[0].Ctx; ctx != nil {
+		cancelDone = ctx.Done()
+	}
 	chunks, miss, compose := src.Chunks()
 	for _, cur := range chunks {
+		if cancelDone != nil {
+			select {
+			case <-cancelDone:
+				err := &emu.Trap{Kind: emu.TrapCancelled,
+					Cause: context.Cause(cfgs[0].Ctx), Detail: "run cancelled"}
+				for i := range out {
+					out[i] = &Result{Err: err}
+				}
+				return out
+			default:
+			}
+		}
 		for ri := range cur {
 			d := &cur[ri]
 			f := d.Flags
@@ -706,18 +765,20 @@ func RunSourceMany(src ChunkedSource, cfgs []Config) (out []*Result) {
 	for i := range states {
 		st := &states[i]
 		out[i] = &Result{
-			Cycles:       st.lastCommit,
-			Insts:        st.insts,
-			AppInsts:     st.appInsts,
-			Mispredicts:  st.mispredicts,
-			DiseStalls:   st.diseStalls,
-			ExpStalls:    st.expStalls,
-			ICacheMisses: st.h.IL1.Stats.Misses,
-			DCacheMisses: st.h.DL1.Stats.Misses,
-			Emu:          stats,
-			Output:       output,
-			Err:          ferr,
-			Pred:         pred,
+			Cycles:         st.lastCommit,
+			Insts:          st.insts,
+			AppInsts:       st.appInsts,
+			Mispredicts:    st.mispredicts,
+			DiseStalls:     st.diseStalls,
+			ExpStalls:      st.expStalls,
+			ICacheAccesses: st.h.IL1.Stats.Accesses,
+			ICacheMisses:   st.h.IL1.Stats.Misses,
+			DCacheAccesses: st.h.DL1.Stats.Accesses,
+			DCacheMisses:   st.h.DL1.Stats.Misses,
+			Emu:            stats,
+			Output:         output,
+			Err:            ferr,
+			Pred:           pred,
 		}
 	}
 	return out

@@ -7,6 +7,7 @@ package emu
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -116,7 +117,7 @@ type unitInfo struct {
 	addr uint64
 	word uint32 // little-endian image word, valid only when enc
 	size uint8
-	enc  bool   // inst round-trips through the 32-bit encoding
+	enc  bool // inst round-trips through the 32-bit encoding
 }
 
 // Machine is a functional EVR machine.
@@ -758,6 +759,39 @@ func (m *Machine) Run() error {
 	for m.StepInto(&d) {
 	}
 	return m.err
+}
+
+// cancelStride is how many dynamic instructions the context-aware step
+// loops execute between cancellation checks: coarse enough to keep the hot
+// path free of per-instruction synchronization, fine enough that a
+// cancelled run stops within microseconds.
+const cancelStride = 1 << 12
+
+// RunContext executes until halt or until ctx is cancelled, checking the
+// context once every cancelStride dynamic instructions. A cancelled run
+// stops the machine with a TrapCancelled carrying the context error as its
+// cause, so errors.Is(err, context.DeadlineExceeded) classifies timeouts.
+func (m *Machine) RunContext(ctx context.Context) error {
+	if ctx == nil {
+		return m.Run()
+	}
+	done := ctx.Done()
+	var d DynInst
+	for {
+		for i := 0; i < cancelStride; i++ {
+			if !m.StepInto(&d) {
+				return m.err
+			}
+		}
+		select {
+		case <-done:
+			t := m.trap(TrapCancelled, 0, "execution cancelled")
+			t.Cause = context.Cause(ctx)
+			m.stop(t)
+			return m.err
+		default:
+		}
+	}
 }
 
 // InterruptState is the precise state saved when a replacement sequence is

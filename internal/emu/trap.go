@@ -2,6 +2,11 @@ package emu
 
 import "fmt"
 
+// ErrCancelled matches the trap raised when a context-aware run is cancelled
+// or times out: errors.Is(err, ErrCancelled) classifies a termination error
+// as a wall-clock accident rather than an architectural outcome.
+var ErrCancelled = &Trap{Kind: TrapCancelled, Detail: "cancelled"}
+
 // TrapKind classifies architectural traps. The emulator never panics on
 // guest-controlled input: every abnormal condition a program (or an injected
 // fault) can provoke terminates the machine with a *Trap carrying one of
@@ -41,6 +46,10 @@ const (
 	// TrapInternal: a host-side invariant violation was converted to an error
 	// at a recover boundary instead of crashing the process.
 	TrapInternal
+	// TrapCancelled: the run's context was cancelled or its deadline expired
+	// before the stream completed. The trap's Cause carries the context
+	// error, so errors.Is against context.Canceled/DeadlineExceeded works.
+	TrapCancelled
 
 	// NumTrapKinds is the number of defined trap kinds (including TrapNone).
 	NumTrapKinds
@@ -59,6 +68,7 @@ var trapNames = [NumTrapKinds]string{
 	TrapBudget:       "budget",
 	TrapWatchdog:     "watchdog",
 	TrapInternal:     "internal",
+	TrapCancelled:    "cancelled",
 }
 
 // String returns the kind's report name.
@@ -82,7 +92,14 @@ type Trap struct {
 	Addr   uint64 // faulting data/target address, when meaningful
 	ACF    bool   // raised by an ACF check (sys 3 / kernel trap vector)
 	Detail string
+	// Cause is the underlying host-side error, when one exists — a
+	// TrapCancelled trap carries its context error here, so callers can ask
+	// errors.Is(err, context.DeadlineExceeded) through the trap.
+	Cause error
 }
+
+// Unwrap exposes the underlying cause to errors.Is/As chains.
+func (t *Trap) Unwrap() error { return t.Cause }
 
 // Error implements error.
 func (t *Trap) Error() string {

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// A cancelled context must abort figure generation loudly — the harnesses
+// panic rather than emit a table with silently missing cells.
+func TestCancelledContextAbortsFigure(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := tinyOptions()
+	o.Ctx = ctx
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Fig6Formulation with a cancelled context did not abort")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "cancelled") {
+			t.Errorf("abort panic = %v, want a cancellation message", r)
+		}
+	}()
+	Fig6Formulation(o)
+}
+
+// A live context must not perturb the tables: cells carry it through
+// cpu.Config, and the poll is invisible when it never fires.
+func TestBackgroundContextKeepsTablesIdentical(t *testing.T) {
+	plain := Fig6Formulation(tinyOptions()).String()
+	o := tinyOptions()
+	o.Ctx = context.Background()
+	if got := Fig6Formulation(o).String(); got != plain {
+		t.Errorf("context-carrying run drifted:\n--- plain ---\n%s--- ctx ---\n%s", plain, got)
+	}
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -34,6 +35,13 @@ type Options struct {
 	// assembled by (row, column) position, so any Workers value produces
 	// byte-identical output.
 	Workers int
+	// Ctx, when non-nil, cancels a figure run cooperatively: every
+	// scheduled cell inherits it as its cpu.Config context and captures
+	// poll it per chunk. The harnesses treat any cell error as fatal, so a
+	// cancelled run aborts figure generation loudly (with an
+	// emu.ErrCancelled trap in the panic) instead of emitting a table with
+	// silently missing cells.
+	Ctx context.Context
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -32,6 +34,7 @@ import (
 // not matter and tables stay byte-identical at any worker count.
 type sched struct {
 	sem chan struct{}
+	ctx context.Context // nil = never cancelled
 	wg  sync.WaitGroup
 
 	mu  sync.Mutex
@@ -101,8 +104,24 @@ func (o Options) newSched() *sched {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	return &sched{sem: make(chan struct{}, n), log: o,
+	return &sched{sem: make(chan struct{}, n), ctx: o.Ctx, log: o,
 		traces: make(map[traceKey]*traceEntry)}
+}
+
+// acquire takes a semaphore slot, or reports cancellation if the scheduler's
+// context fires first (backpressure must not outlast a cancelled run).
+func (s *sched) acquire() error {
+	if s.ctx == nil {
+		s.sem <- struct{}{}
+		return nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-s.ctx.Done():
+		return &emu.Trap{Kind: emu.TrapCancelled,
+			Cause: context.Cause(s.ctx), Detail: "experiment cancelled"}
+	}
 }
 
 // logf emits one progress line; safe from concurrent jobs.
@@ -142,9 +161,17 @@ func (s *sched) wait() {
 }
 
 // run is the scheduled form of the package-level run: the semaphore bounds
-// how many simulations execute at once.
+// how many simulations execute at once, and the scheduler's context rides
+// along as the cell's default cancellation.
 func (s *sched) run(prog *program.Program, cfg cpu.Config, prep func(*emu.Machine)) *cpu.Result {
-	s.sem <- struct{}{}
+	if cfg.Ctx == nil {
+		cfg.Ctx = s.ctx
+	}
+	if err := s.acquire(); err != nil {
+		// The harnesses treat any cell failure as fatal; a cancelled run
+		// aborts figure generation loudly via the scheduler's panic path.
+		panic(fmt.Sprintf("experiments: %s: %v", prog.Name, err))
+	}
 	defer func() { <-s.sem }()
 	return run(prog, cfg, prep)
 }
@@ -245,14 +272,22 @@ func (s *sched) capture(prog *program.Program, prep func(*emu.Machine), cl class
 			ent.tr = tr
 			return
 		}
-		s.sem <- struct{}{}
+		if err := s.acquire(); err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", prog.Name, err))
+		}
 		defer func() { <-s.sem }()
 		m := emu.New(prog)
 		if prep != nil {
 			prep(m)
 		}
-		ent.tr = trace.Capture(m)
-		gTracePut(k, ent.tr)
+		ent.tr = trace.CaptureContext(s.ctx, m)
+		// A capture truncated by cancellation reflects a wall-clock
+		// accident, not program content: replaying it propagates the
+		// cancellation trap, but it must never become the process-wide
+		// class representative.
+		if !errors.Is(ent.tr.Err(), emu.ErrCancelled) {
+			gTracePut(k, ent.tr)
+		}
 	})
 	if ent.tr == nil {
 		// The capture panicked on another cell; that panic is already
@@ -272,8 +307,13 @@ func (s *sched) runC(prog *program.Program, cfg cpu.Config, prep func(*emu.Machi
 		return s.run(prog, cfg, prep)
 	}
 	tr := s.capture(prog, prep, cl)
-	s.sem <- struct{}{}
+	if err := s.acquire(); err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", prog.Name, err))
+	}
 	defer func() { <-s.sem }()
+	if cfg.Ctx == nil {
+		cfg.Ctx = s.ctx
+	}
 	r := cpu.RunSource(tr.Replay(cl.miss, cl.compose), cfg)
 	if r.Err != nil {
 		panic(fmt.Sprintf("experiments: %s: %v", prog.Name, r.Err))
@@ -301,8 +341,17 @@ func (s *sched) runCMany(prog *program.Program, cfgs []cpu.Config, prep func(*em
 		return out
 	}
 	tr := s.capture(prog, prep, cl)
-	s.sem <- struct{}{}
+	if err := s.acquire(); err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", prog.Name, err))
+	}
 	defer func() { <-s.sem }()
+	if s.ctx != nil {
+		for i := range cfgs {
+			if cfgs[i].Ctx == nil {
+				cfgs[i].Ctx = s.ctx
+			}
+		}
+	}
 	out := cpu.RunSourceMany(tr.Replay(cl.miss, cl.compose), cfgs)
 	for _, r := range out {
 		if r.Err != nil {

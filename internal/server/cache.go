@@ -1,0 +1,143 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// cacheKey content-addresses one functional-equivalence class: the SHA-256
+// of every stream-changing job dimension (see compiledJob.cacheKey).
+type cacheKey [32]byte
+
+// traceCache stores captured dynamic-instruction traces (plus the engine
+// counters of the capture run) under their content address, so repeat
+// submissions of the same stream — including ones that change only timing
+// knobs — skip the functional emulation entirely and are served by the
+// allocation-free replayer.
+//
+// Concurrent submissions of one key are single-flighted on the entry lock:
+// the first holds ent.mu across its capture, later ones block and then hit.
+// Completed entries are LRU-evicted once their record bytes exceed the
+// budget; in-flight entries are never evicted (they are not accounted until
+// complete).
+type traceCache struct {
+	mu     sync.Mutex
+	m      map[cacheKey]*cacheEnt
+	bytes  int64
+	budget int64
+	gen    uint64
+
+	hits, misses, evictions atomic.Int64
+}
+
+type cacheEnt struct {
+	// mu single-flights the capture; ready/tr/engine are written once under
+	// it and only read by holders of it.
+	mu     sync.Mutex
+	ready  bool
+	tr     *trace.Trace
+	engine core.EngineStats
+
+	// stored/size/gen are the LRU bookkeeping, guarded by traceCache.mu.
+	stored bool
+	size   int64
+	gen    uint64
+}
+
+func newTraceCache(budget int64) *traceCache {
+	return &traceCache{m: make(map[cacheKey]*cacheEnt), budget: budget}
+}
+
+// do returns the trace for key, capturing it via capture on first use. hit
+// reports whether the trace was served from the cache. A capture error
+// (cancellation, timeout) is returned without populating the entry, so the
+// next submission of the class retries: a truncated stream reflects a
+// wall-clock accident, never program content.
+func (c *traceCache) do(key cacheKey, capture func() (*trace.Trace, core.EngineStats, error)) (tr *trace.Trace, es core.EngineStats, hit bool, err error) {
+	c.mu.Lock()
+	ent := c.m[key]
+	if ent == nil {
+		ent = &cacheEnt{}
+		c.m[key] = ent
+	}
+	c.gen++
+	ent.gen = c.gen
+	c.mu.Unlock()
+
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if ent.ready {
+		c.hits.Add(1)
+		return ent.tr, ent.engine, true, nil
+	}
+	tr, es, err = capture()
+	if err != nil {
+		c.mu.Lock()
+		if c.m[key] == ent {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+		return nil, core.EngineStats{}, false, err
+	}
+	ent.tr, ent.engine, ent.ready = tr, es, true
+	c.misses.Add(1)
+
+	c.mu.Lock()
+	// A concurrent failed capture may have deleted the key; re-insert so the
+	// completed entry is reachable and accounted exactly once.
+	if c.m[key] != ent {
+		c.m[key] = ent
+	}
+	ent.stored = true
+	ent.size = int64(tr.Len()) * 32 // cpu.Rec footprint, as in the experiment store
+	c.bytes += ent.size
+	for c.bytes > c.budget {
+		var victim cacheKey
+		var ve *cacheEnt
+		vg := ^uint64(0)
+		for k, e := range c.m {
+			if e.stored && e != ent && e.gen < vg {
+				vg, victim, ve = e.gen, k, e
+			}
+		}
+		if ve == nil {
+			break
+		}
+		c.bytes -= ve.size
+		delete(c.m, victim)
+		c.evictions.Add(1)
+	}
+	c.mu.Unlock()
+	return tr, es, false, nil
+}
+
+// CacheStats is the /stats view of the trace cache.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+func (c *traceCache) stats() CacheStats {
+	c.mu.Lock()
+	n := 0
+	for _, e := range c.m {
+		if e.stored {
+			n++
+		}
+	}
+	bytes := c.bytes
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   n,
+		Bytes:     bytes,
+	}
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+var fuzzSrv struct {
+	once sync.Once
+	ts   *httptest.Server
+}
+
+// fuzzServer is one shared small server: one worker, tiny budgets and
+// deadlines, so even a fuzz input that decodes to a runnable job costs
+// milliseconds.
+func fuzzServer() *httptest.Server {
+	fuzzSrv.once.Do(func() {
+		s := New(Config{
+			Workers:        1,
+			QueueDepth:     4,
+			DefaultBudget:  10_000,
+			DefaultTimeout: 250 * time.Millisecond,
+			Log:            slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		fuzzSrv.ts = httptest.NewServer(s.Handler())
+	})
+	return fuzzSrv.ts
+}
+
+// FuzzSubmitRequest drives the JSON job decoder and the compile path with
+// arbitrary bytes: any input must produce an orderly HTTP status — never a
+// panic, never a 5xx other than the deadline statuses.
+func FuzzSubmitRequest(f *testing.F) {
+	seed := func(v *SubmitRequest) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"porgram": 1}`))
+	f.Add([]byte(`{"asm": "halt"}`))
+	f.Add(seed(SmokeRequest()))
+	f.Add(seed(&SubmitRequest{Bench: "gzip", BudgetInsts: 1000}))
+	f.Add(seed(&SubmitRequest{Asm: "bogus", Machine: MachineSpec{Width: -3, ICacheKB: 7}}))
+	f.Add(seed(&SubmitRequest{ImageB64: "AAAA", Engine: EngineSpec{RTEntries: 1 << 30}}))
+	f.Add(seed(&SubmitRequest{Asm: ".entry main\nmain:\n    br zero, main\n", BudgetInsts: 1 << 50, TimeoutMS: 1}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts := fuzzServer()
+		resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("transport error: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusBadRequest, http.StatusRequestTimeout,
+			http.StatusRequestEntityTooLarge, http.StatusTooManyRequests,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	})
+}

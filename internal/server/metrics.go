@@ -1,0 +1,75 @@
+package server
+
+import (
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// metrics aggregates the serving-layer counters behind /stats. Outcome
+// counters are monotonic; queue depth and running come from the scheduler's
+// gauges at snapshot time.
+type metrics struct {
+	done      atomic.Int64 // clean architectural halt
+	trapped   atomic.Int64 // ran to completion with an architectural trap
+	invalid   atomic.Int64 // rejected at validation (400)
+	rejected  atomic.Int64 // queue full (429)
+	unavail   atomic.Int64 // draining (503)
+	timedOut  atomic.Int64 // job deadline expired (504)
+	cancelled atomic.Int64 // client went away mid-job
+
+	compileLat stats.Histogram // request decode+compile, µs
+	queueLat   stats.Histogram // admission to worker pickup, µs
+	runLat     stats.Histogram // simulation (capture/replay/live), µs
+}
+
+// JobStats counts finished jobs by outcome.
+type JobStats struct {
+	Done      int64 `json:"done"`
+	Trapped   int64 `json:"trapped"`
+	Invalid   int64 `json:"invalid"`
+	Rejected  int64 `json:"rejected"`
+	Unavail   int64 `json:"unavailable"`
+	TimedOut  int64 `json:"timeout"`
+	Cancelled int64 `json:"cancelled"`
+}
+
+// LatencyStats holds the per-stage latency histograms, in microseconds.
+type LatencyStats struct {
+	CompileUS stats.HistSnapshot `json:"compile_us"`
+	QueueUS   stats.HistSnapshot `json:"queue_us"`
+	RunUS     stats.HistSnapshot `json:"run_us"`
+}
+
+// StatsPayload is the GET /stats response body.
+type StatsPayload struct {
+	QueueDepth int  `json:"queue_depth"`
+	QueueCap   int  `json:"queue_cap"`
+	Running    int  `json:"running"`
+	Workers    int  `json:"workers"`
+	Draining   bool `json:"draining"`
+
+	Jobs    JobStats     `json:"jobs"`
+	Cache   CacheStats   `json:"cache"`
+	Latency LatencyStats `json:"latency"`
+}
+
+func (m *metrics) jobs() JobStats {
+	return JobStats{
+		Done:      m.done.Load(),
+		Trapped:   m.trapped.Load(),
+		Invalid:   m.invalid.Load(),
+		Rejected:  m.rejected.Load(),
+		Unavail:   m.unavail.Load(),
+		TimedOut:  m.timedOut.Load(),
+		Cancelled: m.cancelled.Load(),
+	}
+}
+
+func (m *metrics) latency() LatencyStats {
+	return LatencyStats{
+		CompileUS: m.compileLat.Snapshot(),
+		QueueUS:   m.queueLat.Snapshot(),
+		RunUS:     m.runLat.Snapshot(),
+	}
+}

@@ -1,0 +1,326 @@
+// Package server is the serving layer of the reproduction: simulation as a
+// service. It accepts EVR programs (assembly, EVRX images, or built-in
+// benchmark names) with an optional DISE production set and a machine/engine
+// configuration, runs assemble→load→simulate, and answers with the full
+// timing statistics payload.
+//
+// Three pieces shape the service:
+//
+//   - a bounded job scheduler (sched.go): a fixed worker pool behind a
+//     bounded admission queue. A full queue answers 429 with a Retry-After
+//     hint instead of queueing unboundedly, and SIGTERM drains gracefully —
+//     in-flight jobs finish, queued and new jobs fail fast with 503.
+//
+//   - a content-addressed result cache (cache.go): jobs are keyed by the
+//     SHA-256 of their stream-changing dimensions — program bytes,
+//     production text, instruction budget, engine geometry — which is the
+//     experiment scheduler's functional-equivalence-class key made
+//     content-addressed. The first job of a class captures its dynamic
+//     instruction stream once (internal/trace); every later job of the
+//     class, including ones that change only timing knobs (machine width,
+//     cache sizes, DISE decoder mode, miss penalties), is served by the
+//     allocation-free replayer. Cache misses are timed through the same
+//     replay path as hits, so hit and miss responses are byte-identical by
+//     construction.
+//
+//   - an observability surface: GET /healthz (readiness, 503 while
+//     draining), GET /stats (queue depth, cache hit/miss/eviction counters,
+//     jobs by outcome, per-stage latency histograms), and structured
+//     request logs (log/slog).
+//
+// Every job runs under a context deadline plumbed into the emulator and
+// scheduling loops (cpu.Config.Ctx / trace.CaptureContext), so a hostile or
+// runaway program costs one worker slot for at most the job timeout.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/trace"
+)
+
+// maxBodyBytes bounds one request body; larger submissions answer 400.
+const maxBodyBytes = 16 << 20
+
+// Config parameterizes a Server. Zero fields take the documented defaults.
+type Config struct {
+	Workers        int           // concurrent simulations (default GOMAXPROCS)
+	QueueDepth     int           // admission queue slots (default 64)
+	CacheBytes     int64         // trace cache budget (default 256MB)
+	DefaultTimeout time.Duration // job deadline when the request names none (default 30s)
+	MaxTimeout     time.Duration // upper bound on requested timeouts (default 5m)
+	DefaultBudget  int64         // instruction budget when the request names none (default 50M)
+	Log            *slog.Logger  // request log (default slog.Default())
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.DefaultBudget <= 0 {
+		c.DefaultBudget = 50_000_000
+	}
+	if c.Log == nil {
+		c.Log = slog.Default()
+	}
+	return c
+}
+
+// Server is one disesrvd instance: scheduler, cache, metrics, HTTP surface.
+type Server struct {
+	cfg     Config
+	sched   *scheduler
+	cache   *traceCache
+	metrics metrics
+	seq     atomic.Int64
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg.withDefaults()}
+	s.cache = newTraceCache(s.cfg.CacheBytes)
+	s.sched = newScheduler(s.cfg.Workers, s.cfg.QueueDepth, s.runJob)
+	return s
+}
+
+// Drain stops admission, lets in-flight jobs finish, fails queued jobs with
+// 503, and returns when the workers have exited. The HTTP listener should
+// be shut down after Drain returns so the failure responses are delivered.
+func (s *Server) Drain() { s.sched.drain() }
+
+// Handler returns the service's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// SubmitResponse is the POST /v1/jobs envelope. Result is deterministic per
+// request; the envelope fields (job id, cache disposition, latencies) are
+// volatile and excluded from the byte-identity contract.
+type SubmitResponse struct {
+	ID      string         `json:"id"`
+	Outcome string         `json:"outcome"`
+	Cached  bool           `json:"cached"`
+	QueueUS int64          `json:"queue_us"`
+	RunUS   int64          `json:"run_us"`
+	Result  *ResultPayload `json:"result,omitempty"`
+	Error   string         `json:"error,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	id := fmt.Sprintf("job-%06d", s.seq.Add(1))
+
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req SubmitRequest
+	if err := dec.Decode(&req); err != nil {
+		s.reject(w, r, id, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err), &s.metrics.invalid, t0)
+		return
+	}
+	c, err := compile(&req, s.cfg.DefaultBudget)
+	if err != nil {
+		s.reject(w, r, id, http.StatusBadRequest, err, &s.metrics.invalid, t0)
+		return
+	}
+	s.metrics.compileLat.Observe(time.Since(t0).Microseconds())
+
+	timeout := s.cfg.DefaultTimeout
+	if c.timeoutMS > 0 {
+		timeout = min(time.Duration(c.timeoutMS)*time.Millisecond, s.cfg.MaxTimeout)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	j := &job{c: c, ctx: ctx, enq: time.Now(), done: make(chan struct{})}
+	if err := s.sched.submit(j); err != nil {
+		switch {
+		case errors.Is(err, errQueueFull):
+			w.Header().Set("Retry-After", "1")
+			s.reject(w, r, id, http.StatusTooManyRequests, err, &s.metrics.rejected, t0)
+		default:
+			s.reject(w, r, id, http.StatusServiceUnavailable, err, &s.metrics.unavail, t0)
+		}
+		return
+	}
+	<-j.done
+
+	resp := &SubmitResponse{ID: id, Cached: j.cached, QueueUS: j.queueUS, RunUS: j.runUS}
+	status := http.StatusOK
+	switch {
+	case j.err == nil:
+		resp.Result = j.res
+		resp.Outcome = "done"
+		s.metrics.done.Add(1)
+		if j.res.Trap != "" {
+			resp.Outcome = "trapped"
+			s.metrics.done.Add(-1)
+			s.metrics.trapped.Add(1)
+		}
+	case errors.Is(j.err, errDraining):
+		status = http.StatusServiceUnavailable
+		resp.Outcome = "unavailable"
+		resp.Error = j.err.Error()
+		s.metrics.unavail.Add(1)
+	case errors.Is(j.err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+		resp.Outcome = "timeout"
+		resp.Error = j.err.Error()
+		s.metrics.timedOut.Add(1)
+	default:
+		// The client went away mid-job; the response is likely unread.
+		status = http.StatusRequestTimeout
+		resp.Outcome = "cancelled"
+		resp.Error = j.err.Error()
+		s.metrics.cancelled.Add(1)
+	}
+	writeJSON(w, status, resp)
+	s.logRequest(r, id, status, resp.Outcome, j.cached, t0)
+}
+
+// runJob executes one admitted job on a worker. Cacheable jobs go through
+// the trace cache — capture on first sight, replay always — so the timing
+// path (and therefore the result bytes) is the same on hit and miss.
+// Watchdogged jobs (MaxCycles > 0) run live and uncached.
+func (s *Server) runJob(j *job) {
+	start := time.Now()
+	j.queueUS = start.Sub(j.enq).Microseconds()
+	s.metrics.queueLat.Observe(j.queueUS)
+	// finish stamps the run latency before completing the job: the waiting
+	// handler reads these fields as soon as done closes.
+	finish := func(res *ResultPayload, cached bool, err error) {
+		j.runUS = time.Since(start).Microseconds()
+		s.metrics.runLat.Observe(j.runUS)
+		j.finish(res, cached, err)
+	}
+
+	if err := j.ctx.Err(); err != nil {
+		// Deadline or disconnect while queued: never start the simulation.
+		finish(nil, false, err)
+		return
+	}
+	c := j.c
+	cfg := c.ccfg
+	cfg.Ctx = j.ctx
+
+	if !c.cacheable {
+		m, ctrl := c.machine()
+		res := cpu.Run(m, cfg)
+		if errors.Is(res.Err, emu.ErrCancelled) {
+			finish(nil, false, res.Err)
+			return
+		}
+		var es core.EngineStats
+		if ctrl != nil {
+			es = ctrl.Engine().Stats
+		}
+		// No trace exists on the live path, so trace_n is not served here.
+		finish(c.payload(res, es, nil), false, nil)
+		return
+	}
+
+	tr, es, hit, err := s.cache.do(c.key, func() (*trace.Trace, core.EngineStats, error) {
+		m, ctrl := c.machine()
+		tr := trace.CaptureContext(j.ctx, m)
+		if errors.Is(tr.Err(), emu.ErrCancelled) {
+			return nil, core.EngineStats{}, tr.Err()
+		}
+		var es core.EngineStats
+		if ctrl != nil {
+			es = ctrl.Engine().Stats
+		}
+		return tr, es, nil
+	})
+	if err != nil {
+		finish(nil, false, err)
+		return
+	}
+	res := cpu.RunSource(tr.Replay(c.ecfg.MissPenalty, c.ecfg.ComposePenalty), cfg)
+	if errors.Is(res.Err, emu.ErrCancelled) {
+		finish(nil, hit, res.Err)
+		return
+	}
+	finish(c.payload(res, es, tr.Excerpt(c.traceN)), hit, nil)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.sched.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "draining": true})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": false})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &StatsPayload{
+		QueueDepth: int(s.sched.depth.Load()),
+		QueueCap:   s.cfg.QueueDepth,
+		Running:    int(s.sched.running.Load()),
+		Workers:    s.cfg.Workers,
+		Draining:   s.sched.isDraining(),
+		Jobs:       s.metrics.jobs(),
+		Cache:      s.cache.stats(),
+		Latency:    s.metrics.latency(),
+	})
+}
+
+// reject answers an admission-stage failure and bumps its outcome counter.
+func (s *Server) reject(w http.ResponseWriter, r *http.Request, id string, status int, err error, counter *atomic.Int64, t0 time.Time) {
+	counter.Add(1)
+	outcome := "invalid"
+	switch status {
+	case http.StatusTooManyRequests:
+		outcome = "rejected"
+	case http.StatusServiceUnavailable:
+		outcome = "unavailable"
+	}
+	writeJSON(w, status, &SubmitResponse{ID: id, Outcome: outcome, Error: err.Error()})
+	s.logRequest(r, id, status, outcome, false, t0)
+}
+
+func (s *Server) logRequest(r *http.Request, id string, status int, outcome string, cached bool, t0 time.Time) {
+	s.cfg.Log.Info("request",
+		"method", r.Method,
+		"path", r.URL.Path,
+		"job", id,
+		"status", status,
+		"outcome", outcome,
+		"cached", cached,
+		"dur_ms", time.Since(t0).Milliseconds(),
+	)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,315 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/goldentest"
+)
+
+// spinAsm never halts; lifecycle tests bound it with budgets or deadlines.
+const spinAsm = `
+.entry main
+main:
+    br zero, main
+`
+
+func quietConfig() Config {
+	return Config{Log: slog.New(slog.NewTextHandler(io.Discard, nil))}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Server) {
+	t.Helper()
+	if cfg.Log == nil {
+		cfg.Log = quietConfig().Log
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+// rawResponse keeps Result as raw bytes so tests can assert byte-identity.
+type rawResponse struct {
+	ID      string          `json:"id"`
+	Outcome string          `json:"outcome"`
+	Cached  bool            `json:"cached"`
+	Result  json.RawMessage `json:"result"`
+	Error   string          `json:"error"`
+}
+
+func post(t *testing.T, ts *httptest.Server, req *SubmitRequest) (int, http.Header, *rawResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out rawResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, resp.Header, &out
+}
+
+func getStats(t *testing.T, ts *httptest.Server) *StatsPayload {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sp StatsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&sp); err != nil {
+		t.Fatal(err)
+	}
+	return &sp
+}
+
+// waitStats polls /stats until cond holds (scheduler gauges are racy to
+// observe any other way).
+func waitStats(t *testing.T, ts *httptest.Server, what string, cond func(*StatsPayload) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond(getStats(t, ts)) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestSmokeGolden ties the serving layer's fixtures to the repository's
+// golden harness: the smoke program/productions must reproduce the same
+// headline numbers the quickstart example pins, live and via trace replay.
+func TestSmokeGolden(t *testing.T) {
+	mk := func() *emu.Machine {
+		prog := asm.MustAssemble("smoke", SmokeAsm)
+		ctrl := core.NewController(core.DefaultEngineConfig())
+		if _, err := ctrl.InstallFile(SmokeProds, nil); err != nil {
+			t.Fatal(err)
+		}
+		m := emu.New(prog)
+		m.SetExpander(ctrl.Engine())
+		return m
+	}
+	goldentest.Check(t, "server-smoke", mk, 30, 150, goldentest.Want(SmokeWant))
+}
+
+// TestJobLifecycle walks one server through the request lifecycle table:
+// accepted → done/trapped, invalid → 400, deadline → 504.
+func TestJobLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, quietConfig())
+	cases := []struct {
+		name    string
+		req     *SubmitRequest
+		status  int
+		outcome string
+	}{
+		{"plain asm", &SubmitRequest{Asm: SmokeAsm}, http.StatusOK, "done"},
+		{"asm with prods", SmokeRequest(), http.StatusOK, "done"},
+		{"bench", &SubmitRequest{Bench: "gzip", BudgetInsts: 20000}, http.StatusOK, "trapped"},
+		{"budget trap", &SubmitRequest{Asm: spinAsm, BudgetInsts: 1000}, http.StatusOK, "trapped"},
+		{"timeout", &SubmitRequest{Asm: spinAsm, BudgetInsts: 1 << 40, TimeoutMS: 1}, http.StatusGatewayTimeout, "timeout"},
+		{"no program", &SubmitRequest{}, http.StatusBadRequest, "invalid"},
+		{"two programs", &SubmitRequest{Asm: SmokeAsm, Bench: "gzip"}, http.StatusBadRequest, "invalid"},
+		{"bad asm", &SubmitRequest{Asm: "not a program"}, http.StatusBadRequest, "invalid"},
+		{"bad image", &SubmitRequest{ImageB64: "AAAA"}, http.StatusBadRequest, "invalid"},
+		{"unknown bench", &SubmitRequest{Bench: "nope"}, http.StatusBadRequest, "invalid"},
+		{"bad prods", &SubmitRequest{Asm: SmokeAsm, Prods: "prod {"}, http.StatusBadRequest, "invalid"},
+		{"bad dise mode", &SubmitRequest{Asm: SmokeAsm, Machine: MachineSpec{DiseMode: "warp"}}, http.StatusBadRequest, "invalid"},
+		{"bad cache size", &SubmitRequest{Asm: SmokeAsm, Machine: MachineSpec{ICacheKB: 7}}, http.StatusBadRequest, "invalid"},
+		{"negative budget", &SubmitRequest{Asm: SmokeAsm, BudgetInsts: -1}, http.StatusBadRequest, "invalid"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _, resp := post(t, ts, tc.req)
+			if status != tc.status || resp.Outcome != tc.outcome {
+				t.Fatalf("got status=%d outcome=%q (err %q), want status=%d outcome=%q",
+					status, resp.Outcome, resp.Error, tc.status, tc.outcome)
+			}
+			if tc.status == http.StatusBadRequest && resp.Error == "" {
+				t.Error("400 without a diagnostic")
+			}
+		})
+	}
+
+	t.Run("unknown field", func(t *testing.T) {
+		resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json",
+			bytes.NewReader([]byte(`{"porgram": "oops"}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("unknown field: got %d, want 400", resp.StatusCode)
+		}
+	})
+}
+
+// TestCacheHitByteIdentical is the tentpole acceptance check: a repeat
+// submission is served from the trace cache (observable in /stats) with a
+// result byte-identical to the first, live response; a third submission
+// that changes only timing knobs still hits the cache.
+func TestCacheHitByteIdentical(t *testing.T) {
+	ts, _ := newTestServer(t, quietConfig())
+
+	req := SmokeRequest()
+	req.Disasm = true
+	req.TraceN = 8
+	status, _, first := post(t, ts, req)
+	if status != http.StatusOK || first.Cached {
+		t.Fatalf("first submission: status=%d cached=%v, want 200 live", status, first.Cached)
+	}
+	var p ResultPayload
+	if err := json.Unmarshal(first.Result, &p); err != nil {
+		t.Fatal(err)
+	}
+	got := struct{ Cycles, Insts, Mispredicts, DiseStalls int64 }{p.Cycles, p.Insts, p.Mispredicts, p.DiseStalls}
+	if got != SmokeWant {
+		t.Fatalf("smoke result drifted: got %+v, want %+v", got, SmokeWant)
+	}
+	if p.Disasm == "" || len(p.Trace) != 8 {
+		t.Fatalf("extras missing: disasm %d bytes, %d trace records", len(p.Disasm), len(p.Trace))
+	}
+
+	status, _, second := post(t, ts, req)
+	if status != http.StatusOK || !second.Cached {
+		t.Fatalf("second submission: status=%d cached=%v, want cached 200", status, second.Cached)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatalf("cache hit is not byte-identical:\nlive:   %s\ncached: %s", first.Result, second.Result)
+	}
+
+	// Timing-only knobs reuse the same captured stream: cache hit, but a
+	// different timing result.
+	wide := SmokeRequest()
+	wide.Machine.Width = 8
+	wide.Engine.MissPenalty = 60
+	status, _, third := post(t, ts, wide)
+	if status != http.StatusOK || !third.Cached {
+		t.Fatalf("timing-only variant: status=%d cached=%v, want cached 200", status, third.Cached)
+	}
+	var wp ResultPayload
+	if err := json.Unmarshal(third.Result, &wp); err != nil {
+		t.Fatal(err)
+	}
+	if wp.DiseStalls != 2*p.DiseStalls {
+		t.Errorf("doubled miss penalty: stalls %d, want %d", wp.DiseStalls, 2*p.DiseStalls)
+	}
+
+	sp := getStats(t, ts)
+	if sp.Cache.Misses != 1 || sp.Cache.Hits != 2 {
+		t.Errorf("cache counters: %+v, want 1 miss / 2 hits", sp.Cache)
+	}
+	// A stream-changing knob (engine geometry) is a different class.
+	narrow := SmokeRequest()
+	narrow.Engine.RTPerfect = true
+	if status, _, r := post(t, ts, narrow); status != http.StatusOK || r.Cached {
+		t.Fatalf("geometry change: status=%d cached=%v, want live 200", status, r.Cached)
+	}
+	if sp := getStats(t, ts); sp.Cache.Misses != 2 {
+		t.Errorf("geometry change did not miss: %+v", sp.Cache)
+	}
+}
+
+// TestQueueOverflow fills the one-slot queue behind a one-worker pool and
+// requires the next submission to bounce with 429 + Retry-After.
+func TestQueueOverflow(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	ts, _ := newTestServer(t, cfg)
+
+	slow := &SubmitRequest{Asm: spinAsm, BudgetInsts: 1 << 40, TimeoutMS: 500}
+	results := make(chan int, 2)
+	go func() { st, _, _ := post(t, ts, slow); results <- st }()
+	waitStats(t, ts, "worker busy", func(sp *StatsPayload) bool { return sp.Running == 1 })
+	go func() { st, _, _ := post(t, ts, slow); results <- st }()
+	waitStats(t, ts, "queue full", func(sp *StatsPayload) bool { return sp.QueueDepth == 1 })
+
+	status, hdr, resp := post(t, ts, slow)
+	if status != http.StatusTooManyRequests || resp.Outcome != "rejected" {
+		t.Fatalf("overflow: status=%d outcome=%q, want 429 rejected", status, resp.Outcome)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	<-results
+	<-results
+	if sp := getStats(t, ts); sp.Jobs.Rejected != 1 {
+		t.Errorf("rejected counter = %d, want 1", sp.Jobs.Rejected)
+	}
+}
+
+// TestDrainUnderLoad checks graceful shutdown: the in-flight job runs to
+// its real result, the queued job gets a clean 503, and post-drain
+// submissions are refused.
+func TestDrainUnderLoad(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 4
+	ts, s := newTestServer(t, cfg)
+
+	type res struct {
+		status  int
+		outcome string
+	}
+	// In-flight: a budget-bounded spin, finishing (with its budget trap) in
+	// tens of milliseconds regardless of the drain racing it.
+	inflight := make(chan res, 1)
+	go func() {
+		st, _, r := post(t, ts, &SubmitRequest{Asm: spinAsm, BudgetInsts: 5_000_000})
+		inflight <- res{st, r.Outcome}
+	}()
+	waitStats(t, ts, "worker busy", func(sp *StatsPayload) bool { return sp.Running == 1 })
+
+	queued := make(chan res, 1)
+	go func() {
+		st, _, r := post(t, ts, &SubmitRequest{Asm: spinAsm, BudgetInsts: 1 << 40, TimeoutMS: 5000})
+		queued <- res{st, r.Outcome}
+	}()
+	waitStats(t, ts, "job queued", func(sp *StatsPayload) bool { return sp.QueueDepth == 1 })
+
+	drained := make(chan struct{})
+	go func() { s.Drain(); close(drained) }()
+	waitStats(t, ts, "draining", func(sp *StatsPayload) bool { return sp.Draining })
+
+	if st, _, r := post(t, ts, &SubmitRequest{Asm: SmokeAsm}); st != http.StatusServiceUnavailable || r.Outcome != "unavailable" {
+		t.Fatalf("post-drain submit: status=%d outcome=%q, want 503 unavailable", st, r.Outcome)
+	}
+	if hr, err := ts.Client().Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	} else {
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("healthz while draining: %d, want 503", hr.StatusCode)
+		}
+	}
+
+	if r := <-inflight; r.status != http.StatusOK || r.outcome != "trapped" {
+		t.Errorf("in-flight job: status=%d outcome=%q, want 200 trapped", r.status, r.outcome)
+	}
+	if r := <-queued; r.status != http.StatusServiceUnavailable || r.outcome != "unavailable" {
+		t.Errorf("queued job: status=%d outcome=%q, want 503 unavailable", r.status, r.outcome)
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return")
+	}
+}

@@ -1,0 +1,50 @@
+package server
+
+// The smoke fixtures tie the serving layer to the repository's golden
+// numbers: SmokeAsm/SmokeProds are the quickstart example's program and
+// store-counting production set, and SmokeWant pins the headline result
+// under the default machine and engine configuration — the same numbers
+// examples/quickstart's golden test pins via internal/goldentest. The
+// server tests, `make serve-smoke` (cmd/servesmoke) and the README curl
+// examples all submit exactly this job, so a drift in any layer fails
+// against one shared truth.
+
+// SmokeAsm is the quickstart program: four stores in a counted loop.
+const SmokeAsm = `
+.entry main
+.data
+buf: .space 64
+.text
+main:
+    la r1, buf
+    li r2, 4
+loop:
+    stq r2, 0(r1)
+    addqi r1, 8, r1
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`
+
+// SmokeProds counts every store in dedicated register $dr0.
+const SmokeProds = `
+prod count_stores {
+    match class == store
+    replace {
+        lda $dr0, 1($dr0)
+        %insn
+    }
+}
+`
+
+// SmokeWant pins the smoke job's headline numbers (kept equal to the
+// quickstart golden in examples/quickstart/main_test.go).
+var SmokeWant = struct {
+	Cycles, Insts, Mispredicts, DiseStalls int64
+}{Cycles: 193, Insts: 24, Mispredicts: 3, DiseStalls: 30}
+
+// SmokeRequest returns the canonical smoke submission: the quickstart
+// program and productions under an all-default configuration.
+func SmokeRequest() *SubmitRequest {
+	return &SubmitRequest{Asm: SmokeAsm, Prods: SmokeProds}
+}

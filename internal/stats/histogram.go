@@ -1,0 +1,59 @@
+package stats
+
+import "sync"
+
+// histBuckets bounds the histogram range: bucket i counts observations with
+// value <= 2^i, so 40 buckets cover one microsecond to ~12 days of latency
+// when observations are recorded in microseconds.
+const histBuckets = 40
+
+// Histogram is a concurrency-safe power-of-two-bucket histogram. The serving
+// layer records per-stage latencies in it (in microseconds); any other
+// positive integer unit works the same way. The zero value is ready to use.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [histBuckets]int64
+	sum    int64
+	n      int64
+}
+
+// Observe records one value. Non-positive values land in the first bucket.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for b := int64(1); i < histBuckets-1 && v > b; b <<= 1 {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// HistBucket is one non-empty histogram bucket: Count observations had
+// values <= Le (and greater than the previous bucket's bound).
+type HistBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, with empty buckets
+// elided — the shape the /stats endpoint serves.
+type HistSnapshot struct {
+	Count   int64        `json:"count"`
+	Sum     int64        `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot returns a consistent copy of the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{Count: h.n, Sum: h.sum}
+	for i, c := range h.counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Le: int64(1) << i, Count: c})
+		}
+	}
+	return s
+}

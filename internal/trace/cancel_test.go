@@ -1,0 +1,65 @@
+package trace_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/trace"
+)
+
+func TestCaptureContextCancelledTruncates(t *testing.T) {
+	m := emu.New(asm.MustAssemble("spin", `
+.entry main
+main:
+    br zero, main
+`))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := trace.CaptureContext(ctx, m)
+	if !errors.Is(tr.Err(), emu.ErrCancelled) {
+		t.Fatalf("capture err = %v, want cancelled trap", tr.Err())
+	}
+	if !errors.Is(tr.Err(), context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false, want true")
+	}
+	// The poll runs at chunk turnover; a pre-cancelled context must stop the
+	// capture within the first chunk (4096 records, trace.chunkInit).
+	if tr.Len() > 4096 {
+		t.Errorf("captured %d records after cancellation, want <= 4096", tr.Len())
+	}
+}
+
+func TestCaptureContextBackgroundMatchesCapture(t *testing.T) {
+	mk := func() *emu.Machine { return newMachine(t, mixedSrc, nil) }
+	a := trace.Capture(mk())
+	b := trace.CaptureContext(context.Background(), mk())
+	if a.Len() != b.Len() || !errors.Is(a.Err(), b.Err()) && (a.Err() != nil || b.Err() != nil) {
+		t.Errorf("background-context capture differs: len %d vs %d, err %v vs %v",
+			a.Len(), b.Len(), a.Err(), b.Err())
+	}
+}
+
+func TestExcerpt(t *testing.T) {
+	tr := trace.Capture(newMachine(t, mixedSrc, nil))
+	if n := len(tr.Excerpt(10)); n != 10 {
+		t.Errorf("Excerpt(10) returned %d records", n)
+	}
+	all := tr.Excerpt(tr.Len() + 100)
+	if len(all) != tr.Len() {
+		t.Errorf("Excerpt beyond length returned %d records, want %d", len(all), tr.Len())
+	}
+	// The excerpt must be the stream prefix, in order.
+	r := tr.Replay(30, 150)
+	for i := range all {
+		d, _, ok := r.Next()
+		if !ok || *d != all[i] {
+			t.Fatalf("record %d: excerpt %+v != stream %+v (ok=%v)", i, all[i], d, ok)
+		}
+	}
+	if got := tr.Excerpt(0); got != nil {
+		t.Errorf("Excerpt(0) = %v, want nil", got)
+	}
+}

@@ -22,6 +22,8 @@
 package trace
 
 import (
+	"context"
+
 	"repro/internal/bpred"
 	"repro/internal/cpu"
 	"repro/internal/emu"
@@ -56,13 +58,41 @@ type Trace struct {
 // prepared (expander installed, dedicated registers initialized), exactly as
 // if it were handed to cpu.Run.
 func Capture(m *emu.Machine) *Trace {
+	return CaptureContext(context.Background(), m)
+}
+
+// CaptureContext is Capture with cooperative cancellation: the context is
+// polled once per chunk turnover (every few thousand instructions), never
+// per step. A cancelled capture returns early with Err() set to an
+// emu.TrapCancelled whose Cause is the context error; such a trace is
+// truncated mid-stream and must not be reused as the class representative of
+// its equivalence class — it reflects a wall-clock accident, not program
+// content.
+func CaptureContext(ctx context.Context, m *emu.Machine) *Trace {
 	t := &Trace{prog: m.Program()}
 	p := bpred.New()
 	nu := t.prog.NumUnits()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	var cancelled error
 	var cur []cpu.Rec
 	var d emu.DynInst
 	for m.StepInto(&d) {
 		if len(cur) == cap(cur) {
+			if done != nil {
+				select {
+				case <-done:
+					cancelled = &emu.Trap{Kind: emu.TrapCancelled,
+						PC: m.PC(), DISEPC: m.DISEPC(),
+						Cause: context.Cause(ctx), Detail: "capture cancelled"}
+				default:
+				}
+				if cancelled != nil {
+					break
+				}
+			}
 			if len(t.chunks) > 0 {
 				t.chunks[len(t.chunks)-1] = cur
 			}
@@ -102,11 +132,38 @@ func Capture(m *emu.Machine) *Trace {
 	t.pred = p.Stats
 	t.output = m.Output()
 	t.err = m.Err()
+	if cancelled != nil {
+		t.err = cancelled
+	}
 	return t
 }
 
 // Len returns the number of recorded dynamic instructions.
 func (t *Trace) Len() int { return t.n }
+
+// Excerpt copies out the first n records of the stream (fewer when the
+// trace is shorter): the serving layer's dynamic-trace excerpts and
+// debugging printers read the stream without touching the chunk layout.
+func (t *Trace) Excerpt(n int) []cpu.Rec {
+	if n > t.n {
+		n = t.n
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]cpu.Rec, 0, n)
+	for _, c := range t.chunks {
+		rem := n - len(out)
+		if rem <= 0 {
+			break
+		}
+		if rem > len(c) {
+			rem = len(c)
+		}
+		out = append(out, c[:rem]...)
+	}
+	return out
+}
 
 // Err returns the capture's termination error (nil after a clean halt).
 func (t *Trace) Err() error { return t.err }
