@@ -2,7 +2,7 @@ GO       ?= go
 FUZZTIME ?= 10s
 BASE     ?= BENCH_PR2.json
 
-.PHONY: all build vet test race race-experiments bench benchcmp check-experiments serve-smoke fuzz verify clean
+.PHONY: all build vet test race race-experiments bench benchcmp check-experiments serve-smoke load-smoke check-docs fuzz verify clean
 
 all: build test
 
@@ -49,6 +49,19 @@ check-experiments:
 serve-smoke:
 	$(GO) run ./cmd/servesmoke
 
+# End-to-end load smoke: a deliberately tiny disesrvd driven through
+# overflow → backoff → recovery and a SIGTERM drain mid-load, asserting no
+# lost or duplicated jobs and byte-identical cache-class responses, then
+# emitting a benchjson-compatible latency/outcome report.
+load-smoke:
+	$(GO) run ./cmd/loadsmoke
+
+# Docs drift gate: every cmd/* flag documented in README (and vice versa),
+# every internal/server route documented in docs/API.md, and every package
+# carrying a real package comment.
+check-docs:
+	$(GO) run ./cmd/checkdocs
+
 # Smoke-run every fuzzer for $(FUZZTIME) each. The fuzzers assert the
 # robustness contract: hostile input produces typed errors, never a panic.
 fuzz:
@@ -58,7 +71,7 @@ fuzz:
 	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzSubmitRequest$$' -fuzztime $(FUZZTIME)
 	$(GO) test . -run '^$$' -fuzz '^FuzzRun$$' -fuzztime $(FUZZTIME)
 
-verify: build vet race race-experiments serve-smoke fuzz
+verify: build vet race race-experiments serve-smoke load-smoke check-docs fuzz
 
 clean:
 	rm -f disefault experiments_full.txt.new

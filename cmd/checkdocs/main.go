@@ -1,0 +1,93 @@
+// checkdocs is the documentation drift gate behind `make check-docs`: it
+// inventories every cmd/* flag from the source, every internal/server
+// route, and every package clause, then fails when README's "Tool flags"
+// section, docs/API.md, or a package comment has drifted. It prints one
+// line per problem and exits non-zero if any exist.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/docscheck"
+)
+
+const modulePath = "repro"
+
+func main() {
+	root := flag.String("root", "", "repository root (default: walk up to go.mod)")
+	flag.Parse()
+	if err := run(*root); err != nil {
+		fmt.Fprintf(os.Stderr, "checkdocs: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(root string) error {
+	if root == "" {
+		var err error
+		if root, err = findRoot(); err != nil {
+			return err
+		}
+	}
+	var problems []string
+
+	registered, err := docscheck.CmdFlags(root, modulePath)
+	if err != nil {
+		return err
+	}
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		return err
+	}
+	documented, err := docscheck.ReadmeFlags(string(readme))
+	if err != nil {
+		return err
+	}
+	problems = append(problems, docscheck.CompareFlags(registered, documented)...)
+
+	routes, err := docscheck.ServerRoutes(root)
+	if err != nil {
+		return err
+	}
+	apiDoc, err := os.ReadFile(filepath.Join(root, "docs", "API.md"))
+	if err != nil {
+		return err
+	}
+	problems = append(problems, docscheck.CompareRoutes(routes, string(apiDoc))...)
+
+	missing, err := docscheck.MissingPackageComments(root)
+	if err != nil {
+		return err
+	}
+	problems = append(problems, missing...)
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		return fmt.Errorf("%d documentation drift problem(s)", len(problems))
+	}
+	fmt.Println("check-docs: ok")
+	return nil
+}
+
+// findRoot walks up from the working directory to the enclosing go.mod.
+func findRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}

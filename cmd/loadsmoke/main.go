@@ -1,0 +1,170 @@
+// loadsmoke is the end-to-end load test behind `make load-smoke`: it builds
+// disesrvd, starts a deliberately tiny instance (one worker, two queue
+// slots), and drives it through the SDK-based load harness (internal/load)
+// across three phases:
+//
+//  1. overflow probe — a no-retry burst of slow, cache-distinct jobs wider
+//     than worker + queue capacity, asserting the server sheds the excess
+//     with 429s instead of queueing without bound;
+//  2. recovery — a retrying closed loop over the smoke job, asserting the
+//     SDK's backoff absorbs every 429 (zero failed jobs), the client and
+//     server ledgers agree exactly (no lost or duplicated jobs), and every
+//     response is byte-identical to its cache-class golden;
+//  3. drain — SIGTERM mid-load, asserting in-flight jobs finish, late jobs
+//     fail loudly (counted, never lost), successful responses still match
+//     the goldens recorded before the signal, and the daemon exits 0.
+//
+// It prints a benchjson-compatible latency/outcome report for the recovery
+// phase and exits non-zero with a diagnostic on the first violation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/load"
+	"repro/internal/server"
+)
+
+const spinAsm = ".entry main\nmain:\n    br zero, main\n"
+
+func main() {
+	jsonOut := flag.String("json", "", "also write the recovery-phase benchjson report here")
+	flag.Parse()
+	if err := run(*jsonOut); err != nil {
+		fmt.Fprintf(os.Stderr, "loadsmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("load-smoke: ok")
+}
+
+func run(jsonOut string) error {
+	dir, err := os.MkdirTemp("", "loadsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Capacity 3: one worker plus two queue slots, so overflow is cheap to hit.
+	d, err := load.BuildAndStart(dir, "-workers", "1", "-queue", "2")
+	if err != nil {
+		return err
+	}
+	defer d.Kill()
+	ctx := context.Background()
+
+	goldens := load.NewGoldens()
+	quick := []load.Entry{{Name: "quickstart", Weight: 1, Req: server.SmokeRequest()}}
+
+	// Phase 1: overflow probe. Spinning jobs hold the worker for their full
+	// 300ms timeout and distinct budgets defeat cache dedup, so a burst of 8
+	// against capacity 3 must shed at least 5 as 429s. No retries: every
+	// rejection is a counted client-side failure, not a wait.
+	probe := client.New(d.Base, client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: 1}))
+	spin := []load.Entry{{Name: "spin", Weight: 1, Req: &server.SubmitRequest{
+		Asm: spinAsm, BudgetInsts: 1 << 40, TimeoutMS: 300,
+	}}}
+	rep1, err := load.Run(ctx, load.Options{
+		Client: probe, Mix: spin, Concurrency: 8, MaxRequests: 8,
+		Duration: 30 * time.Second, Classes: 8,
+	})
+	if err != nil {
+		return fmt.Errorf("overflow probe: %w", err)
+	}
+	fmt.Println("phase 1 (overflow):", rep1.Summary())
+	if rep1.Failed["overloaded"] < 1 {
+		return fmt.Errorf("overflow probe: no 429s from a burst of 8 against capacity 3: %+v", rep1)
+	}
+	overloaded, timedOut := rep1.Failed["overloaded"], rep1.Failed["timeout"]
+
+	// Phase 2: recovery. The same tiny server, a wider closed loop, retries
+	// on: every job must land despite residual backpressure.
+	retrying := client.New(d.Base, client.WithRetryPolicy(client.RetryPolicy{
+		MaxAttempts: 10, BaseBackoff: 20 * time.Millisecond, MaxBackoff: time.Second,
+	}))
+	rep2, err := load.Run(ctx, load.Options{
+		Client: retrying, Mix: quick, Concurrency: 8, MaxRequests: 64,
+		Duration: 60 * time.Second, Classes: 2, Golden: true, Goldens: goldens,
+	})
+	if err != nil {
+		return fmt.Errorf("recovery phase: %w", err)
+	}
+	fmt.Println("phase 2 (recovery):", rep2.Summary())
+	if rep2.Done != 64 || len(rep2.Failed) != 0 {
+		return fmt.Errorf("recovery phase: done %d failed %v, want all 64 done", rep2.Done, rep2.Failed)
+	}
+
+	// Ledger reconciliation: the server's terminal counters must agree with
+	// the client's. A lost job would leave server done short; a duplicated
+	// one would push it over.
+	sp, err := retrying.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if sp.Jobs.Done != rep2.Done {
+		return fmt.Errorf("ledger mismatch: server done %d, client done %d", sp.Jobs.Done, rep2.Done)
+	}
+	if sp.Jobs.TimedOut != timedOut {
+		return fmt.Errorf("ledger mismatch: server timeouts %d, probe timeouts %d", sp.Jobs.TimedOut, timedOut)
+	}
+	if sp.Jobs.Rejected < overloaded {
+		return fmt.Errorf("ledger mismatch: server rejected %d < client-observed 429s %d", sp.Jobs.Rejected, overloaded)
+	}
+
+	// Phase 3: SIGTERM mid-load. Late failures are tolerated (and counted);
+	// lost jobs, duplicate side effects, or golden divergence are not.
+	fast := client.New(d.Base, client.WithRetryPolicy(client.RetryPolicy{
+		MaxAttempts: 2, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 50 * time.Millisecond,
+		Jitter: func(time.Duration) time.Duration { return 10 * time.Millisecond },
+	}))
+	var (
+		rep3    *load.Report
+		loopErr error
+		wg      sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rep3, loopErr = load.Run(ctx, load.Options{
+			Client: fast, Mix: quick, Concurrency: 4,
+			Duration: 3 * time.Second, Classes: 2, Golden: true, Goldens: goldens,
+		})
+	}()
+	time.Sleep(300 * time.Millisecond)
+	if err := d.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := d.WaitExit(15 * time.Second); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	wg.Wait()
+	if loopErr != nil {
+		return fmt.Errorf("drain phase: %w", loopErr)
+	}
+	fmt.Println("phase 3 (drain):   ", rep3.Summary())
+	if rep3.Done < 1 {
+		return fmt.Errorf("drain phase: nothing completed before the signal: %+v", rep3)
+	}
+	if !rep3.Accounted() {
+		return fmt.Errorf("drain phase: accounting hole: %+v", rep3)
+	}
+
+	// The recovery-phase latency/outcome report, benchjson-shaped.
+	data, err := load.WriteBenchJSON(rep2.BenchJSON("loadsmoke"))
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(data)
+	if jsonOut != "" {
+		if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,9 +1,10 @@
 // servesmoke is the end-to-end smoke test behind `make serve-smoke`: it
-// builds disesrvd, starts it on a random port, submits the committed smoke
-// job (the quickstart program + store-counting productions), and asserts
+// builds disesrvd, starts it on a random port, and drives it through the
+// typed SDK (internal/client), asserting
 //
-//   - the response matches the committed golden numbers (server.SmokeWant,
-//     the same truth examples/quickstart pins via internal/goldentest);
+//   - the committed smoke job's response matches the golden numbers
+//     (server.SmokeWant, the same truth examples/quickstart pins via
+//     internal/goldentest);
 //   - an identical resubmission is served from the trace cache with a
 //     byte-identical result and a visible /stats hit counter;
 //   - a timing-only knob change (machine width) still hits the cache;
@@ -14,15 +15,14 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"net/http"
 	"os"
-	"os/exec"
-	"path/filepath"
 	"syscall"
 	"time"
 
+	"repro/internal/client"
+	"repro/internal/load"
 	"repro/internal/server"
 )
 
@@ -34,14 +34,6 @@ func main() {
 	fmt.Println("serve-smoke: ok")
 }
 
-type rawResponse struct {
-	ID      string          `json:"id"`
-	Outcome string          `json:"outcome"`
-	Cached  bool            `json:"cached"`
-	Result  json.RawMessage `json:"result"`
-	Error   string          `json:"error"`
-}
-
 func run() error {
 	dir, err := os.MkdirTemp("", "servesmoke")
 	if err != nil {
@@ -49,41 +41,26 @@ func run() error {
 	}
 	defer os.RemoveAll(dir)
 
-	bin := filepath.Join(dir, "disesrvd")
-	build := exec.Command("go", "build", "-o", bin, "./cmd/disesrvd")
-	build.Stderr = os.Stderr
-	if err := build.Run(); err != nil {
-		return fmt.Errorf("building disesrvd: %w", err)
-	}
-
-	addrFile := filepath.Join(dir, "addr")
-	srv := exec.Command(bin, "-addr", "127.0.0.1:0", "-addr-file", addrFile, "-workers", "2")
-	srv.Stderr = os.Stderr
-	if err := srv.Start(); err != nil {
-		return fmt.Errorf("starting disesrvd: %w", err)
-	}
-	exited := make(chan error, 1)
-	go func() { exited <- srv.Wait() }()
-	defer srv.Process.Kill()
-
-	base, err := waitReady(addrFile, exited)
+	d, err := load.BuildAndStart(dir, "-workers", "2")
 	if err != nil {
 		return err
 	}
+	defer d.Kill()
 
-	req, err := json.Marshal(server.SmokeRequest())
-	if err != nil {
-		return err
-	}
-	first, err := submit(base, req)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c := client.New(d.Base)
+
+	first, err := c.Submit(ctx, server.SmokeRequest())
 	if err != nil {
 		return err
 	}
 	if first.Outcome != "done" || first.Cached {
-		return fmt.Errorf("first submission: outcome=%q cached=%v (err %q), want live done", first.Outcome, first.Cached, first.Error)
+		return fmt.Errorf("first submission: outcome=%q cached=%v (err %q), want live done",
+			first.Outcome, first.Cached, first.Error)
 	}
-	var p server.ResultPayload
-	if err := json.Unmarshal(first.Result, &p); err != nil {
+	p, err := first.Payload()
+	if err != nil {
 		return err
 	}
 	got := struct{ Cycles, Insts, Mispredicts, DiseStalls int64 }{p.Cycles, p.Insts, p.Mispredicts, p.DiseStalls}
@@ -91,7 +68,7 @@ func run() error {
 		return fmt.Errorf("golden drift: got %+v, want %+v", got, server.SmokeWant)
 	}
 
-	second, err := submit(base, req)
+	second, err := c.Submit(ctx, server.SmokeRequest())
 	if err != nil {
 		return err
 	}
@@ -104,83 +81,26 @@ func run() error {
 
 	wide := server.SmokeRequest()
 	wide.Machine.Width = 8
-	wreq, err := json.Marshal(wide)
-	if err != nil {
-		return err
-	}
-	third, err := submit(base, wreq)
+	third, err := c.Submit(ctx, wide)
 	if err != nil {
 		return err
 	}
 	if !third.Cached {
 		return fmt.Errorf("timing-only variant missed the cache")
 	}
-	var sp server.StatsPayload
-	if err := getJSON(base+"/stats", &sp); err != nil {
+	sp, err := c.Stats(ctx)
+	if err != nil {
 		return err
 	}
 	if sp.Cache.Misses != 1 || sp.Cache.Hits != 2 {
 		return fmt.Errorf("cache counters %+v, want 1 miss / 2 hits", sp.Cache)
 	}
 
-	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+	if err := d.Signal(syscall.SIGTERM); err != nil {
 		return err
 	}
-	select {
-	case err := <-exited:
-		if err != nil {
-			return fmt.Errorf("disesrvd exited uncleanly after SIGTERM: %w", err)
-		}
-	case <-time.After(15 * time.Second):
-		return fmt.Errorf("disesrvd did not exit within 15s of SIGTERM")
+	if err := d.WaitExit(15 * time.Second); err != nil {
+		return fmt.Errorf("after SIGTERM: %w", err)
 	}
 	return nil
-}
-
-// waitReady polls for the daemon's bound address and a passing health check.
-func waitReady(addrFile string, exited <-chan error) (string, error) {
-	deadline := time.Now().Add(15 * time.Second)
-	for time.Now().Before(deadline) {
-		select {
-		case err := <-exited:
-			return "", fmt.Errorf("disesrvd exited during startup: %v", err)
-		default:
-		}
-		if addr, err := os.ReadFile(addrFile); err == nil && len(addr) > 0 {
-			base := "http://" + string(addr)
-			if resp, err := http.Get(base + "/healthz"); err == nil {
-				resp.Body.Close()
-				if resp.StatusCode == http.StatusOK {
-					return base, nil
-				}
-			}
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	return "", fmt.Errorf("disesrvd not ready within 15s")
-}
-
-func submit(base string, body []byte) (*rawResponse, error) {
-	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	var out rawResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("submit: status %d: %s", resp.StatusCode, out.Error)
-	}
-	return &out, nil
-}
-
-func getJSON(url string, v any) error {
-	resp, err := http.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	return json.NewDecoder(resp.Body).Decode(v)
 }

@@ -1,0 +1,7 @@
+// Package docs holds the prose documentation (API.md, PRODUCTIONS.md) and
+// the executable tests that keep it honest: every fenced production
+// example is compiled by the real parser, every API example body is
+// accepted by a real server, and every wire field documented in API.md is
+// cross-checked against the serving types' JSON tags. `make check-docs`
+// adds the flag/route drift gate on top (cmd/checkdocs).
+package docs

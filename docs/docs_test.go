@@ -1,0 +1,134 @@
+package docs
+
+// These tests make the documentation executable: the fenced examples in
+// PRODUCTIONS.md must compile with the real production parser, the curl
+// bodies in API.md must be accepted by a real server, and every JSON field
+// of the serving types must be documented in API.md. A doc edit that
+// drifts from the implementation fails `go test ./docs`.
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// fencedBlocks returns the contents of every ```lang fenced block in file.
+func fencedBlocks(t *testing.T, file, lang string) []string {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks []string
+	var cur []string
+	in := false
+	for _, line := range strings.Split(string(data), "\n") {
+		switch {
+		case !in && strings.TrimSpace(line) == "```"+lang:
+			in, cur = true, nil
+		case in && strings.TrimSpace(line) == "```":
+			in = false
+			blocks = append(blocks, strings.Join(cur, "\n")+"\n")
+		case in:
+			cur = append(cur, line)
+		}
+	}
+	if in {
+		t.Fatalf("%s: unterminated ```%s block", file, lang)
+	}
+	return blocks
+}
+
+// TestProductionExamplesCompile installs every ```dise block in
+// PRODUCTIONS.md on a real controller.
+func TestProductionExamplesCompile(t *testing.T) {
+	blocks := fencedBlocks(t, "PRODUCTIONS.md", "dise")
+	if len(blocks) < 3 {
+		t.Fatalf("PRODUCTIONS.md has %d ```dise examples, expected several", len(blocks))
+	}
+	for i, src := range blocks {
+		if _, err := core.NewController(core.DefaultEngineConfig()).InstallFile(src, nil); err != nil {
+			t.Errorf("example %d does not compile: %v\n%s", i+1, err, src)
+		}
+	}
+}
+
+// curlBodies extracts the single-quoted -d payloads from the curl examples.
+func curlBodies(t *testing.T, file string) []string {
+	t.Helper()
+	var bodies []string
+	for _, block := range fencedBlocks(t, file, "bash") {
+		if !strings.Contains(block, "-d '") {
+			continue
+		}
+		_, rest, _ := strings.Cut(block, "-d '")
+		body, _, ok := strings.Cut(rest, "'")
+		if !ok {
+			t.Fatalf("%s: unterminated curl body in %q", file, block)
+		}
+		bodies = append(bodies, body)
+	}
+	return bodies
+}
+
+// TestAPIExamplesAccepted replays every documented curl submission against
+// a real in-process server and requires a 200.
+func TestAPIExamplesAccepted(t *testing.T) {
+	bodies := curlBodies(t, "API.md")
+	if len(bodies) < 3 {
+		t.Fatalf("API.md has %d curl submissions, expected several", len(bodies))
+	}
+	srv := server.New(server.Config{
+		Log: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Drain() }()
+	for i, body := range bodies {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("curl example %d: status %d: %s\nbody: %s", i+1, resp.StatusCode, out, body)
+		}
+	}
+}
+
+// TestAPIDocumentsEveryWireField walks the JSON tags of the serving types
+// and requires each to appear as a `code` literal in API.md, so a field
+// added to the wire without documentation fails here.
+func TestAPIDocumentsEveryWireField(t *testing.T) {
+	doc, err := os.ReadFile("API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range []any{
+		server.SubmitRequest{}, server.MachineSpec{}, server.EngineSpec{},
+		server.SubmitResponse{}, server.ResultPayload{}, server.EnginePayload{},
+		server.StatsPayload{}, server.JobStats{}, server.CacheStats{},
+		server.LatencyStats{},
+	} {
+		rt := reflect.TypeOf(typ)
+		for i := 0; i < rt.NumField(); i++ {
+			tag, _, _ := strings.Cut(rt.Field(i).Tag.Get("json"), ",")
+			if tag == "" || tag == "-" {
+				continue
+			}
+			if !bytes.Contains(doc, []byte("`"+tag+"`")) {
+				t.Errorf("API.md does not document %s.%s (json field `%s`)",
+					rt.Name(), rt.Field(i).Name, tag)
+			}
+		}
+	}
+}

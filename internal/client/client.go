@@ -1,0 +1,397 @@
+// Package client is the typed Go SDK for the disesrvd HTTP API
+// (docs/API.md). It wraps the three endpoints — POST /v1/jobs, GET
+// /healthz, GET /stats — behind context-aware methods on a reusable
+// Client:
+//
+//   - connections are pooled and reused across requests (the default
+//     transport raises the per-host idle limit so a load generator does not
+//     open a socket per job);
+//
+//   - transient failures — transport errors, 429 queue overflow, non-drain
+//     503s — are retried with jittered exponential backoff, honoring the
+//     server's Retry-After hint, under a bounded attempt budget. Retrying a
+//     submission is safe by construction: job results are deterministic
+//     functions of the request and content-addressed by the server's trace
+//     cache, so a duplicate execution can only produce the identical bytes
+//     (and usually just hits the cache);
+//
+//   - failures are typed: HTTP-level outcomes become *APIError values
+//     matchable with errors.Is against the sentinel for their status class,
+//     and architecturally trapped jobs surface as *TrapError values
+//     mirroring the emulator's emu.TrapKind taxonomy.
+//
+// The deterministic result body is kept as raw bytes (JobResponse.Result),
+// so callers can assert byte-identity across resubmissions — the property
+// the serving layer's cache contract guarantees — before decoding.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/emu"
+	"repro/internal/server"
+)
+
+// Sentinel errors classifying SDK failures; match with errors.Is. The
+// status-class sentinels also match the *APIError carrying them.
+var (
+	// ErrOverloaded: the admission queue was full (HTTP 429).
+	ErrOverloaded = errors.New("server overloaded")
+	// ErrUnavailable: the server is draining or otherwise refusing work
+	// (HTTP 503).
+	ErrUnavailable = errors.New("server unavailable")
+	// ErrInvalid: the server rejected the job at validation (HTTP 400).
+	ErrInvalid = errors.New("invalid job")
+	// ErrJobTimeout: the job's wall-clock deadline expired server-side
+	// (HTTP 504). Not retried — a retry would spend the same deadline again.
+	ErrJobTimeout = errors.New("job deadline exceeded")
+	// ErrRetryBudget: the retry budget was exhausted without a terminal
+	// answer; the error chain includes the last attempt's failure.
+	ErrRetryBudget = errors.New("retry budget exhausted")
+)
+
+// APIError is a non-200 answer from the server, or the terminal failure of
+// the retry loop. errors.Is matches it against the sentinel for its status
+// (429 → ErrOverloaded, 503 → ErrUnavailable, 400 → ErrInvalid,
+// 504 → ErrJobTimeout).
+type APIError struct {
+	Status     int           // HTTP status code (0 for pure transport errors)
+	Outcome    string        // server outcome string ("rejected", "unavailable", ...)
+	Message    string        // server error text
+	RetryAfter time.Duration // parsed Retry-After hint, 0 when absent
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("server: %d %s: %s", e.Status, e.Outcome, e.Message)
+	}
+	return fmt.Sprintf("server: %d %s", e.Status, e.Outcome)
+}
+
+// Is matches the sentinel corresponding to the error's HTTP status.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrOverloaded:
+		return e.Status == http.StatusTooManyRequests
+	case ErrUnavailable:
+		return e.Status == http.StatusServiceUnavailable
+	case ErrInvalid:
+		return e.Status == http.StatusBadRequest
+	case ErrJobTimeout:
+		return e.Status == http.StatusGatewayTimeout
+	}
+	return false
+}
+
+// TrapError reports a job that ran to an architectural trap (outcome
+// "trapped"): the simulation itself succeeded, the guest program died. Kind
+// mirrors the emulator's trap taxonomy (emu.TrapKind), recovered from the
+// wire form of ResultPayload.Trap.
+type TrapError struct {
+	Kind   emu.TrapKind
+	Detail string // ResultPayload.Error: the trap's full message
+}
+
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("job trapped: %s: %s", e.Kind, e.Detail)
+}
+
+// trapKinds maps the wire form of a trap kind back to the emulator's
+// enumeration, built from the authoritative String method so the two can
+// never drift.
+var trapKinds = func() map[string]emu.TrapKind {
+	m := make(map[string]emu.TrapKind, int(emu.NumTrapKinds))
+	for k := emu.TrapKind(0); k < emu.NumTrapKinds; k++ {
+		m[k.String()] = k
+	}
+	return m
+}()
+
+// JobResponse is the SDK's view of one POST /v1/jobs answer. Result is the
+// deterministic payload as raw bytes: for a given request it is
+// byte-identical across resubmissions (live, cached, or retried), so
+// callers can compare it directly before decoding.
+type JobResponse struct {
+	ID      string          `json:"id"`
+	Outcome string          `json:"outcome"` // "done" or "trapped"
+	Cached  bool            `json:"cached"`
+	QueueUS int64           `json:"queue_us"`
+	RunUS   int64           `json:"run_us"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// Payload decodes the deterministic result body.
+func (r *JobResponse) Payload() (*server.ResultPayload, error) {
+	if len(r.Result) == 0 {
+		return nil, fmt.Errorf("response %s has no result", r.ID)
+	}
+	var p server.ResultPayload
+	if err := json.Unmarshal(r.Result, &p); err != nil {
+		return nil, fmt.Errorf("decoding result: %w", err)
+	}
+	return &p, nil
+}
+
+// Trap returns the job's architectural trap as a typed error, or nil for a
+// clean halt. An unrecognized wire kind maps to emu.TrapNone rather than an
+// error: the detail text still carries the full story.
+func (r *JobResponse) Trap() *TrapError {
+	if r.Outcome != "trapped" {
+		return nil
+	}
+	p, err := r.Payload()
+	if err != nil || p.Trap == "" {
+		return &TrapError{Detail: r.Error}
+	}
+	return &TrapError{Kind: trapKinds[p.Trap], Detail: p.Error}
+}
+
+// RetryPolicy bounds and shapes the retry loop. The zero value takes the
+// documented defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 5). 1 disables retries.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential schedule: attempt k waits
+	// ~BaseBackoff·2^(k-1), capped at MaxBackoff (defaults 100ms, 5s). A
+	// server Retry-After hint raises the wait when it is longer.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter perturbs a computed delay; the default draws uniformly from
+	// [d/2, d] so synchronized clients spread out. Tests substitute a
+	// deterministic function.
+	Jitter func(d time.Duration) time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.Jitter == nil {
+		p.Jitter = func(d time.Duration) time.Duration {
+			if d <= 0 {
+				return 0
+			}
+			return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+		}
+	}
+	return p
+}
+
+// Client talks to one disesrvd instance. It is safe for concurrent use;
+// the load generator shares one across all its workers so the connection
+// pool is shared too.
+type Client struct {
+	base   string
+	hc     *http.Client
+	policy RetryPolicy
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetryPolicy substitutes the retry policy.
+func WithRetryPolicy(p RetryPolicy) Option { return func(c *Client) { c.policy = p } }
+
+// New builds a Client for the server at base — a host:port or an http://
+// URL. The default transport allows as many idle connections per host as
+// the default pool size, so sustained concurrent load reuses sockets.
+func New(base string, opts ...Option) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 256
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Transport: t},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.policy = c.policy.withDefaults()
+	return c
+}
+
+// Base returns the normalized base URL the client talks to.
+func (c *Client) Base() string { return c.base }
+
+// Submit runs one job, retrying transport errors, 429s and non-drain 503s
+// under the client's retry policy. A 200 answer is returned whether the
+// guest program halted cleanly or trapped — use JobResponse.Trap to
+// distinguish. Terminal failures return an error matchable with errors.Is
+// against the sentinel classes; when the retry budget runs out the error
+// additionally matches ErrRetryBudget.
+func (c *Client) Submit(ctx context.Context, req *server.SubmitRequest) (*JobResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encoding request: %w", err)
+	}
+	var last error
+	for attempt := 1; attempt <= c.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := c.sleep(ctx, c.backoff(attempt-1, last)); err != nil {
+				return nil, err
+			}
+		}
+		jr, err := c.submitOnce(ctx, body)
+		if err == nil {
+			return jr, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+		last = err
+	}
+	return nil, fmt.Errorf("%w after %d attempts: %w", ErrRetryBudget, c.policy.MaxAttempts, last)
+}
+
+// submitOnce performs one POST /v1/jobs exchange.
+func (c *Client) submitOnce(ctx context.Context, body []byte) (*JobResponse, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	defer resp.Body.Close()
+	var jr JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return nil, fmt.Errorf("status %d with undecodable body: %w", resp.StatusCode, err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		return &jr, nil
+	}
+	return nil, &APIError{
+		Status:     resp.StatusCode,
+		Outcome:    jr.Outcome,
+		Message:    jr.Error,
+		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+	}
+}
+
+// retryable reports whether err is worth another attempt: transport
+// failures (the connection may heal, the write is idempotent) and
+// backpressure answers. Drain 503s are retried too — against a re-deployed
+// listener the next attempt succeeds; against a dying one the budget
+// bounds the wait.
+func retryable(err error) bool {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		return true // transport or decode failure
+	}
+	return ae.Status == http.StatusTooManyRequests || ae.Status == http.StatusServiceUnavailable
+}
+
+// backoff computes the wait before retry number retries+1: the jittered
+// exponential schedule, floored by the server's Retry-After hint when the
+// last failure carried one.
+func (c *Client) backoff(retries int, last error) time.Duration {
+	d := c.policy.BaseBackoff << (retries - 1)
+	if d > c.policy.MaxBackoff || d <= 0 {
+		d = c.policy.MaxBackoff
+	}
+	var ae *APIError
+	if errors.As(last, &ae) && ae.RetryAfter > d {
+		d = ae.RetryAfter
+	}
+	return c.policy.Jitter(d)
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	sec, err := strconv.Atoi(h)
+	if err != nil || sec < 0 {
+		return 0
+	}
+	return time.Duration(sec) * time.Second
+}
+
+// Healthz reports the server's readiness: ok is true for a 200, draining
+// mirrors the body's flag. No retries — health checks are themselves the
+// probe.
+func (c *Client) Healthz(ctx context.Context) (ok, draining bool, err error) {
+	var body struct {
+		OK       bool `json:"ok"`
+		Draining bool `json:"draining"`
+	}
+	status, err := c.getJSON(ctx, "/healthz", &body)
+	if err != nil {
+		return false, false, err
+	}
+	return status == http.StatusOK, body.Draining, nil
+}
+
+// Stats fetches the serving counters (queue, cache, outcomes, latency
+// histograms). No retries.
+func (c *Client) Stats(ctx context.Context) (*server.StatsPayload, error) {
+	var sp server.StatsPayload
+	if _, err := c.getJSON(ctx, "/stats", &sp); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) (int, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return 0, fmt.Errorf("transport: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return resp.StatusCode, fmt.Errorf("GET %s: status %d: %w", path, resp.StatusCode, err)
+	}
+	return resp.StatusCode, nil
+}

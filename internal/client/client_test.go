@@ -1,0 +1,208 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/emu"
+	"repro/internal/server"
+)
+
+// script serves a fixed sequence of canned answers, then repeats the last.
+type script struct {
+	calls atomic.Int64
+	steps []func(w http.ResponseWriter)
+}
+
+func (s *script) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		i := int(s.calls.Add(1)) - 1
+		if i >= len(s.steps) {
+			i = len(s.steps) - 1
+		}
+		s.steps[i](w)
+	})
+}
+
+func answer(status int, retryAfter string, body any) func(http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(body)
+	}
+}
+
+func okBody() any {
+	return map[string]any{
+		"id": "job-000001", "outcome": "done", "cached": false,
+		"result": map[string]any{"cycles": 193, "insts": 24},
+	}
+}
+
+func rejectedBody() any {
+	return map[string]any{"id": "job-000001", "outcome": "rejected", "error": "job queue is full"}
+}
+
+// fastPolicy retries immediately and records every computed delay, so the
+// test can assert the backoff schedule without sleeping through it.
+func fastPolicy(attempts int, delays *[]time.Duration) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: attempts,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  40 * time.Millisecond,
+		Jitter: func(d time.Duration) time.Duration {
+			*delays = append(*delays, d)
+			return 0
+		},
+	}
+}
+
+func TestSubmitRetriesThroughOverload(t *testing.T) {
+	// 429 → 429 → 200: the submission must succeed on the third attempt.
+	sc := &script{steps: []func(http.ResponseWriter){
+		answer(429, "2", rejectedBody()),
+		answer(429, "", rejectedBody()),
+		answer(200, "", okBody()),
+	}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := New(ts.URL, WithRetryPolicy(fastPolicy(5, &delays)))
+	resp, err := c.Submit(context.Background(), &server.SubmitRequest{Bench: "gzip"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if resp.Outcome != "done" {
+		t.Errorf("outcome %q, want done", resp.Outcome)
+	}
+	if got := sc.calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+	// First wait honors the 2s Retry-After (> 10ms base); second falls back
+	// to the exponential schedule (base << 1 = 20ms).
+	if len(delays) != 2 || delays[0] != 2*time.Second || delays[1] != 20*time.Millisecond {
+		t.Errorf("backoff schedule %v, want [2s 20ms]", delays)
+	}
+}
+
+func TestSubmitRetryBudgetExhausted(t *testing.T) {
+	sc := &script{steps: []func(http.ResponseWriter){answer(429, "", rejectedBody())}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := New(ts.URL, WithRetryPolicy(fastPolicy(3, &delays)))
+	_, err := c.Submit(context.Background(), &server.SubmitRequest{Bench: "gzip"})
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("err = %v, want ErrRetryBudget", err)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Errorf("err = %v, should also match ErrOverloaded (last failure class)", err)
+	}
+	if got := sc.calls.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want MaxAttempts = 3", got)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 429 {
+		t.Errorf("err chain misses the *APIError: %v", err)
+	}
+}
+
+func TestSubmitDoesNotRetryTerminalStatuses(t *testing.T) {
+	cases := []struct {
+		status   int
+		outcome  string
+		sentinel error
+	}{
+		{400, "invalid", ErrInvalid},
+		{504, "timeout", ErrJobTimeout},
+	}
+	for _, cse := range cases {
+		sc := &script{steps: []func(http.ResponseWriter){
+			answer(cse.status, "", map[string]any{"outcome": cse.outcome, "error": "nope"}),
+		}}
+		ts := httptest.NewServer(sc.handler())
+		var delays []time.Duration
+		c := New(ts.URL, WithRetryPolicy(fastPolicy(5, &delays)))
+		_, err := c.Submit(context.Background(), &server.SubmitRequest{})
+		if !errors.Is(err, cse.sentinel) {
+			t.Errorf("status %d: err = %v, want sentinel %v", cse.status, err, cse.sentinel)
+		}
+		if errors.Is(err, ErrRetryBudget) {
+			t.Errorf("status %d: terminal failure reported as budget exhaustion", cse.status)
+		}
+		if got := sc.calls.Load(); got != 1 {
+			t.Errorf("status %d: server saw %d requests, want 1 (no retries)", cse.status, got)
+		}
+		ts.Close()
+	}
+}
+
+func TestSubmitRetriesTransportErrors(t *testing.T) {
+	// A server that dies after accepting the connection produces a transport
+	// error; the retry loop must classify it as retryable and eventually
+	// exhaust the budget with ErrRetryBudget.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer ts.Close()
+
+	var delays []time.Duration
+	c := New(ts.URL, WithRetryPolicy(fastPolicy(2, &delays)))
+	_, err := c.Submit(context.Background(), &server.SubmitRequest{})
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("err = %v, want ErrRetryBudget", err)
+	}
+}
+
+func TestSubmitHonorsContextCancellation(t *testing.T) {
+	sc := &script{steps: []func(http.ResponseWriter){answer(429, "30", rejectedBody())}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	// Real jitter here: the 30s Retry-After must lose to the 50ms deadline.
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 5}))
+	start := time.Now()
+	_, err := c.Submit(ctx, &server.SubmitRequest{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("Submit slept %v through the cancelled context", elapsed)
+	}
+}
+
+func TestTrapErrorMirrorsEmuKinds(t *testing.T) {
+	jr := &JobResponse{
+		Outcome: "trapped",
+		Result:  json.RawMessage(`{"cycles": 1, "trap": "budget", "error": "budget exhausted at pc 0x40"}`),
+	}
+	te := jr.Trap()
+	if te == nil {
+		t.Fatal("Trap() = nil for a trapped response")
+	}
+	if te.Kind != emu.TrapBudget {
+		t.Errorf("kind = %v, want TrapBudget", te.Kind)
+	}
+	if done := (&JobResponse{Outcome: "done"}).Trap(); done != nil {
+		t.Errorf("Trap() = %v for a clean response, want nil", done)
+	}
+	// Every emulator kind must round-trip through the wire form.
+	for k := emu.TrapKind(0); k < emu.NumTrapKinds; k++ {
+		if got, ok := trapKinds[k.String()]; !ok || got != k {
+			t.Errorf("kind %v does not round-trip (got %v, ok=%v)", k, got, ok)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package docscheck implements the documentation drift gates behind
+// `make check-docs` (cmd/checkdocs): every flag a cmd/* binary registers
+// must be documented in README.md's "Tool flags" section and vice versa,
+// every HTTP route internal/server registers must appear in docs/API.md,
+// and every package must carry a real package comment. The inventories
+// come from the source itself (go/ast scans), so the gate cannot drift
+// from the code it checks.
+package docscheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// flagFuncs maps the flag-package constructors to the index of their name
+// argument (flag.String("name", ...) vs flag.StringVar(&v, "name", ...)).
+var flagFuncs = map[string]int{
+	"Bool": 0, "BoolVar": 1, "Duration": 0, "DurationVar": 1,
+	"Float64": 0, "Float64Var": 1, "Int": 0, "IntVar": 1,
+	"Int64": 0, "Int64Var": 1, "String": 0, "StringVar": 1,
+	"Uint": 0, "UintVar": 1, "Uint64": 0, "Uint64Var": 1,
+}
+
+// pkgFlags returns the flag names dir's package registers, following
+// imports under importPrefix (rooted at root) so flags registered by
+// shared helper packages (e.g. internal/profileflags) are attributed to
+// every command importing them.
+func pkgFlags(root, dir, importPrefix string, seen map[string]bool) ([]string, error) {
+	if seen[dir] {
+		return nil, nil
+	}
+	seen[dir] = true
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var flags []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if rel, ok := strings.CutPrefix(path, importPrefix+"/"); ok {
+				sub, err := pkgFlags(root, filepath.Join(root, rel), importPrefix, seen)
+				if err != nil {
+					return nil, err
+				}
+				flags = append(flags, sub...)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recv, ok := sel.X.(*ast.Ident)
+			if !ok || recv.Name != "flag" {
+				return true
+			}
+			argIdx, ok := flagFuncs[sel.Sel.Name]
+			if !ok || len(call.Args) <= argIdx {
+				return true
+			}
+			lit, ok := call.Args[argIdx].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, _ := strconv.Unquote(lit.Value)
+			flags = append(flags, name)
+			return true
+		})
+	}
+	sort.Strings(flags)
+	return flags, nil
+}
+
+// CmdFlags inventories the flags of every command under root/cmd, keyed by
+// command name.
+func CmdFlags(root, modulePath string) (map[string][]string, error) {
+	entries, err := os.ReadDir(filepath.Join(root, "cmd"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]string)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		flags, err := pkgFlags(root, filepath.Join(root, "cmd", e.Name()), modulePath, map[string]bool{})
+		if err != nil {
+			return nil, err
+		}
+		out[e.Name()] = flags
+	}
+	return out, nil
+}
+
+// toolFlagLine matches one entry of README's "Tool flags" section:
+//
+//	- `disesim`: `-bench` `-src` ...
+var toolFlagLine = regexp.MustCompile("^- `([a-z]+)`:(.*)$")
+
+// docFlag extracts the backticked flag tokens of a Tool flags entry.
+var docFlag = regexp.MustCompile("`-([a-z0-9-]+)`")
+
+// ReadmeFlags parses the "### Tool flags" section of README text into the
+// per-command documented flag sets.
+func ReadmeFlags(readme string) (map[string][]string, error) {
+	_, sect, ok := strings.Cut(readme, "### Tool flags")
+	if !ok {
+		return nil, fmt.Errorf("README has no \"### Tool flags\" section")
+	}
+	if i := strings.Index(sect, "\n#"); i >= 0 {
+		sect = sect[:i]
+	}
+	out := make(map[string][]string)
+	cur := "" // command whose (possibly wrapped) entry we are inside
+	for _, line := range strings.Split(sect, "\n") {
+		line = strings.TrimSpace(line)
+		if m := toolFlagLine.FindStringSubmatch(line); m != nil {
+			cur = m[1]
+			out[cur] = []string{}
+			line = m[2]
+		} else if strings.HasPrefix(line, "- ") || line == "" {
+			cur = "" // a non-command bullet or paragraph break ends the entry
+			continue
+		}
+		if cur == "" {
+			continue
+		}
+		for _, f := range docFlag.FindAllStringSubmatch(line, -1) {
+			out[cur] = append(out[cur], f[1])
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("README \"### Tool flags\" section documents no commands")
+	}
+	return out, nil
+}
+
+// CompareFlags diffs the registered flag inventory against the documented
+// one, in both directions, returning one problem string per drift.
+func CompareFlags(registered, documented map[string][]string) []string {
+	var problems []string
+	for _, cmd := range sortedKeys(registered) {
+		doc, ok := documented[cmd]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("README Tool flags section is missing command %q", cmd))
+			continue
+		}
+		docSet := toSet(doc)
+		for _, f := range registered[cmd] {
+			if !docSet[f] {
+				problems = append(problems, fmt.Sprintf("%s: flag -%s is not documented in README", cmd, f))
+			}
+		}
+		regSet := toSet(registered[cmd])
+		for _, f := range doc {
+			if !regSet[f] {
+				problems = append(problems, fmt.Sprintf("%s: README documents flag -%s, which the command does not register", cmd, f))
+			}
+		}
+	}
+	for _, cmd := range sortedKeys(documented) {
+		if _, ok := registered[cmd]; !ok {
+			problems = append(problems, fmt.Sprintf("README documents command %q, which does not exist under cmd/", cmd))
+		}
+	}
+	return problems
+}
+
+// routePattern matches mux.HandleFunc("METHOD /path", ...) literals.
+var routePattern = regexp.MustCompile(`HandleFunc\("([A-Z]+ /[^"]*)"`)
+
+// ServerRoutes inventories the routes internal/server registers.
+func ServerRoutes(root string) ([]string, error) {
+	dir := filepath.Join(root, "internal", "server")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var routes []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range routePattern.FindAllStringSubmatch(string(data), -1) {
+			routes = append(routes, m[1])
+		}
+	}
+	sort.Strings(routes)
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("no routes found in %s", dir)
+	}
+	return routes, nil
+}
+
+// CompareRoutes requires each registered route to appear verbatim in the
+// API documentation text.
+func CompareRoutes(routes []string, apiDoc string) []string {
+	var problems []string
+	for _, r := range routes {
+		if !strings.Contains(apiDoc, r) {
+			problems = append(problems, fmt.Sprintf("docs/API.md does not mention route %q", r))
+		}
+	}
+	return problems
+}
+
+// MissingPackageComments walks every package under root and reports those
+// whose package clause carries no doc comment (or a trivial one). Vendored
+// trees, testdata and hidden directories are skipped.
+func MissingPackageComments(root string) ([]string, error) {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		files, err := filepath.Glob(filepath.Join(path, "*.go"))
+		if err != nil {
+			return err
+		}
+		var srcs []string
+		for _, f := range files {
+			if !strings.HasSuffix(f, "_test.go") {
+				srcs = append(srcs, f)
+			}
+		}
+		if len(srcs) == 0 {
+			return nil
+		}
+		best := 0
+		fset := token.NewFileSet()
+		for _, f := range srcs {
+			parsed, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				return err
+			}
+			if parsed.Doc != nil {
+				if n := len(strings.Fields(parsed.Doc.Text())); n > best {
+					best = n
+				}
+			}
+		}
+		rel, _ := filepath.Rel(root, path)
+		if best == 0 {
+			problems = append(problems, fmt.Sprintf("package %s has no package comment", rel))
+		} else if best < 5 {
+			problems = append(problems, fmt.Sprintf("package %s has a trivial package comment (%d words); say what it is for", rel, best))
+		}
+		return nil
+	})
+	return problems, err
+}
+
+func toSet(ss []string) map[string]bool {
+	m := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

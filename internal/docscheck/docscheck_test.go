@@ -1,0 +1,128 @@
+package docscheck
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCmdFlagsScansSourceAndImports(t *testing.T) {
+	got, err := CmdFlags(filepath.Join("testdata", "flagtree"), "repro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Includes the StringVar form and the flag registered by the imported
+	// helper package (the profileflags pattern).
+	want := map[string][]string{"foo": {"bench", "cpuprofile", "o", "verbose"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("CmdFlags = %v, want %v", got, want)
+	}
+}
+
+const sampleReadme = `
+intro
+
+### Tool flags
+
+Some prose with no backticked flags.
+
+- ` + "`foo`" + `: ` + "`-bench`" + ` pick a benchmark, ` + "`-o`" + ` output,
+  ` + "`-verbose`" + ` wrapped onto a continuation line,
+  ` + "`-cpuprofile`" + ` profiling.
+- ` + "`bar`" + `: no flags.
+
+## Next section
+
+- ` + "`ghost`" + `: ` + "`-not-parsed`" + ` outside the section.
+`
+
+func TestReadmeFlagsParsesWrappedEntries(t *testing.T) {
+	got, err := ReadmeFlags(sampleReadme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]string{
+		"foo": {"bench", "o", "verbose", "cpuprofile"},
+		"bar": {},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ReadmeFlags = %v, want %v", got, want)
+	}
+	if _, err := ReadmeFlags("no such section"); err == nil {
+		t.Error("ReadmeFlags accepted a README without the Tool flags section")
+	}
+}
+
+// TestCompareFlagsCatchesDrift is the negative test the acceptance
+// criteria require: removing a flag from the docs (or the binary) must
+// produce a failure.
+func TestCompareFlagsCatchesDrift(t *testing.T) {
+	registered := map[string][]string{"foo": {"bench", "o"}}
+	clean := map[string][]string{"foo": {"bench", "o"}}
+	if p := CompareFlags(registered, clean); len(p) != 0 {
+		t.Fatalf("clean docs reported problems: %v", p)
+	}
+	cases := []struct {
+		name       string
+		documented map[string][]string
+		wantSubstr string
+	}{
+		{"flag removed from docs", map[string][]string{"foo": {"bench"}}, "flag -o is not documented"},
+		{"stale flag in docs", map[string][]string{"foo": {"bench", "o", "gone"}}, "-gone, which the command does not register"},
+		{"command missing from docs", map[string][]string{}, `missing command "foo"`},
+		{"stale command in docs", map[string][]string{"foo": {"bench", "o"}, "old": {}}, `documents command "old"`},
+	}
+	for _, c := range cases {
+		p := CompareFlags(registered, c.documented)
+		if len(p) == 0 {
+			t.Errorf("%s: no problem reported", c.name)
+			continue
+		}
+		if !strings.Contains(strings.Join(p, "\n"), c.wantSubstr) {
+			t.Errorf("%s: problems %v do not mention %q", c.name, p, c.wantSubstr)
+		}
+	}
+}
+
+func TestServerRoutesAgainstRealServer(t *testing.T) {
+	routes, err := ServerRoutes(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"GET /healthz", "GET /stats", "POST /v1/jobs"}
+	if !reflect.DeepEqual(routes, want) {
+		t.Errorf("ServerRoutes = %v, want %v (update docs/API.md and this test together)", routes, want)
+	}
+}
+
+// TestCompareRoutesCatchesRemovedRoute: deleting a route's mention from
+// API.md must fail the gate.
+func TestCompareRoutesCatchesRemovedRoute(t *testing.T) {
+	routes := []string{"GET /healthz", "POST /v1/jobs"}
+	doc := "endpoints: `POST /v1/jobs` and `GET /healthz`"
+	if p := CompareRoutes(routes, doc); len(p) != 0 {
+		t.Fatalf("complete doc reported problems: %v", p)
+	}
+	p := CompareRoutes(routes, "endpoints: `POST /v1/jobs`")
+	if len(p) != 1 || !strings.Contains(p[0], "GET /healthz") {
+		t.Errorf("missing route not reported: %v", p)
+	}
+}
+
+func TestMissingPackageComments(t *testing.T) {
+	problems, err := MissingPackageComments(filepath.Join("testdata", "commenttree"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(problems, "\n")
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want exactly 2 (bare and trivial)", problems)
+	}
+	if !strings.Contains(joined, "bare") || !strings.Contains(joined, "trivial") {
+		t.Errorf("problems %v do not name the bare and trivial packages", problems)
+	}
+	if strings.Contains(joined, "good") {
+		t.Errorf("the documented package was flagged: %v", problems)
+	}
+}

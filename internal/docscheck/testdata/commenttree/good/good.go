@@ -1,0 +1,2 @@
+// Package good carries a real package comment with enough words.
+package good

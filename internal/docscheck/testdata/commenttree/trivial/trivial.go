@@ -1,0 +1,2 @@
+// Package trivial.
+package trivial

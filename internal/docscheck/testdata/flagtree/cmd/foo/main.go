@@ -1,0 +1,17 @@
+// foo is a fixture command for the flag-inventory scan.
+package main
+
+import (
+	"flag"
+
+	_ "repro/internal/helper"
+)
+
+var out string
+
+func main() {
+	_ = flag.String("bench", "", "benchmark")
+	flag.StringVar(&out, "o", "", "output")
+	_ = flag.Bool("verbose", false, "chatty")
+	flag.Parse()
+}

@@ -1,0 +1,6 @@
+// Package helper registers a shared flag, like internal/profileflags.
+package helper
+
+import "flag"
+
+var prof = flag.String("cpuprofile", "", "write a CPU profile")

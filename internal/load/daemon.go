@@ -1,0 +1,88 @@
+package load
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+)
+
+// Daemon is a disesrvd child process under harness control: built from the
+// working tree, bound to an ephemeral port, health-checked, and signalable.
+// It is how the smoke harnesses (cmd/servesmoke, cmd/loadsmoke) get a real
+// server — process boundary, SIGTERM handling and all — instead of an
+// in-process handler.
+type Daemon struct {
+	Base string // http://host:port
+
+	cmd    *exec.Cmd
+	exited chan error
+}
+
+// BuildAndStart compiles ./cmd/disesrvd into dir, starts it on an ephemeral
+// port with the extra args appended, and waits until /healthz passes.
+func BuildAndStart(dir string, args ...string) (*Daemon, error) {
+	bin := filepath.Join(dir, "disesrvd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/disesrvd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return nil, fmt.Errorf("building disesrvd: %w", err)
+	}
+	return StartDaemon(bin, dir, args...)
+}
+
+// StartDaemon starts an already-built disesrvd binary on an ephemeral port
+// (writing its bound address under dir) and waits for readiness.
+func StartDaemon(bin, dir string, args ...string) (*Daemon, error) {
+	addrFile := filepath.Join(dir, fmt.Sprintf("addr-%d", os.Getpid()))
+	os.Remove(addrFile)
+	argv := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, args...)
+	cmd := exec.Command(bin, argv...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("starting disesrvd: %w", err)
+	}
+	d := &Daemon{cmd: cmd, exited: make(chan error, 1)}
+	go func() { d.exited <- cmd.Wait() }()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-d.exited:
+			return nil, fmt.Errorf("disesrvd exited during startup: %v", err)
+		default:
+		}
+		if addr, err := os.ReadFile(addrFile); err == nil && len(addr) > 0 {
+			base := "http://" + string(addr)
+			if resp, err := http.Get(base + "/healthz"); err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					d.Base = base
+					return d, nil
+				}
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	d.Kill()
+	return nil, fmt.Errorf("disesrvd not ready within 15s")
+}
+
+// Signal forwards sig to the daemon (use syscall.SIGTERM to start a drain).
+func (d *Daemon) Signal(sig os.Signal) error { return d.cmd.Process.Signal(sig) }
+
+// WaitExit blocks until the daemon exits and returns its exit error, or an
+// error if it is still running after the timeout.
+func (d *Daemon) WaitExit(timeout time.Duration) error {
+	select {
+	case err := <-d.exited:
+		return err
+	case <-time.After(timeout):
+		return fmt.Errorf("disesrvd did not exit within %v", timeout)
+	}
+}
+
+// Kill force-terminates the daemon; safe to call after a clean exit.
+func (d *Daemon) Kill() { _ = d.cmd.Process.Kill() }

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+// TestRetryAfterHint pins the 429 hint computation: queued work ahead over
+// worker throughput, rounded up, clamped to [1, 30] seconds.
+func TestRetryAfterHint(t *testing.T) {
+	cases := []struct {
+		name      string
+		depth     int
+		workers   int
+		meanRunUS float64
+		want      int
+	}{
+		{"cold server, no history", 10, 4, 0, 1},
+		{"empty queue", 0, 4, 2_000_000, 1},
+		{"sub-second backlog rounds up to floor", 1, 4, 100_000, 1},
+		{"one slow job per worker", 4, 4, 2_000_000, 2},
+		{"deep queue, one worker", 8, 1, 1_500_000, 12},
+		{"fractional estimate rounds up", 3, 2, 1_000_000, 2},
+		{"clamped at the 30s ceiling", 64, 1, 10_000_000, 30},
+		{"degenerate worker count treated as one", 2, 0, 1_000_000, 2},
+	}
+	for _, c := range cases {
+		if got := retryAfterHint(c.depth, c.workers, c.meanRunUS); got != c.want {
+			t.Errorf("%s: retryAfterHint(%d, %d, %g) = %d, want %d",
+				c.name, c.depth, c.workers, c.meanRunUS, got, c.want)
+		}
+	}
+}
+
+// TestOverflowRetryAfterHeader checks the wire form: an integer number of
+// seconds >= 1 on every 429.
+func TestOverflowRetryAfterHeader(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	ts, _ := newTestServer(t, cfg)
+
+	slow := &SubmitRequest{Asm: spinAsm, BudgetInsts: 1 << 40, TimeoutMS: 500}
+	done := make(chan struct{}, 2)
+	go func() { post(t, ts, slow); done <- struct{}{} }()
+	waitStats(t, ts, "worker busy", func(sp *StatsPayload) bool { return sp.Running == 1 })
+	go func() { post(t, ts, slow); done <- struct{}{} }()
+	waitStats(t, ts, "queue full", func(sp *StatsPayload) bool { return sp.QueueDepth == 1 })
+
+	status, hdr, _ := post(t, ts, slow)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", status)
+	}
+	sec, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || sec < 1 || sec > 30 {
+		t.Errorf("Retry-After = %q, want an integer in [1, 30]", hdr.Get("Retry-After"))
+	}
+	<-done
+	<-done
+}
+
+// TestDrainBodies pins the 503 drain surface clients program against: both
+// the admission-stage rejection and the health check answer structured
+// bodies, and neither carries a Retry-After (a draining instance does not
+// come back — clients should fail over, not wait).
+func TestDrainBodies(t *testing.T) {
+	ts, s := newTestServer(t, quietConfig())
+	s.Drain()
+
+	status, hdr, resp := post(t, ts, &SubmitRequest{Asm: SmokeAsm})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d, want 503", status)
+	}
+	if resp.Outcome != "unavailable" || resp.Error != "server is draining" {
+		t.Errorf("drain body: outcome=%q error=%q, want unavailable / server is draining",
+			resp.Outcome, resp.Error)
+	}
+	if resp.Result != nil {
+		t.Errorf("drain body carries a result: %s", resp.Result)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "" {
+		t.Errorf("drain 503 carries Retry-After %q, want none", ra)
+	}
+
+	hr, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", hr.StatusCode)
+	}
+	var hz struct {
+		OK       bool `json:"ok"`
+		Draining bool `json:"draining"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.OK || !hz.Draining {
+		t.Errorf("healthz body = %+v, want ok=false draining=true", hz)
+	}
+}

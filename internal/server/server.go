@@ -39,8 +39,10 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -163,7 +165,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := s.sched.submit(j); err != nil {
 		switch {
 		case errors.Is(err, errQueueFull):
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 			s.reject(w, r, id, http.StatusTooManyRequests, err, &s.metrics.rejected, t0)
 		default:
 			s.reject(w, r, id, http.StatusServiceUnavailable, err, &s.metrics.unavail, t0)
@@ -268,6 +270,32 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 	finish(c.payload(res, es, tr.Excerpt(c.traceN)), hit, nil)
+}
+
+// retryAfter renders the 429 Retry-After hint from the live queue state.
+func (s *Server) retryAfter() int {
+	return retryAfterHint(int(s.sched.depth.Load()), s.cfg.Workers,
+		s.metrics.runLat.Snapshot().Mean())
+}
+
+// retryAfterHint estimates, in whole seconds, when an admission slot should
+// free: the queued work ahead, spread across the workers at the observed
+// mean run latency (µs), rounded up and clamped to [1, 30]. A cold server
+// (no latency history) or an empty queue answers the 1-second floor; the
+// 30-second ceiling keeps a long queue from parking clients forever when
+// capacity is about to recover.
+func retryAfterHint(depth, workers int, meanRunUS float64) int {
+	if workers < 1 {
+		workers = 1
+	}
+	sec := int(math.Ceil(float64(depth) * meanRunUS / float64(workers) / 1e6))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,28 +1,65 @@
 package stats
 
-import "sync"
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
 
-// histBuckets bounds the histogram range: bucket i counts observations with
-// value <= 2^i, so 40 buckets cover one microsecond to ~12 days of latency
-// when observations are recorded in microseconds.
-const histBuckets = 40
+// The histogram is HDR-style log-linear: each power-of-two range [2^e, 2^(e+1))
+// is split into histSub equal-width sub-buckets, so the relative error of any
+// reconstructed quantile is bounded by 1/histSub (6.25%) while the whole range
+// — one microsecond to ~12 days when observations are microseconds — fits in
+// a few hundred counters. Values below histSub get exact (width-1) buckets.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // linear sub-buckets per power of two
+	histMaxExp  = 40               // top covered exponent: values to 2^40
+	histSlots   = histSub + (histMaxExp-histSubBits)*histSub
+)
 
-// Histogram is a concurrency-safe power-of-two-bucket histogram. The serving
-// layer records per-stage latencies in it (in microseconds); any other
-// positive integer unit works the same way. The zero value is ready to use.
+// Histogram is a concurrency-safe log-linear latency histogram. The serving
+// layer and the load harness record per-stage latencies in it (in
+// microseconds); any other non-negative integer unit works the same way.
+// The zero value is ready to use.
 type Histogram struct {
 	mu     sync.Mutex
-	counts [histBuckets]int64
+	counts [histSlots]int64
 	sum    int64
 	n      int64
 }
 
-// Observe records one value. Non-positive values land in the first bucket.
-func (h *Histogram) Observe(v int64) {
-	i := 0
-	for b := int64(1); i < histBuckets-1 && v > b; b <<= 1 {
-		i++
+// histIndex maps a value to its bucket slot.
+func histIndex(v int64) int {
+	if v < 0 {
+		v = 0
 	}
+	if v < histSub {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // floor(log2 v), >= histSubBits
+	if e >= histMaxExp {
+		return histSlots - 1
+	}
+	sub := int((v >> (e - histSubBits)) & (histSub - 1))
+	return histSub + (e-histSubBits)*histSub + sub
+}
+
+// histUpper returns the largest value that lands in slot i (the bucket's
+// inclusive upper bound).
+func histUpper(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	k := i - histSub
+	e := histSubBits + k/histSub
+	sub := int64(k % histSub)
+	return (int64(histSub)+sub+1)<<(e-histSubBits) - 1
+}
+
+// Observe records one value. Negative values land in the zero bucket.
+func (h *Histogram) Observe(v int64) {
+	i := histIndex(v)
 	h.mu.Lock()
 	h.counts[i]++
 	h.sum += v
@@ -38,7 +75,8 @@ type HistBucket struct {
 }
 
 // HistSnapshot is a point-in-time copy of a histogram, with empty buckets
-// elided — the shape the /stats endpoint serves.
+// elided — the shape the /stats endpoint serves and the load harness
+// reports.
 type HistSnapshot struct {
 	Count   int64        `json:"count"`
 	Sum     int64        `json:"sum"`
@@ -52,8 +90,39 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	s := HistSnapshot{Count: h.n, Sum: h.sum}
 	for i, c := range h.counts {
 		if c > 0 {
-			s.Buckets = append(s.Buckets, HistBucket{Le: int64(1) << i, Count: c})
+			s.Buckets = append(s.Buckets, HistBucket{Le: histUpper(i), Count: c})
 		}
 	}
 	return s
+}
+
+// Mean returns the mean observed value, 0 when empty. Unlike quantiles it is
+// exact: the histogram keeps the true sum.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) of the
+// recorded values: the inclusive upper bound of the bucket holding the
+// ceil(q*n)-th smallest observation. The log-linear bucket layout bounds the
+// overestimate at 1/16 (6.25%) of the true value. Returns 0 when empty.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= target {
+			return b.Le
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Le
 }

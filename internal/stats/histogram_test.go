@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistIndexBounds(t *testing.T) {
+	// Every value must land in a slot whose reconstructed range contains it.
+	cases := []int64{-5, 0, 1, 15, 16, 17, 31, 32, 100, 1023, 1024, 1 << 20,
+		(1 << 40) - 1, 1 << 40, 1 << 50}
+	for _, v := range cases {
+		i := histIndex(v)
+		if i < 0 || i >= histSlots {
+			t.Fatalf("histIndex(%d) = %d out of range", v, i)
+		}
+		up := histUpper(i)
+		want := v
+		if want < 0 {
+			want = 0
+		}
+		if want < 1<<40 && up < want {
+			t.Errorf("histIndex(%d) -> slot %d with upper %d < value", v, i, up)
+		}
+		if i > 0 {
+			if lo := histUpper(i - 1); want <= lo && want < 1<<40 {
+				t.Errorf("value %d <= previous slot's upper %d (slot %d)", v, lo, i)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantileError(t *testing.T) {
+	// Quantile estimates must overestimate by at most 1/16 on a pile of
+	// random values.
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	var vals []int64
+	for range 10000 {
+		v := int64(rng.ExpFloat64() * 50000) // latency-shaped: long tail
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	s := h.Snapshot()
+	if s.Count != int64(len(vals)) {
+		t.Fatalf("count %d, want %d", s.Count, len(vals))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		idx := int(math.Ceil(q*float64(len(vals)))) - 1
+		truth := vals[idx]
+		got := s.Quantile(q)
+		if got < truth {
+			t.Errorf("q%.3f = %d underestimates true %d", q, got, truth)
+		}
+		if truth >= histSub && float64(got) > float64(truth)*(1+1.0/histSub)+1 {
+			t.Errorf("q%.3f = %d overestimates true %d beyond the 1/16 bound", q, got, truth)
+		}
+	}
+}
+
+func TestHistogramMeanExact(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got, want := s.Mean(), 251.5; got != want {
+		t.Errorf("mean %v, want %v", got, want)
+	}
+	if got := (HistSnapshot{}).Mean(); got != 0 {
+		t.Errorf("empty mean %v, want 0", got)
+	}
+	if got := (HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile %v, want 0", got)
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	// Values below 16 get exact buckets, so small-count quantiles are exact.
+	var h Histogram
+	for _, v := range []int64{3, 3, 7, 9} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 3 {
+		t.Errorf("p50 = %d, want 3", got)
+	}
+	if got := s.Quantile(1); got != 9 {
+		t.Errorf("p100 = %d, want 9", got)
+	}
+}
