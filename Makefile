@@ -1,8 +1,9 @@
 GO       ?= go
 FUZZTIME ?= 10s
 BASE     ?= BENCH_PR2.json
+OUT      ?= BENCH_PR6.json
 
-.PHONY: all build vet test race race-experiments bench benchcmp check-experiments serve-smoke load-smoke check-docs fuzz verify clean
+.PHONY: all build vet test race race-experiments bench benchcmp check-experiments serve-smoke load-smoke store-smoke check-docs fuzz verify clean
 
 all: build test
 
@@ -26,14 +27,16 @@ race-experiments:
 
 # Perf receipts: run every benchmark 3x with allocation stats and emit a
 # machine-readable summary (ns/op, B/op, allocs/op per benchmark) for the
-# perf trajectory across PRs.
+# perf trajectory across PRs. Writes to $(OUT) so a rerun never clobbers a
+# committed baseline from an earlier PR.
 bench:
-	$(GO) test -bench=. -benchmem -count=3 -run '^$$' . | $(GO) run ./cmd/benchjson BENCH_PR3.json
+	$(GO) test -bench=. -benchmem -count=3 -run '^$$' . | $(GO) run ./cmd/benchjson $(OUT)
 
-# Diff the fresh receipt against a committed baseline (override with
-# BASE=...): per-benchmark ns/op deltas, nonzero exit on any >10% regression.
+# Diff the fresh receipt against a committed baseline (override either side
+# with BASE=... / OUT=...): per-benchmark ns/op deltas, nonzero exit on any
+# >10% regression.
 benchcmp:
-	$(GO) run ./cmd/benchjson -compare $(BASE) BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -compare $(BASE) $(OUT)
 
 # Regenerate the experiment tables and fail if they drift from the committed
 # experiments_full.txt — the replay fast paths must keep every table
@@ -56,6 +59,14 @@ serve-smoke:
 load-smoke:
 	$(GO) run ./cmd/loadsmoke
 
+# Crash-safety smoke: a real disesrvd with a persistent store is populated,
+# kill -9'd mid-capture, and restarted — the scrub must quarantine planted
+# corruption, warm hits must be byte-identical to the cold captures, and
+# injected ENOSPC/EIO faults must degrade to memory-only serving with the
+# recovery probe re-attaching the disk.
+store-smoke:
+	$(GO) run ./cmd/storesmoke
+
 # Docs drift gate: every cmd/* flag documented in README (and vice versa),
 # every internal/server route documented in docs/API.md, and every package
 # carrying a real package comment.
@@ -69,9 +80,10 @@ fuzz:
 	$(GO) test ./internal/asm -run '^$$' -fuzz '^FuzzAssemble$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/core -run '^$$' -fuzz '^FuzzParseProductions$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzSubmitRequest$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzStoreEntry$$' -fuzztime $(FUZZTIME)
 	$(GO) test . -run '^$$' -fuzz '^FuzzRun$$' -fuzztime $(FUZZTIME)
 
-verify: build vet race race-experiments serve-smoke load-smoke check-docs fuzz
+verify: build vet race race-experiments serve-smoke load-smoke store-smoke check-docs fuzz
 
 clean:
 	rm -f disefault experiments_full.txt.new

@@ -39,21 +39,29 @@ func run() int {
 		addrFile = flag.String("addr-file", "", "write the bound address to this file (for :0 listeners)")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		queue    = flag.Int("queue", 64, "admission queue depth")
-		cacheMB  = flag.Int("cache-mb", 256, "trace cache budget in MB")
+		cacheMB  = flag.Int("cache-mb", 256, "memory trace cache budget in MB")
 		timeout  = flag.Duration("timeout", 30*time.Second, "default job deadline")
 		budget   = flag.Int64("budget", 50_000_000, "default dynamic instruction budget")
+		cacheDir = flag.String("cache-dir", "", "persistent trace store directory (empty = memory-only)")
+		diskMB   = flag.Int("cache-disk-mb", 1024, "persistent trace store budget in MB")
 	)
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	s := server.New(server.Config{
+	s, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheBytes:     int64(*cacheMB) << 20,
 		DefaultTimeout: *timeout,
 		DefaultBudget:  *budget,
 		Log:            log,
+		StoreDir:       *cacheDir,
+		StoreBytes:     int64(*diskMB) << 20,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "disesrvd: %v\n", err)
+		return 1
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

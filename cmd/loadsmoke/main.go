@@ -72,7 +72,7 @@ func run(jsonOut string) error {
 	}}}
 	rep1, err := load.Run(ctx, load.Options{
 		Client: probe, Mix: spin, Concurrency: 8, MaxRequests: 8,
-		Duration: 30 * time.Second, Classes: 8,
+		Duration: load.Scale(0.25), Classes: 8,
 	})
 	if err != nil {
 		return fmt.Errorf("overflow probe: %w", err)
@@ -90,7 +90,7 @@ func run(jsonOut string) error {
 	}))
 	rep2, err := load.Run(ctx, load.Options{
 		Client: retrying, Mix: quick, Concurrency: 8, MaxRequests: 64,
-		Duration: 60 * time.Second, Classes: 2, Golden: true, Goldens: goldens,
+		Duration: load.Scale(0.5), Classes: 2, Golden: true, Goldens: goldens,
 	})
 	if err != nil {
 		return fmt.Errorf("recovery phase: %w", err)
@@ -133,14 +133,14 @@ func run(jsonOut string) error {
 		defer wg.Done()
 		rep3, loopErr = load.Run(ctx, load.Options{
 			Client: fast, Mix: quick, Concurrency: 4,
-			Duration: 3 * time.Second, Classes: 2, Golden: true, Goldens: goldens,
+			Duration: load.Scale(0.025), Classes: 2, Golden: true, Goldens: goldens,
 		})
 	}()
 	time.Sleep(300 * time.Millisecond)
 	if err := d.Signal(syscall.SIGTERM); err != nil {
 		return err
 	}
-	if err := d.WaitExit(15 * time.Second); err != nil {
+	if err := d.WaitExit(load.Scale(0.125)); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
 	wg.Wait()

@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"os"
 	"syscall"
-	"time"
 
 	"repro/internal/client"
 	"repro/internal/load"
@@ -47,7 +46,7 @@ func run() error {
 	}
 	defer d.Kill()
 
-	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), load.Scale(0.5))
 	defer cancel()
 	c := client.New(d.Base)
 
@@ -99,7 +98,7 @@ func run() error {
 	if err := d.Signal(syscall.SIGTERM); err != nil {
 		return err
 	}
-	if err := d.WaitExit(15 * time.Second); err != nil {
+	if err := d.WaitExit(load.Scale(0.125)); err != nil {
 		return fmt.Errorf("after SIGTERM: %w", err)
 	}
 	return nil

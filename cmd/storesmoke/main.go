@@ -1,0 +1,342 @@
+// storesmoke is the crash-safety campaign behind `make store-smoke`. It
+// proves the persistent trace store's three headline promises end to end:
+//
+//  1. crash safety — a real disesrvd with -cache-dir is populated, then
+//     kill -9'd mid-capture; the restarted daemon must scrub clean, serve
+//     every previously completed class from disk without recapturing, and
+//     answer byte-identically to the pre-crash cold responses;
+//  2. scrub quarantine — corrupt entries and atomic-write debris planted in
+//     the store directory before the restart must be quarantined/removed at
+//     startup and served as clean misses, never as data;
+//  3. degraded serving — with injected ENOSPC and EIO faults (in-process,
+//     via internal/fault), jobs keep completing from memory, /healthz
+//     reports the degraded store at 200, and the recovery probe re-attaches
+//     the disk once it heals — with the cache counters reconciling exactly:
+//     every cacheable job is one of hits, disk_hits, or misses.
+//
+// It exits non-zero with a one-line diagnostic on the first violation. All
+// phase deadlines derive from the shared smoke budget (SMOKE_BUDGET).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/fault"
+	"repro/internal/load"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+const spinAsm = ".entry main\nmain:\n    br zero, main\n"
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "storesmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("store-smoke: ok")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "storesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := crashRestartPhase(dir); err != nil {
+		return fmt.Errorf("crash/restart: %w", err)
+	}
+	if err := degradedPhase(); err != nil {
+		return fmt.Errorf("degraded serving: %w", err)
+	}
+	return nil
+}
+
+// crashRestartPhase covers promises 1 and 2 against a real daemon.
+func crashRestartPhase(dir string) error {
+	cacheDir := filepath.Join(dir, "store")
+	args := []string{"-workers", "2", "-cache-dir", cacheDir}
+	d1, err := load.BuildAndStart(dir, args...)
+	if err != nil {
+		return err
+	}
+	defer d1.Kill()
+
+	ctx, cancel := context.WithTimeout(context.Background(), load.Scale(0.75))
+	defer cancel()
+	c1 := client.New(d1.Base)
+
+	// Two cacheable classes, captured cold and written through. Their
+	// response bytes are the truth the restarted daemon must reproduce.
+	smoke := server.SmokeRequest()
+	variant := server.SmokeRequest()
+	variant.BudgetInsts = 100
+	cold := map[string][]byte{}
+	for name, req := range map[string]*server.SubmitRequest{"smoke": smoke, "variant": variant} {
+		r, err := c1.Submit(ctx, req)
+		if err != nil {
+			return err
+		}
+		if r.Outcome != "done" || r.Cached {
+			return fmt.Errorf("cold %s: outcome=%q cached=%v", name, r.Outcome, r.Cached)
+		}
+		cold[name] = r.Result
+	}
+
+	// kill -9 mid-capture: a spinning job holds a worker in a long capture
+	// when the process dies. Nothing of it may survive as a servable entry,
+	// and nothing already durable may be lost.
+	go func() {
+		spin := &server.SubmitRequest{Asm: spinAsm, BudgetInsts: 1 << 40, TimeoutMS: 60_000}
+		_, _ = client.New(d1.Base, client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: 1})).Submit(ctx, spin)
+	}()
+	time.Sleep(300 * time.Millisecond)
+	d1.Kill()
+	// SIGKILL exits non-zero by design; only the exit itself matters.
+	_ = d1.WaitExit(load.Scale(0.125))
+
+	// Plant damage for the startup scrub: a garbage file under a plausible
+	// key name, a bit-flipped copy of a real entry misfiled under another
+	// key, and atomic-write debris.
+	good, err := filepath.Glob(filepath.Join(cacheDir, "*.dse"))
+	if err != nil || len(good) != 2 {
+		return fmt.Errorf("expected 2 durable entries before restart, found %d (%v)", len(good), err)
+	}
+	fakeName := strings.Repeat("ab", 32) + ".dse"
+	if err := os.WriteFile(filepath.Join(cacheDir, fakeName), []byte("not an entry"), 0o644); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(good[0])
+	if err != nil {
+		return err
+	}
+	flipped := bytes.Clone(data)
+	flipped[len(flipped)-1] ^= 0x01
+	misfiled := strings.Repeat("cd", 32) + ".dse"
+	if err := os.WriteFile(filepath.Join(cacheDir, misfiled), flipped, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(cacheDir, "tmp-0000000000000001"), []byte("debris"), 0o644); err != nil {
+		return err
+	}
+
+	// Restart the same binary over the same store.
+	d2, err := load.StartDaemon(filepath.Join(dir, "disesrvd"), dir, args...)
+	if err != nil {
+		return err
+	}
+	defer d2.Kill()
+	c2 := client.New(d2.Base)
+
+	// Both pre-crash classes must be warm (no recapture) and byte-identical.
+	for name, req := range map[string]*server.SubmitRequest{"smoke": smoke, "variant": variant} {
+		r, err := c2.Submit(ctx, req)
+		if err != nil {
+			return err
+		}
+		if r.Outcome != "done" || !r.Cached {
+			return fmt.Errorf("warm %s: outcome=%q cached=%v, want a disk hit", name, r.Outcome, r.Cached)
+		}
+		if !bytes.Equal(cold[name], r.Result) {
+			return fmt.Errorf("warm %s not byte-identical to its cold capture:\ncold: %s\nwarm: %s", name, cold[name], r.Result)
+		}
+	}
+	// A resubmission now hits the memory tier.
+	r, err := c2.Submit(ctx, smoke)
+	if err != nil {
+		return err
+	}
+	if !r.Cached || !bytes.Equal(cold["smoke"], r.Result) {
+		return fmt.Errorf("memory re-hit: cached=%v identical=%v", r.Cached, bytes.Equal(cold["smoke"], r.Result))
+	}
+
+	// Exact reconciliation: 3 cacheable submissions = 1 memory hit +
+	// 2 disk hits + 0 captures; both planted corruptions quarantined, the
+	// debris removed, both real entries intact.
+	sp, err := c2.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	cs := sp.Cache
+	if cs.Hits != 1 || cs.DiskHits != 2 || cs.Misses != 0 {
+		return fmt.Errorf("counters after restart: hits=%d disk_hits=%d misses=%d, want 1/2/0", cs.Hits, cs.DiskHits, cs.Misses)
+	}
+	if cs.DiskQuarantined != 2 || cs.DiskEntries != 2 || cs.Degraded {
+		return fmt.Errorf("store state after scrub: %+v, want 2 quarantined / 2 entries / not degraded", cs)
+	}
+	q, err := filepath.Glob(filepath.Join(cacheDir, "quarantine", "*"))
+	if err != nil || len(q) != 2 {
+		return fmt.Errorf("quarantine/ holds %d files, want 2 (%v)", len(q), err)
+	}
+	if _, err := os.Stat(filepath.Join(cacheDir, "tmp-0000000000000001")); !os.IsNotExist(err) {
+		return fmt.Errorf("atomic-write debris survived the scrub (%v)", err)
+	}
+
+	if err := d2.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	return d2.WaitExit(load.Scale(0.125))
+}
+
+// degradedPhase covers promise 3 in-process, where internal/fault can reach
+// the filesystem under the store.
+func degradedPhase() error {
+	fsys := fault.NewFS(store.OSFS{}, fault.DisarmedPlan())
+	dir, err := os.MkdirTemp("", "storesmoke-degraded")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := server.New(server.Config{
+		Workers:    2,
+		StoreDir:   dir,
+		StoreFS:    fsys,
+		StoreProbe: 5 * time.Millisecond,
+		// A 1-byte memory budget so a later class evicts an earlier one,
+		// letting the EIO fault hit a genuine disk read.
+		CacheBytes: 1,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Drain()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), load.Scale(0.25))
+	defer cancel()
+	c := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	submissions := 0
+	submit := func(req *server.SubmitRequest) (*client.JobResponse, error) {
+		submissions++
+		return c.Submit(ctx, req)
+	}
+
+	if st, err := healthStore(ts.URL); err != nil || st != "ok" {
+		return fmt.Errorf("healthy store reports %q (%v)", st, err)
+	}
+
+	// ENOSPC on the first write-through: the job completes, the tier
+	// degrades, /healthz stays 200.
+	fsys.FailWrites(fault.ErrInjectedENOSPC)
+	if r, err := submit(server.SmokeRequest()); err != nil || r.Outcome != "done" {
+		return fmt.Errorf("job under ENOSPC: %v %v", r, err)
+	}
+	if st, err := healthStore(ts.URL); err != nil || st != "degraded" {
+		return fmt.Errorf("store under ENOSPC reports %q (%v)", st, err)
+	}
+
+	// Heal; the probe must re-attach without a restart.
+	fsys.Heal()
+	if err := waitStore(ts.URL, "ok", load.Scale(0.1)); err != nil {
+		return fmt.Errorf("re-attach after ENOSPC: %w", err)
+	}
+
+	// Park the smoke class on disk only: capturing a second class evicts it
+	// from the 1-byte memory tier, recapturing it writes it through, and
+	// the third class evicts it again.
+	variant := server.SmokeRequest()
+	variant.BudgetInsts = 100
+	if _, err := submit(variant); err != nil {
+		return err
+	}
+	if _, err := submit(server.SmokeRequest()); err != nil {
+		return err
+	}
+	if _, err := submit(server.SmokeRequest()); err != nil { // memory hit
+		return err
+	}
+	evictor := server.SmokeRequest()
+	evictor.BudgetInsts = 200
+	if _, err := submit(evictor); err != nil {
+		return err
+	}
+
+	// EIO on the disk read of the parked class: the job must still answer
+	// (recapture), and the tier degrades a second time.
+	fsys.FailReads(fault.ErrInjectedEIO)
+	if r, err := submit(server.SmokeRequest()); err != nil || r.Outcome != "done" {
+		return fmt.Errorf("job under EIO: %v %v", r, err)
+	}
+	if st, err := healthStore(ts.URL); err != nil || st != "degraded" {
+		return fmt.Errorf("store under EIO reports %q (%v)", st, err)
+	}
+	fsys.Heal()
+	if err := waitStore(ts.URL, "ok", load.Scale(0.1)); err != nil {
+		return fmt.Errorf("re-attach after EIO: %w", err)
+	}
+
+	// The re-attached disk serves again: the variant class was written
+	// through before the outages and evicted from memory, so this is a
+	// genuine disk hit.
+	if r, err := submit(variant); err != nil || !r.Cached {
+		return fmt.Errorf("disk hit after recovery: %v %v", r, err)
+	}
+
+	// Exact reconciliation: every cacheable submission is exactly one of
+	// memory hit, disk hit, or capture; two distinct outages were counted;
+	// the injected faults are visible as IO errors.
+	sp, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	cs := sp.Cache
+	if got := cs.Hits + cs.DiskHits + cs.Misses; got != int64(submissions) {
+		return fmt.Errorf("reconciliation: hits %d + disk_hits %d + misses %d = %d, want %d submissions",
+			cs.Hits, cs.DiskHits, cs.Misses, got, submissions)
+	}
+	if cs.DegradedEvents != 2 || cs.Degraded {
+		return fmt.Errorf("outage ledger: %+v, want exactly 2 degraded events, currently attached", cs)
+	}
+	if cs.DiskIOErrors < 2 {
+		return fmt.Errorf("io error counter %d, want >= 2 (one per injected fault)", cs.DiskIOErrors)
+	}
+	return nil
+}
+
+// healthStore reads the "store" field of /healthz.
+func healthStore(base string) (string, error) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Store    string `json:"store"`
+		Degraded bool   `json:"degraded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return body.Store, fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	if body.Degraded != (body.Store == "degraded") {
+		return body.Store, fmt.Errorf("degraded flag %v disagrees with store %q", body.Degraded, body.Store)
+	}
+	return body.Store, nil
+}
+
+// waitStore polls /healthz until the store reports want.
+func waitStore(base, want string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if st, err := healthStore(base); err == nil && st == want {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("store did not report %q within %v", want, timeout)
+}

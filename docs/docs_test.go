@@ -87,9 +87,12 @@ func TestAPIExamplesAccepted(t *testing.T) {
 	if len(bodies) < 3 {
 		t.Fatalf("API.md has %d curl submissions, expected several", len(bodies))
 	}
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Log: slog.New(slog.NewTextHandler(io.Discard, nil)),
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer func() { ts.Close(); srv.Drain() }()
 	for i, body := range bodies {

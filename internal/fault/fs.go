@@ -1,0 +1,279 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// This file extends the fault-injection philosophy from guest memory up to
+// the filesystem: FS wraps a store.FS and perturbs it deterministically, so
+// the persistent trace store's crash-safety invariants — no torn entry ever
+// served, clean degradation on a failing disk — are proven against injected
+// faults instead of trusted.
+
+// Injected filesystem errors. They are distinct sentinels so tests can
+// assert the exact classification that surfaced.
+var (
+	// ErrInjectedEIO models a read error (media failure).
+	ErrInjectedEIO = errors.New("fault: injected I/O error")
+	// ErrInjectedENOSPC models a full disk on the write path.
+	ErrInjectedENOSPC = errors.New("fault: injected no space left on device")
+	// ErrCrashed is returned by every operation after the crash point: the
+	// process is modeled as dead to the disk, and writes buffered past the
+	// torn point never happened.
+	ErrCrashed = errors.New("fault: crashed")
+)
+
+// FSPlan arms the deterministic fault sites of one FS. Counters are indexed
+// from 0 in the order the wrapped store issues operations, so a plan is
+// exactly reproducible for a deterministic caller.
+type FSPlan struct {
+	// TornAfterBytes, when positive, silently discards every written byte
+	// after the first N across the FS's lifetime: writes report success but
+	// the data never reaches the underlying file — the page-cache-loss half
+	// of a power failure. Combine with CrashAtOp to model the crash itself;
+	// alone it models firmware that acknowledges writes it drops.
+	TornAfterBytes int64
+	// ENOSPCAtWrite fails the Nth and every later Write call (0-based) with
+	// ErrInjectedENOSPC. Negative disarms.
+	ENOSPCAtWrite int64
+	// EIOAtRead fails the Nth and every later Read call (0-based) with
+	// ErrInjectedEIO. Negative disarms.
+	EIOAtRead int64
+	// CrashAtOp, when non-negative, fails the Nth and every later FS
+	// operation (0-based, counting every interface call) with ErrCrashed.
+	CrashAtOp int64
+}
+
+// DisarmedPlan returns a plan with every site off (negative counters).
+func DisarmedPlan() FSPlan {
+	return FSPlan{ENOSPCAtWrite: -1, EIOAtRead: -1, CrashAtOp: -1}
+}
+
+// FS is a deterministic fault-injecting store.FS. Beyond the counter-armed
+// plan, the read/write paths can be broken and healed at runtime
+// (FailReads, FailWrites, Heal) so degraded-mode campaigns can script a
+// disk failing mid-serve and recovering.
+type FS struct {
+	inner store.FS
+
+	mu         sync.Mutex
+	plan       FSPlan
+	ops        int64
+	reads      int64
+	writes     int64
+	wroteBytes int64
+	readErr    error // runtime toggle, nil = healthy
+	writeErr   error // runtime toggle, nil = healthy
+}
+
+// NewFS wraps inner with plan.
+func NewFS(inner store.FS, plan FSPlan) *FS {
+	return &FS{inner: inner, plan: plan}
+}
+
+// FailReads makes every subsequent read fail with err (use ErrInjectedEIO).
+func (f *FS) FailReads(err error) {
+	f.mu.Lock()
+	f.readErr = err
+	f.mu.Unlock()
+}
+
+// FailWrites makes every subsequent write fail with err (use
+// ErrInjectedENOSPC).
+func (f *FS) FailWrites(err error) {
+	f.mu.Lock()
+	f.writeErr = err
+	f.mu.Unlock()
+}
+
+// Heal clears the runtime read/write toggles (counter-armed plan sites stay
+// armed).
+func (f *FS) Heal() {
+	f.mu.Lock()
+	f.readErr, f.writeErr = nil, nil
+	f.mu.Unlock()
+}
+
+// Ops returns the number of FS operations issued so far (for aiming
+// CrashAtOp in replays of a recorded run).
+func (f *FS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// op counts one FS operation and reports whether the crash point has been
+// reached.
+func (f *FS) op() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.ops
+	f.ops++
+	if f.plan.CrashAtOp >= 0 && n >= f.plan.CrashAtOp {
+		return ErrCrashed
+	}
+	return nil
+}
+
+// MkdirAll implements store.FS.
+func (f *FS) MkdirAll(dir string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// Create implements store.FS.
+func (f *FS) Create(name string) (store.File, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, name: name}, nil
+}
+
+// Open implements store.FS.
+func (f *FS) Open(name string) (store.File, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner, name: name}, nil
+}
+
+// Rename implements store.FS.
+func (f *FS) Rename(oldname, newname string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// Remove implements store.FS.
+func (f *FS) Remove(name string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// ReadDir implements store.FS.
+func (f *FS) ReadDir(dir string) ([]fs.DirEntry, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// Stat implements store.FS.
+func (f *FS) Stat(name string) (fs.FileInfo, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(name)
+}
+
+// SyncDir implements store.FS.
+func (f *FS) SyncDir(dir string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile interposes on one open file's reads and writes.
+type faultFile struct {
+	fs    *FS
+	inner store.File
+	name  string
+}
+
+// Read implements store.File, applying the crash point, the runtime read
+// toggle, and the EIO counter in that order.
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err := f.fs.op(); err != nil {
+		return 0, err
+	}
+	f.fs.mu.Lock()
+	n := f.fs.reads
+	f.fs.reads++
+	toggled := f.fs.readErr
+	armed := f.fs.plan.EIOAtRead >= 0 && n >= f.fs.plan.EIOAtRead
+	f.fs.mu.Unlock()
+	if toggled != nil {
+		return 0, fmt.Errorf("%s: %w", f.name, toggled)
+	}
+	if armed {
+		return 0, fmt.Errorf("%s: %w", f.name, ErrInjectedEIO)
+	}
+	return f.inner.Read(p)
+}
+
+// Write implements store.File: the crash point and ENOSPC sites fail
+// loudly; the torn site succeeds while silently truncating what reaches the
+// underlying file.
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.op(); err != nil {
+		return 0, err
+	}
+	f.fs.mu.Lock()
+	n := f.fs.writes
+	f.fs.writes++
+	toggled := f.fs.writeErr
+	enospc := f.fs.plan.ENOSPCAtWrite >= 0 && n >= f.fs.plan.ENOSPCAtWrite
+	keep := int64(len(p))
+	if t := f.fs.plan.TornAfterBytes; t > 0 {
+		if room := t - f.fs.wroteBytes; room < keep {
+			if room < 0 {
+				room = 0
+			}
+			keep = room
+		}
+	}
+	f.fs.wroteBytes += int64(len(p))
+	f.fs.mu.Unlock()
+	if toggled != nil {
+		return 0, fmt.Errorf("%s: %w", f.name, toggled)
+	}
+	if enospc {
+		return 0, fmt.Errorf("%s: %w", f.name, ErrInjectedENOSPC)
+	}
+	if keep < int64(len(p)) {
+		// Torn: acknowledge the full write, persist only the prefix.
+		if _, err := f.inner.Write(p[:keep]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return f.inner.Write(p)
+}
+
+// Sync implements store.File. A torn file reports a successful sync — the
+// model is storage that acknowledges durability it does not deliver, which
+// is exactly the lie the store's entry hashing must catch.
+func (f *faultFile) Sync() error {
+	if err := f.fs.op(); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Close implements store.File.
+func (f *faultFile) Close() error {
+	if err := f.fs.op(); err != nil {
+		f.inner.Close()
+		return err
+	}
+	return f.inner.Close()
+}

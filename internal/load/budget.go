@@ -1,0 +1,34 @@
+package load
+
+import (
+	"os"
+	"time"
+)
+
+// smokeBudgetEnv is the one knob that stretches every smoke-harness phase
+// deadline together: a Go duration (e.g. "6m") for slow or heavily shared
+// CI machines. Individual phases never read the environment themselves —
+// they take fractions of this budget via Scale, so there is exactly one
+// timeout to reason about when a smoke run flakes.
+const smokeBudgetEnv = "SMOKE_BUDGET"
+
+// SmokeBudget returns the wall-clock budget one smoke campaign may assume
+// (default 2m), overridden by the SMOKE_BUDGET environment variable.
+func SmokeBudget() time.Duration {
+	if v := os.Getenv(smokeBudgetEnv); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			return d
+		}
+	}
+	return 2 * time.Minute
+}
+
+// Scale returns the given fraction of the smoke budget, floored at 100ms so
+// a tiny budget cannot produce zero deadlines.
+func Scale(f float64) time.Duration {
+	d := time.Duration(f * float64(SmokeBudget()))
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	return d
+}

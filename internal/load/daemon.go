@@ -34,8 +34,25 @@ func BuildAndStart(dir string, args ...string) (*Daemon, error) {
 }
 
 // StartDaemon starts an already-built disesrvd binary on an ephemeral port
-// (writing its bound address under dir) and waits for readiness.
+// (writing its bound address under dir) and waits for readiness. Transient
+// startup races — the kernel recycling the ephemeral port before the
+// health check, a briefly unwritable addr file on overloaded CI — get up
+// to three attempts before the failure is real; the readiness deadline
+// derives from the shared smoke budget (SMOKE_BUDGET) like every other
+// smoke-phase timeout.
 func StartDaemon(bin, dir string, args ...string) (*Daemon, error) {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		d, err := startDaemonOnce(bin, dir, args...)
+		if err == nil {
+			return d, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("after 3 attempts: %w", lastErr)
+}
+
+func startDaemonOnce(bin, dir string, args ...string) (*Daemon, error) {
 	addrFile := filepath.Join(dir, fmt.Sprintf("addr-%d", os.Getpid()))
 	os.Remove(addrFile)
 	argv := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, args...)
@@ -47,7 +64,8 @@ func StartDaemon(bin, dir string, args ...string) (*Daemon, error) {
 	d := &Daemon{cmd: cmd, exited: make(chan error, 1)}
 	go func() { d.exited <- cmd.Wait() }()
 
-	deadline := time.Now().Add(15 * time.Second)
+	ready := Scale(0.125)
+	deadline := time.Now().Add(ready)
 	for time.Now().Before(deadline) {
 		select {
 		case err := <-d.exited:
@@ -67,7 +85,7 @@ func StartDaemon(bin, dir string, args ...string) (*Daemon, error) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	d.Kill()
-	return nil, fmt.Errorf("disesrvd not ready within 15s")
+	return nil, fmt.Errorf("disesrvd not ready within %v", ready)
 }
 
 // Signal forwards sig to the daemon (use syscall.SIGTERM to start a drain).

@@ -15,7 +15,10 @@ import (
 func newLoadTarget(t *testing.T, cfg server.Config) (*client.Client, *server.Server) {
 	t.Helper()
 	cfg.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { ts.Close(); srv.Drain() })
 	return client.New(ts.URL, client.WithHTTPClient(ts.Client()),

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"log/slog"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -18,11 +20,19 @@ type cacheKey [32]byte
 // knobs — skip the functional emulation entirely and are served by the
 // allocation-free replayer.
 //
+// The cache is two-tiered. The memory tier holds the hot set under its own
+// byte budget; an optional disk tier (internal/store) holds the full set, so
+// restarts are warm and memory evictions are not capture losses. A memory
+// miss consults the disk before capturing; a completed capture is written
+// through. Disk IO errors never fail a job: the cache degrades to
+// memory-only serving (degraded=true in stats, /healthz) until a background
+// probe sees the disk healthy again.
+//
 // Concurrent submissions of one key are single-flighted on the entry lock:
-// the first holds ent.mu across its capture, later ones block and then hit.
-// Completed entries are LRU-evicted once their record bytes exceed the
-// budget; in-flight entries are never evicted (they are not accounted until
-// complete).
+// the first holds ent.mu across its capture (and its disk lookup/write),
+// later ones block and then hit. Completed entries are LRU-evicted from
+// memory once their record bytes exceed the budget; in-flight entries are
+// never evicted (they are not accounted until complete).
 type traceCache struct {
 	mu     sync.Mutex
 	m      map[cacheKey]*cacheEnt
@@ -30,7 +40,21 @@ type traceCache struct {
 	budget int64
 	gen    uint64
 
+	// disk is the persistent tier; nil when the server runs memory-only.
+	// diskOK is true while the tier is serving; a disk IO error flips it
+	// false (degraded) and the probe loop flips it back.
+	disk   *store.Store
+	diskOK atomic.Bool
+	log    *slog.Logger
+
 	hits, misses, evictions atomic.Int64
+
+	// Disk-tier outcomes. Every cacheable job is exactly one of hits,
+	// diskHits, or misses; diskMisses counts the captures that consulted a
+	// healthy disk first, and diskBad the entries the store verified but
+	// this layer could not decode (version skew — served as a miss).
+	diskHits, diskMisses, diskBad atomic.Int64
+	degradedEvents                atomic.Int64
 }
 
 type cacheEnt struct {
@@ -47,14 +71,16 @@ type cacheEnt struct {
 	gen    uint64
 }
 
-func newTraceCache(budget int64) *traceCache {
-	return &traceCache{m: make(map[cacheKey]*cacheEnt), budget: budget}
+func newTraceCache(budget int64, disk *store.Store, log *slog.Logger) *traceCache {
+	c := &traceCache{m: make(map[cacheKey]*cacheEnt), budget: budget, disk: disk, log: log}
+	c.diskOK.Store(disk != nil)
+	return c
 }
 
 // do returns the trace for key, capturing it via capture on first use. hit
-// reports whether the trace was served from the cache. A capture error
-// (cancellation, timeout) is returned without populating the entry, so the
-// next submission of the class retries: a truncated stream reflects a
+// reports whether the trace was served from either cache tier. A capture
+// error (cancellation, timeout) is returned without populating the entry, so
+// the next submission of the class retries: a truncated stream reflects a
 // wall-clock accident, never program content.
 func (c *traceCache) do(key cacheKey, capture func() (*trace.Trace, core.EngineStats, error)) (tr *trace.Trace, es core.EngineStats, hit bool, err error) {
 	c.mu.Lock()
@@ -73,6 +99,14 @@ func (c *traceCache) do(key cacheKey, capture func() (*trace.Trace, core.EngineS
 		c.hits.Add(1)
 		return ent.tr, ent.engine, true, nil
 	}
+
+	if tr, es, ok := c.diskGet(key); ok {
+		ent.tr, ent.engine, ent.ready = tr, es, true
+		c.diskHits.Add(1)
+		c.account(key, ent)
+		return tr, es, true, nil
+	}
+
 	tr, es, err = capture()
 	if err != nil {
 		c.mu.Lock()
@@ -84,15 +118,97 @@ func (c *traceCache) do(key cacheKey, capture func() (*trace.Trace, core.EngineS
 	}
 	ent.tr, ent.engine, ent.ready = tr, es, true
 	c.misses.Add(1)
+	c.diskPut(key, tr, es)
+	c.account(key, ent)
+	return tr, es, false, nil
+}
 
+// diskGet consults the persistent tier for key. ok=false covers every
+// non-hit: no tier, degraded, absent, quarantined-corrupt, or undecodable —
+// the caller captures. A disk IO error additionally degrades the cache.
+func (c *traceCache) diskGet(key cacheKey) (*trace.Trace, core.EngineStats, bool) {
+	if c.disk == nil || !c.diskOK.Load() {
+		return nil, core.EngineStats{}, false
+	}
+	payload, ok, err := c.disk.Get(store.Key(key))
+	if err != nil {
+		c.degrade("get", err)
+		return nil, core.EngineStats{}, false
+	}
+	if !ok {
+		c.diskMisses.Add(1)
+		return nil, core.EngineStats{}, false
+	}
+	tr, es, err := decodePersist(payload)
+	if err != nil {
+		// The store verified the bytes, so this is a codec mismatch (old
+		// version), not corruption: recapture and overwrite.
+		c.diskBad.Add(1)
+		c.diskMisses.Add(1)
+		c.log.Warn("store entry undecodable, recapturing", "err", err)
+		return nil, core.EngineStats{}, false
+	}
+	return tr, es, true
+}
+
+// diskPut writes a completed capture through to the persistent tier. Errors
+// degrade the cache; the job itself is already served from memory.
+func (c *traceCache) diskPut(key cacheKey, tr *trace.Trace, es core.EngineStats) {
+	if c.disk == nil || !c.diskOK.Load() {
+		return
+	}
+	payload, err := encodePersist(tr, es)
+	if err != nil {
+		// Not a disk fault (e.g. a pathological output string); log and
+		// serve this class from memory only.
+		c.diskBad.Add(1)
+		c.log.Warn("capture not persistable", "err", err)
+		return
+	}
+	if err := c.disk.Put(store.Key(key), payload); err != nil {
+		c.degrade("put", err)
+	}
+}
+
+// degrade flips the cache to memory-only serving, once per outage.
+func (c *traceCache) degrade(op string, err error) {
+	if c.diskOK.CompareAndSwap(true, false) {
+		c.degradedEvents.Add(1)
+		c.log.Warn("disk tier degraded, serving memory-only", "op", op, "err", err)
+	}
+}
+
+// probeDisk checks a degraded disk tier end to end and re-attaches it when
+// healthy. Called from the server's recovery loop.
+func (c *traceCache) probeDisk() {
+	if c.disk == nil || c.diskOK.Load() {
+		return
+	}
+	if err := c.disk.Probe(); err != nil {
+		return
+	}
+	if c.diskOK.CompareAndSwap(false, true) {
+		c.log.Info("disk tier healthy again, re-attached")
+	}
+}
+
+// degraded reports whether a configured disk tier is currently detached.
+func (c *traceCache) degraded() bool {
+	return c.disk != nil && !c.diskOK.Load()
+}
+
+// account indexes a completed entry in the memory tier and LRU-evicts other
+// completed entries until the byte budget holds. Callers hold ent.mu.
+func (c *traceCache) account(key cacheKey, ent *cacheEnt) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	// A concurrent failed capture may have deleted the key; re-insert so the
 	// completed entry is reachable and accounted exactly once.
 	if c.m[key] != ent {
 		c.m[key] = ent
 	}
 	ent.stored = true
-	ent.size = int64(tr.Len()) * 32 // cpu.Rec footprint, as in the experiment store
+	ent.size = int64(ent.tr.Len()) * 32 // cpu.Rec footprint, as in the experiment store
 	c.bytes += ent.size
 	for c.bytes > c.budget {
 		var victim cacheKey
@@ -110,17 +226,31 @@ func (c *traceCache) do(key cacheKey, capture func() (*trace.Trace, core.EngineS
 		delete(c.m, victim)
 		c.evictions.Add(1)
 	}
-	c.mu.Unlock()
-	return tr, es, false, nil
 }
 
-// CacheStats is the /stats view of the trace cache.
+// CacheStats is the /stats view of the trace cache. The memory-tier fields
+// keep their one-tier meanings (hits = memory hits, misses = captures);
+// every cacheable job is exactly one of hits, disk_hits, or misses. The
+// disk_* fields are zero and degraded false on a memory-only server.
 type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
 	Bytes     int64 `json:"bytes"`
+
+	DiskEnabled     bool  `json:"disk_enabled"`
+	Degraded        bool  `json:"degraded"`
+	DegradedEvents  int64 `json:"degraded_events"`
+	DiskHits        int64 `json:"disk_hits"`
+	DiskMisses      int64 `json:"disk_misses"`
+	DiskBad         int64 `json:"disk_bad"`
+	DiskEntries     int   `json:"disk_entries"`
+	DiskBytes       int64 `json:"disk_bytes"`
+	DiskWrites      int64 `json:"disk_writes"`
+	DiskEvictions   int64 `json:"disk_evictions"`
+	DiskQuarantined int64 `json:"disk_quarantined"`
+	DiskIOErrors    int64 `json:"disk_io_errors"`
 }
 
 func (c *traceCache) stats() CacheStats {
@@ -133,11 +263,27 @@ func (c *traceCache) stats() CacheStats {
 	}
 	bytes := c.bytes
 	c.mu.Unlock()
-	return CacheStats{
+	cs := CacheStats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
 		Entries:   n,
 		Bytes:     bytes,
 	}
+	if c.disk != nil {
+		ds := c.disk.StatsSnapshot()
+		cs.DiskEnabled = true
+		cs.Degraded = !c.diskOK.Load()
+		cs.DegradedEvents = c.degradedEvents.Load()
+		cs.DiskHits = c.diskHits.Load()
+		cs.DiskMisses = c.diskMisses.Load()
+		cs.DiskBad = c.diskBad.Load()
+		cs.DiskEntries = ds.Entries
+		cs.DiskBytes = ds.Bytes
+		cs.DiskWrites = ds.Writes
+		cs.DiskEvictions = ds.Evictions
+		cs.DiskQuarantined = ds.Quarantined
+		cs.DiskIOErrors = ds.IOErrors
+	}
+	return cs
 }

@@ -22,13 +22,16 @@ var fuzzSrv struct {
 // milliseconds.
 func fuzzServer() *httptest.Server {
 	fuzzSrv.once.Do(func() {
-		s := New(Config{
+		s, err := New(Config{
 			Workers:        1,
 			QueueDepth:     4,
 			DefaultBudget:  10_000,
 			DefaultTimeout: 250 * time.Millisecond,
 			Log:            slog.New(slog.NewTextHandler(io.Discard, nil)),
 		})
+		if err != nil {
+			panic(err)
+		}
 		fuzzSrv.ts = httptest.NewServer(s.Handler())
 	})
 	return fuzzSrv.ts

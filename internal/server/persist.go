@@ -1,0 +1,70 @@
+package server
+
+// The persistent-tier codec: what one trace-cache entry looks like as a
+// store payload. The payload wraps the serialized dynamic trace
+// (trace.MarshalBinary) with the capture run's DISE engine counters, which
+// the memory tier keeps alongside the trace — a disk hit must rebuild both
+// to answer byte-identically to the original capture. Integrity (hash,
+// length, key binding) is the store's job; this layer only needs a version
+// gate and a structural check, and it treats any defect as "not a hit",
+// never as data.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+const (
+	persistMagic   = "DSP1"
+	persistVersion = 1
+	// persistHeader: magic + version + 9 engine counters.
+	persistHeader = 4 + 4 + 9*8
+)
+
+// encodePersist renders the disk payload of one completed capture.
+func encodePersist(tr *trace.Trace, es core.EngineStats) ([]byte, error) {
+	blob, err := tr.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, persistHeader, persistHeader+len(blob))
+	copy(buf[0:4], persistMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], persistVersion)
+	for i, v := range [9]int64{
+		es.Fetched, es.Expansions, es.Inserted, es.PTMisses, es.RTMisses,
+		es.Composed, es.Stall, es.MemoHits, es.MemoMisses,
+	} {
+		binary.LittleEndian.PutUint64(buf[8+8*i:16+8*i], uint64(v))
+	}
+	return append(buf, blob...), nil
+}
+
+// decodePersist parses a disk payload back into a replayable trace and its
+// engine counters. Errors mean the payload is unusable (version skew, inner
+// decode failure); the caller serves a miss and recaptures.
+func decodePersist(data []byte) (*trace.Trace, core.EngineStats, error) {
+	var es core.EngineStats
+	if len(data) < persistHeader {
+		return nil, es, fmt.Errorf("server: persisted entry of %d bytes, shorter than the %d-byte header", len(data), persistHeader)
+	}
+	if string(data[0:4]) != persistMagic {
+		return nil, es, fmt.Errorf("server: persisted entry has magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != persistVersion {
+		return nil, es, fmt.Errorf("server: persisted entry has unknown version %d", v)
+	}
+	for i, dst := range [9]*int64{
+		&es.Fetched, &es.Expansions, &es.Inserted, &es.PTMisses, &es.RTMisses,
+		&es.Composed, &es.Stall, &es.MemoHits, &es.MemoMisses,
+	} {
+		*dst = int64(binary.LittleEndian.Uint64(data[8+8*i : 16+8*i]))
+	}
+	tr, err := trace.UnmarshalBinary(data[persistHeader:])
+	if err != nil {
+		return nil, es, err
+	}
+	return tr, es, nil
+}

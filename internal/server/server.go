@@ -43,12 +43,14 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/emu"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -59,11 +61,16 @@ const maxBodyBytes = 16 << 20
 type Config struct {
 	Workers        int           // concurrent simulations (default GOMAXPROCS)
 	QueueDepth     int           // admission queue slots (default 64)
-	CacheBytes     int64         // trace cache budget (default 256MB)
+	CacheBytes     int64         // memory trace cache budget (default 256MB)
 	DefaultTimeout time.Duration // job deadline when the request names none (default 30s)
 	MaxTimeout     time.Duration // upper bound on requested timeouts (default 5m)
 	DefaultBudget  int64         // instruction budget when the request names none (default 50M)
 	Log            *slog.Logger  // request log (default slog.Default())
+
+	StoreDir   string        // persistent trace store directory ("" = memory-only)
+	StoreBytes int64         // disk tier byte budget (default 1GB)
+	StoreProbe time.Duration // degraded-disk recovery probe interval (default 5s)
+	StoreFS    store.FS      // filesystem under the store (default the OS; tests inject faults)
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +95,15 @@ func (c Config) withDefaults() Config {
 	if c.Log == nil {
 		c.Log = slog.Default()
 	}
+	if c.StoreBytes <= 0 {
+		c.StoreBytes = 1 << 30
+	}
+	if c.StoreProbe <= 0 {
+		c.StoreProbe = 5 * time.Second
+	}
+	if c.StoreFS == nil {
+		c.StoreFS = store.OSFS{}
+	}
 	return c
 }
 
@@ -98,20 +114,67 @@ type Server struct {
 	cache   *traceCache
 	metrics metrics
 	seq     atomic.Int64
+
+	probeStop chan struct{}
+	stopOnce  sync.Once
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server and starts its worker pool. With Config.StoreDir set
+// it opens (scrubbing) the persistent trace store under the cache and starts
+// the degraded-disk recovery probe; an unopenable store is a startup error —
+// refusing to start beats silently serving without the configured tier.
+func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg.withDefaults()}
-	s.cache = newTraceCache(s.cfg.CacheBytes)
+	var disk *store.Store
+	if s.cfg.StoreDir != "" {
+		st, rep, err := store.Open(s.cfg.StoreFS, s.cfg.StoreDir, s.cfg.StoreBytes)
+		if err != nil {
+			return nil, fmt.Errorf("opening trace store: %w", err)
+		}
+		s.cfg.Log.Info("trace store scrubbed",
+			"dir", st.Dir(),
+			"entries", rep.Entries,
+			"bytes", rep.Bytes,
+			"quarantined", rep.Quarantined,
+			"tmp_removed", rep.TmpRemoved,
+		)
+		disk = st
+	}
+	s.cache = newTraceCache(s.cfg.CacheBytes, disk, s.cfg.Log)
 	s.sched = newScheduler(s.cfg.Workers, s.cfg.QueueDepth, s.runJob)
-	return s
+	if disk != nil {
+		s.probeStop = make(chan struct{})
+		go s.probeLoop()
+	}
+	return s, nil
+}
+
+// probeLoop periodically re-checks a degraded disk tier and re-attaches it
+// when the probe passes. It exits on Drain.
+func (s *Server) probeLoop() {
+	t := time.NewTicker(s.cfg.StoreProbe)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.probeStop:
+			return
+		case <-t.C:
+			s.cache.probeDisk()
+		}
+	}
 }
 
 // Drain stops admission, lets in-flight jobs finish, fails queued jobs with
 // 503, and returns when the workers have exited. The HTTP listener should
 // be shut down after Drain returns so the failure responses are delivered.
-func (s *Server) Drain() { s.sched.drain() }
+func (s *Server) Drain() {
+	s.stopOnce.Do(func() {
+		if s.probeStop != nil {
+			close(s.probeStop)
+		}
+	})
+	s.sched.drain()
+}
 
 // Handler returns the service's HTTP surface.
 func (s *Server) Handler() http.Handler {
@@ -299,11 +362,29 @@ func retryAfterHint(depth, workers int, meanRunUS float64) int {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// The store status is informational: a degraded disk tier still serves
+	// every request (memory-only), so the endpoint stays 200 — load
+	// balancers keep routing, operators see "degraded" and alert on it.
+	st := "off"
+	if s.cache.disk != nil {
+		if s.cache.degraded() {
+			st = "degraded"
+		} else {
+			st = "ok"
+		}
+	}
+	body := map[string]any{
+		"ok":       true,
+		"draining": false,
+		"store":    st,
+		"degraded": s.cache.degraded(),
+	}
 	if s.sched.isDraining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "draining": true})
+		body["ok"], body["draining"] = false, true
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": false})
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

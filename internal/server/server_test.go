@@ -32,7 +32,10 @@ func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Server) {
 	if cfg.Log == nil {
 		cfg.Log = quietConfig().Log
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts, s

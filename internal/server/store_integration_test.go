@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/store"
+)
+
+func storeConfig(dir string) Config {
+	cfg := quietConfig()
+	cfg.StoreDir = dir
+	return cfg
+}
+
+func getHealthz(t *testing.T, ts *httptest.Server) (int, map[string]any) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestStoreWarmRestart is the headline persistence contract: a fresh server
+// over a populated store serves the class from disk — no recapture — and the
+// result bytes equal the original cold capture's exactly.
+func TestStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	ts1, s1 := newTestServer(t, storeConfig(dir))
+	_, _, cold := post(t, ts1, SmokeRequest())
+	if cold.Outcome != "done" || cold.Cached {
+		t.Fatalf("cold run: outcome %q cached %v", cold.Outcome, cold.Cached)
+	}
+	st := getStats(t, ts1)
+	if st.Cache.Misses != 1 || st.Cache.DiskWrites != 1 || !st.Cache.DiskEnabled {
+		t.Fatalf("cold stats: %+v", st.Cache)
+	}
+	s1.Drain()
+	ts1.Close()
+
+	ts2, _ := newTestServer(t, storeConfig(dir))
+	_, _, warm := post(t, ts2, SmokeRequest())
+	if warm.Outcome != "done" || !warm.Cached {
+		t.Fatalf("warm run: outcome %q cached %v", warm.Outcome, warm.Cached)
+	}
+	if !bytes.Equal(cold.Result, warm.Result) {
+		t.Fatalf("disk-served result differs from cold capture:\n%s\nvs\n%s", cold.Result, warm.Result)
+	}
+	st = getStats(t, ts2)
+	if st.Cache.DiskHits != 1 || st.Cache.Misses != 0 || st.Cache.DiskEntries != 1 {
+		t.Fatalf("warm stats: %+v", st.Cache)
+	}
+
+	// A second submission hits the memory tier, not the disk again.
+	_, _, again := post(t, ts2, SmokeRequest())
+	if !again.Cached || !bytes.Equal(cold.Result, again.Result) {
+		t.Fatalf("memory re-hit: cached %v, bytes equal %v", again.Cached, bytes.Equal(cold.Result, again.Result))
+	}
+	if st = getStats(t, ts2); st.Cache.Hits != 1 || st.Cache.DiskHits != 1 {
+		t.Fatalf("re-hit stats: %+v", st.Cache)
+	}
+}
+
+// TestStoreDegradedServing injects runtime disk faults and requires the
+// server to keep answering correctly from memory, report degraded on
+// /healthz (still 200) and /stats, and re-attach once the disk heals.
+func TestStoreDegradedServing(t *testing.T) {
+	fsys := fault.NewFS(store.OSFS{}, fault.DisarmedPlan())
+	cfg := storeConfig(t.TempDir())
+	cfg.StoreFS = fsys
+	cfg.StoreProbe = 5 * time.Millisecond
+	// A 1-byte memory budget: any later class evicts the earlier one, so a
+	// resubmission must go back to the disk — which lets the test aim a
+	// read fault at a real disk read.
+	cfg.CacheBytes = 1
+	ts, _ := newTestServer(t, cfg)
+
+	if code, body := getHealthz(t, ts); code != http.StatusOK || body["store"] != "ok" || body["degraded"] != false {
+		t.Fatalf("healthy healthz: %d %v", code, body)
+	}
+
+	// Write-side failure (ENOSPC): the first capture's write-through fails,
+	// but the job itself still completes and the class serves from memory.
+	fsys.FailWrites(fault.ErrInjectedENOSPC)
+	_, _, r := post(t, ts, SmokeRequest())
+	if r.Outcome != "done" {
+		t.Fatalf("job under ENOSPC: %q %s", r.Outcome, r.Error)
+	}
+	code, body := getHealthz(t, ts)
+	if code != http.StatusOK || body["store"] != "degraded" || body["degraded"] != true {
+		t.Fatalf("degraded healthz: %d %v", code, body)
+	}
+	st := getStats(t, ts)
+	if !st.Cache.Degraded || st.Cache.DegradedEvents != 1 || st.Cache.DiskIOErrors == 0 {
+		t.Fatalf("degraded stats: %+v", st.Cache)
+	}
+	if _, _, r = post(t, ts, SmokeRequest()); !r.Cached {
+		t.Fatalf("memory hit while degraded: cached=%v", r.Cached)
+	}
+
+	// Heal the disk; the probe loop must re-attach without a restart.
+	fsys.Heal()
+	waitStats(t, ts, "disk re-attach", func(sp *StatsPayload) bool { return !sp.Cache.Degraded })
+	if _, body = getHealthz(t, ts); body["store"] != "ok" {
+		t.Fatalf("healed healthz: %v", body)
+	}
+
+	// Populate the disk: completing the budget-100 class evicts the smoke
+	// class from the 1-byte memory tier, and recapturing the smoke class
+	// writes it through and evicts the budget-100 class in turn — leaving
+	// the budget-100 class on disk only.
+	other := SmokeRequest()
+	other.BudgetInsts = 100
+	post(t, ts, other)
+	post(t, ts, SmokeRequest())
+	waitStats(t, ts, "disk write-through", func(sp *StatsPayload) bool { return sp.Cache.DiskWrites >= 2 })
+
+	// Read-side failure (EIO): the disk-only class forces a disk read,
+	// which fails, degrades the tier (second outage) — and the job still
+	// answers via recapture.
+	fsys.FailReads(fault.ErrInjectedEIO)
+	if _, _, r = post(t, ts, other); r.Outcome != "done" {
+		t.Fatalf("job under EIO: %q %s", r.Outcome, r.Error)
+	}
+	st = getStats(t, ts)
+	if !st.Cache.Degraded || st.Cache.DegradedEvents != 2 {
+		t.Fatalf("second-outage stats: %+v", st.Cache)
+	}
+	fsys.Heal()
+	waitStats(t, ts, "second re-attach", func(sp *StatsPayload) bool { return !sp.Cache.Degraded })
+
+	// Post-recovery, new classes persist again.
+	req2 := SmokeRequest()
+	req2.BudgetInsts = 200
+	post(t, ts, req2)
+	before := st.Cache.DiskWrites
+	if st = getStats(t, ts); st.Cache.DiskWrites <= before {
+		t.Fatalf("no writes after recovery: %+v", st.Cache)
+	}
+}
+
+// TestStoreScrubAtStartup plants corruption in a populated store directory
+// and requires the next server to quarantine it and recapture cleanly.
+func TestStoreScrubAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	ts1, s1 := newTestServer(t, storeConfig(dir))
+	_, _, cold := post(t, ts1, SmokeRequest())
+	s1.Drain()
+	ts1.Close()
+
+	corruptOneEntry(t, dir)
+
+	ts2, _ := newTestServer(t, storeConfig(dir))
+	_, _, r := post(t, ts2, SmokeRequest())
+	if r.Outcome != "done" || r.Cached {
+		t.Fatalf("post-scrub run: outcome %q cached %v (corrupt entry must be a miss)", r.Outcome, r.Cached)
+	}
+	if !bytes.Equal(cold.Result, r.Result) {
+		t.Fatal("recaptured result differs from the original")
+	}
+	st := getStats(t, ts2)
+	if st.Cache.DiskQuarantined != 1 || st.Cache.Misses != 1 || st.Cache.DiskEntries != 1 {
+		t.Fatalf("post-scrub stats: %+v", st.Cache)
+	}
+}
+
+// corruptOneEntry flips one payload byte of one stored entry file.
+func corruptOneEntry(t *testing.T, dir string) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.dse"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no entries to corrupt in %s (%v)", dir, err)
+	}
+	data, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x40
+	if err := os.WriteFile(names[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

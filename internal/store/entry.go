@@ -1,0 +1,114 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Key is the content address of one entry: the SHA-256 the serving layer
+// computes over every stream-changing job dimension.
+type Key [32]byte
+
+// On-disk entry layout (little-endian), self-describing so a torn,
+// truncated or bit-flipped file is detected on read instead of served:
+//
+//	offset size  field
+//	0      4     magic "DSE1"
+//	4      4     version (1)
+//	8      32    key (must match the name the entry is stored under)
+//	40     8     payload length
+//	48     32    SHA-256 of the payload bytes
+//	80     n     payload
+//
+// The payload hash is the integrity check; the header copy of the key binds
+// the entry to its content address, so a byte-perfect entry renamed over a
+// different key is still rejected rather than served as that key.
+const (
+	entryMagic   = "DSE1"
+	entryVersion = 1
+	headerSize   = 4 + 4 + 32 + 8 + 32
+
+	// maxPayload bounds one entry; decode rejects larger claims before
+	// allocating.
+	maxPayload = 1 << 32
+)
+
+// ErrCorrupt is the sentinel all on-disk corruption classifications match
+// via errors.Is: torn writes, bad magic, version/key/length/hash mismatches.
+var ErrCorrupt = errors.New("store: corrupt entry")
+
+// CorruptError describes one rejected entry. It wraps ErrCorrupt.
+type CorruptError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string { return "store: corrupt entry: " + e.Reason }
+
+// Is matches the ErrCorrupt sentinel.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+func corruptf(format string, args ...any) error {
+	return &CorruptError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// EncodeEntry renders the self-describing on-disk form of payload under key.
+func EncodeEntry(key Key, payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf[0:4], entryMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], entryVersion)
+	copy(buf[8:40], key[:])
+	binary.LittleEndian.PutUint64(buf[40:48], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(buf[48:80], sum[:])
+	copy(buf[headerSize:], payload)
+	return buf
+}
+
+// DecodeEntry validates data as one complete on-disk entry and returns its
+// key and payload. Every defect — short file, bad magic, unknown version,
+// length or hash mismatch — is a *CorruptError (matching ErrCorrupt), never
+// a panic and never a false-valid entry: the payload is returned only when
+// its SHA-256 matches the header. The payload aliases data.
+func DecodeEntry(data []byte) (Key, []byte, error) {
+	var key Key
+	if len(data) < headerSize {
+		return key, nil, corruptf("%d bytes, shorter than the %d-byte header", len(data), headerSize)
+	}
+	if string(data[0:4]) != entryMagic {
+		return key, nil, corruptf("bad magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != entryVersion {
+		return key, nil, corruptf("unknown version %d", v)
+	}
+	copy(key[:], data[8:40])
+	n := binary.LittleEndian.Uint64(data[40:48])
+	if n > maxPayload {
+		return key, nil, corruptf("payload length %d exceeds the %d limit", n, int64(maxPayload))
+	}
+	if uint64(len(data)-headerSize) != n {
+		return key, nil, corruptf("payload length %d, header claims %d (torn write?)", len(data)-headerSize, n)
+	}
+	payload := data[headerSize:]
+	sum := sha256.Sum256(payload)
+	if string(sum[:]) != string(data[48:80]) {
+		return key, nil, corruptf("payload hash mismatch")
+	}
+	return key, payload, nil
+}
+
+// DecodeEntryFor is DecodeEntry plus the binding check: the entry's header
+// key must equal want, so an entry stored under the wrong name (or renamed
+// over another key) is corrupt, not a hit.
+func DecodeEntryFor(want Key, data []byte) ([]byte, error) {
+	key, payload, err := DecodeEntry(data)
+	if err != nil {
+		return nil, err
+	}
+	if key != want {
+		return nil, corruptf("entry key %x does not match its address %x", key[:4], want[:4])
+	}
+	return payload, nil
+}

@@ -1,0 +1,81 @@
+package store
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// FS is the narrow filesystem surface the store runs on. Every byte the
+// store reads or writes goes through one of these methods, so a fault
+// wrapper (internal/fault.FS) can interpose torn writes, ENOSPC, read EIO
+// and crash-at-point deterministically, and the store's crash-safety
+// invariants can be proven against injected disk failure instead of
+// trusted.
+type FS interface {
+	// MkdirAll creates dir and its parents.
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// ReadDir lists dir.
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	// Stat describes name.
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir flushes the directory entry metadata of dir (the rename
+	// durability barrier: without it a crash can forget a completed rename).
+	SyncDir(dir string) error
+}
+
+// File is one open store file.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+}
+
+// OSFS is the real-disk FS.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+
+// Stat implements FS.
+func (OSFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// SyncDir implements FS by fsyncing the directory file descriptor (the
+// POSIX idiom that makes a completed rename durable).
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

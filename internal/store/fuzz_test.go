@@ -1,0 +1,37 @@
+package store_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// FuzzStoreEntry asserts the on-disk decoder's robustness contract on
+// hostile bytes: a typed error or a valid decode, never a panic — and never
+// a false-valid entry, which here means any accepted payload must re-encode
+// under its decoded key to exactly the input (the format admits no
+// ambiguity a bit-flip could hide in).
+func FuzzStoreEntry(f *testing.F) {
+	key := store.Key(sha256.Sum256([]byte("seed")))
+	f.Add(store.EncodeEntry(key, []byte("payload")))
+	f.Add(store.EncodeEntry(key, nil))
+	f.Add([]byte("DSE1 garbage"))
+	f.Add([]byte{})
+	long := store.EncodeEntry(key, bytes.Repeat([]byte("x"), 4096))
+	f.Add(long)
+	f.Add(long[:100])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gotKey, payload, err := store.DecodeEntry(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(store.EncodeEntry(gotKey, payload), data) {
+			t.Fatalf("decoded entry does not re-encode to its input (%d bytes)", len(data))
+		}
+		if _, err := store.DecodeEntryFor(gotKey, data); err != nil {
+			t.Fatalf("self-keyed decode rejected: %v", err)
+		}
+	})
+}

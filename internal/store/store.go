@@ -1,0 +1,369 @@
+// Package store is a crash-safe, disk-backed content-addressed store: the
+// persistent tier under the serving layer's trace cache. Entries are
+// immutable byte payloads addressed by a SHA-256 key (the functional-
+// equivalence-class key of internal/server), so restarts are warm and a
+// future fleet can fetch captures from peers' disks — but only because the
+// tier is torn-write-proof:
+//
+//   - writes are atomic: payloads land in a temp file, are fsynced, and are
+//     renamed into place, with a directory fsync sealing the rename — a
+//     crash at any point leaves either the complete entry or none, plus
+//     temp debris the next startup removes;
+//   - entries are self-describing (magic, version, key, payload length,
+//     payload SHA-256; see entry.go), so a torn or bit-flipped entry is
+//     detected on read and served as a miss, never as data;
+//   - a startup scrub validates every entry and quarantines the corrupt
+//     ones into quarantine/ for post-mortem instead of deleting evidence
+//     or — worse — serving it.
+//
+// All filesystem access goes through the FS interface (fs.go); the
+// deterministic fault wrapper in internal/fault proves these invariants
+// under injected torn writes, ENOSPC, read EIO and crash-at-point. Disk
+// trouble is reported as errors distinct from misses so the caller can
+// degrade to memory-only serving and probe for recovery (Probe).
+package store
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	entrySuffix   = ".dse"
+	tmpPrefix     = "tmp-"
+	quarantineDir = "quarantine"
+	probeName     = "probe.tmp"
+)
+
+// Store is one on-disk content-addressed store. All methods are safe for
+// concurrent use; disk IO is serialized under one mutex (the serving layer
+// single-flights captures per key above this, so the store is never the
+// concurrency hot spot).
+type Store struct {
+	fs     FS
+	dir    string
+	budget int64
+
+	mu    sync.Mutex
+	idx   map[Key]*entryInfo
+	bytes int64
+	gen   uint64
+	seq   uint64 // temp/quarantine name uniquifier
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	ioErrors    atomic.Int64
+	quarantined atomic.Int64
+	evictions   atomic.Int64
+	writes      atomic.Int64
+}
+
+// entryInfo is the in-memory index record of one on-disk entry.
+type entryInfo struct {
+	size int64  // on-disk bytes (header + payload)
+	gen  uint64 // LRU clock
+}
+
+// ScrubReport summarizes the startup scrub.
+type ScrubReport struct {
+	Entries     int   // valid entries adopted
+	Bytes       int64 // their total on-disk size
+	Quarantined int   // corrupt entries moved to quarantine/
+	TmpRemoved  int   // atomic-write debris removed
+}
+
+// Open scrubs dir and returns a store over the entries that survived. Every
+// *.dse file is fully validated (header, length, payload hash, name/key
+// binding); failures are moved to dir/quarantine and counted, temp files
+// from interrupted writes are removed, and anything else is left alone.
+// budget bounds the on-disk bytes; entries beyond it are LRU-evicted.
+func Open(fsys FS, dir string, budget int64) (*Store, ScrubReport, error) {
+	var rep ScrubReport
+	if budget <= 0 {
+		return nil, rep, fmt.Errorf("store: budget must be positive, got %d", budget)
+	}
+	s := &Store{fs: fsys, dir: dir, budget: budget, idx: make(map[Key]*entryInfo)}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, rep, fmt.Errorf("store: %w", err)
+	}
+	if err := fsys.MkdirAll(filepath.Join(dir, quarantineDir)); err != nil {
+		return nil, rep, fmt.Errorf("store: %w", err)
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, rep, fmt.Errorf("store: scrub: %w", err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // deterministic adoption order seeds the LRU clock
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		switch {
+		case strings.HasPrefix(name, tmpPrefix) || name == probeName:
+			// Debris of an interrupted atomic write: never renamed into
+			// place, so by construction never served; just remove it.
+			if err := fsys.Remove(path); err != nil {
+				return nil, rep, fmt.Errorf("store: scrub: %w", err)
+			}
+			rep.TmpRemoved++
+		case strings.HasSuffix(name, entrySuffix):
+			key, size, err := s.scrubEntry(name)
+			switch {
+			case err == nil:
+				s.gen++
+				s.idx[key] = &entryInfo{size: size, gen: s.gen}
+				s.bytes += size
+				rep.Entries++
+				rep.Bytes += size
+			case errors.Is(err, ErrCorrupt):
+				if qerr := s.quarantine(name); qerr != nil {
+					return nil, rep, fmt.Errorf("store: scrub: %w", qerr)
+				}
+				rep.Quarantined++
+				s.quarantined.Add(1)
+			default:
+				return nil, rep, fmt.Errorf("store: scrub %s: %w", name, err)
+			}
+		}
+	}
+	s.evictLocked(nil)
+	return s, rep, nil
+}
+
+// scrubEntry fully validates one named entry file: readable, decodable, and
+// stored under the hex rendering of its own header key.
+func (s *Store) scrubEntry(name string) (Key, int64, error) {
+	var key Key
+	raw, err := hex.DecodeString(strings.TrimSuffix(name, entrySuffix))
+	if err != nil || len(raw) != len(key) {
+		return key, 0, corruptf("file name %q is not a hex key", name)
+	}
+	copy(key[:], raw)
+	data, err := s.readFile(filepath.Join(s.dir, name))
+	if err != nil {
+		return key, 0, err
+	}
+	if _, err := DecodeEntryFor(key, data); err != nil {
+		return key, 0, err
+	}
+	return key, int64(len(data)), nil
+}
+
+// Get returns the payload stored under key. ok=false with a nil error is a
+// miss (absent, or detected-corrupt and quarantined); a non-nil error means
+// the disk itself is failing (EIO, ...) and the caller should degrade.
+func (s *Store) Get(key Key) (payload []byte, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := s.idx[key]
+	if info == nil {
+		s.misses.Add(1)
+		return nil, false, nil
+	}
+	name := entryName(key)
+	data, err := s.readFile(filepath.Join(s.dir, name))
+	if err != nil {
+		s.ioErrors.Add(1)
+		return nil, false, fmt.Errorf("store: get: %w", err)
+	}
+	p, err := DecodeEntryFor(key, data)
+	if err != nil {
+		// Corruption that appeared after the scrub (bit rot, operator
+		// damage): quarantine it and serve a miss — never the bytes.
+		delete(s.idx, key)
+		s.bytes -= info.size
+		if qerr := s.quarantine(name); qerr != nil {
+			s.ioErrors.Add(1)
+			return nil, false, fmt.Errorf("store: quarantining %s: %w", name, qerr)
+		}
+		s.quarantined.Add(1)
+		s.misses.Add(1)
+		return nil, false, nil
+	}
+	s.gen++
+	info.gen = s.gen
+	s.hits.Add(1)
+	return p, true, nil
+}
+
+// Put durably stores payload under key: temp file, fsync, rename, directory
+// fsync. On any error the temp file is removed best-effort and the store's
+// on-disk state is unchanged — a failed Put never leaves a servable partial
+// entry. Storing over an existing key replaces it atomically.
+func (s *Store) Put(key Key, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data := EncodeEntry(key, payload)
+	s.seq++
+	tmp := filepath.Join(s.dir, fmt.Sprintf("%s%016x", tmpPrefix, s.seq))
+	if err := s.writeFile(tmp, data); err != nil {
+		s.ioErrors.Add(1)
+		_ = s.fs.Remove(tmp)
+		return fmt.Errorf("store: put: %w", err)
+	}
+	final := filepath.Join(s.dir, entryName(key))
+	if err := s.fs.Rename(tmp, final); err != nil {
+		s.ioErrors.Add(1)
+		_ = s.fs.Remove(tmp)
+		return fmt.Errorf("store: put: %w", err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		// The rename happened; only its durability across a crash is in
+		// doubt. Surface the disk trouble without forgetting the entry.
+		s.adopt(key, int64(len(data)))
+		s.ioErrors.Add(1)
+		return fmt.Errorf("store: put: %w", err)
+	}
+	s.adopt(key, int64(len(data)))
+	s.writes.Add(1)
+	return nil
+}
+
+// adopt indexes a just-renamed entry and evicts to budget.
+func (s *Store) adopt(key Key, size int64) {
+	if old := s.idx[key]; old != nil {
+		s.bytes -= old.size
+	}
+	s.gen++
+	info := &entryInfo{size: size, gen: s.gen}
+	s.idx[key] = info
+	s.bytes += size
+	s.evictLocked(info)
+}
+
+// evictLocked LRU-evicts entries other than keep until the budget holds.
+func (s *Store) evictLocked(keep *entryInfo) {
+	for s.bytes > s.budget {
+		var victim Key
+		var ve *entryInfo
+		vg := ^uint64(0)
+		for k, e := range s.idx {
+			if e != keep && e.gen < vg {
+				vg, victim, ve = e.gen, k, e
+			}
+		}
+		if ve == nil {
+			return
+		}
+		delete(s.idx, victim)
+		s.bytes -= ve.size
+		if err := s.fs.Remove(filepath.Join(s.dir, entryName(victim))); err != nil {
+			// The entry is already forgotten; the file becomes debris the
+			// next scrub revalidates or removes.
+			s.ioErrors.Add(1)
+		}
+		s.evictions.Add(1)
+	}
+}
+
+// Probe exercises the disk end to end — write, fsync, read back, verify,
+// remove — and reports whether it is healthy. The serving layer calls this
+// from its recovery loop while degraded.
+func (s *Store) Probe() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var key Key
+	copy(key[:], "store-probe")
+	want := EncodeEntry(key, []byte("probe"))
+	path := filepath.Join(s.dir, probeName)
+	if err := s.writeFile(path, want); err != nil {
+		_ = s.fs.Remove(path)
+		return fmt.Errorf("store: probe: %w", err)
+	}
+	got, err := s.readFile(path)
+	if err != nil {
+		_ = s.fs.Remove(path)
+		return fmt.Errorf("store: probe: %w", err)
+	}
+	if err := s.fs.Remove(path); err != nil {
+		return fmt.Errorf("store: probe: %w", err)
+	}
+	if string(got) != string(want) {
+		return fmt.Errorf("store: probe: read back %d bytes, want %d", len(got), len(want))
+	}
+	return nil
+}
+
+// quarantine moves a corrupt entry aside for post-mortem, never deleting
+// the evidence. Called with s.mu held (or during single-threaded scrub).
+func (s *Store) quarantine(name string) error {
+	s.seq++
+	dst := filepath.Join(s.dir, quarantineDir, fmt.Sprintf("%s.%d", name, s.seq))
+	return s.fs.Rename(filepath.Join(s.dir, name), dst)
+}
+
+// writeFile creates path with data and fsyncs it.
+func (s *Store) writeFile(path string, data []byte) error {
+	f, err := s.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readFile reads all of path.
+func (s *Store) readFile(path string) ([]byte, error) {
+	f, err := s.fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return data, err
+}
+
+// entryName renders key's file name.
+func entryName(key Key) string { return hex.EncodeToString(key[:]) + entrySuffix }
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Writes      int64 `json:"writes"`
+	Evictions   int64 `json:"evictions"`
+	Quarantined int64 `json:"quarantined"`
+	IOErrors    int64 `json:"io_errors"`
+}
+
+// StatsSnapshot returns the current counters.
+func (s *Store) StatsSnapshot() Stats {
+	s.mu.Lock()
+	entries, bytes := len(s.idx), s.bytes
+	s.mu.Unlock()
+	return Stats{
+		Entries:     entries,
+		Bytes:       bytes,
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Writes:      s.writes.Load(),
+		Evictions:   s.evictions.Load(),
+		Quarantined: s.quarantined.Load(),
+		IOErrors:    s.ioErrors.Load(),
+	}
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }

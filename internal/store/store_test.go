@@ -1,0 +1,311 @@
+package store_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/store"
+)
+
+func keyOf(s string) store.Key { return store.Key(sha256.Sum256([]byte(s))) }
+
+func openT(t *testing.T, fsys store.FS, dir string, budget int64) (*store.Store, store.ScrubReport) {
+	t.Helper()
+	st, rep, err := store.Open(fsys, dir, budget)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return st, rep
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, store.OSFS{}, dir, 1<<20)
+	key, payload := keyOf("a"), []byte("hello persistent world")
+	if err := st.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = (%q, %v, %v), want payload back", got, ok, err)
+	}
+	if _, ok, err := st.Get(keyOf("absent")); ok || err != nil {
+		t.Fatalf("absent key: ok=%v err=%v, want clean miss", ok, err)
+	}
+	s := st.StatsSnapshot()
+	if s.Hits != 1 || s.Misses != 1 || s.Writes != 1 || s.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 write / 1 entry", s)
+	}
+}
+
+func TestReopenIsWarm(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, store.OSFS{}, dir, 1<<20)
+	key, payload := keyOf("warm"), []byte("survives restarts")
+	if err := st.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	st2, rep := openT(t, store.OSFS{}, dir, 1<<20)
+	if rep.Entries != 1 || rep.Quarantined != 0 {
+		t.Fatalf("scrub report %+v, want 1 clean entry", rep)
+	}
+	got, ok, err := st2.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("warm Get = (%q, %v, %v)", got, ok, err)
+	}
+}
+
+// TestScrubQuarantinesCorruption plants every corruption class the entry
+// format must catch and requires the scrub to quarantine each — and to
+// keep, not touch, the valid entry.
+func TestScrubQuarantinesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, store.OSFS{}, dir, 1<<20)
+	key, payload := keyOf("good"), []byte("good payload")
+	if err := st.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	var goodName string
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".dse") {
+			goodName = e.Name()
+		}
+	}
+	good, err := os.ReadFile(filepath.Join(dir, goodName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit flip in the payload.
+	flipped := bytes.Clone(good)
+	flipped[len(flipped)-1] ^= 0x40
+	writeAs := func(k store.Key, data []byte) {
+		name := hex.EncodeToString(k[:]) + ".dse"
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeAs(keyOf("flipped"), flipped)
+	// Torn: truncated mid-payload.
+	writeAs(keyOf("torn"), good[:len(good)-4])
+	// Wrong address: a byte-perfect entry stored under another key.
+	writeAs(keyOf("misfiled"), good)
+	// Garbage magic.
+	writeAs(keyOf("garbage"), []byte("not an entry at all"))
+	// Atomic-write debris.
+	if err := os.WriteFile(filepath.Join(dir, "tmp-00000000deadbeef"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rep := openT(t, store.OSFS{}, dir, 1<<20)
+	if rep.Entries != 1 || rep.Quarantined != 4 || rep.TmpRemoved != 1 {
+		t.Fatalf("scrub report %+v, want 1 entry / 4 quarantined / 1 tmp removed", rep)
+	}
+	got, ok, err := st2.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("valid entry lost by scrub: (%q, %v, %v)", got, ok, err)
+	}
+	// The evidence moved to quarantine/, not deleted.
+	qents, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(qents) != 4 {
+		t.Fatalf("quarantine holds %d files (err %v), want 4", len(qents), err)
+	}
+	// None of the corrupt keys are servable.
+	for _, k := range []string{"flipped", "torn", "misfiled", "garbage"} {
+		if _, ok, err := st2.Get(keyOf(k)); ok || err != nil {
+			t.Fatalf("corrupt key %q: ok=%v err=%v, want clean miss", k, ok, err)
+		}
+	}
+}
+
+// TestGetQuarantinesPostScrubCorruption damages an entry after adoption:
+// the read path must detect it, quarantine it, and answer a miss.
+func TestGetQuarantinesPostScrubCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openT(t, store.OSFS{}, dir, 1<<20)
+	key := keyOf("rot")
+	if err := st.Put(key, []byte("will rot")); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".dse") {
+			path := filepath.Join(dir, e.Name())
+			data, _ := os.ReadFile(path)
+			data[len(data)-1] ^= 1
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, ok, err := st.Get(key)
+	if ok || err != nil || got != nil {
+		t.Fatalf("bit-rotted Get = (%v, %v, %v), want clean miss", got, ok, err)
+	}
+	if s := st.StatsSnapshot(); s.Quarantined != 1 || s.Entries != 0 {
+		t.Fatalf("stats %+v, want the entry quarantined and dropped", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 100)
+	// Each entry is 80 (header) + 100 bytes; budget of 400 holds two.
+	st, _ := openT(t, store.OSFS{}, dir, 400)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := st.Put(keyOf(k), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, _ := st.Get(keyOf("a")); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for _, k := range []string{"b", "c"} {
+		if _, ok, err := st.Get(keyOf(k)); !ok || err != nil {
+			t.Fatalf("recent entry %q evicted (ok=%v err=%v)", k, ok, err)
+		}
+	}
+	s := st.StatsSnapshot()
+	if s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats %+v, want 1 eviction / 2 entries", s)
+	}
+	// A reopen over the evicted state adopts exactly the survivors.
+	st2, rep := openT(t, store.OSFS{}, dir, 400)
+	if rep.Entries != 2 || rep.Quarantined != 0 {
+		t.Fatalf("post-eviction scrub %+v, want 2 entries", rep)
+	}
+	if got := st2.StatsSnapshot(); got.Bytes != s.Bytes {
+		t.Fatalf("reopened bytes %d != live bytes %d", got.Bytes, s.Bytes)
+	}
+}
+
+// TestTornWriteNeverServed runs the atomic-write protocol over a disk that
+// silently drops bytes past a torn point (acknowledging writes and syncs it
+// does not honor). Whether the Put appears to succeed or not, a Get (and a
+// rescrub) must never return the torn payload.
+func TestTornWriteNeverServed(t *testing.T) {
+	for _, torn := range []int64{1, 50, 85, 120} {
+		dir := t.TempDir()
+		ffs := fault.NewFS(store.OSFS{}, fault.FSPlan{
+			TornAfterBytes: torn, ENOSPCAtWrite: -1, EIOAtRead: -1, CrashAtOp: -1,
+		})
+		st, _ := openT(t, ffs, dir, 1<<20)
+		key, payload := keyOf("torn"), bytes.Repeat([]byte("p"), 64)
+		_ = st.Put(key, payload) // may "succeed": the disk lies
+		if got, ok, err := st.Get(key); ok && err == nil && !bytes.Equal(got, payload) {
+			t.Fatalf("torn@%d: Get served corrupt payload %q", torn, got)
+		}
+		// Restart over the real dir: the scrub must quarantine or the entry
+		// must be whole; either way a hit is byte-exact.
+		st2, _ := openT(t, store.OSFS{}, dir, 1<<20)
+		if got, ok, err := st2.Get(key); ok && err == nil && !bytes.Equal(got, payload) {
+			t.Fatalf("torn@%d: post-restart Get served corrupt payload %q", torn, got)
+		}
+	}
+}
+
+// TestCrashAtEveryPoint steps the crash point through the entire Put
+// operation sequence: after each simulated crash a fresh store over the
+// real directory must scrub to a consistent state and never serve a
+// partial entry.
+func TestCrashAtEveryPoint(t *testing.T) {
+	key, payload := keyOf("crash"), bytes.Repeat([]byte("c"), 256)
+	// Measure the op count of a clean open + Put.
+	probe := fault.NewFS(store.OSFS{}, fault.DisarmedPlan())
+	st, _ := openT(t, probe, t.TempDir(), 1<<20)
+	if err := st.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	totalOps := probe.Ops()
+
+	for at := int64(0); at < totalOps; at++ {
+		dir := t.TempDir()
+		ffs := fault.NewFS(store.OSFS{}, fault.FSPlan{
+			ENOSPCAtWrite: -1, EIOAtRead: -1, CrashAtOp: at,
+		})
+		stF, _, err := store.Open(ffs, dir, 1<<20)
+		perr := errors.New("crashed before Put")
+		if err == nil {
+			perr = stF.Put(key, payload)
+		}
+		// Restart on the real disk: the scrub must find either the complete
+		// entry or none — never a corrupt final one.
+		st2, rep := openT(t, store.OSFS{}, dir, 1<<20)
+		if rep.Quarantined != 0 {
+			t.Fatalf("crash@%d: atomic protocol left %d corrupt final entries", at, rep.Quarantined)
+		}
+		got, ok, gerr := st2.Get(key)
+		if ok && (gerr != nil || !bytes.Equal(got, payload)) {
+			t.Fatalf("crash@%d: served entry not byte-exact (err %v)", at, gerr)
+		}
+		if perr == nil && !ok {
+			t.Fatalf("crash@%d: Put reported success but the entry did not survive", at)
+		}
+	}
+}
+
+// TestDiskErrorsSurfaceDistinctFromMisses: EIO on read and ENOSPC on write
+// must come back as errors (degrade signal), not as silent misses.
+func TestDiskErrorsSurfaceDistinctFromMisses(t *testing.T) {
+	dir := t.TempDir()
+	ffs := fault.NewFS(store.OSFS{}, fault.DisarmedPlan())
+	st, _ := openT(t, ffs, dir, 1<<20)
+	key := keyOf("x")
+	if err := st.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailReads(fault.ErrInjectedEIO)
+	if _, ok, err := st.Get(key); ok || !errors.Is(err, fault.ErrInjectedEIO) {
+		t.Fatalf("EIO Get: ok=%v err=%v, want injected EIO error", ok, err)
+	}
+	ffs.Heal()
+	ffs.FailWrites(fault.ErrInjectedENOSPC)
+	if err := st.Put(keyOf("y"), []byte("nope")); !errors.Is(err, fault.ErrInjectedENOSPC) {
+		t.Fatalf("ENOSPC Put: %v, want injected ENOSPC error", err)
+	}
+	ffs.Heal()
+	if err := st.Probe(); err != nil {
+		t.Fatalf("healed probe: %v", err)
+	}
+	ffs.FailReads(fault.ErrInjectedEIO)
+	if err := st.Probe(); err == nil {
+		t.Fatal("probe over a failing disk reported healthy")
+	}
+	// The store itself keeps serving what it can after errors.
+	ffs.Heal()
+	if got, ok, err := st.Get(key); !ok || err != nil || !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("post-recovery Get = (%q, %v, %v)", got, ok, err)
+	}
+}
+
+func TestEncodeDecodeEntry(t *testing.T) {
+	key, payload := keyOf("codec"), []byte("payload bytes")
+	data := store.EncodeEntry(key, payload)
+	gotKey, gotPayload, err := store.DecodeEntry(data)
+	if err != nil || gotKey != key || !bytes.Equal(gotPayload, payload) {
+		t.Fatalf("round trip: key=%x payload=%q err=%v", gotKey[:4], gotPayload, err)
+	}
+	if _, err := store.DecodeEntryFor(keyOf("other"), data); !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("key binding: %v, want ErrCorrupt", err)
+	}
+	for i := range data {
+		mut := bytes.Clone(data)
+		mut[i] ^= 0x01
+		if _, err := store.DecodeEntryFor(key, mut); err == nil {
+			t.Fatalf("single-bit flip at byte %d decoded as valid", i)
+		}
+	}
+	for _, cut := range []int{0, 4, 79, len(data) - 1} {
+		if _, _, err := store.DecodeEntry(data[:cut]); !errors.Is(err, store.ErrCorrupt) {
+			t.Fatalf("truncation at %d: %v, want ErrCorrupt", cut, err)
+		}
+	}
+}

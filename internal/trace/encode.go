@@ -1,0 +1,350 @@
+package trace
+
+// Binary serialization of a captured trace, for the persistent trace store:
+// a Trace round-trips through MarshalBinary/UnmarshalBinary into the exact
+// stream the replayer walks, so a job served from a decoded trace is
+// byte-identical to one served from the live capture. The format is
+// little-endian and fixed-layout (no unsafe, no host-order dependence).
+// Decoding hostile bytes returns a typed error, never panics, and never
+// yields a trace that differs from what a capture could produce: record
+// counts are length-checked, trap kinds validated, and trailing garbage
+// rejected.
+//
+// The captured program itself is NOT serialized — the store's content
+// address already covers the program image, and the replayer never touches
+// it. Program() returns nil on a decoded trace.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// Wire constants. recBytes is the fixed serialized size of one cpu.Rec.
+const (
+	traceMagic   = "DTR1"
+	traceVersion = 1
+	recBytes     = 32
+
+	// maxStringLen bounds the output/detail strings a decoded trace may
+	// carry; a capture cannot produce more (guest output is budgeted far
+	// below this) and a hostile length prefix must not drive allocation.
+	maxStringLen = 1 << 24
+)
+
+// ErrBadTrace is the sentinel every decode failure matches via errors.Is.
+var ErrBadTrace = errors.New("trace: bad serialized trace")
+
+func badf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadTrace, fmt.Sprintf(format, args...))
+}
+
+// Error-kind tags of the serialized termination error.
+const (
+	errNone   = 0 // clean halt
+	errTrap   = 1 // *emu.Trap (kind, pc, disepc, addr, acf, detail)
+	errOpaque = 2 // any other error, preserved as its message
+)
+
+// MarshalBinary serializes the trace: header, final architectural state,
+// termination error, then the record stream. Cancelled (truncated) traces
+// are rejected — they reflect a wall-clock accident, not program content,
+// and must never be persisted as their equivalence class.
+func (t *Trace) MarshalBinary() ([]byte, error) {
+	if errors.Is(t.err, emu.ErrCancelled) {
+		return nil, fmt.Errorf("trace: refusing to serialize a cancelled capture")
+	}
+	var w writer
+	w.bytes(traceMagic)
+	w.u32(traceVersion)
+	w.u64(uint64(t.n))
+
+	w.i64(t.stats.AppInsts)
+	w.i64(t.stats.ReplInsts)
+	w.i64(t.stats.Total)
+	w.i64(t.stats.Loads)
+	w.i64(t.stats.Stores)
+	w.i64(t.stats.Branches)
+	w.i64(t.stats.Taken)
+	w.i64(t.stats.TextWrites)
+	w.i64(t.stats.Redecodes)
+
+	w.i64(t.pred.CondBranches)
+	w.i64(t.pred.CondMiss)
+	w.i64(t.pred.IndBranches)
+	w.i64(t.pred.IndMiss)
+	w.i64(t.pred.Returns)
+	w.i64(t.pred.RetMiss)
+
+	if err := w.str(t.output); err != nil {
+		return nil, err
+	}
+	if err := w.termError(t.err); err != nil {
+		return nil, err
+	}
+	for _, c := range t.chunks {
+		for i := range c {
+			w.rec(&c[i])
+		}
+	}
+	return w.buf, nil
+}
+
+// UnmarshalBinary decodes data into a fresh Trace. Any defect — short or
+// oversized buffer, bad magic or version, an out-of-range trap kind, a
+// hostile length prefix — returns an error matching ErrBadTrace.
+func UnmarshalBinary(data []byte) (*Trace, error) {
+	r := reader{buf: data}
+	magic, err := r.bytes(4)
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != traceMagic {
+		return nil, badf("magic %q", magic)
+	}
+	ver, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != traceVersion {
+		return nil, badf("unknown version %d", ver)
+	}
+	n64, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Trace{}
+	for _, dst := range []*int64{
+		&t.stats.AppInsts, &t.stats.ReplInsts, &t.stats.Total,
+		&t.stats.Loads, &t.stats.Stores, &t.stats.Branches, &t.stats.Taken,
+		&t.stats.TextWrites, &t.stats.Redecodes,
+		&t.pred.CondBranches, &t.pred.CondMiss,
+		&t.pred.IndBranches, &t.pred.IndMiss,
+		&t.pred.Returns, &t.pred.RetMiss,
+	} {
+		if *dst, err = r.i64(); err != nil {
+			return nil, err
+		}
+	}
+	if t.output, err = r.str(); err != nil {
+		return nil, err
+	}
+	if t.err, err = r.termError(); err != nil {
+		return nil, err
+	}
+	// Every remaining byte must be exactly the claimed record stream. The
+	// division-first check keeps a hostile n64 from overflowing the product.
+	rem := uint64(len(r.buf) - r.off)
+	if n64 > rem/recBytes || rem != n64*recBytes {
+		return nil, badf("%d remaining bytes for %d claimed records", rem, n64)
+	}
+	n := int(n64)
+	recs := make([]cpu.Rec, n)
+	for i := range recs {
+		r.rec(&recs[i])
+	}
+	t.n = n
+	if n > 0 {
+		t.chunks = [][]cpu.Rec{recs}
+	}
+	return t, nil
+}
+
+// termError serializes the capture's termination error.
+func (w *writer) termError(err error) error {
+	switch e := err.(type) {
+	case nil:
+		w.u8(errNone)
+		return nil
+	case *emu.Trap:
+		w.u8(errTrap)
+		w.u8(uint8(e.Kind))
+		w.u64(e.PC)
+		w.i64(int64(e.DISEPC))
+		w.u64(e.Addr)
+		if e.ACF {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		return w.str(e.Detail)
+	default:
+		w.u8(errOpaque)
+		return w.str(e.Error())
+	}
+}
+
+// termError decodes the capture's termination error.
+func (r *reader) termError() (error, error) {
+	tag, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case errNone:
+		return nil, nil
+	case errTrap:
+		var t emu.Trap
+		kind, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if kind == uint8(emu.TrapNone) || kind >= uint8(emu.NumTrapKinds) {
+			return nil, badf("trap kind %d out of range", kind)
+		}
+		t.Kind = emu.TrapKind(kind)
+		if t.PC, err = r.u64(); err != nil {
+			return nil, err
+		}
+		disepc, err := r.i64()
+		if err != nil {
+			return nil, err
+		}
+		t.DISEPC = int(disepc)
+		if t.Addr, err = r.u64(); err != nil {
+			return nil, err
+		}
+		acf, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if acf > 1 {
+			return nil, badf("acf flag %d", acf)
+		}
+		t.ACF = acf == 1
+		if t.Detail, err = r.str(); err != nil {
+			return nil, err
+		}
+		return &t, nil
+	case errOpaque:
+		msg, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		return errors.New(msg), nil
+	default:
+		return nil, badf("error tag %d", tag)
+	}
+}
+
+// writer appends fixed-layout little-endian fields.
+type writer struct{ buf []byte }
+
+func (w *writer) bytes(s string) { w.buf = append(w.buf, s...) }
+func (w *writer) u8(v uint8)     { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16)   { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32)   { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64)   { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) i64(v int64)    { w.u64(uint64(v)) }
+
+func (w *writer) str(s string) error {
+	if len(s) > maxStringLen {
+		return fmt.Errorf("trace: string field of %d bytes exceeds the %d limit", len(s), maxStringLen)
+	}
+	w.u32(uint32(len(s)))
+	w.bytes(s)
+	return nil
+}
+
+func (w *writer) rec(r *cpu.Rec) {
+	w.u64(r.PC)
+	w.u64(r.MemAddr)
+	w.u32(uint32(r.DISEPC))
+	w.u32(uint32(r.SeqLen))
+	w.u8(r.FetchSize)
+	w.u8(uint8(r.Op))
+	w.u8(uint8(r.SrcA))
+	w.u8(uint8(r.SrcB))
+	w.u8(uint8(r.Dst))
+	w.u8(r.Lat)
+	w.u16(r.Flags)
+}
+
+// reader consumes fixed-layout little-endian fields with bounds checks.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || len(r.buf)-r.off < n {
+		return nil, badf("truncated at offset %d (need %d bytes)", r.off, n)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (r *reader) i64() (int64, error) {
+	v, err := r.u64()
+	return int64(v), err
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", badf("string length %d exceeds the %d limit", n, maxStringLen)
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// rec decodes one record; the caller has already bounds-checked the stream.
+func (r *reader) rec(dst *cpu.Rec) {
+	b := r.buf[r.off : r.off+recBytes]
+	r.off += recBytes
+	dst.PC = binary.LittleEndian.Uint64(b[0:8])
+	dst.MemAddr = binary.LittleEndian.Uint64(b[8:16])
+	dst.DISEPC = int32(binary.LittleEndian.Uint32(b[16:20]))
+	dst.SeqLen = int32(binary.LittleEndian.Uint32(b[20:24]))
+	dst.FetchSize = b[24]
+	dst.Op = isa.Opcode(b[25])
+	dst.SrcA = isa.Reg(b[26])
+	dst.SrcB = isa.Reg(b[27])
+	dst.Dst = isa.Reg(b[28])
+	dst.Lat = b[29]
+	dst.Flags = binary.LittleEndian.Uint16(b[30:32])
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+)
+
+const codecAsm = `
+.entry main
+.data
+buf: .space 64
+.text
+main:
+    la r1, buf
+    li r2, 4
+loop:
+    stq r2, 0(r1)
+    addqi r1, 8, r1
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`
+
+func captureCodec(t *testing.T, budget int64) *Trace {
+	t.Helper()
+	prog, err := asm.Assemble("codec", codecAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := emu.New(prog)
+	if budget > 0 {
+		m.SetBudget(budget)
+	}
+	return Capture(m)
+}
+
+// TestMarshalRoundTrip requires a decoded trace to replay byte-identically
+// to the original: same records, same final state, same timed result.
+func TestMarshalRoundTrip(t *testing.T) {
+	for name, budget := range map[string]int64{"clean": 0, "budget-trap": 7} {
+		t.Run(name, func(t *testing.T) {
+			tr := captureCodec(t, budget)
+			data, err := tr.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := UnmarshalBinary(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Len() != tr.Len() {
+				t.Fatalf("Len %d != %d", got.Len(), tr.Len())
+			}
+			want := tr.Excerpt(tr.Len())
+			have := got.Excerpt(got.Len())
+			for i := range want {
+				if want[i] != have[i] {
+					t.Fatalf("record %d differs: %+v vs %+v", i, want[i], have[i])
+				}
+			}
+			cfg := cpu.DefaultConfig()
+			a := cpu.RunSource(tr.Replay(30, 150), cfg)
+			b := cpu.RunSource(got.Replay(30, 150), cfg)
+			if a.Cycles != b.Cycles || a.Insts != b.Insts || a.Mispredicts != b.Mispredicts ||
+				a.DiseStalls != b.DiseStalls || a.Output != b.Output {
+				t.Fatalf("replay diverged: %+v vs %+v", a, b)
+			}
+			switch {
+			case a.Err == nil && b.Err != nil, a.Err != nil && b.Err == nil:
+				t.Fatalf("error divergence: %v vs %v", a.Err, b.Err)
+			case a.Err != nil && a.Err.Error() != b.Err.Error():
+				t.Fatalf("error text divergence: %q vs %q", a.Err, b.Err)
+			}
+			if a.Err != nil {
+				var ta, tb *emu.Trap
+				if !errors.As(a.Err, &ta) || !errors.As(b.Err, &tb) || ta.Kind != tb.Kind {
+					t.Fatalf("trap kind divergence: %v vs %v", a.Err, b.Err)
+				}
+			}
+			// A second marshal of the decoded trace is byte-identical: the
+			// format is canonical.
+			data2, err := got.MarshalBinary()
+			if err != nil || !bytes.Equal(data, data2) {
+				t.Fatalf("re-marshal not canonical (err %v)", err)
+			}
+		})
+	}
+}
+
+func TestMarshalRefusesCancelled(t *testing.T) {
+	tr := &Trace{err: emu.ErrCancelled}
+	if _, err := tr.MarshalBinary(); err == nil {
+		t.Fatal("serialized a cancelled capture")
+	}
+}
+
+// TestUnmarshalHostile feeds structurally broken inputs; each must return
+// an ErrBadTrace-matching error, never panic, never a trace.
+func TestUnmarshalHostile(t *testing.T) {
+	tr := captureCodec(t, 0)
+	good, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad magic":     append([]byte("XXXX"), good[4:]...),
+		"bad version":   append(bytes.Clone(good[:4]), append([]byte{9, 0, 0, 0}, good[8:]...)...),
+		"truncated":     good[:len(good)-5],
+		"extra byte":    append(bytes.Clone(good), 0),
+		"header only":   good[:16],
+		"records short": good[:len(good)-32],
+	}
+	// Hostile record count: claim more records than the buffer holds.
+	huge := bytes.Clone(good)
+	for i := 8; i < 16; i++ {
+		huge[i] = 0xff
+	}
+	cases["overflow count"] = huge
+	for name, data := range cases {
+		if got, err := UnmarshalBinary(data); err == nil || !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: (%v, %v), want ErrBadTrace", name, got, err)
+		}
+	}
+}
+
+// TestUnmarshalRejectsBadTrap: a trap kind outside the defined range must
+// not decode into a trace that would render as a nonsense trap name.
+func TestUnmarshalRejectsBadTrap(t *testing.T) {
+	tr := captureCodec(t, 7) // terminates with a budget trap
+	good, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trap tag byte follows magic(4) + version(4) + n(8) + 15 counters
+	// + output string (u32 len, empty). Find it structurally: locate the
+	// errTrap tag and bump the kind byte after it out of range.
+	off := 4 + 4 + 8 + 15*8 + 4
+	if good[off] != errTrap {
+		t.Fatalf("layout drift: tag byte %d at offset %d", good[off], off)
+	}
+	bad := bytes.Clone(good)
+	bad[off+1] = 0xee
+	if _, err := UnmarshalBinary(bad); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("out-of-range trap kind: %v, want ErrBadTrace", err)
+	}
+	none := bytes.Clone(good)
+	none[off+1] = 0 // TrapNone never appears in a raised trap
+	if _, err := UnmarshalBinary(none); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("TrapNone trap: %v, want ErrBadTrace", err)
+	}
+}
