@@ -1,7 +1,7 @@
 GO       ?= go
 FUZZTIME ?= 10s
-BASE     ?= BENCH_PR2.json
-OUT      ?= BENCH_PR6.json
+BASE     ?= BENCH_PR3.json
+OUT      ?= BENCH_PR7.json
 
 .PHONY: all build vet test race race-experiments bench benchcmp check-experiments serve-smoke load-smoke store-smoke check-docs fuzz verify clean
 
@@ -82,6 +82,7 @@ fuzz:
 	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzSubmitRequest$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/store -run '^$$' -fuzz '^FuzzStoreEntry$$' -fuzztime $(FUZZTIME)
 	$(GO) test . -run '^$$' -fuzz '^FuzzRun$$' -fuzztime $(FUZZTIME)
+	$(GO) test . -run '^$$' -fuzz '^FuzzTranslated$$' -fuzztime $(FUZZTIME)
 
 verify: build vet race race-experiments serve-smoke load-smoke store-smoke check-docs fuzz
 

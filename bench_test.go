@@ -8,8 +8,10 @@ package dise
 // EXPERIMENTS.md.
 
 import (
+	"strings"
 	"testing"
 
+	"repro/internal/emu"
 	"repro/internal/experiments"
 )
 
@@ -157,6 +159,58 @@ loop:
 		if res.Err != nil {
 			b.Fatal(res.Err)
 		}
+	}
+}
+
+// Translation-path microbenchmarks: TranslateCold measures the translator
+// itself — every iteration compiles ~1K units of straight-line code that then
+// executes exactly once, so nothing amortizes — and SuperblockDispatch
+// measures steady-state threaded dispatch over a hot loop whose superblock is
+// translated once and reused for the whole run.
+
+func BenchmarkTranslateCold(b *testing.B) {
+	var src strings.Builder
+	src.WriteString(".entry main\nmain:\n")
+	for i := 0; i < 1024; i++ {
+		src.WriteString(" addqi r3, 1, r3\n")
+	}
+	src.WriteString(" halt\n")
+	prog := MustAssemble("cold", src.String())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(prog)
+		m.SetTranslate(emu.TranslateAlways, 0)
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if translated, _ := m.TranslateCounts(); translated == 0 {
+			b.Fatal("translation never engaged")
+		}
+	}
+}
+
+func BenchmarkSuperblockDispatch(b *testing.B) {
+	src := `
+.entry main
+main:
+    li r2, 10000
+loop:
+    addqi r3, 1, r3
+    xor r3, r4, r4
+    slli r3, 3, r5
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`
+	prog := MustAssemble("dispatch", src)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(prog)
+		m.SetTranslate(emu.TranslateAlways, 0)
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(m.Stats.Total)
 	}
 }
 

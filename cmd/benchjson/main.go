@@ -1,15 +1,19 @@
 // benchjson converts `go test -bench` output on stdin into a JSON summary on
-// stdout: one record per benchmark with ns/op, B/op and allocs/op averaged
-// across -count repetitions. The bench Makefile target uses it to commit
-// machine-readable perf receipts (BENCH_PR3.json) alongside the human log.
+// stdout: one record per benchmark aggregated across -count repetitions.
+// The default aggregation is min-of-N — on a noisy box the minimum is the
+// run least disturbed by other tenants, so it tracks the code's real cost
+// where the mean tracks the neighbors'; -agg mean restores averaging. The
+// bench Makefile target uses this to commit machine-readable perf receipts
+// (BENCH_PR7.json) alongside the human log.
 //
 // With -compare, it instead diffs two previously written receipts:
 //
 //	benchjson -compare OLD.json NEW.json
 //
-// printing a per-benchmark delta table and exiting nonzero when any
-// benchmark present in both files regressed by more than 10% on ns/op. The
-// `make benchcmp BASE=...` target wraps this mode.
+// printing a per-benchmark delta table with a geomean summary line over the
+// shared benchmarks, and exiting nonzero when any benchmark present in both
+// files regressed by more than 10% on ns/op. The `make benchcmp BASE=...`
+// target wraps this mode.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -26,12 +31,17 @@ import (
 // regressLimit is the ns/op growth factor beyond which -compare fails.
 const regressLimit = 1.10
 
-// record accumulates repetitions of one benchmark.
+// record accumulates repetitions of one benchmark: running sums for -agg
+// mean, running minima for the default min-of-N.
 type record struct {
 	runs     int
 	nsOp     float64
 	bytesOp  float64
 	allocsOp float64
+
+	minNs     float64
+	minBytes  float64
+	minAllocs float64
 }
 
 // Summary is the emitted JSON shape.
@@ -45,6 +55,7 @@ type Summary struct {
 
 func main() {
 	compare := flag.Bool("compare", false, "compare two receipts: benchjson -compare OLD.json NEW.json")
+	agg := flag.String("agg", "min", "aggregate -count repetitions per benchmark: min or mean")
 	flag.Parse()
 	if *compare {
 		if flag.NArg() != 2 {
@@ -53,12 +64,16 @@ func main() {
 		}
 		os.Exit(compareReceipts(flag.Arg(0), flag.Arg(1)))
 	}
-	collect(flag.Args())
+	if *agg != "min" && *agg != "mean" {
+		fmt.Fprintf(os.Stderr, "benchjson: unknown -agg %q (want min or mean)\n", *agg)
+		os.Exit(2)
+	}
+	collect(flag.Args(), *agg)
 }
 
 // collect is the original mode: bench log on stdin, receipt to the path in
-// args (default BENCH.json).
-func collect(args []string) {
+// args (default BENCH.json), repetitions aggregated per agg.
+func collect(args []string, agg string) {
 	recs := map[string]*record{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -76,7 +91,7 @@ func collect(args []string) {
 		name := strings.SplitN(f[0], "-", 2)[0]
 		r := recs[name]
 		if r == nil {
-			r = &record{}
+			r = &record{minNs: math.Inf(1), minBytes: math.Inf(1), minAllocs: math.Inf(1)}
 			recs[name] = r
 		}
 		got := false
@@ -88,11 +103,14 @@ func collect(args []string) {
 			switch f[i+1] {
 			case "ns/op":
 				r.nsOp += v
+				r.minNs = math.Min(r.minNs, v)
 				got = true
 			case "B/op":
 				r.bytesOp += v
+				r.minBytes = math.Min(r.minBytes, v)
 			case "allocs/op":
 				r.allocsOp += v
+				r.minAllocs = math.Min(r.minAllocs, v)
 			}
 		}
 		if got {
@@ -115,9 +133,14 @@ func collect(args []string) {
 		if r.runs == 0 {
 			continue
 		}
-		k := float64(r.runs)
-		out = append(out, Summary{Name: n, Runs: r.runs,
-			NsOp: r.nsOp / k, BytesOp: r.bytesOp / k, AllocsOp: r.allocsOp / k})
+		s := Summary{Name: n, Runs: r.runs}
+		if agg == "min" {
+			s.NsOp, s.BytesOp, s.AllocsOp = finite(r.minNs), finite(r.minBytes), finite(r.minAllocs)
+		} else {
+			k := float64(r.runs)
+			s.NsOp, s.BytesOp, s.AllocsOp = r.nsOp/k, r.bytesOp/k, r.allocsOp/k
+		}
+		out = append(out, s)
 	}
 
 	path := "BENCH.json"
@@ -158,7 +181,8 @@ func compareReceipts(oldPath, newPath string) int {
 	sort.Strings(names)
 
 	fmt.Printf("%-22s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
-	regressed := 0
+	regressed, shared := 0, 0
+	var logOld, logNew float64
 	for _, n := range names {
 		nw := news[n]
 		old, ok := olds[n]
@@ -167,6 +191,11 @@ func compareReceipts(oldPath, newPath string) int {
 			continue
 		}
 		ratio := nw.NsOp / old.NsOp
+		if old.NsOp > 0 && nw.NsOp > 0 {
+			shared++
+			logOld += math.Log(old.NsOp)
+			logNew += math.Log(nw.NsOp)
+		}
 		mark := ""
 		if ratio > regressLimit {
 			mark = "  REGRESSION"
@@ -179,6 +208,12 @@ func compareReceipts(oldPath, newPath string) int {
 		if _, ok := news[n]; !ok {
 			fmt.Printf("%-22s %14.0f %14s %8s\n", n, olds[n].NsOp, "-", "gone")
 		}
+	}
+	if shared > 0 {
+		gOld := math.Exp(logOld / float64(shared))
+		gNew := math.Exp(logNew / float64(shared))
+		fmt.Printf("%-22s %14.0f %14.0f %+7.1f%%\n",
+			"geomean", gOld, gNew, 100*(gNew/gOld-1))
 	}
 	if regressed > 0 {
 		fmt.Printf("\n%d benchmark(s) regressed more than %.0f%% on ns/op\n",
@@ -203,6 +238,15 @@ func loadReceipt(path string) (map[string]Summary, error) {
 		m[s.Name] = s
 	}
 	return m, nil
+}
+
+// finite maps an untouched +Inf running minimum (metric never reported, e.g.
+// no -benchmem) back to 0, matching the mean path's behavior.
+func finite(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return 0
+	}
+	return v
 }
 
 // lineEcho trims trailing space so the echoed log is byte-stable.

@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/emu"
 	"repro/internal/experiments"
 	"repro/internal/profileflags"
 )
@@ -27,9 +28,23 @@ func main() {
 		scale   = flag.Int("scale", 0, "dynamic-length target in K instructions (0 = profile default)")
 		workers = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		quiet   = flag.Bool("q", false, "suppress progress output")
+		trans   = flag.String("translate", "", "dynamic translation: auto, off, or always (default: DISE_TRANSLATE or auto)")
+		hotThr  = flag.Int("hot-threshold", 0, "block entries before auto translation promotes it (0 = built-in default)")
 	)
 	flag.Parse()
 	defer profileflags.Start()()
+
+	if *trans != "" || *hotThr > 0 {
+		tm := emu.DefaultTranslate()
+		if *trans != "" {
+			var ok bool
+			if tm, ok = emu.ParseTranslateMode(*trans); !ok {
+				fmt.Fprintf(os.Stderr, "disebench: unknown -translate %q (want auto, off or always)\n", *trans)
+				os.Exit(2)
+			}
+		}
+		emu.SetDefaultTranslate(tm, *hotThr)
+	}
 
 	o := experiments.Options{DynScaleK: *scale, Workers: *workers}
 	if !*quiet {

@@ -46,9 +46,22 @@ func run() int {
 		rtSize   = flag.Int("rt", 0, "RT entries (0 = perfect RT)")
 		rtAssoc  = flag.Int("rt-assoc", 2, "RT associativity")
 		verbose  = flag.Bool("v", false, "print program statistics")
+		trans    = flag.String("translate", "", "dynamic translation: auto, off, or always (default: DISE_TRANSLATE or auto)")
+		hotThr   = flag.Int("hot-threshold", 0, "block entries before auto translation promotes it (0 = built-in default)")
 	)
 	flag.Parse()
 	defer profileflags.Start()()
+
+	if *trans != "" || *hotThr > 0 {
+		tm := emu.DefaultTranslate()
+		if *trans != "" {
+			var ok bool
+			if tm, ok = emu.ParseTranslateMode(*trans); !ok {
+				return fail(fmt.Errorf("unknown -translate %q (want auto, off or always)", *trans))
+			}
+		}
+		emu.SetDefaultTranslate(tm, *hotThr)
+	}
 
 	if *list {
 		for _, n := range workload.Names() {

@@ -1,0 +1,163 @@
+package dise
+
+// FuzzTranslated is the differential fuzzer for the dynamic translator: every
+// input is executed twice — once under pure interpretation, once with every
+// block translated on first touch — and the two executions must be observably
+// identical. "Observably" is the full architectural surface: the register
+// file, the memory image, the Stats ledger (including the self-modifying-code
+// counters TextWrites/Redecodes), program output, and the trap classification
+// when the run does not halt cleanly. The optional production set routes the
+// stream through trigger expansion so the translated trigger sites (inlined
+// expansion memo) are diffed too.
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// countStores is a minimal expansion: every store grows a counter in $dr0
+// before executing. It keeps the trigger path hot without changing which
+// application instructions run.
+const countStores = `
+prod count {
+    match class == store
+    replace {
+        lda $dr0, 1($dr0)
+        %insn
+    }
+}
+`
+
+func encodeProgram(tb testing.TB, name, src string) []byte {
+	tb.Helper()
+	prog := MustAssemble(name, src)
+	var words []byte
+	for _, in := range prog.Text {
+		if w, err := isa.Encode(in); err == nil {
+			words = binary.LittleEndian.AppendUint32(words, w)
+		}
+	}
+	return words
+}
+
+func FuzzTranslated(f *testing.F) {
+	f.Add([]byte{}, false)
+	f.Add([]byte{0, 0, 0, 0}, true)
+	// A hot loop with memory traffic: crosses the auto threshold many times
+	// over, so the translated run really executes threaded code.
+	f.Add(encodeProgram(f, "loop", `
+.entry main
+.data
+buf: .space 256
+.text
+main:
+    la r1, buf
+    li r2, 40
+loop:
+    ldq r3, 0(r1)
+    addqi r3, 3, r3
+    stq r3, 0(r1)
+    addqi r1, 8, r1
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`), false)
+	f.Add(encodeProgram(f, "loop-prods", `
+.entry main
+.data
+buf: .space 64
+.text
+main:
+    la r1, buf
+    li r2, 12
+loop:
+    stq r2, 0(r1)
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`), true)
+	// Self-modifying: the loop keeps rewriting one of its own text words (an
+	// idempotent patch — the store still forces redecode and superblock
+	// invalidation every iteration, racing hot-block promotion).
+	f.Add(encodeProgram(f, "smc", `
+.entry main
+main:
+    li r2, 1
+    slli r2, 26, r2
+    ldl r3, 28(r2)
+    li r4, 20
+loop:
+    stl r3, 28(r2)
+    subqi r4, 1, r4
+    bgt r4, loop
+    addqi r1, 5, r1
+    halt
+`), false)
+
+	f.Fuzz(func(t *testing.T, data []byte, withProds bool) {
+		var text []isa.Inst
+		for len(data) >= isa.InstBytes {
+			w := binary.LittleEndian.Uint32(data)
+			data = data[isa.InstBytes:]
+			in, err := isa.Decode(w)
+			if err != nil {
+				in = isa.Inst{Op: isa.OpInvalid}
+			}
+			text = append(text, in)
+			if len(text) >= 256 {
+				break
+			}
+		}
+		prog := &program.Program{Name: "fuzz", Text: text}
+
+		run := func(mode emu.TranslateMode) *emu.Machine {
+			m := NewMachine(prog)
+			if withProds {
+				ctrl := NewController(DefaultEngineConfig())
+				if _, err := ctrl.InstallFile(countStores, nil); err != nil {
+					t.Fatalf("install productions: %v", err)
+				}
+				m.SetExpander(ctrl.Engine())
+			}
+			m.SetTranslate(mode, 0)
+			m.SetBudget(20000)
+			m.Run()
+			return m
+		}
+		interp := run(emu.TranslateOff)
+		trans := run(emu.TranslateAlways)
+
+		if interp.Stats != trans.Stats {
+			t.Errorf("stats diverge:\ninterp: %+v\ntrans:  %+v", interp.Stats, trans.Stats)
+		}
+		for r := 0; r < isa.NumRegs; r++ {
+			if a, b := interp.Reg(isa.Reg(r)), trans.Reg(isa.Reg(r)); a != b {
+				t.Errorf("r%d diverges: interp %#x, trans %#x", r, a, b)
+			}
+		}
+		if a, b := interp.Mem().Checksum(), trans.Mem().Checksum(); a != b {
+			t.Errorf("memory image diverges: interp %#x, trans %#x", a, b)
+		}
+		if a, b := interp.Output(), trans.Output(); a != b {
+			t.Errorf("output diverges: interp %q, trans %q", a, b)
+		}
+		ea, eb := interp.Err(), trans.Err()
+		switch {
+		case (ea == nil) != (eb == nil):
+			t.Errorf("termination diverges: interp %v, trans %v", ea, eb)
+		case ea != nil:
+			var ta, tb *emu.Trap
+			if !errors.As(ea, &ta) || !errors.As(eb, &tb) {
+				t.Fatalf("untyped trap: interp %v, trans %v", ea, eb)
+			}
+			if ta.Kind != tb.Kind || ta.PC != tb.PC || ta.DISEPC != tb.DISEPC {
+				t.Errorf("trap diverges: interp %v, trans %v", ea, eb)
+			}
+		}
+	})
+}

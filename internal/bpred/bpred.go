@@ -11,7 +11,6 @@
 package bpred
 
 import (
-	"repro/internal/emu"
 	"repro/internal/isa"
 )
 
@@ -49,12 +48,23 @@ type Stats struct {
 func (s *Stats) Mispredicts() int64 { return s.CondMiss + s.IndMiss + s.RetMiss }
 
 // New returns an initialized predictor.
-func New() *Predictor {
-	p := &Predictor{btb: make(map[uint64]uint64)}
+// proto is the initial predictor state — every counter weakly not-taken.
+// New copies it in one memmove instead of re-running the 2×4096-entry
+// initialization loop per predictor; timing harnesses construct one
+// predictor per simulated run.
+var proto = func() *Predictor {
+	var p Predictor
 	for i := range p.counters {
 		p.counters[i] = 1 // weakly not-taken
 		p.bimodal[i] = 1
 	}
+	return &p
+}()
+
+func New() *Predictor {
+	p := new(Predictor)
+	*p = *proto
+	p.btb = make(map[uint64]uint64)
 	return p
 }
 
@@ -168,29 +178,30 @@ func (p *Predictor) CondStatic(pc uint64, taken bool) bool {
 	return correct
 }
 
-// Mispredicted runs the prediction structures for one dynamic instruction
-// and reports whether fetch must redirect after it executes. retAddr is the
-// call's fall-through byte address, used to prime the RAS (zero when the
-// call has no successor instruction). The three arms mirror paper §2.2:
-// a taken DISE branch is architecturally a misprediction; a non-trigger
-// replacement branch behaves as predicted-not-taken and never updates the
-// predictor; everything else consults the predictor proper.
-func Mispredicted(p *Predictor, d *emu.DynInst, retAddr uint64) bool {
+// Mispredict runs the prediction structures for one dynamic control
+// transfer — identified by scalar stream facts instead of a DynInst, so the
+// emulator's translated fast path can resolve prediction without an import
+// cycle — and reports whether fetch must redirect after it executes.
+// retAddr is a call's fall-through byte address, used to prime the RAS (zero
+// when the call has no successor instruction). The three arms mirror paper
+// §2.2: a taken DISE branch is architecturally a misprediction; a
+// non-predicted (non-trigger replacement) branch behaves as
+// predicted-not-taken and never updates the predictor; everything else
+// consults the predictor proper.
+func (p *Predictor) Mispredict(op isa.Opcode, pc, target, retAddr uint64, taken, predicted, diseBranch bool) bool {
 	switch {
-	case d.DiseBranch:
-		return d.Taken
-	case d.IsBranch && !d.Predicted:
-		return d.Taken
-	case d.IsBranch:
-		return !p.predictApp(d, retAddr)
+	case diseBranch:
+		return taken
+	case !predicted:
+		return taken
 	}
-	return false
+	return !p.predictApp(op, pc, target, retAddr, taken)
 }
 
 // predictApp runs the appropriate predictor for an application-level branch
 // and reports whether it was correct.
-func (p *Predictor) predictApp(d *emu.DynInst, retAddr uint64) bool {
-	switch d.Inst.Op {
+func (p *Predictor) predictApp(op isa.Opcode, pc, target, retAddr uint64, taken bool) bool {
+	switch op {
 	case isa.OpBR:
 		return true // direct unconditional: always correct
 	case isa.OpBSR:
@@ -198,21 +209,21 @@ func (p *Predictor) predictApp(d *emu.DynInst, retAddr uint64) bool {
 		return true
 	case isa.OpJSR:
 		p.Call(retAddr)
-		return p.Indirect(d.PC, d.Target)
+		return p.Indirect(pc, target)
 	case isa.OpJMP:
-		return p.Indirect(d.PC, d.Target)
+		return p.Indirect(pc, target)
 	case isa.OpRET:
-		return p.Return(d.Target)
+		return p.Return(target)
 	case isa.OpJEQ, isa.OpJNE:
 		// Conditional indirect: direction via a history-free bimodal
 		// predictor, target via BTB when taken.
-		ok := p.CondStatic(d.PC, d.Taken)
-		if d.Taken {
-			return ok && p.Indirect(d.PC, d.Target)
+		ok := p.CondStatic(pc, taken)
+		if taken {
+			return ok && p.Indirect(pc, target)
 		}
 		return ok
 	default:
-		return p.Cond(d.PC, d.Taken)
+		return p.Cond(pc, taken)
 	}
 }
 

@@ -3,7 +3,6 @@ package bpred
 import (
 	"testing"
 
-	"repro/internal/emu"
 	"repro/internal/isa"
 )
 
@@ -153,23 +152,15 @@ func TestCallLastUnitSkipsPush(t *testing.T) {
 	}
 }
 
-// Mispredicted must feed the RAS the same way through the DynInst-level
-// entry point: a bsr with no successor unit predicts taken (correct) but
-// pushes nothing.
-func TestMispredictedLastUnitCall(t *testing.T) {
+// Mispredict must feed the RAS the same way through the stream-fact entry
+// point: a bsr with no successor unit predicts taken (correct) but pushes
+// nothing.
+func TestMispredictLastUnitCall(t *testing.T) {
 	p := New()
-	call := &emu.DynInst{
-		Inst: isa.Inst{Op: isa.OpBSR, RD: isa.Reg(26), Imm: 2}, PC: 0x1000,
-		IsBranch: true, Taken: true, Target: 0x100c, Predicted: true,
-	}
-	if Mispredicted(p, call, 0) {
+	if p.Mispredict(isa.OpBSR, 0x1000, 0x100c, 0, true, true, false) {
 		t.Error("direct call should never mispredict")
 	}
-	ret := &emu.DynInst{
-		Inst: isa.Inst{Op: isa.OpRET, RS: isa.Reg(26)}, PC: 0x100c,
-		IsBranch: true, Taken: true, Target: 0x1004, Predicted: true,
-	}
-	if !Mispredicted(p, ret, 0) {
+	if !p.Mispredict(isa.OpRET, 0x100c, 0x1004, 0, true, true, false) {
 		t.Error("return with an empty RAS must mispredict")
 	}
 	if p.Stats.RetMiss != 1 {
@@ -177,19 +168,16 @@ func TestMispredictedLastUnitCall(t *testing.T) {
 	}
 }
 
-func TestMispredictedDiseBranch(t *testing.T) {
+func TestMispredictDiseBranch(t *testing.T) {
 	p := New()
-	d := &emu.DynInst{DiseBranch: true, Taken: true}
-	if !Mispredicted(p, d, 0) {
+	if !p.Mispredict(isa.OpInvalid, 0, 0, 0, true, false, true) {
 		t.Error("taken DISE branch is architecturally a misprediction")
 	}
-	d.Taken = false
-	if Mispredicted(p, d, 0) {
+	if p.Mispredict(isa.OpInvalid, 0, 0, 0, false, false, true) {
 		t.Error("not-taken DISE branch falls through for free")
 	}
 	// Unpredicted replacement branch: predicted-not-taken semantics.
-	r := &emu.DynInst{IsBranch: true, Taken: true, Predicted: false}
-	if !Mispredicted(p, r, 0) {
+	if !p.Mispredict(isa.OpBNE, 0, 0, 0, true, false, false) {
 		t.Error("taken non-trigger replacement branch must redirect")
 	}
 	if p.Stats.Mispredicts() != 0 {

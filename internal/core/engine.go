@@ -164,6 +164,12 @@ type Engine struct {
 	memo    map[memoKey]memoEntry
 	memoOff bool
 
+	// epoch counts memo-invalidating events (production reloads, RT
+	// corruption). SiteMemo entries and the emulator's translated
+	// superblocks are tagged with it, so both flush at exactly the points
+	// the expansion memo does.
+	epoch uint64
+
 	// pattern counter table: active vs PT-resident patterns per opcode
 	// (the only architectural state of the PT/RT complex, paper §2.3).
 	active   [isa.NumOpcodes]int8
@@ -213,6 +219,7 @@ func (e *Engine) Config() EngineConfig { return e.cfg }
 func (e *Engine) reset() {
 	e.memo = nil
 	e.memoOff = false
+	e.epoch++
 	e.pt = nil
 	for i := range e.rtSets {
 		for j := range e.rtSets[i] {
@@ -243,6 +250,59 @@ func (e *Engine) reset() {
 // Instructions inside replacement sequences must not be offered back to
 // Expand: DISE never re-expands its own output (paper §3.3).
 func (e *Engine) Expand(in isa.Inst, pc uint64) *Expansion {
+	return e.expand(in, pc, nil)
+}
+
+// SiteMemo caches the expansion-memo entry of one static trigger site: the
+// emulator's translated superblocks hold one per trigger, so a memo hit
+// costs a pointer chase instead of a map lookup. It is a pure front end to
+// the shared memo — entries are copied from and written through to the map,
+// tagged with the engine epoch, so translated and interpreted fetches of the
+// same site observe identical memo behavior (including hit/miss counts).
+type SiteMemo struct {
+	epoch uint64
+	id    int
+	ent   memoEntry
+	ok    bool
+}
+
+// ExpandSite is Expand for a fixed static site, consulting site before the
+// memo map. The two paths are behaviorally identical; site only short-cuts
+// the map lookup.
+func (e *Engine) ExpandSite(in isa.Inst, pc uint64, site *SiteMemo) *Expansion {
+	return e.expand(in, pc, site)
+}
+
+// SkipFetch accounts one inspected application fetch that the caller has
+// already proven cannot match (no active pattern covers its opcode): the
+// translated fast path calls it for non-trigger instructions so the engine's
+// fetch counter and LRU clock advance exactly as Expand would have.
+func (e *Engine) SkipFetch() {
+	e.Stats.Fetched++
+	e.clock++
+}
+
+// MayExpand reports whether any active pattern covers op. The emulator's
+// translator ends superblocks at instructions for which this holds (trigger
+// sites); the answer can only change at a production reload, which bumps
+// TransEpoch.
+func (e *Engine) MayExpand(op isa.Opcode) bool {
+	return int(op) < len(e.active) && e.active[op] != 0
+}
+
+// TransEpoch returns the engine's memo-invalidation epoch. Translated code
+// caching engine-dependent facts (trigger sites, SiteMemo entries) must be
+// dropped when it changes.
+func (e *Engine) TransEpoch() uint64 { return e.epoch }
+
+// Penalties returns the PT/RT miss and composing-miss penalties in cycles:
+// with the PTMiss/RTMiss/Composed record flags they rebuild per-record stall
+// cycles (Stall = PTMiss·miss + RTMiss·(Composed ? compose : miss)).
+func (e *Engine) Penalties() (miss, compose int) {
+	return e.cfg.MissPenalty, e.cfg.ComposePenalty
+}
+
+func (e *Engine) expand(in isa.Inst, pc uint64, site *SiteMemo) *Expansion {
 	e.Stats.Fetched++
 	e.clock++
 	op := in.Op
@@ -267,39 +327,15 @@ func (e *Engine) Expand(in isa.Inst, pc uint64) *Expansion {
 	}
 	id := e.ctrl.seqID(prod, in)
 	if !e.memoOff {
-		if ent, ok := e.memo[memoKey{id: id, in: in, pc: pc}]; ok {
-			// Memo hit: reuse the instantiated sequence, but model the RT
-			// exactly as the slow path would — touch resident blocks' LRU
-			// state, or take the miss (refill + stall) if it was evicted.
-			e.Stats.MemoHits++
-			if !e.cfg.RTPerfect && !e.rtTouch(id) {
-				r, comp := e.ctrl.fetchSequence(id)
-				if r == nil {
-					if exp.PTMiss {
-						e.Stats.Stall += int64(exp.Stall)
-						return exp
-					}
-					return nil
-				}
-				e.rtInstall(id, r)
-				exp.RTMiss = true
-				e.Stats.RTMisses++
-				if comp {
-					exp.Composed = true
-					e.Stats.Composed++
-					exp.Stall += e.cfg.ComposePenalty
-				} else {
-					exp.Stall += e.cfg.MissPenalty
-				}
+		if site == nil {
+			if ent, ok := e.memo[memoKey{id: id, in: in, pc: pc}]; ok {
+				return e.memoHit(exp, prod, id, ent)
 			}
-			exp.Prod = prod
-			exp.SeqID = id
-			exp.Templates = ent.tmpl
-			exp.Insts = ent.insts
-			e.Stats.Expansions++
-			e.Stats.Inserted += int64(len(ent.tmpl))
-			e.Stats.Stall += int64(exp.Stall)
-			return exp
+		} else if site.ok && site.epoch == e.epoch && site.id == id {
+			return e.memoHit(exp, prod, id, site.ent)
+		} else if ent, ok := e.memo[memoKey{id: id, in: in, pc: pc}]; ok {
+			*site = SiteMemo{epoch: e.epoch, id: id, ent: ent, ok: true}
+			return e.memoHit(exp, prod, id, ent)
 		}
 		e.Stats.MemoMisses++
 	}
@@ -335,10 +371,50 @@ func (e *Engine) Expand(in isa.Inst, pc uint64) *Expansion {
 		if e.memo == nil {
 			e.memo = make(map[memoKey]memoEntry)
 		}
-		e.memo[memoKey{id: id, in: in, pc: pc}] = memoEntry{insts: exp.Insts, tmpl: tmpl}
+		ent := memoEntry{insts: exp.Insts, tmpl: tmpl}
+		e.memo[memoKey{id: id, in: in, pc: pc}] = ent
+		if site != nil {
+			*site = SiteMemo{epoch: e.epoch, id: id, ent: ent, ok: true}
+		}
 	}
 	e.Stats.Expansions++
 	e.Stats.Inserted += int64(len(tmpl))
+	e.Stats.Stall += int64(exp.Stall)
+	return exp
+}
+
+// memoHit finishes an expansion whose instantiated sequence was found in the
+// memo (or a SiteMemo front end): reuse the cached sequence, but model the
+// RT exactly as the slow path would — touch resident blocks' LRU state, or
+// take the miss (refill + stall) if it was evicted.
+func (e *Engine) memoHit(exp *Expansion, prod *Production, id int, ent memoEntry) *Expansion {
+	e.Stats.MemoHits++
+	if !e.cfg.RTPerfect && !e.rtTouch(id) {
+		r, comp := e.ctrl.fetchSequence(id)
+		if r == nil {
+			if exp.PTMiss {
+				e.Stats.Stall += int64(exp.Stall)
+				return exp
+			}
+			return nil
+		}
+		e.rtInstall(id, r)
+		exp.RTMiss = true
+		e.Stats.RTMisses++
+		if comp {
+			exp.Composed = true
+			e.Stats.Composed++
+			exp.Stall += e.cfg.ComposePenalty
+		} else {
+			exp.Stall += e.cfg.MissPenalty
+		}
+	}
+	exp.Prod = prod
+	exp.SeqID = id
+	exp.Templates = ent.tmpl
+	exp.Insts = ent.insts
+	e.Stats.Expansions++
+	e.Stats.Inserted += int64(len(ent.tmpl))
 	e.Stats.Stall += int64(exp.Stall)
 	return exp
 }
@@ -566,6 +642,7 @@ func (e *Engine) ValidRTBlocks() int {
 func (e *Engine) CorruptRTBlock(n int, mut func([]ReplInst) []ReplInst) bool {
 	e.memo = nil
 	e.memoOff = true
+	e.epoch++
 	for _, set := range e.rtSets {
 		for i := range set {
 			if !set[i].valid {

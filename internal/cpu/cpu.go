@@ -24,11 +24,13 @@ package cpu
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/bpred"
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/mem"
+	"repro/internal/rec"
 )
 
 // DiseMode selects how the DISE engine is integrated into the decoder
@@ -164,85 +166,34 @@ func (b *bandwidthCursor) slot(at int64) int64 {
 func (b *bandwidthCursor) close() { b.count = b.width }
 
 // Rec is one dynamic instruction in the timing model's native form: the
-// subset of the emulator's DynInst annotations the scheduling loop actually
-// reads, packed into 32 bytes (immediates, for instance, never affect
-// timing and are dropped). Recorded streams (internal/trace) store Recs
-// verbatim and replay hands them out by reference, so replay throughput is
-// bounded by the scheduler, not by record reassembly or memory traffic.
-//
-// Register operands are stored predecoded: MakeRec resolves the opcode's
-// operand-slot mapping (regSel) once, so SrcA/SrcB/Dst are the scheduler's
-// two source registers and destination directly, and Lat is the opcode's
-// functional-unit latency. A trace pays this once at capture and every
-// replay of it reads plain fields.
-type Rec struct {
-	PC        uint64 // byte address; replacement instructions carry the trigger's
-	MemAddr   uint64
-	DISEPC    int32
-	SeqLen    int32      // replacement sequence length (trigger record only)
-	FetchSize uint8      // text-image bytes this fetch consumed (0 for spliced records)
-	Op        isa.Opcode // uint8: the full opcode space fits
-	SrcA      isa.Reg    // scheduler source operands (NoReg when absent);
-	SrcB      isa.Reg    // out-of-file values mean always-ready (fault-corrupted
-	Dst       isa.Reg    // encodings degrade, they do not crash the host)
-	Lat       uint8      // functional-unit latency in cycles
-	Flags     uint16
-}
+// 32-byte predecoded record defined by the leaf package internal/rec, which
+// the emulator's translated fast path and this package's converter share.
+// Recorded streams (internal/trace) store Recs verbatim and replay hands
+// them out by reference, so replay throughput is bounded by the scheduler,
+// not by record reassembly or memory traffic.
+type Rec = rec.Rec
 
-// Rec flags. RecPTMiss/RecRTMiss/RecComposed carry the DISE table events so
-// a recorded stream can rebuild stall cycles under any penalty assignment;
-// RecMispredict is the branch predictor's verdict, resolved by the source.
+// Rec flags (aliases of the rec package's). RecPTMiss/RecRTMiss/RecComposed
+// carry the DISE table events so a recorded stream can rebuild stall cycles
+// under any penalty assignment; RecMispredict is the branch predictor's
+// verdict, resolved by the source.
 const (
-	RecIsApp uint16 = 1 << iota
-	RecIsBranch
-	RecTaken
-	RecIsLoad
-	RecIsStore
-	RecPTMiss
-	RecRTMiss
-	RecComposed
-	RecMispredict
+	RecIsApp      = rec.IsApp
+	RecIsBranch   = rec.IsBranch
+	RecTaken      = rec.Taken
+	RecIsLoad     = rec.IsLoad
+	RecIsStore    = rec.IsStore
+	RecPTMiss     = rec.PTMiss
+	RecRTMiss     = rec.RTMiss
+	RecComposed   = rec.Composed
+	RecMispredict = rec.Mispredict
 )
-
-// b2u compiles to a branch-free SETcc; MakeRec packs eight booleans per
-// record, so branch misses here would dominate the conversion.
-func b2u(b bool) uint16 {
-	if b {
-		return 1
-	}
-	return 0
-}
 
 // MakeRec converts one emulator record to the timing form. The mispredict
 // flag is left clear: the caller owns the predictor and ors in
 // RecMispredict after consulting it.
 func MakeRec(d *emu.DynInst) Rec {
-	op := d.Inst.Op
-	sel := selAllNone
-	if int(op) < len(regSel) {
-		sel = regSel[op]
-	}
-	regs := [4]isa.Reg{d.Inst.RS, d.Inst.RT, d.Inst.RD, isa.NoReg}
-	return Rec{
-		PC:        d.PC,
-		MemAddr:   d.MemAddr,
-		DISEPC:    int32(d.DISEPC),
-		SeqLen:    int32(d.SeqLen),
-		FetchSize: uint8(d.FetchSize),
-		Op:        op,
-		SrcA:      regs[sel.a],
-		SrcB:      regs[sel.b],
-		Dst:       regs[sel.d],
-		Lat:       uint8(execLatency(op)),
-		Flags: b2u(d.IsApp) |
-			b2u(d.IsBranch)<<1 |
-			b2u(d.Taken)<<2 |
-			b2u(d.IsLoad)<<3 |
-			b2u(d.IsStore)<<4 |
-			b2u(d.PTMiss)<<5 |
-			b2u(d.RTMiss)<<6 |
-			b2u(d.Composed)<<7,
-	}
+	return d.Rec()
 }
 
 // Source is a stream of timing records for the scheduling loop: the live
@@ -276,6 +227,107 @@ type ChunkedSource interface {
 	Chunks() (chunks [][]Rec, missPenalty, composePenalty int)
 }
 
+// BatchSource is an optional Source extension for sources that can hand the
+// scheduling loop whole record slices at a time: the live machine's batched
+// feed (emu.FillRecs over translated superblocks). RunSource walks the
+// batches directly — no per-record interface call, no DynInst
+// materialization — and rebuilds each record's DISE stall from its event
+// flags under the returned penalties, exactly as the source's own Next
+// would.
+type BatchSource interface {
+	Source
+	// NextBatch returns the next slice of records (owned by the source,
+	// valid until the next NextBatch call) or ok=false at end of stream.
+	NextBatch() (batch []Rec, ok bool)
+	// BatchPenalties returns the PT/RT miss and composing-miss penalties in
+	// cycles for rebuilding per-record stalls from the event flags.
+	BatchPenalties() (missPenalty, composePenalty int)
+}
+
+// liveBatchLen is the live feed's batch size: large enough to amortize the
+// FillRecs call and keep translated superblocks running, small enough to
+// stay cache-resident alongside the scheduler state.
+const liveBatchLen = 4096
+
+// liveBatchSource adapts the live functional machine to BatchSource: the
+// machine fills a reusable record buffer (translated superblocks write
+// records straight from their templates), and the scheduling loop walks it
+// with no per-instruction indirection.
+type liveBatchSource struct {
+	m    *emu.Machine
+	pred *bpred.Predictor
+	buf  []Rec
+	miss, compose int
+
+	// cursor for the compatibility Next path
+	cur []Rec
+	ri  int
+}
+
+// recBufPool recycles live-feed batch buffers (128KB each): every slot the
+// machine hands back was fully rewritten by FillRecs, so a pooled buffer
+// needs no clearing.
+var recBufPool = sync.Pool{New: func() any { return make([]Rec, liveBatchLen) }}
+
+func newLiveBatchSource(m *emu.Machine, miss, compose int) *liveBatchSource {
+	return &liveBatchSource{m: m, pred: bpred.New(),
+		buf: recBufPool.Get().([]Rec), miss: miss, compose: compose}
+}
+
+// release returns the batch buffer to the pool. The caller must be done with
+// every slice NextBatch handed out.
+func (s *liveBatchSource) release() {
+	if s.buf != nil {
+		recBufPool.Put(s.buf)
+		s.buf, s.cur = nil, nil
+	}
+}
+
+func (s *liveBatchSource) NextBatch() ([]Rec, bool) {
+	n, _ := s.m.FillRecs(s.pred, s.buf)
+	if n == 0 {
+		return nil, false
+	}
+	return s.buf[:n], true
+}
+
+func (s *liveBatchSource) BatchPenalties() (int, int) { return s.miss, s.compose }
+
+func (s *liveBatchSource) Next() (*Rec, int, bool) {
+	if s.ri >= len(s.cur) {
+		var ok bool
+		s.cur, ok = s.NextBatch()
+		if !ok {
+			return nil, 0, false
+		}
+		s.ri = 0
+	}
+	r := &s.cur[s.ri]
+	s.ri++
+	stall := 0
+	if f := r.Flags; f&(RecPTMiss|RecRTMiss) != 0 {
+		if f&RecPTMiss != 0 {
+			stall += s.miss
+		}
+		if f&RecRTMiss != 0 {
+			if f&RecComposed != 0 {
+				stall += s.compose
+			} else {
+				stall += s.miss
+			}
+		}
+	}
+	return r, stall, true
+}
+
+func (s *liveBatchSource) Loc() (uint64, int) { return s.m.PC(), s.m.DISEPC() }
+
+func (s *liveBatchSource) Final() (emu.Stats, string, error) {
+	return s.m.Stats, s.m.Output(), s.m.Err()
+}
+
+func (s *liveBatchSource) PredStats() bpred.Stats { return s.pred.Stats }
+
 // machineSource adapts the live functional machine to the Source interface,
 // running the reference branch predictor alongside the emulation.
 type machineSource struct {
@@ -298,7 +350,7 @@ func (s *machineSource) Next() (*Rec, int, bool) {
 				retAddr = p.Addr(d.Unit + 1)
 			}
 		}
-		if bpred.Mispredicted(s.pred, d, retAddr) {
+		if s.pred.Mispredict(d.Inst.Op, d.PC, d.Target, retAddr, d.Taken, d.Predicted, d.DiseBranch) {
 			s.r.Flags |= RecMispredict
 		}
 	}
@@ -313,12 +365,277 @@ func (s *machineSource) Final() (emu.Stats, string, error) {
 
 func (s *machineSource) PredStats() bpred.Stats { return s.pred.Stats }
 
+// hierPools recycles memory hierarchies per configuration: the tag arrays
+// (≈144KB for the paper's geometry, dominated by the 1MB L2) are the timing
+// model's largest allocation, and configuration sweeps construct one per
+// cell. mem.Hierarchy.Reset makes a pooled hierarchy observably identical to
+// a fresh one in O(1).
+var hierPools sync.Map // mem.HierarchyConfig -> *sync.Pool
+
+func getHierarchy(cfg mem.HierarchyConfig) (*mem.Hierarchy, error) {
+	if v, ok := hierPools.Load(cfg); ok {
+		if h, _ := v.(*sync.Pool).Get().(*mem.Hierarchy); h != nil {
+			h.Reset()
+			return h, nil
+		}
+		return mem.NewHierarchyChecked(cfg)
+	}
+	h, err := mem.NewHierarchyChecked(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hierPools.LoadOrStore(cfg, &sync.Pool{})
+	return h, nil
+}
+
+func putHierarchy(cfg mem.HierarchyConfig, h *mem.Hierarchy) {
+	if v, ok := hierPools.Load(cfg); ok {
+		v.(*sync.Pool).Put(h)
+	}
+}
+
+// schedState is the scheduling loop's loop-carried state plus its run
+// constants, boxed so the leaf walk function can seed registers from it and
+// flush back on exit. Keeping the hot loop in a function of its own — away
+// from RunSource's deferred recover, context plumbing, and trap formatting —
+// is what lets the register allocator keep the cycle-accounting chains out
+// of the stack frame.
+type schedState struct {
+	fetchCycle, lastCommit int64
+	dispCycle, commCycle   int64
+	dispCount, commCount   int
+	robIdx                 int
+
+	insts, appInsts, mispredicts, diseStalls, expStalls int64
+
+	// run constants
+	width           int
+	miss, compose   int
+	l1Latency       int64
+	redirectPenalty int64
+	maxCycles       int64
+	diseStallMode   bool
+	pollCancel      bool
+}
+
+// schedWalk outcomes.
+const (
+	walkDone     = iota // consumed the whole slice
+	walkWatchdog        // commit clock passed maxCycles before record i
+	walkPoll            // cancellation poll due before record i
+)
+
+// schedWalk schedules records from cur in order until the slice is consumed,
+// the watchdog trips, or a cancellation poll comes due, and returns how many
+// records it consumed plus why it stopped. The caller re-performs the
+// watchdog/poll checks itself (they are pure), so every outcome is handled
+// by looping back. The body is an exact transliteration of RunSource's
+// per-record scheduling; the bandwidth cursors are scalarized into
+// schedState so the whole chain lives in registers.
+func schedWalk(h *mem.Hierarchy, cur []Rec, st *schedState, rob []int64, regReady *[isa.NumRegs]int64) (consumed, outcome int) {
+	var (
+		fetchCycle = st.fetchCycle
+		lastCommit = st.lastCommit
+		dispCycle  = st.dispCycle
+		dispCount  = st.dispCount
+		commCycle  = st.commCycle
+		commCount  = st.commCount
+		robIdx     = st.robIdx
+		insts      = st.insts
+		appInsts   = st.appInsts
+
+		width           = st.width
+		miss            = st.miss
+		compose         = st.compose
+		l1Latency       = st.l1Latency
+		redirectPenalty = st.redirectPenalty
+		maxCycles       = st.maxCycles
+		robLen          = len(rob)
+	)
+	// The memoized L1 line bounds live in registers; hits are counted locally
+	// and credited in bulk at the exit, so the per-record fast path touches no
+	// hierarchy memory at all. A miss re-memoizes, so the bounds are reloaded
+	// after every slow-path call.
+	fetchLo, fetchLen := h.FetchMemo()
+	dataLo, dataLen := h.DataMemo()
+	var fetchHits, dataHits int64
+	out := walkDone
+	i := 0
+	for ; i < len(cur); i++ {
+		if maxCycles > 0 && lastCommit > maxCycles {
+			out = walkWatchdog
+			break
+		}
+		if st.pollCancel && i > 0 && insts&(cancelStride-1) == 0 {
+			out = walkPoll
+			break
+		}
+		d := &cur[i]
+		f := d.Flags
+		// ----- fetch -----
+		if f&(RecPTMiss|RecRTMiss) != 0 {
+			stall := 0
+			if f&RecPTMiss != 0 {
+				stall += miss
+			}
+			if f&RecRTMiss != 0 {
+				if f&RecComposed != 0 {
+					stall += compose
+				} else {
+					stall += miss
+				}
+			}
+			if stall > 0 {
+				// PT/RT miss: pipeline flush + fixed handler stall (§2.3).
+				if lastCommit > fetchCycle {
+					fetchCycle = lastCommit
+				}
+				fetchCycle += int64(stall)
+				st.diseStalls += int64(stall)
+			}
+		}
+		if d.FetchSize > 0 {
+			if d.PC-fetchLo+uint64(d.FetchSize) <= fetchLen {
+				fetchHits++
+			} else {
+				if lat := h.FetchMiss(d.PC, int(d.FetchSize)); lat > 0 {
+					fetchCycle += int64(lat)
+				}
+				fetchLo, fetchLen = h.FetchMemo()
+			}
+		}
+		if d.SeqLen > 0 && st.diseStallMode {
+			// One bubble per actual expansion (§4.1).
+			fetchCycle++
+			st.expStalls++
+		}
+
+		// ----- dispatch -----
+		dc := fetchCycle
+		if robWait := rob[robIdx]; robWait > dc {
+			dc = robWait // reorder buffer full: wait for the oldest to retire
+		}
+		if dc > dispCycle {
+			dispCycle, dispCount = dc, 0
+		}
+		if dispCount >= width {
+			dispCycle++
+			dispCount = 0
+		}
+		dispCount++
+		dc = dispCycle
+
+		// ----- execute -----
+		// Register indices are bounds-checked: a hostile or fault-corrupted
+		// expander can emit registers outside the architectural file, and the
+		// scheduler must degrade (treat them as always-ready) rather than
+		// crash the host.
+		start := dc + 1
+		if s1 := d.SrcA; int(s1) < len(regReady) {
+			if t := regReady[s1]; t > start {
+				start = t
+			}
+		}
+		if s2 := d.SrcB; int(s2) < len(regReady) {
+			if t := regReady[s2]; t > start {
+				start = t
+			}
+		}
+		lat := int64(d.Lat)
+		if f&(RecIsLoad|RecIsStore) != 0 {
+			dlat := l1Latency
+			if d.MemAddr-dataLo < dataLen {
+				dataHits++
+			} else {
+				dlat = int64(h.DataMiss(d.MemAddr))
+				dataLo, dataLen = h.DataMemo()
+			}
+			if f&RecIsLoad != 0 {
+				lat += dlat
+			}
+			// Stores retire through the write buffer; their latency does
+			// not stall dependents.
+		}
+		done := start + lat
+		if dest := d.Dst; dest != isa.RegZero && int(dest) < len(regReady) {
+			regReady[dest] = done
+		}
+
+		// ----- control -----
+		if f&RecMispredict != 0 {
+			st.mispredicts++
+			if t := done + redirectPenalty; t > fetchCycle {
+				fetchCycle = t
+			}
+			dispCount = width
+		} else if f&(RecIsBranch|RecTaken) == RecIsBranch|RecTaken {
+			// Correctly predicted taken branch still breaks the fetch group.
+			dispCount = width
+			if dc+1 > fetchCycle {
+				fetchCycle = dc + 1
+			}
+		}
+
+		// ----- commit -----
+		ct := done
+		if ct < lastCommit {
+			ct = lastCommit
+		}
+		if ct > commCycle {
+			commCycle, commCount = ct, 0
+		}
+		if commCount >= width {
+			commCycle++
+			commCount = 0
+		}
+		commCount++
+		ct = commCycle
+		lastCommit = ct
+		rob[robIdx] = ct
+		robIdx++
+		if robIdx == robLen {
+			robIdx = 0
+		}
+		insts++
+		if f&RecIsApp != 0 {
+			appInsts++
+		}
+	}
+	h.AddFetchAccesses(fetchHits)
+	h.AddDataAccesses(dataHits)
+	st.fetchCycle = fetchCycle
+	st.lastCommit = lastCommit
+	st.dispCycle = dispCycle
+	st.dispCount = dispCount
+	st.commCycle = commCycle
+	st.commCount = commCount
+	st.robIdx = robIdx
+	st.insts = insts
+	st.appInsts = appInsts
+	return i, out
+}
+
 // Run executes machine m to completion under the timing model and returns
 // the result. The machine must be freshly created (its expander and any
 // dedicated registers already configured). Run never panics on machine
 // misbehavior: a host-side invariant violation surfaces as emu.TrapInternal
 // in Result.Err.
+//
+// When the machine supports the batched record feed (no expander, or the
+// DISE engine proper) and no cycle watchdog is set, Run consumes it through
+// a BatchSource: the functional machine runs ahead of the scheduler by up
+// to one batch, which a MaxCycles watchdog cannot tolerate (it must stop
+// the machine at a deterministic commit cycle), so watchdogged runs keep
+// the per-step source.
 func Run(m *emu.Machine, cfg Config) *Result {
+	if cfg.MaxCycles <= 0 {
+		if miss, compose, ok := m.FeedPenalties(); ok {
+			src := newLiveBatchSource(m, miss, compose)
+			res := RunSource(src, cfg)
+			src.release()
+			return res
+		}
+	}
 	return RunSource(&machineSource{m: m, pred: bpred.New()}, cfg)
 }
 
@@ -335,7 +652,7 @@ func RunSource(src Source, cfg Config) (res *Result) {
 	if cfg.Width <= 0 || cfg.ROB <= 0 || cfg.PipeDepth <= 0 {
 		return &Result{Err: fmt.Errorf("cpu: bad config %+v", cfg)}
 	}
-	h, err := mem.NewHierarchyChecked(cfg.Mem)
+	h, err := getHierarchy(cfg.Mem)
 	if err != nil {
 		return &Result{Err: fmt.Errorf("cpu: %w", err)}
 	}
@@ -367,11 +684,19 @@ func RunSource(src Source, cfg Config) (res *Result) {
 		miss, compose int
 	)
 	chunked := false
+	var batch BatchSource
 	if cs, ok := src.(ChunkedSource); ok {
 		chunks, miss, compose = cs.Chunks()
 		chunked = true
+	} else if bs, ok := src.(BatchSource); ok {
+		// Batched live feed: same inline walk and stall rebuild as chunks,
+		// with slices pulled from the source on demand.
+		batch = bs
+		miss, compose = bs.BatchPenalties()
+		chunked = true
 	}
 	diseStallMode := cfg.DiseMode == DiseStall
+	l1Latency := int64(h.L1Latency)
 	maxCycles := cfg.MaxCycles
 	hook := cfg.Hook
 	var cancelDone <-chan struct{}
@@ -385,6 +710,77 @@ func RunSource(src Source, cfg Config) (res *Result) {
 
 	var watchdog error
 	var d *Rec
+	if chunked && hook == nil {
+		// Record streams with no per-instruction hook run through the leaf
+		// walk: schedWalk consumes records until a slice boundary, a
+		// watchdog trip, or a poll comes due, and this loop — which owns all
+		// trap formatting and channel work — re-performs those checks
+		// itself. schedWalk never reports a stop this loop's own checks
+		// would not also see, so every iteration either consumes records or
+		// terminates, in the exact order of the per-record path.
+		st := schedState{
+			width: cfg.Width, miss: miss, compose: compose,
+			l1Latency: l1Latency, redirectPenalty: redirectPenalty,
+			maxCycles: maxCycles, diseStallMode: diseStallMode,
+			pollCancel: cancelDone != nil,
+		}
+	fastLoop:
+		for {
+			if maxCycles > 0 && st.lastCommit > maxCycles {
+				pc, disepc := src.Loc()
+				if d != nil {
+					pc, disepc = d.PC, int(d.DISEPC)
+				}
+				watchdog = &emu.Trap{Kind: emu.TrapWatchdog, PC: pc, DISEPC: disepc,
+					Detail: fmt.Sprintf("no completion within %d cycles", cfg.MaxCycles)}
+				break
+			}
+			if cancelDone != nil && st.insts&(cancelStride-1) == 0 {
+				select {
+				case <-cancelDone:
+					pc, disepc := src.Loc()
+					if d != nil {
+						pc, disepc = d.PC, int(d.DISEPC)
+					}
+					watchdog = &emu.Trap{Kind: emu.TrapCancelled, PC: pc, DISEPC: disepc,
+						Cause: context.Cause(cfg.Ctx), Detail: "run cancelled"}
+					break fastLoop
+				default:
+				}
+			}
+			if ri >= len(cur) {
+				if batch != nil {
+					var ok bool
+					cur, ok = batch.NextBatch()
+					if !ok {
+						break
+					}
+				} else {
+					if ci >= len(chunks) {
+						break
+					}
+					cur = chunks[ci]
+					ci++
+				}
+				ri = 0
+				if len(cur) == 0 {
+					continue
+				}
+			}
+			n, _ := schedWalk(h, cur[ri:], &st, rob, &regReady)
+			if n > 0 {
+				ri += n
+				d = &cur[ri-1]
+			}
+		}
+		lastCommit = st.lastCommit
+		insts = st.insts
+		appInsts = st.appInsts
+		mispredicts = st.mispredicts
+		diseStalls = st.diseStalls
+		expStalls = st.expStalls
+		goto finalize
+	}
 loop:
 	for {
 		if maxCycles > 0 && lastCommit > maxCycles {
@@ -417,11 +813,19 @@ loop:
 		var stall int
 		if chunked {
 			if ri >= len(cur) {
-				if ci >= len(chunks) {
-					break
+				if batch != nil {
+					var ok bool
+					cur, ok = batch.NextBatch()
+					if !ok {
+						break
+					}
+				} else {
+					if ci >= len(chunks) {
+						break
+					}
+					cur = chunks[ci]
+					ci++
 				}
-				cur = chunks[ci]
-				ci++
 				ri = 0
 				if len(cur) == 0 {
 					continue loop
@@ -458,8 +862,8 @@ loop:
 			fetchCycle += int64(stall)
 			diseStalls += int64(stall)
 		}
-		if d.FetchSize > 0 {
-			if lat := h.FetchLatency(d.PC, int(d.FetchSize)); lat > 0 {
+		if d.FetchSize > 0 && !h.FetchHit(d.PC, int(d.FetchSize)) {
+			if lat := h.FetchMiss(d.PC, int(d.FetchSize)); lat > 0 {
 				fetchCycle += int64(lat)
 			}
 		}
@@ -495,7 +899,10 @@ loop:
 		}
 		lat := int64(d.Lat)
 		if f&(RecIsLoad|RecIsStore) != 0 {
-			dlat := int64(h.DataLatency(d.MemAddr))
+			dlat := l1Latency
+			if !h.DataHit(d.MemAddr) {
+				dlat = int64(h.DataMiss(d.MemAddr))
+			}
 			if f&RecIsLoad != 0 {
 				lat += dlat
 			}
@@ -543,6 +950,7 @@ loop:
 		}
 	}
 
+finalize:
 	res.Insts = insts
 	res.AppInsts = appInsts
 	res.Mispredicts = mispredicts
@@ -558,6 +966,7 @@ loop:
 	if watchdog != nil {
 		res.Err = watchdog
 	}
+	putHierarchy(cfg.Mem, h)
 	return res
 }
 
@@ -630,7 +1039,7 @@ func RunSourceMany(src ChunkedSource, cfgs []Config) (out []*Result) {
 
 	states := make([]manyState, len(cfgs))
 	for i, cfg := range cfgs {
-		h, err := mem.NewHierarchyChecked(cfg.Mem)
+		h, err := getHierarchy(cfg.Mem)
 		if err != nil {
 			for j, c := range cfgs {
 				out[j] = RunSource(src, c)
@@ -693,8 +1102,8 @@ func RunSourceMany(src ChunkedSource, cfgs []Config) (out []*Result) {
 					st.fetchCycle += int64(stall)
 					st.diseStalls += int64(stall)
 				}
-				if d.FetchSize > 0 {
-					if lat := st.h.FetchLatency(d.PC, int(d.FetchSize)); lat > 0 {
+				if d.FetchSize > 0 && !st.h.FetchHit(d.PC, int(d.FetchSize)) {
+					if lat := st.h.FetchMiss(d.PC, int(d.FetchSize)); lat > 0 {
 						st.fetchCycle += int64(lat)
 					}
 				}
@@ -720,7 +1129,10 @@ func RunSourceMany(src ChunkedSource, cfgs []Config) (out []*Result) {
 				}
 				lat := int64(d.Lat)
 				if f&(RecIsLoad|RecIsStore) != 0 {
-					dlat := int64(st.h.DataLatency(d.MemAddr))
+					dlat := int64(st.h.L1Latency)
+					if !st.h.DataHit(d.MemAddr) {
+						dlat = int64(st.h.DataMiss(d.MemAddr))
+					}
 					if f&RecIsLoad != 0 {
 						lat += dlat
 					}
@@ -781,60 +1193,14 @@ func RunSourceMany(src ChunkedSource, cfgs []Config) (out []*Result) {
 			Pred:           pred,
 		}
 	}
+	for i := range states {
+		putHierarchy(cfgs[i].Mem, states[i].h)
+	}
 	return out
 }
 
-// regSel maps opcode → which Inst fields the scheduler reads as sources and
-// destination. The register slot an operand occupies is a pure function of
-// the opcode (see the isa.Inst field slot mapping), so the per-record
-// format/class switches in Inst.SourceRegs and Inst.Dest fold into one
-// table, built at init by decoding each opcode once with sentinel register
-// numbers and recording which slots come back.
-type regSelEnt struct{ a, b, d uint8 }
-
-// selAllNone indexes every operand at the trailing NoReg slot: used for
-// opcodes outside the table (fault-corrupted encodings).
-var selAllNone = regSelEnt{a: 3, b: 3, d: 3}
-
-var regSel = func() (t [isa.NumOpcodes]regSelEnt) {
-	slot := func(r isa.Reg) uint8 {
-		switch r {
-		case 1:
-			return 0 // RS
-		case 2:
-			return 1 // RT
-		case 3:
-			return 2 // RD
-		}
-		return 3 // none
-	}
-	for op := range t {
-		probe := isa.Inst{Op: isa.Opcode(op), RS: 1, RT: 2, RD: 3}
-		a, b := probe.SourceRegs()
-		t[op] = regSelEnt{a: slot(a), b: slot(b), d: slot(probe.Dest())}
-	}
-	return
-}()
-
-// latencyTable holds per-opcode functional-unit latencies in cycles,
-// indexed directly by opcode: multiplies take 3, loads take 0 (the D-cache
-// latency is added by the caller), everything else 1.
-var latencyTable = func() [isa.NumOpcodes]int8 {
-	var t [isa.NumOpcodes]int8
-	for op := range t {
-		t[op] = 1
-	}
-	t[isa.OpMULQ] = 3
-	t[isa.OpMULQI] = 3
-	t[isa.OpLDQ] = 0
-	t[isa.OpLDL] = 0
-	return t
-}()
-
-// execLatency gives functional-unit latencies in cycles.
+// execLatency gives functional-unit latencies in cycles. (Kept as a public
+// seam for tests; the table itself lives in internal/rec.)
 func execLatency(op isa.Opcode) int {
-	if int(op) < len(latencyTable) {
-		return int(latencyTable[op])
-	}
-	return 1
+	return int(rec.Lat(op))
 }

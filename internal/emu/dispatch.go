@@ -1,0 +1,686 @@
+// Threaded-code drivers for translated superblocks, and the batched record
+// feed the timing model consumes. Two drivers share the block format:
+// runBlock executes architectural state only (Run/RunContext); feedBlock
+// additionally emits one timing record per dynamic instruction — the exact
+// record cpu.MakeRec would build from the interpreter's DynInst, with branch
+// prediction resolved inline — so the timing model can consume translated
+// execution without materializing DynInsts at all.
+package emu
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/rec"
+)
+
+// runBlock executes translated block b until it exits, traps, reaches a
+// DISE expansion, or Stats.Total reaches stopTotal (the machine is left at
+// the uop's unit so the interpreter resumes exactly there). Statistics
+// counters are carried in locals and flushed once on return.
+func (m *Machine) runBlock(b *sblock, stopTotal int64) {
+	ops := b.ops
+	eng := m.trans.eng
+	dmem := m.mem
+	regs := &m.regs
+	total := m.Stats.Total
+	var apps, loads, stores, branches, takenN int64
+	// Single exit: every stop path breaks to the flush below. A deferred
+	// flush would capture the counters by reference and force every
+	// increment through memory; the labeled break keeps them in registers.
+	i := 0
+out:
+	for {
+		if total >= stopTotal {
+			m.unit = int(ops[i].unit)
+			break
+		}
+		op := &ops[i]
+		k := op.kind
+		fetch := eng != nil
+	redo:
+		switch k {
+		case uint8(isa.OpADDQ):
+			regs[op.d] = regs[op.a] + regs[op.b]
+		case uint8(isa.OpADDQI):
+			regs[op.d] = regs[op.a] + uint64(op.imm)
+		case uint8(isa.OpLDA):
+			regs[op.d] = regs[op.a] + uint64(op.imm)
+		case xCond:
+			branches++
+			if condNow(op.inner, int64(regs[op.a])) {
+				takenN++
+				if fetch {
+					eng.SkipFetch()
+				}
+				total++
+				apps++
+				if op.tgt >= 0 {
+					i = int(op.tgt)
+					continue
+				}
+				m.unit = int(op.tgtUnit)
+				break out
+			}
+		case uint8(isa.OpLDQ):
+			addr := regs[op.a] + uint64(op.imm)
+			loads++
+			// Read64's TLB-hit fast path, by hand: the method exceeds the
+			// inlining budget, and the quad load is the hottest memory op.
+			var v uint64
+			if off := addr & (pageSize - 1); addr>>pageShift == dmem.lastPN && off <= pageSize-8 {
+				v = binary.LittleEndian.Uint64(dmem.lastPage[off:])
+			} else {
+				v = dmem.read64Slow(addr)
+			}
+			if op.d != regDiscard {
+				regs[op.d] = v
+			}
+		case uint8(isa.OpLDL):
+			addr := regs[op.a] + uint64(op.imm)
+			loads++
+			v := uint64(int64(int32(dmem.Read32(addr))))
+			if op.d != regDiscard {
+				regs[op.d] = v
+			}
+		case uint8(isa.OpSTQ):
+			addr := regs[op.a] + uint64(op.imm)
+			stores++
+			// Write64's TLB-hit fast path, by hand (see OpLDQ above).
+			if off := addr & (pageSize - 1); addr>>pageShift == dmem.lastPN && off <= pageSize-8 {
+				binary.LittleEndian.PutUint64(dmem.lastPage[off:], regs[op.b])
+			} else {
+				dmem.write64Slow(addr, regs[op.b])
+			}
+			if addr < m.textEnd {
+				if fetch {
+					eng.SkipFetch()
+				}
+				total++
+				apps++
+				m.textStore(addr, 8)
+				m.unit = int(op.unit) + 1
+				break out
+			}
+		case uint8(isa.OpSTL):
+			addr := regs[op.a] + uint64(op.imm)
+			stores++
+			dmem.Write32(addr, uint32(regs[op.b]))
+			if addr < m.textEnd {
+				if fetch {
+					eng.SkipFetch()
+				}
+				total++
+				apps++
+				m.textStore(addr, 4)
+				m.unit = int(op.unit) + 1
+				break out
+			}
+		case uint8(isa.OpSUBQ):
+			regs[op.d] = regs[op.a] - regs[op.b]
+		case uint8(isa.OpMULQ):
+			regs[op.d] = regs[op.a] * regs[op.b]
+		case uint8(isa.OpAND):
+			regs[op.d] = regs[op.a] & regs[op.b]
+		case uint8(isa.OpBIS):
+			regs[op.d] = regs[op.a] | regs[op.b]
+		case uint8(isa.OpXOR):
+			regs[op.d] = regs[op.a] ^ regs[op.b]
+		case uint8(isa.OpSLL):
+			regs[op.d] = regs[op.a] << (regs[op.b] & 63)
+		case uint8(isa.OpSRL):
+			regs[op.d] = regs[op.a] >> (regs[op.b] & 63)
+		case uint8(isa.OpSRA):
+			regs[op.d] = uint64(int64(regs[op.a]) >> (regs[op.b] & 63))
+		case uint8(isa.OpCMPEQ):
+			regs[op.d] = b2u(regs[op.a] == regs[op.b])
+		case uint8(isa.OpCMPLT):
+			regs[op.d] = b2u(int64(regs[op.a]) < int64(regs[op.b]))
+		case uint8(isa.OpCMPLE):
+			regs[op.d] = b2u(int64(regs[op.a]) <= int64(regs[op.b]))
+		case uint8(isa.OpCMPULT):
+			regs[op.d] = b2u(regs[op.a] < regs[op.b])
+		case uint8(isa.OpCMPULE):
+			regs[op.d] = b2u(regs[op.a] <= regs[op.b])
+		case uint8(isa.OpSUBQI):
+			regs[op.d] = regs[op.a] - uint64(op.imm)
+		case uint8(isa.OpMULQI):
+			regs[op.d] = regs[op.a] * uint64(op.imm)
+		case uint8(isa.OpANDI):
+			regs[op.d] = regs[op.a] & uint64(op.imm)
+		case uint8(isa.OpBISI):
+			regs[op.d] = regs[op.a] | uint64(op.imm)
+		case uint8(isa.OpXORI):
+			regs[op.d] = regs[op.a] ^ uint64(op.imm)
+		case uint8(isa.OpSLLI):
+			regs[op.d] = regs[op.a] << (uint64(op.imm) & 63)
+		case uint8(isa.OpSRLI):
+			regs[op.d] = regs[op.a] >> (uint64(op.imm) & 63)
+		case uint8(isa.OpSRAI):
+			regs[op.d] = uint64(int64(regs[op.a]) >> (uint64(op.imm) & 63))
+		case uint8(isa.OpCMPEQI):
+			regs[op.d] = b2u(int64(regs[op.a]) == op.imm)
+		case uint8(isa.OpCMPLTI):
+			regs[op.d] = b2u(int64(regs[op.a]) < op.imm)
+		case uint8(isa.OpCMPULTI):
+			regs[op.d] = b2u(regs[op.a] < uint64(op.imm))
+		case xNop:
+		case xBr:
+			if op.d != regDiscard {
+				regs[op.d] = op.link
+			}
+		case xBsr:
+			if op.d != regDiscard {
+				regs[op.d] = op.link
+			}
+		case xExit:
+			m.unit = int(op.unit)
+			break out
+		case xTrigger:
+			exp := eng.ExpandSite(op.in, op.tmpl.PC, op.site)
+			fetch = false
+			if exp != nil && exp.Insts != nil {
+				m.beginSeq(op, exp)
+				break out
+			}
+			// Passthrough (possibly with a PT-fill stall, which only
+			// affects timing records): execute the compiled inner kind.
+			k = op.inner
+			goto redo
+		case xHalt:
+			if fetch {
+				eng.SkipFetch()
+			}
+			total++
+			apps++
+			m.unit = int(op.unit)
+			m.stop(nil)
+			break out
+		case xSys:
+			m.unit = int(op.unit)
+			m.sys(op.imm)
+			if m.halted {
+				if fetch {
+					eng.SkipFetch()
+				}
+				total++
+				apps++
+				break out
+			}
+		case xTrap:
+			if fetch {
+				eng.SkipFetch()
+			}
+			total++
+			apps++
+			m.unit = int(op.unit)
+			m.stopTrapOp(op)
+			break out
+		default:
+			// Unknown kind: re-enter the interpreter (never generated, but
+			// degrading beats corrupting).
+			m.unit = int(op.unit)
+			break out
+		}
+		if fetch {
+			eng.SkipFetch()
+		}
+		total++
+		apps++
+		i = int(op.next)
+	}
+	st := &m.Stats
+	st.Total = total
+	st.AppInsts += apps
+	st.Loads += loads
+	st.Stores += stores
+	st.Branches += branches
+	st.Taken += takenN
+}
+
+// beginSeq installs a trigger site's expansion as the in-flight replacement
+// sequence (the interpreter executes it from here), or — for a structurally
+// broken expansion — raises the same TrapRTCorrupt the interpreted fetch
+// path would. Mirrors stepApplication exactly.
+func (m *Machine) beginSeq(op *uop, exp *core.Expansion) {
+	if len(exp.Insts) == 0 || len(exp.Templates) != len(exp.Insts) {
+		m.unit = int(op.unit)
+		m.stop(&Trap{Kind: TrapRTCorrupt, PC: op.tmpl.PC,
+			Detail: fmt.Sprintf("malformed expansion: %d insts, %d templates", len(exp.Insts), len(exp.Templates))})
+		return
+	}
+	m.seq = exp.Insts
+	m.seqTmpl = exp.Templates
+	m.seqIdx = 0
+	m.seqStall = exp.Stall
+	m.seqPT, m.seqRT, m.seqComp = exp.PTMiss, exp.RTMiss, exp.Composed
+	m.trigPC = op.tmpl.PC
+	m.trigUnit = int(op.unit)
+	m.trigger = op.in
+	m.unit = int(op.unit)
+}
+
+// stopTrapOp raises the execute-stage trap for an xTrap uop with the
+// interpreter's exact classification and message. m.unit is already set to
+// the trapping unit.
+func (m *Machine) stopTrapOp(op *uop) {
+	in := op.in
+	if in.Op.Class() == isa.ClassCodeword {
+		m.stop(m.trap(TrapBadCodeword, 0, fmt.Sprintf("unexpanded codeword %v at unit %d", in, int(op.unit))))
+	} else {
+		m.stop(m.trap(TrapIllegalInst, 0, fmt.Sprintf("undefined or unimplemented instruction %v", in)))
+	}
+}
+
+// feedBlock is runBlock plus record emission: every dynamic instruction
+// appends its timing record to buf (templates copied, dynamic fields filled,
+// branch prediction resolved against p). It returns the new record count;
+// the machine is positioned so the caller's interpreter loop continues
+// exactly where the block stopped.
+func (m *Machine) feedBlock(b *sblock, p *bpred.Predictor, buf []rec.Rec, n int, stopTotal int64) int {
+	ops := b.ops
+	eng := m.trans.eng
+	dmem := m.mem
+	regs := &m.regs
+	total := m.Stats.Total
+	var apps, loads, stores, branches, takenN int64
+	// Single exit, like runBlock: a deferred flush would force the counters
+	// through memory on every increment.
+	i := 0
+out:
+	for {
+		op := &ops[i]
+		if op.kind == xExit {
+			m.unit = int(op.unit)
+			break
+		}
+		if n >= len(buf) || total >= stopTotal {
+			m.unit = int(op.unit)
+			break
+		}
+		k := op.kind
+		fetch := eng != nil
+		r := &buf[n]
+		*r = op.tmpl
+	redo:
+		switch k {
+		case uint8(isa.OpADDQ):
+			regs[op.d] = regs[op.a] + regs[op.b]
+		case uint8(isa.OpADDQI):
+			regs[op.d] = regs[op.a] + uint64(op.imm)
+		case uint8(isa.OpLDA):
+			regs[op.d] = regs[op.a] + uint64(op.imm)
+		case xCond:
+			branches++
+			tk := condNow(op.inner, int64(regs[op.a]))
+			if tk {
+				r.Flags |= rec.Taken
+			}
+			if !p.Cond(op.tmpl.PC, tk) {
+				r.Flags |= rec.Mispredict
+			}
+			if tk {
+				takenN++
+				n++
+				if fetch {
+					eng.SkipFetch()
+				}
+				total++
+				apps++
+				if op.tgt >= 0 {
+					i = int(op.tgt)
+					continue
+				}
+				m.unit = int(op.tgtUnit)
+				break out
+			}
+		case uint8(isa.OpLDQ):
+			addr := regs[op.a] + uint64(op.imm)
+			loads++
+			r.MemAddr = addr
+			// Read64's TLB-hit fast path, by hand: the method exceeds the
+			// inlining budget, and the quad load is the hottest memory op.
+			var v uint64
+			if off := addr & (pageSize - 1); addr>>pageShift == dmem.lastPN && off <= pageSize-8 {
+				v = binary.LittleEndian.Uint64(dmem.lastPage[off:])
+			} else {
+				v = dmem.read64Slow(addr)
+			}
+			if op.d != regDiscard {
+				regs[op.d] = v
+			}
+		case uint8(isa.OpLDL):
+			addr := regs[op.a] + uint64(op.imm)
+			loads++
+			r.MemAddr = addr
+			v := uint64(int64(int32(dmem.Read32(addr))))
+			if op.d != regDiscard {
+				regs[op.d] = v
+			}
+		case uint8(isa.OpSTQ):
+			addr := regs[op.a] + uint64(op.imm)
+			stores++
+			r.MemAddr = addr
+			// Write64's TLB-hit fast path, by hand (see OpLDQ above).
+			if off := addr & (pageSize - 1); addr>>pageShift == dmem.lastPN && off <= pageSize-8 {
+				binary.LittleEndian.PutUint64(dmem.lastPage[off:], regs[op.b])
+			} else {
+				dmem.write64Slow(addr, regs[op.b])
+			}
+			if addr < m.textEnd {
+				n++
+				if fetch {
+					eng.SkipFetch()
+				}
+				total++
+				apps++
+				m.textStore(addr, 8)
+				m.unit = int(op.unit) + 1
+				break out
+			}
+		case uint8(isa.OpSTL):
+			addr := regs[op.a] + uint64(op.imm)
+			stores++
+			r.MemAddr = addr
+			dmem.Write32(addr, uint32(regs[op.b]))
+			if addr < m.textEnd {
+				n++
+				if fetch {
+					eng.SkipFetch()
+				}
+				total++
+				apps++
+				m.textStore(addr, 4)
+				m.unit = int(op.unit) + 1
+				break out
+			}
+		case uint8(isa.OpSUBQ):
+			regs[op.d] = regs[op.a] - regs[op.b]
+		case uint8(isa.OpMULQ):
+			regs[op.d] = regs[op.a] * regs[op.b]
+		case uint8(isa.OpAND):
+			regs[op.d] = regs[op.a] & regs[op.b]
+		case uint8(isa.OpBIS):
+			regs[op.d] = regs[op.a] | regs[op.b]
+		case uint8(isa.OpXOR):
+			regs[op.d] = regs[op.a] ^ regs[op.b]
+		case uint8(isa.OpSLL):
+			regs[op.d] = regs[op.a] << (regs[op.b] & 63)
+		case uint8(isa.OpSRL):
+			regs[op.d] = regs[op.a] >> (regs[op.b] & 63)
+		case uint8(isa.OpSRA):
+			regs[op.d] = uint64(int64(regs[op.a]) >> (regs[op.b] & 63))
+		case uint8(isa.OpCMPEQ):
+			regs[op.d] = b2u(regs[op.a] == regs[op.b])
+		case uint8(isa.OpCMPLT):
+			regs[op.d] = b2u(int64(regs[op.a]) < int64(regs[op.b]))
+		case uint8(isa.OpCMPLE):
+			regs[op.d] = b2u(int64(regs[op.a]) <= int64(regs[op.b]))
+		case uint8(isa.OpCMPULT):
+			regs[op.d] = b2u(regs[op.a] < regs[op.b])
+		case uint8(isa.OpCMPULE):
+			regs[op.d] = b2u(regs[op.a] <= regs[op.b])
+		case uint8(isa.OpSUBQI):
+			regs[op.d] = regs[op.a] - uint64(op.imm)
+		case uint8(isa.OpMULQI):
+			regs[op.d] = regs[op.a] * uint64(op.imm)
+		case uint8(isa.OpANDI):
+			regs[op.d] = regs[op.a] & uint64(op.imm)
+		case uint8(isa.OpBISI):
+			regs[op.d] = regs[op.a] | uint64(op.imm)
+		case uint8(isa.OpXORI):
+			regs[op.d] = regs[op.a] ^ uint64(op.imm)
+		case uint8(isa.OpSLLI):
+			regs[op.d] = regs[op.a] << (uint64(op.imm) & 63)
+		case uint8(isa.OpSRLI):
+			regs[op.d] = regs[op.a] >> (uint64(op.imm) & 63)
+		case uint8(isa.OpSRAI):
+			regs[op.d] = uint64(int64(regs[op.a]) >> (uint64(op.imm) & 63))
+		case uint8(isa.OpCMPEQI):
+			regs[op.d] = b2u(int64(regs[op.a]) == op.imm)
+		case uint8(isa.OpCMPLTI):
+			regs[op.d] = b2u(int64(regs[op.a]) < op.imm)
+		case uint8(isa.OpCMPULTI):
+			regs[op.d] = b2u(regs[op.a] < uint64(op.imm))
+		case xNop:
+		case xBr:
+			if op.d != regDiscard {
+				regs[op.d] = op.link
+			}
+		case xBsr:
+			p.Call(op.ret)
+			if op.d != regDiscard {
+				regs[op.d] = op.link
+			}
+		case xTrigger:
+			exp := eng.ExpandSite(op.in, op.tmpl.PC, op.site)
+			fetch = false
+			if exp != nil {
+				if exp.Insts != nil {
+					m.beginSeq(op, exp)
+					break out // the written record slot is not consumed
+				}
+				if exp.Stall > 0 {
+					// Passthrough that still stalled the pipe (PT fill with
+					// no match): carry the table events on the record.
+					if exp.PTMiss {
+						r.Flags |= rec.PTMiss
+					}
+					if exp.RTMiss {
+						r.Flags |= rec.RTMiss
+					}
+					if exp.Composed {
+						r.Flags |= rec.Composed
+					}
+				}
+			}
+			k = op.inner
+			goto redo
+		case xHalt:
+			n++
+			if fetch {
+				eng.SkipFetch()
+			}
+			total++
+			apps++
+			m.unit = int(op.unit)
+			m.stop(nil)
+			break out
+		case xSys:
+			m.unit = int(op.unit)
+			m.sys(op.imm)
+			if m.halted {
+				n++
+				if fetch {
+					eng.SkipFetch()
+				}
+				total++
+				apps++
+				break out
+			}
+		case xTrap:
+			n++
+			if fetch {
+				eng.SkipFetch()
+			}
+			total++
+			apps++
+			m.unit = int(op.unit)
+			m.stopTrapOp(op)
+			break out
+		default:
+			m.unit = int(op.unit)
+			break out
+		}
+		n++
+		if fetch {
+			eng.SkipFetch()
+		}
+		total++
+		apps++
+		i = int(op.next)
+	}
+	st := &m.Stats
+	st.Total = total
+	st.AppInsts += apps
+	st.Loads += loads
+	st.Stores += stores
+	st.Branches += branches
+	st.Taken += takenN
+	return n
+}
+
+// nextFall computes where plain fallthrough lands after d, or -2 when d
+// ended with a control transfer or expansion — i.e. whether the next unit
+// executed is a block boundary for heat counting.
+func nextFall(d *DynInst) int {
+	if d.DISEPC == 0 && d.SeqLen == 0 && !d.FromRT && !d.Taken && !d.DiseBranch {
+		return d.Unit + 1
+	}
+	return -2
+}
+
+// runSpan advances the machine until it halts or Stats.Total reaches
+// stopTotal, using translated superblocks where available and the
+// interpreter everywhere else. The two paths interleave freely; every
+// hand-off goes through m.unit, so there is never parked translated state.
+func (m *Machine) runSpan(stopTotal int64) {
+	t := &m.trans
+	stop := stopTotal
+	if m.budget < stop {
+		stop = m.budget
+	}
+	fall := -2
+	var d DynInst
+	for {
+		if m.halted {
+			return
+		}
+		st := m.Stats.Total
+		if st >= stopTotal {
+			return
+		}
+		if t.enabled && m.seq == nil && !m.strictAlign && st < stop {
+			if u := m.unit; u >= 0 && u < len(m.units) && u != fall {
+				if b := m.hotBlock(u); b != nil {
+					m.runBlock(b, stop)
+					fall = -2
+					continue
+				}
+			}
+		}
+		if !m.StepInto(&d) {
+			return
+		}
+		fall = nextFall(&d)
+	}
+}
+
+// recb compiles to a branch-free SETcc; the record conversion packs eight
+// booleans, so branch misses here would dominate it.
+func recb(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Rec converts one executed dynamic instruction to the timing model's
+// record form. The Mispredict flag is left clear: the caller owns the
+// predictor and ors it in after consulting it.
+func (d *DynInst) Rec() rec.Rec {
+	in := &d.Inst
+	sel := rec.Sel(in.Op)
+	regs := [4]isa.Reg{in.RS, in.RT, in.RD, isa.NoReg}
+	return rec.Rec{
+		PC:        d.PC,
+		MemAddr:   d.MemAddr,
+		DISEPC:    int32(d.DISEPC),
+		SeqLen:    int32(d.SeqLen),
+		FetchSize: uint8(d.FetchSize),
+		Op:        in.Op,
+		SrcA:      regs[sel.A],
+		SrcB:      regs[sel.B],
+		Dst:       regs[sel.D],
+		Lat:       rec.Lat(in.Op),
+		Flags: recb(d.IsApp) |
+			recb(d.IsBranch)<<1 |
+			recb(d.Taken)<<2 |
+			recb(d.IsLoad)<<3 |
+			recb(d.IsStore)<<4 |
+			recb(d.PTMiss)<<5 |
+			recb(d.RTMiss)<<6 |
+			recb(d.Composed)<<7,
+	}
+}
+
+// dynRec converts an interpreted step's DynInst to a record, resolving
+// branch prediction exactly as the live cpu source does.
+func (m *Machine) dynRec(p *bpred.Predictor, d *DynInst) rec.Rec {
+	r := d.Rec()
+	if d.IsBranch || d.DiseBranch {
+		var retAddr uint64
+		if op := d.Inst.Op; op == isa.OpBSR || op == isa.OpJSR {
+			if d.Unit+1 < m.prog.NumUnits() {
+				retAddr = m.prog.Addr(d.Unit + 1)
+			}
+		}
+		if p.Mispredict(d.Inst.Op, d.PC, d.Target, retAddr, d.Taken, d.Predicted, d.DiseBranch) {
+			r.Flags |= rec.Mispredict
+		}
+	}
+	return r
+}
+
+// FillRecs advances the machine, converting up to len(buf) dynamic
+// instructions into timing records with branch prediction resolved against
+// p. It returns the number of records produced and whether the machine can
+// produce more (false once it has halted; the architectural outcome is then
+// in Stats/Output/Err as usual). Translated superblocks feed records
+// straight from their templates; everything else steps through the
+// interpreter — the record stream is identical either way.
+func (m *Machine) FillRecs(p *bpred.Predictor, buf []rec.Rec) (int, bool) {
+	t := &m.trans
+	n := 0
+	fall := t.lastFall
+	var d DynInst
+	for n < len(buf) {
+		if t.enabled && !m.halted && m.seq == nil && !m.strictAlign &&
+			m.Stats.Total < m.budget {
+			if u := m.unit; u >= 0 && u < len(m.units) && u != fall {
+				if b := m.hotBlock(u); b != nil {
+					n = m.feedBlock(b, p, buf, n, m.budget)
+					fall = -2
+					continue
+				}
+			}
+		}
+		if !m.StepInto(&d) {
+			t.lastFall = -2
+			return n, false
+		}
+		buf[n] = m.dynRec(p, &d)
+		n++
+		fall = nextFall(&d)
+	}
+	t.lastFall = fall
+	return n, true
+}
+
+// FeedPenalties reports whether the machine's configuration supports the
+// batched record feed (no expander, or the DISE engine proper — whose stall
+// cycles are a pure function of the PT/RT event flags) and, when it does,
+// the penalties needed to rebuild per-record stalls from those flags.
+func (m *Machine) FeedPenalties() (miss, compose int, ok bool) {
+	switch e := m.expander.(type) {
+	case nil:
+		return 0, 0, true
+	case *core.Engine:
+		miss, compose = e.Penalties()
+		return miss, compose, true
+	}
+	return 0, 0, false
+}

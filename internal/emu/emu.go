@@ -155,6 +155,10 @@ type Machine struct {
 	output bytes.Buffer
 	budget int64
 
+	// trans is the dynamic-translation state: superblock cache, per-unit
+	// heat counters, and invalidation bookkeeping (translate.go).
+	trans transState
+
 	Stats Stats
 }
 
@@ -178,12 +182,18 @@ func New(prog *program.Program) *Machine {
 		}
 	}
 	m.textEnd = prog.Addr(prog.NumUnits())
+	m.trans.mode = transDefaultMode
+	m.trans.threshold = thresholdFor(transDefaultMode, transDefaultThreshold)
+	m.transSetup()
 	return m
 }
 
 // SetExpander installs the post-fetch expander (DISE engine or dedicated
 // decompressor). It must be set before execution begins.
-func (m *Machine) SetExpander(e Expander) { m.expander = e }
+func (m *Machine) SetExpander(e Expander) {
+	m.expander = e
+	m.transSetup()
+}
 
 // SetBudget limits the number of dynamic instructions executed; exceeding it
 // stops the machine with ErrBudget.
@@ -680,6 +690,7 @@ func (m *Machine) textStore(addr, n uint64) {
 				u.inst = isa.Inst{Op: isa.OpInvalid}
 			}
 			m.Stats.Redecodes++
+			m.transInvalidate(i)
 		}
 		a = u.addr + uint64(u.size)
 	}
@@ -755,6 +766,10 @@ func minInt(a, b int) int {
 
 // Run executes until halt, returning the termination error.
 func (m *Machine) Run() error {
+	if m.trans.enabled {
+		m.runSpan(1 << 62)
+		return m.err
+	}
 	var d DynInst
 	for m.StepInto(&d) {
 	}
@@ -776,6 +791,22 @@ func (m *Machine) RunContext(ctx context.Context) error {
 		return m.Run()
 	}
 	done := ctx.Done()
+	if m.trans.enabled {
+		for {
+			m.runSpan(m.Stats.Total + cancelStride)
+			if m.halted {
+				return m.err
+			}
+			select {
+			case <-done:
+				t := m.trap(TrapCancelled, 0, "execution cancelled")
+				t.Cause = context.Cause(ctx)
+				m.stop(t)
+				return m.err
+			default:
+			}
+		}
+	}
 	var d DynInst
 	for {
 		for i := 0; i < cancelStride; i++ {

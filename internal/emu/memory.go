@@ -16,18 +16,24 @@ type Memory struct {
 	// structure), so remembering the last page touched removes the map
 	// lookup from most accesses. Pages are never freed, so the cached
 	// pointer can only go stale by pointing at a still-valid page.
+	// While lastPage is nil, lastPN holds noPage — an impossible page
+	// number (addresses shift right by pageShift, so real page numbers fit
+	// in 52 bits) — letting the inlined fast paths test only lastPN.
 	lastPN   uint64
 	lastPage *[pageSize]byte
 }
 
+// noPage marks an empty one-entry TLB; no valid address maps to it.
+const noPage = ^uint64(0)
+
 // NewMemory returns an empty memory; unwritten locations read as zero.
 func NewMemory() *Memory {
-	return &Memory{pages: map[uint64]*[pageSize]byte{}}
+	return &Memory{pages: map[uint64]*[pageSize]byte{}, lastPN: noPage}
 }
 
 func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
 	pn := addr >> pageShift
-	if m.lastPage != nil && m.lastPN == pn {
+	if m.lastPN == pn {
 		return m.lastPage
 	}
 	p := m.pages[pn]
@@ -56,7 +62,17 @@ func (m *Memory) StoreByte(addr uint64, v byte) {
 }
 
 // Read64 reads a little-endian 64-bit value (no alignment requirement).
+// The TLB-hit in-page case is small enough to inline into the emulator's
+// dispatch loops; everything else takes the slow helper.
 func (m *Memory) Read64(addr uint64) uint64 {
+	off := addr & (pageSize - 1)
+	if addr>>pageShift == m.lastPN && off <= pageSize-8 {
+		return binary.LittleEndian.Uint64(m.lastPage[off:])
+	}
+	return m.read64Slow(addr)
+}
+
+func (m *Memory) read64Slow(addr uint64) uint64 {
 	if off := addr & (pageSize - 1); off <= pageSize-8 {
 		p := m.page(addr, false)
 		if p == nil {
@@ -69,8 +85,18 @@ func (m *Memory) Read64(addr uint64) uint64 {
 	return binary.LittleEndian.Uint64(buf[:])
 }
 
-// Write64 writes a little-endian 64-bit value.
+// Write64 writes a little-endian 64-bit value; structured like Read64 so the
+// TLB-hit case inlines.
 func (m *Memory) Write64(addr uint64, v uint64) {
+	off := addr & (pageSize - 1)
+	if addr>>pageShift == m.lastPN && off <= pageSize-8 {
+		binary.LittleEndian.PutUint64(m.lastPage[off:], v)
+		return
+	}
+	m.write64Slow(addr, v)
+}
+
+func (m *Memory) write64Slow(addr uint64, v uint64) {
 	if off := addr & (pageSize - 1); off <= pageSize-8 {
 		binary.LittleEndian.PutUint64(m.page(addr, true)[off:], v)
 		return

@@ -1,0 +1,592 @@
+// Dynamic translation: runtime superblock discovery for the emulator hot
+// loop. Basic-block entries in the predecoded units array are profile
+// counted; past a tunable hotness threshold the straight-line region —
+// following fallthrough and unconditional direct branches, stopping at
+// indirect branches, traps, and DISE trigger sites — is translated into
+// threaded-code form: a flat array of packed uops with constant-folded
+// operands, operand-slot-resolved register indices, and the expansion memo
+// inlined at trigger sites (one pointer chase via core.SiteMemo).
+//
+// The translated and interpreted paths are observably identical: same
+// Stats, same traps, same record stream (the batched feed in dispatch.go
+// emits the exact records cpu.MakeRec would build from StepInto's DynInsts).
+// Translation therefore never engages where exactness is subtle for free —
+// replacement sequences, strict-alignment machines, non-engine expanders —
+// those always interpret.
+//
+// Invalidation: a store into the text image redecodes the overlapped units
+// (textStore) and drops every superblock containing them, keeping the
+// TextWrites/Redecodes ledgers exact; translated stores that hit text exit
+// their own block immediately, so stale translated code can never execute.
+// Engine-side invalidation (production install/reset, fault injection into
+// the RT) is carried by the engine's TransEpoch, checked at every block
+// entry — the same flush points as the expansion memo.
+package emu
+
+import (
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/rec"
+)
+
+// TranslateMode selects the dynamic-translation policy for a machine.
+type TranslateMode int
+
+const (
+	// TranslateAuto translates blocks once they pass the hotness threshold
+	// (the default).
+	TranslateAuto TranslateMode = iota
+	// TranslateOff forces pure interpretation.
+	TranslateOff
+	// TranslateAlways translates every block on first execution (threshold
+	// 1): slower to warm up, but it keeps the translated path covered by
+	// every test when forced via DISE_TRANSLATE=always.
+	TranslateAlways
+)
+
+func (t TranslateMode) String() string {
+	switch t {
+	case TranslateOff:
+		return "off"
+	case TranslateAlways:
+		return "always"
+	}
+	return "auto"
+}
+
+// ParseTranslateMode parses a -translate flag / DISE_TRANSLATE value.
+func ParseTranslateMode(s string) (TranslateMode, bool) {
+	switch s {
+	case "off":
+		return TranslateOff, true
+	case "always":
+		return TranslateAlways, true
+	case "", "auto", "on":
+		return TranslateAuto, true
+	}
+	return TranslateAuto, false
+}
+
+// defaultHotThreshold is how many times a block head must be entered before
+// TranslateAuto translates it: low enough that the capture loops that
+// dominate serving warm up within their first buffer, high enough that
+// straight-through code is never translated. Translation itself is cheap
+// (one linear decode pass, no codegen), so the threshold leans low — a block
+// entered eight times is almost certainly a loop.
+const defaultHotThreshold = 8
+
+const (
+	// transMaxOps caps one superblock's uop count (BR-following could
+	// otherwise chain a whole program into one block).
+	transMaxOps = 256
+	// transMaxTotalOps caps the machine's total translated footprint: a
+	// pathological program cannot make the translator outgrow the program
+	// it is translating by more than a small factor.
+	transMaxTotalOps = 1 << 14
+)
+
+var (
+	transDefaultMode      = TranslateAuto
+	transDefaultThreshold = uint32(0) // 0 = mode default
+)
+
+func init() {
+	if mode, ok := ParseTranslateMode(os.Getenv("DISE_TRANSLATE")); ok {
+		transDefaultMode = mode
+	}
+}
+
+// DefaultTranslate returns the translation mode new machines start with
+// (TranslateAuto unless DISE_TRANSLATE or SetDefaultTranslate overrode it):
+// flag plumbing that adjusts only the threshold keeps the mode as is.
+func DefaultTranslate() TranslateMode { return transDefaultMode }
+
+// SetDefaultTranslate sets the translation mode and hot threshold new
+// machines start with (hotThreshold <= 0 selects the mode's default). The
+// disesim/disebench -translate and -hot-threshold flags route here.
+func SetDefaultTranslate(mode TranslateMode, hotThreshold int) {
+	transDefaultMode = mode
+	transDefaultThreshold = 0
+	if hotThreshold > 0 {
+		transDefaultThreshold = uint32(hotThreshold)
+	}
+}
+
+func thresholdFor(mode TranslateMode, hotThreshold uint32) uint32 {
+	if hotThreshold > 0 {
+		return hotThreshold
+	}
+	if mode == TranslateAlways {
+		return 1
+	}
+	return defaultHotThreshold
+}
+
+// SetTranslate configures this machine's translation mode and hot threshold
+// (hotThreshold <= 0 selects the mode's default). It flushes all translated
+// code; it may be called at any point between runs.
+func (m *Machine) SetTranslate(mode TranslateMode, hotThreshold int) {
+	t := &m.trans
+	t.mode = mode
+	t.threshold = thresholdFor(mode, uint32(max(hotThreshold, 0)))
+	m.transSetup()
+}
+
+// TranslateCounts reports how many superblocks this machine has translated
+// and how many were dropped by invalidation (self-modifying stores or engine
+// epoch changes). Tests use it to assert both that translation engaged and
+// that invalidation fired.
+func (m *Machine) TranslateCounts() (translated, dropped int64) {
+	return m.trans.translated, m.trans.dropped
+}
+
+// regDiscard marks a destination whose write is architecturally discarded
+// (the zero register, or a fault-corrupted register number outside the
+// file): compiled ops skip the write, exactly as SetReg would.
+const regDiscard = 0xFF
+
+// Synthetic uop kinds. Plain kinds are the opcode itself (the opcode space
+// is well below 0x80); synthetic kinds dispatch block-structural behavior.
+const (
+	xNop uint8 = 0x80 + iota
+	// xExit leaves the block: m.unit = op.unit, no instruction executed.
+	xExit
+	// xTrigger is an application fetch a DISE pattern may match: it calls
+	// ExpandSite and either hands the machine to the interpreter (expansion)
+	// or executes its inner compiled kind (passthrough).
+	xTrigger
+	// xTrap is an instruction that always traps at execute (illegal opcode,
+	// unexpanded codeword).
+	xTrap
+	xHalt
+	xSys
+	// xCond is any of the six conditional branches; the opcode lives in
+	// op.inner for condNow.
+	xCond
+	xBr
+	xBsr
+)
+
+// uop is one translated instruction: operands constant-folded, register
+// operand slots resolved to file indices, control flow resolved to uop
+// indices, and the timing-record template precomputed for the batched feed.
+type uop struct {
+	kind  uint8
+	inner uint8 // xTrigger: compiled passthrough kind; xCond: the opcode
+	a     uint8 // first source register file index
+	b     uint8 // second source register file index
+	d     uint8 // destination index, or regDiscard
+
+	next    int32 // uop index executed next (fallthrough / BR target)
+	tgt     int32 // xCond taken target uop index, -1 = leave block
+	unit    int32 // application unit (resume point, trap attribution)
+	tgtUnit int32 // xCond taken / xExit target unit
+
+	imm  int64
+	link uint64 // BR/BSR return-address value written to RD
+	ret  uint64 // BSR fall-through address for the RAS (0: no successor)
+
+	tmpl rec.Rec        // record template for the batched feed
+	in   isa.Inst       // original instruction (traps, trigger re-dispatch)
+	site *core.SiteMemo // xTrigger: inlined expansion-memo entry
+}
+
+// sblock is one translated superblock.
+type sblock struct {
+	head  int32
+	ops   []uop
+	units []int32 // application units compiled into the block
+}
+
+// noBlock marks block heads translation rejected (e.g. the head instruction
+// itself is uncompilable) so they are not retried every entry.
+var noBlock = new(sblock)
+
+func (b *sblock) exitTo(u int) {
+	b.ops = append(b.ops, uop{kind: xExit, unit: int32(u), tgtUnit: int32(u), tgt: -1})
+}
+
+func (b *sblock) push(u int, op uop, visited map[int]int32) {
+	visited[u] = int32(len(b.ops))
+	b.ops = append(b.ops, op)
+	b.units = append(b.units, int32(u))
+}
+
+func (b *sblock) contains(u int32) bool {
+	for _, bu := range b.units {
+		if bu == u {
+			return true
+		}
+	}
+	return false
+}
+
+// transState is the per-machine translation state.
+type transState struct {
+	mode      TranslateMode
+	threshold uint32
+	enabled   bool
+	eng       *core.Engine // non-nil iff the expander is the DISE engine
+	epoch     uint64       // engine TransEpoch the translated code assumes
+
+	heat    []uint32  // per-unit block-entry counts (boundaries only)
+	blockAt []*sblock // per-unit translated block, noBlock, or nil
+	cover   []int32   // per-unit count of blocks containing the unit
+	blocks  []*sblock
+	totalOps int
+
+	// lastFall persists fallthrough tracking across FillRecs calls: the unit
+	// a plain instruction fell into, so only control-transfer targets count
+	// as block boundaries.
+	lastFall int
+
+	translated int64
+	dropped    int64
+}
+
+// transSetup recomputes whether translation can engage for the current
+// expander and flushes all translated code. Translation requires either no
+// expander or the DISE engine proper: other expanders (the dedicated
+// decompressor baseline) have no fetch-accounting or trigger-site protocol.
+func (m *Machine) transSetup() {
+	t := &m.trans
+	t.eng = nil
+	enabled := t.mode != TranslateOff
+	switch e := m.expander.(type) {
+	case nil:
+	case *core.Engine:
+		t.eng = e
+	default:
+		enabled = false
+	}
+	t.enabled = enabled
+	m.transFlush()
+}
+
+// transFlush drops every translated block and profile counter and re-syncs
+// the engine epoch.
+func (m *Machine) transFlush() {
+	t := &m.trans
+	t.heat, t.blockAt, t.cover, t.blocks = nil, nil, nil, nil
+	t.totalOps = 0
+	t.lastFall = -2
+	if t.eng != nil {
+		t.epoch = t.eng.TransEpoch()
+	}
+}
+
+// transInvalidate drops every superblock containing unit u. It is called
+// from textStore for each unit a self-modifying store forced back through
+// the decoder; the cover counts make the no-translation and
+// not-covered cases one array read.
+func (m *Machine) transInvalidate(u int) {
+	t := &m.trans
+	if t.cover == nil || u < 0 || u >= len(t.cover) || t.cover[u] == 0 {
+		return
+	}
+	for i := 0; i < len(t.blocks); {
+		b := t.blocks[i]
+		if !b.contains(int32(u)) {
+			i++
+			continue
+		}
+		for _, bu := range b.units {
+			t.cover[bu]--
+		}
+		t.totalOps -= len(b.ops)
+		t.blockAt[b.head] = nil
+		t.heat[b.head] = 0
+		last := len(t.blocks) - 1
+		t.blocks[i] = t.blocks[last]
+		t.blocks[last] = nil
+		t.blocks = t.blocks[:last]
+		t.dropped++
+	}
+}
+
+// hotBlock is the per-boundary fast path: return the translated block for
+// unit u, or bump its heat and translate once it crosses the threshold.
+// The engine epoch is checked here — every block entry — so engine-side
+// invalidation (install, reset, RT fault injection) takes effect before any
+// stale trigger-site assumption can execute.
+func (m *Machine) hotBlock(u int) *sblock {
+	t := &m.trans
+	if t.eng != nil && t.eng.TransEpoch() != t.epoch {
+		m.transFlush()
+	}
+	if t.blockAt == nil {
+		nu := len(m.units)
+		t.blockAt = make([]*sblock, nu)
+		t.heat = make([]uint32, nu)
+		t.cover = make([]int32, nu)
+	}
+	if b := t.blockAt[u]; b != nil {
+		if b == noBlock {
+			return nil
+		}
+		return b
+	}
+	h := t.heat[u] + 1
+	t.heat[u] = h
+	if h < t.threshold {
+		return nil
+	}
+	return m.translate(u)
+}
+
+// srcIdx resolves a source register to a file index: invalid (fault
+// corrupted) registers read as zero, exactly like Reg, via the hardwired
+// zero register's slot.
+func srcIdx(r isa.Reg) uint8 {
+	if r.Valid() {
+		return uint8(r)
+	}
+	return uint8(isa.RegZero)
+}
+
+// dstIdx resolves a destination register, mapping discarded writes (zero
+// register, invalid numbers) to regDiscard.
+func dstIdx(r isa.Reg) uint8 {
+	if !r.Valid() || r == isa.RegZero {
+		return regDiscard
+	}
+	return uint8(r)
+}
+
+// recTemplate precomputes the static part of the timing record one
+// application instruction produces (dynamic fields — MemAddr, Taken,
+// Mispredict, PT/RT miss flags — are filled by the feed driver).
+func recTemplate(in isa.Inst, pc uint64, size uint8) rec.Rec {
+	sel := rec.Sel(in.Op)
+	regs := [4]isa.Reg{in.RS, in.RT, in.RD, isa.NoReg}
+	f := rec.IsApp
+	switch in.Op {
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBLE, isa.OpBGT, isa.OpBGE:
+		f |= rec.IsBranch
+	case isa.OpBR, isa.OpBSR:
+		f |= rec.IsBranch | rec.Taken
+	case isa.OpLDQ, isa.OpLDL:
+		f |= rec.IsLoad
+	case isa.OpSTQ, isa.OpSTL:
+		f |= rec.IsStore
+	}
+	return rec.Rec{
+		PC:        pc,
+		FetchSize: size,
+		Op:        in.Op,
+		SrcA:      regs[sel.A],
+		SrcB:      regs[sel.B],
+		Dst:       regs[sel.D],
+		Lat:       rec.Lat(in.Op),
+		Flags:     f,
+	}
+}
+
+// translate builds the superblock headed at unit `head`: follow fallthrough
+// and direct unconditional branches, embedding conditional branches as
+// two-way uops, and stop at indirect control, traps, syscalls that halt the
+// block shape (halt), trigger sites, and region revisits. Returns nil (and
+// marks the head noBlock) when nothing useful compiles.
+func (m *Machine) translate(head int) *sblock {
+	t := &m.trans
+	if t.totalOps >= transMaxTotalOps {
+		return nil
+	}
+	b := &sblock{head: int32(head)}
+	visited := make(map[int]int32)
+	type condPatch struct {
+		op  int32
+		tgt int
+	}
+	var patches []condPatch
+	u := head
+build:
+	for {
+		if u < 0 || u >= len(m.units) || len(b.ops) >= transMaxOps {
+			b.exitTo(u)
+			break
+		}
+		if _, ok := visited[u]; ok {
+			// Fallthrough reached an already-compiled unit: re-enter through
+			// the interpreter (which will land back on this block's head or
+			// another block).
+			b.exitTo(u)
+			break
+		}
+		ui := &m.units[u]
+		in := ui.inst
+		op := uop{
+			kind: uint8(in.Op),
+			unit: int32(u),
+			tgt:  -1,
+			next: int32(len(b.ops)) + 1,
+			imm:  in.Imm,
+			in:   in,
+			tmpl: recTemplate(in, ui.addr, ui.size),
+		}
+		trig := t.eng != nil && t.eng.MayExpand(in.Op)
+		switch in.Op {
+		case isa.OpLDQ, isa.OpLDL:
+			op.a, op.d = srcIdx(in.RS), dstIdx(in.RD)
+		case isa.OpSTQ, isa.OpSTL:
+			op.a, op.b = srcIdx(in.RS), srcIdx(in.RT)
+		case isa.OpLDA:
+			op.a, op.d = srcIdx(in.RS), dstIdx(in.RD)
+			if op.d == regDiscard {
+				op.kind = xNop
+			}
+		case isa.OpLDAH:
+			op.kind = uint8(isa.OpLDA)
+			op.imm = in.Imm << 16
+			op.a, op.d = srcIdx(in.RS), dstIdx(in.RD)
+			if op.d == regDiscard {
+				op.kind = xNop
+			}
+		case isa.OpADDQ, isa.OpSUBQ, isa.OpMULQ, isa.OpAND, isa.OpBIS,
+			isa.OpXOR, isa.OpSLL, isa.OpSRL, isa.OpSRA, isa.OpCMPEQ,
+			isa.OpCMPLT, isa.OpCMPLE, isa.OpCMPULT, isa.OpCMPULE:
+			op.a, op.b, op.d = srcIdx(in.RS), srcIdx(in.RT), dstIdx(in.RD)
+			if op.d == regDiscard {
+				op.kind = xNop
+			}
+		case isa.OpADDQI, isa.OpSUBQI, isa.OpMULQI, isa.OpANDI, isa.OpBISI,
+			isa.OpXORI, isa.OpSLLI, isa.OpSRLI, isa.OpSRAI, isa.OpCMPEQI,
+			isa.OpCMPLTI, isa.OpCMPULTI:
+			op.a, op.d = srcIdx(in.RS), dstIdx(in.RD)
+			if op.d == regDiscard {
+				op.kind = xNop
+			}
+		case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBLE, isa.OpBGT, isa.OpBGE:
+			if trig {
+				b.exitTo(u)
+				break build
+			}
+			op.kind, op.inner = xCond, uint8(in.Op)
+			op.a = srcIdx(in.RS)
+			tgt := u + 1 + int(in.Imm)
+			op.tgtUnit = int32(tgt)
+			if idx, ok := visited[tgt]; ok {
+				op.tgt = idx
+			} else {
+				patches = append(patches, condPatch{op: int32(len(b.ops)), tgt: tgt})
+			}
+			b.push(u, op, visited)
+			u++
+			continue
+		case isa.OpBR, isa.OpBSR:
+			if trig {
+				b.exitTo(u)
+				break build
+			}
+			op.kind = xBr
+			if in.Op == isa.OpBSR {
+				op.kind = xBsr
+				if u+1 < m.prog.NumUnits() {
+					op.ret = m.prog.Addr(u + 1)
+				}
+			}
+			op.d = dstIdx(in.RD)
+			op.link = m.prog.Addr(minInt(u+1, m.prog.NumUnits()))
+			tgt := u + 1 + int(in.Imm)
+			if idx, ok := visited[tgt]; ok {
+				// Direct back edge: the block is a loop.
+				op.next = idx
+				b.push(u, op, visited)
+				break build
+			}
+			b.push(u, op, visited)
+			if tgt < 0 || tgt >= len(m.units) {
+				b.exitTo(tgt) // interpreter raises TrapPCOutOfText there
+				break build
+			}
+			u = tgt
+			continue
+		case isa.OpJMP, isa.OpJSR, isa.OpRET, isa.OpJEQ, isa.OpJNE:
+			// Indirect control: superblock boundary.
+			b.exitTo(u)
+			break build
+		case isa.OpHALT:
+			if trig {
+				b.exitTo(u)
+				break build
+			}
+			op.kind = xHalt
+			b.push(u, op, visited)
+			break build
+		case isa.OpSYS:
+			if trig {
+				b.exitTo(u)
+				break build
+			}
+			op.kind = xSys
+			b.push(u, op, visited)
+			u++
+			continue
+		default:
+			if trig {
+				b.exitTo(u)
+				break build
+			}
+			op.kind = xTrap
+			b.push(u, op, visited)
+			break build
+		}
+		// Straight-line op (memory / ALU / LDA / discarded-dst nop).
+		if trig {
+			op.inner = op.kind
+			op.kind = xTrigger
+			op.site = new(core.SiteMemo)
+			b.push(u, op, visited)
+			b.exitTo(u + 1)
+			break
+		}
+		b.push(u, op, visited)
+		u++
+	}
+	for _, p := range patches {
+		if idx, ok := visited[p.tgt]; ok {
+			b.ops[p.op].tgt = idx
+		}
+	}
+	if len(b.ops) == 0 || b.ops[0].kind == xExit {
+		t.blockAt[head] = noBlock
+		return nil
+	}
+	t.blocks = append(t.blocks, b)
+	t.blockAt[head] = b
+	for _, bu := range b.units {
+		t.cover[bu]++
+	}
+	t.totalOps += len(b.ops)
+	t.translated++
+	return b
+}
+
+// condNow evaluates a conditional-branch direction (the compiled form of
+// condTaken, operating on the already-read source value).
+func condNow(op uint8, v int64) bool {
+	switch isa.Opcode(op) {
+	case isa.OpBEQ:
+		return v == 0
+	case isa.OpBNE:
+		return v != 0
+	case isa.OpBLT:
+		return v < 0
+	case isa.OpBLE:
+		return v <= 0
+	case isa.OpBGT:
+		return v > 0
+	case isa.OpBGE:
+		return v >= 0
+	}
+	return false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,149 @@
+package emu
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// The SMC hammer: a hot loop that patches one of its own instructions on
+// every iteration, alternating the patched word between "add 1" and "add 2"
+// with an xor swap. The loop is exactly the promotion candidate the
+// translator wants, and every iteration invalidates what it just promoted —
+// if a stale superblock ever executes, the accumulator comes out wrong, and
+// if the invalidation ledger drifts, the Stats comparison catches it.
+const hammerIters = 50
+
+func hammerProgram(t *testing.T) *program.Program {
+	t.Helper()
+	// Unit layout (4 bytes each from TextBase): the patch target is unit 7
+	// (byte 28). The patch words arrive in r5/r6 via SetReg — the text image
+	// is not mirrored into data memory, so they cannot be loaded from text.
+	return asm.MustAssemble("hammer", `
+.entry main
+main:
+    li r2, 1
+    slli r2, 26, r2
+    li r4, 50
+loop:
+    stl r5, 28(r2)
+    xor r5, r6, r5
+    xor r6, r5, r6
+    xor r5, r6, r5
+    addqi r1, 1, r1
+    subqi r4, 1, r4
+    bgt r4, loop
+    halt
+`)
+}
+
+// encodeWord returns the image word of the single instruction in src.
+func encodeWord(t *testing.T, src string) uint64 {
+	t.Helper()
+	p := asm.MustAssemble("word", ".entry main\nmain:\n"+src+"\n halt\n")
+	w, err := isa.Encode(p.Text[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return uint64(w)
+}
+
+func runHammer(t *testing.T, mode TranslateMode, threshold int) *Machine {
+	t.Helper()
+	m := New(hammerProgram(t))
+	m.SetReg(5, encodeWord(t, " addqi r1, 1, r1"))
+	m.SetReg(6, encodeWord(t, " addqi r1, 2, r1"))
+	m.SetTranslate(mode, threshold)
+	if err := m.Run(); err != nil {
+		t.Fatalf("mode %v threshold %d: %v", mode, threshold, err)
+	}
+	return m
+}
+
+func TestSMCInvalidationHammer(t *testing.T) {
+	interp := runHammer(t, TranslateOff, 0)
+
+	// Iteration i (1-based) executes the word stored that iteration:
+	// odd iterations add 1, even iterations add 2.
+	want := uint64((hammerIters+1)/2 + hammerIters/2*2)
+	if got := interp.Reg(1); got != want {
+		t.Fatalf("interpreted accumulator = %d, want %d", got, want)
+	}
+	if interp.Stats.TextWrites != hammerIters {
+		t.Fatalf("TextWrites = %d, want %d", interp.Stats.TextWrites, hammerIters)
+	}
+	if interp.Stats.Redecodes != hammerIters {
+		t.Fatalf("Redecodes = %d, want %d", interp.Stats.Redecodes, hammerIters)
+	}
+	if tr, _ := interp.TranslateCounts(); tr != 0 {
+		t.Fatalf("TranslateOff still translated %d blocks", tr)
+	}
+
+	// Sweep promotion timing: at every threshold the patch lands before,
+	// at, and after the iteration that promotes the loop body.
+	for _, threshold := range []int{1, 2, 3, 5, 8, 32} {
+		m := runHammer(t, TranslateAuto, threshold)
+		if got := m.Reg(1); got != want {
+			t.Errorf("threshold %d: accumulator = %d, want %d (stale translated code executed?)",
+				threshold, got, want)
+		}
+		if m.Stats != interp.Stats {
+			t.Errorf("threshold %d: stats diverge:\ninterp: %+v\ntrans:  %+v",
+				threshold, interp.Stats, m.Stats)
+		}
+		tr, dropped := m.TranslateCounts()
+		if tr == 0 {
+			t.Errorf("threshold %d: translation never engaged", threshold)
+		}
+		if dropped == 0 {
+			t.Errorf("threshold %d: no superblock was invalidated by the text stores", threshold)
+		}
+	}
+}
+
+// A loop with no self-modification translates once and is never dropped; the
+// translated execution is observably identical to interpretation.
+func TestTranslationStableLoop(t *testing.T) {
+	src := `
+.entry main
+.data
+buf: .space 512
+.text
+main:
+    la r1, buf
+    li r2, 64
+loop:
+    ldq r3, 0(r1)
+    addqi r3, 7, r3
+    stq r3, 0(r1)
+    addqi r1, 8, r1
+    subqi r2, 1, r2
+    bgt r2, loop
+    halt
+`
+	run := func(mode TranslateMode) *Machine {
+		m := New(asm.MustAssemble("stable", src))
+		m.SetTranslate(mode, 0)
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	interp := run(TranslateOff)
+	trans := run(TranslateAuto)
+	if interp.Stats != trans.Stats {
+		t.Errorf("stats diverge:\ninterp: %+v\ntrans:  %+v", interp.Stats, trans.Stats)
+	}
+	if a, b := interp.Mem().Checksum(), trans.Mem().Checksum(); a != b {
+		t.Errorf("memory diverges: %#x vs %#x", a, b)
+	}
+	tr, dropped := trans.TranslateCounts()
+	if tr == 0 {
+		t.Error("translation never engaged on a hot loop")
+	}
+	if dropped != 0 {
+		t.Errorf("%d superblocks dropped with no invalidation source", dropped)
+	}
+}

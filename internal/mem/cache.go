@@ -55,7 +55,10 @@ func (s *CacheStats) MissRate() float64 {
 }
 
 // cacheLine is one tag-array entry. lru doubles as the valid bit: the access
-// clock starts at 1, so lru == 0 means the line is empty.
+// clock is strictly greater than the cache's validity base for every live
+// stamp, so lru <= base means the line is empty. A fresh cache has base 0 and
+// all-zero stamps; Reset raises base to the current clock, invalidating every
+// line in O(1) without touching the tag array.
 type cacheLine struct {
 	tag uint64
 	lru int64
@@ -71,6 +74,7 @@ type Cache struct {
 	assoc int
 	nsets int
 	clock int64
+	base  int64 // validity epoch: only stamps > base are live
 
 	// Shift/mask fast path: real cache geometries are powers of two, so the
 	// tag and set computations are a shift and an AND instead of an integer
@@ -199,7 +203,7 @@ func (c *Cache) accessTag(tag uint64) bool {
 	c.clock++
 	set := c.setFor(tag)
 	for i := range set {
-		if set[i].lru != 0 && set[i].tag == tag {
+		if set[i].lru > c.base && set[i].tag == tag {
 			set[i].lru = c.clock
 			c.setMemo(tag)
 			return true
@@ -208,7 +212,7 @@ func (c *Cache) accessTag(tag uint64) bool {
 	c.Stats.Misses++
 	victim := 0
 	for i := range set {
-		if set[i].lru == 0 {
+		if set[i].lru <= c.base {
 			victim = i
 			break
 		}
@@ -260,7 +264,7 @@ func (c *Cache) AccessRange(addr uint64, size int) int {
 func (c *Cache) ValidLines() int {
 	n := 0
 	for i := range c.lines {
-		if c.lines[i].lru != 0 {
+		if c.lines[i].lru > c.base {
 			n++
 		}
 	}
@@ -274,7 +278,7 @@ func (c *Cache) ValidLines() int {
 // a line was corrupted.
 func (c *Cache) FlipTagBit(n int, bit uint) bool {
 	for i := range c.lines {
-		if c.lines[i].lru == 0 {
+		if c.lines[i].lru <= c.base {
 			continue
 		}
 		if n == 0 {
@@ -287,12 +291,24 @@ func (c *Cache) FlipTagBit(n int, bit uint) bool {
 	return false
 }
 
-// Flush invalidates all lines (statistics are preserved).
+// Flush invalidates all lines (statistics are preserved). It is O(1): the
+// validity base is raised past every live stamp instead of clearing the tag
+// array.
 func (c *Cache) Flush() {
 	c.clearMemo()
-	for i := range c.lines {
-		c.lines[i] = cacheLine{}
-	}
+	c.base = c.clock
+}
+
+// Reset returns the cache to its just-constructed observable state — no
+// valid lines, zero statistics, empty memo — without reallocating or
+// clearing the tag array, so a pooled cache can be reused with the cost of
+// three scalar stores. The LRU clock keeps running: replacement decisions
+// depend only on the relative order of stamps within a run, which a strictly
+// monotone clock preserves across reuses.
+func (c *Cache) Reset() {
+	c.clearMemo()
+	c.base = c.clock
+	c.Stats = CacheStats{}
 }
 
 // Hierarchy is the two-level hierarchy of the paper's simulator: split L1
@@ -362,21 +378,60 @@ func NewHierarchyChecked(cfg HierarchyConfig) (*Hierarchy, error) {
 	}, nil
 }
 
-// FetchLatency performs an instruction fetch of size bytes at addr and
-// returns the added latency beyond a pipelined L1 hit (0 on full hit). The
-// body is small enough to inline into the timing loop: straight-line fetch
-// hits the same I-cache line as its predecessor almost always, and that case
-// resolves against the line memo without any call.
-func (h *Hierarchy) FetchLatency(addr uint64, size int) int {
+// Reset returns every level to its just-constructed observable state (see
+// Cache.Reset); the latency parameters are untouched. Timing loops pool
+// hierarchies across runs — tag arrays are the simulator's largest
+// allocations — and Reset is what makes a pooled hierarchy indistinguishable
+// from a fresh one.
+func (h *Hierarchy) Reset() {
+	h.IL1.Reset()
+	h.DL1.Reset()
+	h.L2.Reset()
+}
+
+// FetchHit performs an instruction fetch of size bytes at addr when it lands
+// inside the memoized resident I-cache line, and reports whether it did.
+// Straight-line fetch hits the same line as its predecessor almost always,
+// and this check is small enough to inline into the timing loop; a false
+// return has performed nothing and must be followed by FetchMiss.
+func (h *Hierarchy) FetchHit(addr uint64, size int) bool {
 	c := h.IL1
 	if addr-c.memoLo+uint64(size) <= c.memoLen {
 		c.Stats.Accesses++
-		return 0
+		return true
 	}
-	return h.fetchLatencySlow(addr, size)
+	return false
 }
 
-func (h *Hierarchy) fetchLatencySlow(addr uint64, size int) int {
+// FetchMemo exposes the memoized resident I-cache line as a byte range
+// [lo, lo+size): the tightest timing loops hoist the bounds into registers,
+// test hits themselves, and credit them in bulk through AddFetchAccesses.
+// Any FetchMiss re-memoizes, invalidating previously read bounds.
+func (h *Hierarchy) FetchMemo() (lo, size uint64) { return h.IL1.memoLo, h.IL1.memoLen }
+
+// AddFetchAccesses credits n batched memo-hit fetches (see FetchMemo).
+func (h *Hierarchy) AddFetchAccesses(n int64) { h.IL1.Stats.Accesses += n }
+
+// DataMemo exposes the memoized resident D-cache line as a byte range; the
+// counterpart of FetchMemo for the data port, invalidated by any DataMiss.
+func (h *Hierarchy) DataMemo() (lo, size uint64) { return h.DL1.memoLo, h.DL1.memoLen }
+
+// AddDataAccesses credits n batched memo-hit data accesses (see DataMemo).
+func (h *Hierarchy) AddDataAccesses(n int64) { h.DL1.Stats.Accesses += n }
+
+// FetchLatency performs an instruction fetch of size bytes at addr and
+// returns the added latency beyond a pipelined L1 hit (0 on full hit).
+func (h *Hierarchy) FetchLatency(addr uint64, size int) int {
+	if h.FetchHit(addr, size) {
+		return 0
+	}
+	return h.FetchMiss(addr, size)
+}
+
+// FetchMiss is the fetch path for accesses outside the memoized line: the
+// full I-cache lookup, walking into L2 and memory on misses. It returns the
+// added latency beyond a pipelined L1 hit.
+func (h *Hierarchy) FetchMiss(addr uint64, size int) int {
 	misses := h.IL1.AccessRange(addr, size)
 	if misses == 0 {
 		return 0
@@ -392,19 +447,32 @@ func (h *Hierarchy) fetchLatencySlow(addr uint64, size int) int {
 	return lat
 }
 
-// DataLatency performs a data access at addr and returns its total latency
-// in cycles (L1Latency on a hit). Like FetchLatency, the same-line memo hit
-// resolves inline.
-func (h *Hierarchy) DataLatency(addr uint64) int {
+// DataHit performs a data access at addr when it lands inside the memoized
+// resident D-cache line, and reports whether it did (the hit costs
+// L1Latency). Like FetchHit it inlines into the timing loop; a false return
+// has performed nothing and must be followed by DataMiss.
+func (h *Hierarchy) DataHit(addr uint64) bool {
 	c := h.DL1
 	if addr-c.memoLo < c.memoLen {
 		c.Stats.Accesses++
-		return h.L1Latency
+		return true
 	}
-	return h.dataLatencySlow(addr)
+	return false
 }
 
-func (h *Hierarchy) dataLatencySlow(addr uint64) int {
+// DataLatency performs a data access at addr and returns its total latency
+// in cycles (L1Latency on a hit).
+func (h *Hierarchy) DataLatency(addr uint64) int {
+	if h.DataHit(addr) {
+		return h.L1Latency
+	}
+	return h.DataMiss(addr)
+}
+
+// DataMiss is the data path for accesses outside the memoized line: the full
+// D-cache lookup, walking into L2 and memory on misses. It returns the total
+// latency in cycles.
+func (h *Hierarchy) DataMiss(addr uint64) int {
 	if h.DL1.Access(addr) {
 		return h.L1Latency
 	}

@@ -1,0 +1,119 @@
+// Package rec defines the timing model's native dynamic-instruction record:
+// the subset of the emulator's DynInst annotations the scheduling loop
+// actually reads, packed into 32 bytes, with register operands and
+// functional-unit latencies predecoded per opcode.
+//
+// It is a leaf package (it imports only internal/isa) so that both producers
+// of records — the functional emulator's translated fast path, which emits
+// records directly from superblock templates, and the interpreter-side
+// converter in internal/cpu — share one layout and one set of predecode
+// tables. internal/cpu aliases these types, so its consumers (trace codec,
+// server cache, experiments) are untouched.
+package rec
+
+import "repro/internal/isa"
+
+// Rec is one dynamic instruction in the timing model's native form
+// (immediates, for instance, never affect timing and are dropped). Recorded
+// streams (internal/trace) store Recs verbatim and replay hands them out by
+// reference, so replay throughput is bounded by the scheduler, not by record
+// reassembly or memory traffic.
+//
+// Register operands are stored predecoded: the opcode's operand-slot mapping
+// (RegSel) is resolved once, so SrcA/SrcB/Dst are the scheduler's two source
+// registers and destination directly, and Lat is the opcode's
+// functional-unit latency.
+type Rec struct {
+	PC        uint64 // byte address; replacement instructions carry the trigger's
+	MemAddr   uint64
+	DISEPC    int32
+	SeqLen    int32      // replacement sequence length (trigger record only)
+	FetchSize uint8      // text-image bytes this fetch consumed (0 for spliced records)
+	Op        isa.Opcode // uint8: the full opcode space fits
+	SrcA      isa.Reg    // scheduler source operands (NoReg when absent);
+	SrcB      isa.Reg    // out-of-file values mean always-ready (fault-corrupted
+	Dst       isa.Reg    // encodings degrade, they do not crash the host)
+	Lat       uint8      // functional-unit latency in cycles
+	Flags     uint16
+}
+
+// Rec flags. PTMiss/RTMiss/Composed carry the DISE table events so a
+// recorded stream can rebuild stall cycles under any penalty assignment;
+// Mispredict is the branch predictor's verdict, resolved by the source.
+const (
+	IsApp uint16 = 1 << iota
+	IsBranch
+	Taken
+	IsLoad
+	IsStore
+	PTMiss
+	RTMiss
+	Composed
+	Mispredict
+)
+
+// SelEnt maps one opcode's operand slots: each field indexes a caller-built
+// [4]isa.Reg{RS, RT, RD, NoReg} vector, so slot 3 means "no operand".
+type SelEnt struct{ A, B, D uint8 }
+
+// SelAllNone indexes every operand at the trailing NoReg slot: used for
+// opcodes outside the table (fault-corrupted encodings).
+var SelAllNone = SelEnt{A: 3, B: 3, D: 3}
+
+// RegSel maps opcode → which Inst fields the scheduler reads as sources and
+// destination. The register slot an operand occupies is a pure function of
+// the opcode (see the isa.Inst field slot mapping), so the per-record
+// format/class switches in Inst.SourceRegs and Inst.Dest fold into one
+// table, built at init by decoding each opcode once with sentinel register
+// numbers and recording which slots come back.
+var RegSel = func() (t [isa.NumOpcodes]SelEnt) {
+	slot := func(r isa.Reg) uint8 {
+		switch r {
+		case 1:
+			return 0 // RS
+		case 2:
+			return 1 // RT
+		case 3:
+			return 2 // RD
+		}
+		return 3 // none
+	}
+	for op := range t {
+		probe := isa.Inst{Op: isa.Opcode(op), RS: 1, RT: 2, RD: 3}
+		a, b := probe.SourceRegs()
+		t[op] = SelEnt{A: slot(a), B: slot(b), D: slot(probe.Dest())}
+	}
+	return
+}()
+
+// Sel returns the operand-slot mapping for op, degrading to SelAllNone for
+// out-of-table opcodes.
+func Sel(op isa.Opcode) SelEnt {
+	if int(op) < len(RegSel) {
+		return RegSel[op]
+	}
+	return SelAllNone
+}
+
+// LatencyTable holds per-opcode functional-unit latencies in cycles, indexed
+// directly by opcode: multiplies take 3, loads take 0 (the D-cache latency
+// is added by the scheduler), everything else 1.
+var LatencyTable = func() [isa.NumOpcodes]int8 {
+	var t [isa.NumOpcodes]int8
+	for op := range t {
+		t[op] = 1
+	}
+	t[isa.OpMULQ] = 3
+	t[isa.OpMULQI] = 3
+	t[isa.OpLDQ] = 0
+	t[isa.OpLDL] = 0
+	return t
+}()
+
+// Lat gives the functional-unit latency of op in cycles.
+func Lat(op isa.Opcode) uint8 {
+	if int(op) < len(LatencyTable) {
+		return uint8(LatencyTable[op])
+	}
+	return 1
+}

@@ -283,7 +283,10 @@ func TestDrainUnderLoad(t *testing.T) {
 
 	queued := make(chan res, 1)
 	go func() {
-		st, _, r := post(t, ts, &SubmitRequest{Asm: spinAsm, BudgetInsts: 1 << 40, TimeoutMS: 5000})
+		// The timeout only bounds the test if drain never rejects the job;
+		// keep it far above the drain latency of a saturated CI box so a
+		// slow rejection cannot masquerade as a 504.
+		st, _, r := post(t, ts, &SubmitRequest{Asm: spinAsm, BudgetInsts: 1 << 40, TimeoutMS: 60_000})
 		queued <- res{st, r.Outcome}
 	}()
 	waitStats(t, ts, "job queued", func(sp *StatsPayload) bool { return sp.QueueDepth == 1 })

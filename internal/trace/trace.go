@@ -27,7 +27,6 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/cpu"
 	"repro/internal/emu"
-	"repro/internal/isa"
 	"repro/internal/program"
 )
 
@@ -71,15 +70,13 @@ func Capture(m *emu.Machine) *Trace {
 func CaptureContext(ctx context.Context, m *emu.Machine) *Trace {
 	t := &Trace{prog: m.Program()}
 	p := bpred.New()
-	nu := t.prog.NumUnits()
 	var done <-chan struct{}
 	if ctx != nil {
 		done = ctx.Done()
 	}
 	var cancelled error
 	var cur []cpu.Rec
-	var d emu.DynInst
-	for m.StepInto(&d) {
+	for {
 		if len(cur) == cap(cur) {
 			if done != nil {
 				select {
@@ -105,28 +102,25 @@ func CaptureContext(ctx context.Context, m *emu.Machine) *Trace {
 			t.chunks = append(t.chunks, make([]cpu.Rec, 0, c))
 			cur = t.chunks[len(t.chunks)-1]
 		}
-		// Extend in place and build the record in its final slot: the chunk
-		// was allocated at full capacity above, so this never reallocates and
-		// the record is written exactly once. The chunk header in t.chunks is
+		// Fill the chunk's remaining capacity in place: the machine writes
+		// records (predictor verdicts included) directly into their final
+		// slots, so nothing is ever copied. The chunk header in t.chunks is
 		// refreshed only on chunk turnover and after the loop.
-		cur = cur[:len(cur)+1]
-		rec := &cur[len(cur)-1]
-		*rec = cpu.MakeRec(&d)
-		if d.IsBranch || d.DiseBranch {
-			var retAddr uint64
-			if op := d.Inst.Op; op == isa.OpBSR || op == isa.OpJSR {
-				if d.Unit+1 < nu {
-					retAddr = t.prog.Addr(d.Unit + 1)
-				}
-			}
-			if bpred.Mispredicted(p, &d, retAddr) {
-				rec.Flags |= cpu.RecMispredict
-			}
+		n, more := m.FillRecs(p, cur[len(cur):cap(cur)])
+		cur = cur[:len(cur)+n]
+		t.n += n
+		if !more {
+			break
 		}
-		t.n++
 	}
 	if len(t.chunks) > 0 {
 		t.chunks[len(t.chunks)-1] = cur
+		// A run that ends exactly at a chunk boundary (or produces no records
+		// at all) leaves a freshly allocated empty chunk behind; drop it so
+		// chunk shapes match the per-step capture exactly.
+		if len(cur) == 0 {
+			t.chunks = t.chunks[:len(t.chunks)-1]
+		}
 	}
 	t.stats = m.Stats
 	t.pred = p.Stats
@@ -222,6 +216,33 @@ func (r *Replayer) Next() (d *cpu.Rec, stall int, ok bool) {
 	}
 	return d, stall, true
 }
+
+// NextBatch returns the rest of the current chunk (or the next non-empty
+// chunk) as one read-only slice, advancing the same cursor Next uses — the
+// cpu.BatchSource view of the replay. ok=false means the trace is exhausted.
+func (r *Replayer) NextBatch() ([]cpu.Rec, bool) {
+	if r.i < len(r.cur) {
+		b := r.cur[r.i:]
+		r.i = len(r.cur)
+		r.last = &b[len(b)-1]
+		return b, true
+	}
+	for r.ci < len(r.t.chunks) {
+		c := r.t.chunks[r.ci]
+		r.ci++
+		if len(c) == 0 {
+			continue
+		}
+		r.cur, r.i = c, len(c)
+		r.last = &c[len(c)-1]
+		return c, true
+	}
+	return nil, false
+}
+
+// BatchPenalties returns the replay's PT/RT miss and composing-miss
+// penalties for cpu.RunSource's batched stall rebuild.
+func (r *Replayer) BatchPenalties() (int, int) { return r.miss, r.compose }
 
 // Chunks exposes the trace's record chunks for cpu.RunSource's direct-walk
 // fast path (cpu.ChunkedSource), together with the replay penalties. The
