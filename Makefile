@@ -1,9 +1,9 @@
 GO       ?= go
 FUZZTIME ?= 10s
-BASE     ?= BENCH_PR3.json
-OUT      ?= BENCH_PR7.json
+BASE     ?= BENCH_PR7.json
+OUT      ?= BENCH_PR8.json
 
-.PHONY: all build vet test race race-experiments bench benchcmp check-experiments serve-smoke load-smoke store-smoke check-docs fuzz verify clean
+.PHONY: all build vet test race race-experiments bench benchcmp check-experiments check-experiments-batch serve-smoke load-smoke batch-smoke store-smoke check-docs fuzz verify clean
 
 all: build test
 
@@ -46,6 +46,15 @@ check-experiments:
 	diff -u experiments_full.txt experiments_full.txt.new
 	rm -f experiments_full.txt.new
 
+# The same drift gate with the harness re-pointed at the batch API: every
+# wire-expressible cell is served through POST /v1/batches of an in-process
+# disesrvd, and the tables must still match the committed file byte for byte
+# — the batch path may not change a single cell.
+check-experiments-batch:
+	$(GO) run ./cmd/disebench -q -batch self > experiments_full.txt.new
+	diff -u experiments_full.txt experiments_full.txt.new
+	rm -f experiments_full.txt.new
+
 # End-to-end serving smoke: build disesrvd, start it on a random port,
 # submit the committed smoke job, and assert the golden numbers, the
 # byte-identical cache hit, and a clean SIGTERM drain.
@@ -58,6 +67,13 @@ serve-smoke:
 # emitting a benchjson-compatible latency/outcome report.
 load-smoke:
 	$(GO) run ./cmd/loadsmoke
+
+# End-to-end batch smoke: a real disesrvd served a 3-column sweep through
+# /v1/batches, each cell asserted byte-identical to its single-job answer,
+# the /stats batch ledger reconciled exactly, and a SIGTERM mid-batch
+# drained the open stream cleanly.
+batch-smoke:
+	$(GO) run ./cmd/batchsmoke
 
 # Crash-safety smoke: a real disesrvd with a persistent store is populated,
 # kill -9'd mid-capture, and restarted — the scrub must quarantine planted
@@ -84,7 +100,7 @@ fuzz:
 	$(GO) test . -run '^$$' -fuzz '^FuzzRun$$' -fuzztime $(FUZZTIME)
 	$(GO) test . -run '^$$' -fuzz '^FuzzTranslated$$' -fuzztime $(FUZZTIME)
 
-verify: build vet race race-experiments serve-smoke load-smoke store-smoke check-docs fuzz
+verify: build vet race race-experiments serve-smoke load-smoke batch-smoke store-smoke check-docs fuzz
 
 clean:
 	rm -f disefault experiments_full.txt.new

@@ -1,0 +1,135 @@
+package dise
+
+// BenchmarkBatchSweep measures the tentpole claim of the batch API: a
+// k-configuration timing sweep over one functional-equivalence class served
+// as a single POST /v1/batches (one cached stream, one grouped walk stepping
+// every configuration) against the same k cells as sequential POST /v1/jobs
+// (k full requests, each compiling its job and replaying the stream with its
+// own walk). Both run over HTTP against the same server with the class
+// stream already resident in the trace cache's memory tier: capture is
+// one-time work, identical on both sides (and pinned byte-identical by
+// batchsmoke), so the benchmark isolates the repeatable serving cost that a
+// sweep actually pays per submission. The workload is the crafty stand-in at
+// its natural completion length (~654k records) — the largest instruction
+// working set of the suite, where the per-cell cache simulation the batch
+// path shares is at its most expensive.
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+const sweepCells = 16
+
+// sweepJobs builds the 16-cell single-class sweep: one benchmark stream,
+// sixteen machine configurations (dispatch widths crossed with the DISE
+// execution mode).
+func sweepJobs() []server.SubmitRequest {
+	widths := []int{1, 2, 3, 4, 5, 6, 8, 12, 16, 2, 4, 8, 1, 3, 6, 12}
+	jobs := make([]server.SubmitRequest, sweepCells)
+	for i := range jobs {
+		jobs[i] = server.SubmitRequest{Bench: "crafty", BudgetInsts: 1_000_000}
+		jobs[i].Machine.Width = widths[i]
+		if i >= 9 {
+			jobs[i].Machine.DiseMode = "pipe"
+		}
+	}
+	return jobs
+}
+
+// warmTarget builds a server with the sweep's class stream already captured
+// into the trace cache, and a client on it.
+func warmTarget(b *testing.B) (*client.Client, func()) {
+	b.Helper()
+	s, err := server.New(server.Config{Log: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	c := client.New(ts.URL)
+	jobs := sweepJobs()
+	if _, err := c.Submit(context.Background(), &jobs[0]); err != nil {
+		ts.Close()
+		s.Drain()
+		b.Fatal(err)
+	}
+	return c, func() { ts.Close(); s.Drain() }
+}
+
+func BenchmarkBatchSweep(b *testing.B) {
+	ctx := context.Background()
+	b.Run("batch16", func(b *testing.B) {
+		c, stop := warmTarget(b)
+		defer stop()
+		jobs := sweepJobs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cells, sum, err := c.BatchCollect(ctx, &server.BatchRequest{Jobs: jobs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sum.Done != sweepCells {
+				b.Fatalf("summary %+v, want %d done cells", sum, sweepCells)
+			}
+			sink = float64(len(cells))
+		}
+	})
+	b.Run("sequential16", func(b *testing.B) {
+		c, stop := warmTarget(b)
+		defer stop()
+		jobs := sweepJobs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range jobs {
+				jr, err := c.Submit(ctx, &jobs[j])
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink = float64(len(jr.Result))
+			}
+		}
+	})
+	// speedup interleaves one batch submission with one sequential sweep per
+	// iteration and reports their wall-clock ratio. Alternating the sides
+	// within a single run means clock throttling and tenant noise on the
+	// host land on both equally, so the ratio is far more stable than the
+	// quotient of the two separately-timed benchmarks above.
+	b.Run("speedup", func(b *testing.B) {
+		c, stop := warmTarget(b)
+		defer stop()
+		jobs := sweepJobs()
+		var batchNS, seqNS time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			cells, sum, err := c.BatchCollect(ctx, &server.BatchRequest{Jobs: jobs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sum.Done != sweepCells {
+				b.Fatalf("summary %+v, want %d done cells", sum, sweepCells)
+			}
+			sink = float64(len(cells))
+			batchNS += time.Since(t0)
+			t0 = time.Now()
+			for j := range jobs {
+				jr, err := c.Submit(ctx, &jobs[j])
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink = float64(len(jr.Result))
+			}
+			seqNS += time.Since(t0)
+		}
+		if batchNS > 0 {
+			b.ReportMetric(float64(seqNS)/float64(batchNS), "seq/batch")
+		}
+	})
+}

@@ -1,0 +1,198 @@
+// batchsmoke is the end-to-end batch-serving test behind `make batch-smoke`:
+// it builds disesrvd, starts a real instance, and drives POST /v1/batches
+// through the SDK across four phases:
+//
+//  1. sweep — a 3-column timing sweep (default machine, 8-wide, 60-cycle RT
+//     miss) as one batch, asserting every cell streams exactly once, the
+//     summary ledger reconciles, and the class was captured once;
+//  2. identity — each sweep cell re-submitted as a single /v1/jobs request,
+//     asserting the batch answer is byte-identical to the single-job answer
+//     (the batch path's core contract), served from the shared trace cache;
+//  3. ledger — the server's /stats batch counters must agree exactly with
+//     what the client issued: batches, cells, done/trapped/aborted buckets,
+//     and the mirrored job counters;
+//  4. drain — SIGTERM while a slow batch is in flight, asserting the open
+//     stream finishes cleanly (every cell lands, the summary arrives), late
+//     submissions fail loudly, and the daemon exits 0.
+//
+// It exits non-zero with a diagnostic on the first violation.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/load"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "batchsmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("batch-smoke: ok")
+}
+
+// sweep is the 3-column batch: one functional-equivalence class, three
+// timing configurations, including a penalty split (cell 2 replays the same
+// capture with a different RT miss cost).
+func sweep() *server.BatchRequest {
+	jobs := []server.SubmitRequest{*server.SmokeRequest(), *server.SmokeRequest(), *server.SmokeRequest()}
+	jobs[1].Machine.Width = 8
+	jobs[2].Engine.MissPenalty = 60
+	return &server.BatchRequest{Jobs: jobs}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "batchsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	d, err := load.BuildAndStart(dir, "-workers", "2", "-queue", "8")
+	if err != nil {
+		return err
+	}
+	defer d.Kill()
+	ctx := context.Background()
+	c := client.New(d.Base)
+
+	// Phase 1: the sweep, as one batch.
+	req := sweep()
+	cells, sum, err := c.BatchCollect(ctx, req)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if sum.Cells != 3 || sum.Done != 3 || sum.Trapped != 0 || sum.Aborted != 0 {
+		return fmt.Errorf("sweep summary does not reconcile: %+v", sum)
+	}
+	if sum.Cache != "capture" {
+		return fmt.Errorf("sweep on a cold server must capture its class, got cache=%q", sum.Cache)
+	}
+	fmt.Printf("phase 1 (sweep):    3 cells ok, cache=%s, queue=%dus run=%dus\n", sum.Cache, sum.QueueUS, sum.RunUS)
+
+	// Phase 2: byte-identity against the single-job path. The singles hit
+	// the trace cache the batch populated — same class, same stored capture.
+	for i := range req.Jobs {
+		jr, err := c.Submit(ctx, &req.Jobs[i])
+		if err != nil {
+			return fmt.Errorf("identity: single job %d: %w", i, err)
+		}
+		if !bytes.Equal(cells[i].Result, jr.Result) {
+			return fmt.Errorf("identity: cell %d differs from its single-job answer:\nbatch:  %s\nsingle: %s",
+				i, cells[i].Result, jr.Result)
+		}
+		if !jr.Cached {
+			return fmt.Errorf("identity: single job %d missed the trace cache the batch populated", i)
+		}
+	}
+	// And the reverse order on a fresh class: a batch whose class the single
+	// path already captured must serve from memory, still byte-identical.
+	warm := sweep()
+	for i := range warm.Jobs {
+		warm.Jobs[i].BudgetInsts = 9_000_000 // distinct budget = distinct class
+	}
+	single, err := c.Submit(ctx, &warm.Jobs[0])
+	if err != nil {
+		return fmt.Errorf("identity: warm single: %w", err)
+	}
+	wcells, wsum, err := c.BatchCollect(ctx, warm)
+	if err != nil {
+		return fmt.Errorf("identity: warm batch: %w", err)
+	}
+	if wsum.Cache != "memory" {
+		return fmt.Errorf("identity: warm batch should hit the memory tier, got %q", wsum.Cache)
+	}
+	if !bytes.Equal(wcells[0].Result, single.Result) {
+		return fmt.Errorf("identity: warm cell 0 differs from the single-job answer that captured the class")
+	}
+	fmt.Println("phase 2 (identity): 3+1 cells byte-identical across batch and single paths")
+
+	// Phase 3: exact ledger reconciliation.
+	sp, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	b := sp.Batches
+	if b.Batches != 2 || b.Cells != 6 {
+		return fmt.Errorf("ledger: server saw %d batches / %d cells, client issued 2 / 6", b.Batches, b.Cells)
+	}
+	if b.Cells != b.CellsDone+b.CellsTrapped+b.CellsAborted {
+		return fmt.Errorf("ledger: cell buckets do not reconcile: %+v", b)
+	}
+	if b.CellsDone != 6 || b.CellsAborted != 0 {
+		return fmt.Errorf("ledger: want 6 done / 0 aborted cells, got %+v", b)
+	}
+	if sp.Jobs.Done != b.CellsDone+4 { // 6 batch cells + 4 singles, all done
+		return fmt.Errorf("ledger: jobs done %d does not mirror %d batch cells + 4 singles", sp.Jobs.Done, b.CellsDone)
+	}
+	fmt.Printf("phase 3 (ledger):   %d batches / %d cells reconcile exactly\n", b.Batches, b.Cells)
+
+	// Phase 4: SIGTERM with a batch in flight. The slow class (a long spin
+	// capture) keeps the batch running while the signal lands; draining must
+	// let the open stream finish — every cell lands and the summary arrives —
+	// then refuse new work and exit 0.
+	slow := &server.BatchRequest{Jobs: make([]server.SubmitRequest, 4)}
+	for i := range slow.Jobs {
+		slow.Jobs[i] = server.SubmitRequest{
+			Asm:         ".entry main\nmain:\n    br zero, main\n",
+			BudgetInsts: 40_000_000,
+		}
+		slow.Jobs[i].Machine.Width = 2 + i
+	}
+	// The signal goes out from the side while Batch blocks on the first cell
+	// (the stream opens when the first result lands), so SIGTERM arrives with
+	// the capture genuinely in flight.
+	sigErr := make(chan error, 1)
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		sigErr <- d.Signal(syscall.SIGTERM)
+	}()
+	bs, err := c.Batch(ctx, slow)
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	defer bs.Close()
+	if err := <-sigErr; err != nil {
+		return err
+	}
+	landed := 0
+	for {
+		_, err := bs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("drain: stream broke before the summary: %w", err)
+		}
+		landed++
+	}
+	dsum, err := bs.Summary()
+	if err != nil {
+		return fmt.Errorf("drain: stream ended without a summary: %w", err)
+	}
+	// The spin cells end in a budget trap — still a served result, streamed
+	// like any other. Drain must deliver all four, aborting none.
+	if landed != 4 || dsum.Trapped != 4 || dsum.Aborted != 0 {
+		return fmt.Errorf("drain: in-flight batch must finish under drain: landed %d, summary %+v", landed, dsum)
+	}
+	// New work must now fail loudly (503 while draining, or a dead socket
+	// once the daemon is gone) — never hang, never land.
+	late := client.New(d.Base, client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: 1}))
+	if _, err := late.Submit(ctx, server.SmokeRequest()); err == nil {
+		return fmt.Errorf("drain: a post-SIGTERM submission succeeded")
+	}
+	if err := d.WaitExit(load.Scale(0.25)); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("phase 4 (drain):    in-flight batch drained cleanly, daemon exited 0")
+	return nil
+}

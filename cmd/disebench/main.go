@@ -11,13 +11,45 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/emu"
 	"repro/internal/experiments"
 	"repro/internal/profileflags"
+	"repro/internal/server"
 )
+
+// batchBase resolves the -batch flag: a URL (or host:port) is used as-is;
+// "self" spins an in-process disesrvd on a loopback port, so the figure
+// harnesses exercise the full HTTP batch path with no external daemon.
+func batchBase(spec string) (base string, shutdown func(), err error) {
+	if spec != "self" {
+		return spec, func() {}, nil
+	}
+	s, err := server.New(server.Config{
+		Log: slog.New(slog.NewTextHandler(io.Discard, nil)),
+		// Full-scale figure sweeps run minutes per batch; the per-batch
+		// deadline must not clip them.
+		DefaultTimeout: 30 * time.Minute,
+		MaxTimeout:     30 * time.Minute,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { hs.Close(); s.Drain() }, nil
+}
 
 func main() {
 	var (
@@ -30,6 +62,7 @@ func main() {
 		quiet   = flag.Bool("q", false, "suppress progress output")
 		trans   = flag.String("translate", "", "dynamic translation: auto, off, or always (default: DISE_TRANSLATE or auto)")
 		hotThr  = flag.Int("hot-threshold", 0, "block entries before auto translation promotes it (0 = built-in default)")
+		batch   = flag.String("batch", "", "serve wire-expressible cells via POST /v1/batches: a disesrvd URL, or 'self' for an in-process server")
 	)
 	flag.Parse()
 	defer profileflags.Start()()
@@ -49,6 +82,15 @@ func main() {
 	o := experiments.Options{DynScaleK: *scale, Workers: *workers}
 	if !*quiet {
 		o.Log = os.Stderr
+	}
+	if *batch != "" {
+		base, shutdown, err := batchBase(*batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "disebench: -batch: %v\n", err)
+			os.Exit(2)
+		}
+		defer shutdown()
+		o.BatchBase = base
 	}
 	if *quick {
 		o.Benchmarks = []string{"bzip2", "gzip", "mcf"}

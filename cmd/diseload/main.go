@@ -37,7 +37,7 @@ func main() {
 		outst    = flag.Int("max-outstanding", 256, "open-loop cap on in-flight requests; arrivals beyond it are shed")
 		duration = flag.Duration("duration", 5*time.Second, "wall-clock run bound")
 		maxReq   = flag.Int64("n", 0, "stop after this many issued jobs (0 = duration-bound)")
-		mixSpec  = flag.String("mix", "", "job mix as name:weight pairs (quickstart, a bench name, or <bench>+count); default quickstart:4,gzip:1,mcf+count:1")
+		mixSpec  = flag.String("mix", "", "job mix as name[@cells][:weight] parts (quickstart, a bench name, or <bench>+count; @cells submits a batch sweep of that width); default quickstart:4,gzip:1,mcf+count:1")
 		classes  = flag.Int("classes", 1, "trace-cache classes per mix entry (1 = every repeat hits the cache)")
 		golden   = flag.Bool("golden", true, "assert responses are byte-identical per (entry, class)")
 		seed     = flag.Int64("seed", 1, "schedule shuffle seed")

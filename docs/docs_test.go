@@ -62,30 +62,52 @@ func TestProductionExamplesCompile(t *testing.T) {
 	}
 }
 
-// curlBodies extracts the single-quoted -d payloads from the curl examples.
-func curlBodies(t *testing.T, file string) []string {
+// curlCall is one documented curl submission: the endpoint path it targets
+// and its single-quoted -d payload.
+type curlCall struct {
+	path string
+	body string
+}
+
+// curlCalls extracts the -d payloads from the curl examples together with
+// the endpoint each one names, so the replay hits the documented route.
+func curlCalls(t *testing.T, file string) []curlCall {
 	t.Helper()
-	var bodies []string
+	var calls []curlCall
 	for _, block := range fencedBlocks(t, file, "bash") {
 		if !strings.Contains(block, "-d '") {
 			continue
 		}
-		_, rest, _ := strings.Cut(block, "-d '")
+		head, rest, _ := strings.Cut(block, "-d '")
 		body, _, ok := strings.Cut(rest, "'")
 		if !ok {
 			t.Fatalf("%s: unterminated curl body in %q", file, block)
 		}
-		bodies = append(bodies, body)
+		path := "/v1/jobs"
+		if i := strings.Index(head, "/v1/"); i >= 0 {
+			path = strings.TrimRight(strings.Fields(head[i:])[0], "'\"")
+		}
+		calls = append(calls, curlCall{path: path, body: body})
 	}
-	return bodies
+	return calls
 }
 
 // TestAPIExamplesAccepted replays every documented curl submission against
-// a real in-process server and requires a 200.
+// a real in-process server, on the endpoint the example names, and
+// requires a 200.
 func TestAPIExamplesAccepted(t *testing.T) {
-	bodies := curlBodies(t, "API.md")
-	if len(bodies) < 3 {
-		t.Fatalf("API.md has %d curl submissions, expected several", len(bodies))
+	calls := curlCalls(t, "API.md")
+	if len(calls) < 3 {
+		t.Fatalf("API.md has %d curl submissions, expected several", len(calls))
+	}
+	batches := 0
+	for _, c := range calls {
+		if c.path == "/v1/batches" {
+			batches++
+		}
+	}
+	if batches == 0 {
+		t.Error("API.md documents no /v1/batches curl example")
 	}
 	srv, err := server.New(server.Config{
 		Log: slog.New(slog.NewTextHandler(io.Discard, nil)),
@@ -95,15 +117,15 @@ func TestAPIExamplesAccepted(t *testing.T) {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer func() { ts.Close(); srv.Drain() }()
-	for i, body := range bodies {
-		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	for i, c := range calls {
+		resp, err := http.Post(ts.URL+c.path, "application/json", strings.NewReader(c.body))
 		if err != nil {
 			t.Fatal(err)
 		}
 		out, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
-			t.Errorf("curl example %d: status %d: %s\nbody: %s", i+1, resp.StatusCode, out, body)
+			t.Errorf("curl example %d (%s): status %d: %s\nbody: %s", i+1, c.path, resp.StatusCode, out, c.body)
 		}
 	}
 }
@@ -119,8 +141,9 @@ func TestAPIDocumentsEveryWireField(t *testing.T) {
 	for _, typ := range []any{
 		server.SubmitRequest{}, server.MachineSpec{}, server.EngineSpec{},
 		server.SubmitResponse{}, server.ResultPayload{}, server.EnginePayload{},
-		server.StatsPayload{}, server.JobStats{}, server.CacheStats{},
-		server.LatencyStats{},
+		server.BatchRequest{}, server.BatchLine{}, server.BatchCell{},
+		server.BatchSummary{}, server.StatsPayload{}, server.JobStats{},
+		server.BatchStats{}, server.CacheStats{}, server.LatencyStats{},
 	} {
 		rt := reflect.TypeOf(typ)
 		for i := 0; i < rt.NumField(); i++ {

@@ -167,15 +167,27 @@ func Install(c *core.Controller, v Variant) ([]*core.Production, error) {
 	return c.InstallFile(Productions(v), nil)
 }
 
+// SetupRegs returns the dedicated-register presets Setup applies, keyed by
+// register spelling — the wire form (SubmitRequest.Regs) of the ACF setup
+// step. Setup iterates this map, so the local prep and a remote job built
+// from it preset identical machine state by construction.
+func SetupRegs() map[string]uint64 {
+	return map[string]uint64{
+		"$dr2": program.SegData,  // DataSegReg: legal data segment identifier
+		"$dr3": program.SegText,  // TextSegReg: legal code segment identifier
+		"$dr7": 0,                // HandlerReg: violation handler (kernel trap vector)
+		"$dr4": program.DataBase, // precomposed data segment base (sandboxing)
+	}
+}
+
 // Setup initializes the DISE dedicated registers MFI uses on machine m: the
 // legal data and code segment identifiers, the violation handler (the
 // kernel trap vector at 0), and, for sandboxing, the precomposed data
 // segment base in $dr4.
 func Setup(m *emu.Machine) {
-	m.SetReg(DataSegReg, program.SegData)
-	m.SetReg(TextSegReg, program.SegText)
-	m.SetReg(HandlerReg, 0)
-	m.SetReg(isa.RegDR0+4, program.DataBase)
+	for name, val := range SetupRegs() {
+		m.SetReg(isa.RegByName(name, true), val)
+	}
 }
 
 // The sandbox mask must match the production text above.

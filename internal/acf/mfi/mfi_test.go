@@ -314,3 +314,37 @@ func TestWildStoreSilentWithoutMFI(t *testing.T) {
 		t.Errorf("cpu: wild store did not land: mem[%#x] = %d", wildAddr, got)
 	}
 }
+
+// SetupRegs is the wire form of Setup: every spelling must resolve to the
+// role constant it documents, so a remote job built from the map presets
+// exactly the state Setup gives a local machine.
+func TestSetupRegsMatchesSetup(t *testing.T) {
+	regs := SetupRegs()
+	want := map[isa.Reg]uint64{
+		DataSegReg:     program.SegData,
+		TextSegReg:     program.SegText,
+		HandlerReg:     0,
+		isa.RegDR0 + 4: program.DataBase,
+	}
+	if len(regs) != len(want) {
+		t.Fatalf("SetupRegs has %d entries, want %d: %v", len(regs), len(want), regs)
+	}
+	for name, val := range regs {
+		r := isa.RegByName(name, true)
+		if !r.IsDedicated() {
+			t.Errorf("SetupRegs key %q is not a dedicated register", name)
+			continue
+		}
+		if wv, ok := want[r]; !ok || wv != val {
+			t.Errorf("SetupRegs[%q] = %d (reg %v), want %d", name, val, r, wv)
+		}
+	}
+
+	m := emu.New(asm.MustAssemble("t", ".entry main\nmain:\n    halt\n"))
+	Setup(m)
+	for name, val := range regs {
+		if got := m.Reg(isa.RegByName(name, true)); got != val {
+			t.Errorf("after Setup, %s = %d, want %d", name, got, val)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/server"
+)
+
+// ErrBatchAborted marks a batch whose stream ended before every cell was
+// answered: the summary reports aborted cells (timeout, cancellation, or a
+// server drain cut the sweep short). The cells streamed before the abort
+// are still valid, byte-identical results.
+var ErrBatchAborted = errors.New("batch aborted before all cells finished")
+
+// BatchCell is one streamed cell of a batch response. Result stays raw, so
+// callers can assert byte-identity against the single-job answer for the
+// same request — the property the batch path guarantees.
+type BatchCell struct {
+	Index   int             `json:"index"`
+	Outcome string          `json:"outcome"` // "done" or "trapped"
+	Result  json.RawMessage `json:"result"`
+}
+
+// BatchStream is an open /v1/batches response. Cells arrive incrementally
+// via Next as the server finishes them; after Next returns io.EOF the
+// terminal summary is available from Summary. The stream must be Closed
+// (Collect and draining to io.EOF close it implicitly).
+type BatchStream struct {
+	body    io.ReadCloser
+	dec     *json.Decoder
+	summary *server.BatchSummary
+	err     error
+	closed  bool
+}
+
+// Next returns the next finished cell. It blocks until the server lands
+// one, returns io.EOF when the summary line arrives (the normal end of a
+// stream — including an aborted one), and a transport or protocol error if
+// the connection dies without a summary.
+func (s *BatchStream) Next() (*BatchCell, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.summary != nil {
+		return nil, io.EOF
+	}
+	var line struct {
+		Cell    *BatchCell           `json:"cell"`
+		Summary *server.BatchSummary `json:"summary"`
+	}
+	if err := s.dec.Decode(&line); err != nil {
+		if err == io.EOF {
+			err = fmt.Errorf("batch stream truncated: connection closed before the summary line")
+		}
+		s.err = err
+		s.Close()
+		return nil, s.err
+	}
+	switch {
+	case line.Cell != nil:
+		return line.Cell, nil
+	case line.Summary != nil:
+		s.summary = line.Summary
+		s.Close()
+		return nil, io.EOF
+	default:
+		s.err = fmt.Errorf("batch stream line carries neither cell nor summary")
+		s.Close()
+		return nil, s.err
+	}
+}
+
+// Summary returns the terminal summary line. It is only available after
+// Next has returned io.EOF; calling it earlier is an error.
+func (s *BatchStream) Summary() (*server.BatchSummary, error) {
+	if s.summary == nil {
+		if s.err != nil {
+			return nil, s.err
+		}
+		return nil, fmt.Errorf("batch summary not yet received: drain Next to io.EOF first")
+	}
+	return s.summary, nil
+}
+
+// Close releases the underlying connection. Safe to call more than once;
+// closing before io.EOF abandons the batch, which the server treats as a
+// cancellation (remaining cells are aborted).
+func (s *BatchStream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.body.Close()
+}
+
+// Batch submits a sweep to POST /v1/batches and returns the open stream.
+// Admission failures (transport errors, 429s, 503s) are retried under the
+// same policy as Submit — retrying is safe by construction for the same
+// reason, and nothing has streamed yet when admission fails. Once the
+// stream is open the SDK never retries: cells may already be consumed.
+func (c *Client) Batch(ctx context.Context, req *server.BatchRequest) (*BatchStream, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encoding request: %w", err)
+	}
+	var last error
+	for attempt := 1; attempt <= c.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := c.sleep(ctx, c.backoff(attempt-1, last)); err != nil {
+				return nil, err
+			}
+		}
+		bs, err := c.batchOnce(ctx, body)
+		if err == nil {
+			return bs, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+		last = err
+	}
+	return nil, fmt.Errorf("%w after %d attempts: %w", ErrRetryBudget, c.policy.MaxAttempts, last)
+}
+
+// batchOnce performs one POST /v1/batches exchange, returning the open
+// stream on a 200 and the typed envelope error otherwise.
+func (c *Client) batchOnce(ctx context.Context, body []byte) (*BatchStream, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batches", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		var jr JobResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			return nil, fmt.Errorf("status %d with undecodable body: %w", resp.StatusCode, err)
+		}
+		return nil, &APIError{
+			Status:     resp.StatusCode,
+			Outcome:    jr.Outcome,
+			Message:    jr.Error,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	}
+	return &BatchStream{body: resp.Body, dec: json.NewDecoder(resp.Body)}, nil
+}
+
+// BatchCollect runs a batch to completion and returns the cells ordered by
+// request index, plus the terminal summary. Aborted cells are nil slots;
+// when any cell was aborted the error matches ErrBatchAborted (the
+// returned cells and summary are still valid). Cell results stay raw for
+// byte-identity assertions.
+func (c *Client) BatchCollect(ctx context.Context, req *server.BatchRequest) ([]*BatchCell, *server.BatchSummary, error) {
+	bs, err := c.Batch(ctx, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer bs.Close()
+	cells := make([]*BatchCell, len(req.Jobs))
+	for {
+		cell, err := bs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return cells, nil, err
+		}
+		if cell.Index < 0 || cell.Index >= len(cells) {
+			return cells, nil, fmt.Errorf("batch cell index %d out of range [0, %d)", cell.Index, len(cells))
+		}
+		if cells[cell.Index] != nil {
+			return cells, nil, fmt.Errorf("batch cell %d streamed twice", cell.Index)
+		}
+		cells[cell.Index] = cell
+	}
+	sum, err := bs.Summary()
+	if err != nil {
+		return cells, nil, err
+	}
+	if sum.Aborted > 0 {
+		return cells, sum, fmt.Errorf("%w: %d of %d cells aborted (%s): %s",
+			ErrBatchAborted, sum.Aborted, sum.Cells, sum.Outcome, sum.Error)
+	}
+	return cells, sum, nil
+}

@@ -1,0 +1,209 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// newRealServer spins a full in-process disesrvd for end-to-end SDK tests.
+func newRealServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := server.New(server.Config{Log: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Drain() })
+	return ts
+}
+
+// TestBatchEndToEnd drives the full SDK surface against a real server: the
+// stream yields every cell exactly once, the summary reconciles, and each
+// cell is byte-identical to the Submit answer for the same request.
+func TestBatchEndToEnd(t *testing.T) {
+	ts := newRealServer(t)
+	c := New(ts.URL)
+
+	jobs := []server.SubmitRequest{*server.SmokeRequest(), *server.SmokeRequest(), *server.SmokeRequest()}
+	jobs[1].Machine.Width = 8
+	jobs[2].Engine.MissPenalty = 60
+
+	cells, sum, err := c.BatchCollect(context.Background(), &server.BatchRequest{Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Done != 3 || sum.Aborted != 0 || sum.Outcome != "done" {
+		t.Fatalf("summary %+v, want 3 done cells", sum)
+	}
+	for i := range jobs {
+		if cells[i] == nil {
+			t.Fatalf("cell %d missing", i)
+		}
+		jr, err := c.Submit(context.Background(), &jobs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cells[i].Result, jr.Result) {
+			t.Errorf("cell %d differs from its single-job answer:\nbatch:  %s\nsingle: %s",
+				i, cells[i].Result, jr.Result)
+		}
+	}
+}
+
+// batchAnswer scripts one streaming 200: the given ndjson lines, verbatim.
+func batchAnswer(lines ...string) func(http.ResponseWriter) {
+	return func(w http.ResponseWriter) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		for _, l := range lines {
+			_, _ = io.WriteString(w, l+"\n")
+		}
+	}
+}
+
+const (
+	cellLine0   = `{"cell":{"index":0,"outcome":"done","result":{"cycles":193}}}`
+	cellLine1   = `{"cell":{"index":1,"outcome":"done","result":{"cycles":100}}}`
+	summaryDone = `{"summary":{"batch_id":"batch-000001","batch_outcome":"done","cells":2,"cells_ok":2,"cells_trap":0,"cells_aborted":0,"cache":"capture","queue_us":1,"run_us":2}}`
+)
+
+func twoJobs() *server.BatchRequest {
+	return &server.BatchRequest{Jobs: make([]server.SubmitRequest, 2)}
+}
+
+// TestBatchRetriesAdmission pins the retry-by-construction contract for
+// batches: 429 and 503 admission answers are retried (honoring
+// Retry-After) until the stream opens; nothing is double-consumed because
+// nothing streamed.
+func TestBatchRetriesAdmission(t *testing.T) {
+	var delays []time.Duration
+	sc := &script{steps: []func(http.ResponseWriter){
+		answer(http.StatusTooManyRequests, "1", rejectedBody()),
+		answer(http.StatusServiceUnavailable, "", map[string]any{"outcome": "unavailable", "error": "draining"}),
+		batchAnswer(cellLine0, cellLine1, summaryDone),
+	}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetryPolicy(fastPolicy(5, &delays)))
+	cells, sum, err := c.BatchCollect(context.Background(), twoJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.calls.Load() != 3 {
+		t.Errorf("server saw %d calls, want 3", sc.calls.Load())
+	}
+	if len(delays) != 2 || delays[0] < time.Second {
+		t.Errorf("backoff schedule %v, want 2 delays with the first floored by Retry-After", delays)
+	}
+	if sum.Done != 2 || cells[0] == nil || cells[1] == nil {
+		t.Errorf("collected %+v / %+v, want both cells", cells, sum)
+	}
+}
+
+// TestBatchDoesNotRetryInvalid: a 400 is terminal and typed.
+func TestBatchDoesNotRetryInvalid(t *testing.T) {
+	sc := &script{steps: []func(http.ResponseWriter){
+		answer(http.StatusBadRequest, "", map[string]any{"outcome": "invalid", "error": "jobs[1]: not in class"}),
+	}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetryPolicy(RetryPolicy{MaxAttempts: 3}))
+	_, err := c.Batch(context.Background(), twoJobs())
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatalf("got %v, want ErrInvalid", err)
+	}
+	if sc.calls.Load() != 1 {
+		t.Errorf("server saw %d calls, want no retries", sc.calls.Load())
+	}
+}
+
+// TestBatchAbortedSummary: an in-stream abort surfaces as ErrBatchAborted
+// from Collect, with the already-landed cells intact.
+func TestBatchAbortedSummary(t *testing.T) {
+	sc := &script{steps: []func(http.ResponseWriter){
+		batchAnswer(cellLine0,
+			`{"summary":{"batch_id":"batch-000001","batch_outcome":"timeout","cells":2,"cells_ok":1,"cells_trap":0,"cells_aborted":1,"cache":"capture","error":"context deadline exceeded"}}`),
+	}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+
+	c := New(ts.URL)
+	cells, sum, err := c.BatchCollect(context.Background(), twoJobs())
+	if !errors.Is(err, ErrBatchAborted) {
+		t.Fatalf("got %v, want ErrBatchAborted", err)
+	}
+	if cells[0] == nil || cells[1] != nil {
+		t.Errorf("cells %+v, want only index 0 landed", cells)
+	}
+	if sum == nil || sum.Outcome != "timeout" {
+		t.Errorf("summary %+v, want the timeout summary alongside the error", sum)
+	}
+}
+
+// TestBatchTruncatedStream: a connection that dies without a summary is a
+// protocol error from Next, not a silent success.
+func TestBatchTruncatedStream(t *testing.T) {
+	sc := &script{steps: []func(http.ResponseWriter){batchAnswer(cellLine0)}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+
+	c := New(ts.URL)
+	bs, err := c.Batch(context.Background(), twoJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Close()
+	if _, err := bs.Next(); err != nil {
+		t.Fatalf("first cell: %v", err)
+	}
+	if _, err := bs.Next(); err == nil || err == io.EOF {
+		t.Fatalf("truncated stream: got %v, want a protocol error", err)
+	}
+	if _, err := bs.Summary(); err == nil {
+		t.Error("Summary on a truncated stream must error")
+	}
+}
+
+// TestBatchIncrementalConsumption: Next yields cells before the summary
+// exists — the stream is consumable incrementally, and Summary before EOF
+// is an explicit error rather than a block.
+func TestBatchIncrementalConsumption(t *testing.T) {
+	sc := &script{steps: []func(http.ResponseWriter){batchAnswer(cellLine0, cellLine1, summaryDone)}}
+	ts := httptest.NewServer(sc.handler())
+	defer ts.Close()
+
+	c := New(ts.URL)
+	bs, err := c.Batch(context.Background(), twoJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Close()
+	cell, err := bs.Next()
+	if err != nil || cell.Index != 0 {
+		t.Fatalf("first cell: %+v, %v", cell, err)
+	}
+	if _, err := bs.Summary(); err == nil {
+		t.Fatal("Summary before EOF must error")
+	}
+	if cell, err = bs.Next(); err != nil || cell.Index != 1 {
+		t.Fatalf("second cell: %+v, %v", cell, err)
+	}
+	if _, err := bs.Next(); err != io.EOF {
+		t.Fatalf("after last cell: %v, want io.EOF", err)
+	}
+	sum, err := bs.Summary()
+	if err != nil || sum.Done != 2 {
+		t.Fatalf("summary: %+v, %v", sum, err)
+	}
+}

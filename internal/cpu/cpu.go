@@ -970,235 +970,6 @@ finalize:
 	return res
 }
 
-// manyState is one configuration's scheduler in RunSourceMany: exactly the
-// loop-carried state of RunSource, boxed so several configurations can
-// advance in lockstep over a single record walk.
-type manyState struct {
-	h               *mem.Hierarchy
-	rob             []int64
-	regReady        [isa.NumRegs]int64
-	fetchCycle      int64
-	lastCommit      int64
-	dispatch        bandwidthCursor
-	commit          bandwidthCursor
-	robIdx          int
-	robLen          int
-	redirectPenalty int64
-	diseStallMode   bool
-
-	insts, appInsts, mispredicts, diseStalls, expStalls int64
-}
-
-// RunSourceMany times one recorded stream under several configurations in a
-// single pass: every record is decoded once and stepped through each
-// configuration's scheduler state. The states are independent, so each
-// element of the result is byte-identical to RunSource over a fresh replay
-// of the same trace with the same configuration (pinned by
-// TestRunSourceManyMatchesIndividualReplays) — but the walk pays the record
-// fetch once, and the k per-record dependency chains (fetchCycle,
-// lastCommit, regReady) are disjoint, so they overlap in the host pipeline
-// instead of running back to back. This is the sweep shape of the timing
-// harnesses: one capture, k timing-only cells.
-//
-// Configurations carrying a Hook or a watchdog (MaxCycles > 0), or invalid
-// ones, make the whole call fall back to sequential RunSource runs — the
-// chunked walk of a trace replay is stateless over the source, so repeated
-// RunSource calls on one Replayer are independent.
-func RunSourceMany(src ChunkedSource, cfgs []Config) (out []*Result) {
-	out = make([]*Result, len(cfgs))
-	if len(cfgs) == 0 {
-		return out
-	}
-	sequential := len(cfgs) == 1
-	for i := range cfgs {
-		cfg := &cfgs[i]
-		if cfg.Hook != nil || cfg.MaxCycles > 0 ||
-			cfg.Width <= 0 || cfg.ROB <= 0 || cfg.PipeDepth <= 0 {
-			sequential = true
-		}
-		// The shared walk has one cancellation point; configurations with
-		// distinct contexts cannot share it.
-		if cfg.Ctx != cfgs[0].Ctx {
-			sequential = true
-		}
-	}
-	if sequential {
-		for i, cfg := range cfgs {
-			out[i] = RunSource(src, cfg)
-		}
-		return out
-	}
-	defer func() {
-		if r := recover(); r != nil {
-			err := &emu.Trap{Kind: emu.TrapInternal, Detail: fmt.Sprintf("cpu: %v", r)}
-			for i := range out {
-				out[i] = &Result{Err: err}
-			}
-		}
-	}()
-
-	states := make([]manyState, len(cfgs))
-	for i, cfg := range cfgs {
-		h, err := getHierarchy(cfg.Mem)
-		if err != nil {
-			for j, c := range cfgs {
-				out[j] = RunSource(src, c)
-			}
-			return out
-		}
-		st := &states[i]
-		st.h = h
-		st.rob = make([]int64, cfg.ROB)
-		st.robLen = cfg.ROB
-		st.dispatch = bandwidthCursor{width: cfg.Width}
-		st.commit = bandwidthCursor{width: cfg.Width}
-		st.redirectPenalty = int64(cfg.PipeDepth)
-		if cfg.DiseMode == DisePipe {
-			st.redirectPenalty++
-		}
-		st.diseStallMode = cfg.DiseMode == DiseStall
-	}
-
-	var cancelDone <-chan struct{}
-	if ctx := cfgs[0].Ctx; ctx != nil {
-		cancelDone = ctx.Done()
-	}
-	chunks, miss, compose := src.Chunks()
-	for _, cur := range chunks {
-		if cancelDone != nil {
-			select {
-			case <-cancelDone:
-				err := &emu.Trap{Kind: emu.TrapCancelled,
-					Cause: context.Cause(cfgs[0].Ctx), Detail: "run cancelled"}
-				for i := range out {
-					out[i] = &Result{Err: err}
-				}
-				return out
-			default:
-			}
-		}
-		for ri := range cur {
-			d := &cur[ri]
-			f := d.Flags
-			stall := 0
-			if f&(RecPTMiss|RecRTMiss) != 0 {
-				if f&RecPTMiss != 0 {
-					stall += miss
-				}
-				if f&RecRTMiss != 0 {
-					if f&RecComposed != 0 {
-						stall += compose
-					} else {
-						stall += miss
-					}
-				}
-			}
-			for si := range states {
-				st := &states[si]
-				if stall > 0 {
-					if st.lastCommit > st.fetchCycle {
-						st.fetchCycle = st.lastCommit
-					}
-					st.fetchCycle += int64(stall)
-					st.diseStalls += int64(stall)
-				}
-				if d.FetchSize > 0 && !st.h.FetchHit(d.PC, int(d.FetchSize)) {
-					if lat := st.h.FetchMiss(d.PC, int(d.FetchSize)); lat > 0 {
-						st.fetchCycle += int64(lat)
-					}
-				}
-				if d.SeqLen > 0 && st.diseStallMode {
-					st.fetchCycle++
-					st.expStalls++
-				}
-				dc := st.fetchCycle
-				if robWait := st.rob[st.robIdx]; robWait > dc {
-					dc = robWait
-				}
-				dc = st.dispatch.slot(dc)
-				start := dc + 1
-				if s1 := d.SrcA; int(s1) < len(st.regReady) {
-					if t := st.regReady[s1]; t > start {
-						start = t
-					}
-				}
-				if s2 := d.SrcB; int(s2) < len(st.regReady) {
-					if t := st.regReady[s2]; t > start {
-						start = t
-					}
-				}
-				lat := int64(d.Lat)
-				if f&(RecIsLoad|RecIsStore) != 0 {
-					dlat := int64(st.h.L1Latency)
-					if !st.h.DataHit(d.MemAddr) {
-						dlat = int64(st.h.DataMiss(d.MemAddr))
-					}
-					if f&RecIsLoad != 0 {
-						lat += dlat
-					}
-				}
-				done := start + lat
-				if dest := d.Dst; dest != isa.RegZero && int(dest) < len(st.regReady) {
-					st.regReady[dest] = done
-				}
-				if f&RecMispredict != 0 {
-					st.mispredicts++
-					if t := done + st.redirectPenalty; t > st.fetchCycle {
-						st.fetchCycle = t
-					}
-					st.dispatch.close()
-				} else if f&(RecIsBranch|RecTaken) == RecIsBranch|RecTaken {
-					st.dispatch.close()
-					if dc+1 > st.fetchCycle {
-						st.fetchCycle = dc + 1
-					}
-				}
-				ct := done
-				if ct < st.lastCommit {
-					ct = st.lastCommit
-				}
-				ct = st.commit.slot(ct)
-				st.lastCommit = ct
-				st.rob[st.robIdx] = ct
-				st.robIdx++
-				if st.robIdx == st.robLen {
-					st.robIdx = 0
-				}
-				st.insts++
-				if f&RecIsApp != 0 {
-					st.appInsts++
-				}
-			}
-		}
-	}
-
-	stats, output, ferr := src.Final()
-	pred := src.PredStats()
-	for i := range states {
-		st := &states[i]
-		out[i] = &Result{
-			Cycles:         st.lastCommit,
-			Insts:          st.insts,
-			AppInsts:       st.appInsts,
-			Mispredicts:    st.mispredicts,
-			DiseStalls:     st.diseStalls,
-			ExpStalls:      st.expStalls,
-			ICacheAccesses: st.h.IL1.Stats.Accesses,
-			ICacheMisses:   st.h.IL1.Stats.Misses,
-			DCacheAccesses: st.h.DL1.Stats.Accesses,
-			DCacheMisses:   st.h.DL1.Stats.Misses,
-			Emu:            stats,
-			Output:         output,
-			Err:            ferr,
-			Pred:           pred,
-		}
-	}
-	for i := range states {
-		putHierarchy(cfgs[i].Mem, states[i].h)
-	}
-	return out
-}
-
 // execLatency gives functional-unit latencies in cycles. (Kept as a public
 // seam for tests; the table itself lives in internal/rec.)
 func execLatency(op isa.Opcode) int {

@@ -1,0 +1,687 @@
+package cpu
+
+// The grouped sweep walk: RunSourceMany times one recorded stream under k
+// configurations in a single pass. The walk is split into a shared pass and
+// a per-state pass so that everything that is a pure function of the stream
+// is computed exactly once per sweep instead of once per cell:
+//
+//   - The memory-hierarchy simulation (I-cache fetch, D-cache access, L2
+//     walk) depends only on the record stream and the cache geometry, never
+//     on width/ROB/pipe/DISE mode. States sharing a geometry therefore share
+//     one hierarchy: a single simulation produces the per-record fetch and
+//     data latencies every state in the group consumes, and its counters are
+//     every group member's counters. The common sweep — machine knobs over
+//     one geometry — runs the tag arrays once instead of k times.
+//   - The DISE stall rebuild, operand remapping, and the stream-property
+//     counters (instructions, app instructions, mispredicts, DISE stall
+//     cycles, expansion-stall events) are computed once in the same pass.
+//
+// The shared pass materializes a compact per-record event (8 bytes) per
+// geometry, in small tiles so the event stream stays cache-resident; the
+// per-state pass is then a tight loop over events whose loop-carried state
+// (cycle cursors, scoreboard, ROB ring) lives in registers and two small
+// arrays. Results stay byte-identical to per-cell RunSource replays (pinned
+// by TestRunSourceManyMatchesIndividualReplays): the event stream is a
+// faithful reordering of the per-record computation, not an approximation.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// manyTile is the shared-pass tile size in records: 4096 packed events are
+// 32KB per geometry, small enough that every state's walk reads them from L1
+// while the record chunk itself is touched once.
+const manyTile = 4096
+
+// manyEv is one predecoded record of the shared pass, packed into a single
+// word so the per-state walk issues one load per record instead of a handful
+// of narrow field loads: the exec latency with the D-side cost folded in, the
+// I-side fill penalty, the rebuilt DISE stall, the branch-outcome flags, and
+// the remapped operands. Sources outside the register file read the
+// hardwired-zero slot (never written); destinations that must not retire a
+// value (the zero register, out-of-file encodings) write the scratch slot,
+// which no source ever reads. Field widths are guaranteed by the latency and
+// penalty gates in RunSourceMany (evLatMax/evStallMax); configurations beyond
+// them fall back to sequential RunSource.
+//
+// Layout (LSB up):
+//
+//	lat:12 | fetchLat:12 | stall:14 | misp:1 | taken:1 | seq:1 | srcA:6 | srcB:6 | dst:6
+type manyEv = uint64
+
+const (
+	evLatShift   = 0
+	evFetchShift = 12
+	evStallShift = 24
+	evMisp       = uint64(1) << 38 // mispredicted (wins over evTaken)
+	evTaken      = uint64(1) << 39 // correctly predicted taken branch
+	evSeq        = uint64(1) << 40 // replacement-sequence trigger (SeqLen > 0)
+	evSrcAShift  = 41
+	evSrcBShift  = 47
+	evDstShift   = 53
+
+	evLatMask   = 1<<12 - 1
+	evStallMask = 1<<14 - 1
+	evRegMask   = 1<<6 - 1
+
+	evLatMax   = evLatMask   // lat and fetchLat ceiling
+	evStallMax = evStallMask // stall ceiling
+)
+
+const evScratch = 63 // write-only scoreboard slot for suppressed dests
+
+// manyTally accumulates the stream-property counters of the shared pass;
+// they are identical for every state (ExpStalls applies only to stall-mode
+// states, which is a per-state constant, not per-record work).
+type manyTally struct {
+	appInsts, mispredicts, diseStalls, seqs int64
+}
+
+// buildManyEvs runs the shared pass for one geometry over one tile: the
+// cache simulation on h (whose counters become the whole group's counters),
+// the stall rebuild under (miss, compose), and the operand remap. The
+// returned tally must be consumed for exactly one group per tile.
+func buildManyEvs(tile []Rec, h *mem.Hierarchy, miss, compose int, evs []manyEv) manyTally {
+	var tally manyTally
+	l1Latency := int32(h.L1Latency)
+	for ri := range tile {
+		d := &tile[ri]
+		f := d.Flags
+
+		stall := 0
+		if f&(RecPTMiss|RecRTMiss) != 0 {
+			if f&RecPTMiss != 0 {
+				stall += miss
+			}
+			if f&RecRTMiss != 0 {
+				if f&RecComposed != 0 {
+					stall += compose
+				} else {
+					stall += miss
+				}
+			}
+		}
+		tally.diseStalls += int64(stall)
+
+		var fl int32
+		if d.FetchSize > 0 && !h.FetchHit(d.PC, int(d.FetchSize)) {
+			if lat := h.FetchMiss(d.PC, int(d.FetchSize)); lat > 0 {
+				fl = int32(lat)
+			}
+		}
+
+		lat := int32(d.Lat)
+		if f&(RecIsLoad|RecIsStore) != 0 {
+			dlat := l1Latency
+			if !h.DataHit(d.MemAddr) {
+				dlat = int32(h.DataMiss(d.MemAddr))
+			}
+			if f&RecIsLoad != 0 {
+				lat += dlat
+			}
+		}
+
+		sa, sb, dst := d.SrcA, d.SrcB, d.Dst
+		if sa >= isa.NumRegs {
+			sa = isa.RegZero
+		}
+		if sb >= isa.NumRegs {
+			sb = isa.RegZero
+		}
+		if dst == isa.RegZero || dst >= isa.NumRegs {
+			dst = evScratch
+		}
+
+		w := uint64(uint32(lat)) | uint64(uint32(fl))<<evFetchShift |
+			uint64(uint32(stall))<<evStallShift |
+			uint64(sa)<<evSrcAShift | uint64(sb)<<evSrcBShift | uint64(dst)<<evDstShift
+		if f&RecMispredict != 0 {
+			w |= evMisp
+			tally.mispredicts++
+		} else if f&(RecIsBranch|RecTaken) == RecIsBranch|RecTaken {
+			w |= evTaken
+		}
+		if d.SeqLen > 0 {
+			w |= evSeq
+			tally.seqs++
+		}
+		if f&RecIsApp != 0 {
+			tally.appInsts++
+		}
+		evs[ri] = w
+	}
+	return tally
+}
+
+// manyState is one configuration's scheduler in RunSourceMany: exactly the
+// loop-carried state of RunSource's scheduling loop. The scoreboard is
+// indexed by the shared pass's remapped uint8 operands, so it spans the full
+// byte range: live registers, the hardwired-zero slot (read-only), and the
+// scratch slot (write-only) all land in it without a bounds check.
+//
+// The two bandwidth cursors are carried between tiles in position form: a
+// (cycle, count) cursor of width w is the single monotone position
+// p = cycle*w + count. The representation is lossless — (cycle, w) and
+// (cycle+1, 0) are behaviourally identical, which is exactly the quotient the
+// position takes — and the walks expand it back into (cycle, count) locals at
+// tile boundaries.
+type manyState struct {
+	rob             []int64
+	regReady        [64]int64
+	fetchCycle      int64
+	lastCommit      int64
+	pDisp           int64 // dispatch cursor position (cycle*width + count)
+	pCommit         int64 // commit cursor position
+	width           int64 // shared dispatch/commit bandwidth
+	robIdx          int
+	robLen          int
+	redirectPenalty int64
+	seqMask         int64 // -1 in DISE stall mode (SeqLen>0 costs a cycle), else 0
+}
+
+// walk advances one state over a tile of shared-pass events. The body is an
+// exact transliteration of RunSource's per-record scheduling with the
+// stream-pure work (cache simulation, stall rebuild, counters) already
+// folded into the events; the cursors are scalarized into locals so the
+// cycle-accounting chains stay out of the stack frame. The data-dependent
+// updates stay as branches on purpose: they predict well on real streams,
+// and a fully branchless (CMOV + magic-divide) variant of this loop measured
+// slower because it moves every update onto the loop-carried data chains.
+func (st *manyState) walk(evs []manyEv) {
+	fc, lc := st.fetchCycle, st.lastCommit
+	pD, pC := st.pDisp, st.pCommit
+	width := st.width
+	robIdx, robLen := st.robIdx, st.robLen
+	rob := st.rob
+	rp := st.redirectPenalty
+	seqMask := st.seqMask
+	rr := &st.regReady
+
+	dCy, dCt := pD/width, pD%width
+	cCy, cCt := pC/width, pC%width
+
+	for i := range evs {
+		w := evs[i]
+		if w&(evStallMask<<evStallShift) != 0 {
+			if lc > fc {
+				fc = lc
+			}
+			fc += int64(w >> evStallShift & evStallMask)
+		}
+		fc += int64(w >> evFetchShift & evLatMask)
+		if seqMask != 0 && w&evSeq != 0 {
+			fc++
+		}
+		dc := fc
+		if rw := rob[robIdx]; rw > dc {
+			dc = rw
+		}
+		if dc > dCy {
+			dCy, dCt = dc, 0
+		}
+		if dCt >= width {
+			dCy++
+			dCt = 0
+		}
+		dCt++
+		dc = dCy
+		start := dc + 1
+		if t := rr[w>>evSrcAShift&evRegMask]; t > start {
+			start = t
+		}
+		if t := rr[w>>evSrcBShift&evRegMask]; t > start {
+			start = t
+		}
+		done := start + int64(w&evLatMask)
+		rr[w>>evDstShift&evRegMask] = done
+		if w&(evMisp|evTaken) != 0 {
+			if w&evMisp != 0 {
+				if t := done + rp; t > fc {
+					fc = t
+				}
+			} else if dc+1 > fc {
+				fc = dc + 1
+			}
+			dCt = width
+		}
+		ct := done
+		if ct < lc {
+			ct = lc
+		}
+		if ct > cCy {
+			cCy, cCt = ct, 0
+		}
+		if cCt >= width {
+			cCy++
+			cCt = 0
+		}
+		cCt++
+		lc = cCy
+		rob[robIdx] = cCy
+		robIdx++
+		if robIdx == robLen {
+			robIdx = 0
+		}
+	}
+
+	st.fetchCycle, st.lastCommit = fc, lc
+	st.pDisp, st.pCommit = dCy*width+dCt, cCy*width+cCt
+	st.robIdx = robIdx
+}
+
+// walkPair advances two states over one tile of events in a single loop:
+// the two cycle-accounting dependency chains are independent, so
+// interleaving them fills the host pipeline where a lone chain would stall
+// on its own latency. The per-record semantics of each state are exactly
+// walk's.
+func walkPair(stA, stB *manyState, evs []manyEv) {
+	fcA, lcA := stA.fetchCycle, stA.lastCommit
+	widthA := stA.width
+	dCyA, dCtA := stA.pDisp/widthA, stA.pDisp%widthA
+	cCyA, cCtA := stA.pCommit/widthA, stA.pCommit%widthA
+	robIdxA, robLenA := stA.robIdx, stA.robLen
+	robA := stA.rob
+	rpA := stA.redirectPenalty
+	stallModeA := stA.seqMask != 0
+	rrA := &stA.regReady
+
+	fcB, lcB := stB.fetchCycle, stB.lastCommit
+	widthB := stB.width
+	dCyB, dCtB := stB.pDisp/widthB, stB.pDisp%widthB
+	cCyB, cCtB := stB.pCommit/widthB, stB.pCommit%widthB
+	robIdxB, robLenB := stB.robIdx, stB.robLen
+	robB := stB.rob
+	rpB := stB.redirectPenalty
+	stallModeB := stB.seqMask != 0
+	rrB := &stB.regReady
+
+	for i := range evs {
+		w := evs[i]
+		stall := int64(w >> evStallShift & evStallMask)
+		flat := int64(w >> evFetchShift & evLatMask)
+		lat := int64(w & evLatMask)
+		sa := w >> evSrcAShift & evRegMask
+		sb := w >> evSrcBShift & evRegMask
+		dst := w >> evDstShift & evRegMask
+
+		if stall != 0 {
+			if lcA > fcA {
+				fcA = lcA
+			}
+			fcA += stall
+			if lcB > fcB {
+				fcB = lcB
+			}
+			fcB += stall
+		}
+		fcA += flat
+		fcB += flat
+		if w&evSeq != 0 {
+			if stallModeA {
+				fcA++
+			}
+			if stallModeB {
+				fcB++
+			}
+		}
+
+		dcA := fcA
+		if rw := robA[robIdxA]; rw > dcA {
+			dcA = rw
+		}
+		if dcA > dCyA {
+			dCyA, dCtA = dcA, 0
+		}
+		if dCtA >= widthA {
+			dCyA++
+			dCtA = 0
+		}
+		dCtA++
+		dcA = dCyA
+
+		dcB := fcB
+		if rw := robB[robIdxB]; rw > dcB {
+			dcB = rw
+		}
+		if dcB > dCyB {
+			dCyB, dCtB = dcB, 0
+		}
+		if dCtB >= widthB {
+			dCyB++
+			dCtB = 0
+		}
+		dCtB++
+		dcB = dCyB
+
+		startA := dcA + 1
+		if t := rrA[sa]; t > startA {
+			startA = t
+		}
+		if t := rrA[sb]; t > startA {
+			startA = t
+		}
+		doneA := startA + lat
+		rrA[dst] = doneA
+
+		startB := dcB + 1
+		if t := rrB[sa]; t > startB {
+			startB = t
+		}
+		if t := rrB[sb]; t > startB {
+			startB = t
+		}
+		doneB := startB + lat
+		rrB[dst] = doneB
+
+		if w&(evMisp|evTaken) != 0 {
+			if w&evMisp != 0 {
+				if t := doneA + rpA; t > fcA {
+					fcA = t
+				}
+				if t := doneB + rpB; t > fcB {
+					fcB = t
+				}
+			} else {
+				if dcA+1 > fcA {
+					fcA = dcA + 1
+				}
+				if dcB+1 > fcB {
+					fcB = dcB + 1
+				}
+			}
+			dCtA = widthA
+			dCtB = widthB
+		}
+
+		ctA := doneA
+		if ctA < lcA {
+			ctA = lcA
+		}
+		if ctA > cCyA {
+			cCyA, cCtA = ctA, 0
+		}
+		if cCtA >= widthA {
+			cCyA++
+			cCtA = 0
+		}
+		cCtA++
+		lcA = cCyA
+		robA[robIdxA] = cCyA
+		robIdxA++
+		if robIdxA == robLenA {
+			robIdxA = 0
+		}
+
+		ctB := doneB
+		if ctB < lcB {
+			ctB = lcB
+		}
+		if ctB > cCyB {
+			cCyB, cCtB = ctB, 0
+		}
+		if cCtB >= widthB {
+			cCyB++
+			cCtB = 0
+		}
+		cCtB++
+		lcB = cCyB
+		robB[robIdxB] = cCyB
+		robIdxB++
+		if robIdxB == robLenB {
+			robIdxB = 0
+		}
+	}
+
+	stA.fetchCycle, stA.lastCommit = fcA, lcA
+	stA.pDisp, stA.pCommit = dCyA*widthA+dCtA, cCyA*widthA+cCtA
+	stA.robIdx = robIdxA
+
+	stB.fetchCycle, stB.lastCommit = fcB, lcB
+	stB.pDisp, stB.pCommit = dCyB*widthB+dCtB, cCyB*widthB+cCtB
+	stB.robIdx = robIdxB
+}
+
+// RunSourceMany times one recorded stream under several configurations in a
+// single pass, sharing everything that is a pure function of the stream: the
+// record fetch, the DISE stall rebuild, the stream counters, and — per
+// distinct cache geometry — the entire memory-hierarchy simulation. Each
+// element of the result is byte-identical to RunSource over a fresh replay
+// of the same trace with the same configuration (pinned by
+// TestRunSourceManyMatchesIndividualReplays). This is the sweep shape of the
+// timing harnesses and the batch serving tier: one capture, k timing-only
+// cells, one walk.
+//
+// Configurations carrying a Hook or a watchdog (MaxCycles > 0), or invalid
+// ones, make the whole call fall back to sequential RunSource runs — the
+// chunked walk of a trace replay is stateless over the source, so repeated
+// RunSource calls on one Replayer are independent.
+func RunSourceMany(src ChunkedSource, cfgs []Config) (out []*Result) {
+	out = make([]*Result, len(cfgs))
+	if len(cfgs) == 0 {
+		return out
+	}
+	sequential := len(cfgs) == 1
+	for i := range cfgs {
+		cfg := &cfgs[i]
+		if cfg.Hook != nil || cfg.MaxCycles > 0 ||
+			cfg.Width <= 0 || cfg.ROB <= 0 || cfg.PipeDepth <= 0 {
+			sequential = true
+		}
+		// The shared walk has one cancellation point; configurations with
+		// distinct contexts cannot share it.
+		if cfg.Ctx != cfgs[0].Ctx {
+			sequential = true
+		}
+		// The packed-event field widths must hold every latency the memory
+		// system can produce: a data miss costs at most L1+L2+Mem on top of a
+		// record's own 8-bit latency, and a fetch miss at most one L2-or-memory
+		// walk per missing line of the largest possible fetch.
+		m := &cfg.Mem
+		if m.IL1.LineSize <= 0 || m.L1Latency < 0 || m.L2Latency < 0 || m.MemLatency < 0 {
+			sequential = true
+		} else {
+			maxData := m.L1Latency + m.L2Latency + m.MemLatency
+			maxFetch := (255/m.IL1.LineSize + 2) * (m.L2Latency + m.MemLatency)
+			if 255+maxData > evLatMax || maxFetch > evLatMax {
+				sequential = true
+			}
+		}
+	}
+	// The DISE stall field has the same packing bound; penalties beyond it
+	// (or malformed negative ones) take the sequential path too. Chunks is a
+	// read-only accessor shared between concurrent replays, so the fallback's
+	// RunSource calls are unaffected by reading it here.
+	chunks, miss, compose := src.Chunks()
+	if miss < 0 || compose < 0 || 2*miss+compose > evStallMax {
+		sequential = true
+	}
+	if sequential {
+		for i, cfg := range cfgs {
+			out[i] = RunSource(src, cfg)
+		}
+		return out
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err := &emu.Trap{Kind: emu.TrapInternal, Detail: fmt.Sprintf("cpu: %v", r)}
+			for i := range out {
+				out[i] = &Result{Err: err}
+			}
+		}
+	}()
+
+	// One hierarchy (and one shared-pass event buffer) per distinct cache
+	// geometry; states carry their group index.
+	type manyGroup struct {
+		cfg mem.HierarchyConfig
+		h   *mem.Hierarchy
+		evs []manyEv
+	}
+	var groups []*manyGroup
+	groupOf := make([]int, len(cfgs))
+	for i, cfg := range cfgs {
+		gi := -1
+		for k, g := range groups {
+			if g.cfg == cfg.Mem {
+				gi = k
+				break
+			}
+		}
+		if gi < 0 {
+			h, err := getHierarchy(cfg.Mem)
+			if err != nil {
+				for _, g := range groups {
+					putHierarchy(g.cfg, g.h)
+				}
+				for j, c := range cfgs {
+					out[j] = RunSource(src, c)
+				}
+				return out
+			}
+			groups = append(groups, &manyGroup{cfg: cfg.Mem, h: h, evs: make([]manyEv, manyTile)})
+			gi = len(groups) - 1
+		}
+		groupOf[i] = gi
+	}
+
+	states := make([]manyState, len(cfgs))
+	for i, cfg := range cfgs {
+		st := &states[i]
+		st.rob = make([]int64, cfg.ROB)
+		st.robLen = cfg.ROB
+		st.width = int64(cfg.Width)
+		st.redirectPenalty = int64(cfg.PipeDepth)
+		if cfg.DiseMode == DisePipe {
+			st.redirectPenalty++
+		}
+		if cfg.DiseMode == DiseStall {
+			st.seqMask = -1
+		}
+	}
+
+	var cancelDone <-chan struct{}
+	if ctx := cfgs[0].Ctx; ctx != nil {
+		cancelDone = ctx.Done()
+	}
+	// Group membership, for pairing walks within a geometry.
+	groupStates := make([][]int, len(groups))
+	for i := range cfgs {
+		groupStates[groupOf[i]] = append(groupStates[groupOf[i]], i)
+	}
+	// Partition the per-state work into independent walk units: pairs of
+	// states sharing a geometry (walked interleaved, which overlaps their
+	// dependence chains) plus at most one lone state per group. Every unit
+	// reads its group's event array and writes only its own states, so on
+	// multi-core hosts the units of a tile run concurrently; with a single
+	// core (or a single unit) the fan-out would be pure overhead and the
+	// units run inline instead.
+	type walkUnit struct{ group, a, b int }
+	units := make([]walkUnit, 0, (len(cfgs)+1)/2)
+	for gi := range groups {
+		members := groupStates[gi]
+		k := 0
+		for ; k+1 < len(members); k += 2 {
+			units = append(units, walkUnit{gi, members[k], members[k+1]})
+		}
+		if k < len(members) {
+			units = append(units, walkUnit{gi, members[k], -1})
+		}
+	}
+	parallelWalks := runtime.GOMAXPROCS(0) > 1 && len(units) > 1
+	runUnit := func(u walkUnit, n int) {
+		evs := groups[u.group].evs[:n]
+		if u.b >= 0 {
+			walkPair(&states[u.a], &states[u.b], evs)
+		} else {
+			states[u.a].walk(evs)
+		}
+	}
+
+	var tally manyTally
+	var insts int64
+	for _, cur := range chunks {
+		if cancelDone != nil {
+			select {
+			case <-cancelDone:
+				err := &emu.Trap{Kind: emu.TrapCancelled,
+					Cause: context.Cause(cfgs[0].Ctx), Detail: "run cancelled"}
+				for i := range out {
+					out[i] = &Result{Err: err}
+				}
+				for _, g := range groups {
+					putHierarchy(g.cfg, g.h)
+				}
+				return out
+			default:
+			}
+		}
+		for len(cur) > 0 {
+			n := min(len(cur), manyTile)
+			tile := cur[:n]
+			for gi, g := range groups {
+				t := buildManyEvs(tile, g.h, miss, compose, g.evs[:n])
+				if gi == 0 {
+					tally.appInsts += t.appInsts
+					tally.mispredicts += t.mispredicts
+					tally.diseStalls += t.diseStalls
+					tally.seqs += t.seqs
+				}
+			}
+			if parallelWalks {
+				var wg sync.WaitGroup
+				wg.Add(len(units))
+				for _, u := range units {
+					go func(u walkUnit) {
+						defer wg.Done()
+						runUnit(u, n)
+					}(u)
+				}
+				wg.Wait()
+			} else {
+				for _, u := range units {
+					runUnit(u, n)
+				}
+			}
+			insts += int64(n)
+			cur = cur[n:]
+		}
+	}
+
+	stats, output, ferr := src.Final()
+	pred := src.PredStats()
+	for i := range states {
+		st := &states[i]
+		h := groups[groupOf[i]].h
+		var expStalls int64
+		if st.seqMask != 0 {
+			expStalls = tally.seqs
+		}
+		out[i] = &Result{
+			Cycles:         st.lastCommit,
+			Insts:          insts,
+			AppInsts:       tally.appInsts,
+			Mispredicts:    tally.mispredicts,
+			DiseStalls:     tally.diseStalls,
+			ExpStalls:      expStalls,
+			ICacheAccesses: h.IL1.Stats.Accesses,
+			ICacheMisses:   h.IL1.Stats.Misses,
+			DCacheAccesses: h.DL1.Stats.Accesses,
+			DCacheMisses:   h.DL1.Stats.Misses,
+			Emu:            stats,
+			Output:         output,
+			Err:            ferr,
+			Pred:           pred,
+		}
+	}
+	for _, g := range groups {
+		putHierarchy(g.cfg, g.h)
+	}
+	return out
+}

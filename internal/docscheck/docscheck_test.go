@@ -90,7 +90,7 @@ func TestServerRoutesAgainstRealServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"GET /healthz", "GET /stats", "POST /v1/jobs"}
+	want := []string{"GET /healthz", "GET /stats", "POST /v1/batches", "POST /v1/jobs"}
 	if !reflect.DeepEqual(routes, want) {
 		t.Errorf("ServerRoutes = %v, want %v (update docs/API.md and this test together)", routes, want)
 	}

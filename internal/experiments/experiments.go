@@ -35,6 +35,15 @@ type Options struct {
 	// assembled by (row, column) position, so any Workers value produces
 	// byte-identical output.
 	Workers int
+	// BatchBase, when non-empty, is a disesrvd base URL (or host:port): every
+	// cell whose equivalence class is expressible as wire material — a
+	// production file plus dedicated-register presets — is served through
+	// POST /v1/batches there instead of simulating locally, one batch per
+	// class-sharing column group. Results are byte-identical to local runs by
+	// contract (the tables are pinned against the local path); cells without
+	// a wire form (programmatic decompression dictionaries, fault hooks,
+	// watchdogs) fall back to local simulation transparently.
+	BatchBase string
 	// Ctx, when non-nil, cancels a figure run cooperatively: every
 	// scheduled cell inherits it as its cpu.Config context and captures
 	// poll it per chunk. The harnesses treat any cell error as fatal, so a
@@ -146,18 +155,18 @@ func Fig6Formulation(o Options) *stats.Table {
 			s.fork(func() {
 				stall := cpu.DefaultConfig()
 				stall.DiseMode = cpu.DiseStall
-				t.Set(p.Name, "stall", norm(s.runC(prog, stall, diseMFI(mfi.DISE3, perfectEngine()), mfiClass("3", perfectEngine())), base))
+				t.Set(p.Name, "stall", norm(s.runC(prog, stall, diseMFI(mfi.DISE3, perfectEngine()), mfiClass(mfi.DISE3, perfectEngine())), base))
 			})
 			s.fork(func() {
 				pipe := cpu.DefaultConfig()
 				pipe.DiseMode = cpu.DisePipe
-				t.Set(p.Name, "+pipe", norm(s.runC(prog, pipe, diseMFI(mfi.DISE3, perfectEngine()), mfiClass("3", perfectEngine())), base))
+				t.Set(p.Name, "+pipe", norm(s.runC(prog, pipe, diseMFI(mfi.DISE3, perfectEngine()), mfiClass(mfi.DISE3, perfectEngine())), base))
 			})
 			s.fork(func() {
-				t.Set(p.Name, "DISE4", norm(s.runC(prog, cpu.DefaultConfig(), diseMFI(mfi.DISE4, perfectEngine()), mfiClass("4", perfectEngine())), base))
+				t.Set(p.Name, "DISE4", norm(s.runC(prog, cpu.DefaultConfig(), diseMFI(mfi.DISE4, perfectEngine()), mfiClass(mfi.DISE4, perfectEngine())), base))
 			})
 			s.fork(func() {
-				t.Set(p.Name, "DISE3", norm(s.runC(prog, cpu.DefaultConfig(), diseMFI(mfi.DISE3, perfectEngine()), mfiClass("3", perfectEngine())), base))
+				t.Set(p.Name, "DISE3", norm(s.runC(prog, cpu.DefaultConfig(), diseMFI(mfi.DISE3, perfectEngine()), mfiClass(mfi.DISE3, perfectEngine())), base))
 			})
 		})
 	}
@@ -211,7 +220,7 @@ func Fig6CacheSize(o Options) *stats.Table {
 				}
 			})
 			sc.fork(func() {
-				dises := sc.runCMany(prog, diseCfgs, diseMFI(mfi.DISE3, perfectEngine()), mfiClass("3", perfectEngine()))
+				dises := sc.runCMany(prog, diseCfgs, diseMFI(mfi.DISE3, perfectEngine()), mfiClass(mfi.DISE3, perfectEngine()))
 				for i, s := range sizes {
 					t.Set(p.Name, "dise-"+s.name, norm(dises[i], bases[i]))
 				}
@@ -254,7 +263,7 @@ func Fig6Width(o Options) *stats.Table {
 					s.fork(func() {
 						diseCfg := cfg
 						diseCfg.DiseMode = cpu.DisePipe
-						t.Set(p.Name, fmt.Sprintf("dise-%dw", w), norm(s.runC(prog, diseCfg, diseMFI(mfi.DISE3, perfectEngine()), mfiClass("3", perfectEngine())), base))
+						t.Set(p.Name, fmt.Sprintf("dise-%dw", w), norm(s.runC(prog, diseCfg, diseMFI(mfi.DISE3, perfectEngine()), mfiClass(mfi.DISE3, perfectEngine())), base))
 					})
 				})
 			}

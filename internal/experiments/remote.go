@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/program"
+	"repro/internal/server"
+)
+
+// The batch-serving path (Options.BatchBase) turns the paper harnesses into
+// a disesrvd workload: every cell whose class has a wire form is submitted
+// to POST /v1/batches — a runCMany column group becomes one k-cell sweep,
+// a runC cell a 1-cell batch — and the server's single-flight trace cache
+// plays the role of the local capture store. Cells without a wire form
+// (programmatic dictionaries, fault hooks, watchdogs, forceLive) simulate
+// locally as before, so a partially expressible figure still completes.
+//
+// The contract is byte-identity: a remote cell must land in the table with
+// exactly the value the local simulation produces. Everything here is built
+// to make that checkable rather than assumed — specs derived from local
+// configs are verified by round-tripping them through the server's own
+// resolution (server.MachineSpec.Config / server.EngineSpec.Config), and
+// TestBatchServingMatchesLocalTables pins the rendered tables.
+
+// remoteBudget is the instruction budget sent with every remote cell. The
+// harness workloads are finite and far below it, so it never trips; it is
+// pinned (budget is server cache-key material) so every run of a class maps
+// to the same server-side trace entry.
+const remoteBudget int64 = 1 << 40
+
+// wireSpec is a class's expression as disesrvd job material: the machine
+// preparation as wire state (production file + dedicated-register presets)
+// plus the engine spec resolving to the class's core.EngineConfig. The zero
+// wireSpec is the plain class: no productions, default engine.
+type wireSpec struct {
+	prods  string
+	regs   map[string]uint64
+	engine server.EngineSpec
+}
+
+// wireFor builds the wire form of a production-file class on engine config
+// c, or nil when c is not expressible as an EngineSpec (the round trip
+// through the server's resolution does not reproduce it exactly).
+func wireFor(prods string, regs map[string]uint64, c core.EngineConfig) *wireSpec {
+	spec := server.EngineSpec{
+		PTEntries:      c.PTEntries,
+		RTEntries:      c.RTEntries,
+		RTAssoc:        c.RTAssoc,
+		RTBlock:        c.RTBlock,
+		RTPerfect:      c.RTPerfect,
+		MissPenalty:    c.MissPenalty,
+		ComposePenalty: c.ComposePenalty,
+	}
+	got, err := spec.Config()
+	if err != nil || !reflect.DeepEqual(got, c) {
+		return nil
+	}
+	return &wireSpec{prods: prods, regs: regs, engine: spec}
+}
+
+// machineSpec inverts a local cpu.Config into the wire MachineSpec, then
+// verifies the inversion by resolving it exactly as the server would. ok is
+// false when cfg is not wire-expressible (e.g. a cache geometry or hierarchy
+// field the spec cannot carry).
+func machineSpec(cfg cpu.Config) (server.MachineSpec, bool) {
+	spec := server.MachineSpec{Width: cfg.Width, ROB: cfg.ROB, PipeDepth: cfg.PipeDepth}
+	switch cfg.DiseMode {
+	case cpu.DiseFree:
+		spec.DiseMode = "free"
+	case cpu.DiseStall:
+		spec.DiseMode = "stall"
+	case cpu.DisePipe:
+		spec.DiseMode = "pipe"
+	default:
+		return spec, false
+	}
+	cacheKB := func(size int, perfect bool) int {
+		if perfect {
+			return -1
+		}
+		return size >> 10
+	}
+	spec.ICacheKB = cacheKB(cfg.Mem.IL1.Size, cfg.Mem.IL1.Perfect)
+	spec.DCacheKB = cacheKB(cfg.Mem.DL1.Size, cfg.Mem.DL1.Perfect)
+	got, err := spec.Config()
+	if err != nil {
+		return spec, false
+	}
+	want := cfg
+	want.Ctx, want.Hook, want.MaxCycles = nil, nil, 0
+	return spec, reflect.DeepEqual(got, want)
+}
+
+// imageB64 returns the program's canonical EVRX image, base64-encoded and
+// memoized per program pointer (programs are immutable once generated, and
+// one program fans out over many cells).
+func (s *sched) imageB64(prog *program.Program) string {
+	s.imu.Lock()
+	defer s.imu.Unlock()
+	if img, ok := s.images[prog]; ok {
+		return img
+	}
+	var buf bytes.Buffer
+	if err := prog.WriteImage(&buf); err != nil {
+		panic(fmt.Sprintf("experiments: %s: serializing image: %v", prog.Name, err))
+	}
+	img := base64.StdEncoding.EncodeToString(buf.Bytes())
+	s.images[prog] = img
+	return img
+}
+
+// runRemote serves a class-sharing cell group through the batch API, or
+// returns nil when the group must simulate locally: no BatchBase, the class
+// has no wire form, forceLive is set, or a config fails spec inversion.
+// Remote failures (transport, aborted batches, trapped cells) panic, like
+// every other cell failure in the harnesses.
+func (s *sched) runRemote(prog *program.Program, cfgs []cpu.Config, cl class) []*cpu.Result {
+	if s.remote == nil || cl.wire == nil || forceLive {
+		return nil
+	}
+	req := server.BatchRequest{Jobs: make([]server.SubmitRequest, len(cfgs))}
+	for i, cfg := range cfgs {
+		if cfg.Hook != nil || cfg.MaxCycles > 0 {
+			return nil
+		}
+		mspec, ok := machineSpec(cfg)
+		if !ok {
+			return nil
+		}
+		req.Jobs[i] = server.SubmitRequest{
+			ImageB64:    s.imageB64(prog),
+			Prods:       cl.wire.prods,
+			Regs:        cl.wire.regs,
+			Machine:     mspec,
+			Engine:      cl.wire.engine,
+			BudgetInsts: remoteBudget,
+		}
+	}
+	// A batch occupies one server worker end to end; holding one local slot
+	// for it keeps the client-side fan-out bounded the same way local
+	// simulation is.
+	if err := s.acquire(); err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", prog.Name, err))
+	}
+	defer func() { <-s.sem }()
+	ctx := s.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cells, _, err := s.remote.BatchCollect(ctx, &req)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: batch %q: %v", prog.Name, cl.key, err))
+	}
+	out := make([]*cpu.Result, len(cfgs))
+	for i, cell := range cells {
+		if cell == nil {
+			panic(fmt.Sprintf("experiments: %s: batch %q: cell %d aborted", prog.Name, cl.key, i))
+		}
+		var p server.ResultPayload
+		if err := json.Unmarshal(cell.Result, &p); err != nil {
+			panic(fmt.Sprintf("experiments: %s: batch %q: cell %d: %v", prog.Name, cl.key, i, err))
+		}
+		if p.Trap != "" || p.Error != "" {
+			// Harness cells never trap locally; a remote trap is the same
+			// regression run() panics on.
+			panic(fmt.Sprintf("experiments: %s: batch %q: cell %d trapped remotely: %s %s",
+				prog.Name, cl.key, i, p.Trap, p.Error))
+		}
+		out[i] = &cpu.Result{
+			Cycles:         p.Cycles,
+			Insts:          p.Insts,
+			AppInsts:       p.AppInsts,
+			ICacheAccesses: p.ICacheAccesses,
+			ICacheMisses:   p.ICacheMisses,
+			DCacheAccesses: p.DCacheAccesses,
+			DCacheMisses:   p.DCacheMisses,
+			Mispredicts:    p.Mispredicts,
+			DiseStalls:     p.DiseStalls,
+			ExpStalls:      p.ExpStalls,
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/cpu"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// batchTarget spins a full in-process disesrvd and returns its base URL.
+func batchTarget(t *testing.T) string {
+	t.Helper()
+	s, err := server.New(server.Config{Log: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Drain() })
+	return ts.URL
+}
+
+// TestBatchServingMatchesLocalTables is the equivalence gate for the
+// batch-serving path: every figure rendered with BatchBase set must be
+// byte-identical to the locally simulated table. The set covers each class
+// kind — plain and MFI cells go remote; decompression, composition, and
+// dedicated-hardware cells fall back to local simulation inside the same
+// figure — so both the remote mapping and the fallback seam are pinned.
+func TestBatchServingMatchesLocalTables(t *testing.T) {
+	base := batchTarget(t)
+	figs := []struct {
+		name string
+		gen  func(Options) *stats.Table
+	}{
+		{"Fig6Formulation", Fig6Formulation},       // plain + MFI, runC cells
+		{"Fig6CacheSize", Fig6CacheSize},           // plain + MFI, runCMany sweeps
+		{"Fig8Combos", Fig8Combos},                 // plain remote; decomp/ded local fallback
+		{"AblationEngineMode", AblationEngineMode}, // plain class with engine prep
+	}
+	for _, f := range figs {
+		local := f.gen(tinyOptions()).String()
+		remote := tinyOptions()
+		remote.BatchBase = base
+		served := f.gen(remote).String()
+		if served != local {
+			t.Errorf("%s: batch serving changed the table:\n--- local ---\n%s--- batch ---\n%s",
+				f.name, local, served)
+		}
+	}
+}
+
+// TestBatchServingActuallyServes proves the routing engaged: a remote figure
+// run must show up in the server's batch counters, with every cell done and
+// the trace cache carrying the captured classes.
+func TestBatchServingActuallyServes(t *testing.T) {
+	base := batchTarget(t)
+	o := tinyOptions()
+	o.BatchBase = base
+	Fig6CacheSize(o)
+	sp, err := client.New(base).Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Batches.Batches == 0 || sp.Batches.Cells == 0 {
+		t.Fatalf("no batches served: %+v", sp.Batches)
+	}
+	if sp.Batches.CellsDone != sp.Batches.Cells {
+		t.Errorf("batch cells %d, done %d: remote cells must all land", sp.Batches.Cells, sp.Batches.CellsDone)
+	}
+	// Fig6CacheSize column groups are 4-cell sweeps (one per I$ size); the
+	// grouped replay must survive the wire, not degrade to 1-cell batches.
+	if sp.Batches.Cells <= sp.Batches.Batches {
+		t.Errorf("%d cells over %d batches: sweeps did not batch", sp.Batches.Cells, sp.Batches.Batches)
+	}
+}
+
+// TestWireSpecRoundTrip pins the spec inversions on the configs the
+// harnesses actually use, plus the non-expressible cases that must fall
+// back (so a silent wrong-answer path cannot open).
+func TestWireSpecRoundTrip(t *testing.T) {
+	for _, cfg := range []cpu.Config{
+		cpu.DefaultConfig(),
+		icacheCfg(8),
+		icacheCfg(0), // perfect I$
+		func() cpu.Config { c := cpu.DefaultConfig(); c.Width = 8; c.DiseMode = cpu.DisePipe; return c }(),
+	} {
+		if _, ok := machineSpec(cfg); !ok {
+			t.Errorf("machineSpec rejected a harness config: %+v", cfg)
+		}
+	}
+	odd := cpu.DefaultConfig()
+	odd.Mem.IL1.Size = 3000 // not a power-of-two KB count: no wire form
+	if _, ok := machineSpec(odd); ok {
+		t.Error("machineSpec accepted an inexpressible cache size")
+	}
+
+	if wireFor("", nil, perfectEngine()) == nil {
+		t.Error("perfect-RT engine must have a wire form")
+	}
+	for _, rt := range rtConfigs() {
+		if wireFor("", nil, rt.cfg) == nil {
+			t.Errorf("RT config %s must have a wire form", rt.name)
+		}
+	}
+	zeroPen := perfectEngine()
+	zeroPen.MissPenalty = 0 // resolves to the default 30 server-side
+	if wireFor("", nil, zeroPen) != nil {
+		t.Error("a zero miss penalty does not round-trip and must have no wire form")
+	}
+}

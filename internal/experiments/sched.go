@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/acf/mfi"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/emu"
@@ -43,6 +45,13 @@ type sched struct {
 
 	tmu    sync.Mutex
 	traces map[traceKey]*traceEntry
+
+	// remote, when non-nil, routes wire-expressible cells through a
+	// disesrvd batch API (Options.BatchBase) instead of simulating locally.
+	remote *client.Client
+
+	imu    sync.Mutex
+	images map[*program.Program]string // memoized base64 EVRX images
 }
 
 // forceLive, when true, routes every cell through the live functional path.
@@ -55,9 +64,16 @@ var forceLive bool
 // streams; they share a single captured trace and differ only in the PT/RT
 // penalties used to rebuild DISE stall cycles at replay. The zero class
 // (empty key) opts a cell out of sharing — it always runs live.
+//
+// wire, when non-nil, is the class's expression as disesrvd job material:
+// classes whose machine preparation is pure wire state (a production file
+// plus dedicated-register presets) can be served by a remote batch API.
+// Classes that install programmatic dictionaries or composers (decompClass,
+// ded) have no wire form and always simulate locally.
 type class struct {
 	key           string
 	miss, compose int
+	wire          *wireSpec
 }
 
 // live is the empty class: always run the functional machine.
@@ -65,8 +81,9 @@ var live = class{}
 
 // plain is the class of runs with no expander installed. An engine with no
 // productions inspects every fetch but never expands and never stalls, so
-// production-free engine runs share this class too.
-var plain = class{key: "plain"}
+// production-free engine runs share this class too. Its wire form is the
+// empty job: no productions, no presets, default engine geometry.
+var plain = class{key: "plain", wire: &wireSpec{}}
 
 // ded is the class of dedicated-decompressor runs: the hardware expander
 // never stalls, so the class carries no penalties.
@@ -83,8 +100,14 @@ func geomKey(c core.EngineConfig) string {
 }
 
 // mfiClass keys a run with MFI productions installed on engine geometry c.
-func mfiClass(tag string, c core.EngineConfig) class {
-	return class{key: "mfi-" + tag + "|" + geomKey(c), miss: c.MissPenalty, compose: c.ComposePenalty}
+// MFI preparation is pure wire state — mfi.Productions(v) plus
+// mfi.SetupRegs() — so the class carries a wire form whenever c itself
+// round-trips through the server's EngineSpec.
+func mfiClass(v mfi.Variant, c core.EngineConfig) class {
+	return class{
+		key: "mfi-" + v.String() + "|" + geomKey(c), miss: c.MissPenalty, compose: c.ComposePenalty,
+		wire: wireFor(mfi.Productions(v), mfi.SetupRegs(), c),
+	}
 }
 
 // decompClass keys a DISE-decompression run on engine geometry c; composed
@@ -104,8 +127,13 @@ func (o Options) newSched() *sched {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	return &sched{sem: make(chan struct{}, n), ctx: o.Ctx, log: o,
-		traces: make(map[traceKey]*traceEntry)}
+	s := &sched{sem: make(chan struct{}, n), ctx: o.Ctx, log: o,
+		traces: make(map[traceKey]*traceEntry),
+		images: make(map[*program.Program]string)}
+	if o.BatchBase != "" {
+		s.remote = client.New(o.BatchBase)
+	}
+	return s
 }
 
 // acquire takes a semaphore slot, or reports cancellation if the scheduler's
@@ -306,6 +334,9 @@ func (s *sched) runC(prog *program.Program, cfg cpu.Config, prep func(*emu.Machi
 	if cl.key == "" || cfg.Hook != nil || cfg.MaxCycles > 0 || forceLive {
 		return s.run(prog, cfg, prep)
 	}
+	if rs := s.runRemote(prog, []cpu.Config{cfg}, cl); rs != nil {
+		return rs[0]
+	}
 	tr := s.capture(prog, prep, cl)
 	if err := s.acquire(); err != nil {
 		panic(fmt.Sprintf("experiments: %s: %v", prog.Name, err))
@@ -339,6 +370,9 @@ func (s *sched) runCMany(prog *program.Program, cfgs []cpu.Config, prep func(*em
 			out[i] = s.runC(prog, cfg, prep, cl)
 		}
 		return out
+	}
+	if rs := s.runRemote(prog, cfgs, cl); rs != nil {
+		return rs
 	}
 	tr := s.capture(prog, prep, cl)
 	if err := s.acquire(); err != nil {

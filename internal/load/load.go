@@ -48,12 +48,30 @@ import (
 // exercise the simulator, short enough that one job is milliseconds.
 const defaultBudget = 200_000
 
-// Entry is one weighted element of the job mix.
+// Entry is one weighted element of the job mix. Cells > 1 turns the entry
+// into a batch: each arrival submits one POST /v1/batches sweep of Cells
+// timing configurations over the entry's request (cell 0 is the request
+// verbatim; later cells vary machine width over sweepWidths), and all
+// accounting — issued, done, shed, goldens — is per cell.
 type Entry struct {
 	Name   string
 	Weight int
+	Cells  int // 0 or 1 = single job; > 1 = batch of this many cells
 	Req    *server.SubmitRequest
 }
+
+// units is the number of accounting units one arrival of e carries.
+func (e *Entry) units() int64 {
+	if e.Cells > 1 {
+		return int64(e.Cells)
+	}
+	return 1
+}
+
+// sweepWidths supplies the timing variation for batch cells past the
+// first: cell j uses width sweepWidths[(j-1) % len]. Pure timing knobs, so
+// every cell stays in the entry's functional-equivalence class.
+var sweepWidths = []int{8, 2, 1, 6, 16, 3, 12, 5}
 
 // NamedEntry resolves a mix-entry name: "quickstart" (the smoke program and
 // its store-counting productions), a built-in benchmark name ("gzip", ...),
@@ -78,8 +96,10 @@ func NamedEntry(name string) (Entry, error) {
 	return e, nil
 }
 
-// ParseMix parses a mix spec: comma-separated name:weight pairs, weight
-// defaulting to 1 — "quickstart:4,gzip:1,mcf+count:2".
+// ParseMix parses a mix spec: comma-separated name[@cells][:weight] parts,
+// weight defaulting to 1 and cells to a single job —
+// "quickstart:4,gzip:1,mcf+count:2,quickstart@16:1" mixes single jobs with
+// a 16-cell batch sweep.
 func ParseMix(spec string) ([]Entry, error) {
 	var mix []Entry
 	for _, part := range strings.Split(spec, ",") {
@@ -88,9 +108,18 @@ func ParseMix(spec string) ([]Entry, error) {
 			continue
 		}
 		name, wstr, hasW := strings.Cut(part, ":")
+		name, cstr, hasC := strings.Cut(name, "@")
 		e, err := NamedEntry(name)
 		if err != nil {
 			return nil, err
+		}
+		if hasC {
+			cells, err := strconv.Atoi(cstr)
+			if err != nil || cells < 2 {
+				return nil, fmt.Errorf("bad batch cell count %q for %q (need >= 2)", cstr, name)
+			}
+			e.Cells = cells
+			e.Name = fmt.Sprintf("%s@%d", name, cells)
 		}
 		if hasW {
 			w, err := strconv.Atoi(wstr)
@@ -209,18 +238,23 @@ func (o Options) withDefaults() (Options, error) {
 	return o, nil
 }
 
-// Report is the outcome of one load run. Every issued job is counted in
-// exactly one of Done, Trapped, or a Failed class, so
-// Issued == Done + Trapped + sum(Failed) always holds (see Accounted).
+// Report is the outcome of one load run. All work is accounted in cells: a
+// single job is one cell, a batch arrival of K cells is K. Every issued
+// cell is counted in exactly one of Done, Trapped, or a Failed class, so
+// Issued == Done + Trapped + sum(Failed) always holds (see Accounted) —
+// for pure-job, pure-batch, and mixed runs alike. Shed likewise counts the
+// cells an open-loop arrival would have carried, so issued + shed covers
+// every cell of work the schedule generated.
 type Report struct {
 	Mode       string `json:"mode"`
 	DurationMS int64  `json:"duration_ms"`
 
 	Issued    int64            `json:"issued"`
+	Batches   int64            `json:"batches"` // batch submissions among the issued arrivals
 	Done      int64            `json:"done"`
 	Trapped   int64            `json:"trapped"`
 	CacheHits int64            `json:"cache_hits"`
-	Shed      int64            `json:"shed"` // open-loop arrivals dropped at the outstanding cap
+	Shed      int64            `json:"shed"` // open-loop cells dropped at the outstanding cap
 	Failed    map[string]int64 `json:"failed,omitempty"`
 
 	GoldenViolations int64 `json:"golden_violations"`
@@ -252,6 +286,9 @@ func (r *Report) Summary() string {
 	sort.Strings(fails)
 	s := fmt.Sprintf("%s loop: issued %d, done %d, trapped %d, cache hits %d, p50 %dµs, p99 %dµs",
 		r.Mode, r.Issued, r.Done, r.Trapped, r.CacheHits, r.P50US, r.P99US)
+	if r.Batches > 0 {
+		s += fmt.Sprintf(", batches %d", r.Batches)
+	}
 	if len(fails) > 0 {
 		s += ", failed " + strings.Join(fails, " ")
 	}
@@ -288,6 +325,9 @@ func (r *Report) BenchJSON(prefix string) []BenchRecord {
 		{Name: prefix + "/count/trapped", Runs: 1, NsOp: float64(r.Trapped)},
 		{Name: prefix + "/count/cache_hits", Runs: 1, NsOp: float64(r.CacheHits)},
 	}
+	if r.Batches > 0 {
+		recs = append(recs, BenchRecord{Name: prefix + "/count/batches", Runs: 1, NsOp: float64(r.Batches)})
+	}
 	var fails []string
 	for k := range r.Failed {
 		fails = append(fails, k)
@@ -313,9 +353,10 @@ func WriteBenchJSON(recs []BenchRecord) ([]byte, error) {
 type run struct {
 	o        Options
 	schedule []*Entry
-	seq      atomic.Int64 // issued-request sequence
+	seq      atomic.Int64 // issued-arrival sequence (a batch is one arrival)
 	hist     stats.Histogram
 
+	issued, batches                        atomic.Int64 // cells / batch arrivals
 	done, trapped, cached, shed, goldenBad atomic.Int64
 
 	mu     sync.Mutex
@@ -404,16 +445,22 @@ func (r *run) openLoop(ctx context.Context) {
 				r.runOne(ctx, i)
 			}()
 		default:
-			r.shed.Add(1)
+			// Shed work is counted in cells: dropping a K-cell batch arrival
+			// sheds K units, not one, so job and batch mixes stay comparable
+			// and issued + shed covers the whole generated schedule. The
+			// arrival is charged to the entry the next issued slot would take.
+			r.shed.Add(r.schedule[r.seq.Load()%int64(len(r.schedule))].units())
 		}
 	}
 	wg.Wait()
 }
 
-// runOne issues job i: picks its mix entry and cache class, submits with
-// retries, and files the outcome in exactly one bucket.
+// runOne issues arrival i: picks its mix entry and cache class, submits
+// (as a single job or a batch sweep) with retries, and files every cell in
+// exactly one bucket.
 func (r *run) runOne(ctx context.Context, i int64) {
 	ent := r.schedule[i%int64(len(r.schedule))]
+	r.issued.Add(ent.units())
 	req := *ent.Req
 	class := i % int64(r.o.Classes)
 	if r.o.Classes > 1 {
@@ -426,11 +473,15 @@ func (r *run) runOne(ctx context.Context, i int64) {
 		}
 		req.BudgetInsts = base + class
 	}
+	if ent.Cells > 1 {
+		r.runBatch(ctx, ent, &req, class)
+		return
+	}
 
 	t0 := time.Now()
 	resp, err := r.o.Client.Submit(ctx, &req)
 	if err != nil {
-		r.fail(err)
+		r.fail(err, 1)
 		return
 	}
 	r.hist.Observe(time.Since(t0).Microseconds())
@@ -442,15 +493,77 @@ func (r *run) runOne(ctx context.Context, i int64) {
 	} else {
 		r.done.Add(1)
 	}
-	if r.o.Golden && !r.o.Goldens.Check(fmt.Sprintf("%s#%d", ent.Name, class), resp.Result) {
+	if r.o.Golden && !r.o.Goldens.Check(goldenKey(ent.Name, class, 0), resp.Result) {
 		r.goldenBad.Add(1)
 	}
 }
 
-// fail classifies one terminal submission failure.
-func (r *run) fail(err error) {
+// runBatch issues one batch arrival: a Cells-wide sweep over base, cell 0
+// verbatim and later cells varying machine width. Every cell lands in a
+// bucket; aborted cells are classified by the batch's failure outcome.
+func (r *run) runBatch(ctx context.Context, ent *Entry, base *server.SubmitRequest, class int64) {
+	jobs := make([]server.SubmitRequest, ent.Cells)
+	for j := range jobs {
+		jobs[j] = *base
+		if j > 0 {
+			jobs[j].Machine.Width = sweepWidths[(j-1)%len(sweepWidths)]
+		}
+	}
+
+	t0 := time.Now()
+	cells, sum, err := r.o.Client.BatchCollect(ctx, &server.BatchRequest{Jobs: jobs})
+	if err != nil && sum == nil && cells == nil {
+		// Admission failed: no cell was ever accepted.
+		r.fail(err, int64(ent.Cells))
+		return
+	}
+	// Latency is one sample per batch: the sweep's wall clock, the number a
+	// sweep-shaped client actually experiences.
+	r.hist.Observe(time.Since(t0).Microseconds())
+	r.batches.Add(1)
+
+	landed := int64(0)
+	for j, cell := range cells {
+		if cell == nil {
+			continue
+		}
+		landed++
+		if cell.Outcome == "trapped" {
+			r.trapped.Add(1)
+		} else {
+			r.done.Add(1)
+		}
+		if r.o.Golden && !r.o.Goldens.Check(goldenKey(ent.Name, class, j), cell.Result) {
+			r.goldenBad.Add(1)
+		}
+	}
+	if sum != nil && sum.Cache != "capture" {
+		r.cached.Add(landed)
+	}
+	if missing := int64(ent.Cells) - landed; missing > 0 {
+		// Aborted (or never-streamed) cells: classify by the batch error.
+		r.fail(err, missing)
+	}
+}
+
+// goldenKey names the byte-identity ledger slot for one response. Cell 0
+// of a batch is the entry's request verbatim, so it shares its key with
+// the single-job form of the same entry: the ledger then asserts
+// batch/single byte-identity whenever a mix carries both.
+func goldenKey(name string, class int64, cell int) string {
+	name, _, _ = strings.Cut(name, "@")
+	if cell == 0 {
+		return fmt.Sprintf("%s#%d", name, class)
+	}
+	return fmt.Sprintf("%s#%d/c%d", name, class, cell)
+}
+
+// fail classifies a terminal submission failure covering n cells.
+func (r *run) fail(err error, n int64) {
 	class := "transport"
 	switch {
+	case errors.Is(err, client.ErrBatchAborted):
+		class = batchAbortClass(err)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		class = "cancelled"
 	case errors.Is(err, ErrOverloaded):
@@ -463,8 +576,20 @@ func (r *run) fail(err error) {
 		class = "invalid"
 	}
 	r.mu.Lock()
-	r.failed[class]++
+	r.failed[class] += n
 	r.mu.Unlock()
+}
+
+// batchAbortClass maps an ErrBatchAborted (which embeds the summary's
+// outcome word) onto the single-job failure classes.
+func batchAbortClass(err error) string {
+	msg := err.Error()
+	for _, class := range []string{"timeout", "unavailable", "cancelled"} {
+		if strings.Contains(msg, "("+class+")") {
+			return class
+		}
+	}
+	return "cancelled"
 }
 
 // Failure sentinels re-exported so callers can classify without importing
@@ -479,7 +604,8 @@ func (r *run) report(elapsed time.Duration) *Report {
 	rep := &Report{
 		Mode:             r.o.Mode,
 		DurationMS:       elapsed.Milliseconds(),
-		Issued:           r.seq.Load(),
+		Issued:           r.issued.Load(),
+		Batches:          r.batches.Load(),
 		Done:             r.done.Load(),
 		Trapped:          r.trapped.Load(),
 		CacheHits:        r.cached.Load(),

@@ -1,0 +1,436 @@
+package server
+
+// Batched sweep serving: POST /v1/batches accepts an array of jobs that
+// share one functional-equivalence class and serves the whole sweep from a
+// single captured record walk. The class stream is captured (or fetched)
+// once through the two-tier trace cache; all k timing configurations are
+// then stepped down the shared stream by cpu.RunSourceMany — one walk per
+// distinct penalty pair, since RT penalties are baked into the replayer.
+// Each cell's result is streamed as a JSON line the moment it lands, and a
+// terminal summary line reconciles cells issued/done/trapped/aborted with
+// the cache-hit provenance.
+//
+// The byte-identity contract extends to batches: a cell's result object is
+// byte-for-byte the result field of the equivalent single /v1/jobs
+// response, because both are produced by the same compile → capture →
+// replay → payload path and encoded with the same HTML-escaping-off
+// encoder.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/emu"
+)
+
+// maxBatchCells bounds one batch; larger submissions answer 400. The cap
+// keeps a single queue slot from smuggling unbounded work past admission
+// control: a 64-cell sweep is one slot, a 1000-cell one is many batches.
+const maxBatchCells = 64
+
+// BatchRequest is the POST /v1/batches body: a sweep of jobs that must all
+// belong to one functional-equivalence class (same program image,
+// productions, register presets, budget, and engine geometry — exactly the
+// trace-cache key). Cells may differ in any timing knob: machine spec, DISE
+// mode, cache sizes, RT penalties, plus the disasm/trace_n extras.
+type BatchRequest struct {
+	Jobs []SubmitRequest `json:"jobs"`
+
+	// TimeoutMS caps the whole batch's wall-clock time (0 = server default,
+	// bounded above by it). Per-cell timeout_ms must be zero: the batch is
+	// one scheduling unit.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchCell is one streamed per-cell line. Index is the cell's position in
+// the request's jobs array (cells land in penalty-group order, not
+// necessarily index order). Result is byte-identical to the result field of
+// the equivalent single-job response.
+type BatchCell struct {
+	Index   int            `json:"index"`
+	Outcome string         `json:"outcome"` // done | trapped
+	Result  *ResultPayload `json:"result"`
+}
+
+// BatchSummary is the terminal line of a batch stream. Done + Trapped +
+// Aborted always equals Cells; Aborted is non-zero exactly when Error is
+// set (timeout, cancellation, or drain ended the batch early).
+type BatchSummary struct {
+	ID      string `json:"batch_id"`
+	Outcome string `json:"batch_outcome"` // done | unavailable | timeout | cancelled
+	Cells   int    `json:"cells"`
+	Done    int    `json:"cells_ok"`
+	Trapped int    `json:"cells_trap"`
+	Aborted int    `json:"cells_aborted"`
+	// Cache is the provenance of the class stream: "memory", "disk", or
+	// "capture" (the batch captured it now).
+	Cache   string `json:"cache"`
+	QueueUS int64  `json:"queue_us"`
+	RunUS   int64  `json:"run_us"`
+	Error   string `json:"error,omitempty"`
+}
+
+// BatchLine is one application/x-ndjson line of a batch response: every
+// line carries exactly one of cell or summary, and the summary is always
+// last.
+type BatchLine struct {
+	Cell    *BatchCell    `json:"cell,omitempty"`
+	Summary *BatchSummary `json:"summary,omitempty"`
+}
+
+// batchState is the worker<->handler rendezvous for one admitted batch.
+// The worker sends finished cells on lines (buffered to len(cells), so a
+// slow reader never blocks the worker) and job.finish closes it; the
+// handler streams lines as they arrive and reads the tallies after done.
+type batchState struct {
+	cells []*compiledJob
+	lines chan BatchCell
+
+	// Written by the worker before finish, read by the handler after done.
+	prov    cacheProv
+	done    int
+	trapped int
+}
+
+// compileBatch validates a batch: 1..maxBatchCells cells, each one a valid
+// cacheable job, all in the class of the first. Every error is a 400.
+func compileBatch(req *BatchRequest, defaultBudget int64) ([]*compiledJob, error) {
+	if req.TimeoutMS < 0 {
+		return nil, fmt.Errorf("timeout_ms must be non-negative")
+	}
+	if len(req.Jobs) == 0 {
+		return nil, fmt.Errorf("a batch needs at least one job")
+	}
+	if len(req.Jobs) > maxBatchCells {
+		return nil, fmt.Errorf("batch of %d cells exceeds the limit of %d", len(req.Jobs), maxBatchCells)
+	}
+	cells := make([]*compiledJob, len(req.Jobs))
+	for i := range req.Jobs {
+		var c *compiledJob
+		var err error
+		if i > 0 && sameClassFields(&req.Jobs[i], &req.Jobs[0]) {
+			// The common sweep shape: the cell repeats jobs[0]'s functional
+			// fields verbatim and varies only timing knobs, so its class key
+			// is jobs[0]'s by construction. Reuse the compiled program and
+			// key instead of re-assembling and re-hashing it per cell.
+			c, err = compileTimingVariant(&req.Jobs[i], cells[0])
+		} else {
+			c, err = compile(&req.Jobs[i], defaultBudget)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("jobs[%d]: %w", i, err)
+		}
+		if c.maxCycles != 0 {
+			return nil, fmt.Errorf("jobs[%d]: max_cycles is not batchable (watchdogged jobs run live; submit via /v1/jobs)", i)
+		}
+		if c.timeoutMS != 0 {
+			return nil, fmt.Errorf("jobs[%d]: set timeout_ms on the batch, not on a cell", i)
+		}
+		if i > 0 && c.key != cells[0].key {
+			return nil, fmt.Errorf("jobs[%d] is not in jobs[0]'s functional-equivalence class (program, prods, regs, budget_insts and engine geometry must match; only timing knobs may vary)", i)
+		}
+		cells[i] = c
+	}
+	return cells, nil
+}
+
+// sameClassFields reports whether a and b agree on every functional (class-
+// key) request field: program source, productions, register presets, budget,
+// and engine geometry. Timing knobs — the machine spec and the engine
+// penalties — are deliberately not compared. A false answer is never wrong,
+// only slow: the caller falls back to a full compile and the key comparison
+// decides class membership.
+func sameClassFields(a, b *SubmitRequest) bool {
+	if a.Asm != b.Asm || a.ImageB64 != b.ImageB64 || a.Bench != b.Bench ||
+		a.Prods != b.Prods || a.BudgetInsts != b.BudgetInsts {
+		return false
+	}
+	if a.Engine.PTEntries != b.Engine.PTEntries ||
+		a.Engine.RTEntries != b.Engine.RTEntries ||
+		a.Engine.RTAssoc != b.Engine.RTAssoc ||
+		a.Engine.RTBlock != b.Engine.RTBlock ||
+		a.Engine.RTPerfect != b.Engine.RTPerfect {
+		return false
+	}
+	if len(a.Regs) != len(b.Regs) {
+		return false
+	}
+	for k, v := range a.Regs {
+		if bv, ok := b.Regs[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// compileTimingVariant compiles a cell whose functional fields are verbatim
+// those of an already-compiled base cell: the program, image, productions,
+// register presets, budget, and cache key carry over; only the timing knobs
+// (machine spec, engine penalties) and the per-cell extras are resolved. The
+// validation mirrors compile for exactly the fields it resolves.
+func compileTimingVariant(req *SubmitRequest, base *compiledJob) (*compiledJob, error) {
+	j := &compiledJob{
+		prog:      base.prog,
+		image:     base.image,
+		prods:     base.prods,
+		regs:      base.regs,
+		budget:    base.budget,
+		maxCycles: req.MaxCycles,
+		timeoutMS: req.TimeoutMS,
+		disasm:    req.Disasm,
+		traceN:    req.TraceN,
+		key:       base.key,
+		cacheable: true,
+	}
+	if j.maxCycles < 0 || j.timeoutMS < 0 || j.traceN < 0 {
+		return nil, fmt.Errorf("budget_insts, max_cycles, timeout_ms and trace_n must be non-negative")
+	}
+	if j.traceN > maxTraceN {
+		return nil, fmt.Errorf("trace_n %d exceeds the limit of %d", j.traceN, maxTraceN)
+	}
+	var err error
+	if j.ecfg, err = engineConfig(req.Engine); err != nil {
+		return nil, err
+	}
+	if j.ccfg, err = cpuConfig(req.Machine); err != nil {
+		return nil, err
+	}
+	j.ccfg.MaxCycles = j.maxCycles
+	return j, nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	id := fmt.Sprintf("batch-%06d", s.bseq.Add(1))
+
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req BatchRequest
+	if err := dec.Decode(&req); err != nil {
+		s.reject(w, r, id, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err), &s.metrics.invalid, t0)
+		return
+	}
+	cells, err := compileBatch(&req, s.cfg.DefaultBudget)
+	if err != nil {
+		s.reject(w, r, id, http.StatusBadRequest, err, &s.metrics.invalid, t0)
+		return
+	}
+	s.metrics.compileLat.Observe(time.Since(t0).Microseconds())
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = min(time.Duration(req.TimeoutMS)*time.Millisecond, s.cfg.MaxTimeout)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	b := &batchState{cells: cells, lines: make(chan BatchCell, len(cells))}
+	j := &job{c: cells[0], ctx: ctx, enq: time.Now(), done: make(chan struct{}), batch: b}
+	if err := s.sched.submit(j); err != nil {
+		switch {
+		case errors.Is(err, errQueueFull):
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+			s.reject(w, r, id, http.StatusTooManyRequests, err, &s.metrics.rejected, t0)
+		default:
+			s.reject(w, r, id, http.StatusServiceUnavailable, err, &s.metrics.unavail, t0)
+		}
+		return
+	}
+	s.metrics.batches.Add(1)
+	s.metrics.batchCells.Add(int64(len(cells)))
+	s.metrics.cellsPerBatch.Observe(int64(len(cells)))
+
+	// Hold the response status until the first cell lands: a batch that dies
+	// before producing anything (drained remnant, capture timeout, client
+	// gone while queued) still gets a proper non-200 with the single-job
+	// envelope, so clients keep their typed-error and retry semantics.
+	first, streaming := <-b.lines
+	if !streaming {
+		<-j.done
+		status, outcome := batchFailure(j.err)
+		s.accountAborted(len(cells), outcome)
+		writeJSON(w, status, &SubmitResponse{ID: id, Outcome: outcome, QueueUS: j.queueUS, RunUS: j.runUS, Error: j.err.Error()})
+		s.logRequest(r, id, status, outcome, false, t0)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
+	enc.SetEscapeHTML(false)
+	fl, _ := w.(http.Flusher)
+	emit := func(line *BatchLine) {
+		_ = enc.Encode(line)
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	emit(&BatchLine{Cell: &first})
+	for cell := range b.lines {
+		emit(&BatchLine{Cell: &cell})
+	}
+	<-j.done
+
+	sum := &BatchSummary{
+		ID:      id,
+		Outcome: "done",
+		Cells:   len(cells),
+		Done:    b.done,
+		Trapped: b.trapped,
+		Aborted: len(cells) - b.done - b.trapped,
+		Cache:   b.prov.String(),
+		QueueUS: j.queueUS,
+		RunUS:   j.runUS,
+	}
+	if j.err != nil {
+		_, sum.Outcome = batchFailure(j.err)
+		sum.Error = j.err.Error()
+	}
+	if sum.Aborted > 0 {
+		s.accountAborted(sum.Aborted, sum.Outcome)
+	}
+	emit(&BatchLine{Summary: sum})
+	s.metrics.streamBytes.Add(cw.n)
+	s.logRequest(r, id, http.StatusOK, sum.Outcome, b.prov.hit(), t0)
+}
+
+// batchFailure maps a batch-terminating error to the HTTP status (used only
+// before the stream starts) and the outcome word (used in both the
+// pre-stream envelope and the in-stream summary).
+func batchFailure(err error) (int, string) {
+	switch {
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable, "unavailable"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout"
+	default:
+		return http.StatusRequestTimeout, "cancelled"
+	}
+}
+
+// accountAborted books n admitted-but-never-answered cells: they are
+// aborted in the batch ledger and land in the jobs counter of the batch's
+// failure outcome, so the jobs and batch_* totals reconcile exactly.
+func (s *Server) accountAborted(n int, outcome string) {
+	s.metrics.cellsAborted.Add(int64(n))
+	switch outcome {
+	case "unavailable":
+		s.metrics.unavail.Add(int64(n))
+	case "timeout":
+		s.metrics.timedOut.Add(int64(n))
+	default:
+		s.metrics.cancelled.Add(int64(n))
+	}
+}
+
+// runBatch executes one admitted batch on a worker: one trace-cache visit
+// for the shared class, then one RunSourceMany record walk per distinct
+// penalty pair. Cells stream out as they finish; cancellation (client
+// disconnect, deadline, drain) stops the walk and leaves the remaining
+// cells to be tallied as aborted by the handler.
+func (s *Server) runBatch(j *job) {
+	start := time.Now()
+	j.queueUS = start.Sub(j.enq).Microseconds()
+	s.metrics.queueLat.Observe(j.queueUS)
+	b := j.batch
+	finish := func(err error) {
+		j.runUS = time.Since(start).Microseconds()
+		s.metrics.runLat.Observe(j.runUS)
+		j.finish(nil, b.prov.hit(), err)
+	}
+
+	if err := j.ctx.Err(); err != nil {
+		finish(err)
+		return
+	}
+	c0 := b.cells[0]
+	tr, es, prov, err := s.cache.do(c0.key, s.captureFunc(j.ctx, c0))
+	b.prov = prov
+	if err != nil {
+		finish(err)
+		return
+	}
+
+	// Group cells by RT penalty pair: penalties are applied by the replayer,
+	// so cells that disagree on them cannot share one walk. Within a group,
+	// RunSourceMany steps every configuration down a single pass over the
+	// shared record stream. The common case — a machine-knob sweep — is one
+	// group, one walk.
+	type penGroup struct {
+		miss, compose int
+		idx           []int
+	}
+	var groups []*penGroup
+	for i, c := range b.cells {
+		var g *penGroup
+		for _, cand := range groups {
+			if cand.miss == c.ecfg.MissPenalty && cand.compose == c.ecfg.ComposePenalty {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &penGroup{miss: c.ecfg.MissPenalty, compose: c.ecfg.ComposePenalty}
+			groups = append(groups, g)
+		}
+		g.idx = append(g.idx, i)
+	}
+
+	for _, g := range groups {
+		cfgs := make([]cpu.Config, len(g.idx))
+		for k, i := range g.idx {
+			cfgs[k] = b.cells[i].ccfg
+			cfgs[k].Ctx = j.ctx
+		}
+		results := cpu.RunSourceMany(tr.Replay(g.miss, g.compose), cfgs)
+		for k, i := range g.idx {
+			res := results[k]
+			if errors.Is(res.Err, emu.ErrCancelled) {
+				// The walk was cut short; every unemitted cell is aborted.
+				err := context.Cause(j.ctx)
+				if err == nil {
+					err = res.Err
+				}
+				finish(err)
+				return
+			}
+			c := b.cells[i]
+			p := c.payload(res, es, tr.Excerpt(c.traceN))
+			cell := BatchCell{Index: i, Outcome: "done", Result: p}
+			if p.Trap != "" {
+				cell.Outcome = "trapped"
+				b.trapped++
+				s.metrics.cellsTrapped.Add(1)
+				s.metrics.trapped.Add(1)
+			} else {
+				b.done++
+				s.metrics.cellsDone.Add(1)
+				s.metrics.done.Add(1)
+			}
+			b.lines <- cell
+		}
+	}
+	finish(nil)
+}
+
+// countingWriter tallies the bytes written through it, for the
+// stream_bytes metric.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

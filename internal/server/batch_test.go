@@ -1,0 +1,430 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// postBatch submits a batch and decodes the ndjson stream into its cell
+// lines and terminal summary. Cell results stay raw for byte-identity
+// checks. A non-200 answer comes back as the single-job envelope instead.
+type rawBatchCell struct {
+	Index   int             `json:"index"`
+	Outcome string          `json:"outcome"`
+	Result  json.RawMessage `json:"result"`
+}
+
+func postBatch(t *testing.T, ts *httptest.Server, req *BatchRequest) (int, []rawBatchCell, *BatchSummary, *rawResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/batches", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var envelope rawResponse
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+			t.Fatalf("decoding non-200 batch envelope: %v", err)
+		}
+		return resp.StatusCode, nil, nil, &envelope
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("batch Content-Type = %q, want application/x-ndjson", ct)
+	}
+	var cells []rawBatchCell
+	var summary *BatchSummary
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line struct {
+			Cell    *rawBatchCell `json:"cell"`
+			Summary *BatchSummary `json:"summary"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			break
+		}
+		switch {
+		case summary != nil:
+			t.Fatal("batch stream continued past the summary line")
+		case line.Cell != nil:
+			cells = append(cells, *line.Cell)
+		case line.Summary != nil:
+			summary = line.Summary
+		default:
+			t.Fatal("batch line with neither cell nor summary")
+		}
+	}
+	if summary == nil {
+		t.Fatal("batch stream ended without a summary line")
+	}
+	return resp.StatusCode, cells, summary, nil
+}
+
+// TestBatchByteIdentity is the tentpole acceptance check, table-driven: a
+// sweep of timing configurations served as one batch must yield, cell for
+// cell, the exact bytes of the equivalent single /v1/jobs responses —
+// whether the batch captured the stream or the singles did first.
+func TestBatchByteIdentity(t *testing.T) {
+	sweep := func() []SubmitRequest {
+		var jobs []SubmitRequest
+		add := func(mut func(*SubmitRequest)) {
+			r := SmokeRequest()
+			mut(r)
+			jobs = append(jobs, *r)
+		}
+		add(func(r *SubmitRequest) {})
+		add(func(r *SubmitRequest) { r.Machine.Width = 1 })
+		add(func(r *SubmitRequest) { r.Machine.Width = 8; r.Machine.ROB = 256 })
+		add(func(r *SubmitRequest) { r.Machine.DiseMode = "stall" })
+		add(func(r *SubmitRequest) { r.Machine.DiseMode = "pipe"; r.Machine.PipeDepth = 20 })
+		add(func(r *SubmitRequest) { r.Machine.ICacheKB = -1; r.Machine.DCacheKB = 4 })
+		add(func(r *SubmitRequest) { r.Engine.MissPenalty = 60 })
+		add(func(r *SubmitRequest) { r.Engine.MissPenalty = 60; r.Machine.Width = 8 })
+		add(func(r *SubmitRequest) { r.Engine.ComposePenalty = 300; r.Disasm = true; r.TraceN = 6 })
+		return jobs
+	}
+
+	for _, tc := range []struct {
+		name       string
+		batchFirst bool
+		wantCache  string
+	}{
+		{"batch captures", true, "capture"},
+		{"batch hits memory", false, "memory"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ts, _ := newTestServer(t, quietConfig())
+			jobs := sweep()
+
+			single := make([]json.RawMessage, len(jobs))
+			runSingles := func() {
+				for i := range jobs {
+					status, _, resp := post(t, ts, &jobs[i])
+					if status != http.StatusOK {
+						t.Fatalf("single job %d: status %d (%s)", i, status, resp.Error)
+					}
+					single[i] = resp.Result
+				}
+			}
+			if !tc.batchFirst {
+				runSingles()
+			}
+
+			status, cells, sum, _ := postBatch(t, ts, &BatchRequest{Jobs: jobs})
+			if status != http.StatusOK {
+				t.Fatalf("batch status %d", status)
+			}
+			if tc.batchFirst {
+				runSingles()
+			}
+
+			if len(cells) != len(jobs) {
+				t.Fatalf("batch streamed %d cells, want %d", len(cells), len(jobs))
+			}
+			seen := make(map[int]bool)
+			for _, c := range cells {
+				if seen[c.Index] {
+					t.Fatalf("cell %d streamed twice", c.Index)
+				}
+				seen[c.Index] = true
+				if c.Outcome != "done" {
+					t.Errorf("cell %d outcome %q, want done", c.Index, c.Outcome)
+				}
+				if !bytes.Equal(c.Result, single[c.Index]) {
+					t.Errorf("cell %d not byte-identical to its single-job answer:\nbatch:  %s\nsingle: %s",
+						c.Index, c.Result, single[c.Index])
+				}
+			}
+			if sum.Cells != len(jobs) || sum.Done != len(jobs) || sum.Trapped != 0 || sum.Aborted != 0 {
+				t.Errorf("summary ledger %+v does not reconcile with %d done cells", sum, len(jobs))
+			}
+			if sum.Outcome != "done" || sum.Cache != tc.wantCache {
+				t.Errorf("summary outcome=%q cache=%q, want done/%s", sum.Outcome, sum.Cache, tc.wantCache)
+			}
+
+			sp := getStats(t, ts)
+			if sp.Batches.Batches != 1 || sp.Batches.Cells != int64(len(jobs)) ||
+				sp.Batches.CellsDone != int64(len(jobs)) || sp.Batches.CellsTrapped != 0 || sp.Batches.CellsAborted != 0 {
+				t.Errorf("batch counters %+v, want 1 batch / %d done cells", sp.Batches, len(jobs))
+			}
+			if sp.Batches.StreamBytes == 0 || sp.Batches.CellsPerBatch.Count != 1 {
+				t.Errorf("stream_bytes=%d cells_per_batch.count=%d, want bytes > 0 and one observation",
+					sp.Batches.StreamBytes, sp.Batches.CellsPerBatch.Count)
+			}
+			// Reconciliation with the jobs counters: every batch cell is a
+			// served job, on top of the len(jobs) singles.
+			if want := int64(2 * len(jobs)); sp.Jobs.Done != want {
+				t.Errorf("jobs.done = %d, want %d (singles + batch cells)", sp.Jobs.Done, want)
+			}
+			// One capture total, whichever side ran first.
+			if sp.Cache.Misses != 1 {
+				t.Errorf("cache misses = %d, want 1 (one shared capture)", sp.Cache.Misses)
+			}
+		})
+	}
+}
+
+// TestBatchTrappedCells streams a sweep whose shared stream ends in a
+// budget trap: every cell must answer trapped, with the ledger and the
+// trapped counters agreeing.
+func TestBatchTrappedCells(t *testing.T) {
+	ts, _ := newTestServer(t, quietConfig())
+	job := SubmitRequest{Bench: "gzip", BudgetInsts: 20000}
+	wide := job
+	wide.Machine.Width = 8
+	status, cells, sum, _ := postBatch(t, ts, &BatchRequest{Jobs: []SubmitRequest{job, wide}})
+	if status != http.StatusOK {
+		t.Fatalf("batch status %d", status)
+	}
+	for _, c := range cells {
+		if c.Outcome != "trapped" {
+			t.Errorf("cell %d outcome %q, want trapped", c.Index, c.Outcome)
+		}
+	}
+	if sum.Trapped != 2 || sum.Done != 0 || sum.Outcome != "done" {
+		t.Errorf("summary %+v, want 2 trapped cells in a completed batch", sum)
+	}
+	if sp := getStats(t, ts); sp.Batches.CellsTrapped != 2 || sp.Jobs.Trapped != 2 {
+		t.Errorf("trapped counters: batch=%d jobs=%d, want 2/2", sp.Batches.CellsTrapped, sp.Jobs.Trapped)
+	}
+}
+
+// TestBatchValidation walks the admission table: malformed sweeps are 400s
+// with a cell-indexed diagnostic, and a full queue is a 429 that does not
+// touch the batch counters.
+func TestBatchValidation(t *testing.T) {
+	ts, _ := newTestServer(t, quietConfig())
+	base := func() SubmitRequest { return *SmokeRequest() }
+
+	cases := []struct {
+		name string
+		req  *BatchRequest
+	}{
+		{"no jobs", &BatchRequest{}},
+		{"negative timeout", &BatchRequest{Jobs: []SubmitRequest{base()}, TimeoutMS: -1}},
+		{"cell timeout", &BatchRequest{Jobs: []SubmitRequest{{Asm: SmokeAsm, TimeoutMS: 10}}}},
+		{"cell watchdog", &BatchRequest{Jobs: []SubmitRequest{{Asm: SmokeAsm, MaxCycles: 1000}}}},
+		{"bad cell", &BatchRequest{Jobs: []SubmitRequest{{Asm: "not a program"}}}},
+		{"budget mismatch", &BatchRequest{Jobs: []SubmitRequest{base(), {Asm: SmokeAsm, Prods: SmokeProds, BudgetInsts: 777}}}},
+		{"program mismatch", &BatchRequest{Jobs: []SubmitRequest{base(), {Bench: "gzip"}}}},
+		{"geometry mismatch", &BatchRequest{Jobs: []SubmitRequest{base(), {Asm: SmokeAsm, Prods: SmokeProds, Engine: EngineSpec{RTPerfect: true}}}}},
+		{"regs mismatch", &BatchRequest{Jobs: []SubmitRequest{base(), {Asm: SmokeAsm, Prods: SmokeProds, Regs: map[string]uint64{"$dr1": 7}}}}},
+		{"bad reg name", &BatchRequest{Jobs: []SubmitRequest{{Asm: SmokeAsm, Regs: map[string]uint64{"$r1": 7}}}}},
+	}
+	over := &BatchRequest{}
+	for range maxBatchCells + 1 {
+		over.Jobs = append(over.Jobs, base())
+	}
+	cases = append(cases, struct {
+		name string
+		req  *BatchRequest
+	}{"too many cells", over})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _, _, envelope := postBatch(t, ts, tc.req)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", status)
+			}
+			if envelope.Outcome != "invalid" || envelope.Error == "" {
+				t.Fatalf("envelope %+v, want an invalid outcome with a diagnostic", envelope)
+			}
+		})
+	}
+	if sp := getStats(t, ts); sp.Batches.Batches != 0 || sp.Batches.Cells != 0 {
+		t.Errorf("rejected batches leaked into the admitted counters: %+v", sp.Batches)
+	}
+}
+
+// TestBatchCancelDuringCapture extends the quarantine coverage to batches:
+// a client that disconnects while the batch is still capturing frees the
+// worker, aborts every cell, and leaves nothing in the cache — the
+// truncated stream is never stored.
+func TestBatchCancelDuringCapture(t *testing.T) {
+	ts, _ := newTestServer(t, quietConfig())
+
+	req := &BatchRequest{Jobs: []SubmitRequest{
+		{Asm: spinAsm, BudgetInsts: 1 << 40},
+		{Asm: spinAsm, BudgetInsts: 1 << 40, Machine: MachineSpec{Width: 8}},
+	}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/batches", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := ts.Client().Do(hreq)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	waitStats(t, ts, "batch capturing", func(sp *StatsPayload) bool { return sp.Running == 1 })
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled batch request returned a response, want a transport error")
+	}
+	waitStats(t, ts, "worker freed", func(sp *StatsPayload) bool { return sp.Running == 0 })
+
+	sp := getStats(t, ts)
+	if sp.Cache.Entries != 0 || sp.Cache.Misses != 0 {
+		t.Errorf("cancelled capture was stored: %+v", sp.Cache)
+	}
+	if sp.Batches.CellsAborted != 2 || sp.Jobs.Cancelled != 2 {
+		t.Errorf("aborted accounting: cells_aborted=%d jobs.cancelled=%d, want 2/2",
+			sp.Batches.CellsAborted, sp.Jobs.Cancelled)
+	}
+	if sp.Batches.Cells != sp.Batches.CellsDone+sp.Batches.CellsTrapped+sp.Batches.CellsAborted {
+		t.Errorf("cell ledger does not reconcile: %+v", sp.Batches)
+	}
+
+	// The class is intact: a fresh, affordable batch in a different class
+	// (small budget) is served normally afterwards — the slot is truly free.
+	status, cells, _, _ := postBatch(t, ts, &BatchRequest{Jobs: []SubmitRequest{{Asm: spinAsm, BudgetInsts: 1000}}})
+	if status != http.StatusOK || len(cells) != 1 || cells[0].Outcome != "trapped" {
+		t.Fatalf("post-cancel batch: status=%d cells=%d, want a served trapped cell", status, len(cells))
+	}
+}
+
+// TestBatchTimeout pins the pre-stream failure path: a batch whose capture
+// outlives its deadline answers a plain 504 envelope (no ndjson), with all
+// cells aborted into the timeout counter.
+func TestBatchTimeout(t *testing.T) {
+	ts, _ := newTestServer(t, quietConfig())
+	req := &BatchRequest{
+		Jobs:      []SubmitRequest{{Asm: spinAsm, BudgetInsts: 1 << 40}},
+		TimeoutMS: 1,
+	}
+	status, _, _, envelope := postBatch(t, ts, req)
+	if status != http.StatusGatewayTimeout || envelope.Outcome != "timeout" {
+		t.Fatalf("status=%d outcome=%q, want 504 timeout", status, envelope.Outcome)
+	}
+	if sp := getStats(t, ts); sp.Batches.CellsAborted != 1 || sp.Jobs.TimedOut != 1 {
+		t.Errorf("timeout accounting: cells_aborted=%d jobs.timeout=%d, want 1/1",
+			sp.Batches.CellsAborted, sp.Jobs.TimedOut)
+	}
+}
+
+// TestBatchDrainRemnant checks the drain path for batches: a queued batch
+// is failed with a clean 503 envelope and its cells land in the aborted /
+// unavailable ledgers, mirroring TestDrainUnderLoad for single jobs.
+func TestBatchDrainRemnant(t *testing.T) {
+	cfg := quietConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 4
+	ts, s := newTestServer(t, cfg)
+
+	// Occupy the worker with a budget-bounded single job.
+	inflight := make(chan int, 1)
+	go func() {
+		st, _, _ := post(t, ts, &SubmitRequest{Asm: spinAsm, BudgetInsts: 50_000_000})
+		inflight <- st
+	}()
+	waitStats(t, ts, "worker busy", func(sp *StatsPayload) bool { return sp.Running == 1 })
+
+	type batchRes struct {
+		status   int
+		envelope *rawResponse
+	}
+	queued := make(chan batchRes, 1)
+	go func() {
+		st, _, _, envelope := postBatch(t, ts, &BatchRequest{
+			Jobs:      []SubmitRequest{*SmokeRequest(), *SmokeRequest(), *SmokeRequest()},
+			TimeoutMS: 60_000,
+		})
+		queued <- batchRes{st, envelope}
+	}()
+	waitStats(t, ts, "batch queued", func(sp *StatsPayload) bool { return sp.QueueDepth == 1 })
+
+	drained := make(chan struct{})
+	go func() { s.Drain(); close(drained) }()
+
+	if r := <-queued; r.status != http.StatusServiceUnavailable || r.envelope.Outcome != "unavailable" {
+		t.Errorf("queued batch: status=%d outcome=%q, want 503 unavailable", r.status, r.envelope.Outcome)
+	}
+	<-inflight
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return")
+	}
+	if sp := getStats(t, ts); sp.Batches.CellsAborted != 3 || sp.Jobs.Unavail < 3 {
+		t.Errorf("drain accounting: cells_aborted=%d jobs.unavailable=%d, want 3 and >= 3",
+			sp.Batches.CellsAborted, sp.Jobs.Unavail)
+	}
+}
+
+// TestRegsPresets pins the new dedicated-register preset field end to end:
+// presets change the executed stream, split the cache class, and are
+// byte-identical between the batch and single paths.
+func TestRegsPresets(t *testing.T) {
+	ts, _ := newTestServer(t, quietConfig())
+
+	// $dr1 seeds the smoke program's counter productions only if the prods
+	// read it; here it is enough that the preset splits the class.
+	plain := SmokeRequest()
+	preset := SmokeRequest()
+	preset.Regs = map[string]uint64{"$dr1": 42}
+
+	if st, _, r := post(t, ts, plain); st != http.StatusOK || r.Cached {
+		t.Fatalf("plain: status=%d cached=%v", st, r.Cached)
+	}
+	if st, _, r := post(t, ts, preset); st != http.StatusOK || r.Cached {
+		t.Fatalf("preset must be its own class: status=%d cached=%v", st, r.Cached)
+	}
+	if st, _, r := post(t, ts, preset); st != http.StatusOK || !r.Cached {
+		t.Fatalf("preset repeat: status=%d cached=%v, want a hit", st, r.Cached)
+	}
+
+	status, cells, _, _ := postBatch(t, ts, &BatchRequest{Jobs: []SubmitRequest{*preset}})
+	if status != http.StatusOK || len(cells) != 1 {
+		t.Fatalf("preset batch: status=%d cells=%d", status, len(cells))
+	}
+	st, _, singleResp := post(t, ts, preset)
+	if st != http.StatusOK {
+		t.Fatal("preset single re-post failed")
+	}
+	if !bytes.Equal(cells[0].Result, singleResp.Result) {
+		t.Errorf("preset batch cell differs from single answer:\nbatch:  %s\nsingle: %s",
+			cells[0].Result, singleResp.Result)
+	}
+}
+
+// TestBatchPenaltyGroups drives one batch whose cells disagree on RT
+// penalties — forcing multiple record walks over the shared capture — and
+// checks the penalty scaling against the single-job contract.
+func TestBatchPenaltyGroups(t *testing.T) {
+	ts, _ := newTestServer(t, quietConfig())
+	base := SmokeRequest()
+	doubled := SmokeRequest()
+	doubled.Engine.MissPenalty = 60
+	status, cells, sum, _ := postBatch(t, ts, &BatchRequest{Jobs: []SubmitRequest{*base, *doubled}})
+	if status != http.StatusOK || sum.Done != 2 {
+		t.Fatalf("penalty batch: status=%d summary=%+v", status, sum)
+	}
+	var p [2]ResultPayload
+	for _, c := range cells {
+		if err := json.Unmarshal(c.Result, &p[c.Index]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p[1].DiseStalls != 2*p[0].DiseStalls {
+		t.Errorf("doubled miss penalty across groups: stalls %d vs %d", p[1].DiseStalls, p[0].DiseStalls)
+	}
+	if sp := getStats(t, ts); sp.Cache.Misses != 1 {
+		t.Errorf("penalty groups recaptured: %d misses, want 1", sp.Cache.Misses)
+	}
+}

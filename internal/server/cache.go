@@ -77,12 +77,38 @@ func newTraceCache(budget int64, disk *store.Store, log *slog.Logger) *traceCach
 	return c
 }
 
-// do returns the trace for key, capturing it via capture on first use. hit
-// reports whether the trace was served from either cache tier. A capture
-// error (cancellation, timeout) is returned without populating the entry, so
-// the next submission of the class retries: a truncated stream reflects a
-// wall-clock accident, never program content.
-func (c *traceCache) do(key cacheKey, capture func() (*trace.Trace, core.EngineStats, error)) (tr *trace.Trace, es core.EngineStats, hit bool, err error) {
+// cacheProv records which tier served a trace: the memory hot set, the
+// persistent disk tier, or a fresh capture (a miss of both). The batch
+// summary reports it verbatim as cache-hit provenance; the single-job path
+// only distinguishes hit (memory or disk) from capture.
+type cacheProv uint8
+
+const (
+	provCapture cacheProv = iota // captured now: a miss of every tier
+	provMemory                   // served from the memory hot set
+	provDisk                     // served from the persistent disk tier
+)
+
+func (p cacheProv) String() string {
+	switch p {
+	case provMemory:
+		return "memory"
+	case provDisk:
+		return "disk"
+	default:
+		return "capture"
+	}
+}
+
+// hit reports whether the trace came from either cache tier.
+func (p cacheProv) hit() bool { return p != provCapture }
+
+// do returns the trace for key, capturing it via capture on first use. prov
+// reports which tier served it. A capture error (cancellation, timeout) is
+// returned without populating the entry, so the next submission of the
+// class retries: a truncated stream reflects a wall-clock accident, never
+// program content.
+func (c *traceCache) do(key cacheKey, capture func() (*trace.Trace, core.EngineStats, error)) (tr *trace.Trace, es core.EngineStats, prov cacheProv, err error) {
 	c.mu.Lock()
 	ent := c.m[key]
 	if ent == nil {
@@ -97,14 +123,14 @@ func (c *traceCache) do(key cacheKey, capture func() (*trace.Trace, core.EngineS
 	defer ent.mu.Unlock()
 	if ent.ready {
 		c.hits.Add(1)
-		return ent.tr, ent.engine, true, nil
+		return ent.tr, ent.engine, provMemory, nil
 	}
 
 	if tr, es, ok := c.diskGet(key); ok {
 		ent.tr, ent.engine, ent.ready = tr, es, true
 		c.diskHits.Add(1)
 		c.account(key, ent)
-		return tr, es, true, nil
+		return tr, es, provDisk, nil
 	}
 
 	tr, es, err = capture()
@@ -114,13 +140,13 @@ func (c *traceCache) do(key cacheKey, capture func() (*trace.Trace, core.EngineS
 			delete(c.m, key)
 		}
 		c.mu.Unlock()
-		return nil, core.EngineStats{}, false, err
+		return nil, core.EngineStats{}, provCapture, err
 	}
 	ent.tr, ent.engine, ent.ready = tr, es, true
 	c.misses.Add(1)
 	c.diskPut(key, tr, es)
 	c.account(key, ent)
-	return tr, es, false, nil
+	return tr, es, provCapture, nil
 }
 
 // diskGet consults the persistent tier for key. ok=false covers every

@@ -6,12 +6,14 @@ import (
 	"encoding/base64"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/emu"
+	"repro/internal/isa"
 	"repro/internal/program"
 	"repro/internal/workload"
 )
@@ -53,6 +55,13 @@ type SubmitRequest struct {
 
 	// Prods is an optional DISE production file installed before the run.
 	Prods string `json:"prods,omitempty"`
+
+	// Regs presets DISE dedicated registers before the run — the ACF setup
+	// step (segment identifiers, handler addresses) that normally accompanies
+	// a production install. Keys are dedicated-register spellings ("$dr0" ..
+	// "$dr7"). Presets change the executed stream, so they are part of the
+	// job's cache key.
+	Regs map[string]uint64 `json:"regs,omitempty"`
 
 	Machine MachineSpec `json:"machine"`
 	Engine  EngineSpec  `json:"engine"`
@@ -120,11 +129,19 @@ type ResultPayload struct {
 	Trace  []string `json:"trace,omitempty"`
 }
 
+// regInit is one validated dedicated-register preset, kept sorted by
+// register so the cache key is order-independent.
+type regInit struct {
+	reg isa.Reg
+	val uint64
+}
+
 // compiledJob is a validated, executable form of a SubmitRequest.
 type compiledJob struct {
 	prog  *program.Program
 	image []byte // canonical EVRX serialization (cache key material)
 	prods string
+	regs  []regInit
 
 	ecfg core.EngineConfig
 	ccfg cpu.Config
@@ -175,6 +192,20 @@ func compile(req *SubmitRequest, defaultBudget int64) (*compiledJob, error) {
 	}
 	if len(j.prods) > maxProdsLen {
 		return nil, fmt.Errorf("prods exceeds the %d-byte limit", maxProdsLen)
+	}
+
+	for name, val := range req.Regs {
+		r := isa.RegByName(name, true)
+		if !r.IsDedicated() {
+			return nil, fmt.Errorf("regs: %q is not a dedicated register ($dr0..$dr%d)", name, isa.NumDiseRegs-1)
+		}
+		j.regs = append(j.regs, regInit{reg: r, val: val})
+	}
+	sort.Slice(j.regs, func(a, b int) bool { return j.regs[a].reg < j.regs[b].reg })
+	for i := 1; i < len(j.regs); i++ {
+		if j.regs[i].reg == j.regs[i-1].reg {
+			return nil, fmt.Errorf("regs: %s given twice", j.regs[i].reg)
+		}
 	}
 
 	if err := j.loadProgram(req); err != nil {
@@ -248,6 +279,15 @@ func (j *compiledJob) loadProgram(req *SubmitRequest) error {
 	j.image = buf.Bytes()
 	return nil
 }
+
+// Config resolves the spec against the server defaults, exactly as job
+// compilation does. Exported so clients deriving a MachineSpec from a local
+// cpu.Config can verify the round trip instead of trusting an inversion.
+func (s MachineSpec) Config() (cpu.Config, error) { return cpuConfig(s) }
+
+// Config resolves the spec against the server defaults, exactly as job
+// compilation does — the EngineSpec counterpart of MachineSpec.Config.
+func (s EngineSpec) Config() (core.EngineConfig, error) { return engineConfig(s) }
 
 func engineConfig(spec EngineSpec) (core.EngineConfig, error) {
 	cfg := core.DefaultEngineConfig()
@@ -333,20 +373,26 @@ func cpuConfig(spec MachineSpec) (cpu.Config, error) {
 }
 
 // cacheKey hashes every stream-changing dimension of the job — the program's
-// canonical image bytes, the production text, the instruction budget, and
-// the engine geometry/virtualization — exactly the equivalence-class key of
-// the experiment scheduler, made content-addressed. Timing knobs (machine
-// spec, DISE mode, penalties, deadlines) are deliberately absent: jobs that
-// differ only there replay one shared capture.
+// canonical image bytes, the production text, the dedicated-register
+// presets, the instruction budget, and the engine geometry/virtualization —
+// exactly the equivalence-class key of the experiment scheduler, made
+// content-addressed. Timing knobs (machine spec, DISE mode, penalties,
+// deadlines) are deliberately absent: jobs that differ only there replay
+// one shared capture.
 func (j *compiledJob) cacheKey() cacheKey {
 	h := sha256.New()
-	h.Write([]byte("disesrvd-trace-v1\x00"))
+	h.Write([]byte("disesrvd-trace-v2\x00"))
 	var num [8]byte
 	wi := func(v int64) {
 		binary.LittleEndian.PutUint64(num[:], uint64(v))
 		h.Write(num[:])
 	}
 	wi(j.budget)
+	wi(int64(len(j.regs)))
+	for _, ri := range j.regs {
+		wi(int64(ri.reg))
+		wi(int64(ri.val))
+	}
 	wi(int64(j.ecfg.PTEntries))
 	if j.ecfg.RTPerfect {
 		wi(-1)
@@ -372,6 +418,9 @@ func (j *compiledJob) machine() (*emu.Machine, *core.Controller) {
 	m := emu.New(j.prog)
 	if j.budget > 0 {
 		m.SetBudget(j.budget)
+	}
+	for _, ri := range j.regs {
+		m.SetReg(ri.reg, ri.val)
 	}
 	if j.prods == "" {
 		return m, nil

@@ -21,6 +21,21 @@ type metrics struct {
 	compileLat stats.Histogram // request decode+compile, µs
 	queueLat   stats.Histogram // admission to worker pickup, µs
 	runLat     stats.Histogram // simulation (capture/replay/live), µs
+
+	// Batch counters. An admitted batch bumps batches/batchCells once; every
+	// admitted cell then lands in exactly one of cellsDone, cellsTrapped, or
+	// cellsAborted, so batchCells == cellsDone + cellsTrapped + cellsAborted
+	// at rest. Done and trapped cells also bump the jobs done/trapped
+	// counters (a cell is a served job); aborted cells bump the jobs counter
+	// of the batch's failure outcome. Batch admission failures count once,
+	// like a single job's.
+	batches       atomic.Int64
+	batchCells    atomic.Int64
+	cellsDone     atomic.Int64
+	cellsTrapped  atomic.Int64
+	cellsAborted  atomic.Int64
+	streamBytes   atomic.Int64    // ndjson bytes written by /v1/batches
+	cellsPerBatch stats.Histogram // admitted batch sizes
 }
 
 // JobStats counts finished jobs by outcome.
@@ -41,6 +56,19 @@ type LatencyStats struct {
 	RunUS     stats.HistSnapshot `json:"run_us"`
 }
 
+// BatchStats counts /v1/batches work. batch_cells == cells_done +
+// cells_trapped + cells_aborted once all admitted batches have finished;
+// done and trapped cells are also counted in the jobs done/trapped totals.
+type BatchStats struct {
+	Batches       int64              `json:"batches"`
+	Cells         int64              `json:"batch_cells"`
+	CellsDone     int64              `json:"cells_done"`
+	CellsTrapped  int64              `json:"cells_trapped"`
+	CellsAborted  int64              `json:"cells_aborted"`
+	StreamBytes   int64              `json:"stream_bytes"`
+	CellsPerBatch stats.HistSnapshot `json:"cells_per_batch"`
+}
+
 // StatsPayload is the GET /stats response body.
 type StatsPayload struct {
 	QueueDepth int  `json:"queue_depth"`
@@ -50,6 +78,7 @@ type StatsPayload struct {
 	Draining   bool `json:"draining"`
 
 	Jobs    JobStats     `json:"jobs"`
+	Batches BatchStats   `json:"batches"`
 	Cache   CacheStats   `json:"cache"`
 	Latency LatencyStats `json:"latency"`
 }
@@ -63,6 +92,18 @@ func (m *metrics) jobs() JobStats {
 		Unavail:   m.unavail.Load(),
 		TimedOut:  m.timedOut.Load(),
 		Cancelled: m.cancelled.Load(),
+	}
+}
+
+func (m *metrics) batchStats() BatchStats {
+	return BatchStats{
+		Batches:       m.batches.Load(),
+		Cells:         m.batchCells.Load(),
+		CellsDone:     m.cellsDone.Load(),
+		CellsTrapped:  m.cellsTrapped.Load(),
+		CellsAborted:  m.cellsAborted.Load(),
+		StreamBytes:   m.streamBytes.Load(),
+		CellsPerBatch: m.cellsPerBatch.Snapshot(),
 	}
 }
 

@@ -22,6 +22,11 @@ type job struct {
 	ctx context.Context
 	enq time.Time
 
+	// batch, when non-nil, marks this queue slot as a /v1/batches submission:
+	// c is the first cell (shared class representative) and the worker streams
+	// per-cell results through batch.lines instead of filling res.
+	batch *batchState
+
 	res     *ResultPayload
 	cached  bool
 	err     error
@@ -30,8 +35,14 @@ type job struct {
 	done    chan struct{}
 }
 
+// finish completes the job exactly once. For batch jobs it also closes the
+// cell stream, so the streaming handler unblocks on every completion path —
+// including the drain-remnant one, where no cell was ever run.
 func (j *job) finish(res *ResultPayload, cached bool, err error) {
 	j.res, j.cached, j.err = res, cached, err
+	if j.batch != nil {
+		close(j.batch.lines)
+	}
 	close(j.done)
 }
 

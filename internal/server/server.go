@@ -114,6 +114,7 @@ type Server struct {
 	cache   *traceCache
 	metrics metrics
 	seq     atomic.Int64
+	bseq    atomic.Int64
 
 	probeStop chan struct{}
 	stopOnce  sync.Once
@@ -180,6 +181,7 @@ func (s *Server) Drain() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/batches", s.handleBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
@@ -273,8 +275,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // runJob executes one admitted job on a worker. Cacheable jobs go through
 // the trace cache — capture on first sight, replay always — so the timing
 // path (and therefore the result bytes) is the same on hit and miss.
-// Watchdogged jobs (MaxCycles > 0) run live and uncached.
+// Watchdogged jobs (MaxCycles > 0) run live and uncached. Batch jobs take
+// their own path: one capture, one record walk per penalty group, k cells.
 func (s *Server) runJob(j *job) {
+	if j.batch != nil {
+		s.runBatch(j)
+		return
+	}
 	start := time.Now()
 	j.queueUS = start.Sub(j.enq).Microseconds()
 	s.metrics.queueLat.Observe(j.queueUS)
@@ -311,9 +318,26 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 
-	tr, es, hit, err := s.cache.do(c.key, func() (*trace.Trace, core.EngineStats, error) {
+	tr, es, prov, err := s.cache.do(c.key, s.captureFunc(j.ctx, c))
+	if err != nil {
+		finish(nil, false, err)
+		return
+	}
+	res := cpu.RunSource(tr.Replay(c.ecfg.MissPenalty, c.ecfg.ComposePenalty), cfg)
+	if errors.Is(res.Err, emu.ErrCancelled) {
+		finish(nil, prov.hit(), res.Err)
+		return
+	}
+	finish(c.payload(res, es, tr.Excerpt(c.traceN)), prov.hit(), nil)
+}
+
+// captureFunc builds the cache-miss capture closure for a compiled job: a
+// cancellable functional run recorded by internal/trace. A cancelled capture
+// is reported as an error, never stored.
+func (s *Server) captureFunc(ctx context.Context, c *compiledJob) func() (*trace.Trace, core.EngineStats, error) {
+	return func() (*trace.Trace, core.EngineStats, error) {
 		m, ctrl := c.machine()
-		tr := trace.CaptureContext(j.ctx, m)
+		tr := trace.CaptureContext(ctx, m)
 		if errors.Is(tr.Err(), emu.ErrCancelled) {
 			return nil, core.EngineStats{}, tr.Err()
 		}
@@ -322,17 +346,7 @@ func (s *Server) runJob(j *job) {
 			es = ctrl.Engine().Stats
 		}
 		return tr, es, nil
-	})
-	if err != nil {
-		finish(nil, false, err)
-		return
 	}
-	res := cpu.RunSource(tr.Replay(c.ecfg.MissPenalty, c.ecfg.ComposePenalty), cfg)
-	if errors.Is(res.Err, emu.ErrCancelled) {
-		finish(nil, hit, res.Err)
-		return
-	}
-	finish(c.payload(res, es, tr.Excerpt(c.traceN)), hit, nil)
 }
 
 // retryAfter renders the 429 Retry-After hint from the live queue state.
@@ -395,6 +409,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Workers:    s.cfg.Workers,
 		Draining:   s.sched.isDraining(),
 		Jobs:       s.metrics.jobs(),
+		Batches:    s.metrics.batchStats(),
 		Cache:      s.cache.stats(),
 		Latency:    s.metrics.latency(),
 	})

@@ -2,6 +2,7 @@ package trace_test
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/asm"
@@ -192,24 +193,47 @@ main:
 // same trace. This is the guard that lets the sweep harnesses group their
 // timing-only cells into one pass.
 func TestRunSourceManyMatchesIndividualReplays(t *testing.T) {
-	ecfg := core.DefaultEngineConfig()
-	ecfg.RTEntries = 512
-	ecfg.RTAssoc = 2
-	tr := trace.Capture(newMachine(t, mixedSrc, &ecfg))
+	assertManyMatchesIndividual(t)
+}
 
+// TestRunSourceManyParallelWalksMatch forces the multi-core walk fan-out —
+// bypassed whenever GOMAXPROCS is 1, as on a single-core CI container —
+// and requires the concurrently-walked results to stay byte-identical too.
+func TestRunSourceManyParallelWalksMatch(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	assertManyMatchesIndividual(t)
+}
+
+// manySweepConfigs is the config variety the grouped-walk identity tests
+// sweep: distinct cache geometries (two sizes plus perfect), widths
+// including 1 and a non-power-of-two, a small ROB, and every DISE mode.
+func manySweepConfigs() []cpu.Config {
 	small := cpu.DefaultConfig()
 	small.Mem.IL1.Size = 1 << 10
 	narrow := cpu.DefaultConfig()
 	narrow.Width = 2
 	narrow.ROB = 32
+	scalar := cpu.DefaultConfig()
+	scalar.Width = 1
+	odd := cpu.DefaultConfig()
+	odd.Width = 3
 	perf := cpu.DefaultConfig()
 	perf.Mem.IL1.Perfect = true
 	stallMode := cpu.DefaultConfig()
 	stallMode.DiseMode = cpu.DiseStall
 	pipe := cpu.DefaultConfig()
 	pipe.DiseMode = cpu.DisePipe
-	cfgs := []cpu.Config{cpu.DefaultConfig(), small, narrow, perf, stallMode, pipe}
+	return []cpu.Config{cpu.DefaultConfig(), small, narrow, scalar, odd, perf, stallMode, pipe}
+}
 
+func assertManyMatchesIndividual(t *testing.T) {
+	t.Helper()
+	ecfg := core.DefaultEngineConfig()
+	ecfg.RTEntries = 512
+	ecfg.RTAssoc = 2
+	tr := trace.Capture(newMachine(t, mixedSrc, &ecfg))
+
+	cfgs := manySweepConfigs()
 	got := cpu.RunSourceMany(tr.Replay(ecfg.MissPenalty, ecfg.ComposePenalty), cfgs)
 	if len(got) != len(cfgs) {
 		t.Fatalf("got %d results for %d configs", len(got), len(cfgs))
