@@ -3,7 +3,7 @@ FUZZTIME ?= 10s
 BASE     ?= BENCH_PR7.json
 OUT      ?= BENCH_PR8.json
 
-.PHONY: all build vet test race race-experiments bench benchcmp check-experiments check-experiments-batch serve-smoke load-smoke batch-smoke store-smoke check-docs fuzz verify clean
+.PHONY: all build vet test race race-experiments bench benchcmp check-experiments check-experiments-batch serve-smoke load-smoke batch-smoke store-smoke fleet-smoke check-docs fuzz verify clean
 
 all: build test
 
@@ -83,6 +83,14 @@ batch-smoke:
 store-smoke:
 	$(GO) run ./cmd/storesmoke
 
+# Sharded-serving smoke: three real disesrvd nodes SIGHUPed onto a shard
+# map, consistent-hash routed load with peer fetch and write-through
+# replication, a kill -9 of one node mid-load with rerouting, a warm rejoin
+# at a new epoch, and hedged requests — every response byte-identical to the
+# single-node goldens and every client/fleet ledger reconciled exactly.
+fleet-smoke:
+	$(GO) run ./cmd/fleetsmoke
+
 # Docs drift gate: every cmd/* flag documented in README (and vice versa),
 # every internal/server route documented in docs/API.md, and every package
 # carrying a real package comment.
@@ -100,7 +108,7 @@ fuzz:
 	$(GO) test . -run '^$$' -fuzz '^FuzzRun$$' -fuzztime $(FUZZTIME)
 	$(GO) test . -run '^$$' -fuzz '^FuzzTranslated$$' -fuzztime $(FUZZTIME)
 
-verify: build vet race race-experiments serve-smoke load-smoke batch-smoke store-smoke check-docs fuzz
+verify: build vet race race-experiments serve-smoke load-smoke batch-smoke store-smoke fleet-smoke check-docs fuzz
 
 clean:
 	rm -f disefault experiments_full.txt.new

@@ -10,8 +10,13 @@
 // for its (entry, class). -json writes a benchjson-compatible report, so
 // two runs diff with `benchjson -compare old.json new.json`.
 //
+// With -fleet pointing at a shard-map file (the same JSON the daemons
+// serve under), jobs route across the fleet by cache-class key instead of
+// hitting one address, re-routing to replicas on failures.
+//
 //	diseload -addr localhost:8080 -mix quickstart:4,gzip:1 -duration 10s
 //	diseload -addr localhost:8080 -mode open -rps 200 -classes 8 -json load.json
+//	diseload -fleet fleet.json -duration 10s
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/fleet"
 	"repro/internal/load"
 )
 
@@ -44,17 +50,18 @@ func main() {
 		retries  = flag.Int("retries", 5, "SDK retry budget per job (attempts including the first)")
 		jsonOut  = flag.String("json", "", "write a benchjson-compatible report here (- for stdout)")
 		name     = flag.String("name", "load", "record-name prefix in the JSON report")
+		fleetMap = flag.String("fleet", "", "shard-map file; route jobs across the fleet by cache class instead of -addr")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *mode, *conc, *rps, *outst, *duration, *maxReq,
+	if err := run(*addr, *fleetMap, *mode, *conc, *rps, *outst, *duration, *maxReq,
 		*mixSpec, *classes, *golden, *seed, *retries, *jsonOut, *name); err != nil {
 		fmt.Fprintf(os.Stderr, "diseload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, mode string, conc int, rps float64, outst int, duration time.Duration,
+func run(addr, fleetMap, mode string, conc int, rps float64, outst int, duration time.Duration,
 	maxReq int64, mixSpec string, classes int, golden bool, seed int64, retries int,
 	jsonOut, name string) error {
 	mix := load.DefaultMix()
@@ -64,7 +71,24 @@ func run(addr, mode string, conc int, rps float64, outst int, duration time.Dura
 			return err
 		}
 	}
-	c := client.New(addr, client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: retries}))
+	var c client.API
+	target := addr
+	if fleetMap != "" {
+		m, err := fleet.LoadMap(fleetMap)
+		if err != nil {
+			return err
+		}
+		fc, err := client.NewFleet(m, client.WithFleetRetryPolicy(client.RetryPolicy{MaxAttempts: retries}))
+		if err != nil {
+			return err
+		}
+		c = fc
+		target = fmt.Sprintf("fleet of %d (epoch %d)", len(m.Nodes), m.Epoch)
+	} else {
+		sc := client.New(addr, client.WithRetryPolicy(client.RetryPolicy{MaxAttempts: retries}))
+		c = sc
+		target = sc.Base()
+	}
 
 	// ^C stops the run cleanly: in-flight jobs finish, the report still prints.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -75,7 +99,7 @@ func run(addr, mode string, conc int, rps float64, outst int, duration time.Dura
 		names = append(names, fmt.Sprintf("%s:%d", e.Name, e.Weight))
 	}
 	fmt.Fprintf(os.Stderr, "diseload: %s loop against %s, mix %s, %d class(es), %v\n",
-		mode, c.Base(), strings.Join(names, ","), classes, duration)
+		mode, target, strings.Join(names, ","), classes, duration)
 
 	rep, err := load.Run(ctx, load.Options{
 		Client:         c,

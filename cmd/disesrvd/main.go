@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
 
@@ -44,10 +45,32 @@ func run() int {
 		budget   = flag.Int64("budget", 50_000_000, "default dynamic instruction budget")
 		cacheDir = flag.String("cache-dir", "", "persistent trace store directory (empty = memory-only)")
 		diskMB   = flag.Int("cache-disk-mb", 1024, "persistent trace store budget in MB")
+		nodeID   = flag.String("node-id", "", "this daemon's fleet node id (required with -fleet)")
+		fleetMap = flag.String("fleet", "", "shard-map file enabling fleet mode; reloaded on SIGHUP")
 	)
 	flag.Parse()
 
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *fleetMap != "" && *nodeID == "" {
+		fmt.Fprintln(os.Stderr, "disesrvd: -fleet requires -node-id")
+		return 1
+	}
+	// A missing map file at startup is tolerated so a harness can start the
+	// daemons first, write the membership file from their bound addresses,
+	// and SIGHUP them into the fleet.
+	var fm *fleet.Map
+	if *fleetMap != "" {
+		m, err := fleet.LoadMap(*fleetMap)
+		switch {
+		case err == nil:
+			fm = m
+		case os.IsNotExist(err):
+			log.Warn("shard map not found; serving unsharded until SIGHUP", "path", *fleetMap)
+		default:
+			fmt.Fprintf(os.Stderr, "disesrvd: %v\n", err)
+			return 1
+		}
+	}
 	s, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -57,10 +80,22 @@ func run() int {
 		Log:            log,
 		StoreDir:       *cacheDir,
 		StoreBytes:     int64(*diskMB) << 20,
+		NodeID:         *nodeID,
+		Fleet:          fm,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "disesrvd: %v\n", err)
 		return 1
+	}
+
+	// Signal handlers are installed before the addr-file announces
+	// readiness: a supervisor that reacts to the file by SIGHUPing the
+	// daemon must never catch the default (fatal) SIGHUP disposition.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	hup := make(chan os.Signal, 1)
+	if *fleetMap != "" {
+		signal.Notify(hup, syscall.SIGHUP)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -69,7 +104,13 @@ func run() int {
 		return 1
 	}
 	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+		// "node-id addr" inside a fleet, bare "addr" otherwise, so smoke
+		// harnesses can assemble a membership file without parsing logs.
+		line := ln.Addr().String()
+		if *nodeID != "" {
+			line = *nodeID + " " + line
+		}
+		if err := os.WriteFile(*addrFile, []byte(line), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "disesrvd: %v\n", err)
 			return 1
 		}
@@ -79,15 +120,27 @@ func run() int {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	log.Info("listening", "addr", ln.Addr().String())
-
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "disesrvd: %v\n", err)
-		return 1
-	case got := <-sig:
-		log.Info("draining", "signal", got.String())
+loop:
+	for {
+		select {
+		case err := <-errc:
+			fmt.Fprintf(os.Stderr, "disesrvd: %v\n", err)
+			return 1
+		case <-hup:
+			m, err := fleet.LoadMap(*fleetMap)
+			if err != nil {
+				log.Error("shard map reload failed; keeping current map", "path", *fleetMap, "err", err)
+				continue
+			}
+			if err := s.SetFleet(m); err != nil {
+				log.Error("shard map rejected; keeping current map", "err", err)
+				continue
+			}
+			log.Info("shard map reloaded", "epoch", m.Epoch, "nodes", len(m.Nodes))
+		case got := <-sig:
+			log.Info("draining", "signal", got.String())
+			break loop
+		}
 	}
 
 	// Drain first so queued jobs receive their 503s over the still-open

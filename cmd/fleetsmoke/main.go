@@ -1,0 +1,507 @@
+// fleetsmoke is the sharded-serving campaign behind `make fleet-smoke`. It
+// proves the fleet tier's headline promises end to end, against real
+// disesrvd processes:
+//
+//  1. single-node truth — one standalone daemon serves the whole job mix;
+//     its response bytes seed the golden ledger that every fleet-served
+//     response must match byte for byte;
+//  2. bring-up — three daemons start with -node-id/-fleet pointing at a
+//     not-yet-written shard map; the harness assembles the map from their
+//     addr files and SIGHUPs them into the fleet (verified via
+//     /v1/membership epochs);
+//  3. peer fetch and replication — a class captured on its owner is
+//     write-through replicated to its replica and peer-fetched by the
+//     remaining node, all byte-identical;
+//  4. steady fleet load — consistent-hash routed jobs and batches, with the
+//     client ledger (issued == done + trapped + sum(failed)) reconciling
+//     exactly against the per-node /stats counters;
+//  5. kill -9 mid-load — one node dies under load; jobs re-route to
+//     replicas with zero losses, zero byte differences, and the client's
+//     rerouted counter equal to the sum over live nodes;
+//  6. rejoin — the killed node restarts on its old store at a new map
+//     epoch and serves its classes warm from disk;
+//  7. hedged requests — duplicated slow-node requests reconcile exactly:
+//     client hedges == fleet-side hedge markers, and server completions ==
+//     client wins + drained losers;
+//  8. clean shutdown — every node drains on SIGTERM and exits 0.
+//
+// It exits non-zero with a one-line diagnostic on the first violation. All
+// phase deadlines derive from the shared smoke budget (SMOKE_BUDGET).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/fleet"
+	"repro/internal/load"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsmoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("fleet-smoke: ok")
+}
+
+// smokeMix is the workload every phase shares: mostly the quickstart job,
+// one plain and one production-carrying benchmark, and a 4-cell batch sweep
+// so the batch route is exercised through the fleet client too.
+func smokeMix() []load.Entry {
+	mix, err := load.ParseMix("quickstart:4,gzip:1,mcf+count:1,quickstart@4:1")
+	if err != nil {
+		panic(err)
+	}
+	return mix
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "fleetsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ctx, cancel := context.WithTimeout(context.Background(), load.SmokeBudget())
+	defer cancel()
+
+	gold := load.NewGoldens()
+
+	// Phase 1: single-node truth. The standalone daemon also builds the
+	// binary every later daemon reuses.
+	d0, err := load.BuildAndStart(dir)
+	if err != nil {
+		return fmt.Errorf("single-node daemon: %w", err)
+	}
+	defer d0.Kill()
+	bin := filepath.Join(dir, "disesrvd")
+	// Count-bound runs (MaxRequests, with Duration only as a generous cap)
+	// finish every issued arrival: no deadline cancellations, so ledgers
+	// must reconcile without a tolerance.
+	for _, classes := range []int{1, 2} {
+		rep, err := load.Run(ctx, load.Options{
+			Client:      client.New(d0.Base),
+			Mix:         smokeMix(),
+			Concurrency: 6,
+			Duration:    load.Scale(0.2),
+			MaxRequests: 150,
+			Classes:     classes,
+			Golden:      true,
+			Goldens:     gold,
+			Seed:        int64(classes),
+		})
+		if err != nil {
+			return fmt.Errorf("single-node load (classes=%d): %w", classes, err)
+		}
+		if !rep.Accounted() || rep.GoldenViolations != 0 {
+			return fmt.Errorf("single-node ledger (classes=%d): %s", classes, rep.Summary())
+		}
+	}
+	if err := d0.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := d0.WaitExit(load.Scale(0.1)); err != nil {
+		return fmt.Errorf("single node did not drain: %w", err)
+	}
+	fmt.Printf("fleet-smoke: phase 1 ok (single-node goldens: %d)\n", gold.Len())
+
+	// Phase 2: bring-up. The daemons start before the map exists (serving
+	// unsharded), the harness writes the map from their bound addresses,
+	// and a SIGHUP swaps every node onto epoch 1.
+	mapPath := filepath.Join(dir, "fleet.json")
+	ids := []string{"n1", "n2", "n3"}
+	daemons := make(map[string]*load.Daemon, len(ids))
+	for _, id := range ids {
+		d, err := load.StartDaemon(bin, dir,
+			"-node-id", id, "-fleet", mapPath,
+			"-cache-dir", filepath.Join(dir, "store-"+id))
+		if err != nil {
+			return fmt.Errorf("starting %s: %w", id, err)
+		}
+		defer d.Kill()
+		if d.NodeID != id {
+			return fmt.Errorf("daemon %s wrote addr file for %q", id, d.NodeID)
+		}
+		daemons[id] = d
+	}
+	m := &fleet.Map{Epoch: 1, Replication: 2}
+	for _, id := range ids {
+		m.Nodes = append(m.Nodes, fleet.Node{ID: id, Addr: daemons[id].Addr})
+	}
+	if err := installMap(ctx, mapPath, m, daemons); err != nil {
+		return fmt.Errorf("bring-up: %w", err)
+	}
+	ring, err := fleet.NewRing(m)
+	if err != nil {
+		return err
+	}
+	fmt.Println("fleet-smoke: phase 2 ok (3 nodes on epoch 1)")
+
+	// Phase 3: deterministic peer fetch and replication. A fresh class is
+	// captured on its owner; the replica must hold the entry by response
+	// time (synchronous write-through), and the remaining node must serve
+	// it by fetching from a peer — byte-identically, without capturing.
+	req := server.SmokeRequest()
+	req.BudgetInsts = 1_000_000
+	key, _, err := server.ClassKey(req, server.DefaultBudget)
+	if err != nil {
+		return err
+	}
+	route := ring.Route(key, 3)
+	owner, replica, third := route[0].ID, route[1].ID, route[2].ID
+	preThird, err := nodeStats(daemons[third].Base)
+	if err != nil {
+		return err
+	}
+	ownerResp, err := client.New(daemons[owner].Base).Submit(ctx, req)
+	if err != nil {
+		return fmt.Errorf("owner capture: %w", err)
+	}
+	if ownerResp.Outcome != "done" || ownerResp.Cached {
+		return fmt.Errorf("owner capture: outcome=%q cached=%v", ownerResp.Outcome, ownerResp.Cached)
+	}
+	replicaStats, err := nodeStats(daemons[replica].Base)
+	if err != nil {
+		return err
+	}
+	if replicaStats.Fleet.ReplicatedIn < 1 {
+		return fmt.Errorf("replica %s holds no replicated entry after the owner's capture", replica)
+	}
+	thirdResp, err := client.New(daemons[third].Base).Submit(ctx, req)
+	if err != nil {
+		return fmt.Errorf("peer-fetch submit: %w", err)
+	}
+	if thirdResp.Outcome != "done" || !thirdResp.Cached {
+		return fmt.Errorf("peer-fetched job: outcome=%q cached=%v", thirdResp.Outcome, thirdResp.Cached)
+	}
+	if !bytes.Equal(ownerResp.Result, thirdResp.Result) {
+		return fmt.Errorf("peer-fetched result differs from the owner's capture")
+	}
+	postThird, err := nodeStats(daemons[third].Base)
+	if err != nil {
+		return err
+	}
+	if hits := postThird.Cache.PeerHits - preThird.Cache.PeerHits; hits != 1 {
+		return fmt.Errorf("node %s peer_hits delta = %d, want 1", third, hits)
+	}
+	fmt.Printf("fleet-smoke: phase 3 ok (owner %s -> replica %s, peer fetch by %s)\n", owner, replica, third)
+
+	// Phase 4: steady fleet load, reconciled exactly. Healthy nodes mean no
+	// retries, so the client's done/trapped cells must equal the per-node
+	// sums — jobs and batch cells alike.
+	fc, err := client.NewFleet(m, client.WithFleetRetryPolicy(client.RetryPolicy{MaxAttempts: 3}))
+	if err != nil {
+		return err
+	}
+	base, err := fleetStats(daemons)
+	if err != nil {
+		return err
+	}
+	rep, err := load.Run(ctx, load.Options{
+		Client:      fc,
+		Mix:         smokeMix(),
+		Concurrency: 6,
+		Duration:    load.Scale(0.25),
+		MaxRequests: 400,
+		Classes:     2,
+		Golden:      true,
+		Goldens:     gold,
+		Seed:        11,
+	})
+	if err != nil {
+		return fmt.Errorf("steady fleet load: %w", err)
+	}
+	if !rep.Accounted() || rep.GoldenViolations != 0 || len(rep.Failed) != 0 {
+		return fmt.Errorf("steady fleet ledger: %s", rep.Summary())
+	}
+	after, err := fleetStats(daemons)
+	if err != nil {
+		return err
+	}
+	// Jobs.Done/Trapped already include batch cells server-side, so they are
+	// directly comparable to the client's per-cell ledger.
+	var sumDone, sumTrapped int64
+	for id := range daemons {
+		sumDone += after[id].Jobs.Done - base[id].Jobs.Done
+		sumTrapped += after[id].Jobs.Trapped - base[id].Jobs.Trapped
+	}
+	if sumDone != rep.Done || sumTrapped != rep.Trapped {
+		return fmt.Errorf("steady reconciliation: nodes done %d trapped %d vs client done %d trapped %d",
+			sumDone, sumTrapped, rep.Done, rep.Trapped)
+	}
+	fmt.Printf("fleet-smoke: phase 4 ok (%s; node sums reconcile)\n", rep.Summary())
+
+	// Phase 5: kill -9 the busiest owner mid-load. The victim owns the
+	// highest-weight class, so its death forces rerouting; the warm pass
+	// above replicated every class, so replicas serve without capturing.
+	// Reroute-marked requests can only land on live nodes, so the client's
+	// counter must equal the live-node sum exactly.
+	quickKey, _, err := server.ClassKey(server.SmokeRequest(), server.DefaultBudget)
+	if err != nil {
+		return err
+	}
+	victim := ring.Owner(quickKey).ID
+	fc2, err := client.NewFleet(m, client.WithFleetRetryPolicy(client.RetryPolicy{MaxAttempts: 3}))
+	if err != nil {
+		return err
+	}
+	base, err = fleetStats(daemons)
+	if err != nil {
+		return err
+	}
+	type runResult struct {
+		rep *load.Report
+		err error
+	}
+	done := make(chan runResult, 1)
+	go func() {
+		rep, err := load.Run(ctx, load.Options{
+			Client:      fc2,
+			Mix:         smokeMix(),
+			Concurrency: 6,
+			Duration:    load.Scale(0.3),
+			MaxRequests: 2000,
+			Classes:     1, // warm classes only: no capture can be mid-flight on the victim
+			Golden:      true,
+			Goldens:     gold,
+			Seed:        13,
+		})
+		done <- runResult{rep, err}
+	}()
+	// Kill once a few hundred arrivals are in, so the death lands mid-load
+	// on every machine speed.
+	killDeadline := time.Now().Add(load.Scale(0.25))
+	for fc2.FleetStats().Routed < 300 {
+		if time.Now().After(killDeadline) {
+			return fmt.Errorf("kill-phase load never reached 300 arrivals")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	daemons[victim].Kill()
+	_ = daemons[victim].WaitExit(load.Scale(0.1))
+	kr := <-done
+	if kr.err != nil {
+		return fmt.Errorf("kill-phase load: %w", kr.err)
+	}
+	// Run already enforced the accounting identity and byte-identity. A
+	// stream the victim's death tore mid-read may land in a transport-class
+	// failure bucket; anything else (invalid, rejected) is a routing bug.
+	for class := range kr.rep.Failed {
+		if class != "transport" && class != "unavailable" && class != "cancelled" {
+			return fmt.Errorf("kill-phase ledger has %q failures: %s", class, kr.rep.Summary())
+		}
+	}
+	if kr.rep.Done == 0 {
+		return fmt.Errorf("kill-phase ledger: nothing completed: %s", kr.rep.Summary())
+	}
+	clientReroutes := fc2.FleetStats().Rerouted
+	if clientReroutes < 1 {
+		return fmt.Errorf("killing %s mid-load caused no reroutes", victim)
+	}
+	var liveReroutes int64
+	for id, d := range daemons {
+		if id == victim {
+			continue
+		}
+		st, err := nodeStats(d.Base)
+		if err != nil {
+			return err
+		}
+		liveReroutes += st.Fleet.Rerouted - base[id].Fleet.Rerouted
+	}
+	if liveReroutes != clientReroutes {
+		return fmt.Errorf("reroute reconciliation: live nodes saw %d, client sent %d", liveReroutes, clientReroutes)
+	}
+	fmt.Printf("fleet-smoke: phase 5 ok (%s; killed %s, %d reroutes reconciled)\n",
+		kr.rep.Summary(), victim, clientReroutes)
+
+	// Phase 6: rejoin. The victim restarts on its old store directory at a
+	// new address; the harness rewrites the map at epoch 2 and SIGHUPs the
+	// fleet. The rejoined node must serve its old classes warm from disk.
+	d, err := load.StartDaemon(bin, dir,
+		"-node-id", victim, "-fleet", mapPath,
+		"-cache-dir", filepath.Join(dir, "store-"+victim))
+	if err != nil {
+		return fmt.Errorf("restarting %s: %w", victim, err)
+	}
+	defer d.Kill()
+	daemons[victim] = d
+	m2 := &fleet.Map{Epoch: 2, Replication: 2}
+	for _, id := range ids {
+		m2.Nodes = append(m2.Nodes, fleet.Node{ID: id, Addr: daemons[id].Addr})
+	}
+	if err := installMap(ctx, mapPath, m2, daemons); err != nil {
+		return fmt.Errorf("rejoin: %w", err)
+	}
+	ring, err = fleet.NewRing(m2)
+	if err != nil {
+		return err
+	}
+	preWarm, err := nodeStats(d.Base)
+	if err != nil {
+		return err
+	}
+	warmResp, err := client.New(d.Base).Submit(ctx, server.SmokeRequest())
+	if err != nil {
+		return fmt.Errorf("warm-rejoin submit: %w", err)
+	}
+	if warmResp.Outcome != "done" || !warmResp.Cached {
+		return fmt.Errorf("rejoined %s served its own class cold: outcome=%q cached=%v", victim, warmResp.Outcome, warmResp.Cached)
+	}
+	postWarm, err := nodeStats(d.Base)
+	if err != nil {
+		return err
+	}
+	if postWarm.Cache.DiskHits-preWarm.Cache.DiskHits != 1 {
+		return fmt.Errorf("rejoined %s did not serve from its warm disk store", victim)
+	}
+	if !gold.Check("quickstart#0", warmResp.Result) {
+		return fmt.Errorf("rejoined %s answered different bytes than the single-node golden", victim)
+	}
+	fc3, err := client.NewFleet(m2, client.WithFleetRetryPolicy(client.RetryPolicy{MaxAttempts: 3}))
+	if err != nil {
+		return err
+	}
+	rep, err = load.Run(ctx, load.Options{
+		Client:      fc3,
+		Mix:         smokeMix(),
+		Concurrency: 6,
+		Duration:    load.Scale(0.2),
+		MaxRequests: 200,
+		Classes:     2,
+		Golden:      true,
+		Goldens:     gold,
+		Seed:        17,
+	})
+	if err != nil {
+		return fmt.Errorf("post-rejoin load: %w", err)
+	}
+	if !rep.Accounted() || rep.GoldenViolations != 0 || len(rep.Failed) != 0 {
+		return fmt.Errorf("post-rejoin ledger: %s", rep.Summary())
+	}
+	fmt.Printf("fleet-smoke: phase 6 ok (%s rejoined warm at epoch 2; %s)\n", victim, rep.Summary())
+
+	// Phase 7: hedged requests, reconciled exactly. Hedge-after-zero fires
+	// a duplicate for every submission; losers are drained, not cancelled,
+	// so server-side completions equal client wins plus discarded losers.
+	fc4, err := client.NewFleet(m2, client.WithHedge(0),
+		client.WithFleetRetryPolicy(client.RetryPolicy{MaxAttempts: 3}))
+	if err != nil {
+		return err
+	}
+	base, err = fleetStats(daemons)
+	if err != nil {
+		return err
+	}
+	const hedgeJobs = 6
+	for i := 0; i < hedgeJobs; i++ {
+		r, err := fc4.Submit(ctx, server.SmokeRequest())
+		if err != nil || r.Outcome != "done" {
+			return fmt.Errorf("hedged submit %d: %v", i, err)
+		}
+	}
+	fc4.Wait()
+	after, err = fleetStats(daemons)
+	if err != nil {
+		return err
+	}
+	var nodeHedged, nodeDone int64
+	for id := range daemons {
+		nodeHedged += after[id].Fleet.Hedged - base[id].Fleet.Hedged
+		nodeDone += after[id].Jobs.Done - base[id].Jobs.Done
+	}
+	cst := fc4.FleetStats()
+	if cst.Hedged < 1 {
+		return fmt.Errorf("hedge-after-zero fired no hedges over %d jobs", hedgeJobs)
+	}
+	if nodeHedged != cst.Hedged {
+		return fmt.Errorf("hedge reconciliation: nodes saw %d hedge markers, client fired %d", nodeHedged, cst.Hedged)
+	}
+	if nodeDone != hedgeJobs+cst.Discarded {
+		return fmt.Errorf("hedge accounting: nodes completed %d, client accounts %d wins + %d discarded",
+			nodeDone, hedgeJobs, cst.Discarded)
+	}
+	fmt.Printf("fleet-smoke: phase 7 ok (%d hedges, %d discarded, all reconciled)\n", cst.Hedged, cst.Discarded)
+
+	// Phase 8: clean shutdown of the whole fleet.
+	for id, d := range daemons {
+		if err := d.Signal(syscall.SIGTERM); err != nil {
+			return fmt.Errorf("terminating %s: %w", id, err)
+		}
+	}
+	for id, d := range daemons {
+		if err := d.WaitExit(load.Scale(0.1)); err != nil {
+			return fmt.Errorf("%s did not drain cleanly: %w", id, err)
+		}
+	}
+	fmt.Println("fleet-smoke: phase 8 ok (clean drain)")
+	return nil
+}
+
+// installMap writes the shard map, SIGHUPs every daemon, and waits until
+// each one serves the map's epoch via /v1/membership.
+func installMap(ctx context.Context, path string, m *fleet.Map, daemons map[string]*load.Daemon) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	for id, d := range daemons {
+		if err := d.Signal(syscall.SIGHUP); err != nil {
+			return fmt.Errorf("SIGHUP %s: %w", id, err)
+		}
+	}
+	deadline := time.Now().Add(load.Scale(0.05))
+	for id, d := range daemons {
+		c := client.New(d.Base)
+		for {
+			mp, err := c.Membership(ctx)
+			if err == nil && mp.Epoch == m.Epoch {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%s never reached epoch %d (last: %v, err %v)", id, m.Epoch, mp, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// nodeStats snapshots one daemon's /stats payload.
+func nodeStats(base string) (*server.StatsPayload, error) {
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var sp server.StatsPayload
+	if err := json.NewDecoder(resp.Body).Decode(&sp); err != nil {
+		return nil, err
+	}
+	return &sp, nil
+}
+
+// fleetStats snapshots every daemon's /stats, keyed by node ID.
+func fleetStats(daemons map[string]*load.Daemon) (map[string]*server.StatsPayload, error) {
+	out := make(map[string]*server.StatsPayload, len(daemons))
+	for id, d := range daemons {
+		sp, err := nodeStats(d.Base)
+		if err != nil {
+			return nil, fmt.Errorf("stats from %s: %w", id, err)
+		}
+		out[id] = sp
+	}
+	return out, nil
+}

@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
 
@@ -144,6 +145,7 @@ func TestAPIDocumentsEveryWireField(t *testing.T) {
 		server.BatchRequest{}, server.BatchLine{}, server.BatchCell{},
 		server.BatchSummary{}, server.StatsPayload{}, server.JobStats{},
 		server.BatchStats{}, server.CacheStats{}, server.LatencyStats{},
+		server.MembershipPayload{}, server.FleetStats{}, fleet.Node{}, fleet.Map{},
 	} {
 		rt := reflect.TypeOf(typ)
 		for i := 0; i < rt.NumField(); i++ {

@@ -105,6 +105,11 @@ func (s *BatchStream) Close() error {
 // reason, and nothing has streamed yet when admission fails. Once the
 // stream is open the SDK never retries: cells may already be consumed.
 func (c *Client) Batch(ctx context.Context, req *server.BatchRequest) (*BatchStream, error) {
+	return c.batchWith(ctx, req, "")
+}
+
+// batchWith is Batch with a fleet route marker (see Client.submitOnce).
+func (c *Client) batchWith(ctx context.Context, req *server.BatchRequest, marker string) (*BatchStream, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("encoding request: %w", err)
@@ -116,7 +121,7 @@ func (c *Client) Batch(ctx context.Context, req *server.BatchRequest) (*BatchStr
 				return nil, err
 			}
 		}
-		bs, err := c.batchOnce(ctx, body)
+		bs, err := c.batchOnce(ctx, body, marker)
 		if err == nil {
 			return bs, nil
 		}
@@ -133,12 +138,15 @@ func (c *Client) Batch(ctx context.Context, req *server.BatchRequest) (*BatchStr
 
 // batchOnce performs one POST /v1/batches exchange, returning the open
 // stream on a 200 and the typed envelope error otherwise.
-func (c *Client) batchOnce(ctx context.Context, body []byte) (*BatchStream, error) {
+func (c *Client) batchOnce(ctx context.Context, body []byte, marker string) (*BatchStream, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batches", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if marker != "" {
+		hreq.Header.Set("X-Dise-Route", marker)
+	}
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
@@ -169,8 +177,14 @@ func (c *Client) BatchCollect(ctx context.Context, req *server.BatchRequest) ([]
 	if err != nil {
 		return nil, nil, err
 	}
+	return collectStream(bs, len(req.Jobs))
+}
+
+// collectStream drains an open batch stream into index-ordered cells plus
+// the terminal summary, closing the stream when done.
+func collectStream(bs *BatchStream, n int) ([]*BatchCell, *server.BatchSummary, error) {
 	defer bs.Close()
-	cells := make([]*BatchCell, len(req.Jobs))
+	cells := make([]*BatchCell, n)
 	for {
 		cell, err := bs.Next()
 		if err == io.EOF {

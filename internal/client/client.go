@@ -195,6 +195,14 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	return p
 }
 
+// API is the submission surface shared by the single-node Client and the
+// fleet-routing FleetClient, so harnesses (internal/load) drive either
+// through one interface.
+type API interface {
+	Submit(ctx context.Context, req *server.SubmitRequest) (*JobResponse, error)
+	BatchCollect(ctx context.Context, req *server.BatchRequest) ([]*BatchCell, *server.BatchSummary, error)
+}
+
 // Client talks to one disesrvd instance. It is safe for concurrent use;
 // the load generator shares one across all its workers so the connection
 // pool is shared too.
@@ -214,19 +222,29 @@ func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc
 // WithRetryPolicy substitutes the retry policy.
 func WithRetryPolicy(p RetryPolicy) Option { return func(c *Client) { c.policy = p } }
 
+// sharedTransport is the package-wide connection pool. Every Client built
+// by New shares it, so a fleet of per-node clients keeps one idle-socket
+// budget with per-host reuse instead of multiplying pools per node — the
+// transport already keys idle connections by host. Callers needing
+// isolation pass WithHTTPClient.
+var sharedTransport = func() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 1024
+	t.MaxIdleConnsPerHost = 256
+	return t
+}()
+
 // New builds a Client for the server at base — a host:port or an http://
-// URL. The default transport allows as many idle connections per host as
-// the default pool size, so sustained concurrent load reuses sockets.
+// URL. All Clients share one pooled transport (per-host connection reuse),
+// so sustained concurrent load reuses sockets and a multi-node fleet does
+// not multiply idle-connection pools.
 func New(base string, opts ...Option) *Client {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	t := http.DefaultTransport.(*http.Transport).Clone()
-	t.MaxIdleConns = 256
-	t.MaxIdleConnsPerHost = 256
 	c := &Client{
 		base: strings.TrimRight(base, "/"),
-		hc:   &http.Client{Transport: t},
+		hc:   &http.Client{Transport: sharedTransport},
 	}
 	for _, o := range opts {
 		o(c)
@@ -256,7 +274,7 @@ func (c *Client) Submit(ctx context.Context, req *server.SubmitRequest) (*JobRes
 				return nil, err
 			}
 		}
-		jr, err := c.submitOnce(ctx, body)
+		jr, err := c.submitOnce(ctx, body, "")
 		if err == nil {
 			return jr, nil
 		}
@@ -271,13 +289,18 @@ func (c *Client) Submit(ctx context.Context, req *server.SubmitRequest) (*JobRes
 	return nil, fmt.Errorf("%w after %d attempts: %w", ErrRetryBudget, c.policy.MaxAttempts, last)
 }
 
-// submitOnce performs one POST /v1/jobs exchange.
-func (c *Client) submitOnce(ctx context.Context, body []byte) (*JobResponse, error) {
+// submitOnce performs one POST /v1/jobs exchange. marker, when non-empty,
+// is sent as the X-Dise-Route header so the receiving node can count
+// fleet-level reroutes and hedges in its /stats.
+func (c *Client) submitOnce(ctx context.Context, body []byte, marker string) (*JobResponse, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if marker != "" {
+		hreq.Header.Set("X-Dise-Route", marker)
+	}
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
@@ -374,6 +397,20 @@ func (c *Client) Stats(ctx context.Context) (*server.StatsPayload, error) {
 		return nil, err
 	}
 	return &sp, nil
+}
+
+// Membership fetches the node's view of the fleet shard map. A server
+// outside any fleet answers 404, surfaced as an *APIError. No retries.
+func (c *Client) Membership(ctx context.Context) (*server.MembershipPayload, error) {
+	var mp server.MembershipPayload
+	status, err := c.getJSON(ctx, "/v1/membership", &mp)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, &APIError{Status: status, Outcome: "membership", Message: "no fleet configured"}
+	}
+	return &mp, nil
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, v any) (int, error) {

@@ -1,0 +1,448 @@
+package client
+
+// FleetClient: consistent-hash routing over a multi-node disesrvd fleet.
+// Jobs and batches are routed by the server's own SHA-256 equivalence-class
+// key (server.ClassKey), so repeat submissions of one class land on one
+// node and its trace cache; failures re-route down the class's deterministic
+// replica sequence; and an optional hedge duplicates a slow owner's request
+// to the first replica. Every per-node exchange reuses the single Client's
+// typed-error and Retry-After machinery, and hedging/rerouting is safe for
+// the same reason retries are: results are deterministic and
+// content-addressed, so a duplicate execution can only produce identical
+// bytes.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/server"
+)
+
+// FleetClient routes jobs across a disesrvd fleet by cache-class key. It is
+// safe for concurrent use. The zero value is not usable; build with
+// NewFleet.
+type FleetClient struct {
+	m    *fleet.Map
+	ring *fleet.Ring
+
+	nodes map[string]*Client
+	order []string // node IDs in map order
+
+	policy        RetryPolicy   // outer failover loop: attempts × full node sequence
+	hedgeAfter    time.Duration // < 0 disabled
+	defaultBudget int64
+	slack         float64 // bounded-load slack for the start-node pick
+
+	inflight map[string]*atomic.Int64
+
+	memoMu sync.Mutex
+	memo   map[string][32]byte // request digest → class key
+
+	// wg tracks hedge losers still draining; Wait blocks on it.
+	wg sync.WaitGroup
+
+	routed    atomic.Int64 // Submit/BatchCollect calls routed by key
+	rerouted  atomic.Int64 // reroute-marked attempts that got an HTTP response
+	hedged    atomic.Int64 // hedge requests fired
+	hedgeWins atomic.Int64 // responses won by the hedge, not the primary
+	discarded atomic.Int64 // drained 200s that lost their hedge race
+	shed      atomic.Int64 // primaries moved off an over-bound owner
+}
+
+// FleetOption customizes a FleetClient.
+type FleetOption func(*FleetClient)
+
+// WithFleetRetryPolicy shapes the outer failover loop: MaxAttempts full
+// passes over the node sequence, with the usual jittered backoff between
+// passes. Per-node exchanges are single attempts — failing over to the
+// replica beats retrying a sick owner in place.
+func WithFleetRetryPolicy(p RetryPolicy) FleetOption {
+	return func(f *FleetClient) { f.policy = p }
+}
+
+// WithHedge enables hedged requests: when the primary node has not answered
+// within d, the same job is duplicated to the next node in the class's
+// sequence and the first success wins. The loser is drained, not cancelled
+// — its completion warms the replica's cache and keeps per-node job
+// counters reconcilable (it shows up in FleetClientStats.Discarded).
+// d = 0 hedges immediately.
+func WithHedge(d time.Duration) FleetOption {
+	return func(f *FleetClient) { f.hedgeAfter = d }
+}
+
+// WithDefaultBudget sets the instruction budget assumed when a request
+// leaves budget_insts unset. It must match the servers' -budget flag, or
+// clients and servers would compute different class keys for such requests.
+func WithDefaultBudget(n int64) FleetOption {
+	return func(f *FleetClient) { f.defaultBudget = n }
+}
+
+// NewFleet builds a FleetClient over a validated shard map. Per-node
+// Clients share the package-wide pooled transport; extra per-node options
+// (e.g. WithHTTPClient for tests) apply to every node.
+func NewFleet(m *fleet.Map, opts ...FleetOption) (*FleetClient, error) {
+	ring, err := fleet.NewRing(m)
+	if err != nil {
+		return nil, err
+	}
+	f := &FleetClient{
+		m:             m,
+		ring:          ring,
+		nodes:         make(map[string]*Client, len(m.Nodes)),
+		inflight:      make(map[string]*atomic.Int64, len(m.Nodes)),
+		memo:          make(map[string][32]byte),
+		hedgeAfter:    -1,
+		defaultBudget: server.DefaultBudget,
+		slack:         0.25,
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	f.policy = f.policy.withDefaults()
+	for _, n := range m.Nodes {
+		// Per-node clients do not retry internally: the fleet layer owns
+		// failure handling, and its answer to a sick node is the replica.
+		f.nodes[n.ID] = New(n.Addr, WithRetryPolicy(RetryPolicy{MaxAttempts: 1}))
+		f.inflight[n.ID] = &atomic.Int64{}
+		f.order = append(f.order, n.ID)
+	}
+	return f, nil
+}
+
+// Node returns the per-node Client for a member ID, for direct probes
+// (health, stats, membership) by harnesses and operators.
+func (f *FleetClient) Node(id string) (*Client, bool) {
+	c, ok := f.nodes[id]
+	return c, ok
+}
+
+// NodeIDs returns the member IDs in shard-map order.
+func (f *FleetClient) NodeIDs() []string { return append([]string(nil), f.order...) }
+
+// Ring exposes the routing ring, so harnesses can predict placement.
+func (f *FleetClient) Ring() *fleet.Ring { return f.ring }
+
+// ClassKey computes the routing key for a request, memoized on the
+// request's stream-changing fields so sustained load does not re-assemble
+// the program per submission.
+func (f *FleetClient) ClassKey(req *server.SubmitRequest) ([32]byte, error) {
+	digest, err := json.Marshal(struct {
+		Asm    string            `json:"asm"`
+		Image  string            `json:"image"`
+		Bench  string            `json:"bench"`
+		Prods  string            `json:"prods"`
+		Regs   map[string]uint64 `json:"regs"`
+		Budget int64             `json:"budget"`
+		MaxCyc int64             `json:"max_cycles"`
+		Engine server.EngineSpec `json:"engine"`
+	}{req.Asm, req.ImageB64, req.Bench, req.Prods, req.Regs, req.BudgetInsts, req.MaxCycles, req.Engine})
+	if err == nil {
+		f.memoMu.Lock()
+		key, ok := f.memo[string(digest)]
+		f.memoMu.Unlock()
+		if ok {
+			return key, nil
+		}
+	}
+	key, _, kerr := server.ClassKey(req, f.defaultBudget)
+	if kerr != nil {
+		return key, kerr
+	}
+	if err == nil {
+		f.memoMu.Lock()
+		if len(f.memo) >= 4096 {
+			f.memo = make(map[string][32]byte)
+		}
+		f.memo[string(digest)] = key
+		f.memoMu.Unlock()
+	}
+	return key, nil
+}
+
+// sequence returns the class's node preference order: the full determinstic
+// ring walk, with the start swapped to the bounded-load pick when the true
+// owner is over the load bound (the replica then serves it via peer fetch).
+func (f *FleetClient) sequence(key [32]byte) []string {
+	seq := f.ring.Route(key, len(f.order))
+	ids := make([]string, len(seq))
+	for i, n := range seq {
+		ids[i] = n.ID
+	}
+	if len(ids) < 2 {
+		return ids
+	}
+	start := f.ring.BoundedOwner(key, f.m.Replication, func(id string) int {
+		return int(f.inflight[id].Load())
+	}, f.slack)
+	if start.ID != ids[0] {
+		f.shed.Add(1)
+		for i, id := range ids {
+			if id == start.ID {
+				ids[0], ids[i] = ids[i], ids[0]
+				break
+			}
+		}
+	}
+	return ids
+}
+
+// invalidErr wraps a client-side compile failure in the same typed shape a
+// server-side 400 produces, so callers classify both identically.
+func invalidErr(err error) error {
+	return &APIError{Status: 400, Outcome: "invalid", Message: err.Error()}
+}
+
+// responded reports whether an exchange reached a server and got an HTTP
+// answer back (any status) — the condition under which the receiving node
+// counted the request in its /stats.
+func responded(err error) bool {
+	if err == nil {
+		return true
+	}
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status != 0
+}
+
+// Submit routes one job by its class key: the owner first (or the
+// bounded-load pick), then re-routes down the replica sequence on 429/503/
+// transport errors, with hedging on the primary when enabled. Terminal
+// failures carry the same typed errors as Client.Submit.
+func (f *FleetClient) Submit(ctx context.Context, req *server.SubmitRequest) (*JobResponse, error) {
+	key, err := f.ClassKey(req)
+	if err != nil {
+		return nil, invalidErr(err)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encoding request: %w", err)
+	}
+	f.routed.Add(1)
+	seq := f.sequence(key)
+	var last error
+	for attempt := 1; attempt <= f.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := f.nodes[seq[0]].sleep(ctx, f.backoff(attempt-1, last)); err != nil {
+				return nil, err
+			}
+		}
+		for i, id := range seq {
+			marker := ""
+			if i > 0 || attempt > 1 {
+				marker = "reroute"
+			}
+			var jr *JobResponse
+			var err error
+			if marker == "" && f.hedgeAfter >= 0 && len(seq) > 1 {
+				jr, err = f.hedgedSubmit(ctx, seq[0], seq[1], body)
+			} else {
+				jr, err = f.submitTo(ctx, id, body, marker)
+			}
+			if marker == "reroute" && responded(err) {
+				f.rerouted.Add(1)
+			}
+			if err == nil {
+				return jr, nil
+			}
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if !retryable(err) {
+				return nil, err
+			}
+			last = err
+		}
+	}
+	return nil, fmt.Errorf("%w after %d passes over %d nodes: %w",
+		ErrRetryBudget, f.policy.MaxAttempts, len(seq), last)
+}
+
+// submitTo performs one exchange against one node, tracking its in-flight
+// gauge for the bounded-load pick.
+func (f *FleetClient) submitTo(ctx context.Context, id string, body []byte, marker string) (*JobResponse, error) {
+	g := f.inflight[id]
+	g.Add(1)
+	defer g.Add(-1)
+	return f.nodes[id].submitOnce(ctx, body, marker)
+}
+
+// hedgedSubmit races the primary against a delayed duplicate on backup.
+// The first success wins; the loser is left to finish and drain (counted
+// in Discarded when it completes 200), never cancelled — so every request
+// a server received corresponds to exactly one client-side accounting
+// event, and the duplicate warms the backup's cache.
+func (f *FleetClient) hedgedSubmit(ctx context.Context, primary, backup string, body []byte) (*JobResponse, error) {
+	results := make(chan hres, 2)
+	launch := func(id string, hedge bool) {
+		marker := ""
+		if hedge {
+			marker = "hedge"
+		}
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			jr, err := f.submitTo(ctx, id, body, marker)
+			results <- hres{jr, err, hedge}
+		}()
+	}
+	launch(primary, false)
+	outstanding := 1
+	timer := time.NewTimer(f.hedgeAfter)
+	defer timer.Stop()
+
+	var last error
+	fired := false
+	for {
+		select {
+		case <-timer.C:
+			if !fired {
+				fired = true
+				f.hedged.Add(1)
+				launch(backup, true)
+				outstanding++
+			}
+		case r := <-results:
+			outstanding--
+			if r.err == nil {
+				if r.hedge {
+					f.hedgeWins.Add(1)
+				}
+				if outstanding > 0 {
+					f.drainLosers(results, outstanding)
+				}
+				return r.jr, nil
+			}
+			// A failure before the hedge fired, or after both legs failed,
+			// goes back to the outer failover loop.
+			last = r.err
+			if outstanding == 0 || !fired {
+				return nil, last
+			}
+		case <-ctx.Done():
+			if outstanding > 0 {
+				f.drainLosers(results, outstanding)
+			}
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// hres is one leg's outcome in a hedge race.
+type hres struct {
+	jr    *JobResponse
+	err   error
+	hedge bool
+}
+
+// drainLosers consumes the remaining results of a decided hedge race,
+// counting clean completions as discarded work.
+func (f *FleetClient) drainLosers(results <-chan hres, n int) {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for range n {
+			if r := <-results; r.err == nil {
+				f.discarded.Add(1)
+			}
+		}
+	}()
+}
+
+// backoff mirrors Client.backoff for the fleet's outer loop.
+func (f *FleetClient) backoff(retries int, last error) time.Duration {
+	d := f.policy.BaseBackoff << (retries - 1)
+	if d > f.policy.MaxBackoff || d <= 0 {
+		d = f.policy.MaxBackoff
+	}
+	var ae *APIError
+	if errors.As(last, &ae) && ae.RetryAfter > d {
+		d = ae.RetryAfter
+	}
+	return f.policy.Jitter(d)
+}
+
+// BatchCollect routes a whole batch by its first job's class key — batches
+// are single scheduling units in one class by construction, so the sweep
+// lands on the node that owns (or will capture) that class. Admission
+// failures re-route down the sequence; an open stream is never retried.
+func (f *FleetClient) BatchCollect(ctx context.Context, req *server.BatchRequest) ([]*BatchCell, *server.BatchSummary, error) {
+	if len(req.Jobs) == 0 {
+		return nil, nil, invalidErr(errors.New("batch has no jobs"))
+	}
+	key, err := f.ClassKey(&req.Jobs[0])
+	if err != nil {
+		return nil, nil, invalidErr(err)
+	}
+	f.routed.Add(1)
+	seq := f.sequence(key)
+	var last error
+	for attempt := 1; attempt <= f.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			if err := f.nodes[seq[0]].sleep(ctx, f.backoff(attempt-1, last)); err != nil {
+				return nil, nil, err
+			}
+		}
+		for i, id := range seq {
+			marker := ""
+			if i > 0 || attempt > 1 {
+				marker = "reroute"
+			}
+			g := f.inflight[id]
+			g.Add(1)
+			bs, err := f.nodes[id].batchWith(ctx, req, marker)
+			if marker == "reroute" && responded(err) {
+				f.rerouted.Add(1)
+			}
+			if err == nil {
+				cells, sum, err := collectStream(bs, len(req.Jobs))
+				g.Add(-1)
+				return cells, sum, err
+			}
+			g.Add(-1)
+			if ctx.Err() != nil {
+				return nil, nil, ctx.Err()
+			}
+			if !retryable(err) {
+				return nil, nil, err
+			}
+			last = err
+		}
+	}
+	return nil, nil, fmt.Errorf("%w after %d passes over %d nodes: %w",
+		ErrRetryBudget, f.policy.MaxAttempts, len(seq), last)
+}
+
+// Wait blocks until every in-flight hedge loser has drained, so ledgers
+// snapshotted afterwards see a settled fleet.
+func (f *FleetClient) Wait() { f.wg.Wait() }
+
+// FleetClientStats is the client-side routing ledger. Rerouted counts only
+// attempts that received an HTTP response, which is exactly the population
+// the servers' /stats rerouted counters saw — summed across nodes the two
+// reconcile. Hedged counts duplicates fired; each decided race accounts its
+// loser in Discarded when it completed cleanly.
+type FleetClientStats struct {
+	Routed    int64 // jobs and batches routed by class key
+	Rerouted  int64 // failover attempts answered by a replica
+	Hedged    int64 // hedge duplicates fired
+	HedgeWins int64 // races won by the hedge
+	Discarded int64 // drained 200s that lost their race
+	Shed      int64 // primaries moved off an over-bound owner
+}
+
+// FleetStats snapshots the routing ledger.
+func (f *FleetClient) FleetStats() FleetClientStats {
+	return FleetClientStats{
+		Routed:    f.routed.Load(),
+		Rerouted:  f.rerouted.Load(),
+		Hedged:    f.hedged.Load(),
+		HedgeWins: f.hedgeWins.Load(),
+		Discarded: f.discarded.Load(),
+		Shed:      f.shed.Load(),
+	}
+}

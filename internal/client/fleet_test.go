@@ -1,0 +1,323 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/server"
+)
+
+// stubNode is one scripted fleet member: it records how many requests it
+// received and with which route marker, and answers via a swappable handler.
+type stubNode struct {
+	id string
+	ts *httptest.Server
+
+	mu      sync.Mutex
+	markers []string
+
+	handle atomic.Pointer[http.HandlerFunc]
+}
+
+func (n *stubNode) serve(w http.ResponseWriter, r *http.Request) {
+	n.mu.Lock()
+	n.markers = append(n.markers, r.Header.Get("X-Dise-Route"))
+	n.mu.Unlock()
+	(*n.handle.Load())(w, r)
+}
+
+func (n *stubNode) set(h http.HandlerFunc) { n.handle.Store(&h) }
+
+func (n *stubNode) seen() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.markers...)
+}
+
+// stubFleet starts n scripted members (ids n1..nN) all answering 200/done
+// until a test rescripts them, and returns the shard map over their bound
+// addresses.
+func stubFleet(t *testing.T, n int) (map[string]*stubNode, *fleet.Map) {
+	t.Helper()
+	nodes := make(map[string]*stubNode, n)
+	m := &fleet.Map{Epoch: 1, Replication: 2}
+	for i := 1; i <= n; i++ {
+		sn := &stubNode{id: "n" + string(rune('0'+i))}
+		sn.set(func(w http.ResponseWriter, r *http.Request) {
+			answer(200, "", okBody())(w)
+		})
+		sn.ts = httptest.NewServer(http.HandlerFunc(sn.serve))
+		t.Cleanup(sn.ts.Close)
+		nodes[sn.id] = sn
+		m.Nodes = append(m.Nodes, fleet.Node{ID: sn.id, Addr: strings.TrimPrefix(sn.ts.URL, "http://")})
+	}
+	return nodes, m
+}
+
+// routeOf predicts the fleet client's node sequence for a request.
+func routeOf(t *testing.T, fc *FleetClient, req *server.SubmitRequest, n int) []string {
+	t.Helper()
+	key, err := fc.ClassKey(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := fc.Ring().Route(key, n)
+	ids := make([]string, len(seq))
+	for i, nd := range seq {
+		ids[i] = nd.ID
+	}
+	return ids
+}
+
+func TestFleetRoutesDeterministically(t *testing.T) {
+	nodes, m := stubFleet(t, 3)
+	fc, err := NewFleet(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := server.SmokeRequest()
+	owner := routeOf(t, fc, req, 3)[0]
+
+	for i := 0; i < 5; i++ {
+		jr, err := fc.Submit(context.Background(), req)
+		if err != nil || jr.Outcome != "done" {
+			t.Fatalf("submit %d: %v / %+v", i, err, jr)
+		}
+	}
+	for id, n := range nodes {
+		want := 0
+		if id == owner {
+			want = 5
+		}
+		if got := len(n.seen()); got != want {
+			t.Fatalf("node %s saw %d requests, want %d (owner %s)", id, got, want, owner)
+		}
+	}
+	st := fc.FleetStats()
+	if st.Routed != 5 || st.Rerouted != 0 || st.Hedged != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestFleetReroutesOn503(t *testing.T) {
+	nodes, m := stubFleet(t, 3)
+	fc, err := NewFleet(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := server.SmokeRequest()
+	seq := routeOf(t, fc, req, 3)
+	nodes[seq[0]].set(func(w http.ResponseWriter, r *http.Request) {
+		answer(503, "", map[string]any{"outcome": "unavailable", "error": "draining"})(w)
+	})
+
+	jr, err := fc.Submit(context.Background(), req)
+	if err != nil || jr.Outcome != "done" {
+		t.Fatalf("submit: %v / %+v", err, jr)
+	}
+	if got := nodes[seq[0]].seen(); len(got) != 1 || got[0] != "" {
+		t.Fatalf("owner saw %v, want one unmarked request", got)
+	}
+	if got := nodes[seq[1]].seen(); len(got) != 1 || got[0] != "reroute" {
+		t.Fatalf("replica saw %v, want one reroute-marked request", got)
+	}
+	if st := fc.FleetStats(); st.Rerouted != 1 {
+		t.Fatalf("rerouted = %d, want 1", st.Rerouted)
+	}
+}
+
+func TestFleetReroutesOnTransportError(t *testing.T) {
+	nodes, m := stubFleet(t, 3)
+	fc, err := NewFleet(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := server.SmokeRequest()
+	seq := routeOf(t, fc, req, 3)
+	nodes[seq[0]].ts.Close() // owner is down hard: connection refused
+
+	jr, err := fc.Submit(context.Background(), req)
+	if err != nil || jr.Outcome != "done" {
+		t.Fatalf("submit: %v / %+v", err, jr)
+	}
+	// The dead owner never responded, so only the replica's reroute-marked
+	// attempt counts — which is exactly what live servers saw.
+	if got := nodes[seq[1]].seen(); len(got) != 1 || got[0] != "reroute" {
+		t.Fatalf("replica saw %v, want one reroute-marked request", got)
+	}
+	if st := fc.FleetStats(); st.Rerouted != 1 {
+		t.Fatalf("rerouted = %d, want 1", st.Rerouted)
+	}
+}
+
+func TestFleetDoesNotRerouteTerminalErrors(t *testing.T) {
+	nodes, m := stubFleet(t, 3)
+	fc, err := NewFleet(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := server.SmokeRequest()
+	seq := routeOf(t, fc, req, 3)
+	nodes[seq[0]].set(func(w http.ResponseWriter, r *http.Request) {
+		answer(400, "", map[string]any{"outcome": "invalid", "error": "bad asm"})(w)
+	})
+
+	_, err = fc.Submit(context.Background(), req)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != 400 {
+		t.Fatalf("want terminal 400, got %v", err)
+	}
+	if got := len(nodes[seq[1]].seen()) + len(nodes[seq[2]].seen()); got != 0 {
+		t.Fatalf("replicas saw %d requests after a terminal error", got)
+	}
+}
+
+func TestFleetRetryBudgetExhausted(t *testing.T) {
+	nodes, m := stubFleet(t, 3)
+	var delays []time.Duration
+	fc, err := NewFleet(m, WithFleetRetryPolicy(fastPolicy(2, &delays)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		n.set(func(w http.ResponseWriter, r *http.Request) {
+			answer(503, "", map[string]any{"outcome": "unavailable"})(w)
+		})
+	}
+	_, err = fc.Submit(context.Background(), server.SmokeRequest())
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("want ErrRetryBudget, got %v", err)
+	}
+	total := 0
+	for _, n := range nodes {
+		total += len(n.seen())
+	}
+	if total != 6 {
+		t.Fatalf("total attempts = %d, want 2 passes x 3 nodes = 6", total)
+	}
+	// Pass 1 marks nodes 2..3, pass 2 marks all three: 5 responded reroutes.
+	if st := fc.FleetStats(); st.Rerouted != 5 {
+		t.Fatalf("rerouted = %d, want 5", st.Rerouted)
+	}
+}
+
+func TestFleetHedgeRace(t *testing.T) {
+	nodes, m := stubFleet(t, 3)
+	fc, err := NewFleet(m, WithHedge(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := server.SmokeRequest()
+	seq := routeOf(t, fc, req, 3)
+	release := make(chan struct{})
+	nodes[seq[0]].set(func(w http.ResponseWriter, r *http.Request) {
+		<-release // the owner is slow until the race is decided
+		answer(200, "", okBody())(w)
+	})
+
+	jr, err := fc.Submit(context.Background(), req)
+	if err != nil || jr.Outcome != "done" {
+		t.Fatalf("submit: %v / %+v", err, jr)
+	}
+	close(release)
+	fc.Wait() // the losing primary drains before ledgers are read
+
+	if got := nodes[seq[1]].seen(); len(got) != 1 || got[0] != "hedge" {
+		t.Fatalf("backup saw %v, want one hedge-marked request", got)
+	}
+	st := fc.FleetStats()
+	if st.Hedged != 1 || st.HedgeWins != 1 || st.Discarded != 1 {
+		t.Fatalf("hedge ledger: %+v", st)
+	}
+}
+
+func TestFleetClassKeyMatchesServer(t *testing.T) {
+	_, m := stubFleet(t, 3)
+	fc, err := NewFleet(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := server.SmokeRequest()
+	got, err := fc.ClassKey(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := server.ClassKey(req, server.DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("memoized key diverges from server key")
+	}
+	// The memoized path answers the same key.
+	again, err := fc.ClassKey(req)
+	if err != nil || again != want {
+		t.Fatalf("memo hit diverges: %v", err)
+	}
+	// A compile failure surfaces as the typed invalid error.
+	_, err = fc.Submit(context.Background(), &server.SubmitRequest{Asm: "not assembly"})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Outcome != "invalid" {
+		t.Fatalf("want typed invalid error, got %v", err)
+	}
+}
+
+func TestSharedTransportAcrossClients(t *testing.T) {
+	c1, c2 := New("one.example:1"), New("two.example:2")
+	if c1.hc.Transport != c2.hc.Transport {
+		t.Fatal("per-node clients do not share the pooled transport")
+	}
+	if c1.hc.Transport != http.RoundTripper(sharedTransport) {
+		t.Fatal("clients bypass the shared transport")
+	}
+}
+
+// TestFleetEndToEnd runs the FleetClient against three real servers: jobs
+// route and cache, and a batch streams its cells from whichever node owns
+// the class.
+func TestFleetEndToEnd(t *testing.T) {
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	m := &fleet.Map{Epoch: 1, Replication: 2}
+	for _, id := range []string{"n1", "n2", "n3"} {
+		s, err := server.New(server.Config{Log: quiet, NodeID: id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		m.Nodes = append(m.Nodes, fleet.Node{ID: id, Addr: strings.TrimPrefix(ts.URL, "http://")})
+	}
+	fc, err := NewFleet(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := server.SmokeRequest()
+	jr, err := fc.Submit(context.Background(), req)
+	if err != nil || jr.Outcome != "done" || jr.Cached {
+		t.Fatalf("first submit: %v / %+v", err, jr)
+	}
+	jr2, err := fc.Submit(context.Background(), req)
+	if err != nil || !jr2.Cached {
+		t.Fatalf("repeat must hit the owner's cache: %v / %+v", err, jr2)
+	}
+
+	batch := &server.BatchRequest{Jobs: []server.SubmitRequest{*server.SmokeRequest(), *server.SmokeRequest()}}
+	cells, sum, err := fc.BatchCollect(context.Background(), batch)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(cells) != 2 || sum.Done != 2 {
+		t.Fatalf("batch cells %d done %d", len(cells), sum.Done)
+	}
+}

@@ -90,7 +90,11 @@ func TestServerRoutesAgainstRealServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"GET /healthz", "GET /stats", "POST /v1/batches", "POST /v1/jobs"}
+	want := []string{
+		"GET /healthz", "GET /stats", "GET /v1/membership",
+		"GET /v1/traces/{key}", "POST /v1/batches", "POST /v1/jobs",
+		"PUT /v1/traces/{key}",
+	}
 	if !reflect.DeepEqual(routes, want) {
 		t.Errorf("ServerRoutes = %v, want %v (update docs/API.md and this test together)", routes, want)
 	}

@@ -1,0 +1,87 @@
+// Package fleet is the shard-map and consistent-hash layer of the multi-node
+// serving tier: a static JSON membership file names the daemons (node ID,
+// address, weight) under an epoch, and a virtual-node hash ring maps the
+// server's SHA-256 trace-cache key to a deterministic owner plus R−1
+// replicas. Every placement decision is a pure function of (map, key), so
+// clients and servers that share a map file agree on ownership without any
+// coordination protocol.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Node is one daemon in the shard map. Weight scales its share of the ring
+// (virtual-node count); zero means the default weight of 1.
+type Node struct {
+	ID     string `json:"id"`
+	Addr   string `json:"addr"`
+	Weight int    `json:"weight,omitempty"`
+}
+
+// Map is the fleet membership document: a monotonically increasing epoch
+// (bumped on every edit; daemons reload on SIGHUP and report it via
+// /v1/membership), the replication factor R, and the member nodes.
+type Map struct {
+	Epoch       int64  `json:"epoch"`
+	Replication int    `json:"replication,omitempty"`
+	Nodes       []Node `json:"nodes"`
+}
+
+// ParseMap decodes and validates a shard-map document. Replication defaults
+// to min(2, len(nodes)) and is capped at the node count, so a map never
+// promises more copies than there are members.
+func ParseMap(data []byte) (*Map, error) {
+	var m Map
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("fleet map: %w", err)
+	}
+	if len(m.Nodes) == 0 {
+		return nil, fmt.Errorf("fleet map: no nodes")
+	}
+	seen := make(map[string]bool, len(m.Nodes))
+	for i, n := range m.Nodes {
+		if n.ID == "" {
+			return nil, fmt.Errorf("fleet map: node %d has empty id", i)
+		}
+		if n.Addr == "" {
+			return nil, fmt.Errorf("fleet map: node %q has empty addr", n.ID)
+		}
+		if n.Weight < 0 {
+			return nil, fmt.Errorf("fleet map: node %q has negative weight", n.ID)
+		}
+		if seen[n.ID] {
+			return nil, fmt.Errorf("fleet map: duplicate node id %q", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	if m.Replication <= 0 {
+		m.Replication = 2
+	}
+	if m.Replication > len(m.Nodes) {
+		m.Replication = len(m.Nodes)
+	}
+	return &m, nil
+}
+
+// LoadMap reads and parses a shard-map file.
+func LoadMap(path string) (*Map, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseMap(data)
+}
+
+// Node returns the member with the given ID, or false if the map does not
+// contain it.
+func (m *Map) Node(id string) (Node, bool) {
+	for _, n := range m.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return Node{}, false
+}

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the number of ring points a weight-1 node contributes.
+// 64 points per node keeps the max/mean load ratio under 1.25 at small
+// fleet sizes (pinned by TestRingBalance) while keeping ring construction
+// cheap enough to redo on every SIGHUP reload.
+const DefaultVNodes = 64
+
+// point is one virtual node on the ring: a position in the 64-bit hash
+// space and the index of the member that owns it.
+type point struct {
+	hash uint64
+	node int
+}
+
+// Ring is an immutable consistent-hash ring over a shard map. Placement is
+// deterministic: vnode positions hash only the node ID and vnode index, and
+// keys are already SHA-256 digests, so any two parties holding the same map
+// compute identical owners and replicas.
+type Ring struct {
+	points []point
+	nodes  []Node
+}
+
+// NewRing builds the ring for a validated map. Each node contributes
+// DefaultVNodes × max(weight, 1) points at positions derived from
+// SHA-256("node-id#vnode-index"), independent of node order in the file.
+func NewRing(m *Map) (*Ring, error) {
+	if len(m.Nodes) == 0 {
+		return nil, fmt.Errorf("fleet ring: empty map")
+	}
+	r := &Ring{nodes: append([]Node(nil), m.Nodes...)}
+	for i, n := range r.nodes {
+		w := n.Weight
+		if w <= 0 {
+			w = 1
+		}
+		for v := 0; v < DefaultVNodes*w; v++ {
+			sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", n.ID, v)))
+			r.points = append(r.points, point{hash: binary.BigEndian.Uint64(sum[:8]), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Tie-break on node ID so equal hash positions (vanishingly rare but
+		// possible) still order deterministically across map file orderings.
+		return r.nodes[r.points[a].node].ID < r.nodes[r.points[b].node].ID
+	})
+	return r, nil
+}
+
+// Route returns up to n distinct nodes for key in preference order: the
+// owner first, then successive distinct nodes walking the ring clockwise.
+// The first Replication entries of Route(key, len(nodes)) are the replica
+// set; the rest are deterministic fallbacks for routing around failures.
+func (r *Ring) Route(key [32]byte, n int) []Node {
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := binary.BigEndian.Uint64(key[:8])
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]Node, 0, n)
+	taken := make(map[int]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if taken[p.node] {
+			continue
+		}
+		taken[p.node] = true
+		out = append(out, r.nodes[p.node])
+	}
+	return out
+}
+
+// Owner returns the first node on the ring at or after the key's position —
+// the member responsible for capturing this equivalence class.
+func (r *Ring) Owner(key [32]byte) Node {
+	seq := r.Route(key, 1)
+	if len(seq) == 0 {
+		return Node{}
+	}
+	return seq[0]
+}
+
+// BoundedOwner is the bounded-load variant of Owner: it walks the key's
+// preference order and returns the first of the top n candidates whose
+// current load (as reported by load, keyed by node ID) is under
+// ceil((1+slack) × (total+1) / members). When every candidate is over the
+// bound it falls back to the true owner, so routing degrades to plain
+// consistent hashing rather than failing.
+func (r *Ring) BoundedOwner(key [32]byte, n int, load func(id string) int, slack float64) Node {
+	seq := r.Route(key, n)
+	if len(seq) == 0 {
+		return Node{}
+	}
+	if load == nil || len(r.nodes) == 1 {
+		return seq[0]
+	}
+	total := 0
+	for _, m := range r.nodes {
+		total += load(m.ID)
+	}
+	bound := int(float64(total+1)*(1+slack)/float64(len(r.nodes))) + 1
+	for _, cand := range seq {
+		if load(cand.ID) < bound {
+			return cand
+		}
+	}
+	return seq[0]
+}

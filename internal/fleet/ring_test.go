@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+func testMap(n int) *Map {
+	m := &Map{Epoch: 1, Replication: 2}
+	for i := 0; i < n; i++ {
+		m.Nodes = append(m.Nodes, Node{ID: fmt.Sprintf("n%d", i+1), Addr: fmt.Sprintf("127.0.0.1:%d", 9000+i)})
+	}
+	return m
+}
+
+func testKeys(n int) [][32]byte {
+	keys := make([][32]byte, n)
+	for i := range keys {
+		keys[i] = sha256.Sum256([]byte(fmt.Sprintf("class-%d", i)))
+	}
+	return keys
+}
+
+// TestRingBalance pins the distribution bound the vnode count was chosen
+// for: at 3 nodes × 64 vnodes over 10k keys, no node carries more than
+// 1.25× the mean load.
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(testMap(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	keys := testKeys(10000)
+	for _, k := range keys {
+		counts[r.Owner(k).ID]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("owners spread over %d nodes, want 3: %v", len(counts), counts)
+	}
+	mean := float64(len(keys)) / 3
+	for id, c := range counts {
+		if ratio := float64(c) / mean; ratio > 1.25 {
+			t.Errorf("node %s owns %d keys (%.3f× mean, bound 1.25)", id, c, ratio)
+		}
+	}
+	t.Logf("balance: %v (mean %.0f)", counts, mean)
+}
+
+// TestRingWeight checks that weight scales ring share: a weight-2 node
+// should own roughly twice the keys of its weight-1 peers.
+func TestRingWeight(t *testing.T) {
+	m := testMap(3)
+	m.Nodes[0].Weight = 2
+	r, err := NewRing(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, k := range testKeys(10000) {
+		counts[r.Owner(k).ID]++
+	}
+	heavy := float64(counts["n1"])
+	light := float64(counts["n2"]+counts["n3"]) / 2
+	if ratio := heavy / light; ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("weight-2 node owns %.2f× a weight-1 node, want ≈2: %v", ratio, counts)
+	}
+}
+
+// TestRingMinimalRemap checks the consistent-hashing contract: growing the
+// fleet from 3 to 4 nodes moves well under 40% of keys (ideal is 25%), and
+// every key that moved moved to the new node.
+func TestRingMinimalRemap(t *testing.T) {
+	r3, err := NewRing(testMap(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := NewRing(testMap(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(10000)
+	moved, movedElsewhere := 0, 0
+	for _, k := range keys {
+		before, after := r3.Owner(k).ID, r4.Owner(k).ID
+		if before != after {
+			moved++
+			if after != "n4" {
+				movedElsewhere++
+			}
+		}
+	}
+	if frac := float64(moved) / float64(len(keys)); frac >= 0.40 {
+		t.Errorf("join remapped %.1f%% of keys, want < 40%%", 100*frac)
+	}
+	if moved < len(keys)/10 {
+		t.Errorf("join remapped only %d keys; the new node got no share", moved)
+	}
+	if movedElsewhere != 0 {
+		t.Errorf("%d keys moved between surviving nodes on join, want 0", movedElsewhere)
+	}
+	t.Logf("remap on 3→4 join: %d/%d keys (%.1f%%)", moved, len(keys), 100*float64(moved)/float64(len(keys)))
+}
+
+// TestRingGoldenVectors pins owner and replica selection for fixed keys on
+// a fixed 3-node map. Any change to the hashing scheme shows up here as a
+// golden diff — placement is a wire-compatibility surface, since clients
+// and servers built at different commits must agree on ownership.
+func TestRingGoldenVectors(t *testing.T) {
+	r, err := NewRing(testMap(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := []struct {
+		seed  string
+		route string
+	}{
+		{"class-0", ""},
+		{"class-1", ""},
+		{"class-2", ""},
+		{"class-3", ""},
+		{"quickstart", ""},
+		{"dhrystone", ""},
+	}
+	// Golden values: computed once from the frozen scheme and pinned below.
+	want := []string{
+		"n2 n1 n3",
+		"n3 n1 n2",
+		"n2 n1 n3",
+		"n2 n3 n1",
+		"n2 n1 n3",
+		"n3 n1 n2",
+	}
+	for i, g := range golden {
+		key := sha256.Sum256([]byte(g.seed))
+		seq := r.Route(key, 3)
+		got := fmt.Sprintf("%s %s %s", seq[0].ID, seq[1].ID, seq[2].ID)
+		if got != want[i] {
+			t.Errorf("route(%q) = %q, want %q", g.seed, got, want[i])
+		}
+	}
+}
+
+// TestRingDeterminism checks that node order in the map file does not
+// change placement: the ring hashes node IDs, not list positions.
+func TestRingDeterminism(t *testing.T) {
+	m := testMap(3)
+	rev := &Map{Epoch: m.Epoch, Replication: m.Replication,
+		Nodes: []Node{m.Nodes[2], m.Nodes[0], m.Nodes[1]}}
+	ra, err := NewRing(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewRing(rev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range testKeys(500) {
+		sa, sb := ra.Route(k, 3), rb.Route(k, 3)
+		for i := range sa {
+			if sa[i].ID != sb[i].ID {
+				t.Fatalf("placement depends on map file order: %v vs %v", sa, sb)
+			}
+		}
+	}
+}
+
+// TestBoundedOwner checks the bounded-load walk: an overloaded owner is
+// skipped in favor of the next replica, and when every candidate is over
+// the bound routing falls back to the true owner.
+func TestBoundedOwner(t *testing.T) {
+	r, err := NewRing(testMap(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := sha256.Sum256([]byte("class-0"))
+	seq := r.Route(key, 3)
+	owner, replica := seq[0].ID, seq[1].ID
+
+	// Balanced load: the owner serves.
+	load := map[string]int{"n1": 1, "n2": 1, "n3": 1}
+	if got := r.BoundedOwner(key, 3, func(id string) int { return load[id] }, 0.25); got.ID != owner {
+		t.Errorf("balanced load routed to %s, want owner %s", got.ID, owner)
+	}
+	// Overloaded owner: the replica takes it.
+	load = map[string]int{owner: 100}
+	if got := r.BoundedOwner(key, 3, func(id string) int { return load[id] }, 0.25); got.ID != replica {
+		t.Errorf("overloaded owner routed to %s, want replica %s", got.ID, replica)
+	}
+	// Everyone over the bound: fall back to the owner.
+	load = map[string]int{"n1": 100, "n2": 100, "n3": 100}
+	if got := r.BoundedOwner(key, 3, func(id string) int { return load[id] }, 0.25); got.ID != owner {
+		t.Errorf("uniform overload routed to %s, want owner %s", got.ID, owner)
+	}
+	// Nil load func degrades to plain Owner.
+	if got := r.BoundedOwner(key, 3, nil, 0.25); got.ID != owner {
+		t.Errorf("nil load routed to %s, want owner %s", got.ID, owner)
+	}
+}
+
+// TestParseMap covers validation and defaulting of the membership document.
+func TestParseMap(t *testing.T) {
+	good := `{"epoch": 7, "nodes": [{"id":"a","addr":"h:1"},{"id":"b","addr":"h:2","weight":2}]}`
+	m, err := ParseMap([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch != 7 || m.Replication != 2 || len(m.Nodes) != 2 {
+		t.Errorf("parsed %+v", m)
+	}
+	if n, ok := m.Node("b"); !ok || n.Weight != 2 {
+		t.Errorf("Node(b) = %+v, %v", n, ok)
+	}
+	if _, ok := m.Node("zz"); ok {
+		t.Error("Node(zz) found a ghost member")
+	}
+
+	single := `{"nodes": [{"id":"a","addr":"h:1"}], "replication": 3}`
+	m, err = ParseMap([]byte(single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Replication != 1 {
+		t.Errorf("replication not capped at node count: %d", m.Replication)
+	}
+
+	for _, bad := range []string{
+		`{`,
+		`{"nodes": []}`,
+		`{"nodes": [{"id":"","addr":"h:1"}]}`,
+		`{"nodes": [{"id":"a","addr":""}]}`,
+		`{"nodes": [{"id":"a","addr":"h:1","weight":-1}]}`,
+		`{"nodes": [{"id":"a","addr":"h:1"},{"id":"a","addr":"h:2"}]}`,
+	} {
+		if _, err := ParseMap([]byte(bad)); err == nil {
+			t.Errorf("ParseMap accepted %s", bad)
+		}
+	}
+}

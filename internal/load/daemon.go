@@ -6,8 +6,14 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"time"
 )
+
+// daemonSeq distinguishes the addr files of daemons started by one harness
+// process (a fleet smoke starts several).
+var daemonSeq atomic.Int64
 
 // Daemon is a disesrvd child process under harness control: built from the
 // working tree, bound to an ephemeral port, health-checked, and signalable.
@@ -15,7 +21,9 @@ import (
 // server — process boundary, SIGTERM handling and all — instead of an
 // in-process handler.
 type Daemon struct {
-	Base string // http://host:port
+	Base   string // http://host:port
+	Addr   string // host:port as bound
+	NodeID string // fleet node id from the addr file, "" outside a fleet
 
 	cmd    *exec.Cmd
 	exited chan error
@@ -53,7 +61,7 @@ func StartDaemon(bin, dir string, args ...string) (*Daemon, error) {
 }
 
 func startDaemonOnce(bin, dir string, args ...string) (*Daemon, error) {
-	addrFile := filepath.Join(dir, fmt.Sprintf("addr-%d", os.Getpid()))
+	addrFile := filepath.Join(dir, fmt.Sprintf("addr-%d-%d", os.Getpid(), daemonSeq.Add(1)))
 	os.Remove(addrFile)
 	argv := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, args...)
 	cmd := exec.Command(bin, argv...)
@@ -72,12 +80,23 @@ func startDaemonOnce(bin, dir string, args ...string) (*Daemon, error) {
 			return nil, fmt.Errorf("disesrvd exited during startup: %v", err)
 		default:
 		}
-		if addr, err := os.ReadFile(addrFile); err == nil && len(addr) > 0 {
-			base := "http://" + string(addr)
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			// The addr file is "addr" for a standalone daemon or
+			// "node-id addr" inside a fleet; the address is the last field.
+			fields := strings.Fields(string(raw))
+			if len(fields) == 0 {
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			addr := fields[len(fields)-1]
+			base := "http://" + addr
 			if resp, err := http.Get(base + "/healthz"); err == nil {
 				resp.Body.Close()
 				if resp.StatusCode == http.StatusOK {
-					d.Base = base
+					d.Base, d.Addr = base, addr
+					if len(fields) > 1 {
+						d.NodeID = fields[0]
+					}
 					return d, nil
 				}
 			}

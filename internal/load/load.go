@@ -180,7 +180,9 @@ func (g *Goldens) Len() int {
 
 // Options parameterizes one load run.
 type Options struct {
-	Client *client.Client
+	// Client submits the jobs: a single-node *client.Client or a routing
+	// *client.FleetClient — the harness is agnostic.
+	Client client.API
 	Mix    []Entry // default DefaultMix()
 
 	Mode        string  // "closed" (default) or "open"

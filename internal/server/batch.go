@@ -69,8 +69,9 @@ type BatchSummary struct {
 	Done    int    `json:"cells_ok"`
 	Trapped int    `json:"cells_trap"`
 	Aborted int    `json:"cells_aborted"`
-	// Cache is the provenance of the class stream: "memory", "disk", or
-	// "capture" (the batch captured it now).
+	// Cache is the provenance of the class stream: "memory", "disk",
+	// "peer" (fetched from the owning fleet node), or "capture" (the
+	// batch captured it now).
 	Cache   string `json:"cache"`
 	QueueUS int64  `json:"queue_us"`
 	RunUS   int64  `json:"run_us"`
@@ -209,6 +210,7 @@ func compileTimingVariant(req *SubmitRequest, base *compiledJob) (*compiledJob, 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	id := fmt.Sprintf("batch-%06d", s.bseq.Add(1))
+	s.fleet.countRoute(r)
 
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"log/slog"
 	"sync"
 	"sync/atomic"
@@ -47,14 +48,30 @@ type traceCache struct {
 	diskOK atomic.Bool
 	log    *slog.Logger
 
+	// peer, when non-nil, is the fleet's cross-node fetch hook, consulted
+	// after the disk tier and before capturing: a non-owner that misses asks
+	// the class's owner for its already-captured entry.
+	peer peerFetcher
+
 	hits, misses, evictions atomic.Int64
 
 	// Disk-tier outcomes. Every cacheable job is exactly one of hits,
-	// diskHits, or misses; diskMisses counts the captures that consulted a
-	// healthy disk first, and diskBad the entries the store verified but
-	// this layer could not decode (version skew — served as a miss).
+	// diskHits, peerHits, or misses; diskMisses counts the captures that
+	// consulted a healthy disk first, and diskBad the entries the store
+	// verified but this layer could not decode (version skew — served as a
+	// miss). peerFetches counts peer consultations, peerHits the ones a
+	// peer answered.
 	diskHits, diskMisses, diskBad atomic.Int64
+	peerFetches, peerHits         atomic.Int64
 	degradedEvents                atomic.Int64
+}
+
+// peerFetcher is the fleet layer's hook into the cache miss path.
+// consulted reports whether any peer was actually asked (false when this
+// node owns the class or no fleet is configured), so peerFetches counts
+// real cross-node lookups only.
+type peerFetcher interface {
+	peerFetch(key cacheKey) (tr *trace.Trace, es core.EngineStats, ok, consulted bool)
 }
 
 type cacheEnt struct {
@@ -87,6 +104,7 @@ const (
 	provCapture cacheProv = iota // captured now: a miss of every tier
 	provMemory                   // served from the memory hot set
 	provDisk                     // served from the persistent disk tier
+	provPeer                     // fetched from the owning peer's cache
 )
 
 func (p cacheProv) String() string {
@@ -95,6 +113,8 @@ func (p cacheProv) String() string {
 		return "memory"
 	case provDisk:
 		return "disk"
+	case provPeer:
+		return "peer"
 	default:
 		return "capture"
 	}
@@ -131,6 +151,20 @@ func (c *traceCache) do(key cacheKey, capture func() (*trace.Trace, core.EngineS
 		c.diskHits.Add(1)
 		c.account(key, ent)
 		return tr, es, provDisk, nil
+	}
+
+	if c.peer != nil {
+		tr, es, ok, consulted := c.peer.peerFetch(key)
+		if consulted {
+			c.peerFetches.Add(1)
+		}
+		if ok {
+			ent.tr, ent.engine, ent.ready = tr, es, true
+			c.peerHits.Add(1)
+			c.diskPut(key, tr, es)
+			c.account(key, ent)
+			return tr, es, provPeer, nil
+		}
 	}
 
 	tr, es, err = capture()
@@ -196,6 +230,76 @@ func (c *traceCache) diskPut(key cacheKey, tr *trace.Trace, es core.EngineStats)
 	}
 }
 
+// peek returns a completed memory-tier entry without waiting on in-flight
+// work: a capture mid-flight holds ent.mu, and the trace-serving endpoint
+// must not park an HTTP handler behind a simulation — the peer falls back
+// to the disk tier or its own capture instead.
+func (c *traceCache) peek(key cacheKey) (*trace.Trace, core.EngineStats, bool) {
+	c.mu.Lock()
+	ent := c.m[key]
+	c.mu.Unlock()
+	if ent == nil {
+		return nil, core.EngineStats{}, false
+	}
+	if !ent.mu.TryLock() {
+		return nil, core.EngineStats{}, false
+	}
+	defer ent.mu.Unlock()
+	if !ent.ready {
+		return nil, core.EngineStats{}, false
+	}
+	return ent.tr, ent.engine, true
+}
+
+// diskRaw returns the verified store payload for key without decoding it,
+// for serving to a peer verbatim. err is non-nil only for a disk IO fault
+// (which also degrades the tier) or an already-degraded tier — the caller
+// answers 503, distinguishing "cannot know" from a clean miss.
+func (c *traceCache) diskRaw(key cacheKey) ([]byte, bool, error) {
+	if c.disk == nil {
+		return nil, false, nil
+	}
+	if !c.diskOK.Load() {
+		return nil, false, errDiskDegraded
+	}
+	payload, ok, err := c.disk.Get(store.Key(key))
+	if err != nil {
+		c.degrade("get", err)
+		return nil, false, err
+	}
+	return payload, ok, nil
+}
+
+// errDiskDegraded marks a disk tier that is configured but detached.
+var errDiskDegraded = errors.New("disk tier degraded")
+
+// install adopts an already-verified entry pushed by a replicating peer:
+// memory tier plus write-through to disk, exactly like a local capture. An
+// entry whose class is mid-capture locally is dropped — the local flight
+// will produce the identical bytes anyway, and blocking a peer's HTTP
+// handler behind a simulation helps no one.
+func (c *traceCache) install(key cacheKey, tr *trace.Trace, es core.EngineStats) {
+	c.mu.Lock()
+	ent := c.m[key]
+	if ent == nil {
+		ent = &cacheEnt{}
+		c.m[key] = ent
+		c.gen++
+		ent.gen = c.gen
+	}
+	c.mu.Unlock()
+	if !ent.mu.TryLock() {
+		return
+	}
+	defer ent.mu.Unlock()
+	if ent.ready {
+		return
+	}
+	ent.tr, ent.engine, ent.ready = tr, es, true
+	c.diskPut(key, tr, es)
+	c.account(key, ent)
+}
+
 // degrade flips the cache to memory-only serving, once per outage.
 func (c *traceCache) degrade(op string, err error) {
 	if c.diskOK.CompareAndSwap(true, false) {
@@ -256,14 +360,18 @@ func (c *traceCache) account(key cacheKey, ent *cacheEnt) {
 
 // CacheStats is the /stats view of the trace cache. The memory-tier fields
 // keep their one-tier meanings (hits = memory hits, misses = captures);
-// every cacheable job is exactly one of hits, disk_hits, or misses. The
-// disk_* fields are zero and degraded false on a memory-only server.
+// every cacheable job is exactly one of hits, disk_hits, peer_hits, or
+// misses. The disk_* fields are zero and degraded false on a memory-only
+// server; the peer_* fields are zero outside a fleet.
 type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
 	Bytes     int64 `json:"bytes"`
+
+	PeerFetches int64 `json:"peer_fetches"`
+	PeerHits    int64 `json:"peer_hits"`
 
 	DiskEnabled     bool  `json:"disk_enabled"`
 	Degraded        bool  `json:"degraded"`
@@ -290,11 +398,13 @@ func (c *traceCache) stats() CacheStats {
 	bytes := c.bytes
 	c.mu.Unlock()
 	cs := CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   n,
-		Bytes:     bytes,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		Entries:     n,
+		Bytes:       bytes,
+		PeerFetches: c.peerFetches.Load(),
+		PeerHits:    c.peerHits.Load(),
 	}
 	if c.disk != nil {
 		ds := c.disk.StatsSnapshot()

@@ -1,0 +1,373 @@
+package server
+
+// The fleet layer: what one disesrvd knows about its peers. A shard map
+// (internal/fleet) names the members; this file serves the membership
+// document, serves and accepts trace-store entries over HTTP so peers can
+// consult this node's capture instead of redoing it, fetches from peers on
+// a local miss when this node is not the owner, and write-through
+// replicates completed captures to the key's replica set. All peer traffic
+// moves store-entry bytes (internal/store encoding), so every transfer is
+// length-, key-, and SHA-verified on receipt — a corrupt or truncated body
+// is indistinguishable from a miss, never data.
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// maxPeerEntryBytes bounds one replicated or fetched trace entry. Larger
+// classes are still served locally; they just do not travel.
+const maxPeerEntryBytes = 256 << 20
+
+// fleetState is the server's view of the shard map: its own identity, the
+// current map and ring (swapped atomically on SIGHUP reload), the HTTP
+// client used for peer fetch and replication, and the fleet counters
+// surfaced in /stats. A server outside any fleet has an empty nodeID and a
+// nil map; every method degrades to a no-op.
+type fleetState struct {
+	nodeID string
+	m      atomic.Pointer[fleet.Map]
+	ring   atomic.Pointer[fleet.Ring]
+	hc     *http.Client
+	log    *slog.Logger
+
+	traceServes   atomic.Int64 // GET /v1/traces entries served to peers
+	replicatedOut atomic.Int64 // entries successfully pushed to a replica
+	replicatedIn  atomic.Int64 // entries accepted from a replicating peer
+	hedged        atomic.Int64 // requests received carrying the hedge marker
+	rerouted      atomic.Int64 // requests received carrying the reroute marker
+}
+
+// routeHeader is set by FleetClient on failover and hedge duplicates so the
+// receiving node can count them; the values are "reroute" and "hedge".
+const routeHeader = "X-Dise-Route"
+
+// setFleet validates and installs a shard map. A nil map detaches the node
+// from any fleet (membership answers 404, peer fetch and replication stop).
+func (f *fleetState) setFleet(m *fleet.Map) error {
+	if m == nil {
+		f.m.Store(nil)
+		f.ring.Store(nil)
+		return nil
+	}
+	r, err := fleet.NewRing(m)
+	if err != nil {
+		return err
+	}
+	if _, ok := m.Node(f.nodeID); !ok && f.nodeID != "" {
+		f.log.Warn("this node is not in the shard map; serving as a pure router",
+			"node", f.nodeID, "epoch", m.Epoch)
+	}
+	// Ring before map: a reader that sees the new map also sees a ring.
+	f.ring.Store(r)
+	f.m.Store(m)
+	f.log.Info("shard map installed", "epoch", m.Epoch, "nodes", len(m.Nodes), "replication", m.Replication)
+	return nil
+}
+
+// active reports whether this node participates in a fleet, returning the
+// current map and ring when it does.
+func (f *fleetState) active() (*fleet.Map, *fleet.Ring, bool) {
+	m, r := f.m.Load(), f.ring.Load()
+	if f.nodeID == "" || m == nil || r == nil {
+		return nil, nil, false
+	}
+	return m, r, true
+}
+
+// SetFleet atomically swaps the server's shard map, e.g. on SIGHUP reload.
+func (s *Server) SetFleet(m *fleet.Map) error { return s.fleet.setFleet(m) }
+
+// MembershipPayload is the GET /v1/membership response body: which node is
+// answering and the shard map it is serving under.
+type MembershipPayload struct {
+	Node        string       `json:"node"`
+	Epoch       int64        `json:"epoch"`
+	Replication int          `json:"replication"`
+	Nodes       []fleet.Node `json:"nodes"`
+}
+
+func (s *Server) handleMembership(w http.ResponseWriter, r *http.Request) {
+	m := s.fleet.m.Load()
+	if m == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no fleet configured"})
+		return
+	}
+	writeJSON(w, http.StatusOK, &MembershipPayload{
+		Node:        s.fleet.nodeID,
+		Epoch:       m.Epoch,
+		Replication: m.Replication,
+		Nodes:       m.Nodes,
+	})
+}
+
+// parseTraceKey decodes the {key} path element: 64 hex chars of SHA-256.
+func parseTraceKey(r *http.Request) (cacheKey, error) {
+	var key cacheKey
+	raw := r.PathValue("key")
+	if len(raw) != 64 {
+		return key, fmt.Errorf("trace key must be 64 hex characters, got %d", len(raw))
+	}
+	if _, err := hex.Decode(key[:], []byte(raw)); err != nil {
+		return key, fmt.Errorf("trace key: %w", err)
+	}
+	return key, nil
+}
+
+// handleTraceGet serves one trace-cache entry as store-entry bytes: the
+// memory tier first (re-encoded), then the disk tier verbatim-verified. A
+// miss or a quarantined-corrupt entry is 404; a disk IO error or a degraded
+// tier is 503 (the entry may exist, this node just cannot prove it) — a
+// corrupt blob is never served, because both paths re-derive the payload
+// SHA the receiver checks.
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	key, err := parseTraceKey(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if tr, es, ok := s.cache.peek(key); ok {
+		payload, err := encodePersist(tr, es)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		s.serveEntry(w, store.EncodeEntry(store.Key(key), payload))
+		return
+	}
+	payload, ok, err := s.cache.diskRaw(key)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "disk tier unavailable"})
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such trace"})
+		return
+	}
+	s.serveEntry(w, store.EncodeEntry(store.Key(key), payload))
+}
+
+func (s *Server) serveEntry(w http.ResponseWriter, entry []byte) {
+	s.fleet.traceServes.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(len(entry)))
+	_, _ = w.Write(entry)
+}
+
+// handleTracePut accepts a replicated entry from a peer: decode and verify
+// the store-entry envelope against the key in the path, prove the payload
+// decodes under the current codec, then install it in this node's cache
+// (memory and write-through to disk). Any defect answers 400 and installs
+// nothing.
+func (s *Server) handleTracePut(w http.ResponseWriter, r *http.Request) {
+	key, err := parseTraceKey(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPeerEntryBytes))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("reading entry: %v", err)})
+		return
+	}
+	payload, err := store.DecodeEntryFor(store.Key(key), body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("entry rejected: %v", err)})
+		return
+	}
+	tr, es, err := decodePersist(payload)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("payload rejected: %v", err)})
+		return
+	}
+	s.fleet.replicatedIn.Add(1)
+	s.cache.install(key, tr, es)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// peerFetch consults the key's owner (then the remaining replicas) for an
+// already-captured trace before this node captures it itself. It returns
+// ok=false on any failure — the caller falls back to local capture, which
+// is always correct, just slower. Implements the cache's peerFetcher hook.
+func (s *Server) peerFetch(key cacheKey) (tr *trace.Trace, es core.EngineStats, ok, consulted bool) {
+	m, ring, active := s.fleet.active()
+	if !active {
+		return nil, core.EngineStats{}, false, false
+	}
+	seq := ring.Route([32]byte(key), m.Replication)
+	if len(seq) == 0 || seq[0].ID == s.fleet.nodeID {
+		// This node owns the class: capturing here IS the single flight.
+		return nil, core.EngineStats{}, false, false
+	}
+	for _, n := range seq {
+		if n.ID == s.fleet.nodeID {
+			continue
+		}
+		consulted = true
+		if tr, es, got := s.fetchFrom(n, key); got {
+			return tr, es, true, true
+		}
+	}
+	return nil, core.EngineStats{}, false, consulted
+}
+
+// fetchFrom GETs one entry from one peer and verifies it end to end.
+func (s *Server) fetchFrom(n fleet.Node, key cacheKey) (*trace.Trace, core.EngineStats, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PeerTimeout)
+	defer cancel()
+	url := fmt.Sprintf("http://%s/v1/traces/%s", n.Addr, hex.EncodeToString(key[:]))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, core.EngineStats{}, false
+	}
+	resp, err := s.fleet.hc.Do(req)
+	if err != nil {
+		s.cfg.Log.Info("peer fetch failed", "peer", n.ID, "err", err)
+		return nil, core.EngineStats{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, core.EngineStats{}, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerEntryBytes+1))
+	if err != nil || len(body) > maxPeerEntryBytes {
+		return nil, core.EngineStats{}, false
+	}
+	payload, err := store.DecodeEntryFor(store.Key(key), body)
+	if err != nil {
+		s.cfg.Log.Warn("peer sent unverifiable entry", "peer", n.ID, "err", err)
+		return nil, core.EngineStats{}, false
+	}
+	tr, es, err := decodePersist(payload)
+	if err != nil {
+		s.cfg.Log.Warn("peer entry undecodable", "peer", n.ID, "err", err)
+		return nil, core.EngineStats{}, false
+	}
+	return tr, es, true
+}
+
+// replicate write-through pushes a completed capture to the other members
+// of the key's replica set. It runs synchronously on the capturing worker —
+// by the time the first submission of a class is answered, R nodes hold the
+// entry — but each push is individually best-effort: a dead replica costs
+// one peer timeout and a log line, never the job.
+func (s *Server) replicate(key cacheKey, tr *trace.Trace, es core.EngineStats) {
+	m, ring, ok := s.fleet.active()
+	if !ok || m.Replication < 2 {
+		return
+	}
+	payload, err := encodePersist(tr, es)
+	if err != nil {
+		return
+	}
+	entry := store.EncodeEntry(store.Key(key), payload)
+	if len(entry) > maxPeerEntryBytes {
+		s.cfg.Log.Warn("capture too large to replicate", "bytes", len(entry))
+		return
+	}
+	for _, n := range ring.Route([32]byte(key), m.Replication) {
+		if n.ID == s.fleet.nodeID {
+			continue
+		}
+		if err := s.putTo(n, key, entry); err != nil {
+			s.cfg.Log.Info("replication push failed", "peer", n.ID, "err", err)
+			continue
+		}
+		s.fleet.replicatedOut.Add(1)
+	}
+}
+
+func (s *Server) putTo(n fleet.Node, key cacheKey, entry []byte) error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.PeerTimeout)
+	defer cancel()
+	url := fmt.Sprintf("http://%s/v1/traces/%s", n.Addr, hex.EncodeToString(key[:]))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, url, bytes.NewReader(entry))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := s.fleet.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("peer answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// countRoute bumps the hedge/reroute counters for a marked request.
+func (f *fleetState) countRoute(r *http.Request) {
+	switch r.Header.Get(routeHeader) {
+	case "hedge":
+		f.hedged.Add(1)
+	case "reroute":
+		f.rerouted.Add(1)
+	}
+}
+
+// FleetStats is the fleet section of /stats: this node's identity, the map
+// epoch it serves under, and the cross-node traffic counters. hedged and
+// rerouted count requests received carrying the FleetClient's route
+// markers, so summed across the fleet they reconcile with the client-side
+// ledger.
+type FleetStats struct {
+	Node          string `json:"node,omitempty"`
+	Epoch         int64  `json:"epoch"`
+	TraceServes   int64  `json:"trace_serves"`
+	ReplicatedOut int64  `json:"replicated_out"`
+	ReplicatedIn  int64  `json:"replicated_in"`
+	Hedged        int64  `json:"hedged"`
+	Rerouted      int64  `json:"rerouted"`
+}
+
+func (f *fleetState) stats() FleetStats {
+	fs := FleetStats{
+		Node:          f.nodeID,
+		TraceServes:   f.traceServes.Load(),
+		ReplicatedOut: f.replicatedOut.Load(),
+		ReplicatedIn:  f.replicatedIn.Load(),
+		Hedged:        f.hedged.Load(),
+		Rerouted:      f.rerouted.Load(),
+	}
+	if m := f.m.Load(); m != nil {
+		fs.Epoch = m.Epoch
+	}
+	return fs
+}
+
+// ClassKey computes the routing key of a request exactly as the server
+// does: the SHA-256 equivalence-class address over the stream-changing
+// dimensions. cacheable reports whether servers will cache the class
+// (watchdogged jobs are not cached, but the key still routes them
+// deterministically). defaultBudget must match the servers' -budget for
+// requests that leave budget_insts unset.
+func ClassKey(req *SubmitRequest, defaultBudget int64) (key [32]byte, cacheable bool, err error) {
+	c, err := compile(req, defaultBudget)
+	if err != nil {
+		return key, false, err
+	}
+	k := c.key
+	if !c.cacheable {
+		k = c.cacheKey()
+	}
+	return [32]byte(k), c.cacheable, nil
+}
+
+// DefaultBudget exposes the server's compiled-in instruction budget default
+// so clients computing ClassKey agree with servers running defaults.
+const DefaultBudget = 50_000_000

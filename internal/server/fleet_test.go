@@ -1,0 +1,491 @@
+package server
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/fleet"
+	"repro/internal/store"
+)
+
+// startFleet starts one httptest server per config (each cfg must carry a
+// NodeID), assembles a shard map over their bound addresses, and installs it
+// on every node — the same bootstrap order the smoke harness uses, since
+// addresses are not known until the listeners exist.
+func startFleet(t *testing.T, repl int, cfgs ...Config) (map[string]*httptest.Server, map[string]*Server, *fleet.Map) {
+	t.Helper()
+	m := &fleet.Map{Epoch: 1, Replication: repl}
+	tss := make(map[string]*httptest.Server, len(cfgs))
+	srvs := make(map[string]*Server, len(cfgs))
+	for _, cfg := range cfgs {
+		if cfg.NodeID == "" {
+			t.Fatal("startFleet: config without NodeID")
+		}
+		ts, s := newTestServer(t, cfg)
+		tss[cfg.NodeID], srvs[cfg.NodeID] = ts, s
+		m.Nodes = append(m.Nodes, fleet.Node{ID: cfg.NodeID, Addr: strings.TrimPrefix(ts.URL, "http://")})
+	}
+	for id, s := range srvs {
+		if err := s.SetFleet(m); err != nil {
+			t.Fatalf("installing map on %s: %v", id, err)
+		}
+	}
+	return tss, srvs, m
+}
+
+func classKeyOf(t *testing.T, req *SubmitRequest) cacheKey {
+	t.Helper()
+	key, cacheable, err := ClassKey(req, DefaultBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cacheable {
+		t.Fatalf("test request unexpectedly uncacheable")
+	}
+	return cacheKey(key)
+}
+
+// classOwnedBy walks budget variants of the smoke request until the ring
+// places the class on the wanted node. Budget is a stream-changing dimension,
+// so each variant is its own equivalence class with identical behavior.
+func classOwnedBy(t *testing.T, r *fleet.Ring, nodeID string) (*SubmitRequest, cacheKey) {
+	t.Helper()
+	for b := int64(0); b < 256; b++ {
+		req := SmokeRequest()
+		req.BudgetInsts = 1_000_000 + b
+		key := classKeyOf(t, req)
+		if r.Owner([32]byte(key)).ID == nodeID {
+			return req, key
+		}
+	}
+	t.Fatalf("no smoke-class variant owned by %s in 256 tries", nodeID)
+	return nil, cacheKey{}
+}
+
+func getTrace(t *testing.T, ts *httptest.Server, key string) (int, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/traces/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, buf.Bytes()
+}
+
+func putTrace(t *testing.T, ts *httptest.Server, key string, body []byte) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/traces/"+key, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestMembershipEndpoint(t *testing.T) {
+	ts, s := newTestServer(t, quietConfig())
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/membership")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("membership without a fleet: %d, want 404", resp.StatusCode)
+	}
+
+	m := &fleet.Map{Epoch: 7, Replication: 1, Nodes: []fleet.Node{{ID: "a", Addr: "127.0.0.1:1"}}}
+	if err := s.SetFleet(m); err != nil {
+		t.Fatal(err)
+	}
+	get := func() *MembershipPayload {
+		resp, err := ts.Client().Get(ts.URL + "/v1/membership")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("membership: %d", resp.StatusCode)
+		}
+		var mp MembershipPayload
+		if err := json.NewDecoder(resp.Body).Decode(&mp); err != nil {
+			t.Fatal(err)
+		}
+		return &mp
+	}
+	mp := get()
+	if mp.Epoch != 7 || mp.Replication != 1 || len(mp.Nodes) != 1 || mp.Nodes[0].ID != "a" {
+		t.Fatalf("membership payload: %+v", mp)
+	}
+
+	// A SIGHUP-style swap serves the new epoch immediately.
+	m2 := &fleet.Map{Epoch: 8, Replication: 1, Nodes: m.Nodes}
+	if err := s.SetFleet(m2); err != nil {
+		t.Fatal(err)
+	}
+	if mp := get(); mp.Epoch != 8 {
+		t.Fatalf("after reload epoch = %d, want 8", mp.Epoch)
+	}
+	if st := getStats(t, ts); st.Fleet.Epoch != 8 {
+		t.Fatalf("/stats fleet epoch = %d, want 8", st.Fleet.Epoch)
+	}
+
+	// Detaching answers 404 again.
+	if err := s.SetFleet(nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/v1/membership")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("membership after detach: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestPeerFetchServesOwnerCapture is the cross-node single-flight contract:
+// with replication 1 the owner alone captures, and a non-owner's first
+// submission of the class is served by fetching the owner's entry — verified
+// byte-identical — instead of re-simulating.
+func TestPeerFetchServesOwnerCapture(t *testing.T) {
+	cfgA, cfgB := quietConfig(), quietConfig()
+	cfgA.NodeID, cfgB.NodeID = "a", "b"
+	tss, _, m := startFleet(t, 1, cfgA, cfgB)
+	ring, err := fleet.NewRing(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, key := classOwnedBy(t, ring, "a")
+
+	_, _, first := post(t, tss["a"], req)
+	if first.Outcome != "done" || first.Cached {
+		t.Fatalf("owner capture: outcome %q cached %v", first.Outcome, first.Cached)
+	}
+
+	_, _, second := post(t, tss["b"], req)
+	if second.Outcome != "done" || !second.Cached {
+		t.Fatalf("peer-served job: outcome %q cached %v", second.Outcome, second.Cached)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatalf("peer-fetched result differs from owner capture:\n%s\nvs\n%s", first.Result, second.Result)
+	}
+
+	stB := getStats(t, tss["b"])
+	if stB.Cache.PeerFetches != 1 || stB.Cache.PeerHits != 1 || stB.Cache.Misses != 0 {
+		t.Fatalf("fetcher cache stats: %+v", stB.Cache)
+	}
+	stA := getStats(t, tss["a"])
+	if stA.Fleet.TraceServes != 1 {
+		t.Fatalf("owner trace_serves = %d, want 1", stA.Fleet.TraceServes)
+	}
+	if stA.Cache.PeerFetches != 0 {
+		t.Fatalf("owner consulted a peer for its own class: %+v", stA.Cache)
+	}
+
+	// The fetched entry is now in b's memory tier: repeats are plain hits.
+	_, _, third := post(t, tss["b"], req)
+	if !third.Cached || !bytes.Equal(first.Result, third.Result) {
+		t.Fatalf("repeat on fetcher: cached %v", third.Cached)
+	}
+	if st := getStats(t, tss["b"]); st.Cache.Hits != 1 || st.Cache.PeerFetches != 1 {
+		t.Fatalf("repeat stats: %+v", st.Cache)
+	}
+	_ = key
+}
+
+// TestReplicationWriteThrough: with replication 2 the owner's capture is
+// pushed to the replica before the first response, so the replica serves the
+// class from its own memory — no peer fetch on its miss path.
+func TestReplicationWriteThrough(t *testing.T) {
+	cfgA, cfgB := quietConfig(), quietConfig()
+	cfgA.NodeID, cfgB.NodeID = "a", "b"
+	tss, _, m := startFleet(t, 2, cfgA, cfgB)
+	ring, err := fleet.NewRing(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, key := classOwnedBy(t, ring, "a")
+	replica := ring.Route([32]byte(key), 2)[1].ID
+	if replica != "b" {
+		t.Fatalf("with two nodes the replica must be b, got %s", replica)
+	}
+
+	_, _, first := post(t, tss["a"], req)
+	if first.Outcome != "done" || first.Cached {
+		t.Fatalf("owner capture: outcome %q cached %v", first.Outcome, first.Cached)
+	}
+	// Replication is synchronous with the capture, so the counters are
+	// settled by response time.
+	if st := getStats(t, tss["a"]); st.Fleet.ReplicatedOut != 1 {
+		t.Fatalf("owner replicated_out = %d, want 1", st.Fleet.ReplicatedOut)
+	}
+	if st := getStats(t, tss["b"]); st.Fleet.ReplicatedIn != 1 {
+		t.Fatalf("replica replicated_in = %d, want 1", st.Fleet.ReplicatedIn)
+	}
+
+	_, _, second := post(t, tss["b"], req)
+	if second.Outcome != "done" || !second.Cached {
+		t.Fatalf("replica-served job: outcome %q cached %v", second.Outcome, second.Cached)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatalf("replicated result differs from owner capture")
+	}
+	st := getStats(t, tss["b"])
+	if st.Cache.Hits != 1 || st.Cache.PeerFetches != 0 || st.Cache.Misses != 0 {
+		t.Fatalf("replica cache stats after replicated hit: %+v", st.Cache)
+	}
+}
+
+// TestPeerFallback: when no peer can produce the entry — clean miss on a
+// healthy owner, then a 503 from an owner whose disk tier is faulted — the
+// requester falls back to capturing locally, and its ledger still reconciles
+// (every cacheable job is exactly one of hits/disk/peer/misses).
+func TestPeerFallback(t *testing.T) {
+	fsys := fault.NewFS(store.OSFS{}, fault.DisarmedPlan())
+	cfgA := storeConfig(t.TempDir())
+	cfgA.StoreFS = fsys
+	cfgA.NodeID = "a"
+	cfgB := quietConfig()
+	cfgB.NodeID = "b"
+	tss, _, m := startFleet(t, 1, cfgA, cfgB)
+	ring, err := fleet.NewRing(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean miss: the owner has never captured the class and answers 404.
+	req1, _ := classOwnedBy(t, ring, "a")
+	_, _, r1 := post(t, tss["b"], req1)
+	if r1.Outcome != "done" || r1.Cached {
+		t.Fatalf("fallback capture: outcome %q cached %v", r1.Outcome, r1.Cached)
+	}
+	st := getStats(t, tss["b"])
+	if st.Cache.PeerFetches != 1 || st.Cache.PeerHits != 0 || st.Cache.Misses != 1 {
+		t.Fatalf("fallback stats after 404: %+v", st.Cache)
+	}
+
+	// Faulted owner: reads fail with EIO, so its trace endpoint answers 503
+	// ("cannot know") — the requester must still capture and succeed.
+	fsys.FailReads(fault.ErrInjectedEIO)
+	req2 := SmokeRequest()
+	for b := int64(0); ; b++ {
+		req2.BudgetInsts = 2_000_000 + b
+		if ring.Owner([32]byte(classKeyOf(t, req2))).ID == "a" {
+			break
+		}
+	}
+	_, _, r2 := post(t, tss["b"], req2)
+	if r2.Outcome != "done" || r2.Cached {
+		t.Fatalf("fallback past faulted owner: outcome %q cached %v", r2.Outcome, r2.Cached)
+	}
+	st = getStats(t, tss["b"])
+	if st.Cache.PeerFetches != 2 || st.Cache.PeerHits != 0 || st.Cache.Misses != 2 {
+		t.Fatalf("fallback stats after 503: %+v", st.Cache)
+	}
+	if got := st.Cache.Hits + st.Cache.DiskHits + st.Cache.PeerHits + st.Cache.Misses; got != 2 {
+		t.Fatalf("ledger: hits+disk+peer+misses = %d, want 2", got)
+	}
+}
+
+// TestTraceEndpointServesVerifiedEntry pins the wire format of GET
+// /v1/traces/{key}: store-entry bytes that decode under the requested key
+// and the persist codec, plus the 404/400 edges.
+func TestTraceEndpointServesVerifiedEntry(t *testing.T) {
+	cfg := quietConfig()
+	cfg.NodeID = "a"
+	tss, _, _ := startFleet(t, 1, cfg)
+	ts := tss["a"]
+
+	req := SmokeRequest()
+	key := classKeyOf(t, req)
+	_, _, first := post(t, ts, req)
+	if first.Outcome != "done" {
+		t.Fatalf("capture: %q", first.Outcome)
+	}
+
+	hexKey := hex.EncodeToString(key[:])
+	code, body := getTrace(t, ts, hexKey)
+	if code != http.StatusOK {
+		t.Fatalf("GET trace: %d", code)
+	}
+	payload, err := store.DecodeEntryFor(store.Key(key), body)
+	if err != nil {
+		t.Fatalf("entry does not verify: %v", err)
+	}
+	if _, _, err := decodePersist(payload); err != nil {
+		t.Fatalf("payload does not decode: %v", err)
+	}
+	if st := getStats(t, ts); st.Fleet.TraceServes != 1 {
+		t.Fatalf("trace_serves = %d, want 1", st.Fleet.TraceServes)
+	}
+
+	if code, _ := getTrace(t, ts, strings.Repeat("0", 64)); code != http.StatusNotFound {
+		t.Fatalf("unknown key: %d, want 404", code)
+	}
+	if code, _ := getTrace(t, ts, "zz"); code != http.StatusBadRequest {
+		t.Fatalf("short key: %d, want 400", code)
+	}
+	if code, _ := getTrace(t, ts, strings.Repeat("x", 64)); code != http.StatusBadRequest {
+		t.Fatalf("non-hex key: %d, want 400", code)
+	}
+}
+
+// TestTraceEndpointUnderDiskFaults drives the endpoint through the disk
+// tier's failure modes: EIO answers 503 (never bytes), a healed tier serves
+// again, and a corrupted-on-disk entry is quarantined into a clean 404 — a
+// corrupt blob is never handed to a peer.
+func TestTraceEndpointUnderDiskFaults(t *testing.T) {
+	dir := t.TempDir()
+	fsys := fault.NewFS(store.OSFS{}, fault.DisarmedPlan())
+	cfg := storeConfig(dir)
+	cfg.StoreFS = fsys
+	cfg.NodeID = "a"
+	cfg.CacheBytes = 1 // evict completed classes from memory so GETs reach disk
+	cfg.StoreProbe = 5 * time.Millisecond
+	tss, _, _ := startFleet(t, 1, cfg)
+	ts := tss["a"]
+
+	reqA := SmokeRequest()
+	keyA := hex.EncodeToString(func() []byte { k := classKeyOf(t, reqA); return k[:] }())
+	reqB := SmokeRequest()
+	reqB.BudgetInsts = 3_000_000
+	if _, _, r := post(t, ts, reqA); r.Outcome != "done" {
+		t.Fatalf("capture A: %q", r.Outcome)
+	}
+	if _, _, r := post(t, ts, reqB); r.Outcome != "done" {
+		t.Fatalf("capture B: %q", r.Outcome)
+	}
+
+	// A is evicted from memory (budget 1 byte), so the GET must go to disk.
+	fsys.FailReads(fault.ErrInjectedEIO)
+	if code, _ := getTrace(t, ts, keyA); code != http.StatusServiceUnavailable {
+		t.Fatalf("GET under EIO: %d, want 503", code)
+	}
+	// The fault degraded the tier; while degraded the answer stays 503.
+	if code, _ := getTrace(t, ts, keyA); code != http.StatusServiceUnavailable {
+		t.Fatalf("GET while degraded: %d, want 503", code)
+	}
+
+	fsys.Heal()
+	waitStats(t, ts, "disk tier to re-attach", func(sp *StatsPayload) bool {
+		return !sp.Cache.Degraded
+	})
+	code, body := getTrace(t, ts, keyA)
+	if code != http.StatusOK {
+		t.Fatalf("GET after heal: %d", code)
+	}
+	var key store.Key
+	if _, err := hex.Decode(key[:], []byte(keyA)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.DecodeEntryFor(key, body); err != nil {
+		t.Fatalf("healed entry does not verify: %v", err)
+	}
+
+	// Corrupt A's entry file on disk: the store quarantines it on read and
+	// the endpoint answers a clean 404.
+	name := filepath.Join(dir, keyA+".dse")
+	if err := os.WriteFile(name, []byte("garbage, not an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := getTrace(t, ts, keyA); code != http.StatusNotFound {
+		t.Fatalf("GET of corrupt entry: %d, want 404", code)
+	}
+}
+
+// TestTracePutRoundTrip moves an entry between two standalone servers by
+// hand — GET from the capturer, PUT to the other — and pins the PUT
+// validation edges: garbage and key-mismatched envelopes install nothing.
+func TestTracePutRoundTrip(t *testing.T) {
+	ts1, _ := newTestServer(t, quietConfig())
+	ts2, _ := newTestServer(t, quietConfig())
+
+	req := SmokeRequest()
+	key := classKeyOf(t, req)
+	hexKey := hex.EncodeToString(key[:])
+	_, _, first := post(t, ts1, req)
+	if first.Outcome != "done" {
+		t.Fatalf("capture: %q", first.Outcome)
+	}
+	code, entry := getTrace(t, ts1, hexKey)
+	if code != http.StatusOK {
+		t.Fatalf("GET: %d", code)
+	}
+
+	if code := putTrace(t, ts2, hexKey, []byte("not an entry")); code != http.StatusBadRequest {
+		t.Fatalf("PUT garbage: %d, want 400", code)
+	}
+	wrong := strings.Repeat("0", 64)
+	if code := putTrace(t, ts2, wrong, entry); code != http.StatusBadRequest {
+		t.Fatalf("PUT under mismatched key: %d, want 400", code)
+	}
+	if st := getStats(t, ts2); st.Fleet.ReplicatedIn != 0 {
+		t.Fatalf("rejected PUTs counted: %+v", st.Fleet)
+	}
+
+	if code := putTrace(t, ts2, hexKey, entry); code != http.StatusNoContent {
+		t.Fatalf("PUT valid entry: %d, want 204", code)
+	}
+	if st := getStats(t, ts2); st.Fleet.ReplicatedIn != 1 {
+		t.Fatalf("replicated_in = %d, want 1", st.Fleet.ReplicatedIn)
+	}
+
+	// The installed entry serves the class from memory, byte-identical.
+	_, _, second := post(t, ts2, req)
+	if !second.Cached || !bytes.Equal(first.Result, second.Result) {
+		t.Fatalf("installed entry not served: cached %v", second.Cached)
+	}
+	if st := getStats(t, ts2); st.Cache.Hits != 1 || st.Cache.Misses != 0 {
+		t.Fatalf("post-install stats: %+v", st.Cache)
+	}
+}
+
+// TestRouteMarkerCounters: requests carrying the FleetClient's route markers
+// bump the receiving node's hedged/rerouted counters, which is what lets the
+// smoke harness reconcile client and fleet ledgers exactly.
+func TestRouteMarkerCounters(t *testing.T) {
+	ts, _ := newTestServer(t, quietConfig())
+	send := func(marker string) {
+		body, _ := json.Marshal(SmokeRequest())
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if marker != "" {
+			req.Header.Set("X-Dise-Route", marker)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	send("")
+	send("hedge")
+	send("reroute")
+	send("reroute")
+	st := getStats(t, ts)
+	if st.Fleet.Hedged != 1 || st.Fleet.Rerouted != 2 {
+		t.Fatalf("route counters: hedged %d rerouted %d, want 1 and 2", st.Fleet.Hedged, st.Fleet.Rerouted)
+	}
+}

@@ -80,6 +80,7 @@ type StatsPayload struct {
 	Jobs    JobStats     `json:"jobs"`
 	Batches BatchStats   `json:"batches"`
 	Cache   CacheStats   `json:"cache"`
+	Fleet   FleetStats   `json:"fleet"`
 	Latency LatencyStats `json:"latency"`
 }
 

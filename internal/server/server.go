@@ -50,6 +50,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/emu"
+	"repro/internal/fleet"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -71,6 +72,10 @@ type Config struct {
 	StoreBytes int64         // disk tier byte budget (default 1GB)
 	StoreProbe time.Duration // degraded-disk recovery probe interval (default 5s)
 	StoreFS    store.FS      // filesystem under the store (default the OS; tests inject faults)
+
+	NodeID      string        // this daemon's fleet identity ("" = not in a fleet)
+	Fleet       *fleet.Map    // initial shard map (nil = none until SetFleet)
+	PeerTimeout time.Duration // per-peer fetch/replication deadline (default 2s)
 }
 
 func (c Config) withDefaults() Config {
@@ -90,7 +95,7 @@ func (c Config) withDefaults() Config {
 		c.MaxTimeout = 5 * time.Minute
 	}
 	if c.DefaultBudget <= 0 {
-		c.DefaultBudget = 50_000_000
+		c.DefaultBudget = DefaultBudget
 	}
 	if c.Log == nil {
 		c.Log = slog.Default()
@@ -104,6 +109,9 @@ func (c Config) withDefaults() Config {
 	if c.StoreFS == nil {
 		c.StoreFS = store.OSFS{}
 	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 2 * time.Second
+	}
 	return c
 }
 
@@ -113,6 +121,7 @@ type Server struct {
 	sched   *scheduler
 	cache   *traceCache
 	metrics metrics
+	fleet   *fleetState
 	seq     atomic.Int64
 	bseq    atomic.Int64
 
@@ -142,6 +151,19 @@ func New(cfg Config) (*Server, error) {
 		disk = st
 	}
 	s.cache = newTraceCache(s.cfg.CacheBytes, disk, s.cfg.Log)
+	s.fleet = &fleetState{
+		nodeID: s.cfg.NodeID,
+		hc:     &http.Client{Transport: http.DefaultTransport},
+		log:    s.cfg.Log,
+	}
+	if s.cfg.Fleet != nil {
+		if err := s.fleet.setFleet(s.cfg.Fleet); err != nil {
+			return nil, fmt.Errorf("installing shard map: %w", err)
+		}
+	}
+	if s.cfg.NodeID != "" {
+		s.cache.peer = s
+	}
 	s.sched = newScheduler(s.cfg.Workers, s.cfg.QueueDepth, s.runJob)
 	if disk != nil {
 		s.probeStop = make(chan struct{})
@@ -182,6 +204,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/batches", s.handleBatch)
+	mux.HandleFunc("GET /v1/membership", s.handleMembership)
+	mux.HandleFunc("GET /v1/traces/{key}", s.handleTraceGet)
+	mux.HandleFunc("PUT /v1/traces/{key}", s.handleTracePut)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
@@ -203,6 +228,7 @@ type SubmitResponse struct {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
 	id := fmt.Sprintf("job-%06d", s.seq.Add(1))
+	s.fleet.countRoute(r)
 
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
@@ -345,6 +371,10 @@ func (s *Server) captureFunc(ctx context.Context, c *compiledJob) func() (*trace
 		if ctrl != nil {
 			es = ctrl.Engine().Stats
 		}
+		// Write-through replication: by the time the first submission of a
+		// class is answered, R fleet nodes hold the entry. Outside a fleet
+		// this is a no-op.
+		s.replicate(c.key, tr, es)
 		return tr, es, nil
 	}
 }
@@ -411,6 +441,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Jobs:       s.metrics.jobs(),
 		Batches:    s.metrics.batchStats(),
 		Cache:      s.cache.stats(),
+		Fleet:      s.fleet.stats(),
 		Latency:    s.metrics.latency(),
 	})
 }
