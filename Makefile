@@ -1,9 +1,11 @@
-GO       ?= go
-FUZZTIME ?= 10s
-BASE     ?= BENCH_PR7.json
-OUT      ?= BENCH_PR8.json
+GO            ?= go
+FUZZTIME      ?= 10s
+BASE          ?= BENCH_PR7.json
+OUT           ?= BENCH_PR8.json
+CONFORM_CASES ?= 1000
+CONFORM_SHARD ?=
 
-.PHONY: all build vet test race race-experiments bench benchcmp check-experiments check-experiments-batch serve-smoke load-smoke batch-smoke store-smoke fleet-smoke check-docs fuzz verify clean
+.PHONY: all build vet test race race-experiments bench benchcmp check-experiments check-experiments-batch serve-smoke load-smoke batch-smoke store-smoke fleet-smoke check-docs fuzz conform conform-shrink verify clean
 
 all: build test
 
@@ -91,6 +93,20 @@ store-smoke:
 fleet-smoke:
 	$(GO) run ./cmd/fleetsmoke
 
+# Differential conformance corpus: the committed corpus/ cases plus
+# $(CONFORM_CASES) generated cases (pinned seed), each run four ways —
+# interpreted emu, translated emu, live timed run, trace capture+replay —
+# with every observable asserted equal, plus the disassembly ground-truth
+# audits. CONFORM_SHARD=i/n restricts to one shard for CI fan-out; nightly
+# lanes raise CONFORM_CASES.
+conform:
+	$(GO) run ./cmd/disespec run -corpus corpus -cases $(CONFORM_CASES) $(if $(CONFORM_SHARD),-shard $(CONFORM_SHARD))
+
+# Minimize a failing conformance case into a ready-to-commit repro:
+#   make conform-shrink CASE=failing.json
+conform-shrink:
+	$(GO) run ./cmd/disespec shrink -case $(CASE)
+
 # Docs drift gate: every cmd/* flag documented in README (and vice versa),
 # every internal/server route documented in docs/API.md, and every package
 # carrying a real package comment.
@@ -108,7 +124,7 @@ fuzz:
 	$(GO) test . -run '^$$' -fuzz '^FuzzRun$$' -fuzztime $(FUZZTIME)
 	$(GO) test . -run '^$$' -fuzz '^FuzzTranslated$$' -fuzztime $(FUZZTIME)
 
-verify: build vet race race-experiments serve-smoke load-smoke batch-smoke store-smoke fleet-smoke check-docs fuzz
+verify: build vet race race-experiments serve-smoke load-smoke batch-smoke store-smoke fleet-smoke conform check-docs fuzz
 
 clean:
 	rm -f disefault experiments_full.txt.new

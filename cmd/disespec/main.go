@@ -1,0 +1,183 @@
+// disespec runs the differential conformance corpus: declarative cases that
+// must agree across interpreted emulation, translated emulation, the timed
+// pipeline and trace replay, plus the disassembly ground-truth audits.
+//
+//	disespec run -corpus corpus -cases 1000          committed + generated cases
+//	disespec run -cases 4000 -shard 2/8              one CI shard of a large corpus
+//	disespec generate -cases 20 -out corpus-new      write generated cases to files
+//	disespec shrink -case failing.json -out min.json minimize a failing case
+//
+// Exit status: 0 when every case passes, 1 on conformance failures, 2 on
+// usage or I/O errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/conform"
+)
+
+var (
+	corpus   = flag.String("corpus", "", "directory of committed case files to run")
+	cases    = flag.Int("cases", 0, "number of generated cases to add to the run")
+	seed     = flag.Int64("seed", 1, "generator master seed")
+	shard    = flag.String("shard", "", "run only shard i/n of the corpus (e.g. 0/4)")
+	workers  = flag.Int("workers", runtime.NumCPU(), "parallel harness workers")
+	caseFile = flag.String("case", "", "single case file to run or shrink")
+	out      = flag.String("out", "", "output path (generate: directory, shrink: file)")
+	verbose  = flag.Bool("v", false, "print one line per case")
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	sub := os.Args[1]
+	if err := flag.CommandLine.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	var err error
+	switch sub {
+	case "run":
+		err = runCmd()
+	case "generate":
+		err = generateCmd()
+	case "shrink":
+		err = shrinkCmd()
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "disespec: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: disespec <run|generate|shrink> [flags]")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+// gather collects the run set: the committed corpus, the generated corpus,
+// or a single case file, then applies the shard filter.
+func gather() ([]*conform.Case, error) {
+	var all []*conform.Case
+	if *caseFile != "" {
+		c, err := conform.Load(*caseFile)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, c)
+	}
+	if *corpus != "" {
+		cs, err := conform.LoadDir(*corpus)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, cs...)
+	}
+	if *cases > 0 {
+		g := conform.DefaultGenSpec()
+		g.Cases = *cases
+		g.Seed = *seed
+		all = append(all, g.Generate()...)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("nothing to run: give -corpus, -cases or -case")
+	}
+	idx, n, err := conform.ParseShard(*shard)
+	if err != nil {
+		return nil, err
+	}
+	return conform.Shard(all, idx, n), nil
+}
+
+func runCmd() error {
+	cs, err := gather()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	failed := 0
+	var insts int64
+	for _, o := range conform.RunAll(cs, *workers) {
+		if o.Report != nil {
+			insts += o.Report.Insts
+		}
+		if o.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "FAIL %v\n", o.Err)
+			continue
+		}
+		if *verbose {
+			fmt.Printf("ok   %-16s %7d insts %8d cycles  trap=%s\n",
+				o.Report.Name, o.Report.Insts, o.Report.Cycles, o.Report.Trap)
+		}
+	}
+	fmt.Printf("conform: %d/%d cases passed, %d functional insts, %s\n",
+		len(cs)-failed, len(cs), insts, time.Since(start).Round(time.Millisecond))
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "disespec: shrink a failure with: disespec shrink -case <file>\n")
+		os.Exit(1)
+	}
+	return nil
+}
+
+func generateCmd() error {
+	if *cases <= 0 {
+		return fmt.Errorf("generate: give -cases")
+	}
+	dir := *out
+	if dir == "" {
+		return fmt.Errorf("generate: give -out directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	g := conform.DefaultGenSpec()
+	g.Cases = *cases
+	g.Seed = *seed
+	for _, c := range g.Generate() {
+		if err := c.Save(filepath.Join(dir, c.Name+".json")); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("conform: wrote %d cases to %s\n", *cases, dir)
+	return nil
+}
+
+func shrinkCmd() error {
+	if *caseFile == "" {
+		return fmt.Errorf("shrink: give -case <file>")
+	}
+	c, err := conform.Load(*caseFile)
+	if err != nil {
+		return err
+	}
+	min, tried := conform.Shrink(c)
+	if tried == 0 {
+		fmt.Printf("conform: %s passes; nothing to shrink\n", c.Name)
+		return nil
+	}
+	if *out != "" {
+		if err := min.Save(*out); err != nil {
+			return err
+		}
+		fmt.Printf("conform: shrunk %s after %d candidate runs -> %s\n", c.Name, tried, *out)
+		return nil
+	}
+	fmt.Printf("conform: shrunk %s after %d candidate runs; repro case:\n", c.Name, tried)
+	data, err := json.MarshalIndent(min, "", "  ")
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(append(data, '\n'))
+	return nil
+}

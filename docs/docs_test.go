@@ -8,6 +8,7 @@ package docs
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"log/slog"
 	"net/http"
@@ -17,6 +18,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/conform"
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/server"
@@ -127,6 +129,52 @@ func TestAPIExamplesAccepted(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("curl example %d (%s): status %d: %s\nbody: %s", i+1, c.path, resp.StatusCode, out, c.body)
+		}
+	}
+}
+
+// TestCorpusDocumentsEveryCaseField walks the JSON tags of the conformance
+// case schema (case, expectations, generator knobs) and requires each to
+// appear as a `code` literal in CORPUS.md, so a schema field added without
+// documentation fails here.
+func TestCorpusDocumentsEveryCaseField(t *testing.T) {
+	doc, err := os.ReadFile("CORPUS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range []any{conform.Case{}, conform.Expect{}, conform.GenSpec{}} {
+		rt := reflect.TypeOf(typ)
+		for i := 0; i < rt.NumField(); i++ {
+			tag, _, _ := strings.Cut(rt.Field(i).Tag.Get("json"), ",")
+			if tag == "" || tag == "-" {
+				continue
+			}
+			if !bytes.Contains(doc, []byte("`"+tag+"`")) {
+				t.Errorf("CORPUS.md does not document %s.%s (json field `%s`)",
+					rt.Name(), rt.Field(i).Name, tag)
+			}
+		}
+	}
+}
+
+// TestCorpusExamplesPass parses every ```json block in CORPUS.md as a
+// conformance case and runs it through the real four-way harness: the
+// documented examples are corpus cases, not illustrations.
+func TestCorpusExamplesPass(t *testing.T) {
+	blocks := fencedBlocks(t, "CORPUS.md", "json")
+	if len(blocks) < 3 {
+		t.Fatalf("CORPUS.md has %d ```json example cases, expected several", len(blocks))
+	}
+	for i, src := range blocks {
+		dec := json.NewDecoder(strings.NewReader(src))
+		dec.DisallowUnknownFields()
+		c := &conform.Case{}
+		if err := dec.Decode(c); err != nil {
+			t.Errorf("example %d does not parse as a case: %v\n%s", i+1, err, src)
+			continue
+		}
+		if _, err := conform.Run(c); err != nil {
+			t.Errorf("example %d (%s) fails the harness: %v", i+1, c.Name, err)
 		}
 	}
 }

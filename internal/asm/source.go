@@ -1,0 +1,125 @@
+package asm
+
+// Source emission: the inverse of Assemble, for natural-layout programs.
+// Where Disassemble produces annotated listings for humans, Source produces
+// text the assembler accepts back, so the asm → disasm → asm round trip is a
+// checkable identity. Branch displacements are emitted numerically (the
+// assembler accepts unit displacements directly), which keeps the rendering
+// independent of symbol naming.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Source renders p as assembly text that Assemble reproduces exactly (same
+// Text, Entry and Data; symbols are not preserved). It fails for programs
+// whose layout contains 2-byte units — a dedicated-decompressor image is not
+// a sequence of assembler statements — and for instructions naming dedicated
+// registers, which have no source syntax outside production files.
+func Source(p *program.Program) (string, error) {
+	if p.Sizes != nil {
+		for i, s := range p.Sizes {
+			if s != isa.InstBytes {
+				return "", fmt.Errorf("asm: source: unit %d has size %d; compressed layouts have no source form", i, s)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(".text\n")
+	fmt.Fprintf(&b, ".entry u%d\n", p.Entry)
+	for i, in := range p.Text {
+		if in.UsesDedicated() {
+			return "", fmt.Errorf("asm: source: unit %d (%v) names a dedicated register", i, in)
+		}
+		fmt.Fprintf(&b, "u%d: %s\n", i, in)
+	}
+	if len(p.Data) > 0 {
+		b.WriteString(".data\n")
+		writeData(&b, p.Data)
+	}
+	return b.String(), nil
+}
+
+// writeData emits p.Data as .byte/.space lines, run-length compressing zero
+// stretches so large zero-initialized segments stay readable.
+func writeData(b *strings.Builder, data []byte) {
+	for at := 0; at < len(data); {
+		if data[at] == 0 {
+			run := at
+			for run < len(data) && data[run] == 0 {
+				run++
+			}
+			if run-at >= 8 {
+				fmt.Fprintf(b, ".space %d\n", run-at)
+				at = run
+				continue
+			}
+		}
+		n := min(16, len(data)-at)
+		vals := make([]string, 0, n)
+		for _, v := range data[at : at+n] {
+			vals = append(vals, fmt.Sprintf("%d", v))
+		}
+		fmt.Fprintf(b, ".byte %s\n", strings.Join(vals, ", "))
+		at += n
+	}
+}
+
+// RoundTrip asserts the asm → disasm → asm identity on p: Source must render
+// text Assemble turns back into the same unit stream, entry and data. It
+// returns nil on success and a diagnostic error naming the first divergence
+// otherwise.
+func RoundTrip(p *program.Program) error {
+	src, err := Source(p)
+	if err != nil {
+		return err
+	}
+	q, err := Assemble(p.Name, src)
+	if err != nil {
+		return fmt.Errorf("asm: round trip: rendered source does not assemble: %w", err)
+	}
+	if q.Entry != p.Entry {
+		return fmt.Errorf("asm: round trip: entry %d != %d", q.Entry, p.Entry)
+	}
+	if len(q.Text) != len(p.Text) {
+		return fmt.Errorf("asm: round trip: %d units != %d", len(q.Text), len(p.Text))
+	}
+	for i := range p.Text {
+		if q.Text[i] != p.Text[i] {
+			return fmt.Errorf("asm: round trip: unit %d: %v != %v", i, q.Text[i], p.Text[i])
+		}
+	}
+	if len(q.Data) != len(p.Data) {
+		return fmt.Errorf("asm: round trip: %d data bytes != %d", len(q.Data), len(p.Data))
+	}
+	for i := range p.Data {
+		if q.Data[i] != p.Data[i] {
+			return fmt.Errorf("asm: round trip: data byte %d: %d != %d", i, q.Data[i], p.Data[i])
+		}
+	}
+	return nil
+}
+
+// SweepWords is the heuristic the ground-truth labels exist to replace: a
+// naive linear sweep that reads img as consecutive 4-byte words and decodes
+// whatever it finds, with no knowledge of unit boundaries. On natural images
+// it reproduces the unit stream; on compressed images with 2-byte codewords
+// it fuses units and misparses operand payload as instruction heads. Words
+// that fail to decode are returned as OpInvalid placeholders; a trailing
+// partial word is dropped.
+func SweepWords(img []byte) []isa.Inst {
+	insts := make([]isa.Inst, 0, len(img)/isa.InstBytes)
+	for at := 0; at+isa.InstBytes <= len(img); at += isa.InstBytes {
+		in, err := isa.Decode(binary.LittleEndian.Uint32(img[at:]))
+		if err != nil {
+			in = isa.Inst{Op: isa.OpInvalid}
+		}
+		insts = append(insts, in)
+	}
+	return insts
+}

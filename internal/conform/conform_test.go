@@ -1,0 +1,270 @@
+package conform
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testCases is sized so the in-package corpus exercises every generator
+// feature several times while keeping `go test ./...` fast; the full-size
+// corpus runs through cmd/disespec (make conform).
+const testCases = 60
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g := DefaultGenSpec()
+	g.Cases = testCases
+	a, b := g.Generate(), g.Generate()
+	for i := range a {
+		ja, _ := json.Marshal(a[i])
+		jb, _ := json.Marshal(b[i])
+		if string(ja) != string(jb) {
+			t.Fatalf("case %d differs across generations:\n%s\n%s", i, ja, jb)
+		}
+	}
+
+	// Case i depends only on (Seed, i), not on corpus size: a grown corpus
+	// keeps every existing case byte-identical.
+	g2 := g
+	g2.Cases = testCases * 2
+	grown := g2.Generate()
+	for i := range a {
+		ja, _ := json.Marshal(a[i])
+		jb, _ := json.Marshal(grown[i])
+		if string(ja) != string(jb) {
+			t.Fatalf("case %d changed when the corpus grew", i)
+		}
+	}
+}
+
+func TestGeneratedCorpusPasses(t *testing.T) {
+	g := DefaultGenSpec()
+	g.Cases = testCases
+	cases := g.Generate()
+
+	var traps, prods, compress, selfMod, twoByte int
+	for _, c := range cases {
+		if c.Expect.Trap == "budget" {
+			traps++
+		}
+		if c.Prods != "" {
+			prods++
+		}
+		if c.Compress != "" {
+			compress++
+		}
+		if strings.Contains(c.Asm, "smc:") {
+			selfMod++
+		}
+		if c.Compress == CompressDedicated {
+			cc, err := c.compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range cc.prog.Text {
+				if cc.prog.UnitSize(i) == 2 {
+					twoByte++
+					break
+				}
+			}
+		}
+	}
+	if traps == 0 || prods == 0 || compress == 0 || selfMod == 0 || twoByte == 0 {
+		t.Fatalf("generator knob lost coverage: traps=%d prods=%d compress=%d selfmod=%d twobyte=%d",
+			traps, prods, compress, selfMod, twoByte)
+	}
+
+	for _, o := range RunAll(cases, 4) {
+		if o.Err != nil {
+			t.Errorf("%v", o.Err)
+		}
+	}
+}
+
+func TestCommittedCorpusPasses(t *testing.T) {
+	cases, err := LoadDir(filepath.Join("..", "..", "corpus"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) < 8 {
+		t.Fatalf("committed corpus has only %d cases", len(cases))
+	}
+	for _, o := range RunAll(cases, 4) {
+		if o.Err != nil {
+			t.Errorf("%v", o.Err)
+		}
+	}
+}
+
+func TestRunDetectsViolatedExpectation(t *testing.T) {
+	g := DefaultGenSpec()
+	g.Cases = 1
+	c := g.Case(0)
+	c.Expect = &Expect{Output: "not the real output"}
+	_, err := Run(c)
+	var f *Failure
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want *Failure", err)
+	}
+	if errors.Is(err, ErrCase) {
+		t.Fatalf("expectation violation misclassified as case error: %v", err)
+	}
+}
+
+func TestRunRejectsMalformedCases(t *testing.T) {
+	for _, c := range []*Case{
+		{Name: "no-program"},
+		{Name: "both", Asm: "halt", ImageB64: "aGk="},
+		{Name: "bad-asm", Asm: ".entry main\nmain:\n\tbogus r1"},
+		{Name: "bad-compress", Asm: ".entry main\nmain:\n\thalt", Compress: "zip"},
+		{Name: "bad-reg", Asm: ".entry main\nmain:\n\thalt", Regs: map[string]uint64{"r1": 1}},
+		{Name: "bad-budget", Asm: ".entry main\nmain:\n\thalt", BudgetInsts: -1},
+		{Name: "bad-prods", Asm: ".entry main\nmain:\n\thalt", Prods: "prod p {"},
+	} {
+		if _, err := Run(c); !errors.Is(err, ErrCase) {
+			t.Errorf("%s: err = %v, want ErrCase", c.Name, err)
+		}
+	}
+}
+
+func TestExpectPinsFullState(t *testing.T) {
+	c := &Case{
+		Name: "pinned",
+		Asm: `.entry main
+main:
+	li r1, 7
+	li r2, 35
+	addq r1, r2, r1
+	sys 2
+	halt
+`,
+		Expect: &Expect{
+			Trap:     "none",
+			Output:   "42",
+			Insts:    5,
+			AppInsts: 5,
+			Regs:     map[string]uint64{"r1": 42, "r2": 35},
+		},
+	}
+	if _, err := Run(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Expect.Regs["r1"] = 41
+	if _, err := Run(c); err == nil {
+		t.Fatal("wrong pinned register value passed")
+	}
+}
+
+func TestShrinkMinimizesFailingCase(t *testing.T) {
+	g := DefaultGenSpec()
+	g.Cases = 1
+	c := g.Case(0)
+	c.Expect = &Expect{MemSum: "0000000000000bad"}
+
+	before := len(strings.Split(c.Asm, "\n"))
+	min, tried := Shrink(c)
+	if tried == 0 {
+		t.Fatal("shrinker ran no candidates")
+	}
+	after := len(strings.Split(min.Asm, "\n"))
+	if after >= before {
+		t.Fatalf("no reduction: %d lines -> %d", before, after)
+	}
+	// The shrunken case must still fail, with the same class. The mem_sum
+	// expectation survives shrinking because dropping it would make the
+	// case pass.
+	_, err := Run(min)
+	if classify(err) != classConform {
+		t.Fatalf("shrunken case class = %v (err %v), want conformance failure", classify(err), err)
+	}
+	if min.Expect == nil || min.Expect.MemSum == "" {
+		t.Fatal("shrinker dropped the expectation that makes the case fail")
+	}
+}
+
+func TestShrinkLeavesPassingCaseAlone(t *testing.T) {
+	g := DefaultGenSpec()
+	g.Cases = 1
+	c := g.Case(0)
+	min, tried := Shrink(c)
+	if tried != 0 || min != c {
+		t.Fatalf("passing case was shrunk (tried %d)", tried)
+	}
+}
+
+func TestShardPartition(t *testing.T) {
+	g := DefaultGenSpec()
+	g.Cases = testCases
+	cases := g.Generate()
+
+	const n = 4
+	seen := map[string]int{}
+	total := 0
+	for i := 0; i < n; i++ {
+		for _, c := range Shard(cases, i, n) {
+			seen[c.Name]++
+			total++
+		}
+	}
+	if total != len(cases) {
+		t.Fatalf("shards cover %d cases, want %d", total, len(cases))
+	}
+	for name, k := range seen {
+		if k != 1 {
+			t.Fatalf("case %s appears in %d shards", name, k)
+		}
+	}
+	if len(Shard(cases, 0, 1)) != len(cases) {
+		t.Fatal("1-shard split must be identity")
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	if i, n, err := ParseShard(""); err != nil || i != 0 || n != 1 {
+		t.Fatalf("empty shard: %d/%d, %v", i, n, err)
+	}
+	if i, n, err := ParseShard("2/5"); err != nil || i != 2 || n != 5 {
+		t.Fatalf("2/5: %d/%d, %v", i, n, err)
+	}
+	for _, bad := range []string{"5/5", "-1/3", "x/3", "3"} {
+		if _, _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCaseFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := DefaultGenSpec()
+	g.Cases = 1
+	c := g.Case(0)
+	path := filepath.Join(dir, "case.json")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(c)
+	jb, _ := json.Marshal(got)
+	if string(ja) != string(jb) {
+		t.Fatalf("round trip drift:\n%s\n%s", ja, jb)
+	}
+
+	// Unknown fields are typos, not extensions: they must be rejected.
+	if err := os.WriteFile(path, []byte(`{"name":"x","asm":"halt","expectt":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+
+	cases, err := LoadDir(dir)
+	if err == nil || len(cases) != 0 {
+		t.Fatalf("LoadDir swallowed a bad case: %v", err)
+	}
+}

@@ -1,0 +1,301 @@
+package conform
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// GenSpec parameterizes the corpus generator. Every knob is deterministic:
+// the same spec always generates byte-identical cases, and case i depends
+// only on (Seed, i) — never on how many cases were generated before it —
+// so a corpus can be regenerated, extended or sharded without drift.
+type GenSpec struct {
+	// Cases is the number of cases to generate.
+	Cases int `json:"cases"`
+	// Seed is the corpus master seed; case i runs on a stream derived from
+	// (Seed, i).
+	Seed int64 `json:"seed"`
+
+	// MixIntOps, MixMem and MixBranch weight the instruction mix of loop
+	// bodies (integer ALU ops : memory accesses : forward branches).
+	MixIntOps int `json:"mix_intops"`
+	MixMem    int `json:"mix_mem"`
+	MixBranch int `json:"mix_branch"`
+
+	// StoreFrac is the probability a memory access is a store — the
+	// trigger-site density knob, since stores are what most production sets
+	// (and the ACF shapes) intercept.
+	StoreFrac float64 `json:"store_frac"`
+	// ProdsFrac is the fraction of cases that install a production set.
+	ProdsFrac float64 `json:"prods_frac"`
+	// CompressFrac is the fraction of cases run under a compression
+	// baseline (split between "dedicated" 2-byte and "dise" codewords).
+	CompressFrac float64 `json:"compress_frac"`
+	// SelfModFrac is the fraction of cases that append a self-modifying
+	// store loop patching their own text (idempotent patches, so the
+	// runs stay equivalent while exercising redecode).
+	SelfModFrac float64 `json:"self_mod_frac"`
+	// TrapFrac is the fraction of cases given a tiny instruction budget so
+	// they terminate by budget trap mid-loop instead of halting cleanly —
+	// trap equivalence is part of the lattice and needs coverage.
+	TrapFrac float64 `json:"trap_frac"`
+
+	// MaxBlockInsts bounds the loop-body length in emitted statements.
+	MaxBlockInsts int `json:"max_block_insts"`
+	// BudgetInsts is the budget for non-trap cases (0 = harness default).
+	BudgetInsts int64 `json:"budget_insts"`
+}
+
+// DefaultGenSpec returns the corpus defaults: ALU-heavy bodies with dense
+// memory traffic, half of it stores, and every special feature sampled often
+// enough that a thousand cases cover each combination many times.
+func DefaultGenSpec() GenSpec {
+	return GenSpec{
+		Cases:         1000,
+		Seed:          1,
+		MixIntOps:     6,
+		MixMem:        3,
+		MixBranch:     1,
+		StoreFrac:     0.5,
+		ProdsFrac:     0.4,
+		CompressFrac:  0.25,
+		SelfModFrac:   0.1,
+		TrapFrac:      0.05,
+		MaxBlockInsts: 32,
+	}
+}
+
+// prodPool is the set of production templates trigger-bearing cases install,
+// in the style of the paper's transparent ACFs: count or tag dynamic events
+// in dedicated registers without changing application state.
+var prodPool = []string{
+	`prod count-stores {
+    match class == store
+    replace {
+        lda $dr0, 1($dr0)
+        %insn
+    }
+}`,
+	`prod count-loads {
+    match class == load
+    replace {
+        lda $dr1, 1($dr1)
+        %insn
+    }
+}`,
+	`prod count-condbr {
+    match class == condbr
+    replace {
+        lda $dr2, 1($dr2)
+        %insn
+    }
+}`,
+	`prod count-stores {
+    match class == store
+    replace {
+        lda $dr0, 1($dr0)
+        %insn
+    }
+}
+prod count-loads {
+    match class == load
+    replace {
+        lda $dr1, 1($dr1)
+        %insn
+    }
+}`,
+}
+
+// mix64 derives a per-case seed from the master seed and case index with a
+// splitmix64 finalizer, so neighboring indices get uncorrelated streams.
+func mix64(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Generate builds the spec's corpus: Cases cases, each fully determined by
+// (Seed, index).
+func (g GenSpec) Generate() []*Case {
+	cases := make([]*Case, g.Cases)
+	for i := range cases {
+		cases[i] = g.Case(i)
+	}
+	return cases
+}
+
+// Case generates case i of the spec's corpus.
+func (g GenSpec) Case(i int) *Case {
+	seed := mix64(g.Seed, i)
+	rng := rand.New(rand.NewSource(seed))
+	c := &Case{
+		Name: fmt.Sprintf("gen-%d-%05d", g.Seed, i),
+		Seed: seed,
+	}
+
+	selfMod := rng.Float64() < g.SelfModFrac
+	// Compression re-lays the text image, so a self-modifying case would
+	// patch different bytes under each baseline; keep the features separate.
+	if !selfMod && rng.Float64() < g.CompressFrac {
+		if rng.Intn(2) == 0 {
+			c.Compress = CompressDedicated
+		} else {
+			c.Compress = CompressDise
+		}
+	}
+	if rng.Float64() < g.ProdsFrac {
+		c.Prods = prodPool[rng.Intn(len(prodPool))]
+		// Seed the counters the productions grow, covering nonzero
+		// dedicated-register initial state.
+		if rng.Intn(2) == 0 {
+			c.Regs = map[string]uint64{"$dr0": uint64(rng.Intn(1000))}
+		}
+	}
+	c.Asm = g.emitProgram(rng, selfMod)
+	c.BudgetInsts = g.BudgetInsts
+
+	c.Expect = &Expect{Trap: "none"}
+	if rng.Float64() < g.TrapFrac {
+		// A budget strictly smaller than any generated program's dynamic
+		// length (15-instruction prologue plus at least 4 loop iterations
+		// of at least 6 instructions): the run always traps mid-program
+		// and every plane must agree on where.
+		c.BudgetInsts = int64(16 + rng.Intn(24))
+		c.Expect.Trap = "budget"
+	}
+	return c
+}
+
+// Scratch register discipline for generated programs: intops write r1..r12,
+// r13/r14 are the address and compare temporaries, r16 the loop counter,
+// r17 the data-buffer base.
+const (
+	genScratch = 12
+	genBufSize = 256
+)
+
+var (
+	genRegOps = []string{"addq", "subq", "mulq", "and", "bis", "xor",
+		"sll", "srl", "sra", "cmpeq", "cmplt", "cmple", "cmpult", "cmpule"}
+	genImmOps = []string{"addqi", "subqi", "mulqi", "andi", "bisi", "xori",
+		"cmpeqi", "cmplti", "cmpulti"}
+	genShiftOps = []string{"slli", "srli", "srai"}
+)
+
+func (g GenSpec) emitProgram(rng *rand.Rand, selfMod bool) string {
+	var b strings.Builder
+	emit := func(format string, v ...any) {
+		fmt.Fprintf(&b, format+"\n", v...)
+	}
+	scratch := func() string { return fmt.Sprintf("r%d", 1+rng.Intn(genScratch)) }
+
+	emit(".entry main")
+	emit("")
+	emit(".data")
+	emit("buf: .space %d", genBufSize)
+	emit("")
+	emit(".text")
+	emit("main:")
+	emit("\tla r17, buf")
+	emit("\tli r16, %d", 4+rng.Intn(40))
+	for r := 1; r <= genScratch; r++ {
+		emit("\tli r%d, %d", r, rng.Intn(2000)-1000)
+	}
+
+	wTotal := g.MixIntOps + g.MixMem + g.MixBranch
+	if wTotal <= 0 {
+		wTotal, g.MixIntOps = 1, 1
+	}
+	maxBody := g.MaxBlockInsts
+	if maxBody < 4 {
+		maxBody = 4
+	}
+	intop := func() string {
+		switch rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("\t%s %s, %s, %s", genRegOps[rng.Intn(len(genRegOps))],
+				scratch(), scratch(), scratch())
+		case 1:
+			return fmt.Sprintf("\t%s %s, %d, %s", genImmOps[rng.Intn(len(genImmOps))],
+				scratch(), rng.Intn(512)-256, scratch())
+		default:
+			return fmt.Sprintf("\t%s %s, %d, %s", genShiftOps[rng.Intn(len(genShiftOps))],
+				scratch(), rng.Intn(64), scratch())
+		}
+	}
+	statement := func() []string {
+		switch w := rng.Intn(wTotal); {
+		case w < g.MixIntOps:
+			return []string{intop()}
+		case w < g.MixIntOps+g.MixMem:
+			// Masked addressing keeps every access 8-aligned inside buf.
+			s := []string{
+				fmt.Sprintf("\tandi %s, %d, r13", scratch(), genBufSize-8),
+				"\taddq r17, r13, r13",
+			}
+			if rng.Float64() < g.StoreFrac {
+				return append(s, fmt.Sprintf("\tst%s %s, 0(r13)", pick(rng, "q", "l"), scratch()))
+			}
+			return append(s, fmt.Sprintf("\tld%s %s, 0(r13)", pick(rng, "q", "l"), scratch()))
+		default:
+			// Forward branch over k one-unit intops, as a numeric unit
+			// displacement so no label bookkeeping is needed.
+			k := 1 + rng.Intn(3)
+			s := []string{
+				fmt.Sprintf("\tcmp%s %s, %s, r14", pick(rng, "eq", "lt", "ult"), scratch(), scratch()),
+				fmt.Sprintf("\tb%s r14, %d", pick(rng, "eq", "ne"), k),
+			}
+			for j := 0; j < k; j++ {
+				s = append(s, intop())
+			}
+			return s
+		}
+	}
+
+	// Bodies draw from a small phrase pool with repetition rather than
+	// emitting fresh statements each time: repeated phrases are what give
+	// the compression baselines dictionary material, exactly as real code
+	// repeats its idioms.
+	pool := make([][]string, 2+rng.Intn(4))
+	for p := range pool {
+		pool[p] = statement()
+	}
+	emit("loop:")
+	body := 4 + rng.Intn(maxBody-3)
+	for s := 0; s < body; s++ {
+		for _, line := range pool[rng.Intn(len(pool))] {
+			emit("%s", line)
+		}
+	}
+	emit("\tsubqi r16, 1, r16")
+	emit("\tbgt r16, loop")
+
+	if selfMod {
+		// Idempotently re-store a text word in a tight loop: the patch
+		// changes nothing architecturally but drives the redecode path,
+		// which translation and predecode caches must survive.
+		emit("\tli r2, 1")
+		emit("\tslli r2, 26, r2")
+		emit("\tldl r3, 4(r2)")
+		emit("\tli r4, %d", 4+rng.Intn(28))
+		emit("smc:")
+		emit("\tstl r3, 4(r2)")
+		emit("\tsubqi r4, 1, r4")
+		emit("\tbgt r4, smc")
+	}
+
+	// Print a digest of a few scratch registers so output equivalence has
+	// teeth beyond the memory checksum.
+	for d := 0; d < 3; d++ {
+		emit("\tmov %s, r1", scratch())
+		emit("\tsys 2")
+	}
+	emit("\thalt")
+	return b.String()
+}
+
+func pick(rng *rand.Rand, opts ...string) string {
+	return opts[rng.Intn(len(opts))]
+}

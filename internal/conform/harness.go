@@ -1,0 +1,315 @@
+package conform
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/trace"
+)
+
+// Failure reports the divergences one case exposed. It is an error distinct
+// from ErrCase: a Failure means the implementation disagrees with itself (or
+// with a pinned expectation), never that the case file is malformed.
+type Failure struct {
+	Name     string
+	Problems []string
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("case %q: %d conformance failure(s):\n  %s",
+		f.Name, len(f.Problems), strings.Join(f.Problems, "\n  "))
+}
+
+// Report summarizes one passing (or failing) run of a case.
+type Report struct {
+	Name   string
+	Insts  int64  // functional instruction count (Stats.Total)
+	Cycles int64  // timed-run cycles
+	Trap   string // termination ("none" or a trap kind name)
+	Output string
+}
+
+// Run executes one case through the full equivalence lattice:
+//
+//	interpreted emu  ≡  translated emu          (functional plane)
+//	live timed run   ≡  trace capture + replay  (timing plane)
+//	interpreted emu  ≡  live timed run          (cross-plane functional tie)
+//
+// plus the static ground-truth audits — label-directed image decode, naive
+// sweep must fail on 2-byte layouts, asm round trip on natural programs —
+// and finally the case's pinned expectations. The live run and the capture
+// use the session's default translate mode, so a DISE_TRANSLATE=always
+// environment exercises the translated hot loop under the timing model too.
+func Run(c *Case) (*Report, error) {
+	cc, err := c.compile()
+	if err != nil {
+		return nil, err
+	}
+	var probs []string
+	note := func(format string, v ...any) {
+		probs = append(probs, fmt.Sprintf(format, v...))
+	}
+
+	// Functional plane: pure interpretation against forced translation.
+	interp := cc.machine()
+	interp.SetTranslate(emu.TranslateOff, 0)
+	interp.Run()
+	trans := cc.machine()
+	trans.SetTranslate(emu.TranslateAlways, 0)
+	trans.Run()
+	diffMachines(note, "interp vs translated", interp, trans)
+
+	// Timing plane: live timed run against a trace capture replayed under
+	// the same engine penalties. Every Result counter must agree.
+	live := cpu.Run(cc.machine(), cc.ccfg)
+	tr := trace.Capture(cc.machine())
+	replay := cpu.RunSource(tr.Replay(cc.ecfg.MissPenalty, cc.ecfg.ComposePenalty), cc.ccfg)
+	for _, d := range live.Diff(replay) {
+		note("live vs replay: %s", d)
+	}
+
+	// Cross-plane tie: the timed run's functional observables must match
+	// pure interpretation — the timing model may not perturb architecture.
+	if live.Emu != interp.Stats {
+		note("interp vs live: stats %+v != %+v", interp.Stats, live.Emu)
+	}
+	if live.Output != interp.Output() {
+		note("interp vs live: output %q != %q", interp.Output(), live.Output)
+	}
+	if d := diffTermination(interp.Err(), live.Err); d != "" {
+		note("interp vs live: %s", d)
+	}
+
+	auditGroundTruth(note, cc)
+	checkExpect(note, c, interp, live)
+
+	rep := &Report{
+		Name:   c.Name,
+		Insts:  interp.Stats.Total,
+		Cycles: live.Cycles,
+		Trap:   trapName(interp.Err()),
+		Output: interp.Output(),
+	}
+	if len(probs) > 0 {
+		return rep, &Failure{Name: c.Name, Problems: probs}
+	}
+	return rep, nil
+}
+
+// diffMachines compares every architectural observable of two finished
+// functional runs.
+func diffMachines(note func(string, ...any), label string, a, b *emu.Machine) {
+	if a.Stats != b.Stats {
+		note("%s: stats %+v != %+v", label, a.Stats, b.Stats)
+	}
+	ra, rb := a.RegFile(), b.RegFile()
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if ra[r] != rb[r] {
+			note("%s: %s = %#x != %#x", label, r, ra[r], rb[r])
+		}
+	}
+	if ca, cb := a.Mem().Checksum(), b.Mem().Checksum(); ca != cb {
+		note("%s: memory checksum %016x != %016x", label, ca, cb)
+	}
+	if a.Output() != b.Output() {
+		note("%s: output %q != %q", label, a.Output(), b.Output())
+	}
+	if d := diffTermination(a.Err(), b.Err()); d != "" {
+		note("%s: %s", label, d)
+	}
+}
+
+// diffTermination compares two termination errors: by trap identity (kind,
+// PC, DISE PC) when both are traps, by message otherwise.
+func diffTermination(a, b error) string {
+	if (a == nil) != (b == nil) {
+		return fmt.Sprintf("termination: %v != %v", a, b)
+	}
+	if a == nil {
+		return ""
+	}
+	var ta, tb *emu.Trap
+	if errors.As(a, &ta) && errors.As(b, &tb) {
+		if ta.Kind != tb.Kind || ta.PC != tb.PC || ta.DISEPC != tb.DISEPC {
+			return fmt.Sprintf("trap: %v != %v", a, b)
+		}
+		return ""
+	}
+	if a.Error() != b.Error() {
+		return fmt.Sprintf("error: %v != %v", a, b)
+	}
+	return ""
+}
+
+// trapName classifies a termination error as the name Expect.Trap uses:
+// "none" for a clean halt, the trap kind name for a trap.
+func trapName(err error) string {
+	if err == nil {
+		return "none"
+	}
+	var t *emu.Trap
+	if errors.As(err, &t) {
+		return t.Kind.String()
+	}
+	return err.Error()
+}
+
+// auditGroundTruth checks the static toolchain invariants of the case's
+// program: the byte image must decode back to the exact unit list under its
+// loader-emitted labels; images containing 2-byte codewords must defeat a
+// naive aligned sweep (otherwise the labels are decorative, not
+// load-bearing); and asm-sourced natural programs must survive the
+// asm → disasm → asm round trip.
+func auditGroundTruth(note func(string, ...any), cc *compiled) {
+	p := cc.prog
+	img, err := p.TextImage()
+	if err != nil {
+		note("audit: text image: %v", err)
+		return
+	}
+	insts, err := program.DecodeTextImage(img, p.ByteLabels())
+	if err != nil {
+		note("audit: label-directed decode: %v", err)
+	} else {
+		for i := range p.Text {
+			if insts[i] != p.Text[i] {
+				note("audit: label-directed decode unit %d: %s != %s", i, insts[i], p.Text[i])
+			}
+		}
+	}
+
+	twoByte := false
+	for i := range p.Text {
+		if p.UnitSize(i) == 2 {
+			twoByte = true
+			break
+		}
+	}
+	sweep := asm.SweepWords(img)
+	if twoByte {
+		if len(sweep) == len(p.Text) {
+			same := true
+			for i := range sweep {
+				if sweep[i] != p.Text[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				note("audit: naive sweep reproduced a 2-byte-unit image; labels are not load-bearing")
+			}
+		}
+	} else {
+		if len(sweep) != len(p.Text) {
+			note("audit: sweep of natural image: %d units != %d", len(sweep), len(p.Text))
+		} else {
+			for i := range sweep {
+				if sweep[i] != p.Text[i] {
+					note("audit: sweep unit %d: %s != %s", i, sweep[i], p.Text[i])
+				}
+			}
+		}
+	}
+
+	if cc.natural != nil {
+		if err := asm.RoundTrip(cc.natural); err != nil {
+			note("audit: asm round trip: %v", err)
+		}
+	}
+}
+
+// checkExpect applies the case's pinned expectations to the finished runs.
+func checkExpect(note func(string, ...any), c *Case, interp *emu.Machine, live *cpu.Result) {
+	exp := c.Expect
+	if exp == nil {
+		return
+	}
+	if exp.Trap != "" {
+		if got := trapName(interp.Err()); got != exp.Trap {
+			note("expect: trap %q, got %q (%v)", exp.Trap, got, interp.Err())
+		}
+	}
+	if exp.Output != "" && interp.Output() != exp.Output {
+		note("expect: output %q, got %q", exp.Output, interp.Output())
+	}
+	if exp.Insts != 0 && interp.Stats.Total != exp.Insts {
+		note("expect: insts %d, got %d", exp.Insts, interp.Stats.Total)
+	}
+	if exp.AppInsts != 0 && interp.Stats.AppInsts != exp.AppInsts {
+		note("expect: app_insts %d, got %d", exp.AppInsts, interp.Stats.AppInsts)
+	}
+	if exp.Cycles != 0 && live.Cycles != exp.Cycles {
+		note("expect: cycles %d, got %d", exp.Cycles, live.Cycles)
+	}
+	if exp.TextWrites != 0 && interp.Stats.TextWrites != exp.TextWrites {
+		note("expect: text_writes %d, got %d", exp.TextWrites, interp.Stats.TextWrites)
+	}
+	if exp.Redecodes != 0 && interp.Stats.Redecodes != exp.Redecodes {
+		note("expect: redecodes %d, got %d", exp.Redecodes, interp.Stats.Redecodes)
+	}
+	names := make([]string, 0, len(exp.Regs))
+	for name := range exp.Regs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := isa.RegByName(name, true)
+		if !r.Valid() {
+			note("expect: regs: unknown register %q", name)
+			continue
+		}
+		if got := interp.Reg(r); got != exp.Regs[name] {
+			note("expect: %s = %#x, got %#x", name, exp.Regs[name], got)
+		}
+	}
+	if exp.MemSum != "" {
+		if got := fmt.Sprintf("%016x", interp.Mem().Checksum()); got != exp.MemSum {
+			note("expect: mem_sum %s, got %s", exp.MemSum, got)
+		}
+	}
+}
+
+// Outcome pairs a case with the result of running it.
+type Outcome struct {
+	Case   *Case
+	Report *Report // nil when the case failed to compile
+	Err    error   // nil, ErrCase-wrapped, or a *Failure
+}
+
+// RunAll runs cases on a pool of workers and returns one outcome per case,
+// in input order. workers <= 0 means one.
+func RunAll(cases []*Case, workers int) []Outcome {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(cases) {
+		workers = len(cases)
+	}
+	out := make([]Outcome, len(cases))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rep, err := Run(cases[i])
+				out[i] = Outcome{Case: cases[i], Report: rep, Err: err}
+			}
+		}()
+	}
+	for i := range cases {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

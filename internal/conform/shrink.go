@@ -1,0 +1,130 @@
+package conform
+
+import (
+	"errors"
+	"strings"
+)
+
+// failureClass buckets an outcome for the shrinker: a reduction is accepted
+// only when it preserves the class, so a conformance failure can never
+// "shrink" into a case that merely fails to compile (or vice versa).
+type failureClass int
+
+const (
+	classPass failureClass = iota
+	classCompile
+	classConform
+)
+
+func classify(err error) failureClass {
+	switch {
+	case err == nil:
+		return classPass
+	case errors.Is(err, ErrCase):
+		return classCompile
+	default:
+		return classConform
+	}
+}
+
+// Shrink minimizes a failing case while preserving its failure class. It
+// runs delta-debugging over the assembly source (dropping line chunks of
+// halving size), then tries discarding whole optional features (productions,
+// compression, register presets, expectations) and halving the budget. The
+// result is a ready-to-commit repro. It returns the original case unchanged
+// when the case passes, and reports how many candidate reductions were run.
+func Shrink(c *Case) (min *Case, tried int) {
+	_, err := Run(c)
+	want := classify(err)
+	if want == classPass {
+		return c, 0
+	}
+	fails := func(cand *Case) bool {
+		tried++
+		_, err := Run(cand)
+		return classify(err) == want
+	}
+	cur := clone(c)
+
+	// Feature drops first: each removes a whole dimension, making the line
+	// pass below both faster and more likely to land minimal.
+	for _, drop := range []func(*Case){
+		func(x *Case) { x.Prods = "" },
+		func(x *Case) { x.Compress = "" },
+		func(x *Case) { x.Regs = nil },
+		func(x *Case) { x.Expect = nil },
+	} {
+		cand := clone(cur)
+		drop(cand)
+		if fails(cand) {
+			cur = cand
+		}
+	}
+
+	if cur.Asm != "" {
+		cur.Asm = shrinkLines(cur.Asm, func(src string) bool {
+			cand := clone(cur)
+			cand.Asm = src
+			return fails(cand)
+		})
+	}
+
+	for cur.BudgetInsts > 64 {
+		cand := clone(cur)
+		cand.BudgetInsts /= 2
+		if !fails(cand) {
+			break
+		}
+		cur = cand
+	}
+	cur.Note = strings.TrimSpace(cur.Note + "\nshrunk by disespec shrink")
+	return cur, tried
+}
+
+func clone(c *Case) *Case {
+	x := *c
+	if c.Regs != nil {
+		x.Regs = make(map[string]uint64, len(c.Regs))
+		for k, v := range c.Regs {
+			x.Regs[k] = v
+		}
+	}
+	if c.Expect != nil {
+		e := *c.Expect
+		if c.Expect.Regs != nil {
+			e.Regs = make(map[string]uint64, len(c.Expect.Regs))
+			for k, v := range c.Expect.Regs {
+				e.Regs[k] = v
+			}
+		}
+		x.Expect = &e
+	}
+	return &x
+}
+
+// shrinkLines is ddmin-lite over source lines: repeatedly try deleting
+// contiguous chunks, halving the chunk size whenever a full sweep makes no
+// progress, until single-line deletions all fail.
+func shrinkLines(src string, fails func(string) bool) string {
+	lines := strings.Split(src, "\n")
+	chunk := len(lines) / 2
+	for chunk >= 1 {
+		progress := false
+		for at := 0; at+chunk <= len(lines); {
+			cand := make([]string, 0, len(lines)-chunk)
+			cand = append(cand, lines[:at]...)
+			cand = append(cand, lines[at+chunk:]...)
+			if fails(strings.Join(cand, "\n")) {
+				lines = cand
+				progress = true
+				// Do not advance: the next chunk slid into this position.
+			} else {
+				at++
+			}
+		}
+		if !progress || chunk > len(lines) {
+			chunk /= 2
+		}
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,86 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/emu"
+)
+
+// Diff compares two results field by field and returns one human-readable
+// line per divergence (nil when the results are observably identical). The
+// conformance harness uses it to pin live runs against trace replays: every
+// counter the timing model reports is part of the contract, so a "mostly
+// equal" pair is a failure with a precise name, not a pass.
+func (r *Result) Diff(o *Result) []string {
+	var d []string
+	line := func(name string, a, b any) {
+		d = append(d, fmt.Sprintf("%s: %v != %v", name, a, b))
+	}
+	if r.Cycles != o.Cycles {
+		line("cycles", r.Cycles, o.Cycles)
+	}
+	if r.Insts != o.Insts {
+		line("insts", r.Insts, o.Insts)
+	}
+	if r.AppInsts != o.AppInsts {
+		line("app_insts", r.AppInsts, o.AppInsts)
+	}
+	if r.ICacheAccesses != o.ICacheAccesses {
+		line("icache_accesses", r.ICacheAccesses, o.ICacheAccesses)
+	}
+	if r.ICacheMisses != o.ICacheMisses {
+		line("icache_misses", r.ICacheMisses, o.ICacheMisses)
+	}
+	if r.DCacheAccesses != o.DCacheAccesses {
+		line("dcache_accesses", r.DCacheAccesses, o.DCacheAccesses)
+	}
+	if r.DCacheMisses != o.DCacheMisses {
+		line("dcache_misses", r.DCacheMisses, o.DCacheMisses)
+	}
+	if r.Mispredicts != o.Mispredicts {
+		line("mispredicts", r.Mispredicts, o.Mispredicts)
+	}
+	if r.DiseStalls != o.DiseStalls {
+		line("dise_stalls", r.DiseStalls, o.DiseStalls)
+	}
+	if r.ExpStalls != o.ExpStalls {
+		line("exp_stalls", r.ExpStalls, o.ExpStalls)
+	}
+	if r.Emu != o.Emu {
+		line("emu stats", fmt.Sprintf("%+v", r.Emu), fmt.Sprintf("%+v", o.Emu))
+	}
+	if r.Pred != o.Pred {
+		line("pred stats", fmt.Sprintf("%+v", r.Pred), fmt.Sprintf("%+v", o.Pred))
+	}
+	if r.Output != o.Output {
+		line("output", fmt.Sprintf("%q", r.Output), fmt.Sprintf("%q", o.Output))
+	}
+	if s := diffErr(r.Err, o.Err); s != "" {
+		d = append(d, s)
+	}
+	return d
+}
+
+// diffErr compares two termination errors by trap classification when both
+// are traps (kind, PC and DISE PC — the same identity the differential
+// fuzzers assert) and by message otherwise.
+func diffErr(a, b error) string {
+	if (a == nil) != (b == nil) {
+		return fmt.Sprintf("termination: %v != %v", a, b)
+	}
+	if a == nil {
+		return ""
+	}
+	var ta, tb *emu.Trap
+	if errors.As(a, &ta) && errors.As(b, &tb) {
+		if ta.Kind != tb.Kind || ta.PC != tb.PC || ta.DISEPC != tb.DISEPC {
+			return fmt.Sprintf("trap: %v != %v", a, b)
+		}
+		return ""
+	}
+	if a.Error() != b.Error() {
+		return fmt.Sprintf("error: %v != %v", a, b)
+	}
+	return ""
+}

@@ -223,6 +223,15 @@ func (m *Machine) SetReg(r isa.Reg, v uint64) {
 	m.regs[r] = v
 }
 
+// RegFile returns a snapshot of the full register file — the architectural
+// registers followed by the DISE dedicated registers, with the zero register
+// pinned to 0. The conformance harness diffs whole snapshots between runs.
+func (m *Machine) RegFile() [isa.NumRegs]uint64 {
+	regs := m.regs
+	regs[isa.RegZero] = 0
+	return regs
+}
+
 // Mem returns the machine's data memory.
 func (m *Machine) Mem() *Memory { return m.mem }
 

@@ -1,0 +1,49 @@
+package isa
+
+import "fmt"
+
+// Halfword codeword encoding. The dedicated-decompressor baseline (paper §4)
+// shrinks dictionary codewords to 2 bytes: op(6) tag(10). After the 6-bit
+// reserved opcode a halfword has only 10 payload bits, so the 2-byte form
+// carries a dictionary index and nothing else — no parameter slots, which is
+// why the dedicated compression configuration disables parameterization and
+// caps its dictionary at 1024 entries.
+//
+// Halfwords are stored little-endian in the text image, like full words.
+// Their presence is exactly what breaks naive 4-byte-aligned disassembly:
+// past an odd number of halfwords every word-aligned read fuses the tail of
+// one unit with the head of the next.
+
+// InstBytes2 is the size of an encoded 2-byte codeword.
+const InstBytes2 = 2
+
+// MaxTag2 is the largest tag representable in the 2-byte codeword form.
+const MaxTag2 = 1<<10 - 1
+
+// Encode2 packs a codeword instruction into its 16-bit halfword form. Only
+// reserved-opcode instructions with empty parameter slots and a tag below
+// 1<<10 have such a form; everything else fails with ErrEncode.
+func Encode2(i Inst) (uint16, error) {
+	if i.Op.Class() != ClassCodeword {
+		return 0, encodeErr(i, "only codewords have a 2-byte form")
+	}
+	for _, r := range [...]Reg{i.RS, i.RT, i.RD} {
+		if r != 0 && r != NoReg {
+			return 0, encodeErr(i, "2-byte codewords carry no parameters")
+		}
+	}
+	if i.Imm < 0 || i.Imm > MaxTag2 {
+		return 0, encodeErr(i, "tag out of 10-bit range")
+	}
+	return uint16(i.Op)<<10 | uint16(i.Imm), nil
+}
+
+// Decode2 unpacks a 16-bit halfword into its decoded codeword form. Errors
+// wrap ErrDecode.
+func Decode2(h uint16) (Inst, error) {
+	op := Opcode(h >> 10)
+	if op.Class() != ClassCodeword {
+		return Inst{}, fmt.Errorf("%w %#04x: opcode %d is not a codeword", ErrDecode, h, op)
+	}
+	return Codeword(op, 0, 0, 0, h&MaxTag2), nil
+}

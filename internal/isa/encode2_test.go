@@ -1,0 +1,142 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestEncode2RoundTrip(t *testing.T) {
+	for _, op := range []Opcode{OpRES0, OpRES1, OpRES2, OpRES3} {
+		for _, tag := range []uint16{0, 1, 511, MaxTag2} {
+			in := Codeword(op, 0, 0, 0, tag)
+			h, err := Encode2(in)
+			if err != nil {
+				t.Fatalf("Encode2(%v): %v", in, err)
+			}
+			got, err := Decode2(h)
+			if err != nil {
+				t.Fatalf("Decode2(%#04x): %v", h, err)
+			}
+			if got != in {
+				t.Errorf("round trip %v -> %#04x -> %v", in, h, got)
+			}
+		}
+	}
+}
+
+func TestEncode2Rejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Inst
+	}{
+		{"non-codeword", Inst{Op: OpADDQ, RS: 1, RT: 2, RD: 3}},
+		{"store", Inst{Op: OpSTQ, RT: 1, RS: 2, Imm: 8}},
+		{"tag too wide", Codeword(OpRES3, 0, 0, 0, MaxTag2+1)},
+		{"param p1", Codeword(OpRES3, 5, 0, 0, 1)},
+		{"param p2", Codeword(OpRES3, 0, 5, 0, 1)},
+		{"param p3", Codeword(OpRES3, 0, 0, 5, 1)},
+	}
+	for _, c := range cases {
+		if _, err := Encode2(c.in); !errors.Is(err, ErrEncode) {
+			t.Errorf("%s: Encode2(%v) = %v, want ErrEncode", c.name, c.in, err)
+		}
+	}
+	// MaxTag (11-bit) codewords are encodable in the 4-byte form but not the
+	// 2-byte form: the halfword has only 10 payload bits.
+	wide := Codeword(OpRES0, 0, 0, 0, MaxTag)
+	if _, err := Encode(wide); err != nil {
+		t.Fatalf("Encode(%v): %v", wide, err)
+	}
+	if _, err := Encode2(wide); !errors.Is(err, ErrEncode) {
+		t.Errorf("Encode2(%v) accepted an 11-bit tag", wide)
+	}
+}
+
+func TestDecode2RejectsNonCodeword(t *testing.T) {
+	for _, h := range []uint16{
+		uint16(OpADDQ) << 10,
+		uint16(OpInvalid) << 10,
+		uint16(OpHALT)<<10 | 7,
+		0xffff,
+	} {
+		if _, err := Decode2(h); !errors.Is(err, ErrDecode) {
+			t.Errorf("Decode2(%#04x) = %v, want ErrDecode", h, err)
+		}
+	}
+}
+
+// TestHalfwordFusion pins the failure mode that makes per-byte ground truth
+// necessary: two adjacent 2-byte codewords, read as one word-aligned 32-bit
+// fetch, decode as a single valid instruction that is neither of them. The
+// fused word's opcode field lands on the *second* codeword's opcode bits
+// (little-endian layout), so a naive sweep does not even fault — it reports
+// a plausible codeword with garbage parameters.
+func TestHalfwordFusion(t *testing.T) {
+	cw1 := Codeword(OpRES3, 0, 0, 0, 17)
+	cw2 := Codeword(OpRES3, 0, 0, 0, 901)
+	h1, err := Encode2(cw1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Encode2(cw2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var img [4]byte
+	binary.LittleEndian.PutUint16(img[0:], h1)
+	binary.LittleEndian.PutUint16(img[2:], h2)
+	fused, err := Decode(binary.LittleEndian.Uint32(img[:]))
+	if err != nil {
+		t.Fatalf("fused word does not decode at all: %v", err)
+	}
+	if fused == cw1 || fused == cw2 {
+		t.Fatalf("fused decode %v coincides with a real unit", fused)
+	}
+	if fused.Op != OpRES3 {
+		t.Errorf("fused opcode %v; the misparse should land on cw2's opcode bits", fused.Op)
+	}
+	if fused.Imm == cw1.Imm || fused.Imm == cw2.Imm {
+		t.Errorf("fused tag %d coincides with a real tag", fused.Imm)
+	}
+}
+
+// TestHalfwordMisalignmentCascade pins the second failure mode: one 2-byte
+// codeword followed by natural words knocks every subsequent word-aligned
+// read off by two bytes, fusing the tail of each instruction with the head
+// of the next — operand payload parsed as instruction heads, indefinitely.
+func TestHalfwordMisalignmentCascade(t *testing.T) {
+	cw := Codeword(OpRES3, 0, 0, 0, 3)
+	natural := []Inst{
+		{Op: OpADDQI, RS: 1, RD: 2, Imm: 100},
+		{Op: OpSTQ, RT: 2, RS: 30, Imm: 16},
+		{Op: OpHALT},
+	}
+	h, err := Encode2(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := binary.LittleEndian.AppendUint16(nil, h)
+	for _, in := range natural {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img = binary.LittleEndian.AppendUint32(img, w)
+	}
+	// 14 image bytes: a naive aligned sweep sees 3 whole words, none of
+	// which may equal any real unit.
+	real := map[Inst]bool{cw: true}
+	for _, in := range natural {
+		real[in] = true
+	}
+	for at := 0; at+4 <= len(img); at += 4 {
+		in, err := Decode(binary.LittleEndian.Uint32(img[at:]))
+		if err != nil {
+			continue // a faulting word is at least an honest failure
+		}
+		if real[in] {
+			t.Errorf("misaligned word at byte %d decodes to real unit %v", at, in)
+		}
+	}
+}

@@ -17,6 +17,14 @@ package program
 //	         the actual record is op, rs, rt, rd, size, pad, imm — 14 bytes)
 //	nData   u32, data bytes
 //	nSyms   u32, then per symbol: u16 name length, name, u32 unit
+//	labels  (version >= 2) u32 count, then one ByteKind byte per text byte
+//
+// The trailing label section is the loader-emitted disassembly ground truth:
+// the role of every text byte (head of a 4-byte word, head of a 2-byte
+// dedicated codeword, or operand payload). It is redundant with the unit
+// records by construction, and ReadImage verifies that redundancy — an image
+// whose sidecar disagrees with its own layout is rejected as corrupt.
+// Version-1 images (no sidecar) are still accepted.
 
 import (
 	"bytes"
@@ -30,7 +38,7 @@ import (
 
 const (
 	imageMagic   = "EVRX"
-	imageVersion = 1
+	imageVersion = 2
 )
 
 // WriteImage serializes p to w.
@@ -69,6 +77,9 @@ func (p *Program) WriteImage(w io.Writer) error {
 		b.WriteString(s)
 		u32(uint32(p.Symbols[s]))
 	}
+	kinds := p.LabelBytes()
+	u32(uint32(len(kinds)))
+	b.Write(kinds)
 	_, err := w.Write(b.Bytes())
 	return err
 }
@@ -89,7 +100,7 @@ func ReadImage(name string, r io.Reader) (*Program, error) {
 	if err := u32(&version); err != nil {
 		return nil, err
 	}
-	if version != imageVersion {
+	if version < 1 || version > imageVersion {
 		return nil, fmt.Errorf("program: unsupported image version %d", version)
 	}
 	if err := u32(&entry); err != nil {
@@ -156,6 +167,26 @@ func ReadImage(name string, r io.Reader) (*Program, error) {
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("program: corrupt image: %w", err)
+	}
+	if version >= 2 {
+		var nLabels uint32
+		if err := u32(&nLabels); err != nil {
+			return nil, fmt.Errorf("program: truncated label sidecar: %w", err)
+		}
+		if int(nLabels) > br.Len() {
+			return nil, fmt.Errorf("program: truncated label sidecar (%d labels claimed)", nLabels)
+		}
+		kinds := make([]byte, nLabels)
+		if _, err := io.ReadFull(br, kinds); err != nil {
+			return nil, err
+		}
+		// The sidecar is ground truth the loader must agree with: a byte-role
+		// stream that contradicts the unit records marks a corrupt or
+		// tampered image, not a recoverable disagreement.
+		if want := p.LabelBytes(); !bytes.Equal(kinds, want) {
+			return nil, fmt.Errorf("program: label sidecar disagrees with unit layout (%d labels for %d text bytes)",
+				nLabels, len(want))
+		}
 	}
 	return p, nil
 }

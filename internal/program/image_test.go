@@ -86,7 +86,8 @@ func TestImageRejectsGarbage(t *testing.T) {
 	cases := []string{
 		"",
 		"NOPE",
-		"EVRX\x02\x00\x00\x00", // bad version
+		"EVRX\x03\x00\x00\x00", // unsupported version
+		"EVRX\x00\x00\x00\x00", // version 0 never existed
 	}
 	for _, c := range cases {
 		if _, err := ReadImage("g", strings.NewReader(c)); err == nil {

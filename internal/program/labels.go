@@ -1,0 +1,174 @@
+package program
+
+// Loader-emitted disassembly ground truth. The toolchain knows the role of
+// every text byte at layout time — which bytes start a unit, whether that
+// unit is a natural word or a 2-byte dedicated codeword, and which bytes are
+// operand payload. Emitting those labels alongside the image (rather than
+// recovering them heuristically after the fact) is what makes disassembler
+// conformance checkable: a label-directed decode must reproduce the unit
+// stream exactly, and any byte the labels call payload is off-limits to a
+// linear sweep no matter how instruction-like it looks.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// ByteKind labels the role of one text byte.
+type ByteKind uint8
+
+// Byte roles. Every unit starts with exactly one head byte; all remaining
+// bytes of the unit are operand payload ("data in text": displacements,
+// immediates and register fields that a misaligned reader would happily
+// misparse as instruction heads).
+const (
+	ByteHead4   ByteKind = 1 // first byte of a natural 4-byte word
+	ByteHead2   ByteKind = 2 // first byte of a 2-byte dedicated codeword
+	ByteOperand ByteKind = 3 // operand/immediate payload byte
+)
+
+// String names the kind for diagnostics.
+func (k ByteKind) String() string {
+	switch k {
+	case ByteHead4:
+		return "head4"
+	case ByteHead2:
+		return "head2"
+	case ByteOperand:
+		return "operand"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ByteLabel is the ground-truth label of one text byte: the unit whose image
+// it belongs to and its role within that unit.
+type ByteLabel struct {
+	Unit int
+	Kind ByteKind
+}
+
+// ByteLabels returns the per-byte ground-truth labels of p's text image, one
+// entry per byte of TextBytes().
+func (p *Program) ByteLabels() []ByteLabel {
+	labels := make([]ByteLabel, 0, p.TextBytes())
+	for i := range p.Text {
+		head := ByteHead4
+		if p.UnitSize(i) == isa.InstBytes2 {
+			head = ByteHead2
+		}
+		labels = append(labels, ByteLabel{Unit: i, Kind: head})
+		for b := 1; b < p.UnitSize(i); b++ {
+			labels = append(labels, ByteLabel{Unit: i, Kind: ByteOperand})
+		}
+	}
+	return labels
+}
+
+// LabelBytes returns the labels in their compact sidecar form: one kind byte
+// per text byte (unit indices are recoverable by counting heads).
+func (p *Program) LabelBytes() []byte {
+	labels := p.ByteLabels()
+	out := make([]byte, len(labels))
+	for i, l := range labels {
+		out[i] = byte(l.Kind)
+	}
+	return out
+}
+
+// TextImage encodes p's text as the raw little-endian byte image a memory
+// would hold: natural units as 32-bit words, 2-byte units in the halfword
+// codeword form. It fails for instructions with no machine encoding.
+func (p *Program) TextImage() ([]byte, error) {
+	img := make([]byte, 0, p.TextBytes())
+	for i, in := range p.Text {
+		switch p.UnitSize(i) {
+		case isa.InstBytes:
+			w, err := isa.Encode(in)
+			if err != nil {
+				return nil, fmt.Errorf("unit %d: %w", i, err)
+			}
+			img = binary.LittleEndian.AppendUint32(img, w)
+		case isa.InstBytes2:
+			h, err := isa.Encode2(in)
+			if err != nil {
+				return nil, fmt.Errorf("unit %d: %w", i, err)
+			}
+			img = binary.LittleEndian.AppendUint16(img, h)
+		default:
+			return nil, fmt.Errorf("unit %d: bad size %d", i, p.UnitSize(i))
+		}
+	}
+	return img, nil
+}
+
+// DecodeTextImage performs label-directed disassembly: it decodes img using
+// the per-byte ground truth in labels and returns the unit stream. It fails
+// if the labels do not tile the image (a head where payload was promised, a
+// truncated unit, trailing bytes) or a labeled head fails to decode.
+func DecodeTextImage(img []byte, labels []ByteLabel) ([]isa.Inst, error) {
+	if len(labels) != len(img) {
+		return nil, fmt.Errorf("program: %d labels for %d image bytes", len(labels), len(img))
+	}
+	var units []isa.Inst
+	for at := 0; at < len(img); {
+		l := labels[at]
+		var size int
+		switch l.Kind {
+		case ByteHead4:
+			size = isa.InstBytes
+		case ByteHead2:
+			size = isa.InstBytes2
+		default:
+			return nil, fmt.Errorf("program: byte %d: expected a head, labeled %v", at, l.Kind)
+		}
+		if at+size > len(img) {
+			return nil, fmt.Errorf("program: byte %d: unit %d truncated", at, l.Unit)
+		}
+		if l.Unit != len(units) {
+			return nil, fmt.Errorf("program: byte %d: head labeled unit %d, expected %d", at, l.Unit, len(units))
+		}
+		for b := 1; b < size; b++ {
+			if pl := labels[at+b]; pl.Kind != ByteOperand || pl.Unit != l.Unit {
+				return nil, fmt.Errorf("program: byte %d: expected unit %d payload, labeled unit %d %v",
+					at+b, l.Unit, pl.Unit, pl.Kind)
+			}
+		}
+		var in isa.Inst
+		var err error
+		if size == isa.InstBytes {
+			in, err = isa.Decode(binary.LittleEndian.Uint32(img[at:]))
+		} else {
+			in, err = isa.Decode2(binary.LittleEndian.Uint16(img[at:]))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("program: byte %d: %w", at, err)
+		}
+		units = append(units, in)
+		at += size
+	}
+	return units, nil
+}
+
+// LabelsFromBytes expands the compact sidecar form back into ByteLabels,
+// reconstructing unit indices by counting heads. It fails on malformed
+// streams (payload before any head, unknown kinds).
+func LabelsFromBytes(kinds []byte) ([]ByteLabel, error) {
+	labels := make([]ByteLabel, len(kinds))
+	unit := -1
+	for i, k := range kinds {
+		switch ByteKind(k) {
+		case ByteHead4, ByteHead2:
+			unit++
+		case ByteOperand:
+			if unit < 0 {
+				return nil, fmt.Errorf("program: label byte %d: payload before any head", i)
+			}
+		default:
+			return nil, fmt.Errorf("program: label byte %d: unknown kind %d", i, k)
+		}
+		labels[i] = ByteLabel{Unit: unit, Kind: ByteKind(k)}
+	}
+	return labels, nil
+}

@@ -1,0 +1,188 @@
+package program
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestByteLabelsNatural(t *testing.T) {
+	p := mkProg(
+		isa.Inst{Op: isa.OpADDQI, RS: 1, RD: 2, Imm: 5},
+		isa.Inst{Op: isa.OpHALT, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg},
+	)
+	labels := p.ByteLabels()
+	if len(labels) != p.TextBytes() {
+		t.Fatalf("%d labels for %d text bytes", len(labels), p.TextBytes())
+	}
+	for i, l := range labels {
+		wantKind := ByteOperand
+		if i%4 == 0 {
+			wantKind = ByteHead4
+		}
+		if l.Kind != wantKind || l.Unit != i/4 {
+			t.Errorf("byte %d: %+v, want unit %d %v", i, l, i/4, wantKind)
+		}
+	}
+}
+
+func TestByteLabelsMixed(t *testing.T) {
+	p := mkProg(
+		isa.Nop(),
+		isa.Codeword(isa.OpRES3, 0, 0, 0, 9),
+		isa.Inst{Op: isa.OpHALT, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg},
+	)
+	p.Sizes = []uint8{4, 2, 4}
+	labels := p.ByteLabels()
+	wantKinds := []ByteKind{
+		ByteHead4, ByteOperand, ByteOperand, ByteOperand,
+		ByteHead2, ByteOperand,
+		ByteHead4, ByteOperand, ByteOperand, ByteOperand,
+	}
+	if len(labels) != len(wantKinds) {
+		t.Fatalf("%d labels, want %d", len(labels), len(wantKinds))
+	}
+	wantUnits := []int{0, 0, 0, 0, 1, 1, 2, 2, 2, 2}
+	for i := range labels {
+		if labels[i].Kind != wantKinds[i] || labels[i].Unit != wantUnits[i] {
+			t.Errorf("byte %d: %+v, want unit %d %v", i, labels[i], wantUnits[i], wantKinds[i])
+		}
+	}
+}
+
+func TestTextImageLabelDirectedDecode(t *testing.T) {
+	p := mkProg(
+		isa.Inst{Op: isa.OpADDQI, RS: 1, RT: isa.NoReg, RD: 2, Imm: 100},
+		isa.Codeword(isa.OpRES3, 0, 0, 0, 17),
+		isa.Codeword(isa.OpRES3, 0, 0, 0, 901),
+		isa.Inst{Op: isa.OpSTQ, RT: 2, RS: 30, RD: isa.NoReg, Imm: 16},
+		isa.Inst{Op: isa.OpHALT, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg},
+	)
+	p.Sizes = []uint8{4, 2, 2, 4, 4}
+	img, err := p.TextImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != p.TextBytes() {
+		t.Fatalf("image %d bytes, want %d", len(img), p.TextBytes())
+	}
+	units, err := DecodeTextImage(img, p.ByteLabels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != len(p.Text) {
+		t.Fatalf("%d units decoded, want %d", len(units), len(p.Text))
+	}
+	for i := range units {
+		if units[i] != p.Text[i] {
+			t.Errorf("unit %d: %v != %v", i, units[i], p.Text[i])
+		}
+	}
+}
+
+func TestDecodeTextImageRejectsBadLabels(t *testing.T) {
+	p := mkProg(
+		isa.Nop(),
+		isa.Inst{Op: isa.OpHALT, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg},
+	)
+	img, err := p.TextImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := p.ByteLabels()
+
+	// Length mismatch.
+	if _, err := DecodeTextImage(img, good[:len(good)-1]); err == nil {
+		t.Error("short label stream should fail")
+	}
+	// Payload where a head is required.
+	bad := append([]ByteLabel(nil), good...)
+	bad[0].Kind = ByteOperand
+	if _, err := DecodeTextImage(img, bad); err == nil {
+		t.Error("payload-at-head should fail")
+	}
+	// A 2-byte head over a 4-byte word desynchronizes the tiling.
+	bad = append([]ByteLabel(nil), good...)
+	bad[0].Kind = ByteHead2
+	if _, err := DecodeTextImage(img, bad); err == nil {
+		t.Error("wrong head width should fail")
+	}
+	// Truncated final unit.
+	bad = append([]ByteLabel(nil), good...)
+	bad[len(bad)-1].Kind = ByteHead4
+	if _, err := DecodeTextImage(img[:len(img)-3], bad[:len(bad)-3]); err == nil {
+		t.Error("truncated unit should fail")
+	}
+}
+
+func TestLabelBytesRoundTrip(t *testing.T) {
+	p := mkProg(
+		isa.Nop(),
+		isa.Codeword(isa.OpRES3, 0, 0, 0, 9),
+		isa.Inst{Op: isa.OpHALT, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg},
+	)
+	p.Sizes = []uint8{4, 2, 4}
+	got, err := LabelsFromBytes(p.LabelBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.ByteLabels()
+	if len(got) != len(want) {
+		t.Fatalf("%d labels, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("label %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := LabelsFromBytes([]byte{byte(ByteOperand)}); err == nil {
+		t.Error("payload before any head should fail")
+	}
+	if _, err := LabelsFromBytes([]byte{99}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestImageLabelSidecar(t *testing.T) {
+	p := mkProg(
+		isa.Nop(),
+		isa.Codeword(isa.OpRES3, 0, 0, 0, 9),
+		isa.Inst{Op: isa.OpHALT, RS: isa.NoReg, RT: isa.NoReg, RD: isa.NoReg},
+	)
+	p.Sizes = []uint8{4, 2, 4}
+	var buf bytes.Buffer
+	if err := p.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// The sidecar must survive the round trip intact.
+	if _, err := ReadImage("s", bytes.NewReader(raw)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A sidecar contradicting the unit layout marks a corrupt image. The
+	// sidecar is the last section, so its kind bytes are the trailing bytes.
+	tampered := append([]byte(nil), raw...)
+	tampered[len(tampered)-1] = byte(ByteHead2)
+	if _, err := ReadImage("s", bytes.NewReader(tampered)); err == nil {
+		t.Error("tampered sidecar should be rejected")
+	}
+
+	// A truncated sidecar must fail, not crash.
+	if _, err := ReadImage("s", bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Error("truncated sidecar should be rejected")
+	}
+
+	// Version-1 images carry no sidecar and must still load.
+	v1 := append([]byte(nil), raw[:len(raw)-(4+p.TextBytes())]...)
+	v1[4] = 1
+	q, err := ReadImage("s", bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 image rejected: %v", err)
+	}
+	if len(q.Text) != len(p.Text) {
+		t.Fatalf("version-1 image lost units: %d", len(q.Text))
+	}
+}

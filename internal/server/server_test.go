@@ -272,11 +272,13 @@ func TestDrainUnderLoad(t *testing.T) {
 		status  int
 		outcome string
 	}
-	// In-flight: a budget-bounded spin, finishing (with its budget trap) in
-	// tens of milliseconds regardless of the drain racing it.
+	// In-flight: a budget-bounded spin. The budget must be large enough that
+	// the job is still running when Drain engages below — if it traps first,
+	// the worker dequeues the "queued" job and the 503 this test asserts can
+	// never happen — yet small enough to finish within the drain grace.
 	inflight := make(chan res, 1)
 	go func() {
-		st, _, r := post(t, ts, &SubmitRequest{Asm: spinAsm, BudgetInsts: 5_000_000})
+		st, _, r := post(t, ts, &SubmitRequest{Asm: spinAsm, BudgetInsts: 60_000_000})
 		inflight <- res{st, r.Outcome}
 	}()
 	waitStats(t, ts, "worker busy", func(sp *StatsPayload) bool { return sp.Running == 1 })

@@ -162,6 +162,12 @@ func (t *Trace) Excerpt(n int) []cpu.Rec {
 // Err returns the capture's termination error (nil after a clean halt).
 func (t *Trace) Err() error { return t.err }
 
+// Stats returns the capture's final functional counters.
+func (t *Trace) Stats() emu.Stats { return t.stats }
+
+// Output returns everything the captured run printed via sys.
+func (t *Trace) Output() string { return t.output }
+
 // Program returns the program the trace was captured from.
 func (t *Trace) Program() *program.Program { return t.prog }
 
